@@ -1,0 +1,156 @@
+// Ablation — prediction strategy across workload shapes.
+//
+// DESIGN.md §5: ES alone vs Markov alone vs the hybrid (both modes) vs
+// simple baselines, evaluated on every request pattern the paper studies,
+// plus alpha and region-count sweeps for the hybrid.
+#include <functional>
+#include <iostream>
+#include <vector>
+
+#include "common.hpp"
+#include "core/rng.hpp"
+#include "predict/baselines.hpp"
+#include "predict/evaluator.hpp"
+#include "predict/holt.hpp"
+#include "predict/hybrid.hpp"
+#include "predict/seasonal.hpp"
+#include "workload/trace.hpp"
+
+using namespace hotc;
+using namespace hotc::predict;
+
+namespace {
+
+struct Shape {
+  const char* name;
+  std::vector<double> series;
+};
+
+std::vector<Shape> workload_shapes() {
+  std::vector<Shape> shapes;
+  Rng rng(99);
+
+  {
+    std::vector<double> s(60, 6.0);
+    for (auto& v : s) v += rng.normal(0.0, 0.5);
+    shapes.push_back({"steady", std::move(s)});
+  }
+  {
+    std::vector<double> s;
+    for (int i = 0; i < 60; ++i) s.push_back(2.0 + 2.0 * i);
+    shapes.push_back({"linear-up", std::move(s)});
+  }
+  {
+    std::vector<double> s;
+    for (int i = 0; i < 60; ++i) {
+      s.push_back(std::max(0.0, 120.0 - 2.0 * i));
+    }
+    shapes.push_back({"linear-down", std::move(s)});
+  }
+  {
+    std::vector<double> s;
+    for (int i = 0; i < 60; ++i) {
+      s.push_back((i % 10 >= 7) ? 19.0 + rng.normal(0.0, 1.0)
+                                : 8.0 + rng.normal(0.0, 1.0));
+    }
+    shapes.push_back({"volatile-jumps", std::move(s)});
+  }
+  {
+    std::vector<double> s(60, 8.0);
+    for (const int b : {10, 25, 40, 55}) s[b] = 80.0;
+    shapes.push_back({"bursts", std::move(s)});
+  }
+  {
+    auto trace = workload::umass_youtube_trace();
+    std::vector<double> s;
+    for (std::size_t i = 0; i < trace.size(); i += 20) {
+      s.push_back(trace[i] / 10.0);
+    }
+    shapes.push_back({"daily-trace", std::move(s)});
+  }
+  return shapes;
+}
+
+using Factory = std::function<PredictorPtr()>;
+
+std::vector<std::pair<const char*, Factory>> predictors() {
+  return {
+      {"last-value", [] { return std::make_unique<LastValuePredictor>(); }},
+      {"moving-avg(5)",
+       [] { return std::make_unique<MovingAveragePredictor>(5); }},
+      {"histogram",
+       [] { return std::make_unique<HistogramPredictor>(); }},
+      {"exp-smoothing",
+       [] { return std::make_unique<ExponentialSmoothing>(0.8); }},
+      {"holt(0.8,0.3)",
+       [] { return std::make_unique<HoltPredictor>(0.8, 0.3); }},
+      {"seasonal",
+       [] { return std::make_unique<SeasonalPredictor>(); }},
+      {"markov(6)",
+       [] { return std::make_unique<MarkovChainPredictor>(6); }},
+      {"hybrid-residual",
+       [] { return std::make_unique<HybridPredictor>(); }},
+      {"hybrid-value-state",
+       [] {
+         HybridOptions opt;
+         opt.mode = HybridMode::kValueState;
+         return std::make_unique<HybridPredictor>(opt);
+       }},
+  };
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Ablation: prediction strategies across workload shapes",
+      "One-step-ahead MAPE (lower is better), warmup = 5 intervals.");
+
+  const auto shapes = workload_shapes();
+  Table t([&] {
+    std::vector<std::string> headers{"predictor"};
+    for (const auto& s : shapes) headers.emplace_back(s.name);
+    return headers;
+  }());
+
+  for (const auto& [name, make] : predictors()) {
+    std::vector<std::string> row{name};
+    for (const auto& shape : shapes) {
+      auto p = make();
+      const auto r = evaluate(*p, shape.series, 5);
+      row.push_back(bench::pct(r.metrics.mape));
+    }
+    t.add_row(std::move(row));
+  }
+  std::cout << t.to_string() << "\n";
+
+  // Alpha sweep for the hybrid on the volatile series.
+  Table alpha_sweep({"alpha", "MAPE (volatile)", "MAPE (steady)"});
+  for (const double alpha : {0.05, 0.1, 0.3, 0.5, 0.8, 0.95}) {
+    HybridOptions opt;
+    opt.alpha = alpha;
+    HybridPredictor volatile_p(opt);
+    HybridPredictor steady_p(opt);
+    const auto rv = evaluate(volatile_p, shapes[3].series, 5);
+    const auto rs = evaluate(steady_p, shapes[0].series, 5);
+    alpha_sweep.add_row({Table::num(alpha, 2), bench::pct(rv.metrics.mape),
+                         bench::pct(rs.metrics.mape)});
+  }
+  std::cout << "alpha sweep (paper: 0.1-0.3 for stable series, larger for\n"
+               "volatile ones; HotC picks 0.8)\n"
+            << alpha_sweep.to_string() << "\n";
+
+  // Region-count sweep.
+  Table regions({"markov regions", "MAPE (volatile)", "MAPE (bursts)"});
+  for (const std::size_t n : {2u, 4u, 6u, 8u, 12u, 16u}) {
+    HybridOptions opt;
+    opt.regions = n;
+    HybridPredictor a(opt);
+    HybridPredictor b(opt);
+    regions.add_row({std::to_string(n),
+                     bench::pct(evaluate(a, shapes[3].series, 5).metrics.mape),
+                     bench::pct(evaluate(b, shapes[4].series, 5).metrics.mape)});
+  }
+  std::cout << "Markov region-count sweep\n" << regions.to_string();
+  return 0;
+}

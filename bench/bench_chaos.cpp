@@ -1,0 +1,71 @@
+// Chaos bench — HotC under failure injection.
+//
+// Launch failures (runc/image errors) and mid-execution crashes are part
+// of production life; this bench sweeps injected fault rates and shows how
+// HotC degrades: failed requests surface as errors, crashed containers are
+// never re-pooled, and the adaptive pool keeps serving the surviving
+// traffic warm.
+#include <iostream>
+
+#include "common.hpp"
+#include "core/rng.hpp"
+
+using namespace hotc;
+
+namespace {
+
+struct ChaosResult {
+  metrics::LatencySummary summary;
+  std::uint64_t failures = 0;
+  std::uint64_t launch_faults = 0;
+  std::uint64_t crashes = 0;
+};
+
+ChaosResult run_chaos(double launch_rate, double crash_rate) {
+  faas::PlatformOptions opt;
+  opt.policy = faas::PolicyKind::kHotC;
+  faas::FaasPlatform platform(opt);
+  platform.engine().set_fault_model(
+      engine::FaultModel{launch_rate, crash_rate, 2024});
+
+  Rng rng(55);
+  const auto arrivals = workload::poisson(1.0, minutes(15), rng, 6, 1.0);
+  const auto mix = workload::ConfigMix::qr_web_service(6);
+
+  ChaosResult out;
+  out.summary = platform.run(arrivals, mix).summary();
+  out.failures = platform.failed_requests();
+  out.launch_faults = platform.engine().injected_launch_failures();
+  out.crashes = platform.engine().injected_exec_crashes();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Chaos: HotC under injected launch failures and function crashes",
+      "Poisson(1/s) x 15 min over 6 runtime types; sweep of fault rates.");
+
+  Table t({"launch fail", "exec crash", "ok requests", "failed",
+           "warm mean", "cold rate"});
+  struct Case {
+    double launch;
+    double crash;
+  };
+  const Case cases[] = {
+      {0.0, 0.0}, {0.05, 0.0}, {0.0, 0.05}, {0.05, 0.05}, {0.2, 0.1},
+  };
+  for (const auto& c : cases) {
+    const auto r = run_chaos(c.launch, c.crash);
+    t.add_row({bench::pct(c.launch), bench::pct(c.crash),
+               std::to_string(r.summary.count), std::to_string(r.failures),
+               bench::ms(r.summary.warm_mean_ms),
+               bench::pct(r.summary.cold_fraction())});
+  }
+  std::cout << t.to_string() << "\n";
+  std::cout << "crashed containers are torn down rather than re-pooled, so\n"
+               "the cold rate rises with the crash rate — the failure cost\n"
+               "is bounded to the faulted requests themselves.\n";
+  return 0;
+}

@@ -1,0 +1,152 @@
+// Figure 4 — container startup cost decomposition.
+//
+//  (a) launch + execution of the S3-download microbenchmark, cold vs hot;
+//  (b) cold vs hot execution across language runtimes (Go cold ~3x hot;
+//      Java hot already ~1 s, cold roughly doubles it);
+//  (c) network-mode build cost: bridge/host close to none, container mode
+//      about half, overlay/routing up to ~23x host.
+#include <iostream>
+#include <optional>
+
+#include "common.hpp"
+#include "engine/engine.hpp"
+
+using namespace hotc;
+
+namespace {
+
+spec::RunSpec spec_for(const char* image, const char* tag,
+                       spec::NetworkMode net) {
+  spec::RunSpec s;
+  s.image = spec::ImageRef{image, tag};
+  s.network = net;
+  return s;
+}
+
+/// Cold = fresh launch + exec; hot = second exec in the same container.
+struct ColdHot {
+  double cold_s = 0.0;
+  double hot_s = 0.0;
+  engine::StartupBreakdown breakdown;
+};
+
+ColdHot measure(const spec::RunSpec& spec, const engine::AppModel& app) {
+  sim::Simulator sim;
+  engine::ContainerEngine engine(sim, engine::HostProfile::server());
+  engine.preload_image(spec.image);  // images stored locally (Section V-A)
+  ColdHot out;
+  engine.launch(spec, [&](Result<engine::LaunchReport> launched) {
+    out.breakdown = launched.value().breakdown;
+    const auto id = launched.value().container;
+    const double launch_s = to_seconds(out.breakdown.total());
+    engine.exec(id, app, [&, id, launch_s](Result<engine::ExecReport> cold) {
+      out.cold_s = launch_s + to_seconds(cold.value().total());
+      engine.exec(id, app, [&](Result<engine::ExecReport> hot) {
+        out.hot_s = to_seconds(hot.value().total());
+      });
+    });
+  });
+  sim.run();
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Figure 4: container startup costs",
+      "(a) S3-download app cold vs hot; (b) languages; (c) network modes.");
+
+  // ---- (a) the 3.3 MB S3 download microbenchmark -------------------------
+  const auto pdf = measure(spec_for("python", "3.8",
+                                    spec::NetworkMode::kBridge),
+                           engine::apps::pdf_download());
+  Table fig4a({"phase", "time"});
+  fig4a.add_row({"image pull", format_duration(pdf.breakdown.pull)});
+  fig4a.add_row({"layer extract", format_duration(pdf.breakdown.extract)});
+  fig4a.add_row({"rootfs snapshot", format_duration(pdf.breakdown.rootfs)});
+  fig4a.add_row({"namespaces+cgroups",
+                 format_duration(pdf.breakdown.namespaces +
+                                 pdf.breakdown.cgroups)});
+  fig4a.add_row({"network setup", format_duration(pdf.breakdown.network)});
+  fig4a.add_row({"volume+attach", format_duration(pdf.breakdown.volume +
+                                                  pdf.breakdown.attach)});
+  fig4a.add_row({"runtime init", format_duration(pdf.breakdown.runtime_init)});
+  fig4a.add_row({"TOTAL cold launch",
+                 format_duration(pdf.breakdown.total())});
+  std::cout << "(a) S3-download app (3.3MB payload), launch breakdown\n"
+            << fig4a.to_string();
+  std::cout << "cold end-to-end: " << Table::num(pdf.cold_s, 2)
+            << "s  hot: " << Table::num(pdf.hot_s, 2)
+            << "s  ratio: " << Table::num(pdf.cold_s / pdf.hot_s, 2)
+            << "x\n\n";
+
+  // ---- (b) language runtimes --------------------------------------------
+  struct Lang {
+    const char* label;
+    const char* image;
+    const char* tag;
+    double exec_seconds;
+  };
+  const Lang langs[] = {
+      {"Go", "golang", "1.15", 0.21},
+      {"Python", "python", "3.8", 0.30},
+      {"Node.js", "node", "14", 0.28},
+      {"Java", "openjdk", "11", 1.07},
+  };
+  Table fig4b({"language", "hot exec", "cold exec", "cold/hot"});
+  for (const auto& lang : langs) {
+    engine::AppModel app;
+    app.name = std::string("bench-") + lang.label;
+    app.exec_seconds = lang.exec_seconds;
+    app.app_init_seconds = 0.02;
+    const auto m = measure(
+        spec_for(lang.image, lang.tag, spec::NetworkMode::kBridge), app);
+    fig4b.add_row({lang.label, Table::num(m.hot_s, 2) + "s",
+                   Table::num(m.cold_s, 2) + "s",
+                   Table::num(m.cold_s / m.hot_s, 2) + "x"});
+  }
+  std::cout << "(b) cold vs hot execution by language runtime\n"
+            << fig4b.to_string()
+            << "(paper anchors: Go cold = 3.06x hot; Java cold ~2x an\n"
+               " already-long 1.07s hot execution)\n\n";
+
+  // ---- (c) network modes -------------------------------------------------
+  Table fig4c({"network mode", "launch time", "vs none", "vs host"});
+  double none_s = 0.0;
+  double host_s = 0.0;
+  struct Mode {
+    const char* label;
+    spec::NetworkMode mode;
+  };
+  const Mode modes[] = {
+      {"none", spec::NetworkMode::kNone},
+      {"host", spec::NetworkMode::kHost},
+      {"bridge", spec::NetworkMode::kBridge},
+      {"container", spec::NetworkMode::kContainer},
+      {"routing (create)", spec::NetworkMode::kRouting},
+      {"overlay (create)", spec::NetworkMode::kOverlay},
+  };
+  for (const auto& m : modes) {
+    sim::Simulator sim;
+    engine::ContainerEngine engine(sim, engine::HostProfile::server());
+    const auto spc = spec_for("alpine", "3.12", m.mode);
+    engine.preload_image(spc.image);
+    std::optional<engine::StartupBreakdown> breakdown;
+    engine.launch(spc, [&](Result<engine::LaunchReport> r) {
+      breakdown = r.value().breakdown;
+    });
+    sim.run();
+    const double total = to_seconds(breakdown->total());
+    if (m.mode == spec::NetworkMode::kNone) none_s = total;
+    if (m.mode == spec::NetworkMode::kHost) host_s = total;
+    fig4c.add_row({m.label, Table::num(total, 3) + "s",
+                   none_s > 0 ? Table::num(total / none_s, 2) + "x" : "-",
+                   host_s > 0 ? Table::num(total / host_s, 2) + "x" : "-"});
+  }
+  std::cout << "(c) launch time by network mode (single + multi host)\n"
+            << fig4c.to_string()
+            << "(paper anchors: bridge/host ~= none; container ~half;\n"
+               " overlay up to 23x host)\n";
+  return 0;
+}

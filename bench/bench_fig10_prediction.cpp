@@ -1,0 +1,109 @@
+// Figure 10 — adaptive live-container prediction.
+//
+// (a) real demand vs exponential smoothing alone vs ES+Markov (HotC):
+//     the hybrid tracks the 8 -> 19 jumps more closely (paper: relative
+//     error drops from 29 % to 10 % across indices 7-10).
+// (b) sensitivity to the smoothing coefficient alpha and to the choice of
+//     initial value.
+#include <iostream>
+#include <vector>
+
+#include "common.hpp"
+#include "core/rng.hpp"
+#include "predict/baselines.hpp"
+#include "predict/evaluator.hpp"
+#include "predict/hybrid.hpp"
+
+using namespace hotc;
+using namespace hotc::predict;
+
+namespace {
+
+/// Volatile demand series in the shape of Fig. 10(a): an 8-level base with
+/// recurring surges to 19 plus seeded noise.
+std::vector<double> demand_series(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> out;
+  for (std::size_t t = 0; t < n; ++t) {
+    double level = (t % 10 >= 7) ? 19.0 : 8.0;
+    out.push_back(std::max(0.0, level + rng.normal(0.0, 1.0)));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Figure 10: live-container prediction accuracy",
+      "(a) real vs ES vs ES+Markov; (b) alpha / initial-value sensitivity.");
+
+  // Error metrics run over a 300-interval horizon (the structured jumps
+  // need enough repetitions for the Markov correction to pay off); the
+  // table shows the first 60 intervals, the window Fig. 10(a) plots.
+  const auto series = demand_series(300, 11);
+
+  ExponentialSmoothing es(0.8);
+  HybridPredictor hybrid;
+  MarkovChainPredictor markov(6);
+  const auto es_result = evaluate(es, series, 20);
+  const auto hy_result = evaluate(hybrid, series, 20);
+  const auto mk_result = evaluate(markov, series, 20);
+
+  Table fig10a({"t", "real", "exp-smoothing", "ES+Markov (HotC)"});
+  for (std::size_t t = 0; t < 60; t += 3) {
+    fig10a.add_row({std::to_string(t), Table::num(series[t], 1),
+                    Table::num(es_result.predictions[t], 1),
+                    Table::num(hy_result.predictions[t], 1)});
+  }
+  std::cout << "(a) demand vs forecasts (every 3rd interval shown)\n"
+            << fig10a.to_string() << "\n";
+
+  Table err({"predictor", "MAPE", "RMSE", "max abs err"});
+  auto err_row = [&](const std::string& name, const EvalResult& r) {
+    err.add_row({name, bench::pct(r.metrics.mape),
+                 Table::num(r.metrics.rmse, 2),
+                 Table::num(r.metrics.max_abs, 1)});
+  };
+  err_row("exp-smoothing (a=0.8)", es_result);
+  err_row("markov alone (n=6)", mk_result);
+  err_row("ES+Markov hybrid", hy_result);
+  std::cout << err.to_string() << "\n";
+  std::cout << "(paper: the hybrid matches the real series more closely;\n"
+               " around the 8->19 jump relative error falls from ~29% to "
+               "~10%)\n\n";
+
+  // ---- (b) sensitivity ---------------------------------------------------
+  Table fig10b({"alpha", "init policy", "MAPE", "RMSE"});
+  for (const double alpha : {0.1, 0.3, 0.8, 0.95}) {
+    for (const auto init : {InitialValuePolicy::kAverageOfFirstFive,
+                            InitialValuePolicy::kFirstObservation}) {
+      HybridOptions opt;
+      opt.alpha = alpha;
+      opt.init = init;
+      HybridPredictor p(opt);
+      const auto r = evaluate(p, series, 20);
+      fig10b.add_row({Table::num(alpha, 2), to_string(init),
+                      bench::pct(r.metrics.mape),
+                      Table::num(r.metrics.rmse, 2)});
+    }
+  }
+  std::cout << "(b) sensitivity to alpha and the initial value\n"
+            << fig10b.to_string() << "\n";
+
+  // Early-window error: the initial value matters most in the first few
+  // intervals (the paper's second Fig. 10(b) observation).
+  Table early({"init policy", "mean relative error, first 6 intervals"});
+  for (const auto init : {InitialValuePolicy::kAverageOfFirstFive,
+                          InitialValuePolicy::kFirstObservation}) {
+    HybridOptions opt;
+    opt.init = init;
+    HybridPredictor p(opt);
+    const auto r = evaluate(p, series, 1);
+    double sum = 0.0;
+    for (std::size_t i = 1; i < 7; ++i) sum += r.relative_errors[i];
+    early.add_row({to_string(init), bench::pct(sum / 6.0)});
+  }
+  std::cout << early.to_string();
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Figure 15 — HotC overhead analysis.
+//
+// (a) CPU and memory cost of keeping N live containers: <1 % CPU at ten
+//     containers, ~0.7 MB memory each.
+// (b) resource timeline of a heavy containerized application (Cassandra):
+//     application execution dwarfs the container itself, and the OS
+//     reclaims memory quickly once the workload stops.
+#include <iostream>
+
+#include "common.hpp"
+#include "engine/engine.hpp"
+#include "engine/monitor.hpp"
+
+using namespace hotc;
+
+int main() {
+  bench::print_header(
+      "Figure 15: overhead of live containers",
+      "(a) resource usage vs pool size; (b) Cassandra lifecycle timeline.");
+
+  // ---- (a) N idle containers -----------------------------------------------
+  Table fig15a({"live containers", "cpu usage", "memory above baseline",
+                "per container"});
+  for (const int n : {0, 1, 5, 10, 50, 100, 500}) {
+    sim::Simulator sim;
+    engine::ContainerEngine engine(sim, engine::HostProfile::server());
+    spec::RunSpec s;
+    s.image = spec::ImageRef{"alpine", "3.12"};
+    s.network = spec::NetworkMode::kNone;
+    engine.preload_image(s.image);
+    const Bytes baseline = engine.memory_used();
+    for (int i = 0; i < n; ++i) {
+      engine.launch(s, [](Result<engine::LaunchReport>) {});
+    }
+    sim.run();
+    const Bytes delta = engine.memory_used() - baseline;
+    fig15a.add_row(
+        {std::to_string(n), bench::pct(engine.cpu_utilization()),
+         format_bytes(delta),
+         n > 0 ? format_bytes(delta / n) : "-"});
+  }
+  std::cout << "(a) idle-pool resource footprint\n" << fig15a.to_string();
+  std::cout << "(paper: ten live containers cost <1% CPU and ~0.7MB each)\n\n";
+
+  // ---- (b) Cassandra lifecycle ----------------------------------------------
+  sim::Simulator sim;
+  engine::ContainerEngine engine(sim, engine::HostProfile::server());
+  spec::RunSpec s;
+  s.image = spec::ImageRef{"cassandra", "3.11"};
+  s.network = spec::NetworkMode::kBridge;
+  engine.preload_image(s.image);
+
+  engine::ResourceMonitor monitor(sim, engine, seconds(1));
+  monitor.start();
+  // Launch at ~6 s, serve until the app model completes (~13-15 s), then
+  // keep the container live — as the paper's Fig. 15(b) does.
+  sim.at(seconds(6), [&]() {
+    engine.launch(s, [&](Result<engine::LaunchReport> r) {
+      engine.exec(r.value().container, engine::apps::cassandra(),
+                  [](Result<engine::ExecReport>) {});
+    });
+  });
+  sim.at(seconds(30), [&]() { monitor.stop(); });
+  sim.run();
+
+  Table fig15b({"t", "cpu", "memory", "live containers"});
+  for (const auto& sample : monitor.cpu().samples()) {
+    const std::size_t i = &sample - monitor.cpu().samples().data();
+    if (i % 2 != 0) continue;
+    fig15b.add_row(
+        {format_duration(sample.t), bench::pct(sample.value),
+         Table::num(monitor.memory_mib()[i].value, 0) + "MiB",
+         Table::num(monitor.live_containers()[i].value, 0)});
+  }
+  std::cout << "(b) Cassandra-in-a-container lifecycle (launch at 6s)\n"
+            << fig15b.to_string();
+  std::cout << "(paper: the application, not the container, owns the\n"
+               " resource cost; memory is reclaimed quickly after the\n"
+               " workload stops while the container stays live)\n";
+  return 0;
+}

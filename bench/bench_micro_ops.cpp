@@ -1,0 +1,148 @@
+// Microbenchmarks (google-benchmark) for HotC's hot-path operations:
+// key canonicalisation + hashing, pool acquire/release, predictor updates,
+// Dockerfile parsing, and the event queue.  These bound the overhead the
+// middleware itself adds per request — Section V-E's "negligible overhead"
+// claim, measured directly.
+#include <benchmark/benchmark.h>
+
+#include "pool/pool.hpp"
+#include "predict/hybrid.hpp"
+#include "sim/event_queue.hpp"
+#include "spec/corpus.hpp"
+#include "core/json.hpp"
+#include "spec/runtime_key.hpp"
+
+namespace {
+
+using namespace hotc;
+
+spec::RunSpec sample_spec() {
+  spec::RunSpec s;
+  s.image = spec::ImageRef{"python", "3.8"};
+  s.network = spec::NetworkMode::kBridge;
+  s.env["APP_ENV"] = "prod";
+  s.env["MODEL"] = "inception-v3";
+  s.volumes = {"/data:/data"};
+  s.memory_limit = mib(512);
+  return s;
+}
+
+void BM_RuntimeKeyFromSpec(benchmark::State& state) {
+  const auto spec = sample_spec();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spec::RuntimeKey::from_spec(spec));
+  }
+}
+BENCHMARK(BM_RuntimeKeyFromSpec);
+
+void BM_ParseRunCommand(benchmark::State& state) {
+  const char* cmd =
+      "docker run --net=bridge --ipc=host -e K=V -v /h:/c -m 512m "
+      "python:3.8 handler.py";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(spec::parse_run_command(cmd));
+  }
+}
+BENCHMARK(BM_ParseRunCommand);
+
+void BM_PoolAcquireRelease(benchmark::State& state) {
+  pool::RuntimePool pool;
+  const auto key = spec::RuntimeKey::from_spec(sample_spec());
+  pool::PoolEntry entry;
+  entry.id = 1;
+  entry.key = key;
+  pool.add_available(entry, kZeroDuration);
+  for (auto _ : state) {
+    auto got = pool.acquire(key, kZeroDuration);
+    benchmark::DoNotOptimize(got);
+    pool.add_available(*got, kZeroDuration);
+  }
+}
+BENCHMARK(BM_PoolAcquireRelease);
+
+void BM_PoolAcquireManyKeys(benchmark::State& state) {
+  pool::RuntimePool pool;
+  std::vector<spec::RuntimeKey> keys;
+  for (int i = 0; i < 500; ++i) {  // the paper's max pool size
+    auto s = sample_spec();
+    s.env["IDX"] = std::to_string(i);
+    keys.push_back(spec::RuntimeKey::from_spec(s));
+    pool::PoolEntry entry;
+    entry.id = static_cast<engine::ContainerId>(i + 1);
+    entry.key = keys.back();
+    pool.add_available(entry, kZeroDuration);
+  }
+  std::size_t i = 0;
+  for (auto _ : state) {
+    const auto& key = keys[i++ % keys.size()];
+    auto got = pool.acquire(key, kZeroDuration);
+    benchmark::DoNotOptimize(got);
+    pool.add_available(*got, kZeroDuration);
+  }
+}
+BENCHMARK(BM_PoolAcquireManyKeys);
+
+void BM_HybridPredictorStep(benchmark::State& state) {
+  predict::HybridPredictor p;
+  double x = 5.0;
+  for (auto _ : state) {
+    p.observe(x);
+    benchmark::DoNotOptimize(p.predict());
+    x = x > 100.0 ? 5.0 : x + 1.0;
+    if (p.observations() > 512) p.reset();
+  }
+}
+BENCHMARK(BM_HybridPredictorStep);
+
+void BM_DockerfileParse(benchmark::State& state) {
+  const auto corpus = spec::generate_corpus({.files = 64, .seed = 1});
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        spec::Dockerfile::parse(corpus[i++ % corpus.size()].dockerfile_text));
+  }
+}
+BENCHMARK(BM_DockerfileParse);
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  sim::EventQueue queue;
+  std::int64_t t = 0;
+  for (auto _ : state) {
+    queue.push(nanoseconds(t += 7), []() {});
+    if (queue.size() > 1024) {
+      while (!queue.empty()) queue.pop();
+    }
+  }
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+void BM_Zipf(benchmark::State& state) {
+  Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.zipf(30, 1.2));
+  }
+}
+BENCHMARK(BM_Zipf);
+
+void BM_JsonParse(benchmark::State& state) {
+  const std::string doc =
+      R"({"name":"hotc","pool":{"max_live":500,"threshold":0.8},)"
+      R"("patterns":["serial","burst","trace"],"nested":{"a":[1,2,3]}})";
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Json::parse(doc));
+  }
+}
+BENCHMARK(BM_JsonParse);
+
+void BM_JsonDump(benchmark::State& state) {
+  const auto doc = Json::parse(
+      R"({"a":[1,2,3],"b":{"c":"text with \"escapes\""},"d":2.5})").value();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(doc.dump(2));
+  }
+}
+BENCHMARK(BM_JsonDump);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,47 @@
+// Shared helpers for the figure-regeneration benches.
+//
+// Every bench prints its paper figure's rows through hotc::Table so output
+// is uniform and diffable into EXPERIMENTS.md.  Absolute numbers come from
+// the calibrated simulator, not the authors' testbed — the *shape* (who
+// wins, by what rough factor, where crossovers fall) is the reproduction
+// target.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "core/table.hpp"
+#include "faas/platform.hpp"
+#include "workload/mix.hpp"
+#include "workload/patterns.hpp"
+
+namespace hotc::bench {
+
+inline void print_header(const std::string& figure,
+                         const std::string& caption) {
+  std::cout << banner("HotC reproduction — " + figure) << caption << "\n\n";
+}
+
+/// Run one policy over a workload and return the platform (for stats) plus
+/// the recorder, printing nothing.
+struct PolicyRun {
+  metrics::LatencyRecorder recorder;
+  std::uint64_t backend_cold_starts = 0;
+};
+
+inline PolicyRun run_policy(faas::PolicyKind policy,
+                            const workload::ArrivalList& arrivals,
+                            const workload::ConfigMix& mix,
+                            faas::PlatformOptions base = {}) {
+  base.policy = policy;
+  faas::FaasPlatform platform(base);
+  PolicyRun out;
+  out.recorder = platform.run(arrivals, mix);
+  out.backend_cold_starts = platform.backend().cold_starts();
+  return out;
+}
+
+inline std::string ms(double v) { return Table::num(v, 1) + "ms"; }
+inline std::string pct(double v) { return Table::num(v * 100.0, 1) + "%"; }
+
+}  // namespace hotc::bench

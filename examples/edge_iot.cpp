@@ -1,0 +1,67 @@
+// The Fig. 3(b) walkthrough: serverless at the edge (vehicle perception).
+//
+// Camera frames trigger object-recognition functions running *on the edge
+// device* (Raspberry-Pi-class hardware, Greengrass-style).  The example
+// contrasts cold-start-per-frame with HotC runtime reuse, and shows why
+// the edge's slower CPU shrinks — but does not erase — the relative win.
+//
+//   $ ./edge_iot
+#include <iostream>
+
+#include "core/table.hpp"
+#include "faas/platform.hpp"
+#include "workload/mix.hpp"
+#include "workload/patterns.hpp"
+
+using namespace hotc;
+
+int main() {
+  std::cout << "Edge IoT: object recognition on a Raspberry-Pi-class "
+               "device\n\n";
+
+  // Two perception functions sharing the device: static object detection
+  // (signs, lights) and dynamic object detection (vehicles, pedestrians).
+  std::vector<workload::ConfigEntry> entries;
+  for (const char* task : {"static-objects", "dynamic-objects"}) {
+    workload::ConfigEntry e;
+    e.spec.image = spec::ImageRef{"python", "3.8-slim"};
+    e.spec.network = spec::NetworkMode::kHost;  // no NAT on-device
+    e.spec.env["TASK"] = task;
+    e.app = engine::apps::object_recognition();
+    entries.push_back(std::move(e));
+  }
+  const workload::ConfigMix mix(std::move(entries));
+
+  // A keyframe every 15 seconds alternating between the two tasks for
+  // 20 minutes (inference on Pi-class silicon takes ~10 s, so the device
+  // runs near — but below — saturation).
+  workload::ArrivalList arrivals;
+  for (int i = 0; i < 80; ++i) {
+    arrivals.push_back(workload::Arrival{seconds(15) * i,
+                                         static_cast<std::size_t>(i % 2)});
+  }
+
+  Table table({"policy", "mean frame latency", "p99", "cold starts"});
+  double cold_mean = 0;
+  double hotc_mean = 0;
+  for (const auto policy :
+       {faas::PolicyKind::kColdAlways, faas::PolicyKind::kHotC}) {
+    faas::PlatformOptions opt;
+    opt.policy = policy;
+    opt.host = engine::HostProfile::edge_pi();
+    faas::FaasPlatform platform(opt);
+    const auto s = platform.run(arrivals, mix).summary();
+    table.add_row({to_string(policy), Table::num(s.mean_ms, 0) + "ms",
+                   Table::num(s.p99_ms, 0) + "ms",
+                   std::to_string(s.cold_count)});
+    if (policy == faas::PolicyKind::kColdAlways) cold_mean = s.mean_ms;
+    if (policy == faas::PolicyKind::kHotC) hotc_mean = s.mean_ms;
+  }
+  std::cout << table.to_string() << "\n";
+  std::cout << "HotC reduces per-frame latency by "
+            << Table::num((1.0 - hotc_mean / cold_mean) * 100.0, 1)
+            << "% on the edge device.\n";
+  std::cout << "(execution dominates on slow silicon, so the relative gain\n"
+               " is smaller than on a server — the Fig. 8(b) effect)\n";
+  return 0;
+}

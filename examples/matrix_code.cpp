@@ -1,0 +1,366 @@
+#include "matrix_code.hpp"
+
+#include <algorithm>
+
+namespace hotc::examples {
+namespace {
+
+// Polynomials are coefficient vectors, highest-order term first, matching
+// the classic "Reed-Solomon codes for coders" formulation.
+
+std::vector<std::uint8_t> poly_mul(const GaloisField& gf,
+                                   const std::vector<std::uint8_t>& p,
+                                   const std::vector<std::uint8_t>& q) {
+  std::vector<std::uint8_t> r(p.size() + q.size() - 1, 0);
+  for (std::size_t j = 0; j < q.size(); ++j) {
+    for (std::size_t i = 0; i < p.size(); ++i) {
+      r[i + j] ^= gf.mul(p[i], q[j]);
+    }
+  }
+  return r;
+}
+
+std::uint8_t poly_eval(const GaloisField& gf,
+                       const std::vector<std::uint8_t>& p, std::uint8_t x) {
+  std::uint8_t y = p.empty() ? 0 : p[0];
+  for (std::size_t i = 1; i < p.size(); ++i) {
+    y = gf.add(gf.mul(y, x), p[i]);
+  }
+  return y;
+}
+
+std::vector<std::uint8_t> poly_scale(const GaloisField& gf,
+                                     const std::vector<std::uint8_t>& p,
+                                     std::uint8_t s) {
+  std::vector<std::uint8_t> r(p);
+  for (auto& c : r) c = gf.mul(c, s);
+  return r;
+}
+
+/// Add (XOR) two polynomials, aligning their low-order (tail) ends.
+std::vector<std::uint8_t> poly_add(const std::vector<std::uint8_t>& p,
+                                   const std::vector<std::uint8_t>& q) {
+  const std::size_t n = std::max(p.size(), q.size());
+  std::vector<std::uint8_t> r(n, 0);
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    r[n - p.size() + i] ^= p[i];
+  }
+  for (std::size_t i = 0; i < q.size(); ++i) {
+    r[n - q.size() + i] ^= q[i];
+  }
+  return r;
+}
+
+}  // namespace
+
+GaloisField::GaloisField() {
+  // Generate exp/log tables for the primitive polynomial 0x11D.
+  int x = 1;
+  for (int i = 0; i < 255; ++i) {
+    exp_[i] = static_cast<std::uint8_t>(x);
+    log_[x] = i;
+    x <<= 1;
+    if (x & 0x100) x ^= 0x11D;
+  }
+  for (int i = 255; i < 512; ++i) exp_[i] = exp_[i - 255];
+  log_[0] = 0;  // undefined; guarded by callers
+}
+
+std::uint8_t GaloisField::mul(std::uint8_t a, std::uint8_t b) const {
+  if (a == 0 || b == 0) return 0;
+  return exp_[log_[a] + log_[b]];
+}
+
+std::uint8_t GaloisField::div(std::uint8_t a, std::uint8_t b) const {
+  if (a == 0) return 0;
+  // Division by zero is a caller bug; map to 0 to stay total.
+  if (b == 0) return 0;
+  return exp_[(log_[a] + 255 - log_[b]) % 255];
+}
+
+std::uint8_t GaloisField::pow(std::uint8_t a, int n) const {
+  if (a == 0) return n == 0 ? 1 : 0;
+  const int e = ((log_[a] * n) % 255 + 255) % 255;
+  return exp_[e];
+}
+
+std::uint8_t GaloisField::inverse(std::uint8_t a) const {
+  if (a == 0) return 0;
+  return exp_[255 - log_[a]];
+}
+
+ReedSolomon::ReedSolomon(std::size_t parity_symbols)
+    : parity_(parity_symbols) {
+  // generator = prod_{i=0}^{parity-1} (x - alpha^i)
+  generator_ = {1};
+  for (std::size_t i = 0; i < parity_; ++i) {
+    generator_ = poly_mul(gf_, generator_, {1, gf_.exp(static_cast<int>(i))});
+  }
+}
+
+std::vector<std::uint8_t> ReedSolomon::encode(
+    const std::vector<std::uint8_t>& data) const {
+  // Systematic encoding: remainder of data * x^parity divided by generator.
+  std::vector<std::uint8_t> msg(data);
+  msg.resize(data.size() + parity_, 0);
+  std::vector<std::uint8_t> remainder(msg);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const std::uint8_t coef = remainder[i];
+    if (coef == 0) continue;
+    for (std::size_t j = 1; j < generator_.size(); ++j) {
+      remainder[i + j] ^= gf_.mul(generator_[j], coef);
+    }
+  }
+  std::vector<std::uint8_t> out(data);
+  out.insert(out.end(), remainder.end() - static_cast<long>(parity_),
+             remainder.end());
+  return out;
+}
+
+std::vector<std::uint8_t> ReedSolomon::syndromes(
+    const std::vector<std::uint8_t>& codeword) const {
+  std::vector<std::uint8_t> synd(parity_);
+  for (std::size_t i = 0; i < parity_; ++i) {
+    synd[i] = poly_eval(gf_, codeword, gf_.exp(static_cast<int>(i)));
+  }
+  return synd;
+}
+
+int ReedSolomon::decode(std::vector<std::uint8_t>& codeword) const {
+  const auto synd = syndromes(codeword);
+  if (std::all_of(synd.begin(), synd.end(),
+                  [](std::uint8_t s) { return s == 0; })) {
+    return 0;  // clean
+  }
+
+  // Berlekamp-Massey: find the error locator polynomial.
+  std::vector<std::uint8_t> err_loc{1};
+  std::vector<std::uint8_t> old_loc{1};
+  for (std::size_t i = 0; i < parity_; ++i) {
+    old_loc.push_back(0);
+    std::uint8_t delta = synd[i];
+    for (std::size_t j = 1; j < err_loc.size(); ++j) {
+      delta ^= gf_.mul(err_loc[err_loc.size() - 1 - j], synd[i - j]);
+    }
+    if (delta != 0) {
+      if (old_loc.size() > err_loc.size()) {
+        auto new_loc = poly_scale(gf_, old_loc, delta);
+        old_loc = poly_scale(gf_, err_loc, gf_.inverse(delta));
+        err_loc = std::move(new_loc);
+      }
+      err_loc = poly_add(err_loc, poly_scale(gf_, old_loc, delta));
+    }
+  }
+  while (!err_loc.empty() && err_loc.front() == 0) {
+    err_loc.erase(err_loc.begin());
+  }
+  const std::size_t errs = err_loc.size() - 1;
+  if (errs * 2 > parity_) return -1;  // too many errors
+
+  // Chien search.  err_loc is stored highest-order-first, so the reversed
+  // vector evaluated highest-first computes x^deg * Lambda(1/x), whose
+  // roots are the error *locations* alpha^p directly: a zero at 2^i means
+  // an error at power i, i.e. codeword index n-1-i.
+  const std::vector<std::uint8_t> err_loc_rev(err_loc.rbegin(),
+                                              err_loc.rend());
+  std::vector<std::size_t> err_pos;
+  const std::size_t n = codeword.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    if (poly_eval(gf_, err_loc_rev, gf_.pow(2, static_cast<int>(i))) == 0) {
+      err_pos.push_back(n - 1 - i);
+    }
+  }
+  if (err_pos.size() != errs) return -1;  // locator roots inconsistent
+
+  // Forney (fcr = 0): e_k = X_k * Omega(X_k^{-1}) / Lambda'(X_k^{-1}),
+  // computed in lowest-order-first form where the algebra is cleanest.
+  // Lambda lowest-first is the reverse of the BM (highest-first) locator.
+  std::vector<std::uint8_t> lambda_low(err_loc.rbegin(), err_loc.rend());
+  // Omega(x) = S(x) * Lambda(x) mod x^parity; S(x) = sum synd[j] x^j.
+  std::vector<std::uint8_t> omega_low(parity_, 0);
+  for (std::size_t i = 0; i < synd.size(); ++i) {
+    if (synd[i] == 0) continue;
+    for (std::size_t j = 0; j < lambda_low.size() && i + j < parity_; ++j) {
+      omega_low[i + j] ^= gf_.mul(synd[i], lambda_low[j]);
+    }
+  }
+  // Formal derivative in GF(2^m): only odd-power terms survive.
+  std::vector<std::uint8_t> lambda_deriv_low;
+  for (std::size_t i = 1; i < lambda_low.size(); i += 2) {
+    lambda_deriv_low.resize(i, 0);
+    lambda_deriv_low[i - 1] = lambda_low[i];
+  }
+  auto eval_low = [this](const std::vector<std::uint8_t>& p,
+                         std::uint8_t x) {
+    std::uint8_t y = 0;
+    std::uint8_t xp = 1;
+    for (const std::uint8_t c : p) {
+      y ^= gf_.mul(c, xp);
+      xp = gf_.mul(xp, x);
+    }
+    return y;
+  };
+
+  for (const std::size_t pos : err_pos) {
+    const std::uint8_t x_loc = gf_.pow(2, static_cast<int>(n - 1 - pos));
+    const std::uint8_t x_inv = gf_.inverse(x_loc);
+    const std::uint8_t denom = eval_low(lambda_deriv_low, x_inv);
+    if (denom == 0) return -1;
+    const std::uint8_t num = eval_low(omega_low, x_inv);
+    const std::uint8_t magnitude =
+        gf_.mul(x_loc, gf_.div(num, denom));
+    codeword[pos] ^= magnitude;
+  }
+
+  // Verify.
+  const auto check = syndromes(codeword);
+  if (!std::all_of(check.begin(), check.end(),
+                   [](std::uint8_t s) { return s == 0; })) {
+    return -1;
+  }
+  return static_cast<int>(errs);
+}
+
+// ---------------------------------------------------------------------------
+// Matrix layout
+// ---------------------------------------------------------------------------
+namespace {
+
+/// Reserved modules: three finder squares (8x8 with separator) and the
+/// row-6 / column-6 timing tracks, QR-style.
+std::vector<bool> reserved_mask(std::size_t size) {
+  std::vector<bool> reserved(size * size, false);
+  auto reserve_block = [&](std::size_t r0, std::size_t c0) {
+    for (std::size_t r = 0; r < 8; ++r) {
+      for (std::size_t c = 0; c < 8; ++c) {
+        const std::size_t rr = r0 + r;
+        const std::size_t cc = c0 + c;
+        if (rr < size && cc < size) reserved[rr * size + cc] = true;
+      }
+    }
+  };
+  reserve_block(0, 0);
+  reserve_block(0, size - 8);
+  reserve_block(size - 8, 0);
+  for (std::size_t i = 0; i < size; ++i) {
+    reserved[6 * size + i] = true;
+    reserved[i * size + 6] = true;
+  }
+  return reserved;
+}
+
+void draw_finder(MatrixCode& code, std::size_t r0, std::size_t c0) {
+  for (std::size_t r = 0; r < 7; ++r) {
+    for (std::size_t c = 0; c < 7; ++c) {
+      const bool ring = r == 0 || r == 6 || c == 0 || c == 6;
+      const bool core = r >= 2 && r <= 4 && c >= 2 && c <= 4;
+      code.modules[(r0 + r) * code.size + (c0 + c)] = ring || core;
+    }
+  }
+}
+
+void draw_fixed_patterns(MatrixCode& code) {
+  const std::size_t size = code.size;
+  draw_finder(code, 0, 0);
+  draw_finder(code, 0, size - 7);
+  draw_finder(code, size - 7, 0);
+  const auto reserved = reserved_mask(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    // Timing tracks alternate, skipping finder areas.
+    if (!reserved[6 * size + i] || (i >= 8 && i + 8 < size)) {
+      code.modules[6 * size + i] = i % 2 == 0;
+    }
+    if (!reserved[i * size + 6] || (i >= 8 && i + 8 < size)) {
+      code.modules[i * size + 6] = i % 2 == 0;
+    }
+  }
+}
+
+std::size_t data_capacity_bits(std::size_t size) {
+  const auto reserved = reserved_mask(size);
+  std::size_t free_modules = 0;
+  for (const bool r : reserved) {
+    if (!r) ++free_modules;
+  }
+  return free_modules;
+}
+
+}  // namespace
+
+std::string MatrixCode::to_ascii() const {
+  std::string out;
+  out.reserve((size + 1) * size * 2);
+  for (std::size_t r = 0; r < size; ++r) {
+    for (std::size_t c = 0; c < size; ++c) {
+      out += at(r, c) ? "##" : "  ";
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+MatrixCode encode_matrix_code(const std::string& text,
+                              EncodeOptions options) {
+  // Payload: 2-byte length prefix + text.
+  std::vector<std::uint8_t> data;
+  data.push_back(static_cast<std::uint8_t>(text.size() & 0xFF));
+  data.push_back(static_cast<std::uint8_t>((text.size() >> 8) & 0xFF));
+  for (const char ch : text) {
+    data.push_back(static_cast<std::uint8_t>(ch));
+  }
+  const ReedSolomon rs(options.parity_symbols);
+  const auto codeword = rs.encode(data);
+
+  // Smallest odd size with enough free modules.
+  std::size_t size = 21;
+  while (data_capacity_bits(size) < codeword.size() * 8) size += 2;
+
+  MatrixCode code;
+  code.size = size;
+  code.modules.assign(size * size, false);
+  draw_fixed_patterns(code);
+
+  const auto reserved = reserved_mask(size);
+  std::size_t bit = 0;
+  const std::size_t total_bits = codeword.size() * 8;
+  for (std::size_t i = 0; i < size * size && bit < total_bits; ++i) {
+    if (reserved[i]) continue;
+    const std::uint8_t byte = codeword[bit / 8];
+    code.modules[i] = (byte >> (7 - bit % 8)) & 1;
+    ++bit;
+  }
+  return code;
+}
+
+std::string decode_matrix_code(const MatrixCode& code,
+                               EncodeOptions options) {
+  const std::size_t size = code.size;
+  const auto reserved = reserved_mask(size);
+  std::vector<std::uint8_t> bits;
+  for (std::size_t i = 0; i < size * size; ++i) {
+    if (!reserved[i]) bits.push_back(code.modules[i] ? 1 : 0);
+  }
+  std::vector<std::uint8_t> bytes(bits.size() / 8, 0);
+  for (std::size_t b = 0; b < bytes.size() * 8; ++b) {
+    bytes[b / 8] = static_cast<std::uint8_t>(
+        (bytes[b / 8] << 1) | bits[b]);
+  }
+  // Recover the codeword length from the length prefix.
+  if (bytes.size() < 2 + options.parity_symbols) return "";
+  const std::size_t text_len = bytes[0] | (static_cast<std::size_t>(bytes[1])
+                                           << 8);
+  const std::size_t codeword_len = 2 + text_len + options.parity_symbols;
+  if (codeword_len > bytes.size()) return "";
+  std::vector<std::uint8_t> codeword(bytes.begin(),
+                                     bytes.begin() +
+                                         static_cast<long>(codeword_len));
+  const ReedSolomon rs(options.parity_symbols);
+  if (rs.decode(codeword) < 0) return "";
+  std::string text;
+  for (std::size_t i = 2; i < 2 + text_len; ++i) {
+    text += static_cast<char>(codeword[i]);
+  }
+  return text;
+}
+
+}  // namespace hotc::examples

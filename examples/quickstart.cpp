@@ -1,0 +1,61 @@
+// Quickstart: the smallest useful HotC program.
+//
+// Parses a docker-run-style command into a runtime configuration, stands
+// up the simulated container engine plus the HotC controller, and sends a
+// few requests — showing the first (cold) request paying the full startup
+// cost and the rest reusing the pooled runtime.
+//
+//   $ ./quickstart
+#include <iostream>
+
+#include "engine/engine.hpp"
+#include "hotc/controller.hpp"
+#include "spec/runspec.hpp"
+
+using namespace hotc;
+
+int main() {
+  // 1. Describe the runtime the function needs, exactly as a user would.
+  const auto parsed = spec::parse_run_command(
+      "docker run --net=bridge -e MODEL=small python:3.8 handler.py");
+  if (!parsed.ok()) {
+    std::cerr << "parse error: " << parsed.error().to_string() << "\n";
+    return 1;
+  }
+  const spec::RunSpec spec = parsed.value();
+  std::cout << "runtime key: "
+            << spec::RuntimeKey::from_spec(spec).text() << "\n\n";
+
+  // 2. Stand up the substrate: a simulated server-class host.
+  sim::Simulator sim;
+  engine::ContainerEngine engine(sim, engine::HostProfile::server());
+  engine.preload_image(spec.image);  // image already pulled locally
+
+  // 3. The HotC middleware, with default (paper) settings: 500-container
+  //    pool, 80 % memory threshold, ES+Markov adaptive prediction.
+  HotCController hotc(engine, ControllerOptions{});
+
+  // 4. Send five requests for the same function.
+  const engine::AppModel app = engine::apps::qr_encoder();
+  for (int i = 1; i <= 5; ++i) {
+    hotc.handle(spec, app, [i](Result<RequestOutcome> r) {
+      if (!r.ok()) {
+        std::cerr << "request failed: " << r.error().to_string() << "\n";
+        return;
+      }
+      const RequestOutcome& out = r.value();
+      std::cout << "request " << i << ": total "
+                << format_duration(out.total)
+                << (out.reused ? "  (reused warm container #"
+                               : "  (cold start, container #")
+                << out.container << ")\n";
+    });
+    sim.run();  // drain the simulation between requests
+  }
+
+  const auto& stats = hotc.stats();
+  std::cout << "\ncold starts: " << stats.cold_starts
+            << ", reuses: " << stats.reuses << ", pool size: "
+            << hotc.runtime_pool().total_available() << "\n";
+  return 0;
+}

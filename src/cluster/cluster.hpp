@@ -1,0 +1,90 @@
+// Multi-host HotC (paper §VII future work, implemented as an extension).
+//
+// "In a distributed system, a few containers are extremely popular ...
+// some host machines might become overloaded and we need to consider load
+// balancing when reusing the hot runtime."  ClusterHotC runs one
+// HotCController per node (all on one simulator) and routes each request:
+//
+//   kRoundRobin  — classic spray, ignores warmth (baseline)
+//   kLeastLoaded — fewest busy containers, ignores warmth (baseline)
+//   kWarmAware   — prefer a node advertising an available warm runtime of
+//                  the key in the WarmDirectory, break ties by load; fall
+//                  back to least-loaded when nobody is warm.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/directory.hpp"
+#include "engine/engine.hpp"
+#include "hotc/controller.hpp"
+#include "sim/simulator.hpp"
+
+namespace hotc::cluster {
+
+enum class RoutingPolicy { kRoundRobin, kLeastLoaded, kWarmAware };
+
+const char* to_string(RoutingPolicy policy);
+
+struct ClusterOptions {
+  std::size_t nodes = 4;
+  engine::HostProfile host = engine::HostProfile::server();
+  ControllerOptions controller;
+  RoutingPolicy routing = RoutingPolicy::kWarmAware;
+  Duration directory_lag = milliseconds(5);
+};
+
+struct ClusterOutcome {
+  NodeId node = 0;
+  RequestOutcome outcome;
+};
+
+class ClusterHotC {
+ public:
+  explicit ClusterHotC(ClusterOptions options);
+
+  ClusterHotC(const ClusterHotC&) = delete;
+  ClusterHotC& operator=(const ClusterHotC&) = delete;
+
+  using Callback = std::function<void(Result<ClusterOutcome>)>;
+
+  /// Route and serve one request at the current simulation time.
+  void submit(const spec::RunSpec& spec, const engine::AppModel& app,
+              Callback cb);
+
+  [[nodiscard]] sim::Simulator& simulator() { return sim_; }
+  [[nodiscard]] std::size_t node_count() const { return nodes_.size(); }
+  [[nodiscard]] HotCController& controller(NodeId node);
+  [[nodiscard]] engine::ContainerEngine& engine(NodeId node);
+  [[nodiscard]] const WarmDirectory& directory() const { return directory_; }
+
+  /// Requests routed to each node (for balance assertions).
+  [[nodiscard]] const std::vector<std::uint64_t>& routed_counts() const {
+    return routed_;
+  }
+
+  /// Start all nodes' adaptive loops.
+  void start_adaptive_loops(TimePoint until);
+
+  /// Preload an image on every node.
+  void preload_image(const spec::ImageRef& ref);
+
+ private:
+  struct Node {
+    std::unique_ptr<engine::ContainerEngine> engine;
+    std::unique_ptr<HotCController> controller;
+    std::uint64_t inflight = 0;
+  };
+
+  [[nodiscard]] NodeId route(const spec::RuntimeKey& key);
+  void publish_node(NodeId node, const spec::RuntimeKey& key);
+
+  ClusterOptions options_;
+  sim::Simulator sim_;
+  WarmDirectory directory_;
+  std::vector<Node> nodes_;
+  std::vector<std::uint64_t> routed_;
+  NodeId rr_next_ = 0;
+};
+
+}  // namespace hotc::cluster

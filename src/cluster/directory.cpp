@@ -1,0 +1,48 @@
+#include "cluster/directory.hpp"
+
+#include "core/assert.hpp"
+
+namespace hotc::cluster {
+
+WarmDirectory::WarmDirectory(sim::Simulator& sim, std::size_t nodes,
+                             Duration replication_lag)
+    : sim_(sim), lag_(replication_lag), replicas_(nodes) {
+  HOTC_ASSERT(nodes > 0);
+}
+
+void WarmDirectory::publish(NodeId origin, const spec::RuntimeKey& key,
+                            std::size_t available) {
+  HOTC_ASSERT(origin < replicas_.size());
+  ++writes_;
+  const auto entry = std::make_pair(origin, key);
+  // The origin's own replica is updated synchronously.
+  replicas_[origin][entry] = available;
+  for (NodeId n = 0; n < replicas_.size(); ++n) {
+    if (n == origin) continue;
+    if (lag_ == kZeroDuration) {
+      replicas_[n][entry] = available;
+    } else {
+      sim_.after(lag_, [this, n, entry, available]() {
+        replicas_[n][entry] = available;
+      });
+    }
+  }
+}
+
+std::size_t WarmDirectory::read(NodeId reader, NodeId node,
+                                const spec::RuntimeKey& key) const {
+  HOTC_ASSERT(reader < replicas_.size());
+  const auto it = replicas_[reader].find(std::make_pair(node, key));
+  return it == replicas_[reader].end() ? 0 : it->second;
+}
+
+std::vector<NodeId> WarmDirectory::nodes_with_warm(
+    NodeId reader, const spec::RuntimeKey& key) const {
+  std::vector<NodeId> out;
+  for (NodeId n = 0; n < replicas_.size(); ++n) {
+    if (read(reader, n, key) > 0) out.push_back(n);
+  }
+  return out;
+}
+
+}  // namespace hotc::cluster

@@ -1,0 +1,54 @@
+// Replicated warm-runtime directory (paper §VII: "adopting a distributed
+// key-value store ... to handle complex workloads").
+//
+// Each node publishes how many Existing-Available containers it holds per
+// runtime key.  The directory is replicated: every node holds a full copy,
+// writes propagate with a configurable staleness lag, and readers see
+// their own replica — so a router can make slightly stale decisions, which
+// the cluster tests exercise deliberately.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "core/time.hpp"
+#include "sim/simulator.hpp"
+#include "spec/runtime_key.hpp"
+
+namespace hotc::cluster {
+
+using NodeId = std::size_t;
+
+class WarmDirectory {
+ public:
+  /// `replication_lag` delays remote visibility of each write; zero means
+  /// a strongly consistent shared view.
+  WarmDirectory(sim::Simulator& sim, std::size_t nodes,
+                Duration replication_lag = kZeroDuration);
+
+  /// Node `origin` reports its available count for a key.
+  void publish(NodeId origin, const spec::RuntimeKey& key,
+               std::size_t available);
+
+  /// What `reader`'s replica currently believes about `node`'s pool.
+  [[nodiscard]] std::size_t read(NodeId reader, NodeId node,
+                                 const spec::RuntimeKey& key) const;
+
+  /// Nodes with a nonzero available count for the key, in `reader`'s view.
+  [[nodiscard]] std::vector<NodeId> nodes_with_warm(
+      NodeId reader, const spec::RuntimeKey& key) const;
+
+  [[nodiscard]] std::size_t node_count() const { return replicas_.size(); }
+  [[nodiscard]] std::uint64_t writes() const { return writes_; }
+
+ private:
+  using Replica = std::map<std::pair<NodeId, spec::RuntimeKey>, std::size_t>;
+
+  sim::Simulator& sim_;
+  Duration lag_;
+  std::vector<Replica> replicas_;
+  std::uint64_t writes_ = 0;
+};
+
+}  // namespace hotc::cluster

@@ -1,0 +1,25 @@
+// Always-on assertion macro.  Cost models and pool invariants are cheap to
+// check relative to the work they guard, so these stay enabled in release
+// builds (the benches measure simulated time, not wall time).
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+#define HOTC_ASSERT(cond)                                                  \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "HOTC_ASSERT failed: %s at %s:%d\n", #cond,     \
+                   __FILE__, __LINE__);                                    \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+#define HOTC_ASSERT_MSG(cond, msg)                                         \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "HOTC_ASSERT failed: %s (%s) at %s:%d\n", #cond, \
+                   (msg), __FILE__, __LINE__);                             \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)

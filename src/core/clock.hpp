@@ -1,0 +1,54 @@
+// Clock abstraction: the discrete-event simulator advances a VirtualClock;
+// the real-execution backend reads a WallClock.  Code above the substrate
+// only sees the Clock interface, so the same HotC controller runs in both
+// modes.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+
+#include "core/time.hpp"
+
+namespace hotc {
+
+/// Read-only view of "now".  Implementations must be thread-safe readers.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  [[nodiscard]] virtual TimePoint now() const = 0;
+};
+
+/// Clock driven by the discrete-event simulator: time moves only when the
+/// event loop advances it.
+class VirtualClock final : public Clock {
+ public:
+  [[nodiscard]] TimePoint now() const override {
+    return TimePoint(now_ns_.load(std::memory_order_relaxed));
+  }
+
+  void advance_to(TimePoint t) {
+    now_ns_.store(t.count(), std::memory_order_relaxed);
+  }
+
+  void reset() { now_ns_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::int64_t> now_ns_{0};
+};
+
+/// Monotonic wall clock anchored at construction time, used by the real
+/// thread-pool execution backend.
+class WallClock final : public Clock {
+ public:
+  WallClock() : start_(std::chrono::steady_clock::now()) {}
+
+  [[nodiscard]] TimePoint now() const override {
+    return std::chrono::duration_cast<Duration>(
+        std::chrono::steady_clock::now() - start_);
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace hotc

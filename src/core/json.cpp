@@ -1,0 +1,456 @@
+#include "core/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+#include "core/assert.hpp"
+
+namespace hotc {
+
+Json::Json(JsonArray a)
+    : type_(Type::kArray), array_(std::make_shared<JsonArray>(std::move(a))) {}
+
+Json::Json(JsonObject o)
+    : type_(Type::kObject),
+      object_(std::make_shared<JsonObject>(std::move(o))) {}
+
+bool Json::as_bool() const {
+  HOTC_ASSERT_MSG(is_bool(), "json: not a bool");
+  return bool_;
+}
+
+double Json::as_number() const {
+  HOTC_ASSERT_MSG(is_number(), "json: not a number");
+  return number_;
+}
+
+const std::string& Json::as_string() const {
+  HOTC_ASSERT_MSG(is_string(), "json: not a string");
+  return string_;
+}
+
+const JsonArray& Json::as_array() const {
+  HOTC_ASSERT_MSG(is_array(), "json: not an array");
+  return *array_;
+}
+
+const JsonObject& Json::as_object() const {
+  HOTC_ASSERT_MSG(is_object(), "json: not an object");
+  return *object_;
+}
+
+double Json::number_or(double fallback) const {
+  return is_number() ? number_ : fallback;
+}
+
+bool Json::bool_or(bool fallback) const {
+  return is_bool() ? bool_ : fallback;
+}
+
+std::string Json::string_or(const std::string& fallback) const {
+  return is_string() ? string_ : fallback;
+}
+
+const Json& Json::operator[](const std::string& key) const {
+  static const Json kNull;
+  if (!is_object()) return kNull;
+  const auto it = object_->find(key);
+  return it == object_->end() ? kNull : it->second;
+}
+
+const Json& Json::at(std::size_t index) const {
+  HOTC_ASSERT_MSG(is_array(), "json: not an array");
+  HOTC_ASSERT_MSG(index < array_->size(), "json: index out of range");
+  return (*array_)[index];
+}
+
+bool Json::contains(const std::string& key) const {
+  return is_object() && object_->find(key) != object_->end();
+}
+
+std::size_t Json::size() const {
+  if (is_array()) return array_->size();
+  if (is_object()) return object_->size();
+  return 0;
+}
+
+bool Json::operator==(const Json& other) const {
+  if (type_ != other.type_) return false;
+  switch (type_) {
+    case Type::kNull: return true;
+    case Type::kBool: return bool_ == other.bool_;
+    case Type::kNumber: return number_ == other.number_;
+    case Type::kString: return string_ == other.string_;
+    case Type::kArray: return *array_ == *other.array_;
+    case Type::kObject: return *object_ == *other.object_;
+  }
+  return false;
+}
+
+namespace {
+
+void escape_into(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char raw : s) {
+    const auto c = static_cast<unsigned char>(raw);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += raw;
+        }
+    }
+  }
+  out += '"';
+}
+
+void number_into(std::string& out, double v) {
+  if (v == std::floor(v) && std::abs(v) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(v));
+    out += buf;
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+void Json::dump_to(std::string& out, int indent, int depth) const {
+  const std::string pad =
+      indent > 0 ? std::string(static_cast<std::size_t>(indent) * (depth + 1),
+                               ' ')
+                 : "";
+  const std::string close_pad =
+      indent > 0 ? std::string(static_cast<std::size_t>(indent) * depth, ' ')
+                 : "";
+  const char* nl = indent > 0 ? "\n" : "";
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      break;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Type::kNumber:
+      number_into(out, number_);
+      break;
+    case Type::kString:
+      escape_into(out, string_);
+      break;
+    case Type::kArray: {
+      if (array_->empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      out += nl;
+      for (std::size_t i = 0; i < array_->size(); ++i) {
+        out += pad;
+        (*array_)[i].dump_to(out, indent, depth + 1);
+        if (i + 1 < array_->size()) out += ',';
+        out += nl;
+      }
+      out += close_pad;
+      out += ']';
+      break;
+    }
+    case Type::kObject: {
+      if (object_->empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      out += nl;
+      std::size_t i = 0;
+      for (const auto& [key, value] : *object_) {
+        out += pad;
+        escape_into(out, key);
+        out += indent > 0 ? ": " : ":";
+        value.dump_to(out, indent, depth + 1);
+        if (++i < object_->size()) out += ',';
+        out += nl;
+      }
+      out += close_pad;
+      out += '}';
+      break;
+    }
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  dump_to(out, indent, 0);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<Json> run() {
+    skip_ws();
+    auto value = parse_value();
+    if (!value.ok()) return value;
+    skip_ws();
+    if (pos_ != text_.size()) {
+      return fail("trailing characters after JSON document");
+    }
+    return value;
+  }
+
+ private:
+  Result<Json> fail(const std::string& message) const {
+    std::size_t line = 1;
+    std::size_t col = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    return make_error<Json>(
+        "json.parse", message + " at line " + std::to_string(line) +
+                          ", column " + std::to_string(col));
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  [[nodiscard]] bool eof() const { return pos_ >= text_.size(); }
+  [[nodiscard]] char peek() const { return text_[pos_]; }
+
+  bool consume(char c) {
+    if (!eof() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool consume_word(std::string_view word) {
+    if (text_.substr(pos_, word.size()) == word) {
+      pos_ += word.size();
+      return true;
+    }
+    return false;
+  }
+
+  Result<Json> parse_value() {
+    if (eof()) return fail("unexpected end of input");
+    const char c = peek();
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') {
+      auto s = parse_string();
+      if (!s.ok()) return Result<Json>(s.error());
+      return Json(std::move(s).take());
+    }
+    if (c == 't') {
+      if (consume_word("true")) return Json(true);
+      return fail("invalid literal");
+    }
+    if (c == 'f') {
+      if (consume_word("false")) return Json(false);
+      return fail("invalid literal");
+    }
+    if (c == 'n') {
+      if (consume_word("null")) return Json(nullptr);
+      return fail("invalid literal");
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+    return fail(std::string("unexpected character '") + c + "'");
+  }
+
+  Result<Json> parse_number() {
+    const std::size_t start = pos_;
+    if (consume('-')) {
+    }
+    if (eof()) return fail("truncated number");
+    if (!std::isdigit(static_cast<unsigned char>(peek()))) {
+      return fail("malformed number");
+    }
+    // Integer part: "0" alone or nonzero-led digits.
+    if (peek() == '0') {
+      ++pos_;
+    } else {
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        ++pos_;
+      }
+    }
+    if (!eof() && peek() == '.') {
+      ++pos_;
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+        return fail("malformed fraction");
+      }
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        ++pos_;
+      }
+    }
+    if (!eof() && (peek() == 'e' || peek() == 'E')) {
+      ++pos_;
+      if (!eof() && (peek() == '+' || peek() == '-')) ++pos_;
+      if (eof() || !std::isdigit(static_cast<unsigned char>(peek()))) {
+        return fail("malformed exponent");
+      }
+      while (!eof() && std::isdigit(static_cast<unsigned char>(peek()))) {
+        ++pos_;
+      }
+    }
+    double value = 0.0;
+    const auto* begin = text_.data() + start;
+    const auto* end = text_.data() + pos_;
+    const auto [ptr, ec] = std::from_chars(begin, end, value);
+    if (ec != std::errc() || ptr != end) return fail("unparsable number");
+    return Json(value);
+  }
+
+  Result<std::string> parse_string() {
+    if (!consume('"')) {
+      return make_error<std::string>("json.parse", "expected string");
+    }
+    std::string out;
+    while (true) {
+      if (eof()) {
+        return make_error<std::string>("json.parse",
+                                       "unterminated string");
+      }
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c == '\\') {
+        if (eof()) {
+          return make_error<std::string>("json.parse",
+                                         "truncated escape");
+        }
+        const char esc = text_[pos_++];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) {
+              return make_error<std::string>("json.parse",
+                                             "truncated \\u escape");
+            }
+            unsigned int code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4;
+              if (h >= '0' && h <= '9') {
+                code |= static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code |= static_cast<unsigned>(h - 'a' + 10);
+              } else if (h >= 'A' && h <= 'F') {
+                code |= static_cast<unsigned>(h - 'A' + 10);
+              } else {
+                return make_error<std::string>("json.parse",
+                                               "bad \\u escape digit");
+              }
+            }
+            // UTF-8 encode (BMP only; surrogate pairs unsupported).
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return make_error<std::string>("json.parse",
+                                           "unknown escape");
+        }
+        continue;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        return make_error<std::string>("json.parse",
+                                       "unescaped control character");
+      }
+      out += c;
+    }
+  }
+
+  Result<Json> parse_array() {
+    consume('[');
+    JsonArray items;
+    skip_ws();
+    if (consume(']')) return Json(std::move(items));
+    while (true) {
+      skip_ws();
+      auto value = parse_value();
+      if (!value.ok()) return value;
+      items.push_back(std::move(value).take());
+      skip_ws();
+      if (consume(']')) return Json(std::move(items));
+      if (!consume(',')) return fail("expected ',' or ']' in array");
+    }
+  }
+
+  Result<Json> parse_object() {
+    consume('{');
+    JsonObject fields;
+    skip_ws();
+    if (consume('}')) return Json(std::move(fields));
+    while (true) {
+      skip_ws();
+      auto key = parse_string();
+      if (!key.ok()) return Result<Json>(key.error());
+      skip_ws();
+      if (!consume(':')) return fail("expected ':' after object key");
+      skip_ws();
+      auto value = parse_value();
+      if (!value.ok()) return value;
+      fields[std::move(key).take()] = std::move(value).take();
+      skip_ws();
+      if (consume('}')) return Json(std::move(fields));
+      if (!consume(',')) return fail("expected ',' or '}' in object");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Json> Json::parse(std::string_view text) {
+  return Parser(text).run();
+}
+
+}  // namespace hotc

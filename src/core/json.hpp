@@ -1,0 +1,91 @@
+// Minimal JSON document model + parser + serializer.
+//
+// Used by the scenario runner (examples/scenario_runner) so experiments
+// can be described in data instead of code, and by anything that wants to
+// emit machine-readable results.  Supports the full JSON grammar: objects,
+// arrays, strings (with \uXXXX escapes, BMP only), numbers, booleans,
+// null.  Parse errors carry line/column context.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/result.hpp"
+
+namespace hotc {
+
+class Json;
+using JsonArray = std::vector<Json>;
+using JsonObject = std::map<std::string, Json>;
+
+class Json {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Json() : type_(Type::kNull) {}
+  Json(std::nullptr_t) : type_(Type::kNull) {}  // NOLINT
+  Json(bool b) : type_(Type::kBool), bool_(b) {}  // NOLINT
+  Json(double n) : type_(Type::kNumber), number_(n) {}  // NOLINT
+  Json(int n) : type_(Type::kNumber), number_(n) {}  // NOLINT
+  Json(std::int64_t n)  // NOLINT
+      : type_(Type::kNumber), number_(static_cast<double>(n)) {}
+  Json(const char* s) : type_(Type::kString), string_(s) {}  // NOLINT
+  Json(std::string s) : type_(Type::kString), string_(std::move(s)) {}  // NOLINT
+  Json(JsonArray a);   // NOLINT
+  Json(JsonObject o);  // NOLINT
+
+  [[nodiscard]] Type type() const { return type_; }
+  [[nodiscard]] bool is_null() const { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_bool() const { return type_ == Type::kBool; }
+  [[nodiscard]] bool is_number() const { return type_ == Type::kNumber; }
+  [[nodiscard]] bool is_string() const { return type_ == Type::kString; }
+  [[nodiscard]] bool is_array() const { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; wrong-type access aborts (use the is_* checks or the
+  /// *_or defaults below for untrusted data).
+  [[nodiscard]] bool as_bool() const;
+  [[nodiscard]] double as_number() const;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] const JsonArray& as_array() const;
+  [[nodiscard]] const JsonObject& as_object() const;
+
+  /// Defaulting lookups for config-style use.
+  [[nodiscard]] double number_or(double fallback) const;
+  [[nodiscard]] bool bool_or(bool fallback) const;
+  [[nodiscard]] std::string string_or(const std::string& fallback) const;
+
+  /// Object field access; returns a shared null for missing keys (so
+  /// chained lookups never dereference nothing).
+  [[nodiscard]] const Json& operator[](const std::string& key) const;
+  /// Array element access; aborts when out of bounds.
+  [[nodiscard]] const Json& at(std::size_t index) const;
+  [[nodiscard]] bool contains(const std::string& key) const;
+  [[nodiscard]] std::size_t size() const;
+
+  /// Serialise.  `indent` > 0 pretty-prints.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+  /// Parse a complete JSON document (trailing garbage is an error).
+  static Result<Json> parse(std::string_view text);
+
+  bool operator==(const Json& other) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  // Containers live behind shared_ptr so Json stays cheap to copy for the
+  // config-reading use case.
+  std::shared_ptr<JsonArray> array_;
+  std::shared_ptr<JsonObject> object_;
+};
+
+}  // namespace hotc

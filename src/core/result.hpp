@@ -1,0 +1,67 @@
+// Minimal expected-like type for recoverable errors (parsing, lookup).
+// C++20 has no std::expected; this covers the subset we need with value
+// semantics and no exceptions on the happy path.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "core/assert.hpp"
+
+namespace hotc {
+
+/// Error payload: a short machine-usable code plus human-readable detail.
+struct Error {
+  std::string code;
+  std::string message;
+
+  [[nodiscard]] std::string to_string() const { return code + ": " + message; }
+};
+
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Error error) : data_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
+
+  [[nodiscard]] bool ok() const { return std::holds_alternative<T>(data_); }
+  explicit operator bool() const { return ok(); }
+
+  [[nodiscard]] const T& value() const& {
+    HOTC_ASSERT_MSG(ok(), error_unchecked().to_string().c_str());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T& value() & {
+    HOTC_ASSERT_MSG(ok(), error_unchecked().to_string().c_str());
+    return std::get<T>(data_);
+  }
+  [[nodiscard]] T&& take() && {
+    HOTC_ASSERT_MSG(ok(), error_unchecked().to_string().c_str());
+    return std::get<T>(std::move(data_));
+  }
+
+  [[nodiscard]] const Error& error() const {
+    HOTC_ASSERT(!ok());
+    return std::get<Error>(data_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const {
+    return ok() ? std::get<T>(data_) : std::move(fallback);
+  }
+
+ private:
+  [[nodiscard]] const Error& error_unchecked() const {
+    static const Error kNone{"ok", "no error"};
+    return ok() ? kNone : std::get<Error>(data_);
+  }
+
+  std::variant<T, Error> data_;
+};
+
+template <typename T>
+Result<T> make_error(std::string code, std::string message) {
+  return Result<T>(Error{std::move(code), std::move(message)});
+}
+
+}  // namespace hotc

@@ -1,0 +1,139 @@
+#include "core/rng.hpp"
+
+#include <cmath>
+#include <cstddef>
+
+#include "core/assert.hpp"
+
+namespace hotc {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ull;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& word : state_) word = splitmix64(s);
+}
+
+std::uint64_t Rng::next() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  HOTC_ASSERT(lo <= hi);
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  HOTC_ASSERT(lo <= hi);
+  const auto span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<std::int64_t>(next());  // full range
+  // Rejection-free modulo is fine here: span << 2^64 for all our uses.
+  return lo + static_cast<std::int64_t>(next() % span);
+}
+
+double Rng::exponential(double rate) {
+  HOTC_ASSERT(rate > 0.0);
+  double u;
+  do {
+    u = uniform();
+  } while (u <= 0.0);
+  return -std::log(u) / rate;
+}
+
+std::int64_t Rng::poisson(double mean) {
+  HOTC_ASSERT(mean >= 0.0);
+  if (mean == 0.0) return 0;
+  if (mean > 64.0) {
+    // Normal approximation with continuity correction.
+    const double v = normal(mean, std::sqrt(mean));
+    return v < 0.0 ? 0 : static_cast<std::int64_t>(v + 0.5);
+  }
+  const double limit = std::exp(-mean);
+  double prod = 1.0;
+  std::int64_t n = -1;
+  do {
+    prod *= uniform();
+    ++n;
+  } while (prod > limit);
+  return n;
+}
+
+double Rng::normal(double mean, double stddev) {
+  if (have_spare_) {
+    have_spare_ = false;
+    return mean + stddev * spare_;
+  }
+  double u1;
+  do {
+    u1 = uniform();
+  } while (u1 <= 0.0);
+  const double u2 = uniform();
+  const double mag = std::sqrt(-2.0 * std::log(u1));
+  const double two_pi = 6.283185307179586;
+  spare_ = mag * std::sin(two_pi * u2);
+  have_spare_ = true;
+  return mean + stddev * mag * std::cos(two_pi * u2);
+}
+
+std::size_t Rng::zipf(std::size_t n, double s) {
+  HOTC_ASSERT(n > 0);
+  if (n != zipf_n_ || s != zipf_s_) {
+    zipf_cdf_.resize(n);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sum += 1.0 / std::pow(static_cast<double>(i + 1), s);
+      zipf_cdf_[i] = sum;
+    }
+    for (auto& c : zipf_cdf_) c /= sum;
+    zipf_n_ = n;
+    zipf_s_ = s;
+  }
+  const double u = uniform();
+  // Binary search for the first CDF entry >= u.
+  std::size_t lo = 0, hi = n - 1;
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (zipf_cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+bool Rng::chance(double p) { return uniform() < p; }
+
+std::size_t Rng::index(std::size_t size) {
+  HOTC_ASSERT(size > 0);
+  return static_cast<std::size_t>(
+      uniform_int(0, static_cast<std::int64_t>(size) - 1));
+}
+
+}  // namespace hotc

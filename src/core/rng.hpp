@@ -1,0 +1,81 @@
+// Deterministic random number generation for workload synthesis.
+//
+// All stochastic behaviour in the library flows through Rng so that every
+// experiment is reproducible from a single seed.  The generator is
+// xoshiro256**, seeded via splitmix64 per the reference implementation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace hotc {
+
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+
+  /// Raw 64-bit draw (UniformRandomBitGenerator interface).
+  result_type operator()() { return next(); }
+
+  std::uint64_t next();
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Exponentially distributed value with the given rate (mean = 1/rate).
+  double exponential(double rate);
+
+  /// Poisson-distributed count with the given mean (Knuth for small means,
+  /// normal approximation above 64 to stay O(1)).
+  std::int64_t poisson(double mean);
+
+  /// Standard normal via Box-Muller, then scaled.
+  double normal(double mean, double stddev);
+
+  /// Zipf-distributed rank in [0, n) with exponent s (s = 0 is uniform).
+  /// Uses an inverted-CDF table; O(log n) per draw after O(n) setup is
+  /// amortised by caching the last (n, s) pair.
+  std::size_t zipf(std::size_t n, double s);
+
+  /// Bernoulli trial.
+  bool chance(double p);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Pick a uniformly random element index of a non-empty container.
+  std::size_t index(std::size_t size);
+
+ private:
+  std::uint64_t state_[4];
+
+  // Cached Zipf CDF for the most recent (n, s) parameters.
+  std::size_t zipf_n_ = 0;
+  double zipf_s_ = -1.0;
+  std::vector<double> zipf_cdf_;
+
+  // Box-Muller carries a spare value between calls.
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace hotc

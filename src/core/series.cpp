@@ -1,0 +1,58 @@
+#include "core/series.hpp"
+
+#include <algorithm>
+
+#include "core/assert.hpp"
+
+namespace hotc {
+
+void TimeSeries::add(TimePoint t, double value) {
+  HOTC_ASSERT_MSG(samples_.empty() || t >= samples_.back().t,
+                  "time series must be appended in order");
+  samples_.push_back(Sample{t, value});
+}
+
+std::vector<double> TimeSeries::values() const {
+  std::vector<double> out;
+  out.reserve(samples_.size());
+  for (const auto& s : samples_) out.push_back(s.value);
+  return out;
+}
+
+double TimeSeries::last_or(double fallback) const {
+  return samples_.empty() ? fallback : samples_.back().value;
+}
+
+double TimeSeries::mean_of_first(std::size_t k) const {
+  if (samples_.empty()) return 0.0;
+  k = std::min(k, samples_.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < k; ++i) sum += samples_[i].value;
+  return sum / static_cast<double>(k);
+}
+
+TimeSeries TimeSeries::resample(Duration bucket) const {
+  HOTC_ASSERT(bucket > kZeroDuration);
+  TimeSeries out;
+  if (samples_.empty()) return out;
+  const TimePoint t0 = samples_.front().t;
+  const TimePoint tend = samples_.back().t;
+  double prev = 0.0;
+  std::size_t i = 0;
+  for (TimePoint lo = t0; lo <= tend; lo += bucket) {
+    const TimePoint hi = lo + bucket;
+    double sum = 0.0;
+    std::size_t n = 0;
+    while (i < samples_.size() && samples_[i].t < hi) {
+      sum += samples_[i].value;
+      ++n;
+      ++i;
+    }
+    const double v = n ? sum / static_cast<double>(n) : prev;
+    out.add(lo, v);
+    prev = v;
+  }
+  return out;
+}
+
+}  // namespace hotc

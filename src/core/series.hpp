@@ -1,0 +1,51 @@
+// Time-indexed series of observations.  The adaptive controller (Section
+// IV-C) consumes per-interval counts of live containers; the resource
+// monitor (Fig. 15) emits CPU/memory samples.  Both are TimeSeries.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/time.hpp"
+
+namespace hotc {
+
+struct Sample {
+  TimePoint t;
+  double value;
+};
+
+class TimeSeries {
+ public:
+  TimeSeries() = default;
+
+  void add(TimePoint t, double value);
+  [[nodiscard]] std::size_t size() const { return samples_.size(); }
+  [[nodiscard]] bool empty() const { return samples_.empty(); }
+  [[nodiscard]] const Sample& operator[](std::size_t i) const {
+    return samples_[i];
+  }
+  [[nodiscard]] const std::vector<Sample>& samples() const { return samples_; }
+
+  /// Values only (time dropped), for feeding predictors.
+  [[nodiscard]] std::vector<double> values() const;
+
+  /// Last value, or fallback when empty.
+  [[nodiscard]] double last_or(double fallback) const;
+
+  /// Mean of the first k samples (used for the averaged-history initial
+  /// value of exponential smoothing).  k is clamped to size().
+  [[nodiscard]] double mean_of_first(std::size_t k) const;
+
+  /// Resample into fixed-width buckets [t0, t0+dt), taking the mean of the
+  /// samples falling into each bucket; empty buckets repeat the previous
+  /// bucket's value (or 0 for a leading gap).
+  [[nodiscard]] TimeSeries resample(Duration bucket) const;
+
+  void clear() { samples_.clear(); }
+
+ private:
+  std::vector<Sample> samples_;
+};
+
+}  // namespace hotc

@@ -1,0 +1,162 @@
+#include "core/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/assert.hpp"
+
+namespace hotc {
+
+void RunningStats::add(double x) {
+  ++n_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+  if (n_ == 1) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+}
+
+void RunningStats::merge(const RunningStats& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const auto na = static_cast<double>(n_);
+  const auto nb = static_cast<double>(other.n_);
+  const double delta = other.mean_ - mean_;
+  const double total = na + nb;
+  mean_ += delta * nb / total;
+  m2_ += other.m2_ + delta * delta * na * nb / total;
+  n_ += other.n_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void RunningStats::reset() { *this = RunningStats{}; }
+
+double RunningStats::variance() const {
+  return n_ ? m2_ / static_cast<double>(n_) : 0.0;
+}
+
+double RunningStats::sample_variance() const {
+  return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+void Percentiles::add(double x) {
+  samples_.push_back(x);
+  sorted_ = false;
+}
+
+void Percentiles::add_all(const std::vector<double>& xs) {
+  samples_.insert(samples_.end(), xs.begin(), xs.end());
+  sorted_ = false;
+}
+
+void Percentiles::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Percentiles::quantile(double q) const {
+  HOTC_ASSERT(q >= 0.0 && q <= 1.0);
+  if (samples_.empty()) return 0.0;
+  ensure_sorted();
+  if (samples_.size() == 1) return samples_.front();
+  const double rank = q * static_cast<double>(samples_.size() - 1);
+  const auto lo = static_cast<std::size_t>(rank);
+  const double frac = rank - static_cast<double>(lo);
+  if (lo + 1 >= samples_.size()) return samples_.back();
+  return samples_[lo] * (1.0 - frac) + samples_[lo + 1] * frac;
+}
+
+std::vector<CdfPoint> empirical_cdf(std::vector<double> samples,
+                                    std::size_t max_points) {
+  std::vector<CdfPoint> cdf;
+  if (samples.empty()) return cdf;
+  std::sort(samples.begin(), samples.end());
+  const std::size_t n = samples.size();
+  const std::size_t points = std::min(max_points, n);
+  cdf.reserve(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    // Pick evenly spaced ranks, always including the last sample.
+    const std::size_t rank =
+        (points == 1) ? n - 1 : i * (n - 1) / (points - 1);
+    cdf.push_back(CdfPoint{samples[rank],
+                           static_cast<double>(rank + 1) /
+                               static_cast<double>(n)});
+  }
+  return cdf;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0) {
+  HOTC_ASSERT(hi > lo);
+  HOTC_ASSERT(bins > 0);
+}
+
+void Histogram::add(double x) {
+  ++total_;
+  if (x < lo_) {
+    ++underflow_;
+    return;
+  }
+  if (x >= hi_) {
+    ++overflow_;
+    return;
+  }
+  const auto idx = static_cast<std::size_t>((x - lo_) / width_);
+  ++counts_[std::min(idx, counts_.size() - 1)];
+}
+
+std::size_t Histogram::bin_count(std::size_t i) const {
+  HOTC_ASSERT(i < counts_.size());
+  return counts_[i];
+}
+
+double Histogram::bin_lo(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i);
+}
+
+double Histogram::bin_hi(std::size_t i) const {
+  return lo_ + width_ * static_cast<double>(i + 1);
+}
+
+ErrorMetrics prediction_errors(const std::vector<double>& actual,
+                               const std::vector<double>& predicted) {
+  HOTC_ASSERT(actual.size() == predicted.size());
+  ErrorMetrics m;
+  if (actual.empty()) return m;
+  double sq_sum = 0.0;
+  double abs_sum = 0.0;
+  double pct_sum = 0.0;
+  std::size_t pct_n = 0;
+  for (std::size_t i = 0; i < actual.size(); ++i) {
+    const double err = predicted[i] - actual[i];
+    sq_sum += err * err;
+    abs_sum += std::abs(err);
+    m.max_abs = std::max(m.max_abs, std::abs(err));
+    if (actual[i] != 0.0) {
+      pct_sum += std::abs(err) / std::abs(actual[i]);
+      ++pct_n;
+    }
+  }
+  const auto n = static_cast<double>(actual.size());
+  m.rmse = std::sqrt(sq_sum / n);
+  m.mae = abs_sum / n;
+  m.mape = pct_n ? pct_sum / static_cast<double>(pct_n) : 0.0;
+  return m;
+}
+
+}  // namespace hotc

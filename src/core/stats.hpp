@@ -1,0 +1,103 @@
+// Statistics used by every experiment: streaming moments, percentiles,
+// histograms and CDFs.  The benches report the same aggregates as the paper
+// (mean, p99, tail shape), so these are the backbone of EXPERIMENTS.md.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hotc {
+
+/// Welford streaming mean/variance with min/max tracking.
+class RunningStats {
+ public:
+  void add(double x);
+  void merge(const RunningStats& other);
+  void reset();
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const { return n_ ? mean_ : 0.0; }
+  [[nodiscard]] double variance() const;  // population variance
+  [[nodiscard]] double sample_variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const { return n_ ? min_ : 0.0; }
+  [[nodiscard]] double max() const { return n_ ? max_ : 0.0; }
+  [[nodiscard]] double sum() const { return sum_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Sample reservoir with exact percentiles (sorted on demand).
+class Percentiles {
+ public:
+  void add(double x);
+  void add_all(const std::vector<double>& xs);
+
+  /// q in [0, 1]; linear interpolation between closest ranks.
+  [[nodiscard]] double quantile(double q) const;
+  [[nodiscard]] double median() const { return quantile(0.5); }
+  [[nodiscard]] double p99() const { return quantile(0.99); }
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+  [[nodiscard]] const std::vector<double>& samples() const { return samples_; }
+
+ private:
+  void ensure_sorted() const;
+
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+/// Empirical CDF point (value, cumulative fraction).
+struct CdfPoint {
+  double value;
+  double fraction;
+};
+
+/// Build an empirical CDF from samples, downsampled to at most max_points.
+std::vector<CdfPoint> empirical_cdf(std::vector<double> samples,
+                                    std::size_t max_points = 200);
+
+/// Fixed-width histogram.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+  [[nodiscard]] std::size_t bin_count(std::size_t i) const;
+  [[nodiscard]] std::size_t bins() const { return counts_.size(); }
+  [[nodiscard]] double bin_lo(std::size_t i) const;
+  [[nodiscard]] double bin_hi(std::size_t i) const;
+  [[nodiscard]] std::size_t total() const { return total_; }
+  [[nodiscard]] std::size_t underflow() const { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const { return overflow_; }
+
+ private:
+  double lo_;
+  double hi_;
+  double width_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+};
+
+/// Prediction error metrics used by the Fig. 10 experiments.
+struct ErrorMetrics {
+  double mape = 0.0;   // mean absolute percentage error (over nonzero actuals)
+  double rmse = 0.0;   // root mean squared error
+  double mae = 0.0;    // mean absolute error
+  double max_abs = 0.0;
+};
+
+ErrorMetrics prediction_errors(const std::vector<double>& actual,
+                               const std::vector<double>& predicted);
+
+}  // namespace hotc

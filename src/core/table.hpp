@@ -1,0 +1,42 @@
+// Console table / CSV rendering for the bench harness.  Every bench prints
+// the rows of its paper figure through one of these so output is uniform
+// and diffable into EXPERIMENTS.md.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hotc {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; must match the header count.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: format doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+
+  /// Render with aligned columns and a rule under the header.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Render as CSV (RFC-4180 quoting for cells containing , " or newline).
+  [[nodiscard]] std::string to_csv() const;
+
+  void print(std::ostream& os) const;
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const { return headers_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Section banner used between figure sub-panels in bench output.
+std::string banner(const std::string& title);
+
+}  // namespace hotc

@@ -1,0 +1,61 @@
+// Time primitives shared by the simulator and the real-execution backend.
+//
+// Everything in HotC is expressed in a single Duration type (nanoseconds,
+// 64-bit signed) and a TimePoint that is a duration since the start of the
+// simulation epoch.  Keeping one representation end-to-end avoids the
+// chrono-cast noise that otherwise leaks into every cost model.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+
+namespace hotc {
+
+using Duration = std::chrono::nanoseconds;
+
+/// A point on the (virtual or real) timeline, as an offset from the epoch.
+using TimePoint = Duration;
+
+constexpr Duration kZeroDuration = Duration::zero();
+
+constexpr Duration nanoseconds(std::int64_t n) { return Duration(n); }
+constexpr Duration microseconds(std::int64_t n) { return Duration(n * 1000); }
+constexpr Duration milliseconds(std::int64_t n) {
+  return Duration(n * 1'000'000);
+}
+constexpr Duration seconds(std::int64_t n) {
+  return Duration(n * 1'000'000'000);
+}
+constexpr Duration minutes(std::int64_t n) { return seconds(n * 60); }
+constexpr Duration hours(std::int64_t n) { return minutes(n * 60); }
+
+/// Fractional-second constructor used by cost models (e.g. 3.06 s).
+constexpr Duration seconds_f(double s) {
+  return Duration(static_cast<std::int64_t>(s * 1e9));
+}
+constexpr Duration milliseconds_f(double ms) {
+  return Duration(static_cast<std::int64_t>(ms * 1e6));
+}
+
+constexpr double to_seconds(Duration d) {
+  return static_cast<double>(d.count()) / 1e9;
+}
+constexpr double to_milliseconds(Duration d) {
+  return static_cast<double>(d.count()) / 1e6;
+}
+constexpr double to_microseconds(Duration d) {
+  return static_cast<double>(d.count()) / 1e3;
+}
+
+/// Scale a duration by a dimensionless factor (host speed factors etc.).
+constexpr Duration scale(Duration d, double factor) {
+  return Duration(
+      static_cast<std::int64_t>(static_cast<double>(d.count()) * factor));
+}
+
+/// Human-readable rendering, picking the most natural unit ("1.25s",
+/// "340ms", "18.2us").
+std::string format_duration(Duration d);
+
+}  // namespace hotc

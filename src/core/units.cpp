@@ -1,0 +1,44 @@
+#include "core/units.hpp"
+
+#include <cstdio>
+
+#include "core/time.hpp"
+
+namespace hotc {
+
+std::string format_bytes(Bytes b) {
+  char buf[64];
+  const double abs = static_cast<double>(b < 0 ? -b : b);
+  if (abs >= static_cast<double>(kGiB)) {
+    std::snprintf(buf, sizeof(buf), "%.2fGiB", to_gib(b));
+  } else if (abs >= static_cast<double>(kMiB)) {
+    std::snprintf(buf, sizeof(buf), "%.2fMiB", to_mib(b));
+  } else if (abs >= static_cast<double>(kKiB)) {
+    std::snprintf(buf, sizeof(buf), "%.1fKiB",
+                  static_cast<double>(b) / static_cast<double>(kKiB));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldB", static_cast<long long>(b));
+  }
+  return buf;
+}
+
+std::string format_duration(Duration d) {
+  char buf[64];
+  const double ns = static_cast<double>(d.count());
+  const double abs = ns < 0 ? -ns : ns;
+  if (abs >= 60e9) {
+    std::snprintf(buf, sizeof(buf), "%.1fmin", ns / 60e9);
+  } else if (abs >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", ns / 1e9);
+  } else if (abs >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", ns / 1e6);
+  } else if (abs >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%.2fus", ns / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%lldns",
+                  static_cast<long long>(d.count()));
+  }
+  return buf;
+}
+
+}  // namespace hotc

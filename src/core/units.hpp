@@ -1,0 +1,34 @@
+// Byte-size units for image layers, memory footprints and bandwidth.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace hotc {
+
+using Bytes = std::int64_t;
+
+constexpr Bytes kKiB = 1024;
+constexpr Bytes kMiB = 1024 * kKiB;
+constexpr Bytes kGiB = 1024 * kMiB;
+
+constexpr Bytes kib(std::int64_t n) { return n * kKiB; }
+constexpr Bytes mib(std::int64_t n) { return n * kMiB; }
+constexpr Bytes gib(std::int64_t n) { return n * kGiB; }
+
+/// Fractional megabytes, for footprints like "0.7 MB per live container".
+constexpr Bytes mib_f(double n) {
+  return static_cast<Bytes>(n * static_cast<double>(kMiB));
+}
+
+constexpr double to_mib(Bytes b) {
+  return static_cast<double>(b) / static_cast<double>(kMiB);
+}
+constexpr double to_gib(Bytes b) {
+  return static_cast<double>(b) / static_cast<double>(kGiB);
+}
+
+/// "512KiB", "3.3MiB", "2.0GiB".
+std::string format_bytes(Bytes b);
+
+}  // namespace hotc

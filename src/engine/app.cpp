@@ -1,0 +1,87 @@
+#include "engine/app.hpp"
+
+namespace hotc::engine::apps {
+
+AppModel random_number() {
+  AppModel a;
+  a.name = "random-number";
+  a.app_init_seconds = 0.012;
+  a.exec_seconds = 0.004;
+  a.memory = mib(24);
+  return a;
+}
+
+AppModel qr_encoder() {
+  AppModel a;
+  a.name = "qr-encoder";
+  a.app_init_seconds = 0.05;
+  a.exec_seconds = 0.06;  // "the URL transition only took around 60 ms"
+  a.memory = mib(40);
+  a.volume_writes = kib(24);
+  return a;
+}
+
+AppModel v3_app() {
+  AppModel a;
+  a.name = "v3-app";
+  a.app_init_seconds = 0.35;  // Inception-v3 checkpoint load
+  a.exec_seconds = 2.0;
+  a.memory = mib(900);
+  a.volume_writes = kib(256);
+  return a;
+}
+
+AppModel tf_api_app() {
+  AppModel a;
+  a.name = "tf-api-app";
+  a.app_init_seconds = 0.06;  // Go binary embeds the graph
+  a.exec_seconds = 1.5;
+  a.memory = mib(620);
+  a.volume_writes = kib(256);
+  return a;
+}
+
+AppModel pdf_download() {
+  AppModel a;
+  a.name = "pdf-download";
+  a.app_init_seconds = 0.02;
+  a.exec_seconds = 0.08;
+  a.download_bytes = mib_f(3.3);
+  a.memory = mib(32);
+  a.volume_writes = mib_f(3.3);
+  return a;
+}
+
+AppModel cassandra() {
+  AppModel a;
+  a.name = "cassandra";
+  a.app_init_seconds = 3.8;  // JVM heap + sstable warm-up
+  a.exec_seconds = 5.5;      // request-serving window in the Fig. 15 study
+  a.memory = gib(2);
+  a.volume_writes = mib(48);
+  return a;
+}
+
+AppModel image_pipeline() {
+  AppModel a;
+  a.name = "image-pipeline";
+  a.app_init_seconds = 0.09;
+  a.exec_seconds = 0.35;  // compress + watermark
+  a.download_bytes = mib(2);
+  a.memory = mib(128);
+  a.volume_writes = mib(2);
+  return a;
+}
+
+AppModel object_recognition() {
+  AppModel a;
+  a.name = "object-recognition";
+  a.app_init_seconds = 0.4;
+  a.exec_seconds = 0.9;
+  // Quantized edge-class model: two instances plus the OS must fit in a
+  // 1 GB device without swapping.
+  a.memory = mib(340);
+  return a;
+}
+
+}  // namespace hotc::engine::apps

@@ -1,0 +1,59 @@
+// Application workload models.
+//
+// An AppModel captures what a containerized function costs to run: a
+// one-time application init (loading a TensorFlow model, JIT-warming a code
+// path), per-invocation compute, payload transfer, memory footprint and
+// volume writes.  The presets mirror the paper's workloads; the numbers
+// are calibrated so the headline ratios of Figs. 4(b) and 8 hold on the
+// reference server profile (see DESIGN.md substitution table).
+#pragma once
+
+#include <string>
+
+#include "core/time.hpp"
+#include "core/units.hpp"
+
+namespace hotc::engine {
+
+struct AppModel {
+  std::string name;
+  double app_init_seconds = 0.0;  // cold-only application initialisation
+  double exec_seconds = 0.0;      // per-invocation compute (reference server)
+  Bytes download_bytes = 0;       // payload fetched per invocation (e.g. S3)
+  Bytes memory = mib(64);         // resident set while executing
+  Bytes volume_writes = 0;        // data written to the container volume
+
+  bool operator==(const AppModel&) const = default;
+};
+
+namespace apps {
+
+/// OpenFaaS "generate a random number" function used in the Fig. 5 study.
+AppModel random_number();
+
+/// QR-code web service from Section V-B (≈60 ms of real work).
+AppModel qr_encoder();
+
+/// Image recognition, Python + Inception-v3 (heavy model load).
+AppModel v3_app();
+
+/// Image recognition, Go + TensorFlow C API (lighter init).
+AppModel tf_api_app();
+
+/// The Fig. 4(a/b) microbenchmark: download a 3.3 MB PDF from S3 and
+/// process it.
+AppModel pdf_download();
+
+/// Cassandra-style heavy JVM database serving a burst of requests
+/// (Fig. 15(b)).
+AppModel cassandra();
+
+/// Image compression + watermark service of the Fig. 3(a) walkthrough.
+AppModel image_pipeline();
+
+/// Object-recognition inference loop for the edge/vehicle scenario of
+/// Fig. 3(b).
+AppModel object_recognition();
+
+}  // namespace apps
+}  // namespace hotc::engine

@@ -1,0 +1,67 @@
+// Container object and lifecycle FSM.
+//
+// The externally visible states follow Fig. 7 of the paper: Not-Existing
+// (-1), Existing-Not-Available (0), Existing-Available (1).  Internally the
+// engine tracks the full lifecycle so that tests can assert legal
+// transitions: Provisioning -> Idle <-> Busy -> Cleaning -> Idle, and
+// Stopping -> Removed at the end of life.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/time.hpp"
+#include "core/units.hpp"
+#include "engine/image.hpp"
+#include "engine/network.hpp"
+#include "engine/volume.hpp"
+#include "spec/runspec.hpp"
+#include "spec/runtime_key.hpp"
+
+namespace hotc::engine {
+
+using ContainerId = std::uint64_t;
+
+enum class ContainerState {
+  kProvisioning,  // pulling / creating / starting
+  kIdle,          // Existing-Available (1)
+  kBusy,          // Existing-Not-Available (0): executing a function
+  kCleaning,      // Existing-Not-Available (0): volume wipe in progress
+  kPaused,        // Existing-Not-Available (0): cgroup-frozen, pages cold
+  kStopping,
+  kRemoved,       // Not-Existing (-1)
+};
+
+const char* to_string(ContainerState state);
+
+/// Map the internal state to the paper's three-valued availability.
+/// -1 = Not-Existing, 0 = Existing-Not-Available, 1 = Existing-Available.
+int availability_code(ContainerState state);
+
+/// Whether a transition is legal in the Fig. 7 FSM.
+bool transition_allowed(ContainerState from, ContainerState to);
+
+struct Container {
+  ContainerId id = 0;
+  spec::RunSpec spec;
+  spec::RuntimeKey key;
+  Image image;
+  ContainerState state = ContainerState::kProvisioning;
+
+  EndpointId endpoint = 0;
+  VolumeId volume = 0;
+
+  TimePoint created_at = kZeroDuration;
+  TimePoint last_used = kZeroDuration;
+  std::uint64_t exec_count = 0;
+
+  Bytes idle_memory = 0;   // resident while idle (~0.7 MB per paper)
+  Bytes busy_memory = 0;   // extra memory while executing
+  Bytes paused_released = 0;  // idle pages swapped out while Paused
+
+  /// Application name whose init work is already warm in this container
+  /// (model loaded, JIT compiled).  Reuse by the same app skips app init.
+  std::string warm_app;
+};
+
+}  // namespace hotc::engine

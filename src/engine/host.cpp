@@ -1,0 +1,41 @@
+#include "engine/host.hpp"
+
+namespace hotc::engine {
+
+HostProfile HostProfile::server() {
+  HostProfile p;
+  p.name = "poweredge-t430";
+  p.cores = 20;
+  p.memory_total = gib(64);
+  p.cpu_factor = 1.0;
+  p.io_factor = 1.0;
+  p.net_bandwidth_mib_s = 110.0;  // gigabit
+  p.syscall_factor = 1.0;
+  return p;
+}
+
+HostProfile HostProfile::edge_pi() {
+  HostProfile p;
+  p.name = "raspberry-pi-3";
+  p.cores = 4;
+  p.memory_total = gib(1);
+  p.cpu_factor = 11.0;  // ">10x" slower application execution
+  p.io_factor = 8.0;    // SD card vs 7200rpm disk
+  p.net_bandwidth_mib_s = 11.0;  // 100 Mbit ethernet
+  p.syscall_factor = 6.0;
+  return p;
+}
+
+HostProfile HostProfile::edge_tx2() {
+  HostProfile p;
+  p.name = "jetson-tx2";
+  p.cores = 6;
+  p.memory_total = gib(8);
+  p.cpu_factor = 3.5;
+  p.io_factor = 2.5;
+  p.net_bandwidth_mib_s = 110.0;
+  p.syscall_factor = 2.0;
+  return p;
+}
+
+}  // namespace hotc::engine

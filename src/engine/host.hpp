@@ -1,0 +1,36 @@
+// Host hardware profiles.
+//
+// The paper evaluates on a Dell PowerEdge T430 (2x10-core Xeon E5-2640,
+// 64 GB) and a Raspberry Pi 3 (4-core BCM2837, 1 GB); it also mentions a
+// Jetson TX2.  A HostProfile scales the cost model: execution on the Pi is
+// ~10x the server ("the normal execution time of the same application
+// prolongs more than 10 times inside edge devices"), I/O and network are
+// proportionally slower, and memory is two orders of magnitude smaller.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "core/time.hpp"
+#include "core/units.hpp"
+
+namespace hotc::engine {
+
+struct HostProfile {
+  std::string name;
+  std::size_t cores = 1;
+  Bytes memory_total = gib(1);
+  double cpu_factor = 1.0;   // multiplier on compute durations
+  double io_factor = 1.0;    // multiplier on disk extract/rootfs durations
+  double net_bandwidth_mib_s = 100.0;  // registry pull bandwidth
+  double syscall_factor = 1.0;  // namespace/cgroup setup scaling
+
+  /// Dell PowerEdge T430: dual 10-core Xeon, 64 GB, gigabit network.
+  static HostProfile server();
+  /// Raspberry Pi 3: quad Cortex-A53, 1 GB, slow SD-card I/O.
+  static HostProfile edge_pi();
+  /// Nvidia Jetson TX2: faster edge device.
+  static HostProfile edge_tx2();
+};
+
+}  // namespace hotc::engine

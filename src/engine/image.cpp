@@ -1,0 +1,119 @@
+#include "engine/image.hpp"
+
+#include "core/assert.hpp"
+#include "spec/runtime_key.hpp"
+
+namespace hotc::engine {
+
+const char* to_string(LanguageRuntime runtime) {
+  switch (runtime) {
+    case LanguageRuntime::kNative: return "native";
+    case LanguageRuntime::kPython: return "python";
+    case LanguageRuntime::kNode: return "node";
+    case LanguageRuntime::kJvm: return "jvm";
+    case LanguageRuntime::kRuby: return "ruby";
+    case LanguageRuntime::kPhp: return "php";
+  }
+  return "?";
+}
+
+Bytes Image::compressed_size() const {
+  Bytes total = 0;
+  for (const auto& layer : layers) total += layer.size;
+  return total;
+}
+
+Bytes Image::extracted_size() const {
+  Bytes total = 0;
+  for (const auto& layer : layers) total += layer.extracted_size;
+  return total;
+}
+
+Image make_image(const spec::ImageRef& ref, LanguageRuntime runtime,
+                 Bytes total_size, std::size_t layer_count,
+                 Bytes base_memory) {
+  HOTC_ASSERT(layer_count > 0);
+  HOTC_ASSERT(total_size > 0);
+  Image img;
+  img.ref = ref;
+  img.runtime = runtime;
+  img.base_memory = base_memory;
+  img.layers.reserve(layer_count);
+  const Bytes per_layer = total_size / static_cast<Bytes>(layer_count);
+  for (std::size_t i = 0; i < layer_count; ++i) {
+    Layer layer;
+    // Digest derived from ref+index: identical refs share layers, so the
+    // image store deduplicates pulls exactly like a content-addressed
+    // registry would.
+    layer.digest = "sha256:" +
+                   std::to_string(spec::fnv1a(ref.full() + "#" +
+                                              std::to_string(i)));
+    layer.size = (i + 1 == layer_count)
+                     ? total_size - per_layer * static_cast<Bytes>(
+                                                    layer_count - 1)
+                     : per_layer;
+    layer.extracted_size = layer.size * 5 / 2;  // ~2.5x decompression ratio
+    img.layers.push_back(layer);
+  }
+  return img;
+}
+
+Image image_for_name(const spec::ImageRef& ref) {
+  // Strip namespace for matching.
+  std::string base = ref.name;
+  const std::size_t slash = base.rfind('/');
+  if (slash != std::string::npos) base = base.substr(slash + 1);
+
+  struct Preset {
+    const char* prefix;
+    LanguageRuntime runtime;
+    Bytes size;
+  };
+  static const Preset kPresets[] = {
+      {"python", LanguageRuntime::kPython, mib(330)},
+      {"node", LanguageRuntime::kNode, mib(340)},
+      {"openjdk", LanguageRuntime::kJvm, mib(500)},
+      {"java", LanguageRuntime::kJvm, mib(500)},
+      {"tomcat", LanguageRuntime::kJvm, mib(530)},
+      {"cassandra", LanguageRuntime::kJvm, mib(390)},
+      {"elasticsearch", LanguageRuntime::kJvm, mib(770)},
+      {"golang", LanguageRuntime::kNative, mib(360)},
+      {"rust", LanguageRuntime::kNative, mib(440)},
+      {"gcc", LanguageRuntime::kNative, mib(420)},
+      {"ruby", LanguageRuntime::kRuby, mib(310)},
+      {"php", LanguageRuntime::kPhp, mib(140)},
+      {"alpine", LanguageRuntime::kNative, mib(6)},
+      {"busybox", LanguageRuntime::kNative, mib(2)},
+      {"scratch", LanguageRuntime::kNative, mib(1)},
+      {"ubuntu", LanguageRuntime::kNative, mib(73)},
+      {"debian", LanguageRuntime::kNative, mib(114)},
+      {"centos", LanguageRuntime::kNative, mib(83)},
+      {"fedora", LanguageRuntime::kNative, mib(64)},
+      {"amazonlinux", LanguageRuntime::kNative, mib(59)},
+      {"nginx", LanguageRuntime::kNative, mib(53)},
+      {"redis", LanguageRuntime::kNative, mib(31)},
+      {"memcached", LanguageRuntime::kNative, mib(26)},
+      {"httpd", LanguageRuntime::kNative, mib(56)},
+      {"mysql", LanguageRuntime::kNative, mib(160)},
+      {"postgres", LanguageRuntime::kNative, mib(120)},
+      {"mongo", LanguageRuntime::kNative, mib(150)},
+      {"rabbitmq", LanguageRuntime::kNative, mib(70)},
+      {"kafka", LanguageRuntime::kJvm, mib(320)},
+      {"erlang", LanguageRuntime::kNative, mib(300)},
+      {"perl", LanguageRuntime::kRuby, mib(320)},
+  };
+  for (const auto& preset : kPresets) {
+    if (base.rfind(preset.prefix, 0) == 0) {
+      // "-slim"/"-alpine" variants shrink the image.
+      Bytes size = preset.size;
+      if (ref.tag.find("slim") != std::string::npos ||
+          ref.tag.find("alpine") != std::string::npos) {
+        size = size / 4 + mib(5);
+      }
+      return make_image(ref, preset.runtime, size);
+    }
+  }
+  return make_image(ref, LanguageRuntime::kNative, mib(120));
+}
+
+}  // namespace hotc::engine

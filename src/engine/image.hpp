@@ -1,0 +1,57 @@
+// Container images: content-addressed layers plus runtime metadata.
+//
+// The engine models the part of an OCI image that matters for cold start:
+// how many bytes must be pulled and extracted, and which language runtime
+// must be initialised when the first process starts (Fig. 4(b) contrasts
+// Go / Java / Python cold starts).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/time.hpp"
+#include "core/units.hpp"
+#include "spec/dockerfile.hpp"
+
+namespace hotc::engine {
+
+/// Language runtime baked into an image; drives cold-init cost.
+enum class LanguageRuntime {
+  kNative,  // static binary (Go, Rust, C): near-zero runtime init
+  kPython,
+  kNode,
+  kJvm,     // must start a JVM and JIT-warm the code path
+  kRuby,
+  kPhp,
+};
+
+const char* to_string(LanguageRuntime runtime);
+
+struct Layer {
+  std::string digest;      // content address (unique id in the simulation)
+  Bytes size = 0;
+  Bytes extracted_size = 0;  // on-disk size after decompression
+};
+
+struct Image {
+  spec::ImageRef ref;
+  std::vector<Layer> layers;
+  LanguageRuntime runtime = LanguageRuntime::kNative;
+  Bytes base_memory = 0;  // resident footprint of an idle container
+
+  [[nodiscard]] Bytes compressed_size() const;
+  [[nodiscard]] Bytes extracted_size() const;
+};
+
+/// Build a synthetic image with `layer_count` layers summing to
+/// `total_size`, digests derived from the ref so equal refs share layers.
+Image make_image(const spec::ImageRef& ref, LanguageRuntime runtime,
+                 Bytes total_size, std::size_t layer_count = 4,
+                 Bytes base_memory = 700 * kKiB);
+
+/// Catalog of ready-made images matching the corpus catalog (python, node,
+/// openjdk, golang, alpine, ubuntu...).  Unknown names get a generic image.
+Image image_for_name(const spec::ImageRef& ref);
+
+}  // namespace hotc::engine

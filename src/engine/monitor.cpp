@@ -1,0 +1,23 @@
+#include "engine/monitor.hpp"
+
+namespace hotc::engine {
+
+ResourceMonitor::ResourceMonitor(sim::Simulator& sim,
+                                 const ContainerEngine& engine,
+                                 Duration period)
+    : sim_(sim), engine_(engine), period_(period) {}
+
+void ResourceMonitor::start() {
+  running_ = true;
+  sim_.every(
+      period_, [this]() { return running_; },
+      [this]() {
+        const TimePoint t = sim_.now();
+        cpu_.add(t, engine_.cpu_utilization());
+        memory_mib_.add(t, to_mib(engine_.memory_used()));
+        swap_mib_.add(t, to_mib(engine_.swap_used()));
+        live_containers_.add(t, static_cast<double>(engine_.live_count()));
+      });
+}
+
+}  // namespace hotc::engine

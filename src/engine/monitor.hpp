@@ -1,0 +1,39 @@
+// Resource monitor: samples engine CPU/memory into time series (Fig. 15).
+#pragma once
+
+#include "core/series.hpp"
+#include "engine/engine.hpp"
+#include "sim/simulator.hpp"
+
+namespace hotc::engine {
+
+class ResourceMonitor {
+ public:
+  /// Samples every `period` until stop() (or forever within a bounded
+  /// run_until).  Attach before running the simulation.
+  ResourceMonitor(sim::Simulator& sim, const ContainerEngine& engine,
+                  Duration period);
+
+  void start();
+  void stop() { running_ = false; }
+
+  [[nodiscard]] const TimeSeries& cpu() const { return cpu_; }
+  [[nodiscard]] const TimeSeries& memory_mib() const { return memory_mib_; }
+  [[nodiscard]] const TimeSeries& swap_mib() const { return swap_mib_; }
+  [[nodiscard]] const TimeSeries& live_containers() const {
+    return live_containers_;
+  }
+
+ private:
+  sim::Simulator& sim_;
+  const ContainerEngine& engine_;
+  Duration period_;
+  bool running_ = false;
+
+  TimeSeries cpu_;
+  TimeSeries memory_mib_;
+  TimeSeries swap_mib_;
+  TimeSeries live_containers_;
+};
+
+}  // namespace hotc::engine

@@ -1,0 +1,87 @@
+#include "engine/network.hpp"
+
+#include <sstream>
+
+namespace hotc::engine {
+
+Result<Endpoint> NetworkManager::provision(spec::NetworkMode mode,
+                                           EndpointId proxy_to_join) {
+  Endpoint ep;
+  ep.id = next_id_++;
+  ep.mode = mode;
+  switch (mode) {
+    case spec::NetworkMode::kNone:
+    case spec::NetworkMode::kHost:
+      break;  // no address bookkeeping
+    case spec::NetworkMode::kBridge: {
+      std::ostringstream addr;
+      addr << "172.17.0." << (next_ip_suffix_++ % 250 + 2);
+      ep.address = addr.str();
+      ep.nat_port = next_nat_port_++;
+      nat_ports_in_use_.insert(ep.nat_port);
+      break;
+    }
+    case spec::NetworkMode::kContainer: {
+      if (proxy_to_join == 0 || !exists(proxy_to_join)) {
+        return make_error<Endpoint>(
+            "network.no_proxy",
+            "container-mode networking requires a live proxy endpoint");
+      }
+      joined_proxy_[ep.id] = proxy_to_join;
+      ++join_count_[proxy_to_join];
+      ep.address = endpoints_[proxy_to_join].address;
+      break;
+    }
+    case spec::NetworkMode::kOverlay:
+    case spec::NetworkMode::kRouting: {
+      std::ostringstream addr;
+      addr << "10.0." << (next_ip_suffix_ / 250) << "."
+           << (next_ip_suffix_ % 250 + 2);
+      ++next_ip_suffix_;
+      ep.address = addr.str();
+      ++overlay_registrations_;  // distributed KV / route announcement
+      break;
+    }
+  }
+  endpoints_[ep.id] = ep;
+  return ep;
+}
+
+Result<bool> NetworkManager::release(EndpointId id) {
+  const auto it = endpoints_.find(id);
+  if (it == endpoints_.end()) {
+    return make_error<bool>("network.unknown_endpoint",
+                            "no endpoint " + std::to_string(id));
+  }
+  const auto joiners = join_count_.find(id);
+  if (joiners != join_count_.end() && joiners->second > 0) {
+    return make_error<bool>(
+        "network.proxy_in_use",
+        "endpoint " + std::to_string(id) + " still joined by " +
+            std::to_string(joiners->second) + " containers");
+  }
+  const auto joined = joined_proxy_.find(id);
+  if (joined != joined_proxy_.end()) {
+    auto& count = join_count_[joined->second];
+    if (count > 0) --count;
+    joined_proxy_.erase(joined);
+  }
+  if (it->second.nat_port != 0) nat_ports_in_use_.erase(it->second.nat_port);
+  if (spec::is_multi_host(it->second.mode) && overlay_registrations_ > 0) {
+    --overlay_registrations_;
+  }
+  join_count_.erase(id);
+  endpoints_.erase(it);
+  return true;
+}
+
+std::size_t NetworkManager::endpoints_in_mode(spec::NetworkMode mode) const {
+  std::size_t n = 0;
+  for (const auto& [id, ep] : endpoints_) {
+    (void)id;
+    if (ep.mode == mode) ++n;
+  }
+  return n;
+}
+
+}  // namespace hotc::engine

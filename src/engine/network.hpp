@@ -1,0 +1,58 @@
+// Network provisioning bookkeeping.
+//
+// Tracks per-mode endpoint counts, the bridge's NAT port allocations and
+// the overlay's distributed registration set, so tests can assert teardown
+// symmetry and benches can report how much provisioning work each mode did.
+// The *time* cost lives in CostModel; this class owns the state.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+
+#include "core/result.hpp"
+#include "spec/network_mode.hpp"
+
+namespace hotc::engine {
+
+using EndpointId = std::uint64_t;
+
+struct Endpoint {
+  EndpointId id = 0;
+  spec::NetworkMode mode = spec::NetworkMode::kBridge;
+  std::string address;  // synthetic 10.x address for bridge/overlay
+  int nat_port = 0;     // host port for bridge NAT, 0 otherwise
+};
+
+class NetworkManager {
+ public:
+  /// Provision an endpoint.  Container mode requires a live proxy endpoint
+  /// to join; pass its id (0 means "no proxy available" and fails).
+  Result<Endpoint> provision(spec::NetworkMode mode,
+                             EndpointId proxy_to_join = 0);
+
+  /// Release an endpoint.  Fails if other endpoints still join it.
+  Result<bool> release(EndpointId id);
+
+  [[nodiscard]] std::size_t endpoint_count() const { return endpoints_.size(); }
+  [[nodiscard]] std::size_t endpoints_in_mode(spec::NetworkMode mode) const;
+  [[nodiscard]] std::size_t overlay_registrations() const {
+    return overlay_registrations_;
+  }
+  [[nodiscard]] bool exists(EndpointId id) const {
+    return endpoints_.find(id) != endpoints_.end();
+  }
+
+ private:
+  std::map<EndpointId, Endpoint> endpoints_;
+  std::map<EndpointId, EndpointId> joined_proxy_;   // member -> proxy
+  std::map<EndpointId, std::size_t> join_count_;    // proxy -> members
+  std::set<int> nat_ports_in_use_;
+  std::size_t overlay_registrations_ = 0;
+  EndpointId next_id_ = 1;
+  int next_nat_port_ = 30000;
+  std::uint32_t next_ip_suffix_ = 2;
+};
+
+}  // namespace hotc::engine

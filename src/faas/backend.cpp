@@ -1,0 +1,188 @@
+#include "faas/backend.hpp"
+
+namespace hotc::faas {
+
+// --- ColdStartBackend ------------------------------------------------------
+
+ColdStartBackend::ColdStartBackend(engine::ContainerEngine& engine)
+    : engine_(engine) {}
+
+void ColdStartBackend::dispatch(const spec::RunSpec& spec,
+                                const engine::AppModel& app, Callback cb) {
+  ++colds_;
+  engine_.launch(spec, [this, app, cb = std::move(cb)](
+                           Result<engine::LaunchReport> launched) {
+    if (!launched.ok()) {
+      cb(Result<DispatchReport>(launched.error()));
+      return;
+    }
+    const auto id = launched.value().container;
+    const Duration provision = launched.value().breakdown.total();
+    engine_.exec(id, app, [this, id, provision,
+                           cb](Result<engine::ExecReport> ran) {
+      // Stateless default platform: the runtime is torn down regardless.
+      engine_.stop_and_remove(id, [](Result<bool>) {});
+      if (!ran.ok()) {
+        cb(Result<DispatchReport>(ran.error()));
+        return;
+      }
+      DispatchReport report;
+      report.cold = true;
+      report.provision = provision;
+      report.exec = ran.value().total();
+      report.container = id;
+      cb(report);
+    });
+  });
+}
+
+// --- KeepAliveBackend ------------------------------------------------------
+
+KeepAliveBackend::KeepAliveBackend(engine::ContainerEngine& engine,
+                                   Duration keep_alive)
+    : engine_(engine), sim_(engine.simulator()), keep_alive_(keep_alive) {}
+
+std::string KeepAliveBackend::name() const {
+  return "keep-alive(" + format_duration(keep_alive_) + ")";
+}
+
+std::size_t KeepAliveBackend::idle_containers() const {
+  std::size_t n = 0;
+  for (const auto& [key, entries] : idle_) {
+    (void)key;
+    n += entries.size();
+  }
+  return n;
+}
+
+void KeepAliveBackend::park(const spec::RuntimeKey& key,
+                            engine::ContainerId id) {
+  IdleEntry entry;
+  entry.id = id;
+  entry.idled_at = sim_.now();
+  entry.expiry = sim_.after(keep_alive_, [this, key, id]() {
+    auto it = idle_.find(key);
+    if (it == idle_.end()) return;
+    for (auto e = it->second.begin(); e != it->second.end(); ++e) {
+      if (e->id == id) {
+        idle_seconds_ += to_seconds(sim_.now() - e->idled_at);
+        it->second.erase(e);
+        engine_.stop_and_remove(id, [](Result<bool>) {});
+        break;
+      }
+    }
+    if (it->second.empty()) idle_.erase(it);
+  });
+  idle_[key].push_back(entry);
+}
+
+void KeepAliveBackend::dispatch(const spec::RunSpec& spec,
+                                const engine::AppModel& app, Callback cb) {
+  const auto key = spec::RuntimeKey::from_spec(spec);
+  const auto it = idle_.find(key);
+  if (it != idle_.end() && !it->second.empty()) {
+    IdleEntry entry = it->second.front();
+    it->second.pop_front();
+    if (it->second.empty()) idle_.erase(it);
+    sim_.cancel(entry.expiry);
+    idle_seconds_ += to_seconds(sim_.now() - entry.idled_at);
+    engine_.exec(entry.id, app, [this, key, id = entry.id,
+                                 cb = std::move(cb)](
+                                    Result<engine::ExecReport> ran) {
+      if (!ran.ok()) {
+        engine_.stop_and_remove(id, [](Result<bool>) {});
+        cb(Result<DispatchReport>(ran.error()));
+        return;
+      }
+      DispatchReport report;
+      report.cold = false;
+      report.exec = ran.value().total();
+      report.container = id;
+      cb(report);
+      park(key, id);  // timer resets after each use
+    });
+    return;
+  }
+
+  ++colds_;
+  engine_.launch(spec, [this, key, app, cb = std::move(cb)](
+                           Result<engine::LaunchReport> launched) {
+    if (!launched.ok()) {
+      cb(Result<DispatchReport>(launched.error()));
+      return;
+    }
+    const auto id = launched.value().container;
+    const Duration provision = launched.value().breakdown.total();
+    engine_.exec(id, app, [this, key, id, provision,
+                           cb](Result<engine::ExecReport> ran) {
+      if (!ran.ok()) {
+        engine_.stop_and_remove(id, [](Result<bool>) {});
+        cb(Result<DispatchReport>(ran.error()));
+        return;
+      }
+      DispatchReport report;
+      report.cold = true;
+      report.provision = provision;
+      report.exec = ran.value().total();
+      report.container = id;
+      cb(report);
+      park(key, id);
+    });
+  });
+}
+
+// --- HotCBackend -----------------------------------------------------------
+
+HotCBackend::HotCBackend(engine::ContainerEngine& engine,
+                         ControllerOptions options)
+    : controller_(engine, std::move(options)) {}
+
+void HotCBackend::dispatch(const spec::RunSpec& spec,
+                           const engine::AppModel& app, Callback cb) {
+  controller_.handle(spec, app,
+                     [cb = std::move(cb)](Result<RequestOutcome> outcome) {
+                       if (!outcome.ok()) {
+                         cb(Result<DispatchReport>(outcome.error()));
+                         return;
+                       }
+                       DispatchReport report;
+                       report.cold = !outcome.value().reused;
+                       report.provision = outcome.value().startup;
+                       report.exec = outcome.value().exec_total;
+                       report.container = outcome.value().container;
+                       cb(report);
+                     });
+}
+
+// --- PeriodicWarmupBackend -------------------------------------------------
+
+PeriodicWarmupBackend::PeriodicWarmupBackend(engine::ContainerEngine& engine,
+                                             Duration period,
+                                             Duration keep_alive)
+    : engine_(engine),
+      sim_(engine.simulator()),
+      period_(period),
+      inner_(engine, keep_alive) {}
+
+std::string PeriodicWarmupBackend::name() const {
+  return "periodic-warmup(" + format_duration(period_) + ")";
+}
+
+void PeriodicWarmupBackend::dispatch(const spec::RunSpec& spec,
+                                     const engine::AppModel& app,
+                                     Callback cb) {
+  inner_.dispatch(spec, app, std::move(cb));
+}
+
+void PeriodicWarmupBackend::register_warmup(const spec::RunSpec& spec,
+                                            const engine::AppModel& ping_app,
+                                            TimePoint until) {
+  sim_.every(
+      period_, [this, until]() { return sim_.now() <= until; },
+      [this, spec, ping_app]() {
+        ++pings_;
+        inner_.dispatch(spec, ping_app, [](Result<DispatchReport>) {});
+      });
+}
+
+}  // namespace hotc::faas

@@ -1,0 +1,82 @@
+#include "faas/gateway.hpp"
+
+namespace hotc::faas {
+
+Gateway::Gateway(sim::Simulator& sim, Backend& backend,
+                 GatewayOptions options)
+    : sim_(sim),
+      backend_(backend),
+      options_(options),
+      slots_(options.max_concurrent) {}
+
+void Gateway::submit(std::uint64_t request_id, std::size_t config_index,
+                     const spec::RunSpec& spec, const engine::AppModel& app,
+                     Callback cb) {
+  CompletedRequest rec;
+  rec.id = request_id;
+  rec.config_index = config_index;
+  rec.submitted = sim_.now();
+
+  // Optional client deadline: whichever of {completion, timer} fires first
+  // resolves the callback; the loser sees `*done` and stands down.
+  if (options_.request_timeout > kZeroDuration) {
+    auto done = std::make_shared<bool>(false);
+    auto inner = std::move(cb);
+    cb = [this, done, inner](Result<CompletedRequest> r) {
+      if (*done) return;  // the timeout already answered the client
+      *done = true;
+      inner(std::move(r));
+    };
+    sim_.after(options_.request_timeout, [this, done, inner, request_id]() {
+      if (*done) return;
+      *done = true;
+      ++timeouts_;
+      inner(make_error<CompletedRequest>(
+          "faas.timeout",
+          "request " + std::to_string(request_id) + " exceeded deadline"));
+    });
+  }
+
+  // The request reaches the gateway, then waits for a proxy worker slot —
+  // this queueing is the congestion visible during bursts.
+  sim_.after(options_.client_to_gateway, [this, rec, spec, app,
+                                          cb = std::move(cb)]() mutable {
+    rec.t1 = sim_.now();
+    slots_.acquire([this, rec, spec, app, cb = std::move(cb)]() mutable {
+      const Duration to_watchdog =
+          options_.gateway_proxy + options_.gateway_to_watchdog;
+      sim_.after(to_watchdog, [this, rec, spec, app,
+                               cb = std::move(cb)]() mutable {
+        rec.t2 = sim_.now();
+        backend_.dispatch(spec, app, [this, rec, cb = std::move(cb)](
+                                         Result<DispatchReport> r) mutable {
+          if (!r.ok()) {
+            slots_.release();
+            cb(Result<CompletedRequest>(r.error()));
+            return;
+          }
+          const DispatchReport& report = r.value();
+          // The backend completed provisioning + execution by "now";
+          // recover the interior timestamps from its phase durations.
+          rec.t4 = sim_.now();
+          rec.t3 = rec.t4 - report.exec;
+          rec.cold = report.cold;
+          rec.provision = report.provision;
+
+          const Duration back = options_.watchdog_shell +
+                                options_.watchdog_to_gateway +
+                                options_.gateway_to_client;
+          sim_.after(back, [this, rec, cb = std::move(cb)]() mutable {
+            rec.t5 = rec.t4 + options_.watchdog_shell;
+            rec.t6 = sim_.now();
+            ++handled_;
+            slots_.release();
+            cb(rec);
+          });
+        });
+      });
+    });
+  });
+}
+
+}  // namespace hotc::faas

@@ -1,0 +1,92 @@
+// OpenFaaS-style gateway + watchdog pipeline (Fig. 5).
+//
+// Records the six workflow moments the paper instruments:
+//   (1) request packet arrives at the gateway
+//   (2) request reaches the watchdog
+//   (3) the function process starts
+//   (4) the function process stops
+//   (5) the response leaves the watchdog
+//   (6) the client receives the response from the gateway
+//
+// Function initiation (2 -> 3) carries the container provisioning cost and
+// dominates cold latency; the other hops are small fixed costs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "core/result.hpp"
+#include "faas/backend.hpp"
+#include "sim/resource.hpp"
+#include "sim/simulator.hpp"
+
+namespace hotc::faas {
+
+struct GatewayOptions {
+  Duration client_to_gateway = milliseconds(2);   // WAN/LAN hop
+  Duration gateway_proxy = milliseconds_f(1.5);   // routing + queueing
+  Duration gateway_to_watchdog = microseconds(600);
+  Duration watchdog_shell = microseconds(800);    // stdin/stdout plumbing
+  Duration watchdog_to_gateway = microseconds(600);
+  Duration gateway_to_client = milliseconds(2);
+  /// Concurrent in-flight requests the gateway sustains (its worker pool;
+  /// "gateway ... can be scaled to multiple instances" — scale by raising
+  /// this).  Excess requests queue FIFO at the gateway, which is the
+  /// congestion the paper observes under parallel load.
+  std::size_t max_concurrent = 64;
+  /// Client-visible deadline; 0 = none.  A request that has not completed
+  /// by submitted + timeout fails with faas.timeout (the backend work
+  /// still runs to completion — exactly the waste cold starts cause under
+  /// tight SLOs).
+  Duration request_timeout = kZeroDuration;
+};
+
+/// The six timestamps plus what the backend reported.
+struct CompletedRequest {
+  std::uint64_t id = 0;
+  std::size_t config_index = 0;
+  TimePoint submitted = kZeroDuration;  // client send time
+  TimePoint t1 = kZeroDuration;  // at gateway
+  TimePoint t2 = kZeroDuration;  // at watchdog
+  TimePoint t3 = kZeroDuration;  // function starts
+  TimePoint t4 = kZeroDuration;  // function stops
+  TimePoint t5 = kZeroDuration;  // response leaves watchdog
+  TimePoint t6 = kZeroDuration;  // client receives
+  bool cold = false;
+  Duration provision = kZeroDuration;
+
+  [[nodiscard]] Duration total() const { return t6 - submitted; }
+  [[nodiscard]] Duration initiation() const { return t3 - t2; }  // 2->3
+  [[nodiscard]] Duration execution() const { return t4 - t3; }
+  [[nodiscard]] Duration forwarding() const {
+    return (t2 - submitted) + (t6 - t4);
+  }
+};
+
+class Gateway {
+ public:
+  Gateway(sim::Simulator& sim, Backend& backend, GatewayOptions options = {});
+
+  using Callback = std::function<void(Result<CompletedRequest>)>;
+
+  /// Submit a request "from the client" at the current simulation time.
+  void submit(std::uint64_t request_id, std::size_t config_index,
+              const spec::RunSpec& spec, const engine::AppModel& app,
+              Callback cb);
+
+  [[nodiscard]] std::uint64_t handled() const { return handled_; }
+  [[nodiscard]] std::uint64_t timeouts() const { return timeouts_; }
+  [[nodiscard]] const GatewayOptions& options() const { return options_; }
+  [[nodiscard]] std::size_t queued() const { return slots_.waiting(); }
+  [[nodiscard]] std::size_t in_flight() const { return slots_.in_use(); }
+
+ private:
+  sim::Simulator& sim_;
+  Backend& backend_;
+  GatewayOptions options_;
+  sim::CountingResource slots_;
+  std::uint64_t handled_ = 0;
+  std::uint64_t timeouts_ = 0;
+};
+
+}  // namespace hotc::faas

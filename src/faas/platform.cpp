@@ -1,0 +1,116 @@
+#include "faas/platform.hpp"
+
+#include <set>
+
+#include "core/assert.hpp"
+
+namespace hotc::faas {
+
+const char* to_string(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kColdAlways: return "cold-always";
+    case PolicyKind::kKeepAlive: return "keep-alive";
+    case PolicyKind::kHotC: return "hotc";
+    case PolicyKind::kPeriodicWarmup: return "periodic-warmup";
+  }
+  return "?";
+}
+
+FaasPlatform::FaasPlatform(PlatformOptions options)
+    : options_(std::move(options)), engine_(sim_, options_.host) {
+  switch (options_.policy) {
+    case PolicyKind::kColdAlways:
+      backend_ = std::make_unique<ColdStartBackend>(engine_);
+      break;
+    case PolicyKind::kKeepAlive:
+      backend_ = std::make_unique<KeepAliveBackend>(engine_,
+                                                    options_.keep_alive);
+      break;
+    case PolicyKind::kHotC:
+      backend_ = std::make_unique<HotCBackend>(engine_, options_.hotc);
+      break;
+    case PolicyKind::kPeriodicWarmup:
+      backend_ = std::make_unique<PeriodicWarmupBackend>(
+          engine_, options_.warmup_period, options_.keep_alive);
+      break;
+  }
+  gateway_ = std::make_unique<Gateway>(sim_, *backend_, options_.gateway);
+  if (options_.monitor_period.has_value()) {
+    monitor_ = std::make_unique<engine::ResourceMonitor>(
+        sim_, engine_, *options_.monitor_period);
+  }
+}
+
+HotCController* FaasPlatform::hotc_controller() {
+  auto* hotc_backend = dynamic_cast<HotCBackend*>(backend_.get());
+  return hotc_backend != nullptr ? &hotc_backend->controller() : nullptr;
+}
+
+metrics::LatencyRecorder FaasPlatform::run(
+    const workload::ArrivalList& arrivals, const workload::ConfigMix& mix) {
+  HOTC_ASSERT_MSG(!ran_, "FaasPlatform::run may be called only once");
+  ran_ = true;
+  metrics::LatencyRecorder recorder;
+  if (arrivals.empty()) return recorder;
+
+  if (options_.preload_images) {
+    std::set<std::string> seen;
+    for (std::size_t i = 0; i < mix.size(); ++i) {
+      const auto& ref = mix.at(i).spec.image;
+      if (seen.insert(ref.full()).second) engine_.preload_image(ref);
+    }
+  }
+
+  const TimePoint last = arrivals.back().at;
+  const TimePoint horizon = last + options_.trailing_slack;
+
+  if (auto* controller = hotc_controller()) {
+    controller->start_adaptive_loop(horizon);
+  }
+  if (auto* warmup = dynamic_cast<PeriodicWarmupBackend*>(backend_.get())) {
+    // Azure-Logic style: every function in the mix gets a keep-warm timer
+    // for the whole run.
+    for (std::size_t i = 0; i < mix.size(); ++i) {
+      warmup->register_warmup(mix.at(i).spec, engine::apps::random_number(),
+                              horizon);
+    }
+  }
+  if (monitor_) monitor_->start();
+
+  std::uint64_t next_id = 1;
+  for (const auto& arrival : arrivals) {
+    HOTC_ASSERT_MSG(arrival.config_index < mix.size(),
+                    "arrival names a config outside the mix");
+    const std::uint64_t id = next_id++;
+    sim_.at(arrival.at, [this, id, arrival, &mix, &recorder]() {
+      const auto& entry = mix.at(arrival.config_index);
+      gateway_->submit(
+          id, arrival.config_index, entry.spec, entry.app,
+          [this, &recorder](Result<CompletedRequest> done) {
+            if (!done.ok()) {
+              ++failures_;
+              return;
+            }
+            completed_.push_back(done.value());
+            metrics::LatencyPoint p;
+            p.request_id = done.value().id;
+            p.arrival = done.value().submitted;
+            p.latency = done.value().total();
+            p.cold = done.value().cold;
+            p.config_index = done.value().config_index;
+            recorder.add(p);
+          });
+    });
+  }
+
+  // Run every queued event; the monitor/adaptive loops stop themselves at
+  // the horizon.
+  if (monitor_) {
+    // A free-running monitor would keep the queue alive forever; bound it.
+    sim_.at(horizon, [this]() { monitor_->stop(); });
+  }
+  sim_.run();
+  return recorder;
+}
+
+}  // namespace hotc::faas

@@ -1,0 +1,353 @@
+#include "hotc/controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/log.hpp"
+
+namespace hotc {
+
+HotCController::HotCController(engine::ContainerEngine& engine,
+                               ControllerOptions options)
+    : engine_(engine),
+      sim_(engine.simulator()),
+      options_(std::move(options)),
+      pool_(options_.limits),
+      rng_(options_.rng_seed) {
+  HOTC_ASSERT(options_.predictor_factory != nullptr);
+}
+
+spec::RuntimeKey HotCController::key_for(const spec::RunSpec& spec) const {
+  return options_.use_subset_key ? spec::RuntimeKey::subset_from_spec(spec)
+                                 : spec::RuntimeKey::from_spec(spec);
+}
+
+HotCController::KeyState& HotCController::key_state(
+    const spec::RuntimeKey& key, const spec::RunSpec& spec) {
+  auto it = keys_.find(key);
+  if (it == keys_.end()) {
+    KeyState state;
+    state.canonical_spec = spec;
+    state.predictor = options_.predictor_factory();
+    it = keys_.emplace(key, std::move(state)).first;
+  }
+  return it->second;
+}
+
+void HotCController::handle(const spec::RunSpec& spec,
+                            const engine::AppModel& app, Callback cb) {
+  const TimePoint arrival = sim_.now();
+  const spec::RuntimeKey key = key_for(spec);
+  KeyState& state = key_state(key, spec);
+  ++stats_.requests;
+  ++state.busy_now;
+  state.interval_peak = std::max(state.interval_peak, state.busy_now);
+  ++state.interval_requests;
+
+  // Algorithm 1: reuse when Existing-Available, else start a new runtime.
+  auto entry = pool_.acquire(key, arrival);
+  if (entry.has_value()) {
+    ++stats_.reuses;
+    notify_pool_change(key);
+    run_on(*entry, spec, app, entry->prewarmed, kZeroDuration, arrival,
+           std::move(cb));
+    return;
+  }
+
+  ++stats_.cold_starts;
+  enforce_pressure();  // make room before allocating a new runtime
+
+  // Checkpoint/restore extension: a retired runtime's dump beats a full
+  // cold boot when one exists for this key.
+  const auto ckpt = checkpoints_.find(key);
+  const bool restoring =
+      options_.use_checkpoint_restore && ckpt != checkpoints_.end();
+
+  auto on_provisioned = [this, key, spec, app, arrival, restoring,
+                         cb = std::move(cb)](
+                            Result<engine::LaunchReport> r) {
+    if (!r.ok()) {
+      auto it = keys_.find(key);
+      if (it != keys_.end() && it->second.busy_now > 0) {
+        --it->second.busy_now;
+      }
+      cb(Result<RequestOutcome>(r.error()));
+      return;
+    }
+    if (restoring) ++stats_.restores;
+    pool::PoolEntry fresh;
+    fresh.id = r.value().container;
+    fresh.key = key;
+    fresh.created_at = sim_.now();
+    run_on(fresh, spec, app, /*was_prewarmed=*/false,
+           r.value().breakdown.total(), arrival, cb,
+           /*was_resumed=*/false, /*was_restored=*/restoring);
+  };
+  if (restoring) {
+    engine_.restore(ckpt->second, std::move(on_provisioned));
+  } else {
+    engine_.launch(spec, std::move(on_provisioned));
+  }
+}
+
+void HotCController::run_on(const pool::PoolEntry& entry,
+                            const spec::RunSpec& spec,
+                            const engine::AppModel& app, bool was_prewarmed,
+                            Duration startup_paid, TimePoint arrival,
+                            Callback cb, bool was_resumed,
+                            bool was_restored) {
+  if (entry.paused) {
+    // The pooled runtime is frozen: thaw before execution.  The fault-in
+    // latency lands on this request, still far below a cold start.
+    engine_.resume(entry.id, [this, entry, spec, app, was_prewarmed,
+                              startup_paid, arrival,
+                              cb = std::move(cb)](Result<bool> r) mutable {
+      pool::PoolEntry thawed = entry;
+      thawed.paused = false;
+      if (!r.ok()) {
+        // A runtime that cannot thaw is not trusted; replace it with a
+        // fresh cold start.
+        engine_.stop_and_remove(entry.id, [](Result<bool>) {});
+        engine_.launch(spec, [this, spec, app, arrival, key = entry.key,
+                              cb = std::move(cb)](
+                                 Result<engine::LaunchReport> launched) {
+          if (!launched.ok()) {
+            auto it = keys_.find(key);
+            if (it != keys_.end() && it->second.busy_now > 0) {
+              --it->second.busy_now;
+            }
+            cb(Result<RequestOutcome>(launched.error()));
+            return;
+          }
+          pool::PoolEntry fresh;
+          fresh.id = launched.value().container;
+          fresh.key = key;
+          fresh.created_at = sim_.now();
+          run_on(fresh, spec, app, false,
+                 launched.value().breakdown.total(), arrival, cb);
+        });
+        return;
+      }
+      run_on(thawed, spec, app, was_prewarmed, startup_paid, arrival,
+             std::move(cb), /*was_resumed=*/true);
+    });
+    return;
+  }
+
+  const spec::RuntimeKey key = entry.key;
+  auto exec_cb = [this, entry, key, was_prewarmed, startup_paid, arrival,
+                  was_resumed, was_restored,
+                  cb = std::move(cb)](Result<engine::ExecReport> r) {
+    auto it = keys_.find(key);
+    if (it != keys_.end() && it->second.busy_now > 0) {
+      --it->second.busy_now;
+    }
+    if (!r.ok()) {
+      // A container that failed to execute is not trusted back into the
+      // pool; tear it down.
+      engine_.stop_and_remove(entry.id, [](Result<bool>) {});
+      cb(Result<RequestOutcome>(r.error()));
+      return;
+    }
+
+    RequestOutcome outcome;
+    outcome.reused = startup_paid == kZeroDuration;
+    outcome.prewarmed = was_prewarmed;
+    outcome.resumed = was_resumed;
+    outcome.restored = was_restored;
+    outcome.startup = startup_paid;
+    outcome.exec_total = r.value().total();
+    outcome.total = sim_.now() - arrival;
+    outcome.container = entry.id;
+
+    // The response goes back to the client *now*; cleanup (Algorithm 2)
+    // happens off the critical path and only then does the container
+    // become Existing-Available again.
+    cb(outcome);
+
+    pool::PoolEntry returned = entry;
+    engine_.clean(entry.id, [this, returned](Result<bool> cleaned) {
+      if (!cleaned.ok()) {
+        engine_.stop_and_remove(returned.id, [](Result<bool>) {});
+        return;
+      }
+      pool::PoolEntry e = returned;
+      e.prewarmed = false;  // once used, it is an ordinary pooled runtime
+      pool_.add_available(e, sim_.now());
+      notify_pool_change(e.key);
+    });
+  };
+  if (options_.use_subset_key) {
+    // Subset-key reuse: the pooled container may differ in re-applicable
+    // fields; the engine applies the delta and charges it to this request.
+    engine_.exec_as(entry.id, app, spec, std::move(exec_cb));
+  } else {
+    engine_.exec(entry.id, app, std::move(exec_cb));
+  }
+}
+
+void HotCController::enforce_pressure() {
+  // Victims are stopped asynchronously, so track what this pass already
+  // committed to releasing and decide on the adjusted numbers.
+  std::size_t pending_stops = 0;
+  Bytes pending_bytes = 0;
+  const Bytes total_mem = engine_.host().memory_total;
+
+  while (pool_.total_available() > 0) {
+    const std::size_t live = engine_.live_count() - pending_stops;
+    const double mem_util =
+        static_cast<double>(engine_.memory_used() - pending_bytes) /
+        static_cast<double>(total_mem);
+    const bool over_capacity = live > options_.limits.max_live;
+    const bool over_memory =
+        mem_util > options_.limits.memory_threshold ||
+        engine_.swap_used() > 0;
+    if (!over_capacity && !over_memory) break;
+
+    auto victim = pool_.select_victim(options_.eviction, &rng_);
+    if (!victim.has_value()) break;
+    const engine::Container* c = engine_.find(victim->id);
+    pending_bytes += c != nullptr ? c->idle_memory : 0;
+    ++pending_stops;
+    ++stats_.evicted;
+    pool_.count_eviction();
+    retire_entry(*victim, /*pressure=*/true);
+  }
+}
+
+void HotCController::retire_entry(const pool::PoolEntry& entry,
+                                  bool pressure) {
+  if (!pool_.remove(entry.key, entry.id)) return;  // raced with acquire
+  if (!pressure) ++stats_.retired;
+  notify_pool_change(entry.key);
+  // Checkpoint/restore extension: dump the warm state before losing it
+  // (first retirement per key only — the image stays valid thereafter).
+  // A Paused container must skip the dump: the engine checkpoints Idle.
+  if (options_.use_checkpoint_restore && !entry.paused &&
+      checkpoints_.find(entry.key) == checkpoints_.end()) {
+    ++stats_.checkpoints;
+    engine_.checkpoint(
+        entry.id,
+        [this, entry](Result<engine::ContainerEngine::CheckpointId> r) {
+          if (r.ok()) checkpoints_[entry.key] = r.value();
+          engine_.stop_and_remove(entry.id, [](Result<bool>) {});
+        });
+    return;
+  }
+  engine_.stop_and_remove(entry.id, [](Result<bool>) {});
+}
+
+void HotCController::prewarm(const spec::RuntimeKey& key, KeyState& state) {
+  ++stats_.prewarm_launches;
+  engine_.launch(state.canonical_spec,
+                 [this, key](Result<engine::LaunchReport> r) {
+                   if (!r.ok()) return;  // host refused; demand stays cold
+                   pool::PoolEntry e;
+                   e.id = r.value().container;
+                   e.key = key;
+                   e.created_at = sim_.now();
+                   e.prewarmed = true;
+                   pool_.add_available(e, sim_.now());
+                   notify_pool_change(key);
+                 });
+}
+
+void HotCController::adaptive_tick() {
+  const TimePoint now = sim_.now();
+  const double interval_s = to_seconds(options_.adaptive_interval);
+  stats_.idle_container_seconds +=
+      static_cast<double>(pool_.total_available()) * interval_s;
+
+  for (auto& [key, state] : keys_) {
+    // Observe this interval's demand: the peak number of simultaneously
+    // busy containers of this runtime type.
+    const auto demand = static_cast<double>(state.interval_peak);
+    state.predictor->observe(demand);
+    state.demand.add(now, demand);
+    const double forecast = std::max(0.0, state.predictor->predict());
+    state.forecast.add(now, forecast);
+    state.interval_peak = state.busy_now;
+    state.interval_requests = 0;
+
+    const auto target = static_cast<std::size_t>(std::ceil(forecast));
+    const std::size_t have = pool_.num_available(key) + state.busy_now;
+
+    if (options_.enable_prewarm && target > have) {
+      std::size_t deficit = target - have;
+      // Never pre-warm past the global capacity limit.
+      const std::size_t live = engine_.live_count();
+      const std::size_t headroom =
+          live < options_.limits.max_live ? options_.limits.max_live - live
+                                          : 0;
+      deficit = std::min(deficit, headroom);
+      for (std::size_t i = 0; i < deficit; ++i) prewarm(key, state);
+    } else if (options_.enable_retire && have > target) {
+      std::size_t surplus =
+          std::min(have - target, pool_.num_available(key));
+      auto entries = pool_.entries(key);  // oldest first
+      for (std::size_t i = 0; i < surplus && i < entries.size(); ++i) {
+        retire_entry(entries[i], /*pressure=*/false);
+      }
+    }
+  }
+
+  if (options_.pause_idle_after > kZeroDuration) pause_stale_entries(now);
+
+  // Fixed idle cap, if configured (ablation vs keep-alive baselines).
+  if (options_.idle_cap > kZeroDuration) {
+    for (const auto& key : pool_.keys()) {
+      for (const auto& entry : pool_.entries(key)) {
+        if (now - entry.returned_at > options_.idle_cap) {
+          retire_entry(entry, /*pressure=*/false);
+        }
+      }
+    }
+  }
+
+  enforce_pressure();
+}
+
+void HotCController::pause_stale_entries(TimePoint now) {
+  for (const auto& key : pool_.keys()) {
+    for (const auto& entry : pool_.entries(key)) {
+      if (entry.paused) continue;
+      if (now - entry.returned_at <= options_.pause_idle_after) continue;
+      // Mark in the pool first so a racing acquire sees the flag, then
+      // freeze the container (engine state flips synchronously too).
+      if (pool_.mark_paused(key, entry.id)) {
+        engine_.pause(entry.id, [](Result<bool>) {});
+      }
+    }
+  }
+}
+
+void HotCController::start_adaptive_loop(TimePoint until) {
+  HOTC_ASSERT_MSG(!adaptive_running_, "adaptive loop already running");
+  adaptive_running_ = true;
+  adaptive_until_ = until;
+  sim_.every(
+      options_.adaptive_interval,
+      [this]() { return adaptive_running_ && sim_.now() <= adaptive_until_; },
+      [this]() { adaptive_tick(); });
+}
+
+const TimeSeries* HotCController::demand_history(
+    const spec::RuntimeKey& key) const {
+  const auto it = keys_.find(key);
+  return it == keys_.end() ? nullptr : &it->second.demand;
+}
+
+const TimeSeries* HotCController::forecast_history(
+    const spec::RuntimeKey& key) const {
+  const auto it = keys_.find(key);
+  return it == keys_.end() ? nullptr : &it->second.forecast;
+}
+
+std::optional<double> HotCController::current_forecast(
+    const spec::RuntimeKey& key) const {
+  const auto it = keys_.find(key);
+  if (it == keys_.end()) return std::nullopt;
+  return it->second.predictor->predict();
+}
+
+}  // namespace hotc

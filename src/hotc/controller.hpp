@@ -1,0 +1,184 @@
+// HotC controller: the middleware of Fig. 6.
+//
+// Request path (Algorithm 1): parse/canonicalise the configuration into a
+// runtime key, try to reuse an Existing-Available container of that type,
+// otherwise cold-start one.  After execution, Algorithm 2 cleans the used
+// container (volume wipe + remount) and returns it to the pool.
+//
+// Adaptive management (Algorithm 3 / Section IV-C): per runtime key, the
+// controller samples demand each control interval, feeds it to a predictor
+// (default: the ES+Markov hybrid) and resizes that key's pooled containers
+// toward the forecast — pre-warming ahead of predicted demand and retiring
+// surplus.  Global limits (500 live containers, 80 % memory) are enforced
+// with oldest-first eviction.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+
+#include "core/result.hpp"
+#include "core/series.hpp"
+#include "engine/engine.hpp"
+#include "pool/eviction.hpp"
+#include "pool/pool.hpp"
+#include "predict/hybrid.hpp"
+#include "predict/predictor.hpp"
+#include "spec/runtime_key.hpp"
+
+namespace hotc {
+
+/// Factory so every runtime key gets its own predictor instance.
+using PredictorFactory = std::function<predict::PredictorPtr()>;
+
+struct ControllerOptions {
+  pool::PoolLimits limits;
+  pool::EvictionPolicy eviction = pool::EvictionPolicy::kOldestFirst;
+  /// Control-loop period for Algorithm 3.
+  Duration adaptive_interval = seconds(30);
+  /// Pre-warm containers toward the forecast (off = pure reactive reuse).
+  bool enable_prewarm = true;
+  /// Retire pooled containers above the forecast (off = grow-only pool).
+  bool enable_retire = true;
+  /// Keep-alive cap: even without pressure, an idle container older than
+  /// this is retired on the next tick (0 = no cap; the adaptive loop is
+  /// the paper's replacement for fixed keep-alive, so default off).
+  Duration idle_cap = kZeroDuration;
+  /// Freeze pooled containers idle longer than this (0 = off): trades
+  /// most of their memory footprint for a page-fault resume latency on
+  /// the next hit.  An extension over the paper (Docker pause).
+  Duration pause_idle_after = kZeroDuration;
+  /// CRIU-style checkpoint/restore (the Replayable-Execution [34] idea):
+  /// when the adaptive loop retires a runtime, dump its warm state first;
+  /// later misses for that key restore the dump instead of cold-starting.
+  bool use_checkpoint_restore = false;
+  /// Use the subset key (paper §VII extension): env/volumes/command are
+  /// re-applied rather than part of the key.
+  bool use_subset_key = false;
+  PredictorFactory predictor_factory = [] {
+    return std::make_unique<predict::HybridPredictor>();
+  };
+  std::uint64_t rng_seed = 1234;
+};
+
+/// Outcome of one request through HotC.
+struct RequestOutcome {
+  bool reused = false;        // served from the pool (warm)
+  bool prewarmed = false;     // the container came from a predictive warm-up
+  bool resumed = false;       // the pooled container was frozen; thaw paid
+  bool restored = false;      // recreated from a checkpoint, not cold-booted
+  Duration startup = kZeroDuration;  // cold-start cost paid (0 when reused)
+  Duration exec_total = kZeroDuration;  // queueing+init+download+compute
+  Duration total = kZeroDuration;       // request latency end to end
+  engine::ContainerId container = 0;
+};
+
+struct ControllerStats {
+  std::uint64_t requests = 0;
+  std::uint64_t cold_starts = 0;
+  std::uint64_t reuses = 0;
+  std::uint64_t restores = 0;     // cold misses served from checkpoints
+  std::uint64_t checkpoints = 0;  // dumps taken before retirement
+  std::uint64_t prewarm_launches = 0;
+  std::uint64_t retired = 0;      // containers stopped by the controller
+  std::uint64_t evicted = 0;      // stopped under capacity/memory pressure
+  /// Accumulated container-seconds of idle pool residency (cost proxy).
+  double idle_container_seconds = 0.0;
+};
+
+class HotCController {
+ public:
+  HotCController(engine::ContainerEngine& engine, ControllerOptions options);
+
+  HotCController(const HotCController&) = delete;
+  HotCController& operator=(const HotCController&) = delete;
+
+  using Callback = std::function<void(Result<RequestOutcome>)>;
+
+  /// Algorithm 1 + 2: serve one request.
+  void handle(const spec::RunSpec& spec, const engine::AppModel& app,
+              Callback cb);
+
+  /// Start the Algorithm 3 control loop (call once, before running the
+  /// simulation).  `until` bounds the loop; pass a horizon past your
+  /// workload end.
+  void start_adaptive_loop(TimePoint until);
+
+  /// Run one control-loop iteration immediately (exposed for tests).
+  void adaptive_tick();
+
+  // --- introspection ----------------------------------------------------
+  [[nodiscard]] const pool::RuntimePool& runtime_pool() const { return pool_; }
+  [[nodiscard]] const ControllerStats& stats() const { return stats_; }
+  [[nodiscard]] const ControllerOptions& options() const { return options_; }
+  [[nodiscard]] engine::ContainerEngine& engine() { return engine_; }
+
+  /// Demand/pool-size history for one key (drives Fig. 10-style plots).
+  [[nodiscard]] const TimeSeries* demand_history(
+      const spec::RuntimeKey& key) const;
+  [[nodiscard]] const TimeSeries* forecast_history(
+      const spec::RuntimeKey& key) const;
+
+  /// Current prediction for a key (ceil'd target pool size).
+  [[nodiscard]] std::optional<double> current_forecast(
+      const spec::RuntimeKey& key) const;
+
+  /// Invoked whenever a key's available count changes (container pooled,
+  /// reused, retired or evicted).  Used by the cluster layer to keep the
+  /// distributed warm directory fresh.
+  void set_pool_listener(std::function<void(const spec::RuntimeKey&)> fn) {
+    pool_listener_ = std::move(fn);
+  }
+
+ private:
+  struct KeyState {
+    spec::RunSpec canonical_spec;  // a spec that can recreate this runtime
+    predict::PredictorPtr predictor;
+    TimeSeries demand;     // observed per-interval peak concurrency
+    TimeSeries forecast;   // what the predictor said for each interval
+    std::size_t busy_now = 0;       // currently executing containers
+    std::size_t interval_peak = 0;  // max busy within the current interval
+    std::uint64_t interval_requests = 0;
+  };
+
+  KeyState& key_state(const spec::RuntimeKey& key, const spec::RunSpec& spec);
+  spec::RuntimeKey key_for(const spec::RunSpec& spec) const;
+
+  /// Enforce max_live / memory threshold by stopping idle victims.
+  void enforce_pressure();
+
+  /// Stop an idle pooled container (bookkeeping + engine teardown).
+  void retire_entry(const pool::PoolEntry& entry, bool pressure);
+
+  /// Launch a pre-warmed container for a key (Algorithm 3 scale-up).
+  void prewarm(const spec::RuntimeKey& key, KeyState& state);
+
+  void run_on(const pool::PoolEntry& entry, const spec::RunSpec& spec,
+              const engine::AppModel& app, bool was_prewarmed,
+              Duration startup_paid, TimePoint arrival, Callback cb,
+              bool was_resumed = false, bool was_restored = false);
+
+  /// Freeze pool entries idle past options_.pause_idle_after.
+  void pause_stale_entries(TimePoint now);
+
+  void notify_pool_change(const spec::RuntimeKey& key) {
+    if (pool_listener_) pool_listener_(key);
+  }
+
+  engine::ContainerEngine& engine_;
+  sim::Simulator& sim_;
+  ControllerOptions options_;
+  pool::RuntimePool pool_;
+  Rng rng_;
+  ControllerStats stats_;
+  std::map<spec::RuntimeKey, KeyState> keys_;
+  /// One checkpoint image per runtime key (newest wins).
+  std::map<spec::RuntimeKey, engine::ContainerEngine::CheckpointId>
+      checkpoints_;
+  std::function<void(const spec::RuntimeKey&)> pool_listener_;
+  bool adaptive_running_ = false;
+  TimePoint adaptive_until_ = kZeroDuration;
+};
+
+}  // namespace hotc

@@ -1,0 +1,25 @@
+// Telemetry: Prometheus-exposition-format export of the controller and
+// engine state.  A real HotC deployment would serve this on /metrics; here
+// it gives operators (and the examples) a standard snapshot format, and
+// the tests pin the metric names as a stable interface.
+#pragma once
+
+#include <string>
+
+#include "engine/engine.hpp"
+#include "hotc/controller.hpp"
+
+namespace hotc {
+
+struct TelemetryLabels {
+  std::string instance = "hotc";
+};
+
+/// Render engine gauges + controller counters in Prometheus text format
+/// (version 0.0.4): `# HELP`/`# TYPE` headers and `name{labels} value`
+/// samples.  Pass nullptr for `controller` to export engine-only metrics.
+std::string export_prometheus(const engine::ContainerEngine& engine,
+                              const HotCController* controller,
+                              const TelemetryLabels& labels = {});
+
+}  // namespace hotc

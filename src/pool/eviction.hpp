@@ -1,0 +1,25 @@
+// Eviction policies for the live-container pool.
+//
+// The paper evicts the *oldest* live container under pressure ("the oldest
+// live container is forcibly terminated and releases the resources");
+// LRU and random are implemented for the ablation bench.
+#pragma once
+
+namespace hotc::pool {
+
+enum class EvictionPolicy {
+  kOldestFirst,  // paper default: earliest created_at goes first
+  kLru,          // least recently used (returned to the pool longest ago)
+  kRandom,       // uniform choice among idle containers
+};
+
+constexpr const char* to_string(EvictionPolicy policy) {
+  switch (policy) {
+    case EvictionPolicy::kOldestFirst: return "oldest-first";
+    case EvictionPolicy::kLru: return "lru";
+    case EvictionPolicy::kRandom: return "random";
+  }
+  return "?";
+}
+
+}  // namespace hotc::pool

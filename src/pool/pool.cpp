@@ -1,0 +1,132 @@
+#include "pool/pool.hpp"
+
+#include <algorithm>
+
+#include "core/assert.hpp"
+
+namespace hotc::pool {
+
+RuntimePool::RuntimePool(PoolLimits limits) : limits_(limits) {
+  HOTC_ASSERT(limits_.max_live > 0);
+  HOTC_ASSERT(limits_.memory_threshold > 0.0 &&
+              limits_.memory_threshold <= 1.0);
+}
+
+std::optional<PoolEntry> RuntimePool::acquire(const spec::RuntimeKey& key,
+                                              TimePoint now) {
+  (void)now;
+  const auto it = available_.find(key);
+  if (it == available_.end() || it->second.empty()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  PoolEntry entry = it->second.front();  // "reuse the first available"
+  it->second.pop_front();
+  if (it->second.empty()) available_.erase(it);
+  --total_;
+  if (entry.paused && paused_ > 0) --paused_;
+  ++stats_.hits;
+  ++entry.reuse_count;
+  return entry;
+}
+
+void RuntimePool::add_available(const PoolEntry& entry, TimePoint now) {
+  PoolEntry e = entry;
+  e.returned_at = now;
+  available_[e.key].push_back(e);
+  ++total_;
+  ++stats_.returns;
+}
+
+bool RuntimePool::remove(const spec::RuntimeKey& key,
+                         engine::ContainerId id) {
+  const auto it = available_.find(key);
+  if (it == available_.end()) return false;
+  auto& dq = it->second;
+  const auto pos = std::find_if(dq.begin(), dq.end(), [id](const PoolEntry& e) {
+    return e.id == id;
+  });
+  if (pos == dq.end()) return false;
+  if (pos->paused && paused_ > 0) --paused_;
+  dq.erase(pos);
+  if (dq.empty()) available_.erase(it);
+  --total_;
+  return true;
+}
+
+bool RuntimePool::mark_paused(const spec::RuntimeKey& key,
+                              engine::ContainerId id) {
+  const auto it = available_.find(key);
+  if (it == available_.end()) return false;
+  for (auto& entry : it->second) {
+    if (entry.id == id) {
+      if (entry.paused) return false;
+      entry.paused = true;
+      ++paused_;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::optional<PoolEntry> RuntimePool::select_victim(EvictionPolicy policy,
+                                                    Rng* rng) const {
+  if (total_ == 0) return std::nullopt;
+
+  if (policy == EvictionPolicy::kRandom) {
+    HOTC_ASSERT_MSG(rng != nullptr, "random eviction needs an Rng");
+    std::size_t target = rng->index(total_);
+    for (const auto& [key, dq] : available_) {
+      (void)key;
+      if (target < dq.size()) return dq[target];
+      target -= dq.size();
+    }
+    return std::nullopt;  // unreachable
+  }
+
+  const PoolEntry* best = nullptr;
+  for (const auto& [key, dq] : available_) {
+    (void)key;
+    for (const auto& entry : dq) {
+      if (best == nullptr) {
+        best = &entry;
+        continue;
+      }
+      const bool older = policy == EvictionPolicy::kOldestFirst
+                             ? entry.created_at < best->created_at
+                             : entry.returned_at < best->returned_at;
+      if (older) best = &entry;
+    }
+  }
+  if (best == nullptr) return std::nullopt;
+  return *best;
+}
+
+std::size_t RuntimePool::num_available(const spec::RuntimeKey& key) const {
+  const auto it = available_.find(key);
+  return it == available_.end() ? 0 : it->second.size();
+}
+
+std::vector<spec::RuntimeKey> RuntimePool::keys() const {
+  std::vector<spec::RuntimeKey> out;
+  out.reserve(available_.size());
+  for (const auto& [key, dq] : available_) {
+    (void)dq;
+    out.push_back(key);
+  }
+  return out;
+}
+
+std::vector<PoolEntry> RuntimePool::entries(
+    const spec::RuntimeKey& key) const {
+  const auto it = available_.find(key);
+  if (it == available_.end()) return {};
+  return {it->second.begin(), it->second.end()};
+}
+
+void RuntimePool::clear() {
+  available_.clear();
+  total_ = 0;
+}
+
+}  // namespace hotc::pool

@@ -1,0 +1,117 @@
+// The HotC container runtime pool (Section IV-B).
+//
+// "HotC maintains a key value store to track the available containers.
+// The key is the formatted parameter configurations for each container and
+// the value is a list with container ID and state of the container."
+//
+// The pool is pure bookkeeping: it never talks to the engine itself (the
+// controller owns sequencing engine operations), which keeps it trivially
+// testable and reusable behind the distributed-store interface in
+// src/cluster.  num_avail[key] is maintained exactly as Algorithms 1 and 2
+// describe: decremented on reuse, incremented after cleanup.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/time.hpp"
+#include "engine/container.hpp"
+#include "pool/eviction.hpp"
+#include "spec/runtime_key.hpp"
+
+namespace hotc::pool {
+
+/// One pooled container's bookkeeping record.
+struct PoolEntry {
+  engine::ContainerId id = 0;
+  spec::RuntimeKey key;
+  TimePoint created_at = kZeroDuration;   // container birth (eviction age)
+  TimePoint returned_at = kZeroDuration;  // when it last became available
+  std::uint64_t reuse_count = 0;
+  bool prewarmed = false;  // launched by the adaptive controller, not a miss
+  bool paused = false;     // cgroup-frozen; must be resumed before exec
+};
+
+struct PoolStats {
+  std::uint64_t hits = 0;        // requests served from the pool
+  std::uint64_t misses = 0;      // requests that had to cold-start
+  std::uint64_t evictions = 0;
+  std::uint64_t returns = 0;     // containers cleaned and re-pooled
+
+  [[nodiscard]] double hit_rate() const {
+    const auto total = hits + misses;
+    return total ? static_cast<double>(hits) / static_cast<double>(total)
+                 : 0.0;
+  }
+};
+
+struct PoolLimits {
+  std::size_t max_live = 500;       // paper: "maximum number ... to 500"
+  double memory_threshold = 0.8;    // paper: "memory usage threshold as 80%"
+};
+
+class RuntimePool {
+ public:
+  explicit RuntimePool(PoolLimits limits = {});
+
+  /// Algorithm 1: take an available container of this runtime type, or
+  /// nullopt (caller cold-starts).  Decrements num_avail[key]; records a
+  /// hit or miss.
+  std::optional<PoolEntry> acquire(const spec::RuntimeKey& key,
+                                   TimePoint now);
+
+  /// A freshly launched or freshly cleaned container becomes available
+  /// (Algorithm 2's num_avail[key]++).
+  void add_available(const PoolEntry& entry, TimePoint now);
+
+  /// Remove a specific container from the available list (it was stopped
+  /// outside the usual acquire path, e.g. by the adaptive controller).
+  bool remove(const spec::RuntimeKey& key, engine::ContainerId id);
+
+  /// Flag a pooled container as paused (still acquirable; the controller
+  /// resumes it before executing).  Returns false if absent or already
+  /// paused.
+  bool mark_paused(const spec::RuntimeKey& key, engine::ContainerId id);
+
+  [[nodiscard]] std::size_t paused_count() const { return paused_; }
+
+  /// Pick the idle container the policy would evict next (does not remove
+  /// it; the controller stops it via the engine and then calls remove()).
+  [[nodiscard]] std::optional<PoolEntry> select_victim(
+      EvictionPolicy policy, Rng* rng = nullptr) const;
+
+  /// Count eviction as performed (bumps stats).
+  void count_eviction() { ++stats_.evictions; }
+
+  // --- queries ----------------------------------------------------------
+  [[nodiscard]] std::size_t num_available(const spec::RuntimeKey& key) const;
+  [[nodiscard]] std::size_t total_available() const { return total_; }
+  [[nodiscard]] const PoolStats& stats() const { return stats_; }
+  [[nodiscard]] const PoolLimits& limits() const { return limits_; }
+
+  /// All keys that currently have at least one available container.
+  [[nodiscard]] std::vector<spec::RuntimeKey> keys() const;
+
+  /// Snapshot of available entries for a key (oldest first).
+  [[nodiscard]] std::vector<PoolEntry> entries(
+      const spec::RuntimeKey& key) const;
+
+  /// True when the pool holds max_live containers already.
+  [[nodiscard]] bool at_capacity() const { return total_ >= limits_.max_live; }
+
+  void clear();
+
+ private:
+  PoolLimits limits_;
+  // FIFO per key: the paper reuses "the first available container".
+  std::unordered_map<spec::RuntimeKey, std::deque<PoolEntry>> available_;
+  std::size_t total_ = 0;
+  std::size_t paused_ = 0;
+  PoolStats stats_;
+};
+
+}  // namespace hotc::pool

@@ -1,0 +1,85 @@
+#include "predict/baselines.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "core/assert.hpp"
+
+namespace hotc::predict {
+
+MovingAveragePredictor::MovingAveragePredictor(std::size_t window)
+    : window_(window) {
+  HOTC_ASSERT(window > 0);
+}
+
+std::string MovingAveragePredictor::name() const {
+  return "moving-avg(w=" + std::to_string(window_) + ")";
+}
+
+void MovingAveragePredictor::observe(double actual) {
+  values_.push_back(actual);
+  sum_ += actual;
+  if (values_.size() > window_) {
+    sum_ -= values_.front();
+    values_.pop_front();
+  }
+  ++n_;
+}
+
+double MovingAveragePredictor::predict() const {
+  if (values_.empty()) return 0.0;
+  return sum_ / static_cast<double>(values_.size());
+}
+
+void MovingAveragePredictor::reset() {
+  values_.clear();
+  sum_ = 0.0;
+  n_ = 0;
+}
+
+HistogramPredictor::HistogramPredictor(std::size_t window,
+                                       std::size_t buckets)
+    : window_(window), buckets_(buckets) {
+  HOTC_ASSERT(window > 0);
+  HOTC_ASSERT(buckets > 1);
+}
+
+std::string HistogramPredictor::name() const {
+  return "histogram(w=" + std::to_string(window_) + ")";
+}
+
+void HistogramPredictor::observe(double actual) {
+  values_.push_back(actual);
+  if (values_.size() > window_) values_.pop_front();
+  ++n_;
+}
+
+double HistogramPredictor::predict() const {
+  if (values_.empty()) return 0.0;
+  const auto [mn_it, mx_it] =
+      std::minmax_element(values_.begin(), values_.end());
+  const double lo = *mn_it;
+  double hi = *mx_it;
+  if (hi <= lo) return lo;  // constant history
+  const double width = (hi - lo) / static_cast<double>(buckets_);
+  std::vector<std::size_t> counts(buckets_, 0);
+  for (const double v : values_) {
+    auto idx = static_cast<std::size_t>((v - lo) / width);
+    ++counts[std::min(idx, buckets_ - 1)];
+  }
+  // Most frequent bucket; ties resolve to the larger demand level so the
+  // policy errs on the warm side.
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < buckets_; ++i) {
+    if (counts[i] >= counts[best]) best = i;
+  }
+  return lo + width * (static_cast<double>(best) + 0.5);
+}
+
+void HistogramPredictor::reset() {
+  values_.clear();
+  n_ = 0;
+}
+
+}  // namespace hotc::predict

@@ -1,0 +1,87 @@
+// Baseline predictors for the Fig. 10 comparison and the ablation benches.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "predict/predictor.hpp"
+
+namespace hotc::predict {
+
+/// Naive: tomorrow looks like today.
+class LastValuePredictor final : public Predictor {
+ public:
+  [[nodiscard]] std::string name() const override { return "last-value"; }
+  void observe(double actual) override {
+    last_ = actual;
+    ++n_;
+  }
+  [[nodiscard]] double predict() const override { return n_ ? last_ : 0.0; }
+  void reset() override {
+    last_ = 0.0;
+    n_ = 0;
+  }
+  [[nodiscard]] std::size_t observations() const override { return n_; }
+
+ private:
+  double last_ = 0.0;
+  std::size_t n_ = 0;
+};
+
+/// Simple moving average over a fixed window.
+class MovingAveragePredictor final : public Predictor {
+ public:
+  explicit MovingAveragePredictor(std::size_t window = 5);
+  [[nodiscard]] std::string name() const override;
+  void observe(double actual) override;
+  [[nodiscard]] double predict() const override;
+  void reset() override;
+  [[nodiscard]] std::size_t observations() const override { return n_; }
+
+ private:
+  std::size_t window_;
+  std::deque<double> values_;
+  double sum_ = 0.0;
+  std::size_t n_ = 0;
+};
+
+/// Constant forecast — models the "always keep N warm" provisioning that
+/// fixed keep-alive policies implicitly assume.
+class ConstantPredictor final : public Predictor {
+ public:
+  explicit ConstantPredictor(double value) : value_(value) {}
+  [[nodiscard]] std::string name() const override {
+    return "constant(" + std::to_string(value_).substr(0, 5) + ")";
+  }
+  void observe(double) override { ++n_; }
+  [[nodiscard]] double predict() const override { return value_; }
+  void reset() override { n_ = 0; }
+  [[nodiscard]] std::size_t observations() const override { return n_; }
+
+ private:
+  double value_;
+  std::size_t n_ = 0;
+};
+
+/// Histogram-mode predictor in the spirit of the Azure keep-alive work
+/// (Shahrad et al., referenced as [27]): forecast the most frequent recent
+/// demand level, with ties resolved toward the larger level (prefer warm
+/// over cold).
+class HistogramPredictor final : public Predictor {
+ public:
+  explicit HistogramPredictor(std::size_t window = 48,
+                              std::size_t buckets = 16);
+  [[nodiscard]] std::string name() const override;
+  void observe(double actual) override;
+  [[nodiscard]] double predict() const override;
+  void reset() override;
+  [[nodiscard]] std::size_t observations() const override { return n_; }
+
+ private:
+  std::size_t window_;
+  std::size_t buckets_;
+  std::deque<double> values_;
+  std::size_t n_ = 0;
+};
+
+}  // namespace hotc::predict

@@ -1,0 +1,34 @@
+#include "predict/evaluator.hpp"
+
+#include <cmath>
+
+#include "core/assert.hpp"
+
+namespace hotc::predict {
+
+EvalResult evaluate(Predictor& predictor, const std::vector<double>& series,
+                    std::size_t warmup) {
+  EvalResult out;
+  out.predictions.reserve(series.size());
+  out.relative_errors.reserve(series.size());
+
+  for (const double actual : series) {
+    const double forecast = predictor.predict();
+    out.predictions.push_back(forecast);
+    const double rel =
+        actual != 0.0 ? std::abs(forecast - actual) / std::abs(actual) : 0.0;
+    out.relative_errors.push_back(rel);
+    predictor.observe(actual);
+  }
+
+  if (series.size() > warmup) {
+    const std::vector<double> actual_tail(series.begin() + warmup,
+                                          series.end());
+    const std::vector<double> pred_tail(out.predictions.begin() + warmup,
+                                        out.predictions.end());
+    out.metrics = prediction_errors(actual_tail, pred_tail);
+  }
+  return out;
+}
+
+}  // namespace hotc::predict

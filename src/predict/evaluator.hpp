@@ -1,0 +1,25 @@
+// One-step-ahead evaluation harness for predictors (drives Fig. 10).
+#pragma once
+
+#include <vector>
+
+#include "core/stats.hpp"
+#include "predict/predictor.hpp"
+
+namespace hotc::predict {
+
+struct EvalResult {
+  std::vector<double> predictions;  // aligned with the input series
+  ErrorMetrics metrics;             // computed over [warmup, end)
+  /// Per-step relative error |pred - actual| / actual (0 where actual = 0).
+  std::vector<double> relative_errors;
+};
+
+/// Replay `series` through the predictor: at each step t the predictor
+/// forecasts from history [0, t), then observes actual[t].  The first
+/// `warmup` steps are excluded from the error metrics (the paper's
+/// discussion of initial-value influence motivates this split).
+EvalResult evaluate(Predictor& predictor, const std::vector<double>& series,
+                    std::size_t warmup = 1);
+
+}  // namespace hotc::predict

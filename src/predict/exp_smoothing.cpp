@@ -1,0 +1,65 @@
+#include "predict/exp_smoothing.hpp"
+
+#include <algorithm>
+
+#include "core/assert.hpp"
+
+namespace hotc::predict {
+
+const char* to_string(InitialValuePolicy policy) {
+  switch (policy) {
+    case InitialValuePolicy::kFirstObservation: return "first-obs";
+    case InitialValuePolicy::kAverageOfFirstFive: return "avg-first-5";
+  }
+  return "?";
+}
+
+ExponentialSmoothing::ExponentialSmoothing(double alpha,
+                                           InitialValuePolicy init)
+    : alpha_(alpha), init_(init) {
+  HOTC_ASSERT_MSG(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+}
+
+std::string ExponentialSmoothing::name() const {
+  return "exp-smoothing(a=" + std::to_string(alpha_).substr(0, 4) + "," +
+         to_string(init_) + ")";
+}
+
+void ExponentialSmoothing::observe(double actual) {
+  history_.push_back(actual);
+  if (history_.size() <= 5) {
+    // Seed window still filling: the averaged-history seed changes with
+    // each new point, so recompute from scratch (cheap: <= 5 points).
+    reseed();
+    return;
+  }
+  smoothed_ = alpha_ * actual + (1.0 - alpha_) * smoothed_;
+}
+
+void ExponentialSmoothing::reseed() {
+  HOTC_ASSERT(!history_.empty());
+  double seed = history_.front();
+  if (init_ == InitialValuePolicy::kAverageOfFirstFive) {
+    const std::size_t k = std::min<std::size_t>(5, history_.size());
+    double sum = 0.0;
+    for (std::size_t i = 0; i < k; ++i) sum += history_[i];
+    seed = sum / static_cast<double>(k);
+  }
+  smoothed_ = seed;
+  for (const double x : history_) {
+    smoothed_ = alpha_ * x + (1.0 - alpha_) * smoothed_;
+  }
+  seeded_ = true;
+}
+
+double ExponentialSmoothing::predict() const {
+  return seeded_ ? smoothed_ : 0.0;
+}
+
+void ExponentialSmoothing::reset() {
+  history_.clear();
+  smoothed_ = 0.0;
+  seeded_ = false;
+}
+
+}  // namespace hotc::predict

@@ -1,0 +1,47 @@
+#include "predict/holt.hpp"
+
+#include <algorithm>
+
+#include "core/assert.hpp"
+
+namespace hotc::predict {
+
+HoltPredictor::HoltPredictor(double alpha, double beta)
+    : alpha_(alpha), beta_(beta) {
+  HOTC_ASSERT_MSG(alpha > 0.0 && alpha < 1.0, "alpha must be in (0,1)");
+  HOTC_ASSERT_MSG(beta > 0.0 && beta < 1.0, "beta must be in (0,1)");
+}
+
+std::string HoltPredictor::name() const {
+  return "holt(a=" + std::to_string(alpha_).substr(0, 4) +
+         ",b=" + std::to_string(beta_).substr(0, 4) + ")";
+}
+
+void HoltPredictor::observe(double actual) {
+  ++n_;
+  if (n_ == 1) {
+    level_ = actual;
+    trend_ = 0.0;
+    return;
+  }
+  if (n_ == 2) {
+    trend_ = actual - level_;  // standard two-point trend seed
+  }
+  const double prev_level = level_;
+  level_ = alpha_ * actual + (1.0 - alpha_) * (level_ + trend_);
+  trend_ = beta_ * (level_ - prev_level) + (1.0 - beta_) * trend_;
+}
+
+double HoltPredictor::predict() const {
+  if (n_ == 0) return 0.0;
+  // Demand cannot be negative; clamp the trend extrapolation.
+  return std::max(0.0, level_ + trend_);
+}
+
+void HoltPredictor::reset() {
+  level_ = 0.0;
+  trend_ = 0.0;
+  n_ = 0;
+}
+
+}  // namespace hotc::predict

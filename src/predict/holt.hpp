@@ -1,0 +1,41 @@
+// Holt's double exponential smoothing (level + trend).
+//
+// The paper's Equation 1 is simple (single) exponential smoothing, which
+// systematically lags ramps — visible in Fig. 13's linear-increasing
+// workload.  Holt's method adds a trend term:
+//
+//   level_t = alpha * x_t + (1 - alpha) * (level_{t-1} + trend_{t-1})
+//   trend_t = beta * (level_t - level_{t-1}) + (1 - beta) * trend_{t-1}
+//   forecast = level_t + trend_t
+//
+// Included as an ablation predictor: it shows what the paper's design
+// leaves on the table for trending workloads, and what it costs on
+// volatile ones (trend overshoot).
+#pragma once
+
+#include "predict/predictor.hpp"
+
+namespace hotc::predict {
+
+class HoltPredictor final : public Predictor {
+ public:
+  explicit HoltPredictor(double alpha = 0.8, double beta = 0.3);
+
+  [[nodiscard]] std::string name() const override;
+  void observe(double actual) override;
+  [[nodiscard]] double predict() const override;
+  void reset() override;
+  [[nodiscard]] std::size_t observations() const override { return n_; }
+
+  [[nodiscard]] double level() const { return level_; }
+  [[nodiscard]] double trend() const { return trend_; }
+
+ private:
+  double alpha_;
+  double beta_;
+  double level_ = 0.0;
+  double trend_ = 0.0;
+  std::size_t n_ = 0;
+};
+
+}  // namespace hotc::predict

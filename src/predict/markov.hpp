@@ -1,0 +1,84 @@
+// Markov-chain predictor (Section IV-C.3).
+//
+// The observed value range is partitioned into n region states
+// R_i = [R_i1, R_i2); transitions are counted from the historical state
+// sequence, giving the k-step transition probability matrix
+// P_ij(k) = T_ij(k) / T_i (Equation 2).  The forecast takes the most
+// probable next state from the current state's row and returns the
+// interval midpoint (R_i1 + R_i2) / 2.
+//
+// Used in two ways: standalone (the Fig. 10(a) "Markov alone" curve /
+// ablation) and as the volatility corrector inside HybridPredictor.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "predict/predictor.hpp"
+
+namespace hotc::predict {
+
+/// State-space partition plus transition counts over a scalar series.
+/// This is the reusable machinery; MarkovChainPredictor adapts it to the
+/// Predictor interface.
+class RegionMarkovChain {
+ public:
+  explicit RegionMarkovChain(std::size_t regions = 6);
+
+  /// Rebuild the partition and the 1-step transition counts from the full
+  /// series (bounds adapt to the observed min/max).
+  void fit(const std::vector<double>& series);
+
+  [[nodiscard]] std::size_t regions() const { return regions_; }
+  [[nodiscard]] bool fitted() const { return fitted_; }
+
+  /// Region index for a value (clamped into [0, regions)).
+  [[nodiscard]] std::size_t state_of(double value) const;
+
+  /// Midpoint of a region.
+  [[nodiscard]] double midpoint(std::size_t state) const;
+
+  /// P_ij(k): probability of moving from state i to j in k steps (matrix
+  /// power of the 1-step matrix).  Rows with no observations are uniform.
+  [[nodiscard]] double transition_probability(std::size_t i, std::size_t j,
+                                              std::size_t k = 1) const;
+
+  /// argmax_j P_ij(1) from the state of `current_value`; returns the
+  /// midpoint of that state.  Falls back to current_value when unfitted.
+  [[nodiscard]] double predict_from(double current_value) const;
+
+  /// Expected next value: sum_j P_ij(1) * midpoint(j).
+  [[nodiscard]] double expected_from(double current_value) const;
+
+ private:
+  [[nodiscard]] std::vector<double> row(std::size_t i) const;
+  [[nodiscard]] std::vector<double> row_k(std::size_t i, std::size_t k) const;
+
+  std::size_t regions_;
+  double lo_ = 0.0;
+  double hi_ = 1.0;
+  std::vector<std::size_t> counts_;  // regions x regions, row-major
+  std::vector<std::size_t> row_totals_;
+  bool fitted_ = false;
+};
+
+class MarkovChainPredictor final : public Predictor {
+ public:
+  explicit MarkovChainPredictor(std::size_t regions = 6);
+
+  [[nodiscard]] std::string name() const override;
+  void observe(double actual) override;
+  [[nodiscard]] double predict() const override;
+  void reset() override;
+  [[nodiscard]] std::size_t observations() const override {
+    return history_.size();
+  }
+
+  [[nodiscard]] const RegionMarkovChain& chain() const { return chain_; }
+
+ private:
+  std::vector<double> history_;
+  RegionMarkovChain chain_;
+};
+
+}  // namespace hotc::predict

@@ -1,0 +1,84 @@
+#include "predict/meta.hpp"
+
+#include <cmath>
+
+#include "core/assert.hpp"
+#include "predict/exp_smoothing.hpp"
+#include "predict/holt.hpp"
+#include "predict/hybrid.hpp"
+#include "predict/seasonal.hpp"
+
+namespace hotc::predict {
+
+MetaPredictor::MetaPredictor() {
+  candidates_.push_back(std::make_unique<ExponentialSmoothing>(0.8));
+  candidates_.push_back(std::make_unique<HoltPredictor>(0.8, 0.3));
+  candidates_.push_back(std::make_unique<SeasonalPredictor>());
+  candidates_.push_back(std::make_unique<HybridPredictor>());
+  scores_.assign(candidates_.size(), 0.0);
+  last_forecast_.assign(candidates_.size(), 0.0);
+}
+
+MetaPredictor::MetaPredictor(std::vector<PredictorPtr> candidates,
+                             MetaOptions options)
+    : options_(options), candidates_(std::move(candidates)) {
+  HOTC_ASSERT_MSG(!candidates_.empty(), "meta-predictor needs candidates");
+  scores_.assign(candidates_.size(), 0.0);
+  last_forecast_.assign(candidates_.size(), 0.0);
+}
+
+std::string MetaPredictor::name() const {
+  return "meta(" + std::to_string(candidates_.size()) + " candidates)";
+}
+
+std::string MetaPredictor::leader_name() const {
+  return candidates_[leader_]->name();
+}
+
+void MetaPredictor::observe(double actual) {
+  // Score each candidate on the forecast it made *before* this point.
+  if (n_ > 0) {
+    for (std::size_t i = 0; i < candidates_.size(); ++i) {
+      const double err = std::abs(last_forecast_[i] - actual);
+      scores_[i] = options_.error_decay * scores_[i] +
+                   (1.0 - options_.error_decay) * err;
+    }
+    // Leadership changes only when a challenger clearly wins AND the
+    // incumbent has held office for the dwell period.
+    ++since_switch_;
+    std::size_t best = leader_;
+    for (std::size_t i = 0; i < candidates_.size(); ++i) {
+      if (scores_[i] < scores_[best]) best = i;
+    }
+    if (best != leader_ && since_switch_ >= options_.min_dwell &&
+        scores_[best] < scores_[leader_] * (1.0 - options_.switch_margin)) {
+      leader_ = best;
+      since_switch_ = 0;
+    }
+  }
+  for (auto& c : candidates_) c->observe(actual);
+  for (std::size_t i = 0; i < candidates_.size(); ++i) {
+    last_forecast_[i] = candidates_[i]->predict();
+  }
+  ++n_;
+}
+
+double MetaPredictor::predict() const {
+  if (n_ == 0) return 0.0;
+  return candidates_[leader_]->predict();
+}
+
+void MetaPredictor::reset() {
+  for (auto& c : candidates_) c->reset();
+  scores_.assign(candidates_.size(), 0.0);
+  last_forecast_.assign(candidates_.size(), 0.0);
+  leader_ = 0;
+  since_switch_ = 0;
+  n_ = 0;
+}
+
+PredictorPtr make_meta_predictor() {
+  return std::make_unique<MetaPredictor>();
+}
+
+}  // namespace hotc::predict

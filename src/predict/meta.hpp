@@ -1,0 +1,65 @@
+// Meta-predictor: online model selection across candidate forecasters.
+//
+// Different runtime keys have different demand shapes (the multi-tenant
+// population makes this concrete: steady, periodic, bursty, rare).  No
+// single predictor wins everywhere — the ablation matrix shows ES winning
+// steady, Holt winning ramps, the seasonal detector winning timers and
+// the hybrid winning volatility.  The MetaPredictor runs all candidates
+// in parallel on the same observations, scores each by an exponentially
+// discounted absolute error, and forecasts with the current leader.
+//
+// This is the natural "per-key adaptivity" extension of the paper's
+// Algorithm 3; the controller can use it via ControllerOptions::
+// predictor_factory.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "predict/predictor.hpp"
+
+namespace hotc::predict {
+
+struct MetaOptions {
+  /// Discount for the running error score (higher = longer memory).
+  double error_decay = 0.9;
+  /// A challenger must beat the incumbent by this margin to take over
+  /// (hysteresis against flapping).
+  double switch_margin = 0.05;
+  /// Minimum observations between leadership changes (dwell time).
+  std::size_t min_dwell = 8;
+};
+
+class MetaPredictor final : public Predictor {
+ public:
+  /// Default candidate set: ES(0.8), Holt, seasonal, hybrid.
+  MetaPredictor();
+  MetaPredictor(std::vector<PredictorPtr> candidates, MetaOptions options);
+
+  [[nodiscard]] std::string name() const override;
+  void observe(double actual) override;
+  [[nodiscard]] double predict() const override;
+  void reset() override;
+  [[nodiscard]] std::size_t observations() const override { return n_; }
+
+  /// Index and name of the current leader (for introspection/benches).
+  [[nodiscard]] std::size_t leader() const { return leader_; }
+  [[nodiscard]] std::string leader_name() const;
+  /// Discounted error score per candidate.
+  [[nodiscard]] const std::vector<double>& scores() const { return scores_; }
+
+ private:
+  MetaOptions options_;
+  std::vector<PredictorPtr> candidates_;
+  std::vector<double> scores_;       // discounted mean absolute error
+  std::vector<double> last_forecast_;
+  std::size_t leader_ = 0;
+  std::size_t since_switch_ = 0;
+  std::size_t n_ = 0;
+};
+
+/// Factory for the controller: every key gets its own meta-predictor.
+PredictorPtr make_meta_predictor();
+
+}  // namespace hotc::predict

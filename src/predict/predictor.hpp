@@ -1,0 +1,39 @@
+// One-step-ahead demand predictor interface (Section IV-C).
+//
+// The adaptive controller feeds each runtime key's per-interval live
+// container count into a Predictor and sizes the pool to the forecast.
+// Implementations: exponential smoothing, Markov chain, the paper's hybrid
+// of the two, and simple baselines for the Fig. 10 comparison.
+#pragma once
+
+#include <memory>
+#include <string>
+
+namespace hotc::predict {
+
+class Predictor {
+ public:
+  virtual ~Predictor() = default;
+
+  /// Human-readable name for tables.
+  [[nodiscard]] virtual std::string name() const = 0;
+
+  /// Append one interval's observed demand.
+  virtual void observe(double actual) = 0;
+
+  /// Forecast the next interval's demand.  With no history yet,
+  /// implementations return 0 (the controller then keeps no pre-warmed
+  /// containers, matching the paper's "first requests are inevitably
+  /// cold").
+  [[nodiscard]] virtual double predict() const = 0;
+
+  /// Clear all history.
+  virtual void reset() = 0;
+
+  /// Number of observations seen so far.
+  [[nodiscard]] virtual std::size_t observations() const = 0;
+};
+
+using PredictorPtr = std::unique_ptr<Predictor>;
+
+}  // namespace hotc::predict

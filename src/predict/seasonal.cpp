@@ -1,0 +1,85 @@
+#include "predict/seasonal.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hotc::predict {
+
+SeasonalPredictor::SeasonalPredictor(SeasonalOptions options)
+    : options_(options), fallback_(options.alpha) {}
+
+std::string SeasonalPredictor::name() const {
+  return "seasonal(maxp=" + std::to_string(options_.max_period) + ")";
+}
+
+void SeasonalPredictor::observe(double actual) {
+  history_.push_back(actual);
+  fallback_.observe(actual);
+  if (history_.size() % options_.redetect_every == 0) detect_period();
+}
+
+void SeasonalPredictor::detect_period() {
+  period_ = 0;
+  confidence_ = 0.0;
+  const std::size_t n = history_.size();
+  if (n < options_.min_period * 3) return;
+
+  double mean = 0.0;
+  for (const double x : history_) mean += x;
+  mean /= static_cast<double>(n);
+  double var = 0.0;
+  for (const double x : history_) var += (x - mean) * (x - mean);
+  if (var <= 1e-12) return;  // constant series: ES handles it exactly
+
+  const std::size_t max_p = std::min(options_.max_period, n / 2);
+  std::vector<double> acfs(max_p + 1, 0.0);
+  double best = 0.0;
+  for (std::size_t p = options_.min_period; p <= max_p; ++p) {
+    double acf = 0.0;
+    for (std::size_t t = p; t < n; ++t) {
+      acf += (history_[t] - mean) * (history_[t - p] - mean);
+    }
+    // Unbiased estimate: average product over the overlap, normalised by
+    // the full-series variance per sample.
+    acf = (acf / static_cast<double>(n - p)) /
+          (var / static_cast<double>(n));
+    acfs[p] = acf;
+    best = std::max(best, acf);
+  }
+  if (best < options_.confidence_threshold) return;
+  // Every multiple of the fundamental scores ~as high; take the SMALLEST
+  // period within 10 % of the best so harmonics do not win.
+  for (std::size_t p = options_.min_period; p <= max_p; ++p) {
+    if (acfs[p] >= best * 0.9 &&
+        acfs[p] >= options_.confidence_threshold) {
+      period_ = p;
+      confidence_ = acfs[p];
+      return;
+    }
+  }
+}
+
+double SeasonalPredictor::predict() const {
+  if (history_.empty()) return 0.0;
+  if (period_ == 0 || history_.size() < period_) return fallback_.predict();
+  // The value one period ago is the forecast for the next interval:
+  // history index n - period is exactly one cycle before index n.
+  const double seasonal = history_[history_.size() - period_];
+  // Blend by confidence: fully seasonal at acf 1.0, fully ES at threshold.
+  const double span = 1.0 - options_.confidence_threshold;
+  const double w =
+      span <= 0.0
+          ? 1.0
+          : std::clamp((confidence_ - options_.confidence_threshold) / span,
+                       0.0, 1.0);
+  return std::max(0.0, w * seasonal + (1.0 - w) * fallback_.predict());
+}
+
+void SeasonalPredictor::reset() {
+  history_.clear();
+  fallback_.reset();
+  period_ = 0;
+  confidence_ = 0.0;
+}
+
+}  // namespace hotc::predict

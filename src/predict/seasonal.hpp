@@ -1,0 +1,60 @@
+// Seasonal (periodicity-aware) predictor.
+//
+// The paper's motivation cites Microsoft's finding that ~40 % of key jobs
+// "rerun periodically", and the multi-tenant population has a whole class
+// of cron-style functions.  Neither exponential smoothing nor a value
+// Markov chain exploits that structure.  This predictor detects the
+// dominant period in the demand history by autocorrelation and forecasts
+// the value observed one period ago, blended with an ES fallback while
+// confidence is low.
+//
+// Included as an extension/ablation — it is what the paper's future-work
+// "more complicated scenarios" would likely reach for first.
+#pragma once
+
+#include <vector>
+
+#include "predict/exp_smoothing.hpp"
+#include "predict/predictor.hpp"
+
+namespace hotc::predict {
+
+struct SeasonalOptions {
+  std::size_t min_period = 2;
+  std::size_t max_period = 64;
+  /// Autocorrelation (normalised, in [-1,1]) required to trust the period.
+  double confidence_threshold = 0.5;
+  /// ES fallback parameters for aperiodic history.
+  double alpha = 0.8;
+  /// Re-run period detection every this many observations (it is O(n*p)).
+  std::size_t redetect_every = 8;
+};
+
+class SeasonalPredictor final : public Predictor {
+ public:
+  explicit SeasonalPredictor(SeasonalOptions options = {});
+
+  [[nodiscard]] std::string name() const override;
+  void observe(double actual) override;
+  [[nodiscard]] double predict() const override;
+  void reset() override;
+  [[nodiscard]] std::size_t observations() const override {
+    return history_.size();
+  }
+
+  /// Detected period (0 = none / not confident).
+  [[nodiscard]] std::size_t period() const { return period_; }
+  /// Autocorrelation score of the detected period.
+  [[nodiscard]] double confidence() const { return confidence_; }
+
+ private:
+  void detect_period();
+
+  SeasonalOptions options_;
+  ExponentialSmoothing fallback_;
+  std::vector<double> history_;
+  std::size_t period_ = 0;
+  double confidence_ = 0.0;
+};
+
+}  // namespace hotc::predict

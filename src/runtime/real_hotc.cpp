@@ -1,0 +1,97 @@
+#include "runtime/real_hotc.hpp"
+
+#include <thread>
+
+#include "engine/image.hpp"
+
+namespace hotc::runtime {
+
+RealHotC::RealHotC(RealOptions options)
+    : options_(options), cost_(options.host), pool_(options.worker_threads) {}
+
+RealHotC::~RealHotC() { shutdown(); }
+
+void RealHotC::shutdown() { pool_.shutdown(); }
+
+std::size_t RealHotC::warm_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return warm_total_;
+}
+
+std::future<RealOutcome> RealHotC::submit(const spec::RunSpec& spec,
+                                          const engine::AppModel& app,
+                                          Handler handler,
+                                          std::string argument) {
+  auto promise = std::make_shared<std::promise<RealOutcome>>();
+  auto future = promise->get_future();
+  const spec::RuntimeKey key = spec::RuntimeKey::from_spec(spec);
+
+  const bool posted = pool_.post([this, key, spec, app,
+                                  handler = std::move(handler),
+                                  argument = std::move(argument),
+                                  promise]() mutable {
+    const auto start = std::chrono::steady_clock::now();
+
+    // Algorithm 1, wall-clock edition: claim a warm runtime under the lock,
+    // pay delays outside it.
+    bool reused = false;
+    bool app_warm = false;
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      auto it = warm_.find(key);
+      if (it != warm_.end() && !it->second.empty()) {
+        app_warm = (it->second.front().warm_app == app.name);
+        it->second.erase(it->second.begin());
+        if (it->second.empty()) warm_.erase(it);
+        --warm_total_;
+        reused = true;
+      }
+    }
+
+    const engine::Image image = engine::image_for_name(spec.image);
+    const engine::StartupBreakdown cold =
+        cost_.startup(spec, image, /*bytes_to_pull=*/0);
+
+    if (reused) {
+      ++reuses_;
+    } else {
+      ++cold_starts_;
+      std::this_thread::sleep_for(
+          scale(cold.total(), options_.cold_start_scale));
+    }
+    if (!app_warm) {
+      std::this_thread::sleep_for(scale(
+          cost_.compute_time(app.app_init_seconds), options_.cold_start_scale));
+    }
+
+    RealOutcome outcome;
+    outcome.reused = reused;
+    outcome.app_was_warm = app_warm;
+    outcome.modeled_cold = cold.total();
+    outcome.payload = handler(argument);
+
+    // Return the runtime to the warm set (cleanup is instantaneous here —
+    // the volume machinery lives in the simulator substrate).
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (warm_total_ < options_.max_warm) {
+        WarmRuntime w;
+        w.warm_app = app.name;
+        w.created = std::chrono::steady_clock::now();
+        warm_[key].push_back(std::move(w));
+        ++warm_total_;
+      }
+    }
+
+    outcome.wall_time = std::chrono::duration_cast<Duration>(
+        std::chrono::steady_clock::now() - start);
+    promise->set_value(std::move(outcome));
+  });
+
+  if (!posted) {
+    promise->set_value(RealOutcome{});  // pool already shut down
+  }
+  return future;
+}
+
+}  // namespace hotc::runtime

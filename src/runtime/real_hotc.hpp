@@ -1,0 +1,91 @@
+// Real-execution HotC: the middleware running on wall-clock time.
+//
+// This is the embeddable form of the library: user code submits a runtime
+// configuration plus a C++ callable ("the function"), and RealHotC applies
+// Algorithm 1 — reuse a warm runtime of the same canonical key when one is
+// available, otherwise pay a cold start (modelled as a real delay taken
+// from the same CostModel the simulator uses, scaled by
+// `cold_start_scale` so demos run fast).  Warm runtimes carry per-app
+// state (the "loaded model"), so a warm hit also skips the app-init delay.
+//
+// Thread-safe: submissions may come from any thread; execution happens on
+// the worker pool.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <future>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "core/time.hpp"
+#include "engine/app.hpp"
+#include "engine/cost_model.hpp"
+#include "pool/pool.hpp"
+#include "runtime/thread_pool.hpp"
+#include "spec/runspec.hpp"
+#include "spec/runtime_key.hpp"
+
+namespace hotc::runtime {
+
+struct RealOptions {
+  std::size_t worker_threads = 4;
+  engine::HostProfile host = engine::HostProfile::server();
+  /// Multiplier applied to modelled cold-start / init delays before
+  /// sleeping them for real.  0.01 turns a 700 ms cold start into 7 ms.
+  double cold_start_scale = 0.01;
+  /// Maximum warm runtimes kept alive across all keys.
+  std::size_t max_warm = 64;
+};
+
+struct RealOutcome {
+  bool reused = false;
+  bool app_was_warm = false;
+  Duration wall_time = kZeroDuration;   // measured, not modelled
+  Duration modeled_cold = kZeroDuration;  // the cold cost that was (not) paid
+  std::string payload;                  // what the function returned
+};
+
+class RealHotC {
+ public:
+  explicit RealHotC(RealOptions options = {});
+  ~RealHotC();
+
+  RealHotC(const RealHotC&) = delete;
+  RealHotC& operator=(const RealHotC&) = delete;
+
+  /// The function body: receives the request argument, returns the payload.
+  using Handler = std::function<std::string(const std::string&)>;
+
+  /// Submit a request.  The future resolves when the function has run.
+  std::future<RealOutcome> submit(const spec::RunSpec& spec,
+                                  const engine::AppModel& app,
+                                  Handler handler, std::string argument);
+
+  /// Drain outstanding work and stop the workers.
+  void shutdown();
+
+  [[nodiscard]] std::uint64_t cold_starts() const { return cold_starts_; }
+  [[nodiscard]] std::uint64_t reuses() const { return reuses_; }
+  [[nodiscard]] std::size_t warm_count() const;
+
+ private:
+  struct WarmRuntime {
+    std::string warm_app;  // app whose init state is resident
+    std::chrono::steady_clock::time_point created;
+  };
+
+  RealOptions options_;
+  engine::CostModel cost_;
+  ThreadPool pool_;
+
+  mutable std::mutex mutex_;
+  std::map<spec::RuntimeKey, std::vector<WarmRuntime>> warm_;
+  std::size_t warm_total_ = 0;
+  std::atomic<std::uint64_t> cold_starts_{0};
+  std::atomic<std::uint64_t> reuses_{0};
+};
+
+}  // namespace hotc::runtime

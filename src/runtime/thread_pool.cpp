@@ -1,0 +1,65 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace hotc::runtime {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this]() { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() { shutdown(); }
+
+bool ThreadPool::post(std::function<void()> task) {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) return false;
+    tasks_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+void ThreadPool::shutdown() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      // Second call: workers may already be joined.
+    }
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+std::size_t ThreadPool::pending() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return tasks_.size();
+}
+
+void ThreadPool::worker_loop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this]() { return stopping_ || !tasks_.empty(); });
+      if (tasks_.empty()) {
+        if (stopping_) return;
+        continue;
+      }
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace hotc::runtime

@@ -1,0 +1,45 @@
+// Fixed-size worker pool for the real-execution backend.
+//
+// Deliberately simple and correct: one mutex, one condition variable, FIFO
+// queue, graceful drain on shutdown.  The pool sizes default to the
+// hardware concurrency; experiments on small machines stay responsive.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hotc::runtime {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueue a task; returns false after shutdown() has begun.
+  bool post(std::function<void()> task);
+
+  /// Stop accepting work, run what is queued, join all workers.
+  void shutdown();
+
+  [[nodiscard]] std::size_t thread_count() const { return workers_.size(); }
+  [[nodiscard]] std::size_t pending() const;
+
+ private:
+  void worker_loop();
+
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> tasks_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+}  // namespace hotc::runtime

@@ -1,0 +1,82 @@
+// Priority queue of timestamped events with FIFO tie-breaking.
+//
+// Ties are broken by insertion sequence number so that two events scheduled
+// for the same instant fire in schedule order — this makes every simulation
+// fully deterministic, which the experiment harness relies on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "core/assert.hpp"
+#include "core/time.hpp"
+
+namespace hotc::sim {
+
+using EventFn = std::function<void()>;
+
+/// Opaque handle for cancelling a scheduled event.
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  EventId push(TimePoint t, EventFn fn) {
+    const EventId id = next_id_++;
+    heap_.push(Entry{t, id, std::move(fn)});
+    pending_.insert(id);
+    return id;
+  }
+
+  /// Cancel a scheduled event.  Returns false if it already fired or was
+  /// already cancelled (both are benign — timer races on container reuse).
+  bool cancel(EventId id) { return pending_.erase(id) > 0; }
+
+  [[nodiscard]] bool empty() const { return pending_.empty(); }
+  [[nodiscard]] std::size_t size() const { return pending_.size(); }
+
+  /// Earliest pending event time.  Caller must check !empty().
+  [[nodiscard]] TimePoint next_time() const {
+    HOTC_ASSERT(!pending_.empty());
+    prune();
+    return heap_.top().t;
+  }
+
+  /// Pop the earliest non-cancelled event.  Caller must check !empty().
+  std::pair<TimePoint, EventFn> pop() {
+    HOTC_ASSERT(!pending_.empty());
+    prune();
+    Entry e = std::move(const_cast<Entry&>(heap_.top()));
+    heap_.pop();
+    pending_.erase(e.id);
+    return {e.t, std::move(e.fn)};
+  }
+
+ private:
+  struct Entry {
+    TimePoint t;
+    EventId id;
+    EventFn fn;
+
+    bool operator>(const Entry& other) const {
+      if (t != other.t) return t > other.t;
+      return id > other.id;
+    }
+  };
+
+  /// Drop cancelled entries sitting at the top of the heap.
+  void prune() const {
+    while (!heap_.empty() && pending_.find(heap_.top().id) == pending_.end()) {
+      heap_.pop();
+    }
+  }
+
+  mutable std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::unordered_set<EventId> pending_;
+  EventId next_id_ = 1;
+};
+
+}  // namespace hotc::sim

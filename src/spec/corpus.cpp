@@ -1,0 +1,157 @@
+#include "spec/corpus.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace hotc::spec {
+namespace {
+
+struct CatalogImage {
+  const char* name;
+  std::vector<const char*> tags;
+};
+
+const std::vector<CatalogImage>& catalog_detail() {
+  static const std::vector<CatalogImage> kCatalog = {
+      // Ordered roughly by real-world popularity; the Zipf draw over this
+      // order reproduces the paper's "a few images dominate" shape.
+      {"ubuntu", {"20.04", "18.04", "latest"}},
+      {"alpine", {"3.12", "3.11", "latest"}},
+      {"python", {"3.8", "3.7", "3.8-slim", "2.7"}},
+      {"node", {"14", "12", "14-alpine"}},
+      {"nginx", {"latest", "1.19", "alpine"}},
+      {"openjdk", {"11", "8", "11-jre-slim"}},
+      {"golang", {"1.15", "1.14", "1.15-alpine"}},
+      {"debian", {"buster", "stretch", "buster-slim"}},
+      {"redis", {"6", "5", "6-alpine"}},
+      {"mysql", {"8", "5.7"}},
+      {"postgres", {"13", "12", "13-alpine"}},
+      {"busybox", {"latest"}},
+      {"centos", {"8", "7"}},
+      {"php", {"7.4-apache", "7.4-fpm"}},
+      {"ruby", {"2.7", "2.6"}},
+      {"httpd", {"2.4"}},
+      {"mongo", {"4.4", "4.2"}},
+      {"memcached", {"1.6"}},
+      {"rabbitmq", {"3.8"}},
+      {"tomcat", {"9", "8.5"}},
+      {"elasticsearch", {"7.9.3"}},
+      {"cassandra", {"3.11"}},
+      {"rust", {"1.46"}},
+      {"erlang", {"23"}},
+      {"fedora", {"33"}},
+      {"amazonlinux", {"2"}},
+      {"perl", {"5.32"}},
+      {"gcc", {"10"}},
+      {"opensuse/leap", {"15.2"}},
+      {"scratch", {"latest"}},
+  };
+  return kCatalog;
+}
+
+const char* pick_run_line(Rng& rng) {
+  static const std::vector<const char*> kRuns = {
+      "apt-get update && apt-get install -y curl",
+      "pip install -r requirements.txt",
+      "npm install --production",
+      "apk add --no-cache bash git",
+      "go build -o /bin/app ./cmd/app",
+      "mvn -q package -DskipTests",
+      "bundle install",
+      "make all",
+  };
+  return kRuns[rng.index(kRuns.size())];
+}
+
+}  // namespace
+
+const std::vector<std::string>& base_image_catalog() {
+  static const std::vector<std::string> kNames = [] {
+    std::vector<std::string> names;
+    names.reserve(catalog_detail().size());
+    for (const auto& entry : catalog_detail()) names.emplace_back(entry.name);
+    return names;
+  }();
+  return kNames;
+}
+
+std::vector<CorpusEntry> generate_corpus(const CorpusOptions& options) {
+  Rng rng(options.seed);
+  const auto& catalog = catalog_detail();
+  std::vector<CorpusEntry> corpus;
+  corpus.reserve(options.files);
+
+  for (std::size_t i = 0; i < options.files; ++i) {
+    const std::size_t rank = rng.zipf(catalog.size(), options.zipf_exponent);
+    const CatalogImage& img = catalog[rank];
+    const char* tag = img.tags[rng.index(img.tags.size())];
+
+    std::ostringstream df;
+    df << "# project " << i << " generated corpus file\n";
+    if (rng.chance(options.multi_stage_fraction)) {
+      // Builder stage from a language image, ship stage from the drawn one.
+      df << "FROM golang:1.15 AS builder\n";
+      df << "WORKDIR /src\n";
+      df << "COPY . .\n";
+      df << "RUN go build -o /out/app ./...\n";
+    }
+    df << "FROM " << img.name << ":" << tag << "\n";
+    df << "LABEL maintainer=\"corpus@example.com\"\n";
+    if (rng.chance(0.7)) df << "WORKDIR /app\n";
+    if (rng.chance(0.8)) df << "COPY . /app\n";
+    const int runs = static_cast<int>(rng.uniform_int(0, 3));
+    for (int r = 0; r < runs; ++r) df << "RUN " << pick_run_line(rng) << "\n";
+    if (rng.chance(0.5)) {
+      df << "ENV APP_ENV=production LOG_LEVEL=info\n";
+    }
+    if (rng.chance(0.4)) {
+      df << "EXPOSE " << rng.uniform_int(3000, 9000) << "\n";
+    }
+    if (rng.chance(0.25)) df << "VOLUME [\"/data\"]\n";
+    if (rng.chance(0.9)) {
+      df << "CMD [\"./entrypoint.sh\"]\n";
+    } else {
+      df << "ENTRYPOINT [\"/bin/app\"]\n";
+    }
+    if (rng.chance(options.malformed_fraction)) {
+      df << "BOGUSINSTRUCTION oops\n";
+    }
+
+    corpus.push_back(CorpusEntry{"project-" + std::to_string(i), df.str()});
+  }
+  return corpus;
+}
+
+double CorpusAnalysis::top_k_share(std::size_t k) const {
+  if (parsed == 0) return 0.0;
+  std::size_t covered = 0;
+  for (std::size_t i = 0; i < std::min(k, image_popularity.size()); ++i) {
+    covered += image_popularity[i].second;
+  }
+  return static_cast<double>(covered) / static_cast<double>(parsed);
+}
+
+CorpusAnalysis analyze_corpus(const std::vector<CorpusEntry>& corpus) {
+  CorpusAnalysis out;
+  std::map<std::string, std::size_t> counts;
+  for (const auto& entry : corpus) {
+    auto parsed = Dockerfile::parse(entry.dockerfile_text);
+    if (!parsed.ok()) {
+      ++out.failed;
+      continue;
+    }
+    ++out.parsed;
+    const std::string& name = parsed.value().base_image().name;
+    ++counts[name];
+    ++out.category_counts[classify_base_image(name)];
+  }
+  out.image_popularity.assign(counts.begin(), counts.end());
+  std::sort(out.image_popularity.begin(), out.image_popularity.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second > b.second;
+              return a.first < b.first;
+            });
+  return out;
+}
+
+}  // namespace hotc::spec

@@ -1,0 +1,55 @@
+// Synthetic Dockerfile corpus for the Fig. 2 survey.
+//
+// The paper analysed thousands of GitHub Dockerfiles and found both the
+// top-100 and the whole corpus dominated by a few common base images.  We
+// cannot ship GitHub, so the generator synthesises a corpus whose base
+// image popularity follows a Zipf law over a realistic catalog, then the
+// analysis half of this module recomputes Fig. 2(a)/(b) from the *parsed*
+// files — exercising the real Dockerfile parser end to end.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "spec/dockerfile.hpp"
+
+namespace hotc::spec {
+
+struct CorpusOptions {
+  std::size_t files = 5000;
+  double zipf_exponent = 1.2;   // concentration of base-image popularity
+  std::uint64_t seed = 42;
+  double multi_stage_fraction = 0.08;
+  double malformed_fraction = 0.0;  // inject syntax errors for robustness tests
+};
+
+/// One generated project: a name and its Dockerfile text.
+struct CorpusEntry {
+  std::string project;
+  std::string dockerfile_text;
+};
+
+std::vector<CorpusEntry> generate_corpus(const CorpusOptions& options);
+
+/// The catalog the generator draws from (name, tag choices).
+const std::vector<std::string>& base_image_catalog();
+
+struct CorpusAnalysis {
+  std::size_t parsed = 0;
+  std::size_t failed = 0;
+  /// base image name (no tag) -> number of Dockerfiles using it, sorted
+  /// descending by count.
+  std::vector<std::pair<std::string, std::size_t>> image_popularity;
+  /// category -> count over all parsed files.
+  std::map<BaseImageCategory, std::size_t> category_counts;
+  /// Fraction of files covered by the top-k images.
+  [[nodiscard]] double top_k_share(std::size_t k) const;
+};
+
+/// Parse every entry and compute the Fig. 2 aggregates.
+CorpusAnalysis analyze_corpus(const std::vector<CorpusEntry>& corpus);
+
+}  // namespace hotc::spec

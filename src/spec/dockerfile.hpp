@@ -1,0 +1,103 @@
+// Dockerfile model and parser.
+//
+// HotC's parameter analysis (Section IV-B) starts from the user's
+// configuration file; Fig. 2 of the paper is a survey of thousands of
+// GitHub Dockerfiles showing that a handful of base images dominate.  This
+// parser handles the instruction subset that determines the runtime
+// environment, plus classification of base images into the OS / language /
+// application categories of Fig. 2(b).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/result.hpp"
+
+namespace hotc::spec {
+
+enum class InstructionKind {
+  kFrom,
+  kRun,
+  kCmd,
+  kEntrypoint,
+  kEnv,
+  kExpose,
+  kVolume,
+  kWorkdir,
+  kCopy,
+  kAdd,
+  kLabel,
+  kArg,
+  kUser,
+  kHealthcheck,
+  kShell,
+  kStopsignal,
+  kOnbuild,
+  kMaintainer,
+};
+
+Result<InstructionKind> parse_instruction_kind(std::string_view word);
+const char* to_string(InstructionKind kind);
+
+struct Instruction {
+  InstructionKind kind;
+  std::string args;  // raw argument text after the keyword, joined
+};
+
+/// Image reference "repo/name:tag" split into parts; tag defaults to
+/// "latest", registry/namespace stay inside `name`.
+struct ImageRef {
+  std::string name;
+  std::string tag = "latest";
+
+  [[nodiscard]] std::string full() const { return name + ":" + tag; }
+  bool operator==(const ImageRef&) const = default;
+};
+
+Result<ImageRef> parse_image_ref(std::string_view text);
+
+/// Base-image categories used in Fig. 2(b).
+enum class BaseImageCategory {
+  kOs,           // ubuntu, alpine, debian, centos, busybox...
+  kLanguage,     // python, node, golang, openjdk, ruby...
+  kApplication,  // nginx, redis, mysql, postgres, httpd...
+  kOther,
+};
+
+const char* to_string(BaseImageCategory category);
+BaseImageCategory classify_base_image(const std::string& image_name);
+
+class Dockerfile {
+ public:
+  /// Parse Dockerfile text.  Handles comments, blank lines, line
+  /// continuations (trailing backslash) and case-insensitive keywords.
+  /// Multi-stage files keep every FROM; base_image() reports the last one
+  /// (the stage that ships).
+  static Result<Dockerfile> parse(std::string_view text);
+
+  [[nodiscard]] const std::vector<Instruction>& instructions() const {
+    return instructions_;
+  }
+
+  /// The effective base image (last FROM).
+  [[nodiscard]] const ImageRef& base_image() const { return base_image_; }
+  [[nodiscard]] std::size_t stage_count() const { return stage_count_; }
+
+  /// ENV assignments accumulated over all instructions.
+  [[nodiscard]] std::vector<std::pair<std::string, std::string>> env() const;
+
+  /// Declared VOLUME mount points.
+  [[nodiscard]] std::vector<std::string> volumes() const;
+
+  /// Declared EXPOSE ports.
+  [[nodiscard]] std::vector<int> exposed_ports() const;
+
+ private:
+  std::vector<Instruction> instructions_;
+  ImageRef base_image_;
+  std::size_t stage_count_ = 0;
+};
+
+}  // namespace hotc::spec

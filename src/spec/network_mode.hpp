@@ -1,0 +1,43 @@
+// Container network modes measured in Fig. 4(c).
+//
+// Single host: none / bridge / host / container (join another container's
+// namespace).  Multi host: overlay and routing, whose setup involves extra
+// registration/initialisation and costs up to 23x the host mode.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/result.hpp"
+
+namespace hotc::spec {
+
+enum class NetworkMode {
+  kNone,
+  kBridge,
+  kHost,
+  kContainer,
+  kOverlay,
+  kRouting,
+};
+
+constexpr const char* to_string(NetworkMode mode) {
+  switch (mode) {
+    case NetworkMode::kNone: return "none";
+    case NetworkMode::kBridge: return "bridge";
+    case NetworkMode::kHost: return "host";
+    case NetworkMode::kContainer: return "container";
+    case NetworkMode::kOverlay: return "overlay";
+    case NetworkMode::kRouting: return "routing";
+  }
+  return "?";
+}
+
+Result<NetworkMode> parse_network_mode(std::string_view text);
+
+/// True for modes that span hosts (overlay, routing).
+constexpr bool is_multi_host(NetworkMode mode) {
+  return mode == NetworkMode::kOverlay || mode == NetworkMode::kRouting;
+}
+
+}  // namespace hotc::spec

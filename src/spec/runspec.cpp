@@ -1,0 +1,249 @@
+#include "spec/runspec.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace hotc::spec {
+namespace {
+
+std::vector<std::string> tokenize(std::string_view text) {
+  std::vector<std::string> out;
+  std::string cur;
+  bool in_quotes = false;
+  char quote = '\0';
+  for (const char c : text) {
+    if (in_quotes) {
+      if (c == quote) {
+        in_quotes = false;
+      } else {
+        cur += c;
+      }
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      in_quotes = true;
+      quote = c;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      if (!cur.empty()) {
+        out.push_back(cur);
+        cur.clear();
+      }
+      continue;
+    }
+    cur += c;
+  }
+  if (!cur.empty()) out.push_back(cur);
+  return out;
+}
+
+}  // namespace
+
+const char* to_string(NamespaceMode mode) {
+  switch (mode) {
+    case NamespaceMode::kPrivate: return "private";
+    case NamespaceMode::kHost: return "host";
+    case NamespaceMode::kShared: return "shared";
+  }
+  return "?";
+}
+
+Result<NamespaceMode> parse_namespace_mode(std::string_view text) {
+  if (text == "private" || text.empty()) return NamespaceMode::kPrivate;
+  if (text == "host") return NamespaceMode::kHost;
+  if (text == "shared" || text.rfind("container:", 0) == 0) {
+    return NamespaceMode::kShared;
+  }
+  return make_error<NamespaceMode>("runspec.bad_namespace",
+                                   "unknown namespace mode: " +
+                                       std::string(text));
+}
+
+Result<NetworkMode> parse_network_mode(std::string_view text) {
+  if (text == "none") return NetworkMode::kNone;
+  if (text == "bridge" || text == "default" || text == "nat") {
+    return NetworkMode::kBridge;
+  }
+  if (text == "host") return NetworkMode::kHost;
+  if (text == "container" || text.rfind("container:", 0) == 0) {
+    return NetworkMode::kContainer;
+  }
+  if (text == "overlay") return NetworkMode::kOverlay;
+  if (text == "routing" || text == "macvlan") return NetworkMode::kRouting;
+  return make_error<NetworkMode>("runspec.bad_network",
+                                 "unknown network mode: " + std::string(text));
+}
+
+Result<Bytes> parse_memory_size(std::string_view text) {
+  if (text.empty()) {
+    return make_error<Bytes>("runspec.bad_memory", "empty memory size");
+  }
+  std::string digits;
+  char suffix = '\0';
+  for (const char c : text) {
+    if (std::isdigit(static_cast<unsigned char>(c)) || c == '.') {
+      digits += c;
+    } else if (suffix == '\0') {
+      suffix = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    } else {
+      return make_error<Bytes>("runspec.bad_memory",
+                               "malformed memory size: " + std::string(text));
+    }
+  }
+  if (digits.empty()) {
+    return make_error<Bytes>("runspec.bad_memory",
+                             "no digits in memory size: " + std::string(text));
+  }
+  double value = 0.0;
+  try {
+    value = std::stod(digits);
+  } catch (...) {
+    return make_error<Bytes>("runspec.bad_memory",
+                             "unparsable memory size: " + std::string(text));
+  }
+  switch (suffix) {
+    case '\0':
+    case 'b': return static_cast<Bytes>(value);
+    case 'k': return static_cast<Bytes>(value * static_cast<double>(kKiB));
+    case 'm': return static_cast<Bytes>(value * static_cast<double>(kMiB));
+    case 'g': return static_cast<Bytes>(value * static_cast<double>(kGiB));
+    default:
+      return make_error<Bytes>("runspec.bad_memory",
+                               std::string("unknown size suffix: ") + suffix);
+  }
+}
+
+Result<RunSpec> parse_run_command(std::string_view command_line) {
+  auto tokens = tokenize(command_line);
+  std::size_t i = 0;
+  // Optional "docker" and "run" prefixes.
+  if (i < tokens.size() && tokens[i] == "docker") ++i;
+  if (i < tokens.size() && tokens[i] == "run") ++i;
+
+  RunSpec out;
+  bool image_seen = false;
+  std::vector<std::string> command_words;
+
+  auto value_of = [&](const std::string& tok,
+                      const char* flag) -> Result<std::string> {
+    // "--flag=value" or "--flag value".
+    const std::string prefix = std::string(flag) + "=";
+    if (tok.rfind(prefix, 0) == 0) return tok.substr(prefix.size());
+    if (i + 1 < tokens.size()) return tokens[++i];
+    return make_error<std::string>("runspec.missing_value",
+                                   std::string(flag) + " needs a value");
+  };
+
+  for (; i < tokens.size(); ++i) {
+    const std::string& tok = tokens[i];
+    if (image_seen) {
+      command_words.push_back(tok);
+      continue;
+    }
+    if (tok.rfind("--net", 0) == 0 || tok.rfind("--network", 0) == 0) {
+      const char* flag = tok.rfind("--network", 0) == 0 ? "--network" : "--net";
+      auto v = value_of(tok, flag);
+      if (!v.ok()) return Result<RunSpec>(v.error());
+      auto mode = parse_network_mode(v.value());
+      if (!mode.ok()) return Result<RunSpec>(mode.error());
+      out.network = mode.value();
+    } else if (tok.rfind("--uts", 0) == 0) {
+      auto v = value_of(tok, "--uts");
+      if (!v.ok()) return Result<RunSpec>(v.error());
+      auto mode = parse_namespace_mode(v.value());
+      if (!mode.ok()) return Result<RunSpec>(mode.error());
+      out.uts = mode.value();
+    } else if (tok.rfind("--ipc", 0) == 0) {
+      auto v = value_of(tok, "--ipc");
+      if (!v.ok()) return Result<RunSpec>(v.error());
+      auto mode = parse_namespace_mode(v.value());
+      if (!mode.ok()) return Result<RunSpec>(mode.error());
+      out.ipc = mode.value();
+    } else if (tok.rfind("--pid", 0) == 0) {
+      auto v = value_of(tok, "--pid");
+      if (!v.ok()) return Result<RunSpec>(v.error());
+      auto mode = parse_namespace_mode(v.value());
+      if (!mode.ok()) return Result<RunSpec>(mode.error());
+      out.pid = mode.value();
+    } else if (tok == "-e" || tok.rfind("--env", 0) == 0) {
+      auto v = value_of(tok, tok == "-e" ? "-e" : "--env");
+      if (!v.ok()) return Result<RunSpec>(v.error());
+      const std::size_t eq = v.value().find('=');
+      if (eq == std::string::npos) {
+        return make_error<RunSpec>("runspec.bad_env",
+                                   "environment must be K=V: " + v.value());
+      }
+      out.env[v.value().substr(0, eq)] = v.value().substr(eq + 1);
+    } else if (tok == "-v" || tok.rfind("--volume", 0) == 0) {
+      auto v = value_of(tok, tok == "-v" ? "-v" : "--volume");
+      if (!v.ok()) return Result<RunSpec>(v.error());
+      out.volumes.push_back(v.value());
+    } else if (tok == "-m" || tok.rfind("--memory", 0) == 0) {
+      auto v = value_of(tok, tok == "-m" ? "-m" : "--memory");
+      if (!v.ok()) return Result<RunSpec>(v.error());
+      auto bytes = parse_memory_size(v.value());
+      if (!bytes.ok()) return Result<RunSpec>(bytes.error());
+      out.memory_limit = bytes.value();
+    } else if (tok.rfind("--cpus", 0) == 0) {
+      auto v = value_of(tok, "--cpus");
+      if (!v.ok()) return Result<RunSpec>(v.error());
+      try {
+        out.cpu_limit = std::stod(v.value());
+      } catch (...) {
+        return make_error<RunSpec>("runspec.bad_cpus",
+                                   "unparsable --cpus: " + v.value());
+      }
+    } else if (tok.rfind("--entrypoint", 0) == 0) {
+      auto v = value_of(tok, "--entrypoint");
+      if (!v.ok()) return Result<RunSpec>(v.error());
+      out.entrypoint_override = v.value();
+    } else if (tok == "--read-only") {
+      out.read_only_rootfs = true;
+    } else if (tok == "--privileged") {
+      out.privileged = true;
+    } else if (tok == "-d" || tok == "--detach" || tok == "--rm" ||
+               tok == "-it" || tok == "-i" || tok == "-t") {
+      // Runtime-irrelevant conveniences: accepted, not part of the key.
+    } else if (tok.rfind("--", 0) == 0 || (tok.size() > 1 && tok[0] == '-')) {
+      return make_error<RunSpec>("runspec.unknown_flag",
+                                 "unknown flag: " + tok);
+    } else {
+      auto ref = parse_image_ref(tok);
+      if (!ref.ok()) return Result<RunSpec>(ref.error());
+      out.image = ref.value();
+      image_seen = true;
+    }
+  }
+
+  if (!image_seen) {
+    return make_error<RunSpec>("runspec.no_image",
+                               "run command names no image");
+  }
+  std::sort(out.volumes.begin(), out.volumes.end());
+  std::ostringstream cmd;
+  for (std::size_t w = 0; w < command_words.size(); ++w) {
+    if (w) cmd << ' ';
+    cmd << command_words[w];
+  }
+  out.command = cmd.str();
+  return out;
+}
+
+RunSpec spec_from_dockerfile(const Dockerfile& dockerfile) {
+  RunSpec out;
+  out.image = dockerfile.base_image();
+  for (const auto& [k, v] : dockerfile.env()) out.env[k] = v;
+  out.volumes = dockerfile.volumes();
+  std::sort(out.volumes.begin(), out.volumes.end());
+  for (const auto& ins : dockerfile.instructions()) {
+    if (ins.kind == InstructionKind::kCmd) out.command = ins.args;
+    if (ins.kind == InstructionKind::kEntrypoint) {
+      out.entrypoint_override = ins.args;
+    }
+  }
+  return out;
+}
+
+}  // namespace hotc::spec

@@ -1,0 +1,60 @@
+// Run specification: the user command / configuration HotC analyses.
+//
+// Section IV-B: "The parameter includes container images, network
+// configuration, UTS settings, IPC settings, execution options, etc."  A
+// RunSpec captures exactly those knobs; parse_run_command accepts a
+// docker-run-style command line so examples and tests can exercise the same
+// path a CLI user would.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/result.hpp"
+#include "core/units.hpp"
+#include "spec/dockerfile.hpp"
+#include "spec/network_mode.hpp"
+
+namespace hotc::spec {
+
+/// UTS / IPC / PID namespace sharing options.
+enum class NamespaceMode { kPrivate, kHost, kShared };
+
+const char* to_string(NamespaceMode mode);
+Result<NamespaceMode> parse_namespace_mode(std::string_view text);
+
+struct RunSpec {
+  ImageRef image;
+  NetworkMode network = NetworkMode::kBridge;
+  NamespaceMode uts = NamespaceMode::kPrivate;
+  NamespaceMode ipc = NamespaceMode::kPrivate;
+  NamespaceMode pid = NamespaceMode::kPrivate;
+  std::map<std::string, std::string> env;   // sorted => canonical order
+  std::vector<std::string> volumes;          // host:container pairs, sorted
+  Bytes memory_limit = 0;                    // 0 = unlimited
+  double cpu_limit = 0.0;                    // 0 = unlimited, else cores
+  std::string command;                       // argv joined; not part of key
+  std::string entrypoint_override;
+  bool read_only_rootfs = false;
+  bool privileged = false;
+
+  bool operator==(const RunSpec&) const = default;
+};
+
+/// Parse a docker-run-like command line, e.g.
+///   "run --net=overlay --ipc=host -e K=V -v /h:/c -m 512m python:3.8 app.py"
+/// The leading "docker" and/or "run" words are optional.  Unknown flags are
+/// an error (HotC must understand the whole configuration to build a
+/// faithful reuse key).
+Result<RunSpec> parse_run_command(std::string_view command_line);
+
+/// Derive a RunSpec from a parsed Dockerfile (configuration-file input
+/// path): base image, ENV, VOLUMEs, CMD.
+RunSpec spec_from_dockerfile(const Dockerfile& dockerfile);
+
+/// Parse a memory size like "512m", "2g", "300k", plain bytes otherwise.
+Result<Bytes> parse_memory_size(std::string_view text);
+
+}  // namespace hotc::spec

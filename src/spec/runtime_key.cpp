@@ -1,0 +1,51 @@
+#include "spec/runtime_key.hpp"
+
+#include <sstream>
+
+namespace hotc::spec {
+
+std::uint64_t fnv1a(const std::string& s) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+RuntimeKey::RuntimeKey(std::string text)
+    : text_(std::move(text)), hash_(fnv1a(text_)) {}
+
+RuntimeKey RuntimeKey::from_spec(const RunSpec& spec) {
+  std::ostringstream os;
+  os << "img=" << spec.image.full();
+  os << "|net=" << to_string(spec.network);
+  os << "|uts=" << to_string(spec.uts);
+  os << "|ipc=" << to_string(spec.ipc);
+  os << "|pid=" << to_string(spec.pid);
+  os << "|mem=" << spec.memory_limit;
+  os << "|cpu=" << spec.cpu_limit;
+  os << "|ro=" << (spec.read_only_rootfs ? 1 : 0);
+  os << "|priv=" << (spec.privileged ? 1 : 0);
+  os << "|env=";
+  for (const auto& [k, v] : spec.env) os << k << '=' << v << ';';
+  os << "|vol=";
+  for (const auto& v : spec.volumes) os << v << ';';
+  return RuntimeKey(os.str());
+}
+
+RuntimeKey RuntimeKey::subset_from_spec(const RunSpec& spec) {
+  std::ostringstream os;
+  os << "img=" << spec.image.full();
+  os << "|net=" << to_string(spec.network);
+  os << "|uts=" << to_string(spec.uts);
+  os << "|ipc=" << to_string(spec.ipc);
+  os << "|pid=" << to_string(spec.pid);
+  os << "|mem=" << spec.memory_limit;
+  os << "|cpu=" << spec.cpu_limit;
+  os << "|ro=" << (spec.read_only_rootfs ? 1 : 0);
+  os << "|priv=" << (spec.privileged ? 1 : 0);
+  return RuntimeKey(os.str());
+}
+
+}  // namespace hotc::spec

@@ -1,0 +1,62 @@
+// Canonical runtime key — the key of HotC's key-value store.
+//
+// "HotC treats containers with identical parameter configurations as the
+// same type of runtime environment.  The key is the formatted parameter
+// configurations for each container" (Section IV-B).  We canonicalise the
+// RunSpec fields that shape the runtime environment (image, network, UTS,
+// IPC, PID, env, volumes, limits) into a stable string + 64-bit hash.
+//
+// The paper's future-work section notes that "small differences in the
+// configuration file ... would lead to lookup failure" and proposes keying
+// on a subset of parameters; subset_key() implements that extension (the
+// re-applicable fields — env and command — are dropped from the key and can
+// be re-applied to a similar container at exec time).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "spec/runspec.hpp"
+
+namespace hotc::spec {
+
+class RuntimeKey {
+ public:
+  RuntimeKey() = default;
+
+  /// Full-fidelity key: every runtime-shaping parameter participates.
+  static RuntimeKey from_spec(const RunSpec& spec);
+
+  /// Subset key: image + network + namespaces + limits only; env vars,
+  /// volumes and command are treated as re-applicable (paper §VII).
+  static RuntimeKey subset_from_spec(const RunSpec& spec);
+
+  [[nodiscard]] const std::string& text() const { return text_; }
+  [[nodiscard]] std::uint64_t hash() const { return hash_; }
+  [[nodiscard]] bool empty() const { return text_.empty(); }
+
+  bool operator==(const RuntimeKey& other) const {
+    return hash_ == other.hash_ && text_ == other.text_;
+  }
+  bool operator!=(const RuntimeKey& other) const { return !(*this == other); }
+  bool operator<(const RuntimeKey& other) const { return text_ < other.text_; }
+
+ private:
+  explicit RuntimeKey(std::string text);
+
+  std::string text_;
+  std::uint64_t hash_ = 0;
+};
+
+/// FNV-1a, stable across platforms (std::hash is not).
+std::uint64_t fnv1a(const std::string& s);
+
+}  // namespace hotc::spec
+
+template <>
+struct std::hash<hotc::spec::RuntimeKey> {
+  std::size_t operator()(const hotc::spec::RuntimeKey& k) const noexcept {
+    return static_cast<std::size_t>(k.hash());
+  }
+};

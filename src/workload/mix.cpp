@@ -1,0 +1,75 @@
+#include "workload/mix.hpp"
+
+#include "core/assert.hpp"
+
+namespace hotc::workload {
+
+ConfigMix::ConfigMix(std::vector<ConfigEntry> entries)
+    : entries_(std::move(entries)) {
+  HOTC_ASSERT(!entries_.empty());
+}
+
+const ConfigEntry& ConfigMix::at(std::size_t i) const {
+  HOTC_ASSERT(i < entries_.size());
+  return entries_[i];
+}
+
+std::size_t ConfigMix::sample(Rng& rng, double zipf_s) const {
+  HOTC_ASSERT(!entries_.empty());
+  return rng.zipf(entries_.size(), zipf_s);
+}
+
+ConfigMix ConfigMix::qr_web_service(std::size_t variants) {
+  HOTC_ASSERT(variants > 0);
+  struct LangChoice {
+    const char* image;
+    const char* tag;
+  };
+  static const LangChoice kLangs[] = {
+      {"python", "3.8"}, {"golang", "1.15"}, {"node", "14"},
+      {"ruby", "2.7"},   {"php", "7.4-fpm"},
+  };
+  std::vector<ConfigEntry> entries;
+  entries.reserve(variants);
+  for (std::size_t i = 0; i < variants; ++i) {
+    const auto& lang = kLangs[i % (sizeof(kLangs) / sizeof(kLangs[0]))];
+    ConfigEntry e;
+    e.spec.image = spec::ImageRef{lang.image, lang.tag};
+    e.spec.network = spec::NetworkMode::kBridge;  // NAT, per the paper
+    e.spec.env["FUNC"] = "url2qr";
+    e.spec.env["VARIANT"] = std::to_string(i);  // distinct runtime keys
+    e.spec.command = "handler --encode";
+    e.app = engine::apps::qr_encoder();
+    entries.push_back(std::move(e));
+  }
+  return ConfigMix(std::move(entries));
+}
+
+ConfigMix ConfigMix::image_recognition(spec::NetworkMode network) {
+  std::vector<ConfigEntry> entries;
+  {
+    ConfigEntry e;
+    e.spec.image = spec::ImageRef{"python", "3.8"};
+    e.spec.network = network;
+    e.spec.env["MODEL"] = "inception-v3";
+    e.spec.command = "python classify.py";
+    e.app = engine::apps::v3_app();
+    entries.push_back(std::move(e));
+  }
+  {
+    ConfigEntry e;
+    e.spec.image = spec::ImageRef{"golang", "1.15"};
+    e.spec.network = network;
+    e.spec.env["MODEL"] = "tf-c-api";
+    e.spec.command = "/bin/recognize";
+    e.app = engine::apps::tf_api_app();
+    entries.push_back(std::move(e));
+  }
+  return ConfigMix(std::move(entries));
+}
+
+ConfigMix ConfigMix::single(const ConfigEntry& entry) {
+  return ConfigMix({entry});
+}
+
+}  // namespace hotc::workload

@@ -1,0 +1,49 @@
+// Runtime-configuration mixes: which (RunSpec, AppModel) pair a request
+// wants.  The Section V-B web experiment sends "requests using random
+// configurations" over functions "implemented in different languages
+// including Python, Go, Node.js, etc.", all behind NAT (bridge) networking.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "engine/app.hpp"
+#include "spec/runspec.hpp"
+
+namespace hotc::workload {
+
+struct ConfigEntry {
+  spec::RunSpec spec;
+  engine::AppModel app;
+};
+
+class ConfigMix {
+ public:
+  ConfigMix() = default;
+  explicit ConfigMix(std::vector<ConfigEntry> entries);
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] const ConfigEntry& at(std::size_t i) const;
+
+  /// Draw a config index, Zipf-weighted toward the front of the list
+  /// (popular functions are hit more, as in the Dockerfile survey).
+  [[nodiscard]] std::size_t sample(Rng& rng, double zipf_s = 0.9) const;
+
+  /// The QR web-service mix: the same function in Python / Go / Node /
+  /// Ruby / PHP behind NAT, `variants` entries cycling over languages with
+  /// distinct env settings so each is a distinct runtime key.
+  static ConfigMix qr_web_service(std::size_t variants = 10);
+
+  /// Image-recognition mix of the Fig. 8 experiment (v3-app + TF-API-app).
+  static ConfigMix image_recognition(
+      spec::NetworkMode network = spec::NetworkMode::kBridge);
+
+  /// Single-config mix (serial experiment).
+  static ConfigMix single(const ConfigEntry& entry);
+
+ private:
+  std::vector<ConfigEntry> entries_;
+};
+
+}  // namespace hotc::workload

@@ -1,0 +1,124 @@
+#include "workload/population.hpp"
+
+#include <algorithm>
+
+#include "core/assert.hpp"
+
+namespace hotc::workload {
+
+const char* to_string(InvocationClass klass) {
+  switch (klass) {
+    case InvocationClass::kSteady: return "steady";
+    case InvocationClass::kPeriodic: return "periodic";
+    case InvocationClass::kBursty: return "bursty";
+    case InvocationClass::kRare: return "rare";
+  }
+  return "?";
+}
+
+FunctionPopulation FunctionPopulation::generate(
+    const PopulationOptions& options) {
+  HOTC_ASSERT(options.functions > 0);
+  FunctionPopulation pop;
+  pop.options_ = options;
+  Rng rng(options.seed);
+
+  const double total = options.steady_fraction + options.periodic_fraction +
+                       options.bursty_fraction + options.rare_fraction;
+  HOTC_ASSERT(total > 0.0);
+
+  for (std::size_t i = 0; i < options.functions; ++i) {
+    FunctionProfile p;
+    p.config_index = i;
+    const double u = rng.uniform() * total;
+    if (u < options.steady_fraction) {
+      p.klass = InvocationClass::kSteady;
+      p.rate_per_minute = rng.uniform(6.0, 30.0);
+    } else if (u < options.steady_fraction + options.periodic_fraction) {
+      p.klass = InvocationClass::kPeriodic;
+      // Cron-style periods: 1, 5, 15, 30 or 60 minutes.
+      static const int kPeriods[] = {1, 5, 15, 30, 60};
+      p.period = minutes(kPeriods[rng.index(5)]);
+    } else if (u < options.steady_fraction + options.periodic_fraction +
+                       options.bursty_fraction) {
+      p.klass = InvocationClass::kBursty;
+      p.rate_per_minute = rng.uniform(0.2, 1.0);
+      p.burst_factor = rng.uniform(20.0, 60.0);
+    } else {
+      p.klass = InvocationClass::kRare;
+      // One invocation every 20 minutes to 3 hours on average.
+      p.rate_per_minute = 1.0 / rng.uniform(20.0, 180.0);
+    }
+    pop.profiles_.push_back(p);
+  }
+  return pop;
+}
+
+ArrivalList FunctionPopulation::arrivals() const {
+  Rng rng(options_.seed ^ 0x5bd1e995);
+  ArrivalList all;
+  const double horizon_min = to_seconds(options_.horizon) / 60.0;
+
+  for (const auto& p : profiles_) {
+    switch (p.klass) {
+      case InvocationClass::kSteady:
+      case InvocationClass::kRare: {
+        double t = 0.0;
+        while (true) {
+          t += rng.exponential(p.rate_per_minute);
+          if (t >= horizon_min) break;
+          all.push_back(Arrival{seconds_f(t * 60.0), p.config_index});
+        }
+        break;
+      }
+      case InvocationClass::kPeriodic: {
+        // Random phase so timers do not all fire together.
+        const double phase = rng.uniform(0.0, to_seconds(p.period));
+        for (TimePoint t = seconds_f(phase); t < options_.horizon;
+             t += p.period) {
+          all.push_back(Arrival{t, p.config_index});
+        }
+        break;
+      }
+      case InvocationClass::kBursty: {
+        // Baseline trickle plus 1-3 storms of back-to-back requests.
+        double t = 0.0;
+        while (true) {
+          t += rng.exponential(p.rate_per_minute);
+          if (t >= horizon_min) break;
+          all.push_back(Arrival{seconds_f(t * 60.0), p.config_index});
+        }
+        const auto storms = static_cast<std::size_t>(rng.uniform_int(1, 3));
+        for (std::size_t s = 0; s < storms; ++s) {
+          const double start = rng.uniform(0.0, horizon_min * 60.0);
+          const auto storm_size = static_cast<std::size_t>(
+              std::max(1.0, p.burst_factor * rng.uniform(0.5, 1.5)));
+          for (std::size_t k = 0; k < storm_size; ++k) {
+            all.push_back(Arrival{
+                seconds_f(start) +
+                    milliseconds(150) * static_cast<std::int64_t>(k),
+                p.config_index});
+          }
+        }
+        break;
+      }
+    }
+  }
+  std::sort(all.begin(), all.end());
+  return all;
+}
+
+InvocationClass FunctionPopulation::class_of(std::size_t config_index) const {
+  HOTC_ASSERT(config_index < profiles_.size());
+  return profiles_[config_index].klass;
+}
+
+std::size_t FunctionPopulation::count_in_class(InvocationClass klass) const {
+  std::size_t n = 0;
+  for (const auto& p : profiles_) {
+    if (p.klass == klass) ++n;
+  }
+  return n;
+}
+
+}  // namespace hotc::workload

@@ -1,0 +1,75 @@
+// Multi-tenant function population, in the shape of the Azure Functions
+// characterisation the paper cites as [27] (Shahrad et al.): a platform
+// hosts many functions whose invocation behaviours split into a few
+// classes — a handful of hot steady functions carry most traffic, some
+// are strictly periodic (cron-style), some burst, and a long tail is
+// invoked rarely (where fixed keep-alive either wastes the most or
+// re-pays cold starts every time).
+//
+// The generator assigns each function a class and produces one merged
+// arrival list, so policy benches can report per-class cold-start rates.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/time.hpp"
+#include "workload/patterns.hpp"
+
+namespace hotc::workload {
+
+enum class InvocationClass {
+  kSteady,    // high-rate Poisson traffic (the "hot" head)
+  kPeriodic,  // fixed-period timer triggers
+  kBursty,    // quiet baseline with occasional request storms
+  kRare,      // minutes-to-hours between invocations (the long tail)
+};
+
+const char* to_string(InvocationClass klass);
+
+struct FunctionProfile {
+  std::size_t config_index = 0;  // doubles as the function id
+  InvocationClass klass = InvocationClass::kRare;
+  double rate_per_minute = 0.0;  // steady/bursty baseline
+  Duration period = kZeroDuration;  // periodic class
+  double burst_factor = 0.0;        // bursty class: storm multiplier
+};
+
+struct PopulationOptions {
+  std::size_t functions = 50;
+  std::uint64_t seed = 20210907;
+  Duration horizon = hours(2);
+  // Class mix, normalised internally.  Azure-like: the tail dominates by
+  // count while the steady head dominates by invocations.
+  double steady_fraction = 0.08;
+  double periodic_fraction = 0.25;
+  double bursty_fraction = 0.12;
+  double rare_fraction = 0.55;
+};
+
+class FunctionPopulation {
+ public:
+  static FunctionPopulation generate(const PopulationOptions& options);
+
+  [[nodiscard]] const std::vector<FunctionProfile>& profiles() const {
+    return profiles_;
+  }
+  [[nodiscard]] std::size_t size() const { return profiles_.size(); }
+  [[nodiscard]] const PopulationOptions& options() const { return options_; }
+
+  /// Merged, time-sorted arrival list over the full horizon.
+  [[nodiscard]] ArrivalList arrivals() const;
+
+  /// Profile class of a config index (for per-class reporting).
+  [[nodiscard]] InvocationClass class_of(std::size_t config_index) const;
+
+  /// Number of functions in a class.
+  [[nodiscard]] std::size_t count_in_class(InvocationClass klass) const;
+
+ private:
+  PopulationOptions options_;
+  std::vector<FunctionProfile> profiles_;
+};
+
+}  // namespace hotc::workload

@@ -1,0 +1,62 @@
+#include "workload/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/assert.hpp"
+
+namespace hotc::workload {
+
+std::vector<double> umass_youtube_trace(const TraceOptions& options) {
+  HOTC_ASSERT(options.minutes > kEveningRiseEnd);
+  Rng rng(options.seed);
+  std::vector<double> trace(options.minutes, 0.0);
+
+  for (std::size_t t = 0; t < options.minutes; ++t) {
+    double base;
+    if (t < 360) {
+      // Night: low, slowly decaying traffic.
+      base = 35.0 - 15.0 * static_cast<double>(t) / 360.0;
+    } else if (t < kBurstIndex) {
+      // Morning ramp toward the ~20 req level right before the burst.
+      base = 20.0 + 30.0 * std::sin(static_cast<double>(t - 360) /
+                                    static_cast<double>(kBurstIndex - 360) *
+                                    1.2);
+      if (t > kBurstIndex - 20) base = 20.0;  // the quiet ledge pre-burst
+    } else if (t < kBurstIndex + 30) {
+      // Feature 1: the T710 burst, 20 -> 300 requests.
+      const double frac =
+          static_cast<double>(t - kBurstIndex) / 30.0;  // 0..1 across burst
+      base = 20.0 + 280.0 * std::exp(-3.0 * frac) *
+                        (frac < 0.08 ? 1.0 : 1.0);  // spike then decay
+      if (t == kBurstIndex) base = 300.0;
+    } else if (t < kDeclineStart) {
+      base = 230.0;  // post-burst plateau into the afternoon peak
+    } else if (t < kDeclineEnd) {
+      // Feature 2: steady decline T800 -> T1200, 230 down to 60.
+      const double frac = static_cast<double>(t - kDeclineStart) /
+                          static_cast<double>(kDeclineEnd - kDeclineStart);
+      base = 230.0 - 170.0 * frac;
+    } else if (t < kEveningRiseEnd) {
+      // Feature 3: evening rise T1200 -> T1400, 60 up to 210.
+      const double frac = static_cast<double>(t - kDeclineEnd) /
+                          static_cast<double>(kEveningRiseEnd - kDeclineEnd);
+      base = 60.0 + 150.0 * frac;
+    } else {
+      // Late-night wind down.
+      const double frac = static_cast<double>(t - kEveningRiseEnd) /
+                          static_cast<double>(options.minutes -
+                                              kEveningRiseEnd);
+      base = 210.0 - 170.0 * frac;
+    }
+    const double noisy =
+        base * (1.0 + options.noise_fraction * (rng.uniform() * 2.0 - 1.0));
+    trace[t] = std::max(0.0, noisy);
+  }
+  // Pin the landmark the paper quotes exactly.
+  trace[kBurstIndex] = 300.0;
+  trace[kBurstIndex - 1] = 20.0;
+  return trace;
+}
+
+}  // namespace hotc::workload

@@ -1,0 +1,35 @@
+// Synthetic campus-gateway trace in the shape of the UMass YouTube data
+// (Fig. 11).  The paper uses that trace for three named features:
+//
+//   1. a burst from ~20 to ~300 requests at time index T710,
+//   2. a steady afternoon decline from T800 to T1200,
+//   3. an evening rise from T1200 to T1400.
+//
+// The generator reproduces exactly that day-shape (per-minute request
+// counts over 1440 indices) with seeded noise, so the trace-driven benches
+// and the paper's commentary line up index for index.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace hotc::workload {
+
+struct TraceOptions {
+  std::uint64_t seed = 7;
+  double noise_fraction = 0.08;  // multiplicative jitter on each point
+  std::size_t minutes = 1440;
+};
+
+/// Per-minute request counts for the synthetic day.
+std::vector<double> umass_youtube_trace(const TraceOptions& options = {});
+
+/// The three landmark indices the paper calls out.
+constexpr std::size_t kBurstIndex = 710;
+constexpr std::size_t kDeclineStart = 800;
+constexpr std::size_t kDeclineEnd = 1200;
+constexpr std::size_t kEveningRiseEnd = 1400;
+
+}  // namespace hotc::workload

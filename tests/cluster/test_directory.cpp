@@ -1,0 +1,65 @@
+#include "cluster/directory.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hotc::cluster {
+namespace {
+
+spec::RuntimeKey key_for(const std::string& image) {
+  spec::RunSpec s;
+  s.image = spec::ImageRef{image, "latest"};
+  return spec::RuntimeKey::from_spec(s);
+}
+
+TEST(WarmDirectory, StronglyConsistentWithZeroLag) {
+  sim::Simulator sim;
+  WarmDirectory dir(sim, 3, kZeroDuration);
+  const auto key = key_for("python");
+  dir.publish(0, key, 2);
+  for (NodeId reader = 0; reader < 3; ++reader) {
+    EXPECT_EQ(dir.read(reader, 0, key), 2u);
+  }
+}
+
+TEST(WarmDirectory, ReplicationLagDelaysRemoteView) {
+  sim::Simulator sim;
+  WarmDirectory dir(sim, 2, milliseconds(10));
+  const auto key = key_for("python");
+  dir.publish(0, key, 5);
+  // Origin sees its own write immediately; the peer does not.
+  EXPECT_EQ(dir.read(0, 0, key), 5u);
+  EXPECT_EQ(dir.read(1, 0, key), 0u);
+  sim.run();
+  EXPECT_EQ(dir.read(1, 0, key), 5u);
+}
+
+TEST(WarmDirectory, NodesWithWarmFiltersZeroCounts) {
+  sim::Simulator sim;
+  WarmDirectory dir(sim, 3, kZeroDuration);
+  const auto key = key_for("node");
+  dir.publish(0, key, 0);
+  dir.publish(1, key, 3);
+  dir.publish(2, key, 1);
+  const auto warm = dir.nodes_with_warm(0, key);
+  EXPECT_EQ(warm, (std::vector<NodeId>{1, 2}));
+}
+
+TEST(WarmDirectory, KeysIndependent) {
+  sim::Simulator sim;
+  WarmDirectory dir(sim, 2, kZeroDuration);
+  dir.publish(0, key_for("a"), 4);
+  EXPECT_EQ(dir.read(0, 0, key_for("b")), 0u);
+}
+
+TEST(WarmDirectory, OverwriteKeepsLatest) {
+  sim::Simulator sim;
+  WarmDirectory dir(sim, 2, kZeroDuration);
+  const auto key = key_for("x");
+  dir.publish(0, key, 4);
+  dir.publish(0, key, 1);
+  EXPECT_EQ(dir.read(1, 0, key), 1u);
+  EXPECT_EQ(dir.writes(), 2u);
+}
+
+}  // namespace
+}  // namespace hotc::cluster

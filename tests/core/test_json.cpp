@@ -1,0 +1,134 @@
+#include "core/json.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hotc {
+namespace {
+
+TEST(Json, ParsePrimitives) {
+  EXPECT_TRUE(Json::parse("null").value().is_null());
+  EXPECT_EQ(Json::parse("true").value().as_bool(), true);
+  EXPECT_EQ(Json::parse("false").value().as_bool(), false);
+  EXPECT_DOUBLE_EQ(Json::parse("42").value().as_number(), 42.0);
+  EXPECT_DOUBLE_EQ(Json::parse("-3.5").value().as_number(), -3.5);
+  EXPECT_DOUBLE_EQ(Json::parse("1e3").value().as_number(), 1000.0);
+  EXPECT_DOUBLE_EQ(Json::parse("2.5E-2").value().as_number(), 0.025);
+  EXPECT_EQ(Json::parse("\"hi\"").value().as_string(), "hi");
+}
+
+TEST(Json, ParseStructures) {
+  auto doc = Json::parse(R"({
+    "name": "hotc",
+    "pool": {"max_live": 500, "memory_threshold": 0.8},
+    "patterns": ["serial", "burst"],
+    "enabled": true,
+    "extra": null
+  })");
+  ASSERT_TRUE(doc.ok());
+  const Json& j = doc.value();
+  EXPECT_EQ(j["name"].as_string(), "hotc");
+  EXPECT_DOUBLE_EQ(j["pool"]["max_live"].as_number(), 500.0);
+  EXPECT_DOUBLE_EQ(j["pool"]["memory_threshold"].as_number(), 0.8);
+  ASSERT_EQ(j["patterns"].size(), 2u);
+  EXPECT_EQ(j["patterns"].at(1).as_string(), "burst");
+  EXPECT_TRUE(j["enabled"].as_bool());
+  EXPECT_TRUE(j["extra"].is_null());
+  EXPECT_TRUE(j.contains("name"));
+  EXPECT_FALSE(j.contains("missing"));
+}
+
+TEST(Json, MissingKeyIsNullNotCrash) {
+  const auto j = Json::parse("{\"a\": 1}").value();
+  EXPECT_TRUE(j["b"].is_null());
+  EXPECT_TRUE(j["b"]["c"]["d"].is_null());  // chained misses stay safe
+  EXPECT_DOUBLE_EQ(j["b"].number_or(7.0), 7.0);
+  EXPECT_EQ(j["b"].string_or("dflt"), "dflt");
+  EXPECT_TRUE(j["b"].bool_or(true));
+}
+
+TEST(Json, StringEscapes) {
+  const auto j = Json::parse(R"("line\nbreak\ttab\"quote\\back\/slash")");
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ(j.value().as_string(), "line\nbreak\ttab\"quote\\back/slash");
+}
+
+TEST(Json, UnicodeEscapes) {
+  const auto j = Json::parse(R"("Aé中")");
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ(j.value().as_string(), "A\xC3\xA9\xE4\xB8\xAD");
+}
+
+TEST(Json, ParseErrors) {
+  EXPECT_FALSE(Json::parse("").ok());
+  EXPECT_FALSE(Json::parse("{").ok());
+  EXPECT_FALSE(Json::parse("[1,]").ok());
+  EXPECT_FALSE(Json::parse("{\"a\":}").ok());
+  EXPECT_FALSE(Json::parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(Json::parse("tru").ok());
+  EXPECT_FALSE(Json::parse("01").ok());     // leading zero
+  EXPECT_FALSE(Json::parse("1.").ok());     // empty fraction
+  EXPECT_FALSE(Json::parse("1e").ok());     // empty exponent
+  EXPECT_FALSE(Json::parse("\"unterminated").ok());
+  EXPECT_FALSE(Json::parse("\"bad\\q\"").ok());
+  EXPECT_FALSE(Json::parse("42 extra").ok());
+  EXPECT_FALSE(Json::parse("\"ctrl\x01\"").ok());
+}
+
+TEST(Json, ErrorsCarryLineAndColumn) {
+  const auto r = Json::parse("{\n  \"a\": bad\n}");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.error().message.find("line 2"), std::string::npos);
+}
+
+TEST(Json, DumpCompactRoundTrips) {
+  const char* text =
+      R"({"a":[1,2.5,"x"],"b":{"c":true,"d":null},"e":"q\"uote"})";
+  const auto parsed = Json::parse(text).value();
+  const auto again = Json::parse(parsed.dump()).value();
+  EXPECT_EQ(parsed, again);
+}
+
+TEST(Json, DumpPrettyRoundTrips) {
+  JsonObject obj;
+  obj["numbers"] = Json(JsonArray{Json(1), Json(2), Json(3)});
+  obj["nested"] = Json(JsonObject{{"k", Json("v")}});
+  const Json doc{obj};
+  const std::string pretty = doc.dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  EXPECT_EQ(Json::parse(pretty).value(), doc);
+}
+
+TEST(Json, IntegersSerializedWithoutDecimalPoint) {
+  EXPECT_EQ(Json(42).dump(), "42");
+  EXPECT_EQ(Json(-7).dump(), "-7");
+  EXPECT_EQ(Json(2.5).dump(), "2.5");
+}
+
+TEST(Json, ControlCharactersEscapedOnDump) {
+  const Json j(std::string("a\nb\x01"));
+  EXPECT_EQ(j.dump(), "\"a\\nb\\u0001\"");
+  EXPECT_EQ(Json::parse(j.dump()).value().as_string(), "a\nb\x01");
+}
+
+TEST(Json, ValueSemantics) {
+  Json a = Json::parse("{\"x\": [1,2]}").value();
+  Json b = a;  // shallow copy shares containers; equality still holds
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b["x"].size(), 2u);
+}
+
+TEST(Json, EmptyContainers) {
+  EXPECT_EQ(Json::parse("[]").value().size(), 0u);
+  EXPECT_EQ(Json::parse("{}").value().size(), 0u);
+  EXPECT_EQ(Json::parse("[]").value().dump(), "[]");
+  EXPECT_EQ(Json::parse("{}").value().dump(2), "{}");
+}
+
+TEST(Json, WhitespaceTolerant) {
+  const auto j = Json::parse("  {\t\"a\"\n:\r[ 1 , 2 ]  }  ");
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ(j.value()["a"].size(), 2u);
+}
+
+}  // namespace
+}  // namespace hotc

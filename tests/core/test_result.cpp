@@ -1,0 +1,45 @@
+#include "core/result.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace hotc {
+namespace {
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_TRUE(static_cast<bool>(r));
+  EXPECT_EQ(r.value(), 42);
+}
+
+TEST(Result, HoldsError) {
+  auto r = make_error<int>("code.x", "something failed");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "code.x");
+  EXPECT_EQ(r.error().message, "something failed");
+  EXPECT_EQ(r.error().to_string(), "code.x: something failed");
+}
+
+TEST(Result, ValueOr) {
+  Result<std::string> good(std::string("yes"));
+  EXPECT_EQ(good.value_or("no"), "yes");
+  auto bad = make_error<std::string>("e", "nope");
+  EXPECT_EQ(bad.value_or("fallback"), "fallback");
+}
+
+TEST(Result, TakeMovesOut) {
+  Result<std::string> r(std::string("payload"));
+  const std::string s = std::move(r).take();
+  EXPECT_EQ(s, "payload");
+}
+
+TEST(Result, MutableValue) {
+  Result<std::string> r(std::string("a"));
+  r.value() += "b";
+  EXPECT_EQ(r.value(), "ab");
+}
+
+}  // namespace
+}  // namespace hotc

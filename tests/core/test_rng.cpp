@@ -1,0 +1,177 @@
+#include "core/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+namespace hotc {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(99);
+  Rng b(99);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  double sum = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(5);
+  std::map<std::int64_t, int> seen;
+  for (int i = 0; i < 5000; ++i) {
+    const auto v = rng.uniform_int(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    ++seen[v];
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIntSingletonRange) {
+  Rng rng(5);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(rng.uniform_int(42, 42), 42);
+  }
+}
+
+TEST(Rng, ExponentialMeanMatchesRate) {
+  Rng rng(13);
+  const double rate = 4.0;
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.exponential(rate);
+  EXPECT_NEAR(sum / n, 1.0 / rate, 0.01);
+}
+
+TEST(Rng, PoissonMeanMatches) {
+  Rng rng(17);
+  const double mean = 6.5;
+  double sum = 0.0;
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    sum += static_cast<double>(rng.poisson(mean));
+  }
+  EXPECT_NEAR(sum / n, mean, 0.1);
+}
+
+TEST(Rng, PoissonLargeMeanUsesNormalApprox) {
+  Rng rng(17);
+  const double mean = 300.0;
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const auto v = rng.poisson(mean);
+    EXPECT_GE(v, 0);
+    sum += static_cast<double>(v);
+  }
+  EXPECT_NEAR(sum / n, mean, 2.0);
+}
+
+TEST(Rng, PoissonZeroMean) {
+  Rng rng(1);
+  EXPECT_EQ(rng.poisson(0.0), 0);
+}
+
+TEST(Rng, NormalMoments) {
+  Rng rng(23);
+  const int n = 100000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.1);
+}
+
+TEST(Rng, ZipfRankZeroMostPopular) {
+  Rng rng(29);
+  std::vector<int> counts(20, 0);
+  for (int i = 0; i < 50000; ++i) {
+    ++counts[rng.zipf(20, 1.2)];
+  }
+  // Monotone-ish decreasing head: rank 0 clearly beats rank 5 beats rank 15.
+  EXPECT_GT(counts[0], counts[5]);
+  EXPECT_GT(counts[5], counts[15]);
+}
+
+TEST(Rng, ZipfExponentZeroIsUniform) {
+  Rng rng(31);
+  std::vector<int> counts(4, 0);
+  const int n = 40000;
+  for (int i = 0; i < n; ++i) {
+    ++counts[rng.zipf(4, 0.0)];
+  }
+  for (const int c : counts) {
+    EXPECT_NEAR(static_cast<double>(c) / n, 0.25, 0.02);
+  }
+}
+
+TEST(Rng, ZipfHandlesParameterSwitch) {
+  Rng rng(37);
+  // Alternate (n, s) pairs to exercise the CDF cache rebuild.
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_LT(rng.zipf(10, 1.0), 10u);
+    EXPECT_LT(rng.zipf(3, 0.5), 3u);
+  }
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(41);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(43);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto copy = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, copy);
+}
+
+TEST(Rng, IndexInBounds) {
+  Rng rng(47);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.index(7), 7u);
+  }
+}
+
+}  // namespace
+}  // namespace hotc

@@ -1,0 +1,71 @@
+#include "core/series.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hotc {
+namespace {
+
+TEST(TimeSeries, AppendAndRead) {
+  TimeSeries ts;
+  EXPECT_TRUE(ts.empty());
+  ts.add(seconds(0), 1.0);
+  ts.add(seconds(1), 2.0);
+  ts.add(seconds(1), 3.0);  // same timestamp is allowed
+  EXPECT_EQ(ts.size(), 3u);
+  EXPECT_DOUBLE_EQ(ts[2].value, 3.0);
+  EXPECT_EQ(ts[1].t, seconds(1));
+}
+
+TEST(TimeSeries, Values) {
+  TimeSeries ts;
+  ts.add(seconds(0), 5.0);
+  ts.add(seconds(1), 7.0);
+  EXPECT_EQ(ts.values(), (std::vector<double>{5.0, 7.0}));
+}
+
+TEST(TimeSeries, LastOr) {
+  TimeSeries ts;
+  EXPECT_DOUBLE_EQ(ts.last_or(9.0), 9.0);
+  ts.add(seconds(0), 2.0);
+  EXPECT_DOUBLE_EQ(ts.last_or(9.0), 2.0);
+}
+
+TEST(TimeSeries, MeanOfFirst) {
+  TimeSeries ts;
+  EXPECT_DOUBLE_EQ(ts.mean_of_first(5), 0.0);
+  for (int i = 1; i <= 10; ++i) {
+    ts.add(seconds(i), static_cast<double>(i));
+  }
+  EXPECT_DOUBLE_EQ(ts.mean_of_first(5), 3.0);   // (1+2+3+4+5)/5
+  EXPECT_DOUBLE_EQ(ts.mean_of_first(100), 5.5);  // clamped to size
+}
+
+TEST(TimeSeries, ResampleAveragesBuckets) {
+  TimeSeries ts;
+  ts.add(seconds(0), 2.0);
+  ts.add(milliseconds(500), 4.0);
+  ts.add(seconds(1), 10.0);
+  const TimeSeries r = ts.resample(seconds(1));
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_DOUBLE_EQ(r[0].value, 3.0);   // mean of 2 and 4
+  EXPECT_DOUBLE_EQ(r[1].value, 10.0);
+}
+
+TEST(TimeSeries, ResampleFillsGapsWithPrevious) {
+  TimeSeries ts;
+  ts.add(seconds(0), 5.0);
+  ts.add(seconds(3), 9.0);
+  const TimeSeries r = ts.resample(seconds(1));
+  ASSERT_EQ(r.size(), 4u);
+  EXPECT_DOUBLE_EQ(r[1].value, 5.0);  // gap repeats previous
+  EXPECT_DOUBLE_EQ(r[2].value, 5.0);
+  EXPECT_DOUBLE_EQ(r[3].value, 9.0);
+}
+
+TEST(TimeSeries, ResampleEmpty) {
+  TimeSeries ts;
+  EXPECT_TRUE(ts.resample(seconds(1)).empty());
+}
+
+}  // namespace
+}  // namespace hotc

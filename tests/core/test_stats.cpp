@@ -1,0 +1,174 @@
+#include "core/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace hotc {
+namespace {
+
+TEST(RunningStats, EmptyIsZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 0.0);
+  EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStats, SingleValue) {
+  RunningStats s;
+  s.add(42.0);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), 42.0);
+  EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(RunningStats, KnownMoments) {
+  RunningStats s;
+  for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // the classic example
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, SampleVarianceUsesNMinusOne) {
+  RunningStats s;
+  s.add(1.0);
+  s.add(3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 1.0);
+  EXPECT_DOUBLE_EQ(s.sample_variance(), 2.0);
+}
+
+TEST(RunningStats, MergeMatchesSequential) {
+  RunningStats a;
+  RunningStats b;
+  RunningStats all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10.0;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-12);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty) {
+  RunningStats a;
+  a.add(5.0);
+  RunningStats empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_DOUBLE_EQ(empty.mean(), 5.0);
+}
+
+TEST(Percentiles, EmptyQuantileIsZero) {
+  Percentiles p;
+  EXPECT_DOUBLE_EQ(p.quantile(0.5), 0.0);
+}
+
+TEST(Percentiles, SingleSample) {
+  Percentiles p;
+  p.add(3.0);
+  EXPECT_DOUBLE_EQ(p.quantile(0.0), 3.0);
+  EXPECT_DOUBLE_EQ(p.quantile(1.0), 3.0);
+}
+
+TEST(Percentiles, InterpolatesBetweenRanks) {
+  Percentiles p;
+  p.add_all({10.0, 20.0, 30.0, 40.0, 50.0});
+  EXPECT_DOUBLE_EQ(p.median(), 30.0);
+  EXPECT_DOUBLE_EQ(p.quantile(0.25), 20.0);
+  EXPECT_DOUBLE_EQ(p.quantile(0.125), 15.0);  // halfway between ranks 0 and 1
+  EXPECT_DOUBLE_EQ(p.quantile(1.0), 50.0);
+}
+
+TEST(Percentiles, UnsortedInput) {
+  Percentiles p;
+  p.add_all({50.0, 10.0, 30.0, 20.0, 40.0});
+  EXPECT_DOUBLE_EQ(p.median(), 30.0);
+  p.add(5.0);  // adding after a query must re-sort
+  EXPECT_DOUBLE_EQ(p.quantile(0.0), 5.0);
+}
+
+TEST(Cdf, EmptyInput) {
+  EXPECT_TRUE(empirical_cdf({}).empty());
+}
+
+TEST(Cdf, MonotoneAndEndsAtOne) {
+  std::vector<double> samples;
+  for (int i = 100; i > 0; --i) samples.push_back(static_cast<double>(i));
+  const auto cdf = empirical_cdf(samples, 20);
+  ASSERT_EQ(cdf.size(), 20u);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].value, cdf[i - 1].value);
+    EXPECT_GE(cdf[i].fraction, cdf[i - 1].fraction);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
+  EXPECT_DOUBLE_EQ(cdf.back().value, 100.0);
+}
+
+TEST(Cdf, FewerSamplesThanPoints) {
+  const auto cdf = empirical_cdf({1.0, 2.0, 3.0}, 50);
+  EXPECT_EQ(cdf.size(), 3u);
+}
+
+TEST(Histogram, BinsAndEdges) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.0);   // bin 0
+  h.add(1.99);  // bin 0
+  h.add(2.0);   // bin 1
+  h.add(9.99);  // bin 4
+  h.add(10.0);  // overflow (hi is exclusive)
+  h.add(-0.1);  // underflow
+  EXPECT_EQ(h.bin_count(0), 2u);
+  EXPECT_EQ(h.bin_count(1), 1u);
+  EXPECT_EQ(h.bin_count(4), 1u);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.underflow(), 1u);
+  EXPECT_EQ(h.total(), 6u);
+  EXPECT_DOUBLE_EQ(h.bin_lo(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.bin_hi(1), 4.0);
+}
+
+TEST(ErrorMetrics, PerfectPrediction) {
+  const std::vector<double> a{1.0, 2.0, 3.0};
+  const auto m = prediction_errors(a, a);
+  EXPECT_DOUBLE_EQ(m.mape, 0.0);
+  EXPECT_DOUBLE_EQ(m.rmse, 0.0);
+  EXPECT_DOUBLE_EQ(m.mae, 0.0);
+  EXPECT_DOUBLE_EQ(m.max_abs, 0.0);
+}
+
+TEST(ErrorMetrics, KnownErrors) {
+  const std::vector<double> actual{10.0, 20.0};
+  const std::vector<double> pred{12.0, 16.0};
+  const auto m = prediction_errors(actual, pred);
+  EXPECT_DOUBLE_EQ(m.mae, 3.0);
+  EXPECT_DOUBLE_EQ(m.max_abs, 4.0);
+  EXPECT_NEAR(m.rmse, std::sqrt((4.0 + 16.0) / 2.0), 1e-12);
+  EXPECT_NEAR(m.mape, (0.2 + 0.2) / 2.0, 1e-12);
+}
+
+TEST(ErrorMetrics, ZeroActualsExcludedFromMape) {
+  const std::vector<double> actual{0.0, 10.0};
+  const std::vector<double> pred{5.0, 10.0};
+  const auto m = prediction_errors(actual, pred);
+  EXPECT_DOUBLE_EQ(m.mape, 0.0);  // only the nonzero actual counts
+  EXPECT_DOUBLE_EQ(m.mae, 2.5);
+}
+
+}  // namespace
+}  // namespace hotc

@@ -1,0 +1,58 @@
+#include "core/table.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hotc {
+namespace {
+
+TEST(Table, AlignedRendering) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "23456"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("name"), std::string::npos);
+  EXPECT_NE(s.find("alpha"), std::string::npos);
+  EXPECT_NE(s.find("-----"), std::string::npos);
+  // Column 2 starts at the same offset in each body line.
+  const auto header_pos = s.find("value");
+  const auto row_pos = s.find("23456");
+  ASSERT_NE(header_pos, std::string::npos);
+  ASSERT_NE(row_pos, std::string::npos);
+  const auto header_col = header_pos - s.rfind('\n', header_pos) - 1;
+  const auto row_col = row_pos - s.rfind('\n', row_pos) - 1;
+  EXPECT_EQ(header_col, row_col);
+}
+
+TEST(Table, NumFormatting) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(10.0, 0), "10");
+  EXPECT_EQ(Table::num(-2.5, 1), "-2.5");
+}
+
+TEST(Table, CsvEscaping) {
+  Table t({"a", "b"});
+  t.add_row({"plain", "has,comma"});
+  t.add_row({"has\"quote", "multi\nline"});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"has,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"has\"\"quote\""), std::string::npos);
+  EXPECT_NE(csv.find("\"multi\nline\""), std::string::npos);
+  EXPECT_EQ(csv.find("\"plain\""), std::string::npos);  // plain cell unquoted
+}
+
+TEST(Table, RowAndColumnCounts) {
+  Table t({"x", "y", "z"});
+  EXPECT_EQ(t.columns(), 3u);
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1", "2", "3"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, Banner) {
+  const std::string b = banner("Fig 1");
+  EXPECT_NE(b.find("Fig 1"), std::string::npos);
+  EXPECT_NE(b.find("===="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hotc

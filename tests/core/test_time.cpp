@@ -1,0 +1,53 @@
+#include "core/time.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hotc {
+namespace {
+
+TEST(Time, ConstructorsAgree) {
+  EXPECT_EQ(microseconds(1), nanoseconds(1000));
+  EXPECT_EQ(milliseconds(1), microseconds(1000));
+  EXPECT_EQ(seconds(1), milliseconds(1000));
+  EXPECT_EQ(minutes(1), seconds(60));
+  EXPECT_EQ(hours(2), minutes(120));
+}
+
+TEST(Time, FractionalConstructors) {
+  EXPECT_EQ(seconds_f(1.5), milliseconds(1500));
+  EXPECT_EQ(milliseconds_f(0.25), microseconds(250));
+  EXPECT_EQ(seconds_f(0.0), kZeroDuration);
+}
+
+TEST(Time, Conversions) {
+  EXPECT_DOUBLE_EQ(to_seconds(seconds(3)), 3.0);
+  EXPECT_DOUBLE_EQ(to_milliseconds(seconds(2)), 2000.0);
+  EXPECT_DOUBLE_EQ(to_microseconds(milliseconds(1)), 1000.0);
+}
+
+TEST(Time, ScaleByFactor) {
+  EXPECT_EQ(scale(seconds(10), 0.5), seconds(5));
+  EXPECT_EQ(scale(milliseconds(100), 2.0), milliseconds(200));
+  EXPECT_EQ(scale(seconds(1), 0.0), kZeroDuration);
+}
+
+TEST(Time, ScaleRoundsTowardZero) {
+  EXPECT_EQ(scale(nanoseconds(3), 0.5), nanoseconds(1));
+}
+
+TEST(Time, FormatPicksNaturalUnit) {
+  EXPECT_EQ(format_duration(seconds(90)), "1.5min");
+  EXPECT_EQ(format_duration(seconds(2)), "2.00s");
+  EXPECT_EQ(format_duration(milliseconds(340)), "340.00ms");
+  EXPECT_EQ(format_duration(microseconds(18)), "18.00us");
+  EXPECT_EQ(format_duration(nanoseconds(7)), "7ns");
+}
+
+TEST(Time, RoundTripSeconds) {
+  for (const double s : {0.001, 0.06, 1.07, 3.06, 23.0}) {
+    EXPECT_NEAR(to_seconds(seconds_f(s)), s, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace hotc

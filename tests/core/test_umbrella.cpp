@@ -1,0 +1,21 @@
+// Compile-time check: the umbrella header is self-contained and exposes
+// the main entry points.
+#include "hotc/hotc_all.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hotc {
+namespace {
+
+TEST(Umbrella, MainTypesVisible) {
+  sim::Simulator sim;
+  engine::ContainerEngine engine(sim, engine::HostProfile::server());
+  HotCController controller(engine, ControllerOptions{});
+  EXPECT_EQ(controller.stats().requests, 0u);
+  EXPECT_TRUE(workload::ConfigMix::qr_web_service(1).size() == 1);
+  EXPECT_TRUE(scenario::parse_scenario_text("{}").ok() == false);
+  EXPECT_FALSE(export_prometheus(engine, &controller).empty());
+}
+
+}  // namespace
+}  // namespace hotc

@@ -1,0 +1,68 @@
+#include "engine/container.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hotc::engine {
+namespace {
+
+TEST(ContainerFsm, AvailabilityCodesMatchPaper) {
+  // Fig. 7: Not-Existing = -1, Existing-Not-Available = 0,
+  // Existing-Available = 1.
+  EXPECT_EQ(availability_code(ContainerState::kRemoved), -1);
+  EXPECT_EQ(availability_code(ContainerState::kIdle), 1);
+  EXPECT_EQ(availability_code(ContainerState::kBusy), 0);
+  EXPECT_EQ(availability_code(ContainerState::kCleaning), 0);
+  EXPECT_EQ(availability_code(ContainerState::kProvisioning), 0);
+  EXPECT_EQ(availability_code(ContainerState::kStopping), 0);
+}
+
+TEST(ContainerFsm, LegalLifecyclePath) {
+  using S = ContainerState;
+  EXPECT_TRUE(transition_allowed(S::kProvisioning, S::kIdle));
+  EXPECT_TRUE(transition_allowed(S::kIdle, S::kBusy));
+  EXPECT_TRUE(transition_allowed(S::kBusy, S::kCleaning));
+  EXPECT_TRUE(transition_allowed(S::kCleaning, S::kIdle));
+  EXPECT_TRUE(transition_allowed(S::kIdle, S::kStopping));
+  EXPECT_TRUE(transition_allowed(S::kStopping, S::kRemoved));
+}
+
+TEST(ContainerFsm, IllegalTransitions) {
+  using S = ContainerState;
+  EXPECT_FALSE(transition_allowed(S::kRemoved, S::kIdle));
+  EXPECT_FALSE(transition_allowed(S::kIdle, S::kIdle));
+  EXPECT_FALSE(transition_allowed(S::kIdle, S::kCleaning));
+  EXPECT_FALSE(transition_allowed(S::kCleaning, S::kBusy));
+  EXPECT_FALSE(transition_allowed(S::kStopping, S::kIdle));
+  EXPECT_FALSE(transition_allowed(S::kProvisioning, S::kRemoved));
+}
+
+TEST(ContainerFsm, NamesAreStable) {
+  EXPECT_STREQ(to_string(ContainerState::kIdle), "idle");
+  EXPECT_STREQ(to_string(ContainerState::kBusy), "busy");
+  EXPECT_STREQ(to_string(ContainerState::kRemoved), "removed");
+}
+
+class FsmTransitionMatrix
+    : public ::testing::TestWithParam<std::pair<ContainerState,
+                                                ContainerState>> {};
+
+TEST_P(FsmTransitionMatrix, RemovedIsTerminal) {
+  const auto [from, to] = GetParam();
+  if (from == ContainerState::kRemoved) {
+    EXPECT_FALSE(transition_allowed(from, to));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPairs, FsmTransitionMatrix,
+    ::testing::Values(
+        std::make_pair(ContainerState::kRemoved, ContainerState::kIdle),
+        std::make_pair(ContainerState::kRemoved, ContainerState::kBusy),
+        std::make_pair(ContainerState::kRemoved,
+                       ContainerState::kProvisioning),
+        std::make_pair(ContainerState::kRemoved, ContainerState::kStopping),
+        std::make_pair(ContainerState::kRemoved,
+                       ContainerState::kCleaning)));
+
+}  // namespace
+}  // namespace hotc::engine

@@ -1,0 +1,163 @@
+#include "engine/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hotc::engine {
+namespace {
+
+spec::RunSpec spec_with(spec::NetworkMode net) {
+  spec::RunSpec s;
+  s.image = spec::ImageRef{"alpine", "3.12"};
+  s.network = net;
+  return s;
+}
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  CostModel server_{HostProfile::server()};
+  CostModel pi_{HostProfile::edge_pi()};
+  Image image_ = image_for_name(spec::ImageRef{"alpine", "3.12"});
+};
+
+TEST_F(CostModelTest, PullScalesWithBytesAndBandwidth) {
+  EXPECT_EQ(server_.pull_time(0), kZeroDuration);
+  const auto small = server_.pull_time(mib(10));
+  const auto large = server_.pull_time(mib(100));
+  EXPECT_GT(large, small);
+  // The Pi's slow network makes the same pull slower.
+  EXPECT_GT(pi_.pull_time(mib(100)), large);
+}
+
+TEST_F(CostModelTest, ExtractScalesWithIoFactor) {
+  const auto fast = server_.extract_time(mib(50));
+  const auto slow = pi_.extract_time(mib(50));
+  EXPECT_NEAR(to_seconds(slow) / to_seconds(fast),
+              HostProfile::edge_pi().io_factor, 0.01);
+}
+
+TEST_F(CostModelTest, Fig4cBridgeHostCloseToNone) {
+  // "the bridge mode and host mode networking are close to that without
+  // network setup (None)" — within ~15 % of the none-mode total launch.
+  const auto none = server_.startup(spec_with(spec::NetworkMode::kNone),
+                                    image_, 0).total();
+  const auto bridge = server_.startup(spec_with(spec::NetworkMode::kBridge),
+                                      image_, 0).total();
+  const auto host = server_.startup(spec_with(spec::NetworkMode::kHost),
+                                    image_, 0).total();
+  EXPECT_LT(to_seconds(bridge) / to_seconds(none), 1.15);
+  EXPECT_LT(to_seconds(host) / to_seconds(none), 1.10);
+  EXPECT_GE(bridge, none);
+  EXPECT_GE(host, none);
+}
+
+TEST_F(CostModelTest, Fig4cContainerModeAboutHalf) {
+  const auto none = server_.startup(spec_with(spec::NetworkMode::kNone),
+                                    image_, 0).total();
+  const auto container =
+      server_.startup(spec_with(spec::NetworkMode::kContainer), image_, 0)
+          .total();
+  const double ratio = to_seconds(container) / to_seconds(none);
+  EXPECT_GT(ratio, 0.35);
+  EXPECT_LT(ratio, 0.65);
+}
+
+TEST_F(CostModelTest, Fig4cOverlayCreateUpTo23xHost) {
+  const auto host = server_.startup(spec_with(spec::NetworkMode::kHost),
+                                    image_, 0).total();
+  const auto overlay =
+      server_.startup(spec_with(spec::NetworkMode::kOverlay), image_, 0,
+                      /*create_network=*/true)
+          .total();
+  const double ratio = to_seconds(overlay) / to_seconds(host);
+  EXPECT_GT(ratio, 15.0);
+  EXPECT_LT(ratio, 30.0);
+  // Routing is expensive too, but less than overlay.
+  const auto routing =
+      server_.startup(spec_with(spec::NetworkMode::kRouting), image_, 0,
+                      /*create_network=*/true)
+          .total();
+  EXPECT_GT(routing, host * 8);
+  EXPECT_LT(routing, overlay);
+}
+
+TEST_F(CostModelTest, OverlayAttachMuchCheaperThanCreate) {
+  const auto create =
+      server_.network_time(spec::NetworkMode::kOverlay, true);
+  const auto attach =
+      server_.network_time(spec::NetworkMode::kOverlay, false);
+  EXPECT_GT(to_seconds(create) / to_seconds(attach), 10.0);
+}
+
+TEST_F(CostModelTest, RuntimeInitOrdering) {
+  // JVM >> Python > Node > native, per Fig. 4(b)'s language story.
+  const auto native = server_.runtime_init_time(LanguageRuntime::kNative);
+  const auto node = server_.runtime_init_time(LanguageRuntime::kNode);
+  const auto python = server_.runtime_init_time(LanguageRuntime::kPython);
+  const auto jvm = server_.runtime_init_time(LanguageRuntime::kJvm);
+  EXPECT_LT(native, node);
+  EXPECT_LT(node, python);
+  EXPECT_LT(python, jvm);
+  EXPECT_GT(to_seconds(jvm), 0.5);
+}
+
+TEST_F(CostModelTest, StartupBreakdownSumsToTotal) {
+  const auto b = server_.startup(spec_with(spec::NetworkMode::kBridge),
+                                 image_, mib(5));
+  EXPECT_EQ(b.total(), b.pull + b.extract + b.rootfs + b.namespaces +
+                           b.cgroups + b.network + b.volume + b.attach +
+                           b.runtime_init);
+  EXPECT_GT(b.pull, kZeroDuration);
+  EXPECT_GT(b.extract, kZeroDuration);
+}
+
+TEST_F(CostModelTest, CachedImageSkipsPull) {
+  const auto b = server_.startup(spec_with(spec::NetworkMode::kBridge),
+                                 image_, 0);
+  EXPECT_EQ(b.pull, kZeroDuration);
+  EXPECT_EQ(b.extract, kZeroDuration);
+  EXPECT_GT(b.total(), kZeroDuration);
+}
+
+TEST_F(CostModelTest, ComputeScalesWithCpuFactor) {
+  const auto server_time = server_.compute_time(1.0);
+  const auto pi_time = pi_.compute_time(1.0);
+  EXPECT_EQ(server_time, seconds(1));
+  EXPECT_NEAR(to_seconds(pi_time), HostProfile::edge_pi().cpu_factor, 0.01);
+}
+
+TEST_F(CostModelTest, EdgeLaunchSlowerThanServer) {
+  const auto server_launch =
+      server_.startup(spec_with(spec::NetworkMode::kBridge), image_, 0)
+          .total();
+  const auto pi_launch =
+      pi_.startup(spec_with(spec::NetworkMode::kBridge), image_, 0).total();
+  EXPECT_GT(to_seconds(pi_launch), 2.0 * to_seconds(server_launch));
+}
+
+TEST_F(CostModelTest, CleanupScalesWithDirtyBytes) {
+  const auto clean_small = server_.cleanup_time(kib(10));
+  const auto clean_large = server_.cleanup_time(mib(500));
+  EXPECT_GT(clean_large, clean_small);
+  EXPECT_GT(server_.cleanup_time(0), kZeroDuration);  // remount cost remains
+}
+
+TEST_F(CostModelTest, NamespaceSharingCheaperThanPrivate) {
+  auto private_ns = spec_with(spec::NetworkMode::kNone);
+  auto shared_ns = spec_with(spec::NetworkMode::kNone);
+  shared_ns.uts = spec::NamespaceMode::kHost;
+  shared_ns.ipc = spec::NamespaceMode::kHost;
+  shared_ns.pid = spec::NamespaceMode::kHost;
+  EXPECT_LT(server_.namespace_time(shared_ns),
+            server_.namespace_time(private_ns));
+}
+
+TEST_F(CostModelTest, LimitsAddCgroupCost) {
+  auto unlimited = spec_with(spec::NetworkMode::kNone);
+  auto limited = spec_with(spec::NetworkMode::kNone);
+  limited.memory_limit = mib(512);
+  limited.cpu_limit = 1.0;
+  EXPECT_GT(server_.cgroup_time(limited), server_.cgroup_time(unlimited));
+}
+
+}  // namespace
+}  // namespace hotc::engine

@@ -1,0 +1,384 @@
+#include "engine/engine.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "engine/app.hpp"
+#include "sim/simulator.hpp"
+
+namespace hotc::engine {
+namespace {
+
+spec::RunSpec python_spec() {
+  spec::RunSpec s;
+  s.image = spec::ImageRef{"python", "3.8"};
+  s.network = spec::NetworkMode::kBridge;
+  return s;
+}
+
+class EngineTest : public ::testing::Test {
+ protected:
+  sim::Simulator sim_;
+  ContainerEngine engine_{sim_, HostProfile::server()};
+};
+
+TEST_F(EngineTest, LaunchProducesIdleContainer) {
+  std::optional<LaunchReport> report;
+  engine_.launch(python_spec(), [&](Result<LaunchReport> r) {
+    ASSERT_TRUE(r.ok());
+    report = r.value();
+  });
+  sim_.run();
+  ASSERT_TRUE(report.has_value());
+  const Container* c = engine_.find(report->container);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->state, ContainerState::kIdle);
+  EXPECT_EQ(engine_.idle_count(), 1u);
+  // Cold start must include a pull (store was empty) and runtime init.
+  EXPECT_GT(report->breakdown.pull, kZeroDuration);
+  EXPECT_GT(report->breakdown.runtime_init, kZeroDuration);
+  // Simulated time advanced by exactly the breakdown total.
+  EXPECT_EQ(sim_.now(), report->breakdown.total());
+}
+
+TEST_F(EngineTest, SecondLaunchSkipsPull) {
+  std::optional<LaunchReport> first;
+  std::optional<LaunchReport> second;
+  engine_.launch(python_spec(), [&](Result<LaunchReport> r) {
+    first = r.value();
+    engine_.launch(python_spec(),
+                   [&](Result<LaunchReport> r2) { second = r2.value(); });
+  });
+  sim_.run();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_GT(first->breakdown.pull, kZeroDuration);
+  EXPECT_EQ(second->breakdown.pull, kZeroDuration);
+  EXPECT_LT(second->breakdown.total(), first->breakdown.total());
+}
+
+TEST_F(EngineTest, PreloadMakesLaunchWarmCache) {
+  engine_.preload_image(python_spec().image);
+  std::optional<LaunchReport> report;
+  engine_.launch(python_spec(),
+                 [&](Result<LaunchReport> r) { report = r.value(); });
+  sim_.run();
+  EXPECT_EQ(report->breakdown.pull, kZeroDuration);
+}
+
+TEST_F(EngineTest, ExecColdThenWarmSkipsAppInit) {
+  engine_.preload_image(python_spec().image);
+  const AppModel app = apps::v3_app();
+  std::optional<ExecReport> cold;
+  std::optional<ExecReport> warm;
+  engine_.launch(python_spec(), [&](Result<LaunchReport> launched) {
+    const auto id = launched.value().container;
+    engine_.exec(id, app, [&, id](Result<ExecReport> r1) {
+      cold = r1.value();
+      engine_.exec(id, app,
+                   [&](Result<ExecReport> r2) { warm = r2.value(); });
+    });
+  });
+  sim_.run();
+  ASSERT_TRUE(cold.has_value());
+  ASSERT_TRUE(warm.has_value());
+  EXPECT_FALSE(cold->app_was_warm);
+  EXPECT_GT(cold->app_init, kZeroDuration);
+  EXPECT_TRUE(warm->app_was_warm);
+  EXPECT_EQ(warm->app_init, kZeroDuration);
+  EXPECT_LT(warm->total(), cold->total());
+}
+
+TEST_F(EngineTest, ExecOnBusyContainerFails) {
+  engine_.preload_image(python_spec().image);
+  const AppModel app = apps::qr_encoder();
+  std::optional<std::string> error_code;
+  engine_.launch(python_spec(), [&](Result<LaunchReport> launched) {
+    const auto id = launched.value().container;
+    engine_.exec(id, app, [](Result<ExecReport>) {});
+    engine_.exec(id, app, [&](Result<ExecReport> r) {
+      ASSERT_FALSE(r.ok());
+      error_code = r.error().code;
+    });
+  });
+  sim_.run();
+  ASSERT_TRUE(error_code.has_value());
+  EXPECT_EQ(*error_code, "engine.not_available");
+}
+
+TEST_F(EngineTest, ExecOnUnknownContainerFails) {
+  bool failed = false;
+  engine_.exec(12345, apps::qr_encoder(), [&](Result<ExecReport> r) {
+    failed = !r.ok();
+    EXPECT_EQ(r.error().code, "engine.unknown_container");
+  });
+  EXPECT_TRUE(failed);
+}
+
+TEST_F(EngineTest, CleanWipesVolumeAndReturnsIdle) {
+  engine_.preload_image(python_spec().image);
+  const AppModel app = apps::pdf_download();  // writes 3.3 MB to the volume
+  bool cleaned = false;
+  engine_.launch(python_spec(), [&](Result<LaunchReport> launched) {
+    const auto id = launched.value().container;
+    engine_.exec(id, app, [&, id](Result<ExecReport>) {
+      const Container* c = engine_.find(id);
+      ASSERT_NE(c, nullptr);
+      EXPECT_GT(engine_.volumes().get(c->volume).value().dirty_bytes, 0);
+      engine_.clean(id, [&, id](Result<bool> ok) {
+        cleaned = ok.ok();
+        const Container* after = engine_.find(id);
+        EXPECT_EQ(after->state, ContainerState::kIdle);
+        EXPECT_EQ(engine_.volumes().get(after->volume).value().dirty_bytes,
+                  0);
+      });
+    });
+  });
+  sim_.run();
+  EXPECT_TRUE(cleaned);
+}
+
+TEST_F(EngineTest, StopAndRemoveReleasesEverything) {
+  engine_.preload_image(python_spec().image);
+  const Bytes mem_before = engine_.memory_used();
+  bool removed = false;
+  engine_.launch(python_spec(), [&](Result<LaunchReport> launched) {
+    const auto id = launched.value().container;
+    engine_.stop_and_remove(id, [&, id](Result<bool> ok) {
+      removed = ok.ok();
+      EXPECT_EQ(engine_.find(id), nullptr);
+    });
+  });
+  sim_.run();
+  EXPECT_TRUE(removed);
+  EXPECT_EQ(engine_.live_count(), 0u);
+  EXPECT_EQ(engine_.memory_used(), mem_before);
+  EXPECT_EQ(engine_.network().endpoint_count(), 0u);
+  EXPECT_EQ(engine_.volumes().volume_count(), 0u);
+}
+
+TEST_F(EngineTest, MemoryAccountingDuringExec) {
+  engine_.preload_image(python_spec().image);
+  const AppModel app = apps::v3_app();
+  Bytes during = 0;
+  Bytes after = 0;
+  engine_.launch(python_spec(), [&](Result<LaunchReport> launched) {
+    const auto id = launched.value().container;
+    engine_.exec(id, app,
+                 [&](Result<ExecReport>) { after = engine_.memory_used(); });
+    during = engine_.memory_used();
+  });
+  sim_.run();
+  EXPECT_GE(during, after);  // busy memory released when exec finishes
+  EXPECT_GE(during - after, app.memory - mib(1));
+}
+
+TEST_F(EngineTest, CpuContentionQueuesExecs) {
+  // A 1-core host must serialize two concurrent executions.
+  ContainerEngine tiny(sim_, [] {
+    HostProfile p = HostProfile::server();
+    p.cores = 1;
+    return p;
+  }());
+  tiny.preload_image(python_spec().image);
+  const AppModel app = apps::tf_api_app();
+  std::optional<ExecReport> a;
+  std::optional<ExecReport> b;
+  int launches_done = 0;
+  engine::ContainerId id1 = 0;
+  engine::ContainerId id2 = 0;
+  auto start_execs = [&]() {
+    tiny.exec(id1, app, [&](Result<ExecReport> r) { a = r.value(); });
+    tiny.exec(id2, app, [&](Result<ExecReport> r) { b = r.value(); });
+  };
+  tiny.launch(python_spec(), [&](Result<LaunchReport> r) {
+    id1 = r.value().container;
+    if (++launches_done == 2) start_execs();
+  });
+  tiny.launch(python_spec(), [&](Result<LaunchReport> r) {
+    id2 = r.value().container;
+    if (++launches_done == 2) start_execs();
+  });
+  sim_.run();
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->queueing, kZeroDuration);
+  EXPECT_GT(b->queueing, kZeroDuration);  // waited for the single core
+}
+
+TEST_F(EngineTest, LaunchRefusedWhenMemoryExhausted) {
+  // A host with tiny memory cannot hold a big image's idle footprint after
+  // the OS baseline.
+  ContainerEngine small(sim_, [] {
+    HostProfile p = HostProfile::edge_pi();
+    p.memory_total = mib(200);
+    return p;
+  }());
+  spec::RunSpec s = python_spec();
+  bool refused = false;
+  // OS baseline consumes half of 200 MiB; a container with ~0.7 MiB idle
+  // footprint fits, so exhaust memory with many launches.
+  int completed = 0;
+  std::function<void()> launch_next = [&]() {
+    small.launch(s, [&](Result<LaunchReport> r) {
+      if (!r.ok()) {
+        refused = true;
+        EXPECT_EQ(r.error().code, "engine.out_of_memory");
+        return;
+      }
+      ++completed;
+      if (completed < 400) launch_next();
+    });
+  };
+  launch_next();
+  sim_.run();
+  EXPECT_TRUE(refused);
+}
+
+TEST_F(EngineTest, SwapSlowsExecution) {
+  // Exceed the pool with busy memory: exec still runs but is slower and
+  // flagged as swapped.
+  ContainerEngine small(sim_, [] {
+    HostProfile p = HostProfile::server();
+    p.memory_total = mib(512);
+    return p;
+  }());
+  small.preload_image(python_spec().image);
+  AppModel big = apps::v3_app();  // 900 MiB working set > 512 MiB host
+  std::optional<ExecReport> report;
+  small.launch(python_spec(), [&](Result<LaunchReport> launched) {
+    small.exec(launched.value().container, big,
+               [&](Result<ExecReport> r) { report = r.value(); });
+  });
+  sim_.run();
+  ASSERT_TRUE(report.has_value());
+  EXPECT_TRUE(report->swapped);
+  EXPECT_GT(report->compute,
+            CostModel(HostProfile::server()).compute_time(big.exec_seconds));
+  EXPECT_EQ(small.swap_used(), 0);  // released after exec
+}
+
+TEST_F(EngineTest, CountersTrackOperations) {
+  engine_.preload_image(python_spec().image);
+  engine_.launch(python_spec(), [&](Result<LaunchReport> r) {
+    engine_.exec(r.value().container, apps::qr_encoder(),
+                 [](Result<ExecReport>) {});
+  });
+  sim_.run();
+  EXPECT_EQ(engine_.launches(), 1u);
+  EXPECT_EQ(engine_.execs(), 1u);
+}
+
+TEST_F(EngineTest, CpuUtilizationReflectsIdleOverhead) {
+  engine_.preload_image(python_spec().image);
+  for (int i = 0; i < 10; ++i) {
+    engine_.launch(python_spec(), [](Result<LaunchReport>) {});
+  }
+  sim_.run();
+  EXPECT_EQ(engine_.live_count(), 10u);
+  // Ten idle containers cost less than 1 % CPU (Fig. 15(a)).
+  EXPECT_LT(engine_.cpu_utilization(), 0.01);
+  EXPECT_GT(engine_.cpu_utilization(), 0.0);
+}
+
+TEST_F(EngineTest, EstimateMatchesActualLaunch) {
+  engine_.preload_image(python_spec().image);
+  const auto estimate = engine_.estimate_startup(python_spec());
+  std::optional<LaunchReport> report;
+  engine_.launch(python_spec(),
+                 [&](Result<LaunchReport> r) { report = r.value(); });
+  sim_.run();
+  EXPECT_EQ(estimate.total(), report->breakdown.total());
+}
+
+}  // namespace
+}  // namespace hotc::engine
+
+namespace hotc::engine {
+namespace {
+
+TEST_F(EngineTest, CpuQuotaStretchesExecution) {
+  engine_.preload_image(python_spec().image);
+  auto limited = python_spec();
+  limited.cpu_limit = 0.5;  // half a core
+  const AppModel app = apps::tf_api_app();
+  std::optional<ExecReport> full;
+  std::optional<ExecReport> throttled;
+  engine_.launch(python_spec(), [&](Result<LaunchReport> r) {
+    engine_.exec(r.value().container, app,
+                 [&](Result<ExecReport> e) { full = e.value(); });
+  });
+  engine_.launch(limited, [&](Result<LaunchReport> r) {
+    engine_.exec(r.value().container, app,
+                 [&](Result<ExecReport> e) { throttled = e.value(); });
+  });
+  sim_.run();
+  ASSERT_TRUE(full.has_value());
+  ASSERT_TRUE(throttled.has_value());
+  EXPECT_NEAR(to_seconds(throttled->compute),
+              2.0 * to_seconds(full->compute), 1e-6);
+}
+
+TEST_F(EngineTest, CpuQuotaAboveOneCoreDoesNotStretch) {
+  engine_.preload_image(python_spec().image);
+  auto multi = python_spec();
+  multi.cpu_limit = 4.0;
+  std::optional<ExecReport> report;
+  engine_.launch(multi, [&](Result<LaunchReport> r) {
+    engine_.exec(r.value().container, apps::tf_api_app(),
+                 [&](Result<ExecReport> e) { report = e.value(); });
+  });
+  sim_.run();
+  ASSERT_TRUE(report.has_value());
+  EXPECT_NEAR(to_seconds(report->compute),
+              apps::tf_api_app().exec_seconds, 1e-6);
+}
+
+}  // namespace
+}  // namespace hotc::engine
+
+namespace hotc::engine {
+namespace {
+
+TEST_F(EngineTest, OverlayFirstLaunchCreatesFabricLaterAttach) {
+  spec::RunSpec overlay;
+  overlay.image = spec::ImageRef{"alpine", "3.12"};
+  overlay.network = spec::NetworkMode::kOverlay;
+  engine_.preload_image(overlay.image);
+
+  std::optional<LaunchReport> first;
+  std::optional<LaunchReport> second;
+  engine_.launch(overlay, [&](Result<LaunchReport> r) { first = r.value(); });
+  sim_.run();
+  engine_.launch(overlay, [&](Result<LaunchReport> r) { second = r.value(); });
+  sim_.run();
+  ASSERT_TRUE(first.has_value());
+  ASSERT_TRUE(second.has_value());
+  // The fabric (VXLAN + registration) is created once; later containers
+  // merely attach — an order of magnitude cheaper.
+  EXPECT_GT(to_seconds(first->breakdown.network),
+            10.0 * to_seconds(second->breakdown.network));
+  // estimate_startup reflects the current fabric state.
+  EXPECT_EQ(engine_.estimate_startup(overlay).network,
+            second->breakdown.network);
+}
+
+TEST_F(EngineTest, RoutingFabricIndependentOfOverlay) {
+  spec::RunSpec overlay;
+  overlay.image = spec::ImageRef{"alpine", "3.12"};
+  overlay.network = spec::NetworkMode::kOverlay;
+  spec::RunSpec routing = overlay;
+  routing.network = spec::NetworkMode::kRouting;
+  engine_.preload_image(overlay.image);
+
+  engine_.launch(overlay, [](Result<LaunchReport>) {});
+  sim_.run();
+  // Routing still pays its own create cost despite the overlay existing.
+  std::optional<LaunchReport> r1;
+  engine_.launch(routing, [&](Result<LaunchReport> r) { r1 = r.value(); });
+  sim_.run();
+  EXPECT_GT(r1->breakdown.network, seconds(1));
+}
+
+}  // namespace
+}  // namespace hotc::engine

@@ -1,0 +1,112 @@
+// Host-profile sweeps: the same cost model must behave sanely on every
+// hardware preset, preserving the server <= tx2 <= pi ordering everywhere.
+#include <gtest/gtest.h>
+
+#include "engine/cost_model.hpp"
+
+namespace hotc::engine {
+namespace {
+
+spec::RunSpec bridge_spec() {
+  spec::RunSpec s;
+  s.image = spec::ImageRef{"python", "3.8"};
+  s.network = spec::NetworkMode::kBridge;
+  return s;
+}
+
+TEST(HostProfiles, PresetsMatchPaperHardware) {
+  const auto server = HostProfile::server();
+  EXPECT_EQ(server.cores, 20u);              // dual 10-core Xeon
+  EXPECT_EQ(server.memory_total, gib(64));
+  EXPECT_DOUBLE_EQ(server.cpu_factor, 1.0);  // the reference machine
+
+  const auto pi = HostProfile::edge_pi();
+  EXPECT_EQ(pi.cores, 4u);
+  EXPECT_EQ(pi.memory_total, gib(1));
+  EXPECT_GT(pi.cpu_factor, 10.0);  // ">10x" slower application execution
+
+  const auto tx2 = HostProfile::edge_tx2();
+  EXPECT_GT(tx2.cpu_factor, 1.0);
+  EXPECT_LT(tx2.cpu_factor, pi.cpu_factor);
+}
+
+class HostSweep : public ::testing::TestWithParam<const char*> {
+ protected:
+  static HostProfile profile(const std::string& name) {
+    if (name == "server") return HostProfile::server();
+    if (name == "pi") return HostProfile::edge_pi();
+    return HostProfile::edge_tx2();
+  }
+};
+
+TEST_P(HostSweep, AllPhasesPositiveAndFinite) {
+  const CostModel cost(profile(GetParam()));
+  const auto image = image_for_name(spec::ImageRef{"python", "3.8"});
+  const auto b = cost.startup(bridge_spec(), image, image.compressed_size());
+  EXPECT_GT(b.pull, kZeroDuration);
+  EXPECT_GT(b.extract, kZeroDuration);
+  EXPECT_GT(b.rootfs, kZeroDuration);
+  EXPECT_GT(b.namespaces, kZeroDuration);
+  EXPECT_GT(b.cgroups, kZeroDuration);
+  EXPECT_GT(b.network, kZeroDuration);
+  EXPECT_GT(b.attach, kZeroDuration);
+  EXPECT_GT(b.runtime_init, kZeroDuration);
+  EXPECT_LT(b.total(), minutes(5));  // no preset explodes
+}
+
+TEST_P(HostSweep, ContainerModeStillRoughlyHalf) {
+  const CostModel cost(profile(GetParam()));
+  const auto image = image_for_name(spec::ImageRef{"alpine", "3.12"});
+  auto none = bridge_spec();
+  none.network = spec::NetworkMode::kNone;
+  auto container = bridge_spec();
+  container.network = spec::NetworkMode::kContainer;
+  const double ratio =
+      to_seconds(cost.startup(container, image, 0).total()) /
+      to_seconds(cost.startup(none, image, 0).total());
+  EXPECT_GT(ratio, 0.3);
+  EXPECT_LT(ratio, 0.7);
+}
+
+TEST_P(HostSweep, JvmInitDominatesNative) {
+  const CostModel cost(profile(GetParam()));
+  EXPECT_GT(to_seconds(cost.runtime_init_time(LanguageRuntime::kJvm)),
+            10.0 * to_seconds(cost.runtime_init_time(
+                       LanguageRuntime::kNative)));
+}
+
+TEST_P(HostSweep, CleanupCheaperThanColdStart) {
+  const CostModel cost(profile(GetParam()));
+  const auto image = image_for_name(spec::ImageRef{"python", "3.8"});
+  // Even a filthy 100 MiB volume wipes faster than a fresh launch.
+  EXPECT_LT(cost.cleanup_time(mib(100)),
+            cost.startup(bridge_spec(), image, 0).total());
+}
+
+TEST_P(HostSweep, PauseResumeOrdering) {
+  const CostModel cost(profile(GetParam()));
+  EXPECT_LT(cost.pause_time(), cost.resume_time(mib(1)));
+  EXPECT_LT(cost.resume_time(kib(500)), cost.resume_time(mib(50)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Hosts, HostSweep,
+                         ::testing::Values("server", "pi", "tx2"));
+
+TEST(HostOrdering, EdgeAlwaysSlowerThanServer) {
+  const CostModel server(HostProfile::server());
+  const CostModel tx2(HostProfile::edge_tx2());
+  const CostModel pi(HostProfile::edge_pi());
+  const auto image = image_for_name(spec::ImageRef{"python", "3.8"});
+  const auto s = bridge_spec();
+  const double t_server = to_seconds(server.startup(s, image, 0).total());
+  const double t_tx2 = to_seconds(tx2.startup(s, image, 0).total());
+  const double t_pi = to_seconds(pi.startup(s, image, 0).total());
+  EXPECT_LT(t_server, t_tx2);
+  EXPECT_LT(t_tx2, t_pi);
+  // Same ordering for pure compute.
+  EXPECT_LT(server.compute_time(1.0), tx2.compute_time(1.0));
+  EXPECT_LT(tx2.compute_time(1.0), pi.compute_time(1.0));
+}
+
+}  // namespace
+}  // namespace hotc::engine

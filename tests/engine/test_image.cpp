@@ -1,0 +1,81 @@
+#include "engine/image.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hotc::engine {
+namespace {
+
+TEST(Image, MakeImageSplitsLayers) {
+  const auto img = make_image(spec::ImageRef{"python", "3.8"},
+                              LanguageRuntime::kPython, mib(330), 4);
+  EXPECT_EQ(img.layers.size(), 4u);
+  EXPECT_EQ(img.compressed_size(), mib(330));
+  EXPECT_GT(img.extracted_size(), img.compressed_size());
+  for (const auto& layer : img.layers) {
+    EXPECT_GT(layer.size, 0);
+    EXPECT_NE(layer.digest.find("sha256:"), std::string::npos);
+  }
+}
+
+TEST(Image, SameRefSharesLayerDigests) {
+  const auto a = make_image(spec::ImageRef{"python", "3.8"},
+                            LanguageRuntime::kPython, mib(330), 4);
+  const auto b = make_image(spec::ImageRef{"python", "3.8"},
+                            LanguageRuntime::kPython, mib(330), 4);
+  for (std::size_t i = 0; i < a.layers.size(); ++i) {
+    EXPECT_EQ(a.layers[i].digest, b.layers[i].digest);
+  }
+}
+
+TEST(Image, DifferentRefsDifferentDigests) {
+  const auto a = make_image(spec::ImageRef{"python", "3.8"},
+                            LanguageRuntime::kPython, mib(330), 4);
+  const auto b = make_image(spec::ImageRef{"python", "3.7"},
+                            LanguageRuntime::kPython, mib(330), 4);
+  EXPECT_NE(a.layers[0].digest, b.layers[0].digest);
+}
+
+TEST(Image, UnevenSizeDistributedExactly) {
+  const auto img = make_image(spec::ImageRef{"x", "1"},
+                              LanguageRuntime::kNative, mib(10) + 1, 3);
+  EXPECT_EQ(img.compressed_size(), mib(10) + 1);
+}
+
+TEST(ImageForName, KnownPresets) {
+  const auto py = image_for_name(spec::ImageRef{"python", "3.8"});
+  EXPECT_EQ(py.runtime, LanguageRuntime::kPython);
+  const auto jdk = image_for_name(spec::ImageRef{"openjdk", "11"});
+  EXPECT_EQ(jdk.runtime, LanguageRuntime::kJvm);
+  const auto go = image_for_name(spec::ImageRef{"golang", "1.15"});
+  EXPECT_EQ(go.runtime, LanguageRuntime::kNative);
+  const auto alpine = image_for_name(spec::ImageRef{"alpine", "3.12"});
+  EXPECT_LT(alpine.compressed_size(), mib(10));
+  EXPECT_GT(py.compressed_size(), alpine.compressed_size());
+}
+
+TEST(ImageForName, SlimVariantsSmaller) {
+  const auto fat = image_for_name(spec::ImageRef{"python", "3.8"});
+  const auto slim = image_for_name(spec::ImageRef{"python", "3.8-slim"});
+  EXPECT_LT(slim.compressed_size(), fat.compressed_size());
+}
+
+TEST(ImageForName, NamespacedNamesMatch) {
+  const auto img = image_for_name(spec::ImageRef{"library/python", "3.8"});
+  EXPECT_EQ(img.runtime, LanguageRuntime::kPython);
+}
+
+TEST(ImageForName, UnknownGetsGeneric) {
+  const auto img = image_for_name(spec::ImageRef{"entirely-custom", "v1"});
+  EXPECT_EQ(img.runtime, LanguageRuntime::kNative);
+  EXPECT_GT(img.compressed_size(), 0);
+}
+
+TEST(ImageForName, IdleFootprintRoughlyPaper) {
+  // Paper: ~0.7 MB resident per idle live container.
+  const auto img = image_for_name(spec::ImageRef{"alpine", "3.12"});
+  EXPECT_GT(img.base_memory, kib(100));
+  EXPECT_LT(img.base_memory, mib(2));
+}
+
+}  // namespace
+}  // namespace hotc::engine

@@ -1,0 +1,91 @@
+#include "engine/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hotc::engine {
+namespace {
+
+TEST(NetworkManager, BridgeAllocatesAddressAndPort) {
+  NetworkManager net;
+  auto ep = net.provision(spec::NetworkMode::kBridge);
+  ASSERT_TRUE(ep.ok());
+  EXPECT_NE(ep.value().address.find("172.17."), std::string::npos);
+  EXPECT_GE(ep.value().nat_port, 30000);
+  EXPECT_EQ(net.endpoint_count(), 1u);
+}
+
+TEST(NetworkManager, DistinctAddressesAndPorts) {
+  NetworkManager net;
+  auto a = net.provision(spec::NetworkMode::kBridge);
+  auto b = net.provision(spec::NetworkMode::kBridge);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a.value().address, b.value().address);
+  EXPECT_NE(a.value().nat_port, b.value().nat_port);
+}
+
+TEST(NetworkManager, ContainerModeNeedsProxy) {
+  NetworkManager net;
+  auto orphan = net.provision(spec::NetworkMode::kContainer);
+  ASSERT_FALSE(orphan.ok());
+  EXPECT_EQ(orphan.error().code, "network.no_proxy");
+
+  auto proxy = net.provision(spec::NetworkMode::kBridge);
+  ASSERT_TRUE(proxy.ok());
+  auto member = net.provision(spec::NetworkMode::kContainer,
+                              proxy.value().id);
+  ASSERT_TRUE(member.ok());
+  EXPECT_EQ(member.value().address, proxy.value().address);
+}
+
+TEST(NetworkManager, ProxyCannotBeReleasedWhileJoined) {
+  NetworkManager net;
+  auto proxy = net.provision(spec::NetworkMode::kBridge);
+  auto member = net.provision(spec::NetworkMode::kContainer,
+                              proxy.value().id);
+  ASSERT_TRUE(member.ok());
+  auto blocked = net.release(proxy.value().id);
+  ASSERT_FALSE(blocked.ok());
+  EXPECT_EQ(blocked.error().code, "network.proxy_in_use");
+  ASSERT_TRUE(net.release(member.value().id).ok());
+  EXPECT_TRUE(net.release(proxy.value().id).ok());
+  EXPECT_EQ(net.endpoint_count(), 0u);
+}
+
+TEST(NetworkManager, OverlayRegistrationCounts) {
+  NetworkManager net;
+  auto a = net.provision(spec::NetworkMode::kOverlay);
+  auto b = net.provision(spec::NetworkMode::kOverlay);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(net.overlay_registrations(), 2u);
+  net.release(a.value().id);
+  EXPECT_EQ(net.overlay_registrations(), 1u);
+}
+
+TEST(NetworkManager, ReleaseUnknownFails) {
+  NetworkManager net;
+  EXPECT_FALSE(net.release(999).ok());
+}
+
+TEST(NetworkManager, EndpointsInMode) {
+  NetworkManager net;
+  net.provision(spec::NetworkMode::kBridge);
+  net.provision(spec::NetworkMode::kBridge);
+  net.provision(spec::NetworkMode::kHost);
+  EXPECT_EQ(net.endpoints_in_mode(spec::NetworkMode::kBridge), 2u);
+  EXPECT_EQ(net.endpoints_in_mode(spec::NetworkMode::kHost), 1u);
+  EXPECT_EQ(net.endpoints_in_mode(spec::NetworkMode::kOverlay), 0u);
+}
+
+TEST(NetworkManager, HostAndNoneHaveNoAddress) {
+  NetworkManager net;
+  auto host = net.provision(spec::NetworkMode::kHost);
+  auto none = net.provision(spec::NetworkMode::kNone);
+  EXPECT_TRUE(host.value().address.empty());
+  EXPECT_TRUE(none.value().address.empty());
+  EXPECT_EQ(host.value().nat_port, 0);
+}
+
+}  // namespace
+}  // namespace hotc::engine

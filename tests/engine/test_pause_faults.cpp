@@ -1,0 +1,356 @@
+// Tests for the pause/resume extension and failure injection.
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "engine/app.hpp"
+#include "engine/engine.hpp"
+#include "sim/simulator.hpp"
+
+namespace hotc::engine {
+namespace {
+
+spec::RunSpec python_spec() {
+  spec::RunSpec s;
+  s.image = spec::ImageRef{"python", "3.8"};
+  s.network = spec::NetworkMode::kBridge;
+  return s;
+}
+
+class PauseTest : public ::testing::Test {
+ protected:
+  PauseTest() : engine_(sim_, HostProfile::server()) {
+    engine_.preload_image(python_spec().image);
+  }
+
+  ContainerId launch_one() {
+    ContainerId id = 0;
+    engine_.launch(python_spec(), [&](Result<LaunchReport> r) {
+      id = r.value().container;
+    });
+    sim_.run();
+    return id;
+  }
+
+  sim::Simulator sim_;
+  ContainerEngine engine_;
+};
+
+TEST_F(PauseTest, PauseReleasesMostIdleMemory) {
+  const auto id = launch_one();
+  const Bytes before = engine_.memory_used();
+  bool paused = false;
+  engine_.pause(id, [&](Result<bool> r) { paused = r.ok(); });
+  sim_.run();
+  EXPECT_TRUE(paused);
+  const Container* c = engine_.find(id);
+  EXPECT_EQ(c->state, ContainerState::kPaused);
+  EXPECT_LT(engine_.memory_used(), before);
+  // Four fifths of the ~700 KiB footprint paged out.
+  EXPECT_NEAR(static_cast<double>(before - engine_.memory_used()),
+              static_cast<double>(c->idle_memory) * 0.8,
+              static_cast<double>(kib(2)));
+}
+
+TEST_F(PauseTest, ResumeRestoresMemoryAndIdleState) {
+  const auto id = launch_one();
+  const Bytes before = engine_.memory_used();
+  engine_.pause(id, [](Result<bool>) {});
+  sim_.run();
+  bool resumed = false;
+  engine_.resume(id, [&](Result<bool> r) { resumed = r.ok(); });
+  sim_.run();
+  EXPECT_TRUE(resumed);
+  EXPECT_EQ(engine_.find(id)->state, ContainerState::kIdle);
+  EXPECT_EQ(engine_.memory_used(), before);
+}
+
+TEST_F(PauseTest, ResumedContainerExecutesWarm) {
+  const auto id = launch_one();
+  const auto app = apps::qr_encoder();
+  engine_.exec(id, app, [](Result<ExecReport>) {});
+  sim_.run();
+  engine_.pause(id, [](Result<bool>) {});
+  sim_.run();
+  engine_.resume(id, [](Result<bool>) {});
+  sim_.run();
+  std::optional<ExecReport> report;
+  engine_.exec(id, app, [&](Result<ExecReport> r) { report = r.value(); });
+  sim_.run();
+  ASSERT_TRUE(report.has_value());
+  EXPECT_TRUE(report->app_was_warm);  // pause keeps the process image
+}
+
+TEST_F(PauseTest, CannotPauseBusyOrResumIdle) {
+  const auto id = launch_one();
+  engine_.exec(id, apps::v3_app(), [](Result<ExecReport>) {});
+  bool pause_failed = false;
+  engine_.pause(id, [&](Result<bool> r) {
+    pause_failed = !r.ok();
+    EXPECT_EQ(r.error().code, "engine.not_pausable");
+  });
+  EXPECT_TRUE(pause_failed);
+  sim_.run();
+  bool resume_failed = false;
+  engine_.resume(id, [&](Result<bool> r) {
+    resume_failed = !r.ok();
+    EXPECT_EQ(r.error().code, "engine.not_paused");
+  });
+  EXPECT_TRUE(resume_failed);
+}
+
+TEST_F(PauseTest, StopAndRemovePausedContainerBalancesMemory) {
+  const Bytes baseline = engine_.memory_used();
+  const auto id = launch_one();
+  engine_.pause(id, [](Result<bool>) {});
+  sim_.run();
+  engine_.stop_and_remove(id, [](Result<bool>) {});
+  sim_.run();
+  EXPECT_EQ(engine_.memory_used(), baseline);
+  EXPECT_EQ(engine_.live_count(), 0u);
+}
+
+TEST_F(PauseTest, ResumeSlowerThanPauseButFasterThanLaunch) {
+  const auto id = launch_one();
+  const TimePoint t0 = sim_.now();
+  engine_.pause(id, [](Result<bool>) {});
+  sim_.run();
+  const Duration pause_cost = sim_.now() - t0;
+  const TimePoint t1 = sim_.now();
+  engine_.resume(id, [](Result<bool>) {});
+  sim_.run();
+  const Duration resume_cost = sim_.now() - t1;
+  const Duration launch_cost = engine_.estimate_startup(python_spec()).total();
+  EXPECT_GT(resume_cost, pause_cost);
+  EXPECT_LT(resume_cost, launch_cost);
+}
+
+// ---------------------------------------------------------------------------
+
+class FaultTest : public ::testing::Test {
+ protected:
+  FaultTest() : engine_(sim_, HostProfile::server()) {
+    engine_.preload_image(python_spec().image);
+  }
+
+  sim::Simulator sim_;
+  ContainerEngine engine_;
+};
+
+TEST_F(FaultTest, LaunchFailuresSurfaceAndCleanUp) {
+  FaultModel faults;
+  faults.launch_failure_rate = 1.0;  // always fail
+  engine_.set_fault_model(faults);
+  const Bytes baseline = engine_.memory_used();
+  bool failed = false;
+  engine_.launch(python_spec(), [&](Result<LaunchReport> r) {
+    failed = !r.ok();
+    EXPECT_EQ(r.error().code, "engine.launch_failed");
+  });
+  sim_.run();
+  EXPECT_TRUE(failed);
+  EXPECT_EQ(engine_.live_count(), 0u);
+  EXPECT_EQ(engine_.memory_used(), baseline);
+  EXPECT_EQ(engine_.network().endpoint_count(), 0u);
+  EXPECT_EQ(engine_.volumes().volume_count(), 0u);
+  EXPECT_EQ(engine_.injected_launch_failures(), 1u);
+}
+
+TEST_F(FaultTest, ExecCrashLeavesContainerIdleButColdApp) {
+  FaultModel faults;
+  faults.exec_crash_rate = 1.0;
+  engine_.set_fault_model(faults);
+  ContainerId id = 0;
+  engine_.launch(python_spec(), [&](Result<LaunchReport> r) {
+    id = r.value().container;
+  });
+  sim_.run();
+  bool crashed = false;
+  engine_.exec(id, apps::v3_app(), [&](Result<ExecReport> r) {
+    crashed = !r.ok();
+    EXPECT_EQ(r.error().code, "engine.exec_crashed");
+  });
+  sim_.run();
+  EXPECT_TRUE(crashed);
+  const Container* c = engine_.find(id);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->state, ContainerState::kIdle);  // container outlives process
+  EXPECT_TRUE(c->warm_app.empty());            // app state died with it
+  EXPECT_EQ(engine_.injected_exec_crashes(), 1u);
+}
+
+TEST_F(FaultTest, PartialFailureRateIsRoughlyHonored) {
+  FaultModel faults;
+  faults.exec_crash_rate = 0.3;
+  faults.seed = 7;
+  engine_.set_fault_model(faults);
+  ContainerId id = 0;
+  engine_.launch(python_spec(), [&](Result<LaunchReport> r) {
+    id = r.value().container;
+  });
+  sim_.run();
+  int crashes = 0;
+  const int total = 200;
+  for (int i = 0; i < total; ++i) {
+    engine_.exec(id, apps::random_number(), [&](Result<ExecReport> r) {
+      if (!r.ok()) ++crashes;
+    });
+    sim_.run();
+  }
+  EXPECT_GT(crashes, total * 3 / 20);  // > 15 %
+  EXPECT_LT(crashes, total * 9 / 20);  // < 45 %
+}
+
+TEST_F(FaultTest, FaultRunsAreReproducible) {
+  auto run_once = [&]() {
+    sim::Simulator sim;
+    ContainerEngine eng(sim, HostProfile::server());
+    eng.preload_image(python_spec().image);
+    FaultModel faults;
+    faults.exec_crash_rate = 0.5;
+    faults.seed = 123;
+    eng.set_fault_model(faults);
+    ContainerId id = 0;
+    eng.launch(python_spec(), [&](Result<LaunchReport> r) {
+      id = r.value().container;
+    });
+    sim.run();
+    std::vector<bool> outcomes;
+    for (int i = 0; i < 50; ++i) {
+      eng.exec(id, apps::random_number(), [&](Result<ExecReport> r) {
+        outcomes.push_back(r.ok());
+      });
+      sim.run();
+    }
+    return outcomes;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+// ---------------------------------------------------------------------------
+
+TEST(ImageGc, EvictsLeastRecentlyUsedUnderDiskPressure) {
+  ImageStore store;
+  const auto a = make_image(spec::ImageRef{"a", "1"},
+                            LanguageRuntime::kNative, mib(40), 2);
+  const auto b = make_image(spec::ImageRef{"b", "1"},
+                            LanguageRuntime::kNative, mib(40), 2);
+  const auto c = make_image(spec::ImageRef{"c", "1"},
+                            LanguageRuntime::kNative, mib(40), 2);
+  // Extracted size is 2.5x: each image ~100 MiB on disk.
+  store.set_disk_limit(mib(220));
+  store.commit(a);
+  store.commit(b);
+  EXPECT_EQ(store.gc_evictions(), 0u);
+  store.touch(a);      // refresh a: b becomes the LRU
+  store.commit(c);     // over the limit -> evict b's layers
+  EXPECT_GT(store.gc_evictions(), 0u);
+  EXPECT_EQ(store.missing_bytes(a), 0);
+  EXPECT_GT(store.missing_bytes(b), 0);
+  EXPECT_EQ(store.missing_bytes(c), 0);
+  EXPECT_LE(store.disk_used(), mib(220));
+}
+
+TEST(ImageGc, NeverEvictsJustCommittedLayers) {
+  ImageStore store;
+  store.set_disk_limit(mib(50));  // smaller than one image
+  const auto big = make_image(spec::ImageRef{"big", "1"},
+                              LanguageRuntime::kNative, mib(40), 2);
+  store.commit(big);  // 100 MiB extracted > limit, but layers are pinned
+  EXPECT_EQ(store.missing_bytes(big), 0);
+}
+
+TEST(ImageGc, UnlimitedByDefault) {
+  ImageStore store;
+  for (int i = 0; i < 10; ++i) {
+    store.commit(make_image(spec::ImageRef{"img" + std::to_string(i), "1"},
+                            LanguageRuntime::kNative, mib(100), 2));
+  }
+  EXPECT_EQ(store.gc_evictions(), 0u);
+}
+
+}  // namespace
+}  // namespace hotc::engine
+
+namespace hotc::engine {
+namespace {
+
+class ReconfigureTest : public ::testing::Test {
+ protected:
+  ReconfigureTest() : engine_(sim_, HostProfile::server()) {
+    base_.image = spec::ImageRef{"python", "3.8"};
+    base_.network = spec::NetworkMode::kBridge;
+    base_.env["TENANT"] = "a";
+    engine_.preload_image(base_.image);
+  }
+
+  sim::Simulator sim_;
+  ContainerEngine engine_;
+  spec::RunSpec base_;
+};
+
+TEST_F(ReconfigureTest, ExecAsChargesEnvDelta) {
+  ContainerId id = 0;
+  engine_.launch(base_, [&](Result<LaunchReport> r) {
+    id = r.value().container;
+  });
+  sim_.run();
+
+  spec::RunSpec other = base_;
+  other.env["TENANT"] = "b";
+  other.env["EXTRA"] = "1";
+  std::optional<ExecReport> report;
+  engine_.exec_as(id, apps::qr_encoder(), other,
+                  [&](Result<ExecReport> r) { report = r.value(); });
+  sim_.run();
+  ASSERT_TRUE(report.has_value());
+  EXPECT_GT(report->reconfigure, kZeroDuration);
+  // The container adopted the request's env: a repeat costs nothing.
+  std::optional<ExecReport> again;
+  engine_.exec_as(id, apps::qr_encoder(), other,
+                  [&](Result<ExecReport> r) { again = r.value(); });
+  sim_.run();
+  EXPECT_EQ(again->reconfigure, kZeroDuration);
+}
+
+TEST_F(ReconfigureTest, IdenticalSpecIsFree) {
+  ContainerId id = 0;
+  engine_.launch(base_, [&](Result<LaunchReport> r) {
+    id = r.value().container;
+  });
+  sim_.run();
+  std::optional<ExecReport> report;
+  engine_.exec_as(id, apps::qr_encoder(), base_,
+                  [&](Result<ExecReport> r) { report = r.value(); });
+  sim_.run();
+  EXPECT_EQ(report->reconfigure, kZeroDuration);
+}
+
+TEST_F(ReconfigureTest, PlainExecNeverReconfigures) {
+  ContainerId id = 0;
+  engine_.launch(base_, [&](Result<LaunchReport> r) {
+    id = r.value().container;
+  });
+  sim_.run();
+  std::optional<ExecReport> report;
+  engine_.exec(id, apps::qr_encoder(),
+               [&](Result<ExecReport> r) { report = r.value(); });
+  sim_.run();
+  EXPECT_EQ(report->reconfigure, kZeroDuration);
+}
+
+TEST_F(ReconfigureTest, VolumeDeltaCostsMore) {
+  CostModel cost(HostProfile::server());
+  spec::RunSpec with_vol = base_;
+  with_vol.volumes.push_back("/h:/c");
+  const auto env_only = [&] {
+    spec::RunSpec r = base_;
+    r.env["X"] = "1";
+    return cost.reconfigure_time(base_, r);
+  }();
+  const auto vol_change = cost.reconfigure_time(base_, with_vol);
+  EXPECT_GT(vol_change, env_only);
+}
+
+}  // namespace
+}  // namespace hotc::engine

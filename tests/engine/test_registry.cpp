@@ -1,0 +1,82 @@
+#include "engine/registry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hotc::engine {
+namespace {
+
+TEST(Registry, PushAndResolve) {
+  Registry reg;
+  const auto img = make_image(spec::ImageRef{"custom", "v1"},
+                              LanguageRuntime::kNode, mib(50));
+  reg.push(img);
+  EXPECT_TRUE(reg.has(spec::ImageRef{"custom", "v1"}));
+  auto r = reg.resolve(spec::ImageRef{"custom", "v1"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().runtime, LanguageRuntime::kNode);
+}
+
+TEST(Registry, SynthesizesUnknownByDefault) {
+  Registry reg;
+  auto r = reg.resolve(spec::ImageRef{"python", "3.8"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().runtime, LanguageRuntime::kPython);
+}
+
+TEST(Registry, StrictModeRejectsUnknown) {
+  Registry reg;
+  reg.set_synthesize_unknown(false);
+  auto r = reg.resolve(spec::ImageRef{"nonexistent", "v9"});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "registry.unknown_image");
+}
+
+TEST(Registry, PushOverwrites) {
+  Registry reg;
+  reg.push(make_image(spec::ImageRef{"x", "1"}, LanguageRuntime::kNode,
+                      mib(10)));
+  reg.push(make_image(spec::ImageRef{"x", "1"}, LanguageRuntime::kJvm,
+                      mib(20)));
+  EXPECT_EQ(reg.image_count(), 1u);
+  EXPECT_EQ(reg.resolve(spec::ImageRef{"x", "1"}).value().runtime,
+            LanguageRuntime::kJvm);
+}
+
+TEST(ImageStore, MissingBytesThenCached) {
+  ImageStore store;
+  const auto img = make_image(spec::ImageRef{"y", "1"},
+                              LanguageRuntime::kNative, mib(40), 4);
+  EXPECT_EQ(store.missing_bytes(img), mib(40));
+  EXPECT_FALSE(store.fully_cached(img));
+  const Bytes added = store.commit(img);
+  EXPECT_EQ(added, mib(40));
+  EXPECT_EQ(store.missing_bytes(img), 0);
+  EXPECT_TRUE(store.fully_cached(img));
+  EXPECT_EQ(store.commit(img), 0);  // idempotent
+}
+
+TEST(ImageStore, SharedLayersDeduplicated) {
+  ImageStore store;
+  // Two images with the same ref share digests entirely.
+  const auto a = make_image(spec::ImageRef{"z", "1"},
+                            LanguageRuntime::kNative, mib(20), 2);
+  const auto b = make_image(spec::ImageRef{"z", "1"},
+                            LanguageRuntime::kNative, mib(20), 2);
+  store.commit(a);
+  EXPECT_EQ(store.missing_bytes(b), 0);
+  EXPECT_EQ(store.layer_count(), 2u);
+}
+
+TEST(ImageStore, DiskUsageTracksExtractedSize) {
+  ImageStore store;
+  const auto img = make_image(spec::ImageRef{"w", "1"},
+                              LanguageRuntime::kNative, mib(10), 2);
+  store.commit(img);
+  EXPECT_EQ(store.disk_used(), img.extracted_size());
+  store.clear();
+  EXPECT_EQ(store.disk_used(), 0);
+  EXPECT_EQ(store.layer_count(), 0u);
+}
+
+}  // namespace
+}  // namespace hotc::engine

@@ -1,0 +1,64 @@
+#include "engine/volume.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hotc::engine {
+namespace {
+
+TEST(VolumeManager, CreateAssignsUniquePaths) {
+  VolumeManager vm;
+  const auto a = vm.create();
+  const auto b = vm.create();
+  EXPECT_NE(a.id, b.id);
+  EXPECT_NE(a.path, b.path);
+  EXPECT_EQ(vm.volume_count(), 2u);
+}
+
+TEST(VolumeManager, WriteAccumulatesDirtyBytes) {
+  VolumeManager vm;
+  const auto v = vm.create();
+  ASSERT_TRUE(vm.write(v.id, kib(10)).ok());
+  ASSERT_TRUE(vm.write(v.id, kib(5)).ok());
+  EXPECT_EQ(vm.get(v.id).value().dirty_bytes, kib(15));
+  EXPECT_EQ(vm.total_dirty_bytes(), kib(15));
+}
+
+TEST(VolumeManager, WipeAndRemountResetsAndBumpsGeneration) {
+  VolumeManager vm;
+  const auto v = vm.create();
+  vm.write(v.id, mib(2));
+  auto wiped = vm.wipe_and_remount(v.id);
+  ASSERT_TRUE(wiped.ok());
+  EXPECT_EQ(wiped.value(), mib(2));
+  const auto after = vm.get(v.id).value();
+  EXPECT_EQ(after.dirty_bytes, 0);
+  EXPECT_EQ(after.generation, 1u);
+  // Second wipe on a clean volume removes nothing.
+  EXPECT_EQ(vm.wipe_and_remount(v.id).value(), 0);
+  EXPECT_EQ(vm.get(v.id).value().generation, 2u);
+}
+
+TEST(VolumeManager, DestroyRemoves) {
+  VolumeManager vm;
+  const auto v = vm.create();
+  ASSERT_TRUE(vm.destroy(v.id).ok());
+  EXPECT_EQ(vm.volume_count(), 0u);
+  EXPECT_FALSE(vm.get(v.id).ok());
+  EXPECT_FALSE(vm.destroy(v.id).ok());
+}
+
+TEST(VolumeManager, ErrorsOnUnknownVolume) {
+  VolumeManager vm;
+  EXPECT_FALSE(vm.write(42, 10).ok());
+  EXPECT_FALSE(vm.wipe_and_remount(42).ok());
+  EXPECT_FALSE(vm.get(42).ok());
+}
+
+TEST(VolumeManager, NegativeWriteRejected) {
+  VolumeManager vm;
+  const auto v = vm.create();
+  EXPECT_FALSE(vm.write(v.id, -1).ok());
+}
+
+}  // namespace
+}  // namespace hotc::engine

@@ -1,0 +1,178 @@
+#include "matrix_code.hpp"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+namespace hotc::examples {
+namespace {
+
+TEST(GaloisFieldTest, MulDivInverse) {
+  GaloisField gf;
+  for (int a = 1; a < 256; ++a) {
+    const auto av = static_cast<std::uint8_t>(a);
+    EXPECT_EQ(gf.mul(av, gf.inverse(av)), 1) << a;
+    EXPECT_EQ(gf.div(av, av), 1) << a;
+    EXPECT_EQ(gf.mul(av, 1), av);
+    EXPECT_EQ(gf.mul(av, 0), 0);
+  }
+}
+
+TEST(GaloisFieldTest, MulCommutativeAssociative) {
+  GaloisField gf;
+  std::mt19937 rng(1);
+  for (int i = 0; i < 500; ++i) {
+    const auto a = static_cast<std::uint8_t>(rng());
+    const auto b = static_cast<std::uint8_t>(rng());
+    const auto c = static_cast<std::uint8_t>(rng());
+    EXPECT_EQ(gf.mul(a, b), gf.mul(b, a));
+    EXPECT_EQ(gf.mul(gf.mul(a, b), c), gf.mul(a, gf.mul(b, c)));
+    // Distributivity over XOR (field addition).
+    EXPECT_EQ(gf.mul(a, gf.add(b, c)),
+              gf.add(gf.mul(a, b), gf.mul(a, c)));
+  }
+}
+
+TEST(GaloisFieldTest, PowMatchesRepeatedMul) {
+  GaloisField gf;
+  std::uint8_t acc = 1;
+  for (int n = 0; n < 20; ++n) {
+    EXPECT_EQ(gf.pow(2, n), acc);
+    acc = gf.mul(acc, 2);
+  }
+}
+
+TEST(ReedSolomonTest, EncodeAppendsParity) {
+  ReedSolomon rs(8);
+  const std::vector<std::uint8_t> data{1, 2, 3, 4};
+  const auto cw = rs.encode(data);
+  ASSERT_EQ(cw.size(), 12u);
+  EXPECT_TRUE(std::equal(data.begin(), data.end(), cw.begin()));
+}
+
+TEST(ReedSolomonTest, CleanCodewordDecodesAsZeroErrors) {
+  ReedSolomon rs(8);
+  auto cw = rs.encode({9, 8, 7, 6, 5});
+  EXPECT_EQ(rs.decode(cw), 0);
+}
+
+TEST(ReedSolomonTest, CorrectsSingleError) {
+  ReedSolomon rs(8);
+  const auto clean = rs.encode({10, 20, 30, 40, 50});
+  for (std::size_t pos = 0; pos < clean.size(); ++pos) {
+    auto damaged = clean;
+    damaged[pos] ^= 0xA5;
+    EXPECT_EQ(rs.decode(damaged), 1) << "pos " << pos;
+    EXPECT_EQ(damaged, clean) << "pos " << pos;
+  }
+}
+
+TEST(ReedSolomonTest, CorrectsUpToHalfParityErrors) {
+  ReedSolomon rs(16);  // corrects up to 8
+  std::mt19937 rng(7);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<std::uint8_t> data(20);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+    const auto clean = rs.encode(data);
+    auto damaged = clean;
+    const int nerr = 1 + static_cast<int>(rng() % 8);
+    std::vector<std::size_t> positions;
+    while (static_cast<int>(positions.size()) < nerr) {
+      const std::size_t p = rng() % damaged.size();
+      if (std::find(positions.begin(), positions.end(), p) ==
+          positions.end()) {
+        positions.push_back(p);
+      }
+    }
+    for (const auto p : positions) {
+      damaged[p] ^= static_cast<std::uint8_t>(1 + rng() % 255);
+    }
+    EXPECT_EQ(rs.decode(damaged), nerr);
+    EXPECT_EQ(damaged, clean);
+  }
+}
+
+TEST(ReedSolomonTest, TooManyErrorsReported) {
+  ReedSolomon rs(8);  // corrects up to 4
+  std::mt19937 rng(3);
+  int detected = 0;
+  const int trials = 50;
+  for (int trial = 0; trial < trials; ++trial) {
+    std::vector<std::uint8_t> data(30);
+    for (auto& b : data) b = static_cast<std::uint8_t>(rng());
+    auto damaged = rs.encode(data);
+    for (int e = 0; e < 6; ++e) {  // beyond capacity
+      damaged[rng() % damaged.size()] ^= 0xFF;
+    }
+    if (rs.decode(damaged) < 0) ++detected;
+  }
+  // Beyond-capacity damage is *usually* detected (miscorrection is
+  // possible but rare).
+  EXPECT_GT(detected, trials / 2);
+}
+
+TEST(MatrixCodeTest, RoundTripCleanText) {
+  for (const char* text :
+       {"a", "https://example.com", "hello world",
+        "a-much-longer-url-with-querystring?a=1&b=2&c=3&d=4"}) {
+    const auto code = encode_matrix_code(text);
+    EXPECT_EQ(decode_matrix_code(code), text);
+  }
+}
+
+TEST(MatrixCodeTest, SurvivesModuleDamage) {
+  const std::string text = "https://example.com/resilient";
+  const auto clean = encode_matrix_code(text);
+  auto damaged = clean;
+  // Flip 8 scattered modules: at most ~8 byte errors, RS corrects 8.
+  std::size_t flipped = 0;
+  for (std::size_t i = 200; i < damaged.modules.size() && flipped < 8;
+       i += 97) {
+    damaged.modules[i] = !damaged.modules[i];
+    ++flipped;
+  }
+  EXPECT_EQ(decode_matrix_code(damaged), text);
+}
+
+TEST(MatrixCodeTest, SizeGrowsWithPayload) {
+  const auto small = encode_matrix_code("x");
+  const auto large = encode_matrix_code(std::string(300, 'y'));
+  EXPECT_GE(large.size, small.size);
+  EXPECT_GE(small.size, 21u);
+  EXPECT_EQ(small.size % 2, 1u);  // odd sizes only
+}
+
+TEST(MatrixCodeTest, FinderPatternsPresent) {
+  const auto code = encode_matrix_code("finder-check");
+  // Center of each finder square is dark; the ring corners are dark.
+  EXPECT_TRUE(code.at(3, 3));
+  EXPECT_TRUE(code.at(0, 0));
+  EXPECT_TRUE(code.at(3, code.size - 4));
+  EXPECT_TRUE(code.at(code.size - 4, 3));
+  // Separator area (row 7 inside finder columns) is light.
+  EXPECT_FALSE(code.at(7, 2));
+}
+
+TEST(MatrixCodeTest, AsciiRenderingShape) {
+  const auto code = encode_matrix_code("ascii");
+  const auto art = code.to_ascii();
+  // size lines, each 2*size chars + newline.
+  std::size_t lines = 0;
+  for (const char c : art) {
+    if (c == '\n') ++lines;
+  }
+  EXPECT_EQ(lines, code.size);
+}
+
+TEST(MatrixCodeTest, GarbageDecodesToEmpty) {
+  MatrixCode garbage;
+  garbage.size = 21;
+  garbage.modules.assign(21 * 21, true);
+  // All-dark data region is a valid bit pattern but the RS check fails
+  // (or the length prefix is absurd): decode returns empty, not UB.
+  const auto out = decode_matrix_code(garbage);
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace hotc::examples

@@ -1,0 +1,216 @@
+// Checkpoint/restore extension tests (engine + controller).
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "engine/app.hpp"
+#include "hotc/controller.hpp"
+#include "predict/baselines.hpp"
+
+namespace hotc {
+namespace {
+
+spec::RunSpec python_spec() {
+  spec::RunSpec s;
+  s.image = spec::ImageRef{"python", "3.8"};
+  s.network = spec::NetworkMode::kBridge;
+  return s;
+}
+
+class CheckpointEngineTest : public ::testing::Test {
+ protected:
+  CheckpointEngineTest() : engine_(sim_, engine::HostProfile::server()) {
+    engine_.preload_image(python_spec().image);
+  }
+
+  engine::ContainerId launch_and_warm(const engine::AppModel& app) {
+    engine::ContainerId id = 0;
+    engine_.launch(python_spec(), [&](Result<engine::LaunchReport> r) {
+      id = r.value().container;
+      engine_.exec(id, app, [](Result<engine::ExecReport>) {});
+    });
+    sim_.run();
+    return id;
+  }
+
+  sim::Simulator sim_;
+  engine::ContainerEngine engine_;
+};
+
+TEST_F(CheckpointEngineTest, CheckpointAndRestoreKeepsWarmState) {
+  const auto app = engine::apps::v3_app();
+  const auto id = launch_and_warm(app);
+
+  std::optional<engine::ContainerEngine::CheckpointId> ckpt;
+  engine_.checkpoint(id, [&](Result<engine::ContainerEngine::CheckpointId> r) {
+    ckpt = r.value();
+  });
+  sim_.run();
+  ASSERT_TRUE(ckpt.has_value());
+  EXPECT_EQ(engine_.checkpoint_count(), 1u);
+  EXPECT_GT(engine_.checkpoint_disk_used(), 0);
+
+  // Kill the original container entirely.
+  engine_.stop_and_remove(id, [](Result<bool>) {});
+  sim_.run();
+  EXPECT_EQ(engine_.live_count(), 0u);
+
+  // Restore: a new container appears Idle, already warm for the app.
+  std::optional<engine::LaunchReport> restored;
+  engine_.restore(*ckpt, [&](Result<engine::LaunchReport> r) {
+    restored = r.value();
+  });
+  sim_.run();
+  ASSERT_TRUE(restored.has_value());
+  const engine::Container* c = engine_.find(restored->container);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->state, engine::ContainerState::kIdle);
+  EXPECT_EQ(c->warm_app, app.name);
+
+  std::optional<engine::ExecReport> exec;
+  engine_.exec(restored->container, app,
+               [&](Result<engine::ExecReport> r) { exec = r.value(); });
+  sim_.run();
+  EXPECT_TRUE(exec->app_was_warm);  // no model reload after restore
+}
+
+TEST_F(CheckpointEngineTest, RestoreFasterThanColdSlowerThanNothing) {
+  const auto app = engine::apps::v3_app();
+  const auto id = launch_and_warm(app);
+  std::optional<engine::ContainerEngine::CheckpointId> ckpt;
+  engine_.checkpoint(id, [&](Result<engine::ContainerEngine::CheckpointId> r) {
+    ckpt = r.value();
+  });
+  sim_.run();
+
+  const TimePoint t0 = sim_.now();
+  engine_.restore(*ckpt, [](Result<engine::LaunchReport>) {});
+  sim_.run();
+  const Duration restore_cost = sim_.now() - t0;
+  const Duration cold_cost =
+      engine_.estimate_startup(python_spec()).total() +
+      engine::CostModel(engine::HostProfile::server())
+          .compute_time(app.app_init_seconds);
+  EXPECT_GT(restore_cost, kZeroDuration);
+  EXPECT_LT(restore_cost, cold_cost);
+}
+
+TEST_F(CheckpointEngineTest, CannotCheckpointBusyContainer) {
+  engine::ContainerId id = 0;
+  engine_.launch(python_spec(), [&](Result<engine::LaunchReport> r) {
+    id = r.value().container;
+  });
+  sim_.run();
+  engine_.exec(id, engine::apps::v3_app(), [](Result<engine::ExecReport>) {});
+  bool failed = false;
+  engine_.checkpoint(id, [&](Result<engine::ContainerEngine::CheckpointId> r) {
+    failed = !r.ok();
+    EXPECT_EQ(r.error().code, "engine.not_checkpointable");
+  });
+  EXPECT_TRUE(failed);
+  sim_.run();
+}
+
+TEST_F(CheckpointEngineTest, RestoreUnknownCheckpointFails) {
+  bool failed = false;
+  engine_.restore(42, [&](Result<engine::LaunchReport> r) {
+    failed = !r.ok();
+    EXPECT_EQ(r.error().code, "engine.unknown_checkpoint");
+  });
+  EXPECT_TRUE(failed);
+}
+
+TEST_F(CheckpointEngineTest, DropCheckpointFreesDisk) {
+  const auto id = launch_and_warm(engine::apps::qr_encoder());
+  std::optional<engine::ContainerEngine::CheckpointId> ckpt;
+  engine_.checkpoint(id, [&](Result<engine::ContainerEngine::CheckpointId> r) {
+    ckpt = r.value();
+  });
+  sim_.run();
+  EXPECT_TRUE(engine_.drop_checkpoint(*ckpt));
+  EXPECT_FALSE(engine_.drop_checkpoint(*ckpt));
+  EXPECT_EQ(engine_.checkpoint_disk_used(), 0);
+}
+
+// ---------------------------------------------------------------------------
+
+class CheckpointControllerTest : public ::testing::Test {
+ protected:
+  CheckpointControllerTest() : engine_(sim_, engine::HostProfile::server()) {
+    engine_.preload_image(python_spec().image);
+  }
+
+  sim::Simulator sim_;
+  engine::ContainerEngine engine_;
+};
+
+TEST_F(CheckpointControllerTest, RetireDumpsAndMissRestores) {
+  ControllerOptions opt;
+  opt.use_checkpoint_restore = true;
+  // Forecast 0 so the adaptive tick retires the pooled runtime.
+  opt.predictor_factory = [] {
+    return std::make_unique<predict::ConstantPredictor>(0.0);
+  };
+  HotCController ctl(engine_, opt);
+  const auto app = engine::apps::v3_app();
+
+  std::optional<RequestOutcome> first;
+  ctl.handle(python_spec(), app,
+             [&](Result<RequestOutcome> r) { first = r.value(); });
+  sim_.run();
+  ctl.adaptive_tick();  // retires -> checkpoints first
+  sim_.run();
+  EXPECT_EQ(engine_.live_count(), 0u);
+  EXPECT_EQ(ctl.stats().checkpoints, 1u);
+  EXPECT_EQ(engine_.checkpoint_count(), 1u);
+
+  std::optional<RequestOutcome> second;
+  ctl.handle(python_spec(), app,
+             [&](Result<RequestOutcome> r) { second = r.value(); });
+  sim_.run();
+  ASSERT_TRUE(second.has_value());
+  EXPECT_TRUE(second->restored);
+  EXPECT_FALSE(second->reused);
+  EXPECT_EQ(ctl.stats().restores, 1u);
+  // Restore beats the cold start it replaced.
+  EXPECT_LT(second->total, first->total);
+  // And skips the app re-init: exec portion is warm-sized.
+  EXPECT_LT(second->exec_total, seconds_f(app.exec_seconds + 0.1));
+}
+
+TEST_F(CheckpointControllerTest, DisabledByDefault) {
+  ControllerOptions opt;
+  opt.predictor_factory = [] {
+    return std::make_unique<predict::ConstantPredictor>(0.0);
+  };
+  HotCController ctl(engine_, opt);
+  ctl.handle(python_spec(), engine::apps::qr_encoder(),
+             [](Result<RequestOutcome>) {});
+  sim_.run();
+  ctl.adaptive_tick();
+  sim_.run();
+  EXPECT_EQ(engine_.checkpoint_count(), 0u);
+  EXPECT_EQ(ctl.stats().checkpoints, 0u);
+}
+
+TEST_F(CheckpointControllerTest, CheckpointTakenOncePerKey) {
+  ControllerOptions opt;
+  opt.use_checkpoint_restore = true;
+  opt.predictor_factory = [] {
+    return std::make_unique<predict::ConstantPredictor>(0.0);
+  };
+  HotCController ctl(engine_, opt);
+  const auto app = engine::apps::qr_encoder();
+  for (int round = 0; round < 3; ++round) {
+    ctl.handle(python_spec(), app, [](Result<RequestOutcome>) {});
+    sim_.run();
+    ctl.adaptive_tick();
+    sim_.run();
+  }
+  EXPECT_EQ(ctl.stats().checkpoints, 1u);
+  EXPECT_EQ(engine_.checkpoint_count(), 1u);
+  EXPECT_EQ(ctl.stats().restores, 2u);  // rounds 2 and 3 restored
+}
+
+}  // namespace
+}  // namespace hotc

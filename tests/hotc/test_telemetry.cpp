@@ -1,0 +1,86 @@
+#include "hotc/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "engine/app.hpp"
+
+namespace hotc {
+namespace {
+
+spec::RunSpec python_spec() {
+  spec::RunSpec s;
+  s.image = spec::ImageRef{"python", "3.8"};
+  s.network = spec::NetworkMode::kBridge;
+  return s;
+}
+
+TEST(Telemetry, EngineOnlyExport) {
+  sim::Simulator sim;
+  engine::ContainerEngine engine(sim, engine::HostProfile::server());
+  const std::string text = export_prometheus(engine, nullptr);
+  EXPECT_NE(text.find("# TYPE hotc_engine_containers_live gauge"),
+            std::string::npos);
+  EXPECT_NE(text.find("hotc_engine_containers_live{instance=\"hotc\"} 0"),
+            std::string::npos);
+  // Controller metrics absent without a controller.
+  EXPECT_EQ(text.find("hotc_requests_total"), std::string::npos);
+}
+
+TEST(Telemetry, CountersReflectActivity) {
+  sim::Simulator sim;
+  engine::ContainerEngine engine(sim, engine::HostProfile::server());
+  engine.preload_image(python_spec().image);
+  HotCController ctl(engine, ControllerOptions{});
+  for (int i = 0; i < 3; ++i) {
+    ctl.handle(python_spec(), engine::apps::qr_encoder(),
+               [](Result<RequestOutcome>) {});
+    sim.run();
+  }
+  const std::string text = export_prometheus(engine, &ctl);
+  EXPECT_NE(text.find("hotc_requests_total{instance=\"hotc\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("hotc_cold_starts_total{instance=\"hotc\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("hotc_reuses_total{instance=\"hotc\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("hotc_pool_available{instance=\"hotc\"} 1"),
+            std::string::npos);
+  EXPECT_NE(text.find("hotc_engine_execs_total{instance=\"hotc\"} 3"),
+            std::string::npos);
+}
+
+TEST(Telemetry, CustomInstanceLabel) {
+  sim::Simulator sim;
+  engine::ContainerEngine engine(sim, engine::HostProfile::edge_pi());
+  TelemetryLabels labels;
+  labels.instance = "edge-7";
+  const std::string text = export_prometheus(engine, nullptr, labels);
+  EXPECT_NE(text.find("{instance=\"edge-7\"}"), std::string::npos);
+}
+
+TEST(Telemetry, EveryLineWellFormed) {
+  sim::Simulator sim;
+  engine::ContainerEngine engine(sim, engine::HostProfile::server());
+  HotCController ctl(engine, ControllerOptions{});
+  const std::string text = export_prometheus(engine, &ctl);
+  std::istringstream in(text);
+  std::string line;
+  int samples = 0;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty());
+    if (line[0] == '#') {
+      EXPECT_TRUE(line.rfind("# HELP ", 0) == 0 ||
+                  line.rfind("# TYPE ", 0) == 0)
+          << line;
+    } else {
+      // name{labels} value
+      EXPECT_NE(line.find("{instance="), std::string::npos) << line;
+      EXPECT_NE(line.find("} "), std::string::npos) << line;
+      ++samples;
+    }
+  }
+  EXPECT_GE(samples, 15);
+}
+
+}  // namespace
+}  // namespace hotc

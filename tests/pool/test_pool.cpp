@@ -1,0 +1,181 @@
+#include "pool/pool.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hotc::pool {
+namespace {
+
+spec::RuntimeKey key_for(const std::string& image) {
+  spec::RunSpec s;
+  s.image = spec::ImageRef{image, "latest"};
+  return spec::RuntimeKey::from_spec(s);
+}
+
+PoolEntry entry(engine::ContainerId id, const spec::RuntimeKey& key,
+                TimePoint created) {
+  PoolEntry e;
+  e.id = id;
+  e.key = key;
+  e.created_at = created;
+  return e;
+}
+
+TEST(RuntimePool, MissOnEmptyPool) {
+  RuntimePool pool;
+  EXPECT_FALSE(pool.acquire(key_for("python"), seconds(0)).has_value());
+  EXPECT_EQ(pool.stats().misses, 1u);
+  EXPECT_EQ(pool.stats().hits, 0u);
+}
+
+TEST(RuntimePool, HitAfterAdd) {
+  RuntimePool pool;
+  const auto key = key_for("python");
+  pool.add_available(entry(7, key, seconds(0)), seconds(1));
+  EXPECT_EQ(pool.num_available(key), 1u);
+  auto got = pool.acquire(key, seconds(2));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->id, 7u);
+  EXPECT_EQ(got->reuse_count, 1u);
+  EXPECT_EQ(pool.num_available(key), 0u);
+  EXPECT_EQ(pool.stats().hits, 1u);
+}
+
+TEST(RuntimePool, KeysAreIsolated) {
+  RuntimePool pool;
+  pool.add_available(entry(1, key_for("python"), seconds(0)), seconds(0));
+  EXPECT_FALSE(pool.acquire(key_for("node"), seconds(1)).has_value());
+  EXPECT_TRUE(pool.acquire(key_for("python"), seconds(1)).has_value());
+}
+
+TEST(RuntimePool, FifoReuseOrder) {
+  // "the client just reuses the first available container."
+  RuntimePool pool;
+  const auto key = key_for("go");
+  pool.add_available(entry(1, key, seconds(0)), seconds(0));
+  pool.add_available(entry(2, key, seconds(0)), seconds(1));
+  pool.add_available(entry(3, key, seconds(0)), seconds(2));
+  EXPECT_EQ(pool.acquire(key, seconds(3))->id, 1u);
+  EXPECT_EQ(pool.acquire(key, seconds(3))->id, 2u);
+  EXPECT_EQ(pool.acquire(key, seconds(3))->id, 3u);
+}
+
+TEST(RuntimePool, NumAvailTracksAlgorithm1And2) {
+  RuntimePool pool;
+  const auto key = key_for("python");
+  // Algorithm 2: cleanup adds, num_avail++.
+  pool.add_available(entry(1, key, seconds(0)), seconds(0));
+  pool.add_available(entry(2, key, seconds(0)), seconds(0));
+  EXPECT_EQ(pool.num_available(key), 2u);
+  // Algorithm 1: reuse decrements, num_avail--.
+  pool.acquire(key, seconds(1));
+  EXPECT_EQ(pool.num_available(key), 1u);
+  EXPECT_EQ(pool.total_available(), 1u);
+  EXPECT_EQ(pool.stats().returns, 2u);
+}
+
+TEST(RuntimePool, RemoveSpecificContainer) {
+  RuntimePool pool;
+  const auto key = key_for("python");
+  pool.add_available(entry(1, key, seconds(0)), seconds(0));
+  pool.add_available(entry(2, key, seconds(0)), seconds(0));
+  EXPECT_TRUE(pool.remove(key, 1));
+  EXPECT_FALSE(pool.remove(key, 1));  // already gone
+  EXPECT_FALSE(pool.remove(key_for("node"), 2));
+  EXPECT_EQ(pool.num_available(key), 1u);
+  EXPECT_EQ(pool.acquire(key, seconds(1))->id, 2u);
+}
+
+TEST(RuntimePool, OldestFirstVictim) {
+  RuntimePool pool;
+  pool.add_available(entry(1, key_for("a"), seconds(50)), seconds(60));
+  pool.add_available(entry(2, key_for("b"), seconds(10)), seconds(70));
+  pool.add_available(entry(3, key_for("c"), seconds(30)), seconds(80));
+  auto victim = pool.select_victim(EvictionPolicy::kOldestFirst);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->id, 2u);  // earliest created_at
+}
+
+TEST(RuntimePool, LruVictim) {
+  RuntimePool pool;
+  pool.add_available(entry(1, key_for("a"), seconds(0)), seconds(60));
+  pool.add_available(entry(2, key_for("b"), seconds(0)), seconds(10));
+  pool.add_available(entry(3, key_for("c"), seconds(0)), seconds(80));
+  auto victim = pool.select_victim(EvictionPolicy::kLru);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->id, 2u);  // returned to pool longest ago
+}
+
+TEST(RuntimePool, RandomVictimIsValid) {
+  RuntimePool pool;
+  Rng rng(3);
+  pool.add_available(entry(1, key_for("a"), seconds(0)), seconds(0));
+  pool.add_available(entry(2, key_for("b"), seconds(0)), seconds(0));
+  pool.add_available(entry(3, key_for("b"), seconds(0)), seconds(0));
+  for (int i = 0; i < 20; ++i) {
+    auto victim = pool.select_victim(EvictionPolicy::kRandom, &rng);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_GE(victim->id, 1u);
+    EXPECT_LE(victim->id, 3u);
+  }
+}
+
+TEST(RuntimePool, NoVictimWhenEmpty) {
+  RuntimePool pool;
+  EXPECT_FALSE(pool.select_victim(EvictionPolicy::kOldestFirst).has_value());
+}
+
+TEST(RuntimePool, AtCapacity) {
+  PoolLimits limits;
+  limits.max_live = 2;
+  RuntimePool pool(limits);
+  EXPECT_FALSE(pool.at_capacity());
+  pool.add_available(entry(1, key_for("a"), seconds(0)), seconds(0));
+  pool.add_available(entry(2, key_for("a"), seconds(0)), seconds(0));
+  EXPECT_TRUE(pool.at_capacity());
+}
+
+TEST(RuntimePool, PaperDefaults) {
+  RuntimePool pool;
+  EXPECT_EQ(pool.limits().max_live, 500u);   // "maximum ... to 500"
+  EXPECT_DOUBLE_EQ(pool.limits().memory_threshold, 0.8);  // "80%"
+}
+
+TEST(RuntimePool, HitRate) {
+  RuntimePool pool;
+  const auto key = key_for("x");
+  pool.acquire(key, seconds(0));  // miss
+  pool.add_available(entry(1, key, seconds(0)), seconds(0));
+  pool.acquire(key, seconds(1));  // hit
+  EXPECT_DOUBLE_EQ(pool.stats().hit_rate(), 0.5);
+}
+
+TEST(RuntimePool, EntriesSnapshotOldestFirst) {
+  RuntimePool pool;
+  const auto key = key_for("x");
+  pool.add_available(entry(1, key, seconds(0)), seconds(0));
+  pool.add_available(entry(2, key, seconds(0)), seconds(5));
+  auto entries = pool.entries(key);
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].id, 1u);
+  EXPECT_TRUE(pool.entries(key_for("other")).empty());
+}
+
+TEST(RuntimePool, ClearEmptiesEverything) {
+  RuntimePool pool;
+  pool.add_available(entry(1, key_for("a"), seconds(0)), seconds(0));
+  pool.clear();
+  EXPECT_EQ(pool.total_available(), 0u);
+  EXPECT_TRUE(pool.keys().empty());
+}
+
+TEST(RuntimePool, ReturnedAtStampedOnAdd) {
+  RuntimePool pool;
+  const auto key = key_for("a");
+  PoolEntry e = entry(1, key, seconds(0));
+  e.returned_at = seconds(999);  // must be overwritten
+  pool.add_available(e, seconds(42));
+  EXPECT_EQ(pool.entries(key)[0].returned_at, seconds(42));
+}
+
+}  // namespace
+}  // namespace hotc::pool

@@ -1,0 +1,82 @@
+#include "predict/baselines.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hotc::predict {
+namespace {
+
+TEST(LastValue, TracksLastObservation) {
+  LastValuePredictor p;
+  EXPECT_DOUBLE_EQ(p.predict(), 0.0);
+  p.observe(5.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 5.0);
+  p.observe(9.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 9.0);
+  p.reset();
+  EXPECT_DOUBLE_EQ(p.predict(), 0.0);
+}
+
+TEST(MovingAverage, WindowedMean) {
+  MovingAveragePredictor p(3);
+  p.observe(3.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 3.0);
+  p.observe(6.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 4.5);
+  p.observe(9.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 6.0);
+  p.observe(12.0);  // 3 falls out of the window
+  EXPECT_DOUBLE_EQ(p.predict(), 9.0);
+}
+
+TEST(MovingAverage, ResetAndCount) {
+  MovingAveragePredictor p(5);
+  for (int i = 0; i < 10; ++i) p.observe(1.0);
+  EXPECT_EQ(p.observations(), 10u);
+  p.reset();
+  EXPECT_EQ(p.observations(), 0u);
+  EXPECT_DOUBLE_EQ(p.predict(), 0.0);
+}
+
+TEST(Constant, AlwaysSame) {
+  ConstantPredictor p(4.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 4.0);
+  p.observe(100.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 4.0);
+}
+
+TEST(Histogram, EmptyPredictsZero) {
+  HistogramPredictor p;
+  EXPECT_DOUBLE_EQ(p.predict(), 0.0);
+}
+
+TEST(Histogram, ModeWins) {
+  HistogramPredictor p(100, 10);
+  // 80 % of observations near 10, 20 % near 100.
+  for (int i = 0; i < 40; ++i) p.observe(10.0);
+  for (int i = 0; i < 10; ++i) p.observe(100.0);
+  EXPECT_NEAR(p.predict(), 10.0, 10.0);
+}
+
+TEST(Histogram, ConstantHistory) {
+  HistogramPredictor p;
+  for (int i = 0; i < 5; ++i) p.observe(6.0);
+  EXPECT_DOUBLE_EQ(p.predict(), 6.0);
+}
+
+TEST(Histogram, WindowSlides) {
+  HistogramPredictor p(10, 4);
+  for (int i = 0; i < 10; ++i) p.observe(1.0);
+  for (int i = 0; i < 10; ++i) p.observe(50.0);  // old regime fully evicted
+  EXPECT_GT(p.predict(), 40.0);
+}
+
+TEST(BaselineNames, Distinct) {
+  MovingAveragePredictor ma(5);
+  HistogramPredictor h;
+  LastValuePredictor lv;
+  EXPECT_NE(ma.name(), h.name());
+  EXPECT_NE(h.name(), lv.name());
+}
+
+}  // namespace
+}  // namespace hotc::predict

@@ -1,0 +1,61 @@
+#include "predict/evaluator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "predict/baselines.hpp"
+#include "predict/exp_smoothing.hpp"
+
+namespace hotc::predict {
+namespace {
+
+TEST(Evaluator, PredictionsAlignedWithSeries) {
+  LastValuePredictor p;
+  const std::vector<double> series{1.0, 2.0, 3.0};
+  const auto result = evaluate(p, series, 1);
+  ASSERT_EQ(result.predictions.size(), 3u);
+  EXPECT_DOUBLE_EQ(result.predictions[0], 0.0);  // nothing observed yet
+  EXPECT_DOUBLE_EQ(result.predictions[1], 1.0);  // last value
+  EXPECT_DOUBLE_EQ(result.predictions[2], 2.0);
+}
+
+TEST(Evaluator, WarmupExcludedFromMetrics) {
+  LastValuePredictor p;
+  const std::vector<double> series{100.0, 5.0, 5.0, 5.0};
+  const auto result = evaluate(p, series, 2);
+  // Steps 2 and 3 both predict 5 after observing 5 — zero error.
+  EXPECT_DOUBLE_EQ(result.metrics.mae, 0.0);
+}
+
+TEST(Evaluator, PerfectPredictorZeroError) {
+  ConstantPredictor p(5.0);
+  const std::vector<double> series(10, 5.0);
+  const auto result = evaluate(p, series, 0);
+  EXPECT_DOUBLE_EQ(result.metrics.mape, 0.0);
+  EXPECT_DOUBLE_EQ(result.metrics.rmse, 0.0);
+}
+
+TEST(Evaluator, RelativeErrorsPerStep) {
+  ConstantPredictor p(8.0);
+  const std::vector<double> series{10.0, 16.0};
+  const auto result = evaluate(p, series, 0);
+  ASSERT_EQ(result.relative_errors.size(), 2u);
+  EXPECT_NEAR(result.relative_errors[0], 0.2, 1e-12);
+  EXPECT_NEAR(result.relative_errors[1], 0.5, 1e-12);
+}
+
+TEST(Evaluator, EmptySeries) {
+  LastValuePredictor p;
+  const auto result = evaluate(p, {}, 0);
+  EXPECT_TRUE(result.predictions.empty());
+  EXPECT_DOUBLE_EQ(result.metrics.mae, 0.0);
+}
+
+TEST(Evaluator, PredictorStateAdvances) {
+  ExponentialSmoothing es(0.8);
+  const std::vector<double> series{4.0, 4.0, 4.0};
+  evaluate(es, series, 0);
+  EXPECT_EQ(es.observations(), 3u);
+}
+
+}  // namespace
+}  // namespace hotc::predict

@@ -1,0 +1,114 @@
+#include "predict/exp_smoothing.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/rng.hpp"
+
+namespace hotc::predict {
+using hotc::Rng;
+namespace {
+
+TEST(ExpSmoothing, NoHistoryPredictsZero) {
+  ExponentialSmoothing es(0.8);
+  EXPECT_DOUBLE_EQ(es.predict(), 0.0);
+}
+
+TEST(ExpSmoothing, ConstantSeriesConverges) {
+  ExponentialSmoothing es(0.8);
+  for (int i = 0; i < 30; ++i) es.observe(7.0);
+  EXPECT_NEAR(es.predict(), 7.0, 1e-9);
+}
+
+TEST(ExpSmoothing, RecursionMatchesEquationOne) {
+  // After the 5-point seed window, the update must be exactly
+  // e_t = alpha*x + (1-alpha)*e_{t-1}.
+  ExponentialSmoothing es(0.8);
+  for (int i = 0; i < 6; ++i) es.observe(10.0);
+  const double before = es.predict();
+  es.observe(20.0);
+  EXPECT_NEAR(es.predict(), 0.8 * 20.0 + 0.2 * before, 1e-12);
+}
+
+TEST(ExpSmoothing, HighAlphaTracksFaster) {
+  ExponentialSmoothing fast(0.8);
+  ExponentialSmoothing slow(0.1);
+  std::vector<double> series(10, 5.0);
+  series.insert(series.end(), 5, 50.0);  // jump
+  for (const double x : series) {
+    fast.observe(x);
+    slow.observe(x);
+  }
+  // alpha=0.8 should be much closer to the new level of 50.
+  EXPECT_GT(fast.predict(), 45.0);
+  EXPECT_LT(slow.predict(), 30.0);
+}
+
+TEST(ExpSmoothing, AveragedInitialValueUsesFirstFive) {
+  // With alpha tiny, the smoothed value stays close to the seed, exposing
+  // which initial value was chosen.
+  ExponentialSmoothing avg(0.01, InitialValuePolicy::kAverageOfFirstFive);
+  ExponentialSmoothing first(0.01, InitialValuePolicy::kFirstObservation);
+  const std::vector<double> head{10.0, 20.0, 30.0, 40.0, 50.0};
+  for (const double x : head) {
+    avg.observe(x);
+    first.observe(x);
+  }
+  EXPECT_NEAR(avg.predict(), 30.0, 2.0);    // mean of first five
+  EXPECT_NEAR(first.predict(), 10.0, 2.0);  // first observation
+}
+
+TEST(ExpSmoothing, InitialValueInfluenceFadesWithLongSeries) {
+  // Paper: ">= 20 points the influence of the initial value is negligible."
+  ExponentialSmoothing a(0.8, InitialValuePolicy::kAverageOfFirstFive);
+  ExponentialSmoothing b(0.8, InitialValuePolicy::kFirstObservation);
+  for (int i = 0; i < 25; ++i) {
+    const double x = 10.0 + (i % 3);
+    a.observe(x);
+    b.observe(x);
+  }
+  EXPECT_NEAR(a.predict(), b.predict(), 1e-6);
+}
+
+TEST(ExpSmoothing, ResetClearsState) {
+  ExponentialSmoothing es(0.8);
+  es.observe(100.0);
+  es.reset();
+  EXPECT_DOUBLE_EQ(es.predict(), 0.0);
+  EXPECT_EQ(es.observations(), 0u);
+}
+
+TEST(ExpSmoothing, NameMentionsParameters) {
+  ExponentialSmoothing es(0.8);
+  EXPECT_NE(es.name().find("0.8"), std::string::npos);
+}
+
+TEST(ExpSmoothingDeath, RejectsAlphaOutOfRange) {
+  EXPECT_DEATH(ExponentialSmoothing(0.0), "alpha");
+  EXPECT_DEATH(ExponentialSmoothing(1.0), "alpha");
+}
+
+class AlphaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(AlphaSweep, PredictionStaysWithinObservedRange) {
+  ExponentialSmoothing es(GetParam());
+  Rng rng(3);
+  double lo = 1e300;
+  double hi = -1e300;
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.uniform(5.0, 25.0);
+    lo = std::min(lo, x);
+    hi = std::max(hi, x);
+    es.observe(x);
+    EXPECT_GE(es.predict(), lo - 1e-9);
+    EXPECT_LE(es.predict(), hi + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, AlphaSweep,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.8, 0.95));
+
+}  // namespace
+}  // namespace hotc::predict

@@ -1,0 +1,96 @@
+#include "predict/holt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "predict/evaluator.hpp"
+#include "predict/exp_smoothing.hpp"
+
+namespace hotc::predict {
+using hotc::Rng;
+namespace {
+
+TEST(Holt, EmptyPredictsZero) {
+  HoltPredictor p;
+  EXPECT_DOUBLE_EQ(p.predict(), 0.0);
+}
+
+TEST(Holt, ConstantSeriesConverges) {
+  HoltPredictor p(0.8, 0.3);
+  for (int i = 0; i < 40; ++i) p.observe(9.0);
+  EXPECT_NEAR(p.predict(), 9.0, 0.1);
+  EXPECT_NEAR(p.trend(), 0.0, 0.01);
+}
+
+TEST(Holt, TracksLinearRampWithoutLag) {
+  // On x_t = 2t the one-step-ahead Holt forecast converges to the true
+  // next value; single exponential smoothing lags by ~alpha-dependent gap.
+  HoltPredictor holt(0.8, 0.3);
+  ExponentialSmoothing es(0.8);
+  double holt_err = 0.0;
+  double es_err = 0.0;
+  for (int t = 0; t < 60; ++t) {
+    const double x = 2.0 * t;
+    if (t > 20) {
+      holt_err += std::abs(holt.predict() - x);
+      es_err += std::abs(es.predict() - x);
+    }
+    holt.observe(x);
+    es.observe(x);
+  }
+  EXPECT_LT(holt_err, es_err * 0.25);
+}
+
+TEST(Holt, TrendSeedFromFirstTwoPoints) {
+  HoltPredictor p(0.5, 0.5);
+  p.observe(10.0);
+  p.observe(14.0);
+  EXPECT_GT(p.trend(), 0.0);
+  EXPECT_GT(p.predict(), 14.0);  // extrapolates upward
+}
+
+TEST(Holt, NeverNegative) {
+  HoltPredictor p(0.8, 0.5);
+  for (const double x : {10.0, 5.0, 1.0, 0.0, 0.0, 0.0}) p.observe(x);
+  EXPECT_GE(p.predict(), 0.0);  // downward trend clamped at zero
+}
+
+TEST(Holt, ResetClears) {
+  HoltPredictor p;
+  p.observe(5.0);
+  p.observe(6.0);
+  p.reset();
+  EXPECT_EQ(p.observations(), 0u);
+  EXPECT_DOUBLE_EQ(p.predict(), 0.0);
+}
+
+TEST(HoltDeath, ParameterValidation) {
+  EXPECT_DEATH(HoltPredictor(0.0, 0.5), "alpha");
+  EXPECT_DEATH(HoltPredictor(0.5, 1.0), "beta");
+}
+
+class HoltParamSweep
+    : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(HoltParamSweep, StableOnNoisySeries) {
+  const auto [alpha, beta] = GetParam();
+  HoltPredictor p(alpha, beta);
+  Rng rng(31);
+  for (int i = 0; i < 200; ++i) {
+    p.observe(std::max(0.0, rng.normal(12.0, 3.0)));
+    const double f = p.predict();
+    EXPECT_GE(f, 0.0);
+    EXPECT_LE(f, 100.0);  // no trend explosion on mean-reverting input
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Params, HoltParamSweep,
+                         ::testing::Values(std::make_pair(0.2, 0.1),
+                                           std::make_pair(0.5, 0.3),
+                                           std::make_pair(0.8, 0.3),
+                                           std::make_pair(0.8, 0.8)));
+
+}  // namespace
+}  // namespace hotc::predict

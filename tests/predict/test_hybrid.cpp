@@ -1,0 +1,129 @@
+#include "predict/hybrid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "predict/evaluator.hpp"
+
+namespace hotc::predict {
+namespace {
+
+/// The volatile demand shape of Fig. 10(a): a base level with periodic
+/// jumps (the paper's 8 -> 19 jump) and seeded jitter.
+std::vector<double> volatile_demand(std::size_t n, std::uint64_t seed) {
+  hotc::Rng rng(seed);
+  std::vector<double> out;
+  out.reserve(n);
+  for (std::size_t t = 0; t < n; ++t) {
+    double level = 8.0;
+    if (t % 10 >= 7) level = 19.0;  // recurring surge
+    out.push_back(std::max(0.0, level + rng.normal(0.0, 1.0)));
+  }
+  return out;
+}
+
+TEST(Hybrid, EmptyHistoryPredictsZero) {
+  HybridPredictor p;
+  EXPECT_DOUBLE_EQ(p.predict(), 0.0);
+}
+
+TEST(Hybrid, ConstantSeriesConverges) {
+  HybridPredictor p;
+  for (int i = 0; i < 40; ++i) p.observe(12.0);
+  EXPECT_NEAR(p.predict(), 12.0, 1.0);
+}
+
+TEST(Hybrid, NeverPredictsNegative) {
+  HybridPredictor p;
+  hotc::Rng rng(5);
+  for (int i = 0; i < 200; ++i) {
+    p.observe(std::max(0.0, rng.normal(2.0, 3.0)));
+    EXPECT_GE(p.predict(), 0.0);
+  }
+}
+
+TEST(Hybrid, BeatsPlainSmoothingOnVolatileSeries) {
+  // The paper's claim: ES + Markov improves accuracy on workloads with
+  // significant random volatility (Fig. 10(a)).
+  const auto series = volatile_demand(300, 11);
+
+  ExponentialSmoothing es(0.8);
+  HybridPredictor hybrid;
+
+  const auto es_result = evaluate(es, series, /*warmup=*/20);
+  const auto hy_result = evaluate(hybrid, series, /*warmup=*/20);
+  EXPECT_LT(hy_result.metrics.mape, es_result.metrics.mape);
+}
+
+TEST(Hybrid, RecoversAfterDemandJump) {
+  // Around the 8 -> 19 jump the relative error should drop within a few
+  // intervals (the paper reports 29 % -> 10 % from index 7 to 10).
+  HybridPredictor p;
+  std::vector<double> series(20, 8.0);
+  series.insert(series.end(), 10, 19.0);
+  const auto result = evaluate(p, series, 5);
+  // Error right at the jump is large...
+  EXPECT_GT(result.relative_errors[20], 0.25);
+  // ...but within three intervals the forecast has caught up.
+  EXPECT_LT(result.relative_errors[23], 0.15);
+}
+
+TEST(Hybrid, ValueStateModeAlsoReasonable) {
+  HybridOptions opt;
+  opt.mode = HybridMode::kValueState;
+  HybridPredictor p(opt);
+  const auto series = volatile_demand(200, 13);
+  const auto result = evaluate(p, series, 20);
+  EXPECT_LT(result.metrics.mape, 0.6);
+}
+
+TEST(Hybrid, ResetClearsEverything) {
+  HybridPredictor p;
+  for (int i = 0; i < 30; ++i) p.observe(10.0);
+  p.reset();
+  EXPECT_EQ(p.observations(), 0u);
+  EXPECT_DOUBLE_EQ(p.predict(), 0.0);
+}
+
+TEST(Hybrid, OptionsVisible) {
+  HybridOptions opt;
+  opt.alpha = 0.3;
+  opt.regions = 8;
+  HybridPredictor p(opt);
+  EXPECT_DOUBLE_EQ(p.options().alpha, 0.3);
+  EXPECT_EQ(p.options().regions, 8u);
+  EXPECT_NE(p.name().find("0.3"), std::string::npos);
+}
+
+TEST(Hybrid, ResidualClampBoundsCorrection) {
+  HybridOptions opt;
+  opt.residual_clamp = 0.5;
+  HybridPredictor p(opt);
+  // Feed a wild spike; the next forecast must stay within (1+clamp) of the
+  // trend even though the raw residual was enormous.
+  for (int i = 0; i < 10; ++i) p.observe(10.0);
+  p.observe(1000.0);
+  const double trend_bound = 0.8 * 1000.0 + 0.2 * 10.0;  // ES upper bound
+  EXPECT_LE(p.predict(), trend_bound * 1.5 + 1e-6);
+}
+
+class HybridRegionSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(HybridRegionSweep, StableAcrossRegionCounts) {
+  HybridOptions opt;
+  opt.regions = GetParam();
+  HybridPredictor p(opt);
+  const auto series = volatile_demand(150, 17);
+  const auto result = evaluate(p, series, 20);
+  EXPECT_LT(result.metrics.mape, 0.5);
+  EXPECT_TRUE(std::isfinite(result.metrics.rmse));
+}
+
+INSTANTIATE_TEST_SUITE_P(Regions, HybridRegionSweep,
+                         ::testing::Values(2, 4, 6, 8, 12));
+
+}  // namespace
+}  // namespace hotc::predict

@@ -1,0 +1,118 @@
+#include "predict/markov.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hotc::predict {
+namespace {
+
+TEST(RegionMarkovChain, UnfittedReturnsCurrentValue) {
+  RegionMarkovChain chain(4);
+  EXPECT_FALSE(chain.fitted());
+  EXPECT_DOUBLE_EQ(chain.predict_from(3.0), 3.0);
+}
+
+TEST(RegionMarkovChain, TooShortSeriesStaysUnfitted) {
+  RegionMarkovChain chain(4);
+  chain.fit({5.0});
+  EXPECT_FALSE(chain.fitted());
+}
+
+TEST(RegionMarkovChain, StatePartitionCoversRange) {
+  RegionMarkovChain chain(4);
+  chain.fit({0.0, 10.0, 5.0, 2.5, 7.5});
+  EXPECT_EQ(chain.state_of(-1.0), 0u);   // clamped low
+  EXPECT_EQ(chain.state_of(0.0), 0u);
+  EXPECT_EQ(chain.state_of(9.99), 3u);
+  EXPECT_EQ(chain.state_of(10.0), 3u);   // clamped high
+  EXPECT_EQ(chain.state_of(999.0), 3u);
+  EXPECT_DOUBLE_EQ(chain.midpoint(0), 1.25);
+  EXPECT_DOUBLE_EQ(chain.midpoint(3), 8.75);
+}
+
+TEST(RegionMarkovChain, DeterministicCycleLearned) {
+  // Alternating low/high: from a low state the chain must predict high.
+  RegionMarkovChain chain(2);
+  std::vector<double> series;
+  for (int i = 0; i < 20; ++i) series.push_back(i % 2 ? 10.0 : 0.0);
+  chain.fit(series);
+  EXPECT_GT(chain.predict_from(0.0), 5.0);
+  EXPECT_LT(chain.predict_from(10.0), 5.0);
+  EXPECT_DOUBLE_EQ(chain.transition_probability(0, 1, 1), 1.0);
+  EXPECT_DOUBLE_EQ(chain.transition_probability(1, 0, 1), 1.0);
+}
+
+TEST(RegionMarkovChain, TwoStepTransitionIsMatrixPower) {
+  RegionMarkovChain chain(2);
+  std::vector<double> series;
+  for (int i = 0; i < 20; ++i) series.push_back(i % 2 ? 10.0 : 0.0);
+  chain.fit(series);
+  // A perfect alternation returns to the same state in two steps.
+  EXPECT_DOUBLE_EQ(chain.transition_probability(0, 0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(chain.transition_probability(0, 1, 2), 0.0);
+}
+
+TEST(RegionMarkovChain, RowsSumToOne) {
+  RegionMarkovChain chain(5);
+  std::vector<double> series;
+  for (int i = 0; i < 100; ++i) {
+    series.push_back(static_cast<double>((i * 7) % 23));
+  }
+  chain.fit(series);
+  for (std::size_t i = 0; i < chain.regions(); ++i) {
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < chain.regions(); ++j) {
+      row_sum += chain.transition_probability(i, j, 1);
+    }
+    EXPECT_NEAR(row_sum, 1.0, 1e-9);
+  }
+}
+
+TEST(RegionMarkovChain, UnvisitedStateUniformRow) {
+  RegionMarkovChain chain(4);
+  // All mass in the lowest and highest regions; middle regions unvisited.
+  chain.fit({0.0, 0.0, 100.0, 0.0, 0.0, 100.0, 0.0});
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(chain.transition_probability(1, j, 1), 0.25, 1e-9);
+  }
+}
+
+TEST(RegionMarkovChain, ConstantSeriesSafe) {
+  RegionMarkovChain chain(4);
+  chain.fit({5.0, 5.0, 5.0, 5.0});
+  EXPECT_TRUE(chain.fitted());
+  // All values in state 0 of [5, 6); prediction stays near 5.
+  EXPECT_NEAR(chain.predict_from(5.0), 5.0, 1.0);
+}
+
+TEST(RegionMarkovChain, ExpectedValueIsProbabilityWeighted) {
+  RegionMarkovChain chain(2);
+  // From low: 50 % stay low, 50 % go high.
+  const std::vector<double> series{0.0, 0.0, 0.0, 10.0, 0.0, 0.0, 0.0,
+                                   10.0, 0.0};
+  chain.fit(series);
+  const double expected = chain.expected_from(0.0);
+  EXPECT_GT(expected, chain.midpoint(0));
+  EXPECT_LT(expected, chain.midpoint(1));
+}
+
+TEST(MarkovChainPredictor, PredictsFromHistory) {
+  MarkovChainPredictor p(2);
+  EXPECT_DOUBLE_EQ(p.predict(), 0.0);
+  for (int i = 0; i < 20; ++i) p.observe(i % 2 ? 10.0 : 0.0);
+  // Last observation was 10 (i=19 odd), so next should be low.
+  EXPECT_LT(p.predict(), 5.0);
+  EXPECT_EQ(p.observations(), 20u);
+}
+
+TEST(MarkovChainPredictor, ResetClears) {
+  MarkovChainPredictor p(3);
+  for (int i = 0; i < 10; ++i) p.observe(static_cast<double>(i));
+  p.reset();
+  EXPECT_EQ(p.observations(), 0u);
+  EXPECT_DOUBLE_EQ(p.predict(), 0.0);
+}
+
+}  // namespace
+}  // namespace hotc::predict

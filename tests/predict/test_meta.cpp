@@ -1,0 +1,135 @@
+#include "predict/meta.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/rng.hpp"
+#include "predict/baselines.hpp"
+#include "predict/evaluator.hpp"
+#include "predict/exp_smoothing.hpp"
+#include "predict/holt.hpp"
+#include "predict/seasonal.hpp"
+
+namespace hotc::predict {
+using hotc::Rng;
+namespace {
+
+TEST(Meta, EmptyPredictsZero) {
+  MetaPredictor p;
+  EXPECT_DOUBLE_EQ(p.predict(), 0.0);
+}
+
+TEST(Meta, PicksSeasonalLeaderOnTimerTraffic) {
+  MetaPredictor p;
+  for (int t = 0; t < 200; ++t) {
+    p.observe((t % 10) == 0 ? 20.0 : 1.0);  // cron spike train
+  }
+  EXPECT_NE(p.leader_name().find("seasonal"), std::string::npos);
+}
+
+TEST(Meta, PicksTrendAwareLeaderOnRamp) {
+  MetaPredictor p;
+  for (int t = 0; t < 120; ++t) {
+    p.observe(3.0 * t);
+  }
+  EXPECT_NE(p.leader_name().find("holt"), std::string::npos);
+}
+
+TEST(Meta, NeverMuchWorseThanBestCandidateOnEachShape) {
+  struct Shape {
+    const char* name;
+    std::vector<double> series;
+  };
+  std::vector<Shape> shapes;
+  {
+    std::vector<double> ramp;
+    for (int t = 0; t < 150; ++t) ramp.push_back(2.0 * t);
+    shapes.push_back({"ramp", std::move(ramp)});
+  }
+  {
+    std::vector<double> timer;
+    for (int t = 0; t < 150; ++t) {
+      timer.push_back((t % 8) == 0 ? 15.0 : 0.0);
+    }
+    shapes.push_back({"timer", std::move(timer)});
+  }
+  {
+    Rng rng(5);
+    std::vector<double> steady;
+    for (int t = 0; t < 150; ++t) {
+      steady.push_back(std::max(0.0, rng.normal(10.0, 1.0)));
+    }
+    shapes.push_back({"steady", std::move(steady)});
+  }
+
+  for (const auto& shape : shapes) {
+    MetaPredictor meta;
+    const auto meta_result = evaluate(meta, shape.series, 40);
+
+    double best = 1e300;
+    ExponentialSmoothing es(0.8);
+    HoltPredictor holt(0.8, 0.3);
+    SeasonalPredictor seasonal;
+    for (Predictor* p :
+         std::initializer_list<Predictor*>{&es, &holt, &seasonal}) {
+      const auto r = evaluate(*p, shape.series, 40);
+      best = std::min(best, r.metrics.mae);
+    }
+    // Meta is within 2x of the per-shape best (it pays a learning phase).
+    EXPECT_LE(meta_result.metrics.mae, best * 2.0 + 0.5) << shape.name;
+  }
+}
+
+TEST(Meta, HysteresisPreventsFlapping) {
+  // Two candidates with nearly identical errors: leadership must not
+  // bounce every interval.
+  std::vector<PredictorPtr> candidates;
+  candidates.push_back(std::make_unique<ConstantPredictor>(10.0));
+  candidates.push_back(std::make_unique<ConstantPredictor>(10.2));
+  MetaOptions opt;
+  opt.error_decay = 0.98;  // long memory -> smooth scores
+  opt.switch_margin = 0.1;
+  opt.min_dwell = 20;
+  MetaPredictor p(std::move(candidates), opt);
+  Rng rng(3);
+  std::size_t switches = 0;
+  std::size_t prev = p.leader();
+  for (int t = 0; t < 200; ++t) {
+    p.observe(10.1 + rng.normal(0.0, 0.05));
+    if (p.leader() != prev) {
+      ++switches;
+      prev = p.leader();
+    }
+  }
+  EXPECT_LE(switches, 3u);
+}
+
+TEST(Meta, ScoresTrackCandidates) {
+  MetaPredictor p;
+  for (int t = 0; t < 50; ++t) p.observe(5.0);
+  ASSERT_EQ(p.scores().size(), 4u);
+  for (const double s : p.scores()) {
+    EXPECT_GE(s, 0.0);
+    EXPECT_LT(s, 10.0);
+  }
+}
+
+TEST(Meta, ResetClearsEverything) {
+  MetaPredictor p;
+  for (int t = 0; t < 30; ++t) p.observe(7.0);
+  p.reset();
+  EXPECT_EQ(p.observations(), 0u);
+  EXPECT_DOUBLE_EQ(p.predict(), 0.0);
+  EXPECT_EQ(p.leader(), 0u);
+}
+
+TEST(Meta, FactoryProducesWorkingPredictor) {
+  auto p = make_meta_predictor();
+  p->observe(3.0);
+  p->observe(3.0);
+  EXPECT_NEAR(p->predict(), 3.0, 1.5);
+}
+
+}  // namespace
+}  // namespace hotc::predict

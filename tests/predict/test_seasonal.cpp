@@ -1,0 +1,106 @@
+#include "predict/seasonal.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "predict/evaluator.hpp"
+#include "predict/exp_smoothing.hpp"
+
+namespace hotc::predict {
+using hotc::Rng;
+namespace {
+
+std::vector<double> square_wave(std::size_t n, std::size_t period,
+                                double low, double high) {
+  std::vector<double> out;
+  for (std::size_t t = 0; t < n; ++t) {
+    out.push_back((t % period) < period / 2 ? low : high);
+  }
+  return out;
+}
+
+TEST(Seasonal, EmptyPredictsZero) {
+  SeasonalPredictor p;
+  EXPECT_DOUBLE_EQ(p.predict(), 0.0);
+}
+
+TEST(Seasonal, DetectsSquareWavePeriod) {
+  SeasonalPredictor p;
+  for (const double x : square_wave(64, 8, 2.0, 20.0)) p.observe(x);
+  EXPECT_EQ(p.period(), 8u);
+  EXPECT_GT(p.confidence(), 0.8);
+}
+
+TEST(Seasonal, ForecastsOnePeriodAhead) {
+  SeasonalPredictor p;
+  const auto series = square_wave(64, 8, 2.0, 20.0);
+  for (const double x : series) p.observe(x);
+  // After 64 points (t=0..63), the next point t=64 is 64%8=0 -> low phase.
+  EXPECT_NEAR(p.predict(), 2.0, 2.0);
+}
+
+TEST(Seasonal, BeatsSmoothingOnPeriodicDemand) {
+  const auto series = square_wave(200, 10, 1.0, 15.0);
+  SeasonalPredictor seasonal;
+  ExponentialSmoothing es(0.8);
+  const auto rs = evaluate(seasonal, series, 40);
+  const auto re = evaluate(es, series, 40);
+  EXPECT_LT(rs.metrics.rmse, re.metrics.rmse * 0.5);
+}
+
+TEST(Seasonal, FallsBackOnAperiodicNoise) {
+  SeasonalPredictor p;
+  Rng rng(9);
+  for (int i = 0; i < 100; ++i) {
+    p.observe(std::max(0.0, rng.normal(10.0, 2.0)));
+  }
+  // White noise: no confident period, forecast tracks the mean via ES.
+  EXPECT_EQ(p.period(), 0u);
+  EXPECT_NEAR(p.predict(), 10.0, 3.0);
+}
+
+TEST(Seasonal, ConstantSeriesSafe) {
+  SeasonalPredictor p;
+  for (int i = 0; i < 50; ++i) p.observe(5.0);
+  EXPECT_EQ(p.period(), 0u);  // zero variance short-circuits detection
+  EXPECT_NEAR(p.predict(), 5.0, 1e-6);
+}
+
+TEST(Seasonal, SurvivesNoisyPeriodicity) {
+  SeasonalPredictor p;
+  Rng rng(21);
+  for (int t = 0; t < 160; ++t) {
+    const double base = (t % 12) < 6 ? 3.0 : 18.0;
+    p.observe(std::max(0.0, base + rng.normal(0.0, 1.0)));
+  }
+  EXPECT_EQ(p.period(), 12u);
+}
+
+TEST(Seasonal, ResetClears) {
+  SeasonalPredictor p;
+  for (const double x : square_wave(40, 4, 0.0, 10.0)) p.observe(x);
+  p.reset();
+  EXPECT_EQ(p.observations(), 0u);
+  EXPECT_EQ(p.period(), 0u);
+  EXPECT_DOUBLE_EQ(p.predict(), 0.0);
+}
+
+class SeasonalPeriodSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(SeasonalPeriodSweep, DetectsArbitraryPeriods) {
+  const std::size_t period = GetParam();
+  SeasonalPredictor p;
+  for (std::size_t t = 0; t < period * 12; ++t) {
+    p.observe((t % period) == 0 ? 25.0 : 1.0);  // cron-style spike train
+  }
+  EXPECT_EQ(p.period(), period);
+}
+
+INSTANTIATE_TEST_SUITE_P(Periods, SeasonalPeriodSweep,
+                         ::testing::Values(3, 5, 10, 16, 24));
+
+}  // namespace
+}  // namespace hotc::predict

@@ -1,0 +1,96 @@
+// Fuzz-style robustness: random and mutated inputs must never crash the
+// parsers — they either parse or return a structured error.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/json.hpp"
+#include "core/rng.hpp"
+#include "spec/dockerfile.hpp"
+#include "spec/runspec.hpp"
+#include "spec/runtime_key.hpp"
+
+namespace hotc {
+namespace {
+
+std::string random_bytes(Rng& rng, std::size_t max_len) {
+  const std::size_t len = rng.index(max_len + 1);
+  std::string out;
+  out.reserve(len);
+  for (std::size_t i = 0; i < len; ++i) {
+    out += static_cast<char>(rng.uniform_int(1, 126));  // printable-ish
+  }
+  return out;
+}
+
+std::string mutate(Rng& rng, std::string text) {
+  const std::size_t edits = 1 + rng.index(4);
+  for (std::size_t e = 0; e < edits && !text.empty(); ++e) {
+    const std::size_t pos = rng.index(text.size());
+    switch (rng.uniform_int(0, 2)) {
+      case 0: text[pos] = static_cast<char>(rng.uniform_int(1, 126)); break;
+      case 1: text.erase(pos, 1); break;
+      default:
+        text.insert(pos, 1, static_cast<char>(rng.uniform_int(1, 126)));
+    }
+  }
+  return text;
+}
+
+class ParserFuzz : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ParserFuzz, DockerfileNeverCrashes) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 300; ++i) {
+    const auto r = spec::Dockerfile::parse(random_bytes(rng, 200));
+    if (!r.ok()) {
+      EXPECT_FALSE(r.error().code.empty());
+    }
+  }
+  // Mutations of a valid file.
+  const std::string valid =
+      "FROM python:3.8\nENV A=1\nEXPOSE 80\nVOLUME /data\nCMD run\n";
+  for (int i = 0; i < 300; ++i) {
+    const auto r = spec::Dockerfile::parse(mutate(rng, valid));
+    if (r.ok()) {
+      EXPECT_FALSE(r.value().base_image().name.empty());
+    }
+  }
+}
+
+TEST_P(ParserFuzz, RunCommandNeverCrashes) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 300; ++i) {
+    const auto r = spec::parse_run_command(random_bytes(rng, 120));
+    if (r.ok()) {
+      // Whatever parsed must canonicalise into a usable key.
+      EXPECT_FALSE(spec::RuntimeKey::from_spec(r.value()).text().empty());
+    }
+  }
+  const std::string valid =
+      "docker run --net=bridge -e K=V -m 512m python:3.8 app.py";
+  for (int i = 0; i < 300; ++i) {
+    (void)spec::parse_run_command(mutate(rng, valid));
+  }
+}
+
+TEST_P(ParserFuzz, JsonNeverCrashes) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 300; ++i) {
+    (void)Json::parse(random_bytes(rng, 150));
+  }
+  const std::string valid = R"({"a": [1, 2, {"b": "c"}], "d": null})";
+  for (int i = 0; i < 300; ++i) {
+    const auto r = Json::parse(mutate(rng, valid));
+    if (r.ok()) {
+      // A mutated-but-valid document still round-trips.
+      EXPECT_EQ(Json::parse(r.value().dump()).value(), r.value());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz,
+                         ::testing::Values(101, 202, 303, 404));
+
+}  // namespace
+}  // namespace hotc

@@ -1,0 +1,221 @@
+// Model-based property tests: drive a component with random operation
+// sequences and check it against a trivially-correct reference model.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "core/json.hpp"
+#include "core/rng.hpp"
+#include "pool/pool.hpp"
+#include "sim/event_queue.hpp"
+
+namespace hotc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// RuntimePool vs a reference map<key, deque<id>>.
+class PoolModelProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PoolModelProperty, MatchesReferenceModel) {
+  Rng rng(GetParam());
+  pool::RuntimePool pool;
+  std::map<std::string, std::deque<engine::ContainerId>> model;
+  std::map<std::string, spec::RuntimeKey> keys;
+  std::size_t model_paused = 0;
+  std::map<engine::ContainerId, bool> paused_flags;
+
+  auto key_for = [&](int k) {
+    const std::string name = "img" + std::to_string(k);
+    if (!keys.count(name)) {
+      spec::RunSpec s;
+      s.image = spec::ImageRef{name, "latest"};
+      keys.emplace(name, spec::RuntimeKey::from_spec(s));
+    }
+    return name;
+  };
+
+  engine::ContainerId next_id = 1;
+  for (int step = 0; step < 3000; ++step) {
+    const int k = static_cast<int>(rng.uniform_int(0, 5));
+    const std::string name = key_for(k);
+    const auto& key = keys.at(name);
+    const double op = rng.uniform();
+
+    if (op < 0.40) {  // add_available
+      pool::PoolEntry e;
+      e.id = next_id++;
+      e.key = key;
+      e.created_at = seconds(step);
+      pool.add_available(e, seconds(step));
+      model[name].push_back(e.id);
+      paused_flags[e.id] = false;
+    } else if (op < 0.75) {  // acquire
+      const auto got = pool.acquire(key, seconds(step));
+      auto& dq = model[name];
+      if (dq.empty()) {
+        EXPECT_FALSE(got.has_value()) << "step " << step;
+      } else {
+        ASSERT_TRUE(got.has_value()) << "step " << step;
+        EXPECT_EQ(got->id, dq.front()) << "step " << step;  // FIFO
+        if (paused_flags[dq.front()]) --model_paused;
+        EXPECT_EQ(got->paused, paused_flags[dq.front()]);
+        paused_flags.erase(dq.front());
+        dq.pop_front();
+      }
+    } else if (op < 0.90) {  // remove a random known id (maybe absent)
+      auto& dq = model[name];
+      engine::ContainerId victim =
+          dq.empty() ? 99999 : dq[rng.index(dq.size())];
+      const bool removed = pool.remove(key, victim);
+      const auto it = std::find(dq.begin(), dq.end(), victim);
+      EXPECT_EQ(removed, it != dq.end()) << "step " << step;
+      if (it != dq.end()) {
+        if (paused_flags[victim]) --model_paused;
+        paused_flags.erase(victim);
+        dq.erase(it);
+      }
+    } else {  // mark_paused on a random known id
+      auto& dq = model[name];
+      if (!dq.empty()) {
+        const engine::ContainerId id = dq[rng.index(dq.size())];
+        const bool ok = pool.mark_paused(key, id);
+        EXPECT_EQ(ok, !paused_flags[id]) << "step " << step;
+        if (ok) {
+          paused_flags[id] = true;
+          ++model_paused;
+        }
+      }
+    }
+
+    // Global invariants after every step.
+    std::size_t model_total = 0;
+    for (const auto& [n, dq] : model) {
+      model_total += dq.size();
+      EXPECT_EQ(pool.num_available(keys.at(n)), dq.size());
+    }
+    ASSERT_EQ(pool.total_available(), model_total);
+    ASSERT_EQ(pool.paused_count(), model_paused);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PoolModelProperty,
+                         ::testing::Values(1, 17, 99, 4242));
+
+// ---------------------------------------------------------------------------
+// EventQueue vs a reference sorted multiset of (time, seq).
+class QueueModelProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(QueueModelProperty, DrainsInExactReferenceOrder) {
+  Rng rng(GetParam());
+  sim::EventQueue queue;
+  struct Ref {
+    TimePoint t;
+    sim::EventId id;
+    bool cancelled = false;
+  };
+  std::vector<Ref> refs;
+
+  // Random pushes and cancellations.
+  for (int i = 0; i < 500; ++i) {
+    if (rng.chance(0.75) || refs.empty()) {
+      const TimePoint t = seconds(rng.uniform_int(0, 50));
+      const auto id = queue.push(t, []() {});
+      refs.push_back(Ref{t, id, false});
+    } else {
+      auto& r = refs[rng.index(refs.size())];
+      const bool expected = !r.cancelled;
+      EXPECT_EQ(queue.cancel(r.id), expected);
+      r.cancelled = true;
+    }
+  }
+
+  // Expected drain order: by (t, insertion id), skipping cancelled.
+  std::vector<Ref> live;
+  for (const auto& r : refs) {
+    if (!r.cancelled) live.push_back(r);
+  }
+  std::sort(live.begin(), live.end(), [](const Ref& a, const Ref& b) {
+    if (a.t != b.t) return a.t < b.t;
+    return a.id < b.id;
+  });
+  ASSERT_EQ(queue.size(), live.size());
+  for (const auto& expected : live) {
+    ASSERT_FALSE(queue.empty());
+    EXPECT_EQ(queue.next_time(), expected.t);
+    const auto [t, fn] = queue.pop();
+    EXPECT_EQ(t, expected.t);
+  }
+  EXPECT_TRUE(queue.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueueModelProperty,
+                         ::testing::Values(3, 33, 333));
+
+// ---------------------------------------------------------------------------
+// JSON: random documents round-trip through dump/parse at any indent.
+class JsonRoundTripProperty : public ::testing::TestWithParam<std::uint64_t> {
+ protected:
+  Json random_json(Rng& rng, int depth) {
+    const double u = rng.uniform();
+    if (depth >= 4 || u < 0.35) {
+      switch (rng.uniform_int(0, 3)) {
+        case 0: return Json(nullptr);
+        case 1: return Json(rng.chance(0.5));
+        case 2: {
+          // Mix integers and awkward doubles.
+          if (rng.chance(0.5)) {
+            return Json(static_cast<std::int64_t>(
+                rng.uniform_int(-1000000, 1000000)));
+          }
+          return Json(rng.uniform(-1e6, 1e6));
+        }
+        default: return Json(random_string(rng));
+      }
+    }
+    if (u < 0.65) {
+      JsonArray arr;
+      const auto n = static_cast<std::size_t>(rng.uniform_int(0, 5));
+      for (std::size_t i = 0; i < n; ++i) {
+        arr.push_back(random_json(rng, depth + 1));
+      }
+      return Json(std::move(arr));
+    }
+    JsonObject obj;
+    const auto n = static_cast<std::size_t>(rng.uniform_int(0, 5));
+    for (std::size_t i = 0; i < n; ++i) {
+      obj["k" + std::to_string(rng.uniform_int(0, 20))] =
+          random_json(rng, depth + 1);
+    }
+    return Json(std::move(obj));
+  }
+
+  std::string random_string(Rng& rng) {
+    static const char* kSamples[] = {
+        "",      "plain",       "with space", "quote\"inside",
+        "back\\", "new\nline",  "tab\ttab",   "unicode: \xC3\xA9",
+        "ctrl\x01end", "slash/es",
+    };
+    return kSamples[rng.index(10)];
+  }
+};
+
+TEST_P(JsonRoundTripProperty, DumpParseIdentity) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 100; ++i) {
+    const Json doc = random_json(rng, 0);
+    for (const int indent : {0, 2}) {
+      const auto parsed = Json::parse(doc.dump(indent));
+      ASSERT_TRUE(parsed.ok()) << doc.dump(indent);
+      EXPECT_EQ(parsed.value(), doc);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JsonRoundTripProperty,
+                         ::testing::Values(7, 70, 700));
+
+}  // namespace
+}  // namespace hotc

@@ -1,0 +1,231 @@
+// Property-style parameterized suites over the system's core invariants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "engine/engine.hpp"
+#include "faas/platform.hpp"
+#include "predict/evaluator.hpp"
+#include "predict/hybrid.hpp"
+#include "spec/runtime_key.hpp"
+#include "workload/mix.hpp"
+#include "workload/patterns.hpp"
+
+namespace hotc {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Property: for ANY seeded random workload, HotC never loses to cold-always
+// on mean latency, never has more cold starts, and conserves containers.
+class WorkloadSeedProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(WorkloadSeedProperty, HotCDominatesColdAlways) {
+  Rng rng(GetParam());
+  const auto arrivals =
+      workload::poisson(0.5, minutes(20), rng, 5, 1.0);
+  if (arrivals.empty()) GTEST_SKIP();
+  const auto mix = workload::ConfigMix::qr_web_service(5);
+
+  faas::PlatformOptions hot_opt;
+  hot_opt.policy = faas::PolicyKind::kHotC;
+  faas::FaasPlatform hot(hot_opt);
+  const auto hot_summary = hot.run(arrivals, mix).summary();
+
+  faas::PlatformOptions cold_opt;
+  cold_opt.policy = faas::PolicyKind::kColdAlways;
+  faas::FaasPlatform cold(cold_opt);
+  const auto cold_summary = cold.run(arrivals, mix).summary();
+
+  EXPECT_EQ(hot_summary.count, arrivals.size());
+  EXPECT_EQ(cold_summary.count, arrivals.size());
+  EXPECT_LE(hot_summary.cold_count, cold_summary.cold_count);
+  EXPECT_LE(hot_summary.mean_ms, cold_summary.mean_ms * 1.02);
+}
+
+TEST_P(WorkloadSeedProperty, ControllerAccountingBalances) {
+  Rng rng(GetParam() ^ 0xABCDEF);
+  const auto arrivals = workload::poisson(1.0, minutes(10), rng, 3, 1.0);
+  if (arrivals.empty()) GTEST_SKIP();
+  const auto mix = workload::ConfigMix::qr_web_service(3);
+  faas::PlatformOptions opt;
+  opt.policy = faas::PolicyKind::kHotC;
+  faas::FaasPlatform platform(opt);
+  platform.run(arrivals, mix);
+  const auto& stats = platform.hotc_controller()->stats();
+  EXPECT_EQ(stats.requests, arrivals.size());
+  EXPECT_EQ(stats.cold_starts + stats.reuses, stats.requests);
+  // Every live container is either pooled or being torn down; none leak
+  // into untracked states.
+  const auto& engine = platform.engine();
+  EXPECT_EQ(engine.idle_count(),
+            platform.hotc_controller()->runtime_pool().total_available());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WorkloadSeedProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// ---------------------------------------------------------------------------
+// Property: runtime keys are a function of runtime-shaping fields only, and
+// parsing a rendered command round-trips to the same key.
+class KeyRoundTripProperty : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(KeyRoundTripProperty, ParseRenderParseStable) {
+  Rng rng(GetParam());
+  const char* images[] = {"python:3.8", "node:14", "golang:1.15",
+                          "alpine:3.12", "openjdk:11"};
+  const char* nets[] = {"none", "bridge", "host", "overlay", "routing"};
+  for (int i = 0; i < 30; ++i) {
+    std::string cmd = "docker run --net=";
+    cmd += nets[rng.index(5)];
+    if (rng.chance(0.5)) cmd += " --uts=host";
+    if (rng.chance(0.5)) cmd += " --ipc=host";
+    if (rng.chance(0.5)) {
+      cmd += " -e K" + std::to_string(rng.uniform_int(0, 3)) + "=v";
+    }
+    if (rng.chance(0.3)) cmd += " -m 256m";
+    cmd += " ";
+    cmd += images[rng.index(5)];
+    auto first = spec::parse_run_command(cmd);
+    ASSERT_TRUE(first.ok()) << cmd;
+    auto second = spec::parse_run_command(cmd);
+    ASSERT_TRUE(second.ok());
+    EXPECT_EQ(spec::RuntimeKey::from_spec(first.value()),
+              spec::RuntimeKey::from_spec(second.value()));
+    // Subset key never distinguishes more than the full key.
+    if (spec::RuntimeKey::subset_from_spec(first.value()) !=
+        spec::RuntimeKey::subset_from_spec(second.value())) {
+      ADD_FAILURE() << "subset key unstable for: " << cmd;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KeyRoundTripProperty,
+                         ::testing::Values(11, 22, 33, 44));
+
+// ---------------------------------------------------------------------------
+// Property: predictor outputs are finite and non-explosive for arbitrary
+// non-negative inputs.
+struct PredictorCase {
+  const char* name;
+  std::function<predict::PredictorPtr()> make;
+};
+
+class PredictorRobustness
+    : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PredictorRobustness, FiniteBoundedForecasts) {
+  std::vector<PredictorCase> cases;
+  cases.push_back({"hybrid", [] {
+                     return std::make_unique<predict::HybridPredictor>();
+                   }});
+  cases.push_back({"es", [] {
+                     return std::make_unique<
+                         predict::ExponentialSmoothing>(0.8);
+                   }});
+  cases.push_back({"markov", [] {
+                     return std::make_unique<
+                         predict::MarkovChainPredictor>(6);
+                   }});
+  Rng rng(GetParam());
+  for (auto& c : cases) {
+    auto p = c.make();
+    double max_seen = 0.0;
+    for (int i = 0; i < 150; ++i) {
+      // Heavy-tailed demand with occasional zero stretches.
+      double x = 0.0;
+      if (!rng.chance(0.2)) {
+        x = std::floor(rng.exponential(0.1));
+      }
+      max_seen = std::max(max_seen, x);
+      p->observe(x);
+      const double f = p->predict();
+      EXPECT_TRUE(std::isfinite(f)) << c.name;
+      EXPECT_GE(f, 0.0) << c.name;
+      EXPECT_LE(f, std::max(10.0, max_seen * 3.0)) << c.name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PredictorRobustness,
+                         ::testing::Values(7, 77, 777));
+
+// ---------------------------------------------------------------------------
+// Property: the engine conserves memory across any legal op sequence.
+class EngineConservation : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EngineConservation, MemoryReturnsToBaseline) {
+  sim::Simulator sim;
+  engine::ContainerEngine eng(sim, engine::HostProfile::server());
+  const Bytes baseline = eng.memory_used();
+  Rng rng(GetParam());
+
+  spec::RunSpec s;
+  s.image = spec::ImageRef{"alpine", "3.12"};
+  s.network = spec::NetworkMode::kNone;
+  eng.preload_image(s.image);
+
+  std::vector<engine::ContainerId> ids;
+  const int launches = static_cast<int>(rng.uniform_int(3, 10));
+  for (int i = 0; i < launches; ++i) {
+    eng.launch(s, [&](Result<engine::LaunchReport> r) {
+      ASSERT_TRUE(r.ok());
+      ids.push_back(r.value().container);
+    });
+  }
+  sim.run();
+  // Exercise a random subset with execs and cleans.
+  for (const auto id : ids) {
+    if (rng.chance(0.6)) {
+      eng.exec(id, engine::apps::random_number(),
+               [&, id](Result<engine::ExecReport>) {
+                 eng.clean(id, [](Result<bool>) {});
+               });
+    }
+  }
+  sim.run();
+  for (const auto id : ids) {
+    eng.stop_and_remove(id, [](Result<bool>) {});
+  }
+  sim.run();
+  EXPECT_EQ(eng.memory_used(), baseline);
+  EXPECT_EQ(eng.swap_used(), 0);
+  EXPECT_EQ(eng.live_count(), 0u);
+  EXPECT_EQ(eng.network().endpoint_count(), 0u);
+  EXPECT_EQ(eng.volumes().volume_count(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EngineConservation,
+                         ::testing::Values(100, 200, 300, 400, 500));
+
+// ---------------------------------------------------------------------------
+// Property: arrival generators produce sorted, non-negative schedules whose
+// counts round-trip.
+class PatternProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PatternProperty, GeneratorsWellFormed) {
+  const std::size_t rounds = GetParam();
+  const Duration period = seconds(30);
+  const std::vector<workload::ArrivalList> lists = {
+      workload::linear_increasing(2, 2, rounds, period),
+      workload::linear_decreasing(2 * rounds, 2, rounds, period),
+      workload::exponential_increasing(std::min<std::size_t>(rounds, 10),
+                                       period),
+      workload::burst(4, 10.0, {rounds / 2}, rounds, period),
+  };
+  for (const auto& list : lists) {
+    for (std::size_t i = 1; i < list.size(); ++i) {
+      EXPECT_LE(list[i - 1].at, list[i].at);
+    }
+    for (const auto& a : list) {
+      EXPECT_GE(a.at, kZeroDuration);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Rounds, PatternProperty,
+                         ::testing::Values(2, 5, 8, 12, 16));
+
+}  // namespace
+}  // namespace hotc

@@ -1,0 +1,142 @@
+#include "runtime/real_hotc.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hotc::runtime {
+namespace {
+
+spec::RunSpec python_spec() {
+  spec::RunSpec s;
+  s.image = spec::ImageRef{"python", "3.8"};
+  s.network = spec::NetworkMode::kBridge;
+  return s;
+}
+
+RealOptions fast_options() {
+  RealOptions opt;
+  opt.worker_threads = 2;
+  opt.cold_start_scale = 0.001;  // keep tests fast
+  return opt;
+}
+
+TEST(RealHotC, ExecutesHandlerAndReturnsPayload) {
+  RealHotC hotc(fast_options());
+  auto f = hotc.submit(python_spec(), engine::apps::qr_encoder(),
+                       [](const std::string& in) { return "qr:" + in; },
+                       "https://example.com");
+  const RealOutcome out = f.get();
+  EXPECT_EQ(out.payload, "qr:https://example.com");
+  EXPECT_FALSE(out.reused);
+  EXPECT_GT(out.modeled_cold, kZeroDuration);
+}
+
+TEST(RealHotC, SecondSubmissionReusesRuntime) {
+  RealHotC hotc(fast_options());
+  const auto app = engine::apps::qr_encoder();
+  hotc.submit(python_spec(), app,
+              [](const std::string&) { return "a"; }, "")
+      .get();
+  const RealOutcome second =
+      hotc.submit(python_spec(), app,
+                  [](const std::string&) { return "b"; }, "")
+          .get();
+  EXPECT_TRUE(second.reused);
+  EXPECT_TRUE(second.app_was_warm);
+  EXPECT_EQ(hotc.cold_starts(), 1u);
+  EXPECT_EQ(hotc.reuses(), 1u);
+}
+
+TEST(RealHotC, WarmRuntimeFasterThanCold) {
+  RealOptions opt;
+  opt.worker_threads = 1;
+  opt.cold_start_scale = 0.02;  // make the cold delay clearly measurable
+  RealHotC hotc(opt);
+  const auto app = engine::apps::v3_app();
+  const auto cold =
+      hotc.submit(python_spec(), app,
+                  [](const std::string&) { return ""; }, "")
+          .get();
+  const auto warm =
+      hotc.submit(python_spec(), app,
+                  [](const std::string&) { return ""; }, "")
+          .get();
+  EXPECT_LT(to_seconds(warm.wall_time), to_seconds(cold.wall_time));
+}
+
+TEST(RealHotC, DifferentKeysDoNotShare) {
+  RealHotC hotc(fast_options());
+  const auto app = engine::apps::qr_encoder();
+  hotc.submit(python_spec(), app,
+              [](const std::string&) { return ""; }, "")
+      .get();
+  spec::RunSpec other = python_spec();
+  other.image = spec::ImageRef{"node", "14"};
+  const auto out =
+      hotc.submit(other, app, [](const std::string&) { return ""; }, "")
+          .get();
+  EXPECT_FALSE(out.reused);
+  EXPECT_EQ(hotc.cold_starts(), 2u);
+}
+
+TEST(RealHotC, DifferentAppSameRuntimeReusesButReinits) {
+  RealHotC hotc(fast_options());
+  hotc.submit(python_spec(), engine::apps::qr_encoder(),
+              [](const std::string&) { return ""; }, "")
+      .get();
+  const auto out = hotc.submit(python_spec(), engine::apps::v3_app(),
+                               [](const std::string&) { return ""; }, "")
+                       .get();
+  EXPECT_TRUE(out.reused);         // runtime key matched
+  EXPECT_FALSE(out.app_was_warm);  // but the model had to load
+}
+
+TEST(RealHotC, ManyConcurrentSubmissions) {
+  RealOptions opt = fast_options();
+  opt.worker_threads = 4;
+  RealHotC hotc(opt);
+  const auto app = engine::apps::random_number();
+  std::vector<std::future<RealOutcome>> futures;
+  for (int i = 0; i < 40; ++i) {
+    futures.push_back(hotc.submit(
+        python_spec(), app,
+        [](const std::string& in) { return in + "!"; }, std::to_string(i)));
+  }
+  int reused = 0;
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const auto out = futures[i].get();
+    EXPECT_EQ(out.payload, std::to_string(i) + "!");
+    if (out.reused) ++reused;
+  }
+  EXPECT_EQ(hotc.cold_starts() + hotc.reuses(), 40u);
+  EXPECT_GT(reused, 30);  // at most a handful of cold starts for 4 workers
+}
+
+TEST(RealHotC, WarmCapRespected) {
+  RealOptions opt = fast_options();
+  opt.max_warm = 2;
+  RealHotC hotc(opt);
+  const auto app = engine::apps::random_number();
+  std::vector<std::future<RealOutcome>> futures;
+  for (int i = 0; i < 10; ++i) {
+    spec::RunSpec s = python_spec();
+    s.env["IDX"] = std::to_string(i);  // all distinct keys
+    futures.push_back(hotc.submit(
+        s, app, [](const std::string&) { return ""; }, ""));
+  }
+  for (auto& f : futures) f.get();
+  EXPECT_LE(hotc.warm_count(), 2u);
+}
+
+TEST(RealHotC, SubmitAfterShutdownYieldsEmptyOutcome) {
+  RealHotC hotc(fast_options());
+  hotc.shutdown();
+  const auto out = hotc.submit(python_spec(), engine::apps::random_number(),
+                               [](const std::string&) { return "x"; }, "")
+                       .get();
+  EXPECT_TRUE(out.payload.empty());
+}
+
+}  // namespace
+}  // namespace hotc::runtime

@@ -1,0 +1,79 @@
+#include "runtime/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <future>
+
+namespace hotc::runtime {
+namespace {
+
+TEST(ThreadPool, ExecutesAllTasks) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(pool.post([&]() { ++count; }));
+  }
+  pool.shutdown();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, DrainsQueueOnShutdown) {
+  ThreadPool pool(1);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.post([&]() {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      ++count;
+    });
+  }
+  pool.shutdown();
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPool, RejectsAfterShutdown) {
+  ThreadPool pool(1);
+  pool.shutdown();
+  EXPECT_FALSE(pool.post([]() {}));
+}
+
+TEST(ThreadPool, DoubleShutdownSafe) {
+  ThreadPool pool(2);
+  pool.shutdown();
+  pool.shutdown();
+  SUCCEED();
+}
+
+TEST(ThreadPool, DefaultsToHardwareConcurrency) {
+  ThreadPool pool;
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ThreadPool, TasksRunOnWorkerThreads) {
+  ThreadPool pool(1);
+  std::promise<std::thread::id> id_promise;
+  pool.post([&]() { id_promise.set_value(std::this_thread::get_id()); });
+  const auto worker_id = id_promise.get_future().get();
+  EXPECT_NE(worker_id, std::this_thread::get_id());
+  pool.shutdown();
+}
+
+TEST(ThreadPool, ConcurrentPosters) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  std::vector<std::thread> posters;
+  for (int t = 0; t < 4; ++t) {
+    posters.emplace_back([&]() {
+      for (int i = 0; i < 50; ++i) {
+        pool.post([&]() { ++count; });
+      }
+    });
+  }
+  for (auto& t : posters) t.join();
+  pool.shutdown();
+  EXPECT_EQ(count.load(), 200);
+}
+
+}  // namespace
+}  // namespace hotc::runtime

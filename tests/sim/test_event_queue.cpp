@@ -1,0 +1,80 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace hotc::sim {
+namespace {
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.push(seconds(3), [&]() { fired.push_back(3); });
+  q.push(seconds(1), [&]() { fired.push_back(1); });
+  q.push(seconds(2), [&]() { fired.push_back(2); });
+  while (!q.empty()) {
+    auto [t, fn] = q.pop();
+    fn();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoTieBreak) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 5; ++i) {
+    q.push(seconds(1), [&fired, i]() { fired.push_back(i); });
+  }
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelDropsEvent) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.push(seconds(1), [&]() { fired = true; });
+  q.push(seconds(2), []() {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_EQ(q.size(), 1u);
+  while (!q.empty()) q.pop().second();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelTwiceIsFalse) {
+  EventQueue q;
+  const EventId id = q.push(seconds(1), []() {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, CancelAfterFireIsFalse) {
+  EventQueue q;
+  const EventId id = q.push(seconds(1), []() {});
+  q.pop().second();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId early = q.push(seconds(1), []() {});
+  q.push(seconds(5), []() {});
+  q.cancel(early);
+  EXPECT_EQ(q.next_time(), seconds(5));
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  EXPECT_EQ(q.size(), 0u);
+  const EventId a = q.push(seconds(1), []() {});
+  q.push(seconds(2), []() {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  q.pop();
+  EXPECT_TRUE(q.empty());
+}
+
+}  // namespace
+}  // namespace hotc::sim

@@ -1,0 +1,78 @@
+#include "sim/resource.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/units.hpp"
+
+namespace hotc::sim {
+namespace {
+
+TEST(CountingResource, GrantsImmediatelyWhenFree) {
+  CountingResource r(2);
+  int granted = 0;
+  r.acquire([&]() { ++granted; });
+  r.acquire([&]() { ++granted; });
+  EXPECT_EQ(granted, 2);
+  EXPECT_EQ(r.in_use(), 2u);
+  EXPECT_EQ(r.available(), 0u);
+}
+
+TEST(CountingResource, QueuesWhenFull) {
+  CountingResource r(1);
+  std::vector<int> order;
+  r.acquire([&]() { order.push_back(1); });
+  r.acquire([&]() { order.push_back(2); });
+  r.acquire([&]() { order.push_back(3); });
+  EXPECT_EQ(order, (std::vector<int>{1}));
+  EXPECT_EQ(r.waiting(), 2u);
+  r.release();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  r.release();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(r.waiting(), 0u);
+  EXPECT_EQ(r.in_use(), 1u);
+  r.release();
+  EXPECT_EQ(r.in_use(), 0u);
+}
+
+TEST(CountingResource, FifoOrderAmongWaiters) {
+  CountingResource r(1);
+  std::vector<int> order;
+  r.acquire([&]() {});
+  for (int i = 0; i < 5; ++i) {
+    r.acquire([&order, i]() { order.push_back(i); });
+  }
+  for (int i = 0; i < 5; ++i) r.release();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(MemoryPool, ReserveAndRelease) {
+  MemoryPool m(mib(100));
+  EXPECT_TRUE(m.reserve(mib(60)));
+  EXPECT_EQ(m.used(), mib(60));
+  EXPECT_EQ(m.free(), mib(40));
+  EXPECT_FALSE(m.reserve(mib(50)));  // would exceed
+  EXPECT_EQ(m.used(), mib(60));      // unchanged on failure
+  m.release(mib(10));
+  EXPECT_EQ(m.used(), mib(50));
+}
+
+TEST(MemoryPool, UtilizationAndWatermark) {
+  MemoryPool m(mib(100));
+  m.reserve(mib(80));
+  EXPECT_DOUBLE_EQ(m.utilization(), 0.8);
+  m.release(mib(30));
+  EXPECT_EQ(m.high_watermark(), mib(80));
+  m.reserve(mib(40));
+  EXPECT_EQ(m.high_watermark(), mib(90));
+}
+
+TEST(MemoryPool, ZeroReserveAlwaysSucceeds) {
+  MemoryPool m(mib(1));
+  EXPECT_TRUE(m.reserve(0));
+}
+
+}  // namespace
+}  // namespace hotc::sim

@@ -1,0 +1,92 @@
+#include "spec/corpus.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hotc::spec {
+namespace {
+
+TEST(Corpus, GeneratesRequestedCount) {
+  CorpusOptions opt;
+  opt.files = 200;
+  const auto corpus = generate_corpus(opt);
+  EXPECT_EQ(corpus.size(), 200u);
+  for (const auto& entry : corpus) {
+    EXPECT_FALSE(entry.project.empty());
+    EXPECT_NE(entry.dockerfile_text.find("FROM"), std::string::npos);
+  }
+}
+
+TEST(Corpus, DeterministicForSeed) {
+  CorpusOptions opt;
+  opt.files = 50;
+  opt.seed = 5;
+  const auto a = generate_corpus(opt);
+  const auto b = generate_corpus(opt);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].dockerfile_text, b[i].dockerfile_text);
+  }
+}
+
+TEST(Corpus, AllWellFormedFilesParse) {
+  CorpusOptions opt;
+  opt.files = 300;
+  const auto analysis = analyze_corpus(generate_corpus(opt));
+  EXPECT_EQ(analysis.parsed, 300u);
+  EXPECT_EQ(analysis.failed, 0u);
+}
+
+TEST(Corpus, MalformedFractionSurfacesAsFailures) {
+  CorpusOptions opt;
+  opt.files = 400;
+  opt.malformed_fraction = 0.5;
+  const auto analysis = analyze_corpus(generate_corpus(opt));
+  EXPECT_GT(analysis.failed, 100u);
+  EXPECT_GT(analysis.parsed, 100u);
+  EXPECT_EQ(analysis.parsed + analysis.failed, 400u);
+}
+
+TEST(Corpus, PopularityIsZipfConcentrated) {
+  CorpusOptions opt;
+  opt.files = 3000;
+  opt.zipf_exponent = 1.2;
+  const auto analysis = analyze_corpus(generate_corpus(opt));
+  ASSERT_FALSE(analysis.image_popularity.empty());
+  // The paper's Fig. 2 point: a few images dominate.  With s=1.2 the top
+  // 5 of ~30 catalog images should cover well over half the corpus.
+  EXPECT_GT(analysis.top_k_share(5), 0.55);
+  EXPECT_GT(analysis.top_k_share(10), 0.75);
+  // Popularity sorted descending.
+  for (std::size_t i = 1; i < analysis.image_popularity.size(); ++i) {
+    EXPECT_GE(analysis.image_popularity[i - 1].second,
+              analysis.image_popularity[i].second);
+  }
+}
+
+TEST(Corpus, CategoryCountsCoverParsedFiles) {
+  CorpusOptions opt;
+  opt.files = 500;
+  const auto analysis = analyze_corpus(generate_corpus(opt));
+  std::size_t total = 0;
+  for (const auto& [cat, count] : analysis.category_counts) {
+    (void)cat;
+    total += count;
+  }
+  EXPECT_EQ(total, analysis.parsed);
+  // OS and language images dominate the catalog head.
+  EXPECT_GT(analysis.category_counts.at(BaseImageCategory::kOs) +
+                analysis.category_counts.at(BaseImageCategory::kLanguage),
+            analysis.parsed / 2);
+}
+
+TEST(Corpus, TopKShareOnEmptyAnalysis) {
+  CorpusAnalysis empty;
+  EXPECT_DOUBLE_EQ(empty.top_k_share(5), 0.0);
+}
+
+TEST(Corpus, CatalogNonEmpty) {
+  EXPECT_GE(base_image_catalog().size(), 20u);
+}
+
+}  // namespace
+}  // namespace hotc::spec

@@ -1,0 +1,176 @@
+#include "spec/dockerfile.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hotc::spec {
+namespace {
+
+TEST(ImageRef, ParsesNameAndTag) {
+  auto r = parse_image_ref("python:3.8");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().name, "python");
+  EXPECT_EQ(r.value().tag, "3.8");
+  EXPECT_EQ(r.value().full(), "python:3.8");
+}
+
+TEST(ImageRef, DefaultsTagToLatest) {
+  auto r = parse_image_ref("ubuntu");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().tag, "latest");
+}
+
+TEST(ImageRef, RegistryPortNotMistakenForTag) {
+  auto r = parse_image_ref("registry.local:5000/team/app");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().name, "registry.local:5000/team/app");
+  EXPECT_EQ(r.value().tag, "latest");
+}
+
+TEST(ImageRef, RegistryPortWithTag) {
+  auto r = parse_image_ref("registry.local:5000/team/app:v2");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().name, "registry.local:5000/team/app");
+  EXPECT_EQ(r.value().tag, "v2");
+}
+
+TEST(ImageRef, RejectsEmpty) {
+  EXPECT_FALSE(parse_image_ref("").ok());
+  EXPECT_FALSE(parse_image_ref("   ").ok());
+}
+
+TEST(ImageRef, RejectsTrailingColon) {
+  EXPECT_FALSE(parse_image_ref("python:").ok());
+}
+
+TEST(Dockerfile, ParsesBasicFile) {
+  const char* text = R"(
+# comment line
+FROM python:3.8
+WORKDIR /app
+COPY . /app
+RUN pip install -r requirements.txt
+ENV APP_ENV=prod LOG_LEVEL=info
+EXPOSE 8080
+VOLUME ["/data"]
+CMD ["python", "main.py"]
+)";
+  auto r = Dockerfile::parse(text);
+  ASSERT_TRUE(r.ok());
+  const Dockerfile& df = r.value();
+  EXPECT_EQ(df.base_image().full(), "python:3.8");
+  EXPECT_EQ(df.stage_count(), 1u);
+  EXPECT_EQ(df.instructions().size(), 8u);
+
+  const auto env = df.env();
+  ASSERT_EQ(env.size(), 2u);
+  EXPECT_EQ(env[0].first, "APP_ENV");
+  EXPECT_EQ(env[0].second, "prod");
+
+  const auto ports = df.exposed_ports();
+  ASSERT_EQ(ports.size(), 1u);
+  EXPECT_EQ(ports[0], 8080);
+
+  const auto vols = df.volumes();
+  ASSERT_EQ(vols.size(), 1u);
+  EXPECT_EQ(vols[0], "/data");
+}
+
+TEST(Dockerfile, MultiStageKeepsLastFrom) {
+  const char* text = R"(
+FROM golang:1.15 AS builder
+RUN go build -o /out/app
+FROM alpine:3.12
+COPY --from=builder /out/app /bin/app
+ENTRYPOINT ["/bin/app"]
+)";
+  auto r = Dockerfile::parse(text);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().base_image().full(), "alpine:3.12");
+  EXPECT_EQ(r.value().stage_count(), 2u);
+}
+
+TEST(Dockerfile, LineContinuation) {
+  const char* text =
+      "FROM ubuntu:20.04\n"
+      "RUN apt-get update && \\\n"
+      "    apt-get install -y curl \\\n"
+      "    git\n";
+  auto r = Dockerfile::parse(text);
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().instructions().size(), 2u);
+  const auto& run = r.value().instructions()[1];
+  EXPECT_EQ(run.kind, InstructionKind::kRun);
+  EXPECT_NE(run.args.find("curl"), std::string::npos);
+  EXPECT_NE(run.args.find("git"), std::string::npos);
+}
+
+TEST(Dockerfile, CaseInsensitiveKeywords) {
+  auto r = Dockerfile::parse("from alpine\nrun echo hi\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().base_image().name, "alpine");
+}
+
+TEST(Dockerfile, FromWithPlatformFlag) {
+  auto r = Dockerfile::parse("FROM --platform=linux/amd64 node:14\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().base_image().full(), "node:14");
+}
+
+TEST(Dockerfile, LegacyEnvForm) {
+  auto r = Dockerfile::parse("FROM alpine\nENV HOME /root\n");
+  ASSERT_TRUE(r.ok());
+  const auto env = r.value().env();
+  ASSERT_EQ(env.size(), 1u);
+  EXPECT_EQ(env[0].first, "HOME");
+  EXPECT_EQ(env[0].second, "/root");
+}
+
+TEST(Dockerfile, ExposeWithProtocol) {
+  auto r = Dockerfile::parse("FROM alpine\nEXPOSE 53/udp 8080/tcp 9090\n");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().exposed_ports(), (std::vector<int>{53, 8080, 9090}));
+}
+
+TEST(Dockerfile, RejectsUnknownInstruction) {
+  auto r = Dockerfile::parse("FROM alpine\nBOGUS something\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "dockerfile.unknown_instruction");
+}
+
+TEST(Dockerfile, RejectsFileWithoutFrom) {
+  auto r = Dockerfile::parse("RUN echo hi\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "dockerfile.no_from");
+}
+
+TEST(Dockerfile, EmptyFileRejected) {
+  EXPECT_FALSE(Dockerfile::parse("").ok());
+  EXPECT_FALSE(Dockerfile::parse("# only a comment\n").ok());
+}
+
+TEST(BaseImageCategory, Classification) {
+  EXPECT_EQ(classify_base_image("ubuntu"), BaseImageCategory::kOs);
+  EXPECT_EQ(classify_base_image("alpine"), BaseImageCategory::kOs);
+  EXPECT_EQ(classify_base_image("python"), BaseImageCategory::kLanguage);
+  EXPECT_EQ(classify_base_image("openjdk"), BaseImageCategory::kLanguage);
+  EXPECT_EQ(classify_base_image("nginx"), BaseImageCategory::kApplication);
+  EXPECT_EQ(classify_base_image("cassandra"),
+            BaseImageCategory::kApplication);
+  EXPECT_EQ(classify_base_image("somethingcustom"),
+            BaseImageCategory::kOther);
+}
+
+TEST(BaseImageCategory, NamespaceStripped) {
+  EXPECT_EQ(classify_base_image("library/python"),
+            BaseImageCategory::kLanguage);
+  EXPECT_EQ(classify_base_image("myorg/nginx"),
+            BaseImageCategory::kApplication);
+}
+
+TEST(BaseImageCategory, PrefixMatchesVariants) {
+  EXPECT_EQ(classify_base_image("node-chakracore"),
+            BaseImageCategory::kLanguage);
+}
+
+}  // namespace
+}  // namespace hotc::spec

@@ -1,0 +1,138 @@
+#include "spec/runspec.hpp"
+
+#include <gtest/gtest.h>
+
+namespace hotc::spec {
+namespace {
+
+TEST(RunSpecParse, MinimalImageOnly) {
+  auto r = parse_run_command("docker run python:3.8");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().image.full(), "python:3.8");
+  EXPECT_EQ(r.value().network, NetworkMode::kBridge);
+  EXPECT_EQ(r.value().uts, NamespaceMode::kPrivate);
+  EXPECT_TRUE(r.value().command.empty());
+}
+
+TEST(RunSpecParse, DockerAndRunPrefixesOptional) {
+  EXPECT_TRUE(parse_run_command("run alpine").ok());
+  EXPECT_TRUE(parse_run_command("alpine").ok());
+}
+
+TEST(RunSpecParse, FullConfiguration) {
+  auto r = parse_run_command(
+      "docker run --net=overlay --uts=host --ipc=host --pid=private "
+      "-e KEY=VALUE -e MODE=fast -v /host:/container -m 512m --cpus=1.5 "
+      "--read-only python:3.8-slim handler.py --arg 1");
+  ASSERT_TRUE(r.ok());
+  const RunSpec& s = r.value();
+  EXPECT_EQ(s.image.full(), "python:3.8-slim");
+  EXPECT_EQ(s.network, NetworkMode::kOverlay);
+  EXPECT_EQ(s.uts, NamespaceMode::kHost);
+  EXPECT_EQ(s.ipc, NamespaceMode::kHost);
+  EXPECT_EQ(s.pid, NamespaceMode::kPrivate);
+  EXPECT_EQ(s.env.at("KEY"), "VALUE");
+  EXPECT_EQ(s.env.at("MODE"), "fast");
+  ASSERT_EQ(s.volumes.size(), 1u);
+  EXPECT_EQ(s.volumes[0], "/host:/container");
+  EXPECT_EQ(s.memory_limit, 512 * kMiB);
+  EXPECT_DOUBLE_EQ(s.cpu_limit, 1.5);
+  EXPECT_TRUE(s.read_only_rootfs);
+  EXPECT_EQ(s.command, "handler.py --arg 1");
+}
+
+TEST(RunSpecParse, SpaceSeparatedFlagValues) {
+  auto r = parse_run_command("run --net bridge -m 1g -e A=B nginx");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().network, NetworkMode::kBridge);
+  EXPECT_EQ(r.value().memory_limit, kGiB);
+  EXPECT_EQ(r.value().env.at("A"), "B");
+}
+
+TEST(RunSpecParse, NatAliasesToBridge) {
+  auto r = parse_run_command("run --net=nat alpine");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().network, NetworkMode::kBridge);
+}
+
+TEST(RunSpecParse, QuotedCommandWords) {
+  auto r = parse_run_command("run alpine sh -c 'echo hello world'");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().command, "sh -c echo hello world");
+}
+
+TEST(RunSpecParse, UnknownFlagRejected) {
+  auto r = parse_run_command("run --frobnicate alpine");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "runspec.unknown_flag");
+}
+
+TEST(RunSpecParse, MissingImageRejected) {
+  auto r = parse_run_command("docker run --net=bridge");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "runspec.no_image");
+}
+
+TEST(RunSpecParse, BadEnvRejected) {
+  auto r = parse_run_command("run -e NOEQUALS alpine");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "runspec.bad_env");
+}
+
+TEST(RunSpecParse, BadNetworkRejected) {
+  auto r = parse_run_command("run --net=warp alpine");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.error().code, "runspec.bad_network");
+}
+
+TEST(RunSpecParse, VolumesSortedForCanonicalOrder) {
+  auto r = parse_run_command("run -v /b:/b -v /a:/a alpine");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().volumes, (std::vector<std::string>{"/a:/a", "/b:/b"}));
+}
+
+TEST(RunSpecParse, ConvenienceFlagsIgnored) {
+  auto r = parse_run_command("run -d --rm -it alpine");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().image.name, "alpine");
+}
+
+TEST(MemorySize, Suffixes) {
+  EXPECT_EQ(parse_memory_size("512").value(), 512);
+  EXPECT_EQ(parse_memory_size("4k").value(), kib(4));
+  EXPECT_EQ(parse_memory_size("300m").value(), mib(300));
+  EXPECT_EQ(parse_memory_size("2g").value(), gib(2));
+  EXPECT_EQ(parse_memory_size("1.5g").value(), gib(1) + mib(512));
+  EXPECT_EQ(parse_memory_size("64B").value(), 64);
+}
+
+TEST(MemorySize, Rejections) {
+  EXPECT_FALSE(parse_memory_size("").ok());
+  EXPECT_FALSE(parse_memory_size("abc").ok());
+  EXPECT_FALSE(parse_memory_size("12xy").ok());
+}
+
+TEST(NamespaceMode, Parsing) {
+  EXPECT_EQ(parse_namespace_mode("host").value(), NamespaceMode::kHost);
+  EXPECT_EQ(parse_namespace_mode("private").value(),
+            NamespaceMode::kPrivate);
+  EXPECT_EQ(parse_namespace_mode("container:abc").value(),
+            NamespaceMode::kShared);
+  EXPECT_FALSE(parse_namespace_mode("weird").ok());
+}
+
+TEST(SpecFromDockerfile, CarriesRuntimeShape) {
+  auto df = Dockerfile::parse(
+      "FROM node:14\nENV A=1 B=2\nVOLUME /data\nCMD node server.js\n");
+  ASSERT_TRUE(df.ok());
+  const RunSpec s = spec_from_dockerfile(df.value());
+  EXPECT_EQ(s.image.full(), "node:14");
+  EXPECT_EQ(s.env.at("A"), "1");
+  EXPECT_EQ(s.env.at("B"), "2");
+  ASSERT_EQ(s.volumes.size(), 1u);
+  EXPECT_EQ(s.volumes[0], "/data");
+  EXPECT_EQ(s.command, "node server.js");
+}
+
+}  // namespace
+}  // namespace hotc::spec

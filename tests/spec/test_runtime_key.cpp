@@ -1,0 +1,136 @@
+#include "spec/runtime_key.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace hotc::spec {
+namespace {
+
+RunSpec base_spec() {
+  RunSpec s;
+  s.image = ImageRef{"python", "3.8"};
+  s.network = NetworkMode::kBridge;
+  s.env["A"] = "1";
+  return s;
+}
+
+TEST(RuntimeKey, IdenticalSpecsSameKey) {
+  const auto a = RuntimeKey::from_spec(base_spec());
+  const auto b = RuntimeKey::from_spec(base_spec());
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.hash(), b.hash());
+  EXPECT_EQ(a.text(), b.text());
+}
+
+TEST(RuntimeKey, EveryRuntimeFieldChangesKey) {
+  const auto base = RuntimeKey::from_spec(base_spec());
+
+  auto s = base_spec();
+  s.image.tag = "3.7";
+  EXPECT_NE(RuntimeKey::from_spec(s), base);
+
+  s = base_spec();
+  s.network = NetworkMode::kOverlay;
+  EXPECT_NE(RuntimeKey::from_spec(s), base);
+
+  s = base_spec();
+  s.uts = NamespaceMode::kHost;
+  EXPECT_NE(RuntimeKey::from_spec(s), base);
+
+  s = base_spec();
+  s.ipc = NamespaceMode::kHost;
+  EXPECT_NE(RuntimeKey::from_spec(s), base);
+
+  s = base_spec();
+  s.pid = NamespaceMode::kShared;
+  EXPECT_NE(RuntimeKey::from_spec(s), base);
+
+  s = base_spec();
+  s.env["A"] = "2";
+  EXPECT_NE(RuntimeKey::from_spec(s), base);
+
+  s = base_spec();
+  s.volumes.push_back("/x:/x");
+  EXPECT_NE(RuntimeKey::from_spec(s), base);
+
+  s = base_spec();
+  s.memory_limit = mib(256);
+  EXPECT_NE(RuntimeKey::from_spec(s), base);
+
+  s = base_spec();
+  s.cpu_limit = 2.0;
+  EXPECT_NE(RuntimeKey::from_spec(s), base);
+
+  s = base_spec();
+  s.read_only_rootfs = true;
+  EXPECT_NE(RuntimeKey::from_spec(s), base);
+
+  s = base_spec();
+  s.privileged = true;
+  EXPECT_NE(RuntimeKey::from_spec(s), base);
+}
+
+TEST(RuntimeKey, CommandIsNotPartOfKey) {
+  auto a = base_spec();
+  a.command = "handler.py";
+  auto b = base_spec();
+  b.command = "other.py";
+  EXPECT_EQ(RuntimeKey::from_spec(a), RuntimeKey::from_spec(b));
+}
+
+TEST(RuntimeKey, EnvOrderIrrelevant) {
+  // std::map canonicalises insertion order; parse two orderings.
+  auto a = base_spec();
+  a.env.clear();
+  a.env["X"] = "1";
+  a.env["Y"] = "2";
+  auto b = base_spec();
+  b.env.clear();
+  b.env["Y"] = "2";
+  b.env["X"] = "1";
+  EXPECT_EQ(RuntimeKey::from_spec(a), RuntimeKey::from_spec(b));
+}
+
+TEST(RuntimeKey, SubsetKeyIgnoresReapplicableFields) {
+  auto a = base_spec();
+  a.env["EXTRA"] = "yes";
+  a.volumes.push_back("/v:/v");
+  a.command = "run.py";
+  auto b = base_spec();
+  b.env.clear();
+  EXPECT_NE(RuntimeKey::from_spec(a), RuntimeKey::from_spec(b));
+  EXPECT_EQ(RuntimeKey::subset_from_spec(a), RuntimeKey::subset_from_spec(b));
+}
+
+TEST(RuntimeKey, SubsetKeyStillSeparatesRuntimeShape) {
+  auto a = base_spec();
+  auto b = base_spec();
+  b.network = NetworkMode::kHost;
+  EXPECT_NE(RuntimeKey::subset_from_spec(a), RuntimeKey::subset_from_spec(b));
+}
+
+TEST(RuntimeKey, UsableInUnorderedSet) {
+  std::unordered_set<RuntimeKey> set;
+  set.insert(RuntimeKey::from_spec(base_spec()));
+  set.insert(RuntimeKey::from_spec(base_spec()));
+  auto other = base_spec();
+  other.image.name = "node";
+  set.insert(RuntimeKey::from_spec(other));
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(RuntimeKey, TextIsHumanReadable) {
+  const auto key = RuntimeKey::from_spec(base_spec());
+  EXPECT_NE(key.text().find("img=python:3.8"), std::string::npos);
+  EXPECT_NE(key.text().find("net=bridge"), std::string::npos);
+}
+
+TEST(Fnv1a, StableKnownValue) {
+  // FNV-1a of empty string is the offset basis.
+  EXPECT_EQ(fnv1a(""), 0xCBF29CE484222325ull);
+  EXPECT_NE(fnv1a("a"), fnv1a("b"));
+}
+
+}  // namespace
+}  // namespace hotc::spec

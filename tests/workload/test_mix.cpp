@@ -1,0 +1,71 @@
+#include "workload/mix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "spec/runtime_key.hpp"
+
+namespace hotc::workload {
+namespace {
+
+TEST(ConfigMix, QrServiceHasDistinctRuntimeKeys) {
+  const auto mix = ConfigMix::qr_web_service(10);
+  ASSERT_EQ(mix.size(), 10u);
+  std::set<std::string> keys;
+  for (std::size_t i = 0; i < mix.size(); ++i) {
+    keys.insert(spec::RuntimeKey::from_spec(mix.at(i).spec).text());
+    EXPECT_EQ(mix.at(i).spec.network, spec::NetworkMode::kBridge);  // NAT
+    EXPECT_EQ(mix.at(i).app.name, "qr-encoder");
+  }
+  EXPECT_EQ(keys.size(), 10u);
+}
+
+TEST(ConfigMix, QrServiceCyclesLanguages) {
+  const auto mix = ConfigMix::qr_web_service(6);
+  EXPECT_EQ(mix.at(0).spec.image.name, "python");
+  EXPECT_EQ(mix.at(1).spec.image.name, "golang");
+  EXPECT_EQ(mix.at(2).spec.image.name, "node");
+  EXPECT_EQ(mix.at(5).spec.image.name, mix.at(0).spec.image.name);
+}
+
+TEST(ConfigMix, ImageRecognitionPair) {
+  const auto mix = ConfigMix::image_recognition();
+  ASSERT_EQ(mix.size(), 2u);
+  EXPECT_EQ(mix.at(0).app.name, "v3-app");
+  EXPECT_EQ(mix.at(1).app.name, "tf-api-app");
+}
+
+TEST(ConfigMix, ImageRecognitionNetworkConfigurable) {
+  const auto mix =
+      ConfigMix::image_recognition(spec::NetworkMode::kOverlay);
+  EXPECT_EQ(mix.at(0).spec.network, spec::NetworkMode::kOverlay);
+}
+
+TEST(ConfigMix, SampleRespectsBounds) {
+  const auto mix = ConfigMix::qr_web_service(5);
+  Rng rng(3);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_LT(mix.sample(rng), 5u);
+  }
+}
+
+TEST(ConfigMix, SampleZipfSkewsToFront) {
+  const auto mix = ConfigMix::qr_web_service(10);
+  Rng rng(5);
+  std::vector<int> counts(10, 0);
+  for (int i = 0; i < 5000; ++i) ++counts[mix.sample(rng, 1.2)];
+  EXPECT_GT(counts[0], counts[9] * 2);
+}
+
+TEST(ConfigMix, SingleMix) {
+  ConfigEntry e;
+  e.spec.image = spec::ImageRef{"alpine", "latest"};
+  e.app = engine::apps::random_number();
+  const auto mix = ConfigMix::single(e);
+  EXPECT_EQ(mix.size(), 1u);
+  EXPECT_EQ(mix.at(0).app.name, "random-number");
+}
+
+}  // namespace
+}  // namespace hotc::workload

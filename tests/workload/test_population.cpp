@@ -1,0 +1,128 @@
+#include "workload/population.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace hotc::workload {
+namespace {
+
+TEST(Population, GeneratesRequestedFunctionCount) {
+  PopulationOptions opt;
+  opt.functions = 80;
+  const auto pop = FunctionPopulation::generate(opt);
+  EXPECT_EQ(pop.size(), 80u);
+}
+
+TEST(Population, ClassMixRoughlyMatchesFractions) {
+  PopulationOptions opt;
+  opt.functions = 2000;
+  const auto pop = FunctionPopulation::generate(opt);
+  const auto rare = pop.count_in_class(InvocationClass::kRare);
+  const auto steady = pop.count_in_class(InvocationClass::kSteady);
+  const auto periodic = pop.count_in_class(InvocationClass::kPeriodic);
+  const auto bursty = pop.count_in_class(InvocationClass::kBursty);
+  EXPECT_EQ(rare + steady + periodic + bursty, 2000u);
+  EXPECT_NEAR(static_cast<double>(rare) / 2000.0, 0.55, 0.05);
+  EXPECT_NEAR(static_cast<double>(steady) / 2000.0, 0.08, 0.03);
+  EXPECT_NEAR(static_cast<double>(periodic) / 2000.0, 0.25, 0.04);
+}
+
+TEST(Population, DeterministicPerSeed) {
+  PopulationOptions opt;
+  opt.functions = 30;
+  const auto a = FunctionPopulation::generate(opt).arrivals();
+  const auto b = FunctionPopulation::generate(opt).arrivals();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].at, b[i].at);
+    EXPECT_EQ(a[i].config_index, b[i].config_index);
+  }
+}
+
+TEST(Population, ArrivalsSortedAndWithinHorizon) {
+  PopulationOptions opt;
+  opt.functions = 60;
+  opt.horizon = hours(1);
+  const auto pop = FunctionPopulation::generate(opt);
+  const auto arrivals = pop.arrivals();
+  EXPECT_FALSE(arrivals.empty());
+  EXPECT_TRUE(std::is_sorted(arrivals.begin(), arrivals.end()));
+  for (const auto& a : arrivals) {
+    EXPECT_GE(a.at, kZeroDuration);
+    EXPECT_LT(a.config_index, pop.size());
+  }
+}
+
+TEST(Population, SteadyHeadDominatesInvocations) {
+  PopulationOptions opt;
+  opt.functions = 200;
+  const auto pop = FunctionPopulation::generate(opt);
+  const auto arrivals = pop.arrivals();
+  std::size_t steady_calls = 0;
+  std::size_t rare_calls = 0;
+  for (const auto& a : arrivals) {
+    switch (pop.class_of(a.config_index)) {
+      case InvocationClass::kSteady: ++steady_calls; break;
+      case InvocationClass::kRare: ++rare_calls; break;
+      default: break;
+    }
+  }
+  // Azure shape: far fewer steady functions, far more steady invocations.
+  EXPECT_LT(pop.count_in_class(InvocationClass::kSteady),
+            pop.count_in_class(InvocationClass::kRare));
+  EXPECT_GT(steady_calls, rare_calls * 5);
+}
+
+TEST(Population, PeriodicFunctionsFireOnSchedule) {
+  PopulationOptions opt;
+  opt.functions = 100;
+  opt.horizon = hours(2);
+  const auto pop = FunctionPopulation::generate(opt);
+  const auto arrivals = pop.arrivals();
+  // For each periodic function, gaps between consecutive arrivals equal
+  // its period exactly.
+  for (const auto& p : pop.profiles()) {
+    if (p.klass != InvocationClass::kPeriodic) continue;
+    std::vector<TimePoint> times;
+    for (const auto& a : arrivals) {
+      if (a.config_index == p.config_index) times.push_back(a.at);
+    }
+    ASSERT_GE(times.size(), 2u) << "period " << format_duration(p.period);
+    for (std::size_t i = 1; i < times.size(); ++i) {
+      EXPECT_EQ(times[i] - times[i - 1], p.period);
+    }
+  }
+}
+
+TEST(Population, BurstyFunctionsHaveStorms) {
+  PopulationOptions opt;
+  opt.functions = 300;
+  const auto pop = FunctionPopulation::generate(opt);
+  const auto arrivals = pop.arrivals();
+  // At least one bursty function shows a >= 10-request storm inside 10 s.
+  bool storm_found = false;
+  for (const auto& p : pop.profiles()) {
+    if (p.klass != InvocationClass::kBursty) continue;
+    std::vector<TimePoint> times;
+    for (const auto& a : arrivals) {
+      if (a.config_index == p.config_index) times.push_back(a.at);
+    }
+    for (std::size_t i = 0; i + 10 < times.size(); ++i) {
+      if (times[i + 10] - times[i] < seconds(10)) {
+        storm_found = true;
+        break;
+      }
+    }
+    if (storm_found) break;
+  }
+  EXPECT_TRUE(storm_found);
+}
+
+TEST(Population, ClassNames) {
+  EXPECT_STREQ(to_string(InvocationClass::kSteady), "steady");
+  EXPECT_STREQ(to_string(InvocationClass::kRare), "rare");
+}
+
+}  // namespace
+}  // namespace hotc::workload

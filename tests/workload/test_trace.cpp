@@ -1,0 +1,74 @@
+#include "workload/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace hotc::workload {
+namespace {
+
+TEST(Trace, LengthAndNonNegativity) {
+  const auto trace = umass_youtube_trace();
+  EXPECT_EQ(trace.size(), 1440u);
+  for (const double v : trace) EXPECT_GE(v, 0.0);
+}
+
+TEST(Trace, BurstLandmarkAtT710) {
+  // Feature 1 of Fig. 11: 20 -> 300 requests at T710.
+  const auto trace = umass_youtube_trace();
+  EXPECT_DOUBLE_EQ(trace[kBurstIndex - 1], 20.0);
+  EXPECT_DOUBLE_EQ(trace[kBurstIndex], 300.0);
+}
+
+TEST(Trace, AfternoonDecline) {
+  // Feature 2: steady decrease from T800 to T1200.
+  const auto trace = umass_youtube_trace();
+  EXPECT_GT(trace[kDeclineStart], trace[kDeclineEnd - 1] + 50.0);
+  // Sampled midpoints decrease monotonically at coarse granularity.
+  const double early = trace[kDeclineStart + 50];
+  const double mid = trace[(kDeclineStart + kDeclineEnd) / 2];
+  const double late = trace[kDeclineEnd - 50];
+  EXPECT_GT(early, mid - 20.0);
+  EXPECT_GT(mid, late - 20.0);
+}
+
+TEST(Trace, EveningRise) {
+  // Feature 3: throughput increases from T1200 to T1400.
+  const auto trace = umass_youtube_trace();
+  EXPECT_LT(trace[kDeclineEnd + 10],
+            trace[kEveningRiseEnd - 10]);
+}
+
+TEST(Trace, DeterministicPerSeed) {
+  TraceOptions opt;
+  opt.seed = 9;
+  const auto a = umass_youtube_trace(opt);
+  const auto b = umass_youtube_trace(opt);
+  EXPECT_EQ(a, b);
+  opt.seed = 10;
+  const auto c = umass_youtube_trace(opt);
+  EXPECT_NE(a, c);
+}
+
+TEST(Trace, NoiseBoundedByFraction) {
+  TraceOptions opt;
+  opt.noise_fraction = 0.0;
+  const auto clean = umass_youtube_trace(opt);
+  opt.noise_fraction = 0.08;
+  const auto noisy = umass_youtube_trace(opt);
+  for (std::size_t i = 0; i < clean.size(); ++i) {
+    if (clean[i] > 0.0) {
+      EXPECT_LE(std::abs(noisy[i] - clean[i]) / clean[i], 0.081)
+          << "index " << i;
+    }
+  }
+}
+
+TEST(Trace, CustomLength) {
+  TraceOptions opt;
+  opt.minutes = 1500;
+  EXPECT_EQ(umass_youtube_trace(opt).size(), 1500u);
+}
+
+}  // namespace
+}  // namespace hotc::workload
