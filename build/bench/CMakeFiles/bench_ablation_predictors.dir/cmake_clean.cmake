@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_predictors.dir/bench_ablation_predictors.cpp.o"
+  "CMakeFiles/bench_ablation_predictors.dir/bench_ablation_predictors.cpp.o.d"
+  "bench_ablation_predictors"
+  "bench_ablation_predictors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_predictors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cluster_scaling.dir/bench_cluster_scaling.cpp.o"
+  "CMakeFiles/bench_cluster_scaling.dir/bench_cluster_scaling.cpp.o.d"
+  "bench_cluster_scaling"
+  "bench_cluster_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cluster_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_lambda_coldstart.dir/bench_fig01_lambda_coldstart.cpp.o"
+  "CMakeFiles/bench_fig01_lambda_coldstart.dir/bench_fig01_lambda_coldstart.cpp.o.d"
+  "bench_fig01_lambda_coldstart"
+  "bench_fig01_lambda_coldstart.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_lambda_coldstart.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig01_lambda_coldstart.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig02_dockerfile_analysis.dir/bench_fig02_dockerfile_analysis.cpp.o"
+  "CMakeFiles/bench_fig02_dockerfile_analysis.dir/bench_fig02_dockerfile_analysis.cpp.o.d"
+  "bench_fig02_dockerfile_analysis"
+  "bench_fig02_dockerfile_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig02_dockerfile_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig04_startup_costs.dir/bench_fig04_startup_costs.cpp.o"
+  "CMakeFiles/bench_fig04_startup_costs.dir/bench_fig04_startup_costs.cpp.o.d"
+  "bench_fig04_startup_costs"
+  "bench_fig04_startup_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_startup_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_openfaas_breakdown.dir/bench_fig05_openfaas_breakdown.cpp.o"
+  "CMakeFiles/bench_fig05_openfaas_breakdown.dir/bench_fig05_openfaas_breakdown.cpp.o.d"
+  "bench_fig05_openfaas_breakdown"
+  "bench_fig05_openfaas_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_openfaas_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_image_recognition.dir/bench_fig08_image_recognition.cpp.o"
+  "CMakeFiles/bench_fig08_image_recognition.dir/bench_fig08_image_recognition.cpp.o.d"
+  "bench_fig08_image_recognition"
+  "bench_fig08_image_recognition.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_image_recognition.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

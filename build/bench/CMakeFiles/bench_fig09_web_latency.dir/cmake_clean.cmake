@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_web_latency.dir/bench_fig09_web_latency.cpp.o"
+  "CMakeFiles/bench_fig09_web_latency.dir/bench_fig09_web_latency.cpp.o.d"
+  "bench_fig09_web_latency"
+  "bench_fig09_web_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_web_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_prediction.dir/bench_fig10_prediction.cpp.o"
+  "CMakeFiles/bench_fig10_prediction.dir/bench_fig10_prediction.cpp.o.d"
+  "bench_fig10_prediction"
+  "bench_fig10_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_trace_patterns.dir/bench_fig11_trace_patterns.cpp.o"
+  "CMakeFiles/bench_fig11_trace_patterns.dir/bench_fig11_trace_patterns.cpp.o.d"
+  "bench_fig11_trace_patterns"
+  "bench_fig11_trace_patterns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_trace_patterns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_serial_parallel.dir/bench_fig12_serial_parallel.cpp.o"
+  "CMakeFiles/bench_fig12_serial_parallel.dir/bench_fig12_serial_parallel.cpp.o.d"
+  "bench_fig12_serial_parallel"
+  "bench_fig12_serial_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_serial_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

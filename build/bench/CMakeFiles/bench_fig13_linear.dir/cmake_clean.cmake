@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_linear.dir/bench_fig13_linear.cpp.o"
+  "CMakeFiles/bench_fig13_linear.dir/bench_fig13_linear.cpp.o.d"
+  "bench_fig13_linear"
+  "bench_fig13_linear.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_linear.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_exp_burst.dir/bench_fig14_exp_burst.cpp.o"
+  "CMakeFiles/bench_fig14_exp_burst.dir/bench_fig14_exp_burst.cpp.o.d"
+  "bench_fig14_exp_burst"
+  "bench_fig14_exp_burst.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_exp_burst.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_demo.dir/cluster_demo.cpp.o"
+  "CMakeFiles/cluster_demo.dir/cluster_demo.cpp.o.d"
+  "cluster_demo"
+  "cluster_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

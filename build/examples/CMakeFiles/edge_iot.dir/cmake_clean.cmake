@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/edge_iot.dir/edge_iot.cpp.o"
+  "CMakeFiles/edge_iot.dir/edge_iot.cpp.o.d"
+  "edge_iot"
+  "edge_iot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_iot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotc_examples_support.dir/matrix_code.cpp.o"
+  "CMakeFiles/hotc_examples_support.dir/matrix_code.cpp.o.d"
+  "libhotc_examples_support.a"
+  "libhotc_examples_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotc_examples_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

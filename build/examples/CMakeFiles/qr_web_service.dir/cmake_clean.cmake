@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qr_web_service.dir/qr_web_service.cpp.o"
+  "CMakeFiles/qr_web_service.dir/qr_web_service.cpp.o.d"
+  "qr_web_service"
+  "qr_web_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qr_web_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for qr_web_service.
+# This may be replaced when dependencies are built.

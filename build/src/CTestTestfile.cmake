@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("core")
+subdirs("sim")
+subdirs("spec")
+subdirs("engine")
+subdirs("predict")
+subdirs("pool")
+subdirs("workload")
+subdirs("metrics")
+subdirs("hotc")
+subdirs("faas")
+subdirs("runtime")
+subdirs("cluster")
+subdirs("scenario")

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster.cpp" "src/cluster/CMakeFiles/hotc_cluster.dir/cluster.cpp.o" "gcc" "src/cluster/CMakeFiles/hotc_cluster.dir/cluster.cpp.o.d"
+  "/root/repo/src/cluster/directory.cpp" "src/cluster/CMakeFiles/hotc_cluster.dir/directory.cpp.o" "gcc" "src/cluster/CMakeFiles/hotc_cluster.dir/directory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hotc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hotc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/hotc_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/hotc_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/hotc/CMakeFiles/hotc_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/hotc_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/pool/CMakeFiles/hotc_pool.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotc_cluster.dir/cluster.cpp.o"
+  "CMakeFiles/hotc_cluster.dir/cluster.cpp.o.d"
+  "CMakeFiles/hotc_cluster.dir/directory.cpp.o"
+  "CMakeFiles/hotc_cluster.dir/directory.cpp.o.d"
+  "libhotc_cluster.a"
+  "libhotc_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotc_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

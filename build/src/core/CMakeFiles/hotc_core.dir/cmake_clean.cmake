@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotc_core.dir/json.cpp.o"
+  "CMakeFiles/hotc_core.dir/json.cpp.o.d"
+  "CMakeFiles/hotc_core.dir/log.cpp.o"
+  "CMakeFiles/hotc_core.dir/log.cpp.o.d"
+  "CMakeFiles/hotc_core.dir/rng.cpp.o"
+  "CMakeFiles/hotc_core.dir/rng.cpp.o.d"
+  "CMakeFiles/hotc_core.dir/series.cpp.o"
+  "CMakeFiles/hotc_core.dir/series.cpp.o.d"
+  "CMakeFiles/hotc_core.dir/stats.cpp.o"
+  "CMakeFiles/hotc_core.dir/stats.cpp.o.d"
+  "CMakeFiles/hotc_core.dir/table.cpp.o"
+  "CMakeFiles/hotc_core.dir/table.cpp.o.d"
+  "CMakeFiles/hotc_core.dir/units.cpp.o"
+  "CMakeFiles/hotc_core.dir/units.cpp.o.d"
+  "libhotc_core.a"
+  "libhotc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/app.cpp" "src/engine/CMakeFiles/hotc_engine.dir/app.cpp.o" "gcc" "src/engine/CMakeFiles/hotc_engine.dir/app.cpp.o.d"
+  "/root/repo/src/engine/container.cpp" "src/engine/CMakeFiles/hotc_engine.dir/container.cpp.o" "gcc" "src/engine/CMakeFiles/hotc_engine.dir/container.cpp.o.d"
+  "/root/repo/src/engine/cost_model.cpp" "src/engine/CMakeFiles/hotc_engine.dir/cost_model.cpp.o" "gcc" "src/engine/CMakeFiles/hotc_engine.dir/cost_model.cpp.o.d"
+  "/root/repo/src/engine/engine.cpp" "src/engine/CMakeFiles/hotc_engine.dir/engine.cpp.o" "gcc" "src/engine/CMakeFiles/hotc_engine.dir/engine.cpp.o.d"
+  "/root/repo/src/engine/host.cpp" "src/engine/CMakeFiles/hotc_engine.dir/host.cpp.o" "gcc" "src/engine/CMakeFiles/hotc_engine.dir/host.cpp.o.d"
+  "/root/repo/src/engine/image.cpp" "src/engine/CMakeFiles/hotc_engine.dir/image.cpp.o" "gcc" "src/engine/CMakeFiles/hotc_engine.dir/image.cpp.o.d"
+  "/root/repo/src/engine/monitor.cpp" "src/engine/CMakeFiles/hotc_engine.dir/monitor.cpp.o" "gcc" "src/engine/CMakeFiles/hotc_engine.dir/monitor.cpp.o.d"
+  "/root/repo/src/engine/network.cpp" "src/engine/CMakeFiles/hotc_engine.dir/network.cpp.o" "gcc" "src/engine/CMakeFiles/hotc_engine.dir/network.cpp.o.d"
+  "/root/repo/src/engine/registry.cpp" "src/engine/CMakeFiles/hotc_engine.dir/registry.cpp.o" "gcc" "src/engine/CMakeFiles/hotc_engine.dir/registry.cpp.o.d"
+  "/root/repo/src/engine/volume.cpp" "src/engine/CMakeFiles/hotc_engine.dir/volume.cpp.o" "gcc" "src/engine/CMakeFiles/hotc_engine.dir/volume.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hotc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hotc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/hotc_spec.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotc_engine.dir/app.cpp.o"
+  "CMakeFiles/hotc_engine.dir/app.cpp.o.d"
+  "CMakeFiles/hotc_engine.dir/container.cpp.o"
+  "CMakeFiles/hotc_engine.dir/container.cpp.o.d"
+  "CMakeFiles/hotc_engine.dir/cost_model.cpp.o"
+  "CMakeFiles/hotc_engine.dir/cost_model.cpp.o.d"
+  "CMakeFiles/hotc_engine.dir/engine.cpp.o"
+  "CMakeFiles/hotc_engine.dir/engine.cpp.o.d"
+  "CMakeFiles/hotc_engine.dir/host.cpp.o"
+  "CMakeFiles/hotc_engine.dir/host.cpp.o.d"
+  "CMakeFiles/hotc_engine.dir/image.cpp.o"
+  "CMakeFiles/hotc_engine.dir/image.cpp.o.d"
+  "CMakeFiles/hotc_engine.dir/monitor.cpp.o"
+  "CMakeFiles/hotc_engine.dir/monitor.cpp.o.d"
+  "CMakeFiles/hotc_engine.dir/network.cpp.o"
+  "CMakeFiles/hotc_engine.dir/network.cpp.o.d"
+  "CMakeFiles/hotc_engine.dir/registry.cpp.o"
+  "CMakeFiles/hotc_engine.dir/registry.cpp.o.d"
+  "CMakeFiles/hotc_engine.dir/volume.cpp.o"
+  "CMakeFiles/hotc_engine.dir/volume.cpp.o.d"
+  "libhotc_engine.a"
+  "libhotc_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotc_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotc_faas.dir/backend.cpp.o"
+  "CMakeFiles/hotc_faas.dir/backend.cpp.o.d"
+  "CMakeFiles/hotc_faas.dir/gateway.cpp.o"
+  "CMakeFiles/hotc_faas.dir/gateway.cpp.o.d"
+  "CMakeFiles/hotc_faas.dir/platform.cpp.o"
+  "CMakeFiles/hotc_faas.dir/platform.cpp.o.d"
+  "libhotc_faas.a"
+  "libhotc_faas.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotc_faas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

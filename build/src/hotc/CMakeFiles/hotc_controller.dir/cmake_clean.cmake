@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotc_controller.dir/controller.cpp.o"
+  "CMakeFiles/hotc_controller.dir/controller.cpp.o.d"
+  "CMakeFiles/hotc_controller.dir/telemetry.cpp.o"
+  "CMakeFiles/hotc_controller.dir/telemetry.cpp.o.d"
+  "libhotc_controller.a"
+  "libhotc_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotc_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

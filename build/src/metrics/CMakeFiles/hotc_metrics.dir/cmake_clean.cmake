@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotc_metrics.dir/latency_recorder.cpp.o"
+  "CMakeFiles/hotc_metrics.dir/latency_recorder.cpp.o.d"
+  "libhotc_metrics.a"
+  "libhotc_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotc_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotc_pool.dir/pool.cpp.o"
+  "CMakeFiles/hotc_pool.dir/pool.cpp.o.d"
+  "libhotc_pool.a"
+  "libhotc_pool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotc_pool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predict/baselines.cpp" "src/predict/CMakeFiles/hotc_predict.dir/baselines.cpp.o" "gcc" "src/predict/CMakeFiles/hotc_predict.dir/baselines.cpp.o.d"
+  "/root/repo/src/predict/evaluator.cpp" "src/predict/CMakeFiles/hotc_predict.dir/evaluator.cpp.o" "gcc" "src/predict/CMakeFiles/hotc_predict.dir/evaluator.cpp.o.d"
+  "/root/repo/src/predict/exp_smoothing.cpp" "src/predict/CMakeFiles/hotc_predict.dir/exp_smoothing.cpp.o" "gcc" "src/predict/CMakeFiles/hotc_predict.dir/exp_smoothing.cpp.o.d"
+  "/root/repo/src/predict/holt.cpp" "src/predict/CMakeFiles/hotc_predict.dir/holt.cpp.o" "gcc" "src/predict/CMakeFiles/hotc_predict.dir/holt.cpp.o.d"
+  "/root/repo/src/predict/hybrid.cpp" "src/predict/CMakeFiles/hotc_predict.dir/hybrid.cpp.o" "gcc" "src/predict/CMakeFiles/hotc_predict.dir/hybrid.cpp.o.d"
+  "/root/repo/src/predict/markov.cpp" "src/predict/CMakeFiles/hotc_predict.dir/markov.cpp.o" "gcc" "src/predict/CMakeFiles/hotc_predict.dir/markov.cpp.o.d"
+  "/root/repo/src/predict/meta.cpp" "src/predict/CMakeFiles/hotc_predict.dir/meta.cpp.o" "gcc" "src/predict/CMakeFiles/hotc_predict.dir/meta.cpp.o.d"
+  "/root/repo/src/predict/seasonal.cpp" "src/predict/CMakeFiles/hotc_predict.dir/seasonal.cpp.o" "gcc" "src/predict/CMakeFiles/hotc_predict.dir/seasonal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hotc_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

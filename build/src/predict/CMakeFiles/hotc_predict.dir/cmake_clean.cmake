@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotc_predict.dir/baselines.cpp.o"
+  "CMakeFiles/hotc_predict.dir/baselines.cpp.o.d"
+  "CMakeFiles/hotc_predict.dir/evaluator.cpp.o"
+  "CMakeFiles/hotc_predict.dir/evaluator.cpp.o.d"
+  "CMakeFiles/hotc_predict.dir/exp_smoothing.cpp.o"
+  "CMakeFiles/hotc_predict.dir/exp_smoothing.cpp.o.d"
+  "CMakeFiles/hotc_predict.dir/holt.cpp.o"
+  "CMakeFiles/hotc_predict.dir/holt.cpp.o.d"
+  "CMakeFiles/hotc_predict.dir/hybrid.cpp.o"
+  "CMakeFiles/hotc_predict.dir/hybrid.cpp.o.d"
+  "CMakeFiles/hotc_predict.dir/markov.cpp.o"
+  "CMakeFiles/hotc_predict.dir/markov.cpp.o.d"
+  "CMakeFiles/hotc_predict.dir/meta.cpp.o"
+  "CMakeFiles/hotc_predict.dir/meta.cpp.o.d"
+  "CMakeFiles/hotc_predict.dir/seasonal.cpp.o"
+  "CMakeFiles/hotc_predict.dir/seasonal.cpp.o.d"
+  "libhotc_predict.a"
+  "libhotc_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotc_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hotc_predict.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotc_runtime.dir/real_hotc.cpp.o"
+  "CMakeFiles/hotc_runtime.dir/real_hotc.cpp.o.d"
+  "CMakeFiles/hotc_runtime.dir/thread_pool.cpp.o"
+  "CMakeFiles/hotc_runtime.dir/thread_pool.cpp.o.d"
+  "libhotc_runtime.a"
+  "libhotc_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotc_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotc_scenario.dir/scenario.cpp.o"
+  "CMakeFiles/hotc_scenario.dir/scenario.cpp.o.d"
+  "libhotc_scenario.a"
+  "libhotc_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotc_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

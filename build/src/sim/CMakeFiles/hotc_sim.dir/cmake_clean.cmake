@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotc_sim.dir/resource.cpp.o"
+  "CMakeFiles/hotc_sim.dir/resource.cpp.o.d"
+  "CMakeFiles/hotc_sim.dir/simulator.cpp.o"
+  "CMakeFiles/hotc_sim.dir/simulator.cpp.o.d"
+  "libhotc_sim.a"
+  "libhotc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spec/corpus.cpp" "src/spec/CMakeFiles/hotc_spec.dir/corpus.cpp.o" "gcc" "src/spec/CMakeFiles/hotc_spec.dir/corpus.cpp.o.d"
+  "/root/repo/src/spec/dockerfile.cpp" "src/spec/CMakeFiles/hotc_spec.dir/dockerfile.cpp.o" "gcc" "src/spec/CMakeFiles/hotc_spec.dir/dockerfile.cpp.o.d"
+  "/root/repo/src/spec/runspec.cpp" "src/spec/CMakeFiles/hotc_spec.dir/runspec.cpp.o" "gcc" "src/spec/CMakeFiles/hotc_spec.dir/runspec.cpp.o.d"
+  "/root/repo/src/spec/runtime_key.cpp" "src/spec/CMakeFiles/hotc_spec.dir/runtime_key.cpp.o" "gcc" "src/spec/CMakeFiles/hotc_spec.dir/runtime_key.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hotc_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotc_spec.dir/corpus.cpp.o"
+  "CMakeFiles/hotc_spec.dir/corpus.cpp.o.d"
+  "CMakeFiles/hotc_spec.dir/dockerfile.cpp.o"
+  "CMakeFiles/hotc_spec.dir/dockerfile.cpp.o.d"
+  "CMakeFiles/hotc_spec.dir/runspec.cpp.o"
+  "CMakeFiles/hotc_spec.dir/runspec.cpp.o.d"
+  "CMakeFiles/hotc_spec.dir/runtime_key.cpp.o"
+  "CMakeFiles/hotc_spec.dir/runtime_key.cpp.o.d"
+  "libhotc_spec.a"
+  "libhotc_spec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotc_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

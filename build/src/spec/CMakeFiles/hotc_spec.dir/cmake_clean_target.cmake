@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhotc_spec.a"
+)

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/mix.cpp" "src/workload/CMakeFiles/hotc_workload.dir/mix.cpp.o" "gcc" "src/workload/CMakeFiles/hotc_workload.dir/mix.cpp.o.d"
+  "/root/repo/src/workload/patterns.cpp" "src/workload/CMakeFiles/hotc_workload.dir/patterns.cpp.o" "gcc" "src/workload/CMakeFiles/hotc_workload.dir/patterns.cpp.o.d"
+  "/root/repo/src/workload/population.cpp" "src/workload/CMakeFiles/hotc_workload.dir/population.cpp.o" "gcc" "src/workload/CMakeFiles/hotc_workload.dir/population.cpp.o.d"
+  "/root/repo/src/workload/trace.cpp" "src/workload/CMakeFiles/hotc_workload.dir/trace.cpp.o" "gcc" "src/workload/CMakeFiles/hotc_workload.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/hotc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/hotc_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/hotc_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hotc_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

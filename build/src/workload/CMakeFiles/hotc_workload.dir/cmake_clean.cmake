@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotc_workload.dir/mix.cpp.o"
+  "CMakeFiles/hotc_workload.dir/mix.cpp.o.d"
+  "CMakeFiles/hotc_workload.dir/patterns.cpp.o"
+  "CMakeFiles/hotc_workload.dir/patterns.cpp.o.d"
+  "CMakeFiles/hotc_workload.dir/population.cpp.o"
+  "CMakeFiles/hotc_workload.dir/population.cpp.o.d"
+  "CMakeFiles/hotc_workload.dir/trace.cpp.o"
+  "CMakeFiles/hotc_workload.dir/trace.cpp.o.d"
+  "libhotc_workload.a"
+  "libhotc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

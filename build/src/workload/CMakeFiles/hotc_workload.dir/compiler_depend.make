@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for hotc_workload.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cluster.dir/cluster/test_cluster.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/test_cluster.cpp.o.d"
+  "CMakeFiles/test_cluster.dir/cluster/test_directory.cpp.o"
+  "CMakeFiles/test_cluster.dir/cluster/test_directory.cpp.o.d"
+  "test_cluster"
+  "test_cluster.pdb"
+  "test_cluster[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

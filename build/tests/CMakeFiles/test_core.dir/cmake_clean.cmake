@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_clock_log.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_clock_log.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_json.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_json.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_result.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_result.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_rng.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_rng.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_series.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_series.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_stats.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_stats.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_table.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_table.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_time.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_time.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

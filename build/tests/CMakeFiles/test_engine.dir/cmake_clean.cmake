@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_engine.dir/engine/test_container_fsm.cpp.o"
+  "CMakeFiles/test_engine.dir/engine/test_container_fsm.cpp.o.d"
+  "CMakeFiles/test_engine.dir/engine/test_cost_model.cpp.o"
+  "CMakeFiles/test_engine.dir/engine/test_cost_model.cpp.o.d"
+  "CMakeFiles/test_engine.dir/engine/test_engine.cpp.o"
+  "CMakeFiles/test_engine.dir/engine/test_engine.cpp.o.d"
+  "CMakeFiles/test_engine.dir/engine/test_host_profiles.cpp.o"
+  "CMakeFiles/test_engine.dir/engine/test_host_profiles.cpp.o.d"
+  "CMakeFiles/test_engine.dir/engine/test_image.cpp.o"
+  "CMakeFiles/test_engine.dir/engine/test_image.cpp.o.d"
+  "CMakeFiles/test_engine.dir/engine/test_monitor.cpp.o"
+  "CMakeFiles/test_engine.dir/engine/test_monitor.cpp.o.d"
+  "CMakeFiles/test_engine.dir/engine/test_network.cpp.o"
+  "CMakeFiles/test_engine.dir/engine/test_network.cpp.o.d"
+  "CMakeFiles/test_engine.dir/engine/test_pause_faults.cpp.o"
+  "CMakeFiles/test_engine.dir/engine/test_pause_faults.cpp.o.d"
+  "CMakeFiles/test_engine.dir/engine/test_registry.cpp.o"
+  "CMakeFiles/test_engine.dir/engine/test_registry.cpp.o.d"
+  "CMakeFiles/test_engine.dir/engine/test_volume.cpp.o"
+  "CMakeFiles/test_engine.dir/engine/test_volume.cpp.o.d"
+  "test_engine"
+  "test_engine.pdb"
+  "test_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_faas.dir/faas/test_backend.cpp.o"
+  "CMakeFiles/test_faas.dir/faas/test_backend.cpp.o.d"
+  "CMakeFiles/test_faas.dir/faas/test_gateway.cpp.o"
+  "CMakeFiles/test_faas.dir/faas/test_gateway.cpp.o.d"
+  "CMakeFiles/test_faas.dir/faas/test_platform.cpp.o"
+  "CMakeFiles/test_faas.dir/faas/test_platform.cpp.o.d"
+  "test_faas"
+  "test_faas.pdb"
+  "test_faas[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_faas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hotc.dir/hotc/test_checkpoint.cpp.o"
+  "CMakeFiles/test_hotc.dir/hotc/test_checkpoint.cpp.o.d"
+  "CMakeFiles/test_hotc.dir/hotc/test_controller.cpp.o"
+  "CMakeFiles/test_hotc.dir/hotc/test_controller.cpp.o.d"
+  "CMakeFiles/test_hotc.dir/hotc/test_controller_pause.cpp.o"
+  "CMakeFiles/test_hotc.dir/hotc/test_controller_pause.cpp.o.d"
+  "CMakeFiles/test_hotc.dir/hotc/test_telemetry.cpp.o"
+  "CMakeFiles/test_hotc.dir/hotc/test_telemetry.cpp.o.d"
+  "test_hotc"
+  "test_hotc.pdb"
+  "test_hotc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hotc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_matrix_code.dir/examples/test_matrix_code.cpp.o"
+  "CMakeFiles/test_matrix_code.dir/examples/test_matrix_code.cpp.o.d"
+  "test_matrix_code"
+  "test_matrix_code.pdb"
+  "test_matrix_code[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_matrix_code.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_predict.dir/predict/test_baselines.cpp.o"
+  "CMakeFiles/test_predict.dir/predict/test_baselines.cpp.o.d"
+  "CMakeFiles/test_predict.dir/predict/test_evaluator.cpp.o"
+  "CMakeFiles/test_predict.dir/predict/test_evaluator.cpp.o.d"
+  "CMakeFiles/test_predict.dir/predict/test_exp_smoothing.cpp.o"
+  "CMakeFiles/test_predict.dir/predict/test_exp_smoothing.cpp.o.d"
+  "CMakeFiles/test_predict.dir/predict/test_holt.cpp.o"
+  "CMakeFiles/test_predict.dir/predict/test_holt.cpp.o.d"
+  "CMakeFiles/test_predict.dir/predict/test_hybrid.cpp.o"
+  "CMakeFiles/test_predict.dir/predict/test_hybrid.cpp.o.d"
+  "CMakeFiles/test_predict.dir/predict/test_markov.cpp.o"
+  "CMakeFiles/test_predict.dir/predict/test_markov.cpp.o.d"
+  "CMakeFiles/test_predict.dir/predict/test_meta.cpp.o"
+  "CMakeFiles/test_predict.dir/predict/test_meta.cpp.o.d"
+  "CMakeFiles/test_predict.dir/predict/test_seasonal.cpp.o"
+  "CMakeFiles/test_predict.dir/predict/test_seasonal.cpp.o.d"
+  "test_predict"
+  "test_predict.pdb"
+  "test_predict[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

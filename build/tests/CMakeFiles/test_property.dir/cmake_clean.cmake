@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_property.dir/property/test_fuzz_parsers.cpp.o"
+  "CMakeFiles/test_property.dir/property/test_fuzz_parsers.cpp.o.d"
+  "CMakeFiles/test_property.dir/property/test_model_based.cpp.o"
+  "CMakeFiles/test_property.dir/property/test_model_based.cpp.o.d"
+  "CMakeFiles/test_property.dir/property/test_properties.cpp.o"
+  "CMakeFiles/test_property.dir/property/test_properties.cpp.o.d"
+  "test_property"
+  "test_property.pdb"
+  "test_property[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_property.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

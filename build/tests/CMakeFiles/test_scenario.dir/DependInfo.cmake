@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/scenario/test_scenario.cpp" "tests/CMakeFiles/test_scenario.dir/scenario/test_scenario.cpp.o" "gcc" "tests/CMakeFiles/test_scenario.dir/scenario/test_scenario.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/hotc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/hotc_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/scenario/CMakeFiles/hotc_scenario.dir/DependInfo.cmake"
+  "/root/repo/build/src/faas/CMakeFiles/hotc_faas.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/hotc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/hotc_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/hotc/CMakeFiles/hotc_controller.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/hotc_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/pool/CMakeFiles/hotc_pool.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/hotc_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/hotc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/spec/CMakeFiles/hotc_spec.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/hotc_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spec.dir/spec/test_corpus.cpp.o"
+  "CMakeFiles/test_spec.dir/spec/test_corpus.cpp.o.d"
+  "CMakeFiles/test_spec.dir/spec/test_dockerfile.cpp.o"
+  "CMakeFiles/test_spec.dir/spec/test_dockerfile.cpp.o.d"
+  "CMakeFiles/test_spec.dir/spec/test_runspec.cpp.o"
+  "CMakeFiles/test_spec.dir/spec/test_runspec.cpp.o.d"
+  "CMakeFiles/test_spec.dir/spec/test_runtime_key.cpp.o"
+  "CMakeFiles/test_spec.dir/spec/test_runtime_key.cpp.o.d"
+  "test_spec"
+  "test_spec.pdb"
+  "test_spec[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

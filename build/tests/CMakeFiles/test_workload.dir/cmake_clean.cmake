@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_workload.dir/workload/test_mix.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_mix.cpp.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_patterns.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_patterns.cpp.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_population.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_population.cpp.o.d"
+  "CMakeFiles/test_workload.dir/workload/test_trace.cpp.o"
+  "CMakeFiles/test_workload.dir/workload/test_trace.cpp.o.d"
+  "test_workload"
+  "test_workload.pdb"
+  "test_workload[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+add_test([=[Umbrella.MainTypesVisible]=]  /root/repo/build/tests/test_umbrella [==[--gtest_filter=Umbrella.MainTypesVisible]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Umbrella.MainTypesVisible]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  test_umbrella_TESTS Umbrella.MainTypesVisible)
