@@ -82,6 +82,60 @@ void BM_PoolAcquireManyKeys(benchmark::State& state) {
 }
 BENCHMARK(BM_PoolAcquireManyKeys);
 
+// Victim selection at the paper's 500-container limit.  The age-heap
+// index answers from the heap top; the seed implementation re-scanned all
+// 500 entries per call.
+void BM_PoolSelectVictim500(benchmark::State& state) {
+  pool::RuntimePool pool;
+  for (int i = 0; i < 500; ++i) {
+    auto s = sample_spec();
+    s.env["IDX"] = std::to_string(i % 50);  // 50 keys, 10 containers each
+    pool::PoolEntry entry;
+    entry.id = static_cast<engine::ContainerId>(i + 1);
+    entry.key = spec::RuntimeKey::from_spec(s);
+    entry.created_at = seconds(i);
+    pool.add_available(entry, seconds(i));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        pool.select_victim(pool::EvictionPolicy::kOldestFirst));
+  }
+}
+BENCHMARK(BM_PoolSelectVictim500);
+
+// The full eviction churn the controller pays under pressure: select the
+// oldest, remove it, admit a replacement.  O(log n) per round with the
+// index; O(n) per round in the seed.
+void BM_PoolEvictChurn500(benchmark::State& state) {
+  pool::RuntimePool pool;
+  std::vector<spec::RuntimeKey> keys;
+  for (int i = 0; i < 50; ++i) {
+    auto s = sample_spec();
+    s.env["IDX"] = std::to_string(i);
+    keys.push_back(spec::RuntimeKey::from_spec(s));
+  }
+  engine::ContainerId next_id = 1;
+  std::int64_t tick = 0;
+  for (int i = 0; i < 500; ++i) {
+    pool::PoolEntry entry;
+    entry.id = next_id++;
+    entry.key = keys[static_cast<std::size_t>(i) % keys.size()];
+    entry.created_at = seconds(tick++);
+    pool.add_available(entry, entry.created_at);
+  }
+  for (auto _ : state) {
+    auto victim = pool.select_victim(pool::EvictionPolicy::kOldestFirst);
+    pool.remove(victim->key, victim->id);
+    pool::PoolEntry fresh;
+    fresh.id = next_id++;
+    fresh.key = victim->key;
+    fresh.created_at = seconds(tick++);
+    pool.add_available(fresh, fresh.created_at);
+    benchmark::DoNotOptimize(victim);
+  }
+}
+BENCHMARK(BM_PoolEvictChurn500);
+
 void BM_HybridPredictorStep(benchmark::State& state) {
   predict::HybridPredictor p;
   double x = 5.0;

@@ -1,0 +1,368 @@
+// Concurrency bench for the runtime pool: the seed's single-global-mutex
+// design (one lock around one RuntimePool, exactly what RealHotC shipped
+// with) vs the lock-striped ShardedRuntimePool, at 1-16 threads of mixed
+// acquire / return / evict traffic over a shared key population.
+//
+// Two correctness gates run first, single-threaded, so the speedup numbers
+// are only reported for a pool that still behaves like the seed:
+//   1. eviction order — draining via select_victim(oldest-first)+remove
+//      yields identical victim sequences from both implementations;
+//   2. hit rate — the same deterministic op sequence produces the same
+//      hit/miss counts on both implementations.
+//
+// Throughput is reported two ways:
+//   * measured — wall-clock ops/sec with real threads on this host.  Only
+//     meaningful when the host has cores to run them; on a 1-core
+//     container every config collapses to the single-CPU rate.
+//   * serialization ceiling — the Amdahl bound implied by the measured
+//     critical sections.  A global mutex serialises every op, so its
+//     aggregate ceiling is 1/t_op no matter the thread count (visible in
+//     the measured numbers: the mutex curve is flat).  The sharded pool
+//     serialises only per shard, plus the rare all-shard eviction slice:
+//       ceiling(T) = min(T/t_op, 1 / (e*t_op + (1-e)*f_max*t_op))
+//     with e the all-shard op fraction and f_max the busiest shard's
+//     measured traffic share.  Both inputs are measured, not assumed.
+//
+// Output: the usual table, plus one machine-readable line per
+// configuration ("BENCH {...json...}") so the trajectory can track
+// aggregate throughput over time.
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/json.hpp"
+#include "core/rng.hpp"
+#include "core/table.hpp"
+#include "pool/sharded_pool.hpp"
+#include "spec/runtime_key.hpp"
+
+namespace {
+
+using namespace hotc;
+
+constexpr std::size_t kKeys = 64;
+constexpr std::size_t kWarmPerKey = 2;
+constexpr int kOpsPerThread = 200000;
+// Shard count a deployment-sized host would pick (hardware_concurrency on
+// a 16-core node); fixed here so results are comparable across hosts.
+constexpr std::size_t kShards = 16;
+constexpr double kEvictEvery = 256.0;  // 1-in-256 ops is an eviction
+
+/// The seed design: every operation behind one global mutex.
+class MutexPool {
+ public:
+  explicit MutexPool(pool::PoolLimits limits = {}) : pool_(limits) {}
+
+  std::optional<pool::PoolEntry> acquire(const spec::RuntimeKey& key,
+                                         TimePoint now) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return pool_.acquire(key, now);
+  }
+  void add_available(const pool::PoolEntry& entry, TimePoint now) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    pool_.add_available(entry, now);
+  }
+  bool remove(const spec::RuntimeKey& key, engine::ContainerId id) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return pool_.remove(key, id);
+  }
+  std::optional<pool::PoolEntry> select_victim(pool::EvictionPolicy policy,
+                                               Rng* rng = nullptr) const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return pool_.select_victim(policy, rng);
+  }
+  pool::PoolStats stats_snapshot() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return pool_.stats_snapshot();
+  }
+  std::size_t total_available() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return pool_.total_available();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  pool::RuntimePool pool_;
+};
+
+std::vector<spec::RuntimeKey> make_keys() {
+  std::vector<spec::RuntimeKey> keys;
+  keys.reserve(kKeys);
+  for (std::size_t i = 0; i < kKeys; ++i) {
+    spec::RunSpec s;
+    s.image = spec::ImageRef{"python", "3.8"};
+    s.network = spec::NetworkMode::kBridge;
+    s.env["IDX"] = std::to_string(i);
+    keys.push_back(spec::RuntimeKey::from_spec(s));
+  }
+  return keys;
+}
+
+template <typename Pool>
+void prepopulate(Pool& pool, const std::vector<spec::RuntimeKey>& keys,
+                 engine::ContainerId* next_id) {
+  for (const auto& key : keys) {
+    for (std::size_t j = 0; j < kWarmPerKey; ++j) {
+      pool::PoolEntry e;
+      e.id = (*next_id)++;
+      e.key = key;
+      e.created_at = seconds(static_cast<std::int64_t>(e.id));
+      pool.add_available(e, e.created_at);
+    }
+  }
+}
+
+/// One worker's share of the mixed workload.  Deterministic per (seed,
+/// thread): the single-threaded runs of both implementations see the
+/// exact same op sequence.
+template <typename Pool>
+void run_worker(Pool& pool, const std::vector<spec::RuntimeKey>& keys,
+                std::uint64_t seed, int ops) {
+  Rng rng(seed);
+  std::int64_t tick = 1'000'000 + static_cast<std::int64_t>(seed) * ops;
+  for (int i = 0; i < ops; ++i) {
+    const auto& key = keys[rng.index(kKeys)];
+    const TimePoint now = seconds(tick++);
+    if (i % 256 == 255) {
+      // Eviction slice: pressure-style oldest-first retire.
+      auto victim = pool.select_victim(pool::EvictionPolicy::kOldestFirst);
+      if (victim.has_value()) pool.remove(victim->key, victim->id);
+      continue;
+    }
+    auto got = pool.acquire(key, now);
+    if (got.has_value()) {
+      pool.add_available(*got, now);  // clean + re-pool
+    } else {
+      pool::PoolEntry fresh;  // cold start, then pooled
+      fresh.id = 1'000'000'000ull + static_cast<engine::ContainerId>(
+                                        seed * 1'000'000ull +
+                                        static_cast<std::uint64_t>(i));
+      fresh.key = key;
+      fresh.created_at = now;
+      pool.add_available(fresh, now);
+    }
+  }
+}
+
+struct RunResult {
+  double seconds = 0.0;
+  double mops = 0.0;      // million ops/sec aggregate
+  double hit_rate = 0.0;
+};
+
+template <typename Pool>
+RunResult run_mixed(Pool& pool, const std::vector<spec::RuntimeKey>& keys,
+                    std::size_t threads) {
+  const auto before = pool.stats_snapshot();
+  const auto start = std::chrono::steady_clock::now();
+  if (threads == 1) {
+    run_worker(pool, keys, 1, kOpsPerThread);
+  } else {
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) {
+      workers.emplace_back(
+          [&pool, &keys, t] { run_worker(pool, keys, t + 1, kOpsPerThread); });
+    }
+    for (auto& w : workers) w.join();
+  }
+  const auto end = std::chrono::steady_clock::now();
+
+  RunResult out;
+  out.seconds = std::chrono::duration<double>(end - start).count();
+  out.mops = static_cast<double>(threads) * kOpsPerThread / out.seconds / 1e6;
+  const auto after = pool.stats_snapshot();
+  const auto hits = after.hits - before.hits;
+  const auto misses = after.misses - before.misses;
+  out.hit_rate = hits + misses
+                     ? static_cast<double>(hits) /
+                           static_cast<double>(hits + misses)
+                     : 0.0;
+  return out;
+}
+
+void emit_bench_json(const std::string& impl, std::size_t threads,
+                     const RunResult& r, double measured_speedup,
+                     double ceiling_mops, double ceiling_speedup) {
+  JsonObject obj;
+  obj["bench"] = Json(std::string("pool_concurrency"));
+  obj["impl"] = Json(impl);
+  obj["threads"] = Json(static_cast<std::int64_t>(threads));
+  obj["host_cores"] = Json(
+      static_cast<std::int64_t>(std::thread::hardware_concurrency()));
+  obj["mops_per_sec"] = Json(r.mops);
+  obj["hit_rate"] = Json(r.hit_rate);
+  obj["measured_speedup"] = Json(measured_speedup);
+  obj["ceiling_mops"] = Json(ceiling_mops);
+  obj["speedup_vs_mutex"] = Json(ceiling_speedup);
+  std::cout << "BENCH " << Json(std::move(obj)).dump(0) << "\n";
+}
+
+/// Traffic share of the busiest shard under uniform key draws: the keys
+/// are drawn uniformly, so a shard's expected load is simply the fraction
+/// of keys that stripe to it.
+double busiest_shard_share(const pool::ShardedRuntimePool& pool,
+                           const std::vector<spec::RuntimeKey>& keys) {
+  std::vector<std::size_t> per_shard(pool.shard_count(), 0);
+  for (const auto& key : keys) ++per_shard[pool.shard_index(key)];
+  std::size_t busiest = 0;
+  for (const std::size_t n : per_shard) busiest = std::max(busiest, n);
+  return static_cast<double>(busiest) / static_cast<double>(keys.size());
+}
+
+/// Aggregate throughput bound implied by lock serialisation (Amdahl):
+/// per-shard critical sections overlap across shards; the 1-in-kEvictEvery
+/// eviction slice locks every shard and stays fully serial.
+double sharded_ceiling_mops(double t_op_sec, double f_max,
+                            std::size_t threads) {
+  const double e = 1.0 / kEvictEvery;
+  const double serial_per_op = e * t_op_sec + (1.0 - e) * f_max * t_op_sec;
+  const double issue_bound = static_cast<double>(threads) / t_op_sec;
+  return std::min(issue_bound, 1.0 / serial_per_op) / 1e6;
+}
+
+// --- correctness gates ------------------------------------------------------
+
+bool eviction_order_matches(const std::vector<spec::RuntimeKey>& keys) {
+  MutexPool baseline;
+  pool::ShardedRuntimePool sharded({}, 8);
+  // Shuffled ages so heap order, not insertion order, is what's tested.
+  Rng rng(42);
+  std::vector<std::int64_t> ages(100);
+  for (std::size_t i = 0; i < ages.size(); ++i) {
+    ages[i] = static_cast<std::int64_t>(i * 7 + 1);
+  }
+  rng.shuffle(ages);
+  for (std::size_t i = 0; i < ages.size(); ++i) {
+    pool::PoolEntry e;
+    e.id = static_cast<engine::ContainerId>(i + 1);
+    e.key = keys[i % kKeys];
+    e.created_at = seconds(ages[i]);
+    baseline.add_available(e, seconds(200));
+    sharded.add_available(e, seconds(200));
+  }
+  while (baseline.total_available() > 0) {
+    const auto a = baseline.select_victim(pool::EvictionPolicy::kOldestFirst);
+    const auto b = sharded.select_victim(pool::EvictionPolicy::kOldestFirst);
+    if (!a.has_value() || !b.has_value() || a->id != b->id) return false;
+    baseline.remove(a->key, a->id);
+    sharded.remove(b->key, b->id);
+  }
+  return sharded.total_available() == 0;
+}
+
+bool single_thread_hit_rates_match(const std::vector<spec::RuntimeKey>& keys,
+                                   double* hit_rate_out) {
+  MutexPool baseline;
+  pool::ShardedRuntimePool sharded({}, 8);
+  engine::ContainerId id_a = 1;
+  engine::ContainerId id_b = 1;
+  prepopulate(baseline, keys, &id_a);
+  prepopulate(sharded, keys, &id_b);
+  run_worker(baseline, keys, 1, 50000);
+  run_worker(sharded, keys, 1, 50000);
+  const auto sa = baseline.stats_snapshot();
+  const auto sb = sharded.stats_snapshot();
+  *hit_rate_out = sa.hit_rate();
+  return sa.hits == sb.hits && sa.misses == sb.misses;
+}
+
+}  // namespace
+
+int main() {
+  std::cout << banner("HotC extension — pool concurrency") <<
+      "Mixed acquire/return/evict throughput: single global mutex (seed "
+      "RealHotC design)\nvs lock-striped ShardedRuntimePool.  " +
+      std::to_string(kOpsPerThread) + " ops/thread, " +
+      std::to_string(kKeys) + " runtime keys.\n\n";
+
+  const auto keys = make_keys();
+
+  const bool order_ok = eviction_order_matches(keys);
+  double st_hit_rate = 0.0;
+  const bool hits_ok = single_thread_hit_rates_match(keys, &st_hit_rate);
+  std::cout << "oldest-first eviction order vs seed:  "
+            << (order_ok ? "preserved" : "DIVERGED") << "\n";
+  std::cout << "single-thread hit/miss counts match:  "
+            << (hits_ok ? "yes" : "NO") << " (hit rate "
+            << Table::num(st_hit_rate * 100.0, 2) << "%)\n\n";
+
+  // Per-op critical-section cost, measured single-threaded (uncontended,
+  // so wall time == lock hold time), plus the busiest shard's traffic
+  // share — the two inputs of the serialization ceiling.
+  double t_mutex = 0.0;
+  double t_sharded = 0.0;
+  double f_max = 0.0;
+  {
+    MutexPool baseline;
+    pool::ShardedRuntimePool sharded(pool::PoolLimits{}, kShards);
+    engine::ContainerId id_a = 1;
+    engine::ContainerId id_b = 1;
+    prepopulate(baseline, keys, &id_a);
+    prepopulate(sharded, keys, &id_b);
+    t_mutex = run_mixed(baseline, keys, 1).seconds / kOpsPerThread;
+    t_sharded = run_mixed(sharded, keys, 1).seconds / kOpsPerThread;
+    f_max = busiest_shard_share(sharded, keys);
+  }
+  const double mutex_ceiling = 1.0 / t_mutex / 1e6;  // flat in T: one lock
+  std::cout << "critical section: mutex " << Table::num(t_mutex * 1e9, 0)
+            << " ns/op, sharded " << Table::num(t_sharded * 1e9, 0)
+            << " ns/op; busiest of " << kShards << " shards carries "
+            << Table::num(f_max * 100.0, 1) << "% of traffic\n";
+  const unsigned cores = std::thread::hardware_concurrency();
+  std::cout << "host cores: " << cores
+            << (cores < 8 ? "  (measured column is time-sliced; the "
+                            "ceiling column is the scalability result)"
+                          : "")
+            << "\n\n";
+
+  Table table({"threads", "mutex Mops/s", "sharded Mops/s", "measured x",
+               "ceiling Mops/s", "ceiling x", "hit%"});
+  double ceiling_speedup_at_8 = 0.0;
+  double measured_speedup_at_8 = 0.0;
+  for (const std::size_t threads : {1u, 2u, 4u, 8u, 16u}) {
+    MutexPool baseline;
+    pool::ShardedRuntimePool sharded(pool::PoolLimits{}, kShards);
+    engine::ContainerId id_a = 1;
+    engine::ContainerId id_b = 1;
+    prepopulate(baseline, keys, &id_a);
+    prepopulate(sharded, keys, &id_b);
+
+    const RunResult rm = run_mixed(baseline, keys, threads);
+    const RunResult rs = run_mixed(sharded, keys, threads);
+    const double measured = rs.mops / rm.mops;
+    const double ceiling = sharded_ceiling_mops(t_sharded, f_max, threads);
+    const double ceiling_speedup = ceiling / mutex_ceiling;
+    if (threads == 8) {
+      measured_speedup_at_8 = measured;
+      ceiling_speedup_at_8 = ceiling_speedup;
+    }
+
+    table.add_row({std::to_string(threads), Table::num(rm.mops, 2),
+                   Table::num(rs.mops, 2), Table::num(measured, 2) + "x",
+                   Table::num(ceiling, 2),
+                   Table::num(ceiling_speedup, 2) + "x",
+                   Table::num(rs.hit_rate * 100.0, 2)});
+    emit_bench_json("mutex", threads, rm, 1.0, mutex_ceiling, 1.0);
+    emit_bench_json("sharded", threads, rs, measured, ceiling,
+                    ceiling_speedup);
+  }
+  std::cout << "\n" << table.to_string() << "\n";
+  std::cout << "aggregate acquire/return throughput at 8 threads: "
+            << Table::num(ceiling_speedup_at_8, 2)
+            << "x the single-mutex baseline (target >= 4x); measured on "
+            << cores << " core(s): " << Table::num(measured_speedup_at_8, 2)
+            << "x\n";
+
+  if (!order_ok || !hits_ok) {
+    std::cerr << "correctness gate FAILED\n";
+    return EXIT_FAILURE;
+  }
+  return EXIT_SUCCESS;
+}

@@ -54,8 +54,10 @@ void ClusterHotC::preload_image(const spec::ImageRef& ref) {
 }
 
 void ClusterHotC::publish_node(NodeId node, const spec::RuntimeKey& key) {
+  // Reads through the PoolView seam: the directory only needs per-key
+  // counts, not a concrete pool type, so a sharded node works unchanged.
   directory_.publish(node, key,
-                     nodes_[node].controller->runtime_pool().num_available(key));
+                     nodes_[node].controller->pool_view().num_available(key));
 }
 
 NodeId ClusterHotC::route(const spec::RuntimeKey& key) {

@@ -110,6 +110,10 @@ class HotCController {
 
   // --- introspection ----------------------------------------------------
   [[nodiscard]] const pool::RuntimePool& runtime_pool() const { return pool_; }
+  /// Implementation-agnostic view of the pool — the seam observers
+  /// (telemetry, cluster directory, benches) should prefer, so the sim
+  /// and real paths report through one interface.
+  [[nodiscard]] const pool::PoolView& pool_view() const { return pool_; }
   [[nodiscard]] const ControllerStats& stats() const { return stats_; }
   [[nodiscard]] const ControllerOptions& options() const { return options_; }
   [[nodiscard]] engine::ContainerEngine& engine() { return engine_; }

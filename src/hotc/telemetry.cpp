@@ -72,7 +72,7 @@ std::string export_prometheus(const engine::ContainerEngine& engine,
 
   if (controller != nullptr) {
     const auto& stats = controller->stats();
-    const auto& pool = controller->runtime_pool();
+    const pool::PoolView& pool = controller->pool_view();
     out.counter("hotc_requests_total", "Requests handled by the controller",
                 static_cast<double>(stats.requests));
     out.counter("hotc_cold_starts_total",
@@ -94,7 +94,7 @@ std::string export_prometheus(const engine::ContainerEngine& engine,
     out.gauge("hotc_pool_paused", "Frozen pooled containers",
               static_cast<double>(pool.paused_count()));
     out.gauge("hotc_pool_hit_rate", "Pool hits over hits+misses",
-              pool.stats().hit_rate());
+              pool.stats_snapshot().hit_rate());
     out.gauge("hotc_pool_idle_container_seconds",
               "Accumulated idle container-seconds (cost proxy)",
               stats.idle_container_seconds);

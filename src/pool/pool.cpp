@@ -20,10 +20,14 @@ std::optional<PoolEntry> RuntimePool::acquire(const spec::RuntimeKey& key,
     ++stats_.misses;
     return std::nullopt;
   }
-  PoolEntry entry = it->second.front();  // "reuse the first available"
+  const engine::ContainerId id =
+      it->second.front();  // "reuse the first available"
   it->second.pop_front();
   if (it->second.empty()) available_.erase(it);
-  --total_;
+  const auto rec = records_.find(id);
+  HOTC_ASSERT_MSG(rec != records_.end(), "pool index desync");
+  PoolEntry entry = rec->second.entry;
+  records_.erase(rec);  // heap nodes for this residency go stale
   if (entry.paused && paused_ > 0) --paused_;
   ++stats_.hits;
   ++entry.reuse_count;
@@ -33,73 +37,100 @@ std::optional<PoolEntry> RuntimePool::acquire(const spec::RuntimeKey& key,
 void RuntimePool::add_available(const PoolEntry& entry, TimePoint now) {
   PoolEntry e = entry;
   e.returned_at = now;
-  available_[e.key].push_back(e);
-  ++total_;
+  // A container id is pooled at most once; a double-add supersedes the
+  // stale residency so the id-keyed index stays coherent.
+  const auto existing = records_.find(e.id);
+  if (existing != records_.end()) {
+    remove(existing->second.entry.key, e.id);
+  }
+  const std::uint64_t gen = ++next_gen_;
+  records_.emplace(e.id, Record{e, gen});
+  available_[e.key].push_back(e.id);
+  by_created_.push(AgeNode{e.created_at, gen, e.id});
+  by_returned_.push(AgeNode{e.returned_at, gen, e.id});
   ++stats_.returns;
+  maybe_compact();
 }
 
 bool RuntimePool::remove(const spec::RuntimeKey& key,
                          engine::ContainerId id) {
+  const auto rec = records_.find(id);
+  if (rec == records_.end() || !(rec->second.entry.key == key)) return false;
   const auto it = available_.find(key);
-  if (it == available_.end()) return false;
+  HOTC_ASSERT_MSG(it != available_.end(), "pool index desync");
   auto& dq = it->second;
-  const auto pos = std::find_if(dq.begin(), dq.end(), [id](const PoolEntry& e) {
-    return e.id == id;
-  });
-  if (pos == dq.end()) return false;
-  if (pos->paused && paused_ > 0) --paused_;
+  const auto pos = std::find(dq.begin(), dq.end(), id);
+  HOTC_ASSERT_MSG(pos != dq.end(), "pool index desync");
   dq.erase(pos);
   if (dq.empty()) available_.erase(it);
-  --total_;
+  if (rec->second.entry.paused && paused_ > 0) --paused_;
+  records_.erase(rec);
   return true;
 }
 
 bool RuntimePool::mark_paused(const spec::RuntimeKey& key,
                               engine::ContainerId id) {
-  const auto it = available_.find(key);
-  if (it == available_.end()) return false;
-  for (auto& entry : it->second) {
-    if (entry.id == id) {
-      if (entry.paused) return false;
-      entry.paused = true;
-      ++paused_;
-      return true;
+  const auto rec = records_.find(id);
+  if (rec == records_.end() || !(rec->second.entry.key == key)) return false;
+  if (rec->second.entry.paused) return false;
+  rec->second.entry.paused = true;
+  ++paused_;
+  return true;
+}
+
+std::optional<PoolEntry> RuntimePool::victim_from(AgeHeap& heap) const {
+  while (!heap.empty()) {
+    const AgeNode& top = heap.top();
+    const auto rec = records_.find(top.id);
+    if (rec != records_.end() && rec->second.gen == top.gen) {
+      return rec->second.entry;
     }
+    heap.pop();  // stale: acquired, removed or re-added since pushed
   }
-  return false;
+  return std::nullopt;
+}
+
+void RuntimePool::maybe_compact() {
+  // Each add pushes one node per heap and each prune pops stale ones
+  // lazily; rebuild once stale nodes outnumber live entries 2:1 so the
+  // heaps stay O(total_available) sized.
+  const std::size_t live = records_.size();
+  if (by_created_.size() <= 2 * live + 64) return;
+  std::vector<AgeNode> created;
+  std::vector<AgeNode> returned;
+  created.reserve(live);
+  returned.reserve(live);
+  for (const auto& [id, rec] : records_) {
+    created.push_back(AgeNode{rec.entry.created_at, rec.gen, id});
+    returned.push_back(AgeNode{rec.entry.returned_at, rec.gen, id});
+  }
+  by_created_ = AgeHeap(AgeGreater{}, std::move(created));
+  by_returned_ = AgeHeap(AgeGreater{}, std::move(returned));
 }
 
 std::optional<PoolEntry> RuntimePool::select_victim(EvictionPolicy policy,
                                                     Rng* rng) const {
-  if (total_ == 0) return std::nullopt;
+  if (records_.empty()) return std::nullopt;
 
   if (policy == EvictionPolicy::kRandom) {
     HOTC_ASSERT_MSG(rng != nullptr, "random eviction needs an Rng");
-    std::size_t target = rng->index(total_);
-    for (const auto& [key, dq] : available_) {
-      (void)key;
-      if (target < dq.size()) return dq[target];
-      target -= dq.size();
-    }
-    return std::nullopt;  // unreachable
+    return entry_at(rng->index(records_.size()));
   }
+  return victim_from(policy == EvictionPolicy::kOldestFirst ? by_created_
+                                                            : by_returned_);
+}
 
-  const PoolEntry* best = nullptr;
+std::optional<PoolEntry> RuntimePool::entry_at(std::size_t index) const {
   for (const auto& [key, dq] : available_) {
     (void)key;
-    for (const auto& entry : dq) {
-      if (best == nullptr) {
-        best = &entry;
-        continue;
-      }
-      const bool older = policy == EvictionPolicy::kOldestFirst
-                             ? entry.created_at < best->created_at
-                             : entry.returned_at < best->returned_at;
-      if (older) best = &entry;
+    if (index < dq.size()) {
+      const auto rec = records_.find(dq[index]);
+      HOTC_ASSERT_MSG(rec != records_.end(), "pool index desync");
+      return rec->second.entry;
     }
+    index -= dq.size();
   }
-  if (best == nullptr) return std::nullopt;
-  return *best;
+  return std::nullopt;
 }
 
 std::size_t RuntimePool::num_available(const spec::RuntimeKey& key) const {
@@ -121,12 +152,22 @@ std::vector<PoolEntry> RuntimePool::entries(
     const spec::RuntimeKey& key) const {
   const auto it = available_.find(key);
   if (it == available_.end()) return {};
-  return {it->second.begin(), it->second.end()};
+  std::vector<PoolEntry> out;
+  out.reserve(it->second.size());
+  for (const engine::ContainerId id : it->second) {
+    const auto rec = records_.find(id);
+    HOTC_ASSERT_MSG(rec != records_.end(), "pool index desync");
+    out.push_back(rec->second.entry);
+  }
+  return out;
 }
 
 void RuntimePool::clear() {
   available_.clear();
-  total_ = 0;
+  records_.clear();
+  by_created_ = AgeHeap{};
+  by_returned_ = AgeHeap{};
+  paused_ = 0;
 }
 
 }  // namespace hotc::pool

@@ -9,11 +9,19 @@
 // testable and reusable behind the distributed-store interface in
 // src/cluster.  num_avail[key] is maintained exactly as Algorithms 1 and 2
 // describe: decremented on reuse, incremented after cleanup.
+//
+// Victim selection is O(log n): two lazily-pruned min-heaps index every
+// pooled residency by created_at (oldest-first) and returned_at (LRU).
+// Heap nodes carry a per-residency generation; a node is live iff the
+// id->record map still holds that (id, generation) pair, so acquire and
+// remove never touch the heaps — stale nodes are skipped at the next
+// select_victim and compacted away once they outnumber live entries.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <optional>
+#include <queue>
 #include <unordered_map>
 #include <vector>
 
@@ -21,6 +29,7 @@
 #include "core/time.hpp"
 #include "engine/container.hpp"
 #include "pool/eviction.hpp"
+#include "pool/pool_view.hpp"
 #include "spec/runtime_key.hpp"
 
 namespace hotc::pool {
@@ -32,6 +41,9 @@ struct PoolEntry {
   TimePoint created_at = kZeroDuration;   // container birth (eviction age)
   TimePoint returned_at = kZeroDuration;  // when it last became available
   std::uint64_t reuse_count = 0;
+  /// Identity hash of the app whose init state is resident (real-execution
+  /// mode; 0 = none).  A warm hit with a matching tag also skips app init.
+  std::uint64_t app_tag = 0;
   bool prewarmed = false;  // launched by the adaptive controller, not a miss
   bool paused = false;     // cgroup-frozen; must be resumed before exec
 };
@@ -54,7 +66,7 @@ struct PoolLimits {
   double memory_threshold = 0.8;    // paper: "memory usage threshold as 80%"
 };
 
-class RuntimePool {
+class RuntimePool : public PoolView {
  public:
   explicit RuntimePool(PoolLimits limits = {});
 
@@ -77,39 +89,80 @@ class RuntimePool {
   /// paused.
   bool mark_paused(const spec::RuntimeKey& key, engine::ContainerId id);
 
-  [[nodiscard]] std::size_t paused_count() const { return paused_; }
-
   /// Pick the idle container the policy would evict next (does not remove
   /// it; the controller stops it via the engine and then calls remove()).
+  /// Oldest-first and LRU are O(log n) amortised via the age heaps;
+  /// random is O(keys) to walk the per-key counts.
   [[nodiscard]] std::optional<PoolEntry> select_victim(
       EvictionPolicy policy, Rng* rng = nullptr) const;
+
+  /// The index-th pooled entry (0 <= index < total_available()) in key
+  /// iteration order.  Lets a sharding wrapper draw one uniform random
+  /// victim across shards with a single externally-drawn index.
+  [[nodiscard]] std::optional<PoolEntry> entry_at(std::size_t index) const;
 
   /// Count eviction as performed (bumps stats).
   void count_eviction() { ++stats_.evictions; }
 
-  // --- queries ----------------------------------------------------------
-  [[nodiscard]] std::size_t num_available(const spec::RuntimeKey& key) const;
-  [[nodiscard]] std::size_t total_available() const { return total_; }
-  [[nodiscard]] const PoolStats& stats() const { return stats_; }
-  [[nodiscard]] const PoolLimits& limits() const { return limits_; }
-
-  /// All keys that currently have at least one available container.
-  [[nodiscard]] std::vector<spec::RuntimeKey> keys() const;
-
-  /// Snapshot of available entries for a key (oldest first).
+  // --- queries (PoolView) -----------------------------------------------
+  [[nodiscard]] std::size_t num_available(
+      const spec::RuntimeKey& key) const override;
+  [[nodiscard]] std::size_t total_available() const override {
+    return records_.size();
+  }
+  [[nodiscard]] std::size_t paused_count() const override { return paused_; }
+  [[nodiscard]] PoolStats stats_snapshot() const override { return stats_; }
+  [[nodiscard]] std::vector<spec::RuntimeKey> keys() const override;
   [[nodiscard]] std::vector<PoolEntry> entries(
-      const spec::RuntimeKey& key) const;
+      const spec::RuntimeKey& key) const override;
+  [[nodiscard]] bool at_capacity() const override {
+    return records_.size() >= limits_.max_live;
+  }
+  [[nodiscard]] const PoolLimits& limits() const override { return limits_; }
 
-  /// True when the pool holds max_live containers already.
-  [[nodiscard]] bool at_capacity() const { return total_ >= limits_.max_live; }
+  [[nodiscard]] const PoolStats& stats() const { return stats_; }
 
   void clear();
 
  private:
+  /// One residency of a container in the pool.  `gen` is unique per
+  /// residency: re-adding an acquired container bumps it, which retires
+  /// any heap nodes still pointing at the previous stay.
+  struct Record {
+    PoolEntry entry;
+    std::uint64_t gen = 0;
+  };
+
+  struct AgeNode {
+    TimePoint at = kZeroDuration;
+    std::uint64_t gen = 0;
+    engine::ContainerId id = 0;
+  };
+  struct AgeGreater {
+    bool operator()(const AgeNode& a, const AgeNode& b) const {
+      if (a.at != b.at) return a.at > b.at;  // min-heap on age
+      return a.gen > b.gen;                  // earlier insertion wins ties
+    }
+  };
+  using AgeHeap =
+      std::priority_queue<AgeNode, std::vector<AgeNode>, AgeGreater>;
+
+  /// Drop stale heap tops, then return the live minimum (nullopt if none).
+  [[nodiscard]] std::optional<PoolEntry> victim_from(AgeHeap& heap) const;
+
+  /// Rebuild both heaps from live records once stale nodes dominate.
+  void maybe_compact();
+
   PoolLimits limits_;
   // FIFO per key: the paper reuses "the first available container".
-  std::unordered_map<spec::RuntimeKey, std::deque<PoolEntry>> available_;
-  std::size_t total_ = 0;
+  std::unordered_map<spec::RuntimeKey, std::deque<engine::ContainerId>>
+      available_;
+  // Canonical per-container records, keyed by (unique) container id.
+  std::unordered_map<engine::ContainerId, Record> records_;
+  // Lazy eviction indexes (mutable: select_victim prunes under const).
+  mutable AgeHeap by_created_;
+  mutable AgeHeap by_returned_;
+  std::uint64_t next_gen_ = 0;
   std::size_t paused_ = 0;
   PoolStats stats_;
 };

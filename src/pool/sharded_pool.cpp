@@ -1,0 +1,170 @@
+#include "pool/sharded_pool.hpp"
+
+#include <algorithm>
+#include <iterator>
+#include <thread>
+
+#include "core/assert.hpp"
+
+namespace hotc::pool {
+
+namespace {
+
+std::size_t default_shard_count() {
+  const std::size_t hw = std::thread::hardware_concurrency();
+  return std::clamp<std::size_t>(hw, 1, 64);
+}
+
+}  // namespace
+
+ShardedRuntimePool::ShardedRuntimePool(PoolLimits limits,
+                                       std::size_t shard_count)
+    : limits_(limits) {
+  if (shard_count == 0) shard_count = default_shard_count();
+  shards_.reserve(shard_count);
+  for (std::size_t i = 0; i < shard_count; ++i) {
+    shards_.push_back(std::make_unique<Shard>(limits));
+  }
+}
+
+std::optional<PoolEntry> ShardedRuntimePool::acquire(
+    const spec::RuntimeKey& key, TimePoint now) {
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.pool.acquire(key, now);
+}
+
+void ShardedRuntimePool::add_available(const PoolEntry& entry,
+                                       TimePoint now) {
+  Shard& shard = shard_for(entry.key);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  shard.pool.add_available(entry, now);
+}
+
+bool ShardedRuntimePool::remove(const spec::RuntimeKey& key,
+                                engine::ContainerId id) {
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.pool.remove(key, id);
+}
+
+bool ShardedRuntimePool::mark_paused(const spec::RuntimeKey& key,
+                                     engine::ContainerId id) {
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.pool.mark_paused(key, id);
+}
+
+std::vector<std::unique_lock<std::mutex>> ShardedRuntimePool::lock_all()
+    const {
+  std::vector<std::unique_lock<std::mutex>> locks;
+  locks.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    locks.emplace_back(shard->mu);
+  }
+  return locks;
+}
+
+std::optional<PoolEntry> ShardedRuntimePool::select_victim(
+    EvictionPolicy policy, Rng* rng) const {
+  const auto locks = lock_all();
+
+  if (policy == EvictionPolicy::kRandom) {
+    HOTC_ASSERT_MSG(rng != nullptr, "random eviction needs an Rng");
+    std::size_t total = 0;
+    for (const auto& shard : shards_) total += shard->pool.total_available();
+    if (total == 0) return std::nullopt;
+    // One uniform draw over the global occupancy, then index into the
+    // owning shard: each pooled container is equally likely.
+    std::size_t target = rng->index(total);
+    for (const auto& shard : shards_) {
+      const std::size_t n = shard->pool.total_available();
+      if (target < n) return shard->pool.entry_at(target);
+      target -= n;
+    }
+    return std::nullopt;  // unreachable
+  }
+
+  std::optional<PoolEntry> best;
+  for (const auto& shard : shards_) {
+    auto candidate = shard->pool.select_victim(policy);
+    if (!candidate.has_value()) continue;
+    if (!best.has_value()) {
+      best = std::move(candidate);
+      continue;
+    }
+    const bool older = policy == EvictionPolicy::kOldestFirst
+                           ? candidate->created_at < best->created_at
+                           : candidate->returned_at < best->returned_at;
+    if (older) best = std::move(candidate);
+  }
+  return best;
+}
+
+std::size_t ShardedRuntimePool::num_available(
+    const spec::RuntimeKey& key) const {
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.pool.num_available(key);
+}
+
+std::size_t ShardedRuntimePool::total_available() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->pool.total_available();
+  }
+  return total;
+}
+
+std::size_t ShardedRuntimePool::paused_count() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->pool.paused_count();
+  }
+  return total;
+}
+
+PoolStats ShardedRuntimePool::stats_snapshot() const {
+  PoolStats out;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    const PoolStats& s = shard->pool.stats();
+    out.hits += s.hits;
+    out.misses += s.misses;
+    out.evictions += s.evictions;
+    out.returns += s.returns;
+  }
+  out.evictions += evictions_.load(std::memory_order_relaxed);
+  return out;
+}
+
+std::vector<spec::RuntimeKey> ShardedRuntimePool::keys() const {
+  std::vector<spec::RuntimeKey> out;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    auto shard_keys = shard->pool.keys();
+    out.insert(out.end(), std::make_move_iterator(shard_keys.begin()),
+               std::make_move_iterator(shard_keys.end()));
+  }
+  return out;
+}
+
+std::vector<PoolEntry> ShardedRuntimePool::entries(
+    const spec::RuntimeKey& key) const {
+  Shard& shard = shard_for(key);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  return shard.pool.entries(key);
+}
+
+bool ShardedRuntimePool::at_capacity() const {
+  return total_available() >= limits_.max_live;
+}
+
+void ShardedRuntimePool::clear() {
+  const auto locks = lock_all();
+  for (const auto& shard : shards_) shard->pool.clear();
+}
+
+}  // namespace hotc::pool

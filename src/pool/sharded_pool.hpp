@@ -1,0 +1,106 @@
+// Lock-striped runtime pool for the multi-threaded execution paths.
+//
+// The single-threaded RuntimePool keeps Algorithm 1/2 semantics exact but
+// serialises every caller behind one lock when shared across threads (the
+// seed's RealHotC did exactly that: one std::mutex around one std::map).
+// ShardedRuntimePool stripes the key space over N independent shards, each
+// a mutex + RuntimePool pair padded to its own cache line.  A runtime key
+// always lands on the same shard (selected from its precomputed 64-bit
+// hash — no string comparisons on the hot path), so per-key FIFO reuse
+// order and all per-key invariants are inherited from RuntimePool
+// untouched, while acquire/return traffic for distinct keys proceeds in
+// parallel.
+//
+// Aggregates (stats, totals, paused counts) are kept per shard and summed
+// on read — the hot path touches no shared atomics and no global lock.
+// See pool_view.hpp for the snapshot semantics of those reads.
+//
+// Victim selection locks all shards in index order (deadlock-free) for a
+// consistent cross-shard snapshot: oldest-first/LRU compare the per-shard
+// O(log n) heap minima; random draws one uniform index over the global
+// occupancy so a crowded shard is proportionally more likely to lose a
+// container — the same distribution the unsharded pool produces.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "core/rng.hpp"
+#include "core/time.hpp"
+#include "engine/container.hpp"
+#include "pool/eviction.hpp"
+#include "pool/pool.hpp"
+#include "spec/runtime_key.hpp"
+
+namespace hotc::pool {
+
+class ShardedRuntimePool : public PoolView {
+ public:
+  /// `shard_count` 0 picks std::thread::hardware_concurrency() (clamped
+  /// to [1, 64]).  Limits apply to the pool as a whole, not per shard.
+  explicit ShardedRuntimePool(PoolLimits limits = {},
+                              std::size_t shard_count = 0);
+
+  ShardedRuntimePool(const ShardedRuntimePool&) = delete;
+  ShardedRuntimePool& operator=(const ShardedRuntimePool&) = delete;
+
+  // --- hot path (locks exactly one shard) -------------------------------
+  std::optional<PoolEntry> acquire(const spec::RuntimeKey& key,
+                                   TimePoint now);
+  void add_available(const PoolEntry& entry, TimePoint now);
+  bool remove(const spec::RuntimeKey& key, engine::ContainerId id);
+  bool mark_paused(const spec::RuntimeKey& key, engine::ContainerId id);
+
+  // --- eviction (locks all shards, index order) -------------------------
+  [[nodiscard]] std::optional<PoolEntry> select_victim(
+      EvictionPolicy policy, Rng* rng = nullptr) const;
+  void count_eviction() { ++evictions_; }
+
+  // --- queries (PoolView; snapshot semantics) ---------------------------
+  [[nodiscard]] std::size_t num_available(
+      const spec::RuntimeKey& key) const override;
+  [[nodiscard]] std::size_t total_available() const override;
+  [[nodiscard]] std::size_t paused_count() const override;
+  [[nodiscard]] PoolStats stats_snapshot() const override;
+  [[nodiscard]] std::vector<spec::RuntimeKey> keys() const override;
+  [[nodiscard]] std::vector<PoolEntry> entries(
+      const spec::RuntimeKey& key) const override;
+  [[nodiscard]] bool at_capacity() const override;
+  [[nodiscard]] const PoolLimits& limits() const override { return limits_; }
+
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
+
+  /// Which shard a key stripes to (exposed for tests and benches).
+  [[nodiscard]] std::size_t shard_index(const spec::RuntimeKey& key) const {
+    return static_cast<std::size_t>(key.hash() % shards_.size());
+  }
+
+  void clear();
+
+ private:
+  // Padded so neighbouring shard locks never share a cache line.
+  struct alignas(64) Shard {
+    explicit Shard(PoolLimits limits) : pool(limits) {}
+    mutable std::mutex mu;
+    RuntimePool pool;
+  };
+
+  [[nodiscard]] Shard& shard_for(const spec::RuntimeKey& key) const {
+    return *shards_[shard_index(key)];
+  }
+
+  /// Lock every shard in index order (deadlock-free total order).
+  [[nodiscard]] std::vector<std::unique_lock<std::mutex>> lock_all() const;
+
+  PoolLimits limits_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Evictions are recorded by whoever tears the victim down, which has
+  /// no natural shard; one shared counter off the hot path is fine.
+  std::atomic<std::uint64_t> evictions_{0};
+};
+
+}  // namespace hotc::pool

@@ -1,21 +1,45 @@
 #include "runtime/real_hotc.hpp"
 
+#include <algorithm>
 #include <thread>
 
 #include "engine/image.hpp"
 
 namespace hotc::runtime {
 
+namespace {
+
+pool::PoolLimits warm_limits(const RealOptions& options) {
+  pool::PoolLimits limits;
+  // The pool asserts max_live > 0; max_warm == 0 is handled by never
+  // returning runtimes to the pool at all.
+  limits.max_live = std::max<std::size_t>(options.max_warm, 1);
+  return limits;
+}
+
+}  // namespace
+
 RealHotC::RealHotC(RealOptions options)
-    : options_(options), cost_(options.host), pool_(options.worker_threads) {}
+    : options_(options),
+      cost_(options.host),
+      pool_(options.worker_threads),
+      warm_(warm_limits(options), options.pool_shards) {}
 
 RealHotC::~RealHotC() { shutdown(); }
 
 void RealHotC::shutdown() { pool_.shutdown(); }
 
-std::size_t RealHotC::warm_count() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
-  return warm_total_;
+void RealHotC::trim_warm() {
+  // Returns race with other workers' returns, so a few attempts may lose
+  // a select/remove race; the loser re-selects.  Bounded so a pathological
+  // schedule cannot spin forever — the next return trims again anyway.
+  for (int attempts = 0; attempts < 64; ++attempts) {
+    if (warm_.total_available() <= options_.max_warm) return;
+    const auto victim =
+        warm_.select_victim(pool::EvictionPolicy::kOldestFirst);
+    if (!victim.has_value()) return;
+    if (warm_.remove(victim->key, victim->id)) warm_.count_eviction();
+  }
 }
 
 std::future<RealOutcome> RealHotC::submit(const spec::RunSpec& spec,
@@ -32,21 +56,12 @@ std::future<RealOutcome> RealHotC::submit(const spec::RunSpec& spec,
                                   promise]() mutable {
     const auto start = std::chrono::steady_clock::now();
 
-    // Algorithm 1, wall-clock edition: claim a warm runtime under the lock,
-    // pay delays outside it.
-    bool reused = false;
-    bool app_warm = false;
-    {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      auto it = warm_.find(key);
-      if (it != warm_.end() && !it->second.empty()) {
-        app_warm = (it->second.front().warm_app == app.name);
-        it->second.erase(it->second.begin());
-        if (it->second.empty()) warm_.erase(it);
-        --warm_total_;
-        reused = true;
-      }
-    }
+    // Algorithm 1, wall-clock edition: claim a warm runtime from the
+    // striped pool (one shard lock), pay delays outside any lock.
+    const std::uint64_t app_tag = spec::fnv1a(app.name);
+    auto warm = warm_.acquire(key, wall_now());
+    const bool reused = warm.has_value();
+    const bool app_warm = reused && warm->app_tag == app_tag;
 
     const engine::Image image = engine::image_for_name(spec.image);
     const engine::StartupBreakdown cold =
@@ -71,16 +86,20 @@ std::future<RealOutcome> RealHotC::submit(const spec::RunSpec& spec,
     outcome.payload = handler(argument);
 
     // Return the runtime to the warm set (cleanup is instantaneous here —
-    // the volume machinery lives in the simulator substrate).
-    {
-      const std::lock_guard<std::mutex> lock(mutex_);
-      if (warm_total_ < options_.max_warm) {
-        WarmRuntime w;
-        w.warm_app = app.name;
-        w.created = std::chrono::steady_clock::now();
-        warm_[key].push_back(std::move(w));
-        ++warm_total_;
+    // the volume machinery lives in the simulator substrate), then trim
+    // the oldest runtimes back under max_warm.
+    if (options_.max_warm > 0) {
+      pool::PoolEntry entry;
+      if (reused) {
+        entry = *warm;  // keeps created_at and reuse_count
+      } else {
+        entry.id = next_runtime_id_.fetch_add(1, std::memory_order_relaxed);
+        entry.key = key;
+        entry.created_at = wall_now();
       }
+      entry.app_tag = app_tag;  // this app's init state is now resident
+      warm_.add_available(entry, wall_now());
+      trim_warm();
     }
 
     outcome.wall_time = std::chrono::duration_cast<Duration>(

@@ -9,21 +9,22 @@
 // state (the "loaded model"), so a warm hit also skips the app-init delay.
 //
 // Thread-safe: submissions may come from any thread; execution happens on
-// the worker pool.
+// the worker pool.  The warm set is the same lock-striped
+// ShardedRuntimePool the rest of the library uses — workers touching
+// distinct runtime keys never contend on a shared lock (the seed version
+// funnelled every lookup through one global mutex + std::map).
 #pragma once
 
 #include <atomic>
 #include <chrono>
 #include <functional>
 #include <future>
-#include <map>
-#include <mutex>
 #include <string>
 
 #include "core/time.hpp"
 #include "engine/app.hpp"
 #include "engine/cost_model.hpp"
-#include "pool/pool.hpp"
+#include "pool/sharded_pool.hpp"
 #include "runtime/thread_pool.hpp"
 #include "spec/runspec.hpp"
 #include "spec/runtime_key.hpp"
@@ -36,8 +37,10 @@ struct RealOptions {
   /// Multiplier applied to modelled cold-start / init delays before
   /// sleeping them for real.  0.01 turns a 700 ms cold start into 7 ms.
   double cold_start_scale = 0.01;
-  /// Maximum warm runtimes kept alive across all keys.
+  /// Maximum warm runtimes kept alive across all keys (0 = never pool).
   std::size_t max_warm = 64;
+  /// Lock stripes for the warm set; 0 = hardware_concurrency().
+  std::size_t pool_shards = 0;
 };
 
 struct RealOutcome {
@@ -69,21 +72,27 @@ class RealHotC {
 
   [[nodiscard]] std::uint64_t cold_starts() const { return cold_starts_; }
   [[nodiscard]] std::uint64_t reuses() const { return reuses_; }
-  [[nodiscard]] std::size_t warm_count() const;
+  [[nodiscard]] std::size_t warm_count() const {
+    return warm_.total_available();
+  }
+  /// The warm set behind the PoolView seam (hit rate, per-key counts...).
+  [[nodiscard]] const pool::PoolView& warm_pool() const { return warm_; }
 
  private:
-  struct WarmRuntime {
-    std::string warm_app;  // app whose init state is resident
-    std::chrono::steady_clock::time_point created;
-  };
+  /// Wall-clock now as the library-wide TimePoint (offset from epoch).
+  static TimePoint wall_now() {
+    return std::chrono::duration_cast<Duration>(
+        std::chrono::steady_clock::now().time_since_epoch());
+  }
+
+  /// Oldest-first trim back to max_warm after a return (paper eviction).
+  void trim_warm();
 
   RealOptions options_;
   engine::CostModel cost_;
   ThreadPool pool_;
-
-  mutable std::mutex mutex_;
-  std::map<spec::RuntimeKey, std::vector<WarmRuntime>> warm_;
-  std::size_t warm_total_ = 0;
+  pool::ShardedRuntimePool warm_;
+  std::atomic<engine::ContainerId> next_runtime_id_{1};
   std::atomic<std::uint64_t> cold_starts_{0};
   std::atomic<std::uint64_t> reuses_{0};
 };

@@ -213,6 +213,51 @@ TEST_F(GatewayTest, TimeoutSparesWarmRequests) {
   EXPECT_EQ(gw.timeouts(), 1u);
 }
 
+TEST_F(GatewayTest, TimeoutReleasesSlotWhenBackendCompletesLate) {
+  // The timed-out request's proxy slot is tied to its backend work, not to
+  // the client answer: the timeout answers the client early, the slot is
+  // released when the backend completes late, and the next request must
+  // still get a slot.  With max_concurrent = 1 a leaked slot would wedge
+  // the gateway forever.
+  GatewayOptions opt;
+  opt.max_concurrent = 1;
+  opt.request_timeout = milliseconds(200);  // below any cold start
+  ControllerOptions copt;
+  HotCBackend backend(engine_, copt);
+  Gateway gw(sim_, backend, opt);
+
+  bool first_timed_out = false;
+  gw.submit(1, 0, python_spec(), engine::apps::random_number(),
+            [&](Result<CompletedRequest> r) { first_timed_out = !r.ok(); });
+  // Past the deadline the client has been answered, but the cold backend
+  // work is still running and still holds the only slot.
+  sim_.run_until(milliseconds(250));
+  EXPECT_TRUE(first_timed_out);
+  EXPECT_EQ(gw.timeouts(), 1u);
+  EXPECT_EQ(gw.in_flight(), 1u);
+
+  // Let the late backend completion land: the slot must come back.
+  sim_.run();
+  EXPECT_EQ(gw.in_flight(), 0u);
+  EXPECT_EQ(gw.queued(), 0u);
+
+  // A fresh request now reuses the pooled runtime well inside its own
+  // deadline — proof the slot (and the warm container) survived the
+  // timed-out request.
+  bool second_ok = false;
+  gw.submit(2, 0, python_spec(), engine::apps::random_number(),
+            [&](Result<CompletedRequest> r) {
+              second_ok = r.ok();
+              if (r.ok()) {
+                EXPECT_FALSE(r.value().cold);
+              }
+            });
+  sim_.run();
+  EXPECT_TRUE(second_ok);
+  EXPECT_EQ(gw.timeouts(), 1u);
+  EXPECT_EQ(gw.in_flight(), 0u);
+}
+
 TEST_F(GatewayTest, NoTimeoutByDefault) {
   ColdStartBackend backend(engine_);
   Gateway gw(sim_, backend);

@@ -168,6 +168,89 @@ TEST(RuntimePool, ClearEmptiesEverything) {
   EXPECT_TRUE(pool.keys().empty());
 }
 
+TEST(RuntimePool, ClearResetsPausedCount) {
+  // Regression: clear() used to reset the available map and total but
+  // leave paused_ stale, so a fresh fill reported phantom frozen entries.
+  RuntimePool pool;
+  const auto key = key_for("a");
+  pool.add_available(entry(1, key, seconds(0)), seconds(0));
+  ASSERT_TRUE(pool.mark_paused(key, 1));
+  ASSERT_EQ(pool.paused_count(), 1u);
+  pool.clear();
+  EXPECT_EQ(pool.paused_count(), 0u);
+  EXPECT_EQ(pool.total_available(), 0u);
+  // A post-clear fill starts from a clean slate.
+  pool.add_available(entry(2, key, seconds(1)), seconds(1));
+  EXPECT_EQ(pool.paused_count(), 0u);
+}
+
+TEST(RuntimePool, VictimAdvancesAfterRemove) {
+  // The age index must skip entries that left the pool since they were
+  // indexed (lazy-deletion heap correctness).
+  RuntimePool pool;
+  pool.add_available(entry(1, key_for("a"), seconds(10)), seconds(0));
+  pool.add_available(entry(2, key_for("b"), seconds(20)), seconds(0));
+  pool.add_available(entry(3, key_for("c"), seconds(30)), seconds(0));
+  ASSERT_EQ(pool.select_victim(EvictionPolicy::kOldestFirst)->id, 1u);
+  ASSERT_TRUE(pool.remove(key_for("a"), 1));
+  ASSERT_EQ(pool.select_victim(EvictionPolicy::kOldestFirst)->id, 2u);
+  ASSERT_TRUE(pool.remove(key_for("b"), 2));
+  EXPECT_EQ(pool.select_victim(EvictionPolicy::kOldestFirst)->id, 3u);
+}
+
+TEST(RuntimePool, LruVictimTracksReadds) {
+  // Re-adding an acquired container starts a new residency: the stale
+  // index node with the old returned_at must not resurrect it as victim.
+  RuntimePool pool;
+  const auto ka = key_for("a");
+  const auto kb = key_for("b");
+  pool.add_available(entry(1, ka, seconds(0)), seconds(10));
+  pool.add_available(entry(2, kb, seconds(0)), seconds(20));
+  auto got = pool.acquire(ka, seconds(30));
+  ASSERT_TRUE(got.has_value());
+  pool.add_available(*got, seconds(40));  // id 1 now newest by returned_at
+  auto victim = pool.select_victim(EvictionPolicy::kLru);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->id, 2u);
+}
+
+TEST(RuntimePool, OldestFirstDrainsInCreationOrder) {
+  // Full drain through select+remove yields exactly ascending created_at —
+  // the seed semantics the O(log n) index must preserve.
+  RuntimePool pool;
+  const TimePoint ages[] = {seconds(40), seconds(10), seconds(90),
+                            seconds(20), seconds(70)};
+  for (std::size_t i = 0; i < 5; ++i) {
+    pool.add_available(
+        entry(static_cast<engine::ContainerId>(i + 1),
+              key_for("img" + std::to_string(i % 2)), ages[i]),
+        seconds(100));
+  }
+  TimePoint last = kZeroDuration;
+  while (pool.total_available() > 0) {
+    auto victim = pool.select_victim(EvictionPolicy::kOldestFirst);
+    ASSERT_TRUE(victim.has_value());
+    EXPECT_GE(victim->created_at, last);
+    last = victim->created_at;
+    ASSERT_TRUE(pool.remove(victim->key, victim->id));
+  }
+}
+
+TEST(RuntimePool, EntryAtWalksEveryEntry) {
+  RuntimePool pool;
+  pool.add_available(entry(1, key_for("a"), seconds(0)), seconds(0));
+  pool.add_available(entry(2, key_for("a"), seconds(0)), seconds(1));
+  pool.add_available(entry(3, key_for("b"), seconds(0)), seconds(2));
+  std::vector<bool> seen(4, false);
+  for (std::size_t i = 0; i < 3; ++i) {
+    auto e = pool.entry_at(i);
+    ASSERT_TRUE(e.has_value());
+    seen[static_cast<std::size_t>(e->id)] = true;
+  }
+  EXPECT_TRUE(seen[1] && seen[2] && seen[3]);
+  EXPECT_FALSE(pool.entry_at(3).has_value());
+}
+
 TEST(RuntimePool, ReturnedAtStampedOnAdd) {
   RuntimePool pool;
   const auto key = key_for("a");

@@ -1,0 +1,263 @@
+#include "pool/sharded_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+namespace hotc::pool {
+namespace {
+
+spec::RuntimeKey key_for(const std::string& image) {
+  spec::RunSpec s;
+  s.image = spec::ImageRef{image, "latest"};
+  return spec::RuntimeKey::from_spec(s);
+}
+
+PoolEntry entry(engine::ContainerId id, const spec::RuntimeKey& key,
+                TimePoint created) {
+  PoolEntry e;
+  e.id = id;
+  e.key = key;
+  e.created_at = created;
+  return e;
+}
+
+TEST(ShardedRuntimePool, DefaultsToHardwareShards) {
+  ShardedRuntimePool pool;
+  EXPECT_GE(pool.shard_count(), 1u);
+  EXPECT_LE(pool.shard_count(), 64u);
+  ShardedRuntimePool four({}, 4);
+  EXPECT_EQ(four.shard_count(), 4u);
+}
+
+TEST(ShardedRuntimePool, StripingIsStableAndKeyed) {
+  ShardedRuntimePool pool({}, 8);
+  const auto key = key_for("python");
+  EXPECT_EQ(pool.shard_index(key), pool.shard_index(key_for("python")));
+  EXPECT_EQ(pool.shard_index(key), key.hash() % 8);
+}
+
+TEST(ShardedRuntimePool, AcquireHitAndMissMirrorRuntimePool) {
+  ShardedRuntimePool pool({}, 4);
+  const auto key = key_for("python");
+  EXPECT_FALSE(pool.acquire(key, seconds(0)).has_value());
+  pool.add_available(entry(7, key, seconds(0)), seconds(1));
+  EXPECT_EQ(pool.num_available(key), 1u);
+  auto got = pool.acquire(key, seconds(2));
+  ASSERT_TRUE(got.has_value());
+  EXPECT_EQ(got->id, 7u);
+  EXPECT_EQ(got->reuse_count, 1u);
+  const PoolStats stats = pool.stats_snapshot();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.returns, 1u);
+}
+
+TEST(ShardedRuntimePool, FifoPerKeyPreservedAcrossShards) {
+  ShardedRuntimePool pool({}, 8);
+  const auto key = key_for("go");
+  pool.add_available(entry(1, key, seconds(0)), seconds(0));
+  pool.add_available(entry(2, key, seconds(0)), seconds(1));
+  pool.add_available(entry(3, key, seconds(0)), seconds(2));
+  EXPECT_EQ(pool.acquire(key, seconds(3))->id, 1u);
+  EXPECT_EQ(pool.acquire(key, seconds(3))->id, 2u);
+  EXPECT_EQ(pool.acquire(key, seconds(3))->id, 3u);
+}
+
+TEST(ShardedRuntimePool, AggregatesSpanShards) {
+  ShardedRuntimePool pool({}, 4);
+  // Enough distinct keys that several shards are populated.
+  for (int i = 0; i < 16; ++i) {
+    pool.add_available(
+        entry(static_cast<engine::ContainerId>(i + 1),
+              key_for("img" + std::to_string(i)), seconds(i)),
+        seconds(i));
+  }
+  EXPECT_EQ(pool.total_available(), 16u);
+  EXPECT_EQ(pool.keys().size(), 16u);
+  // Snapshot coherence (quiescent): per-key counts sum to the total.
+  std::size_t sum = 0;
+  for (const auto& key : pool.keys()) sum += pool.num_available(key);
+  EXPECT_EQ(sum, pool.total_available());
+}
+
+TEST(ShardedRuntimePool, OldestFirstVictimIsGlobalMinimum) {
+  ShardedRuntimePool pool({}, 8);
+  pool.add_available(entry(1, key_for("a"), seconds(50)), seconds(60));
+  pool.add_available(entry(2, key_for("b"), seconds(10)), seconds(70));
+  pool.add_available(entry(3, key_for("c"), seconds(30)), seconds(80));
+  auto victim = pool.select_victim(EvictionPolicy::kOldestFirst);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->id, 2u);  // earliest created_at regardless of shard
+}
+
+TEST(ShardedRuntimePool, LruVictimIsGlobalMinimum) {
+  ShardedRuntimePool pool({}, 8);
+  pool.add_available(entry(1, key_for("a"), seconds(0)), seconds(60));
+  pool.add_available(entry(2, key_for("b"), seconds(0)), seconds(10));
+  pool.add_available(entry(3, key_for("c"), seconds(0)), seconds(80));
+  auto victim = pool.select_victim(EvictionPolicy::kLru);
+  ASSERT_TRUE(victim.has_value());
+  EXPECT_EQ(victim->id, 2u);
+}
+
+TEST(ShardedRuntimePool, RandomVictimCoversAllShards) {
+  ShardedRuntimePool pool({}, 4);
+  Rng rng(7);
+  for (int i = 0; i < 12; ++i) {
+    pool.add_available(
+        entry(static_cast<engine::ContainerId>(i + 1),
+              key_for("img" + std::to_string(i)), seconds(0)),
+        seconds(0));
+  }
+  std::vector<bool> seen(13, false);
+  for (int i = 0; i < 400; ++i) {
+    auto victim = pool.select_victim(EvictionPolicy::kRandom, &rng);
+    ASSERT_TRUE(victim.has_value());
+    ASSERT_GE(victim->id, 1u);
+    ASSERT_LE(victim->id, 12u);
+    seen[static_cast<std::size_t>(victim->id)] = true;
+  }
+  // Uniform over the whole pool: every entry, on every shard, is
+  // eventually drawn (12 entries, 400 uniform draws).
+  for (int i = 1; i <= 12; ++i) EXPECT_TRUE(seen[i]) << "entry " << i;
+}
+
+TEST(ShardedRuntimePool, ClearResetsEveryShardIncludingPaused) {
+  ShardedRuntimePool pool({}, 4);
+  for (int i = 0; i < 8; ++i) {
+    const auto key = key_for("img" + std::to_string(i));
+    pool.add_available(
+        entry(static_cast<engine::ContainerId>(i + 1), key, seconds(0)),
+        seconds(0));
+    ASSERT_TRUE(
+        pool.mark_paused(key, static_cast<engine::ContainerId>(i + 1)));
+  }
+  ASSERT_EQ(pool.paused_count(), 8u);
+  pool.clear();
+  EXPECT_EQ(pool.total_available(), 0u);
+  EXPECT_EQ(pool.paused_count(), 0u);
+  EXPECT_TRUE(pool.keys().empty());
+}
+
+TEST(ShardedRuntimePool, AtCapacityUsesAggregateTotal) {
+  PoolLimits limits;
+  limits.max_live = 3;
+  ShardedRuntimePool pool(limits, 4);
+  pool.add_available(entry(1, key_for("a"), seconds(0)), seconds(0));
+  pool.add_available(entry(2, key_for("b"), seconds(0)), seconds(0));
+  EXPECT_FALSE(pool.at_capacity());
+  pool.add_available(entry(3, key_for("c"), seconds(0)), seconds(0));
+  EXPECT_TRUE(pool.at_capacity());
+}
+
+TEST(ShardedRuntimePool, EvictionCounterAggregates) {
+  ShardedRuntimePool pool({}, 2);
+  pool.count_eviction();
+  pool.count_eviction();
+  EXPECT_EQ(pool.stats_snapshot().evictions, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Multi-threaded stress: concurrent acquire/add/remove/mark_paused across
+// threads must conserve total_available() and never hand the same pooled
+// container to two owners.  Run under -DHOTC_SANITIZE=thread (ctest -L
+// tsan) this also proves the locking is data-race free.
+TEST(ShardedRuntimePoolStress, ConservationAndExclusiveOwnership) {
+  const std::size_t threads =
+      std::clamp<std::size_t>(std::thread::hardware_concurrency(), 4, 8);
+  constexpr int kOpsPerThread = 10000;
+  constexpr std::size_t kKeys = 32;
+  const std::size_t max_ids = threads * kOpsPerThread + 1;
+
+  ShardedRuntimePool pool;
+  std::vector<spec::RuntimeKey> keys;
+  keys.reserve(kKeys);
+  for (std::size_t k = 0; k < kKeys; ++k) {
+    keys.push_back(key_for("img" + std::to_string(k)));
+  }
+
+  std::atomic<engine::ContainerId> next_id{1};
+  std::atomic<std::uint64_t> adds{0};
+  std::atomic<std::uint64_t> acquires{0};
+  std::atomic<std::uint64_t> removes{0};
+  // held[id] == 1 while some thread exclusively owns the container (it was
+  // acquired/removed and not yet re-added).  A failed CAS 0->1 would mean
+  // the pool handed one container to two owners.
+  auto held = std::make_unique<std::atomic<char>[]>(max_ids);
+  for (std::size_t i = 0; i < max_ids; ++i) held[i] = 0;
+  std::atomic<bool> double_ownership{false};
+
+  auto worker = [&](std::uint64_t seed) {
+    Rng rng(seed);
+    for (int op = 0; op < kOpsPerThread; ++op) {
+      const auto& key = keys[rng.index(kKeys)];
+      const double u = rng.uniform();
+      if (u < 0.45) {  // add a brand-new container
+        PoolEntry e;
+        e.id = next_id.fetch_add(1);
+        e.key = key;
+        e.created_at = seconds(op);
+        pool.add_available(e, seconds(op));
+        adds.fetch_add(1);
+      } else if (u < 0.85) {  // acquire, then usually return it
+        auto got = pool.acquire(key, seconds(op));
+        if (!got.has_value()) continue;
+        acquires.fetch_add(1);
+        char expected = 0;
+        if (!held[static_cast<std::size_t>(got->id)].compare_exchange_strong(
+                expected, 1)) {
+          double_ownership = true;
+        }
+        if (rng.chance(0.9)) {  // clean + re-pool (Algorithm 2)
+          held[static_cast<std::size_t>(got->id)] = 0;
+          pool.add_available(*got, seconds(op));
+          adds.fetch_add(1);
+        }  // else: the container is retired while owned; stays out
+      } else if (u < 0.95) {  // evict: select a victim and remove it
+        auto victim = pool.select_victim(EvictionPolicy::kOldestFirst);
+        if (!victim.has_value()) continue;
+        if (pool.remove(victim->key, victim->id)) {
+          removes.fetch_add(1);
+          char expected = 0;
+          if (!held[static_cast<std::size_t>(victim->id)]
+                   .compare_exchange_strong(expected, 1)) {
+            double_ownership = true;
+          }
+        }  // lost the race to an acquire/another evictor: fine
+      } else {  // freeze an arbitrary pooled container of this key
+        const auto snapshot = pool.entries(key);
+        if (!snapshot.empty()) {
+          pool.mark_paused(key, snapshot[rng.index(snapshot.size())].id);
+        }
+      }
+    }
+  };
+
+  std::vector<std::thread> pool_threads;
+  pool_threads.reserve(threads);
+  for (std::size_t t = 0; t < threads; ++t) {
+    pool_threads.emplace_back(worker, 1000 + t);
+  }
+  for (auto& t : pool_threads) t.join();
+
+  EXPECT_FALSE(double_ownership.load())
+      << "a container id was owned by two threads at once";
+  // Conservation: every container ever added either was taken out exactly
+  // once (acquire or remove) or is still available.
+  EXPECT_EQ(pool.total_available(),
+            adds.load() - acquires.load() - removes.load());
+  EXPECT_LE(pool.paused_count(), pool.total_available());
+  // The per-key FIFO books must agree with the aggregate after the dust
+  // settles (quiescent snapshot coherence).
+  std::size_t per_key_sum = 0;
+  for (const auto& key : keys) per_key_sum += pool.num_available(key);
+  EXPECT_EQ(per_key_sum, pool.total_available());
+}
+
+}  // namespace
+}  // namespace hotc::pool
