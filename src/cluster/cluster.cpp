@@ -100,13 +100,23 @@ void ClusterHotC::submit(const spec::RunSpec& spec,
   const auto key = options_.controller.use_subset_key
                        ? spec::RuntimeKey::subset_from_spec(spec)
                        : spec::RuntimeKey::from_spec(spec);
-  const NodeId node = route(key);
-  ++routed_[node];
-  ++nodes_[node].inflight;
+  NodeId node = 0;
+  {
+    // Route and account under the router lock, then release it before
+    // descending into the node: the controller may invoke the callback
+    // synchronously, which retakes mu_.
+    const std::lock_guard<RankedMutex> lock(mu_);
+    node = route(key);
+    ++routed_[node];
+    ++nodes_[node].inflight;
+  }
   nodes_[node].controller->handle(
       spec, app,
       [this, node, cb = std::move(cb)](Result<RequestOutcome> r) {
-        --nodes_[node].inflight;
+        {
+          const std::lock_guard<RankedMutex> lock(mu_);
+          --nodes_[node].inflight;
+        }
         if (!r.ok()) {
           cb(Result<ClusterOutcome>(r.error()));
           return;

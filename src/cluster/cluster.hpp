@@ -13,9 +13,11 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "cluster/directory.hpp"
+#include "core/ranked_mutex.hpp"
 #include "engine/engine.hpp"
 #include "hotc/controller.hpp"
 #include "sim/simulator.hpp"
@@ -76,6 +78,7 @@ class ClusterHotC {
     std::uint64_t inflight = 0;
   };
 
+  /// Pick a node for the key.  Caller must hold mu_.
   [[nodiscard]] NodeId route(const spec::RuntimeKey& key);
   void publish_node(NodeId node, const spec::RuntimeKey& key);
 
@@ -83,6 +86,10 @@ class ClusterHotC {
   sim::Simulator sim_;
   WarmDirectory directory_;
   std::vector<Node> nodes_;
+  /// Guards routing state (routed_, rr_next_, Node::inflight) only; the
+  /// outermost rank band — released before descending into a node's
+  /// controller, so controller/pool/log locks always nest inside it.
+  mutable RankedMutex mu_{LockRank::kClusterRouter, 0, "cluster.router"};
   std::vector<std::uint64_t> routed_;
   NodeId rr_next_ = 0;
 };

@@ -208,7 +208,7 @@ class Parser {
  public:
   explicit Parser(std::string_view text) : text_(text) {}
 
-  Result<Json> run() {
+  [[nodiscard]] Result<Json> run() {
     skip_ws();
     auto value = parse_value();
     if (!value.ok()) return value;
@@ -220,7 +220,7 @@ class Parser {
   }
 
  private:
-  Result<Json> fail(const std::string& message) const {
+  [[nodiscard]] Result<Json> fail(const std::string& message) const {
     std::size_t line = 1;
     std::size_t col = 1;
     for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
@@ -263,7 +263,7 @@ class Parser {
     return false;
   }
 
-  Result<Json> parse_value() {
+  [[nodiscard]] Result<Json> parse_value() {
     if (eof()) return fail("unexpected end of input");
     const char c = peek();
     if (c == '{') return parse_object();
@@ -289,7 +289,7 @@ class Parser {
     return fail(std::string("unexpected character '") + c + "'");
   }
 
-  Result<Json> parse_number() {
+  [[nodiscard]] Result<Json> parse_number() {
     const std::size_t start = pos_;
     if (consume('-')) {
     }
@@ -332,7 +332,7 @@ class Parser {
     return Json(value);
   }
 
-  Result<std::string> parse_string() {
+  [[nodiscard]] Result<std::string> parse_string() {
     if (!consume('"')) {
       return make_error<std::string>("json.parse", "expected string");
     }
@@ -406,7 +406,7 @@ class Parser {
     }
   }
 
-  Result<Json> parse_array() {
+  [[nodiscard]] Result<Json> parse_array() {
     consume('[');
     JsonArray items;
     skip_ws();
@@ -422,7 +422,7 @@ class Parser {
     }
   }
 
-  Result<Json> parse_object() {
+  [[nodiscard]] Result<Json> parse_object() {
     consume('{');
     JsonObject fields;
     skip_ws();

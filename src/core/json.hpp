@@ -71,7 +71,7 @@ class Json {
   [[nodiscard]] std::string dump(int indent = 0) const;
 
   /// Parse a complete JSON document (trailing garbage is an error).
-  static Result<Json> parse(std::string_view text);
+  [[nodiscard]] static Result<Json> parse(std::string_view text);
 
   bool operator==(const Json& other) const;
 

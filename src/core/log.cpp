@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <mutex>
 
+#include "core/ranked_mutex.hpp"
+
 namespace hotc {
 namespace {
 const char* level_name(LogLevel level) {
@@ -15,7 +17,9 @@ const char* level_name(LogLevel level) {
   }
   return "?";
 }
-std::mutex g_log_mutex;
+// The log sink is the leaf rank: any subsystem may log while holding any
+// of its own locks, but never the reverse.
+RankedMutex g_log_mutex{LockRank::kLogSink, 0, "core.log"};
 }  // namespace
 
 Logger& Logger::instance() {
@@ -26,7 +30,7 @@ Logger& Logger::instance() {
 void Logger::write(LogLevel level, const std::string& component,
                    const std::string& message) {
   if (level < level_) return;
-  const std::lock_guard<std::mutex> lock(g_log_mutex);
+  const std::lock_guard<RankedMutex> lock(g_log_mutex);
   std::fprintf(stderr, "[%s] %s: %s\n", level_name(level), component.c_str(),
                message.c_str());
 }

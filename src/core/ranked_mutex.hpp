@@ -1,0 +1,196 @@
+// Lock-rank auditing: deterministic deadlock prevention.
+//
+// Every mutex in the library carries a rank drawn from the bands below.  A
+// thread may only acquire a mutex whose (band, sequence) order is strictly
+// greater than the order of every lock it already holds, so any two threads
+// that could deadlock by acquiring the same pair of locks in opposite
+// orders trip the auditor on the *first* inverted acquisition — no lucky
+// interleaving required, unlike TSan's happens-before detection which only
+// reports orders it actually observes.
+//
+// Rank bands (acquire downward through this table, outermost first):
+//
+//   band  owner                          sequence within band
+//   ----  -----------------------------  -----------------------------
+//    10   cluster router state           0
+//    20   faas gateway counters          0
+//    30   runtime thread-pool queue      0
+//    40   (reserved: engine)             —
+//    50   pool shards                    shard index — lock_all() takes
+//                                        shards in index order, which is
+//                                        exactly the increasing-sequence
+//                                        rule within the band
+//    90   log sink (leaf: anything may   0
+//         hold anything while logging)
+//
+// Auditing is compiled in for debug builds and -DHOTC_AUDIT=ON builds and
+// compiles away entirely otherwise: in release, RankedMutex is a plain
+// std::mutex wrapper with the rank arguments discarded at compile time, so
+// the hot path pays nothing for the discipline.  Tests that must exercise
+// the auditor regardless of build flavour use AuditedRankedMutex, which is
+// always the tracking implementation.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <iterator>
+#include <mutex>
+#include <vector>
+
+namespace hotc {
+
+/// Rank bands, ordered outermost (locked first) to innermost (leaf).
+enum class LockRank : std::uint32_t {
+  kClusterRouter = 10,
+  kGateway = 20,
+  kThreadPoolQueue = 30,
+  kPoolShard = 50,
+  kLogSink = 90,
+};
+
+#if defined(HOTC_LOCK_AUDIT) || !defined(NDEBUG)
+inline constexpr bool kLockAuditEnabled = true;
+#else
+inline constexpr bool kLockAuditEnabled = false;
+#endif
+
+namespace detail {
+
+/// Total order over all ranked mutexes: band major, sequence minor.
+constexpr std::uint64_t lock_order(LockRank rank, std::uint32_t seq) {
+  return (static_cast<std::uint64_t>(rank) << 32) | seq;
+}
+
+struct HeldLock {
+  std::uint64_t order = 0;
+  const void* mutex = nullptr;
+  const char* name = "";
+};
+
+/// The per-thread stack of currently held ranked locks.  Audit builds
+/// only; never touched by the release-mode mutex.
+inline std::vector<HeldLock>& held_locks() {
+  thread_local std::vector<HeldLock> held;
+  return held;
+}
+
+[[noreturn]] inline void lock_rank_violation(const HeldLock& held,
+                                             std::uint64_t order,
+                                             const char* name) {
+  std::fprintf(stderr,
+               "HOTC lock rank violation: acquiring \"%s\" (order %llu) "
+               "while holding \"%s\" (order %llu)\n",
+               name, static_cast<unsigned long long>(order), held.name,
+               static_cast<unsigned long long>(held.order));
+  std::abort();
+}
+
+[[noreturn]] inline void lock_release_violation(const char* name) {
+  std::fprintf(stderr,
+               "HOTC lock rank violation: releasing \"%s\" which this "
+               "thread does not hold\n",
+               name);
+  std::abort();
+}
+
+}  // namespace detail
+
+template <bool Audited>
+class BasicRankedMutex;
+
+/// Auditing flavour: validates the rank order *before* blocking, so an
+/// inversion is reported even when the inconsistent acquisition would have
+/// succeeded this time.
+template <>
+class BasicRankedMutex<true> {
+ public:
+  explicit BasicRankedMutex(LockRank rank, std::uint32_t seq = 0,
+                            const char* name = "mutex")
+      : order_(detail::lock_order(rank, seq)), name_(name) {}
+
+  BasicRankedMutex(const BasicRankedMutex&) = delete;
+  BasicRankedMutex& operator=(const BasicRankedMutex&) = delete;
+
+  void lock() {
+    validate();
+    mu_.lock();
+    note_acquired();
+  }
+
+  bool try_lock() {
+    validate();
+    if (!mu_.try_lock()) return false;
+    note_acquired();
+    return true;
+  }
+
+  void unlock() {
+    note_released();
+    mu_.unlock();
+  }
+
+  [[nodiscard]] std::uint64_t order() const { return order_; }
+  [[nodiscard]] const char* name() const { return name_; }
+
+ private:
+  void validate() const {
+    for (const detail::HeldLock& held : detail::held_locks()) {
+      // >= also catches relocking the same mutex (self-deadlock).
+      if (held.order >= order_) {
+        detail::lock_rank_violation(held, order_, name_);
+      }
+    }
+  }
+
+  void note_acquired() {
+    detail::held_locks().push_back(detail::HeldLock{order_, this, name_});
+  }
+
+  // Locks need not release in LIFO order (lock_all() unlocks a batch
+  // front-to-back), so releases erase by identity, newest first.
+  void note_released() {
+    auto& held = detail::held_locks();
+    for (auto it = held.rbegin(); it != held.rend(); ++it) {
+      if (it->mutex == this) {
+        held.erase(std::next(it).base());
+        return;
+      }
+    }
+    detail::lock_release_violation(name_);
+  }
+
+  std::mutex mu_;
+  std::uint64_t order_;
+  const char* name_;
+};
+
+/// Release flavour: a plain std::mutex; the rank metadata costs nothing.
+template <>
+class BasicRankedMutex<false> {
+ public:
+  explicit BasicRankedMutex(LockRank /*rank*/, std::uint32_t /*seq*/ = 0,
+                            const char* /*name*/ = "mutex") {}
+
+  BasicRankedMutex(const BasicRankedMutex&) = delete;
+  BasicRankedMutex& operator=(const BasicRankedMutex&) = delete;
+
+  void lock() { mu_.lock(); }
+  bool try_lock() { return mu_.try_lock(); }
+  void unlock() { mu_.unlock(); }
+
+ private:
+  std::mutex mu_;
+};
+
+/// The library-wide mutex: audited in debug/HOTC_AUDIT builds, a plain
+/// std::mutex otherwise.
+using RankedMutex = BasicRankedMutex<kLockAuditEnabled>;
+
+/// Always-audited flavour for tests that prove the auditor fires.
+using AuditedRankedMutex = BasicRankedMutex<true>;
+
+/// Drop-in RAII lock (movable, deferrable) over the library mutex.
+using RankedLock = std::unique_lock<RankedMutex>;
+
+}  // namespace hotc

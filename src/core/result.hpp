@@ -19,8 +19,10 @@ struct Error {
   [[nodiscard]] std::string to_string() const { return code + ": " + message; }
 };
 
+/// [[nodiscard]] on the class: a discarded Result is a silently dropped
+/// error, so every call site must consume (or explicitly std::ignore) it.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
   Result(Error error) : data_(std::move(error)) {}  // NOLINT(google-explicit-constructor)
@@ -60,7 +62,7 @@ class Result {
 };
 
 template <typename T>
-Result<T> make_error(std::string code, std::string message) {
+[[nodiscard]] Result<T> make_error(std::string code, std::string message) {
   return Result<T>(Error{std::move(code), std::move(message)});
 }
 

@@ -15,41 +15,4 @@ const char* to_string(ContainerState state) {
   return "?";
 }
 
-int availability_code(ContainerState state) {
-  switch (state) {
-    case ContainerState::kRemoved:
-      return -1;
-    case ContainerState::kIdle:
-      return 1;
-    case ContainerState::kProvisioning:
-    case ContainerState::kBusy:
-    case ContainerState::kCleaning:
-    case ContainerState::kPaused:
-    case ContainerState::kStopping:
-      return 0;
-  }
-  return -1;
-}
-
-bool transition_allowed(ContainerState from, ContainerState to) {
-  using S = ContainerState;
-  switch (from) {
-    case S::kProvisioning:
-      return to == S::kIdle || to == S::kBusy || to == S::kStopping;
-    case S::kIdle:
-      return to == S::kBusy || to == S::kPaused || to == S::kStopping;
-    case S::kBusy:
-      return to == S::kCleaning || to == S::kIdle || to == S::kStopping;
-    case S::kCleaning:
-      return to == S::kIdle || to == S::kStopping;
-    case S::kPaused:
-      return to == S::kIdle || to == S::kStopping;
-    case S::kStopping:
-      return to == S::kRemoved;
-    case S::kRemoved:
-      return false;
-  }
-  return false;
-}
-
 }  // namespace hotc::engine

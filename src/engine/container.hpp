@@ -7,6 +7,7 @@
 // Stopping -> Removed at the end of life.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 
@@ -34,12 +35,150 @@ enum class ContainerState {
 
 const char* to_string(ContainerState state);
 
+inline constexpr std::size_t kContainerStateCount = 7;
+
+constexpr std::size_t state_index(ContainerState state) {
+  return static_cast<std::size_t>(state);
+}
+
 /// Map the internal state to the paper's three-valued availability.
 /// -1 = Not-Existing, 0 = Existing-Not-Available, 1 = Existing-Available.
-int availability_code(ContainerState state);
+constexpr int availability_code(ContainerState state) {
+  switch (state) {
+    case ContainerState::kRemoved:
+      return -1;
+    case ContainerState::kIdle:
+      return 1;
+    case ContainerState::kProvisioning:
+    case ContainerState::kBusy:
+    case ContainerState::kCleaning:
+    case ContainerState::kPaused:
+    case ContainerState::kStopping:
+      return 0;
+  }
+  return -1;
+}
+
+/// The Fig. 7 FSM as a constexpr adjacency matrix —
+/// kTransitionTable[from][to].  transition_allowed() reads this table, and
+/// the static_asserts below prove its global shape at compile time; an
+/// edit that breaks an invariant fails the build, not a 2 a.m. pager.
+inline constexpr auto kTransitionTable = [] {
+  using S = ContainerState;
+  std::array<std::array<bool, kContainerStateCount>, kContainerStateCount>
+      table{};
+  const auto allow = [&table](S from, S to) {
+    table[state_index(from)][state_index(to)] = true;
+  };
+  allow(S::kProvisioning, S::kIdle);
+  allow(S::kProvisioning, S::kBusy);
+  allow(S::kProvisioning, S::kStopping);
+  allow(S::kIdle, S::kBusy);
+  allow(S::kIdle, S::kPaused);
+  allow(S::kIdle, S::kStopping);
+  allow(S::kBusy, S::kCleaning);
+  allow(S::kBusy, S::kIdle);
+  allow(S::kBusy, S::kStopping);
+  allow(S::kCleaning, S::kIdle);
+  allow(S::kCleaning, S::kStopping);
+  allow(S::kPaused, S::kIdle);
+  allow(S::kPaused, S::kStopping);
+  allow(S::kStopping, S::kRemoved);
+  // kRemoved: no outgoing edges (proved below).
+  return table;
+}();
 
 /// Whether a transition is legal in the Fig. 7 FSM.
-bool transition_allowed(ContainerState from, ContainerState to);
+constexpr bool transition_allowed(ContainerState from, ContainerState to) {
+  return kTransitionTable[state_index(from)][state_index(to)];
+}
+
+namespace fsm_proofs {
+
+/// Transitive closure query over the table: can `from` reach `target`?
+constexpr bool reaches(ContainerState from, ContainerState target) {
+  std::array<bool, kContainerStateCount> visited{};
+  visited[state_index(from)] = true;
+  // Fixed-point: at most kContainerStateCount sweeps close the relation.
+  for (std::size_t pass = 0; pass < kContainerStateCount; ++pass) {
+    for (std::size_t s = 0; s < kContainerStateCount; ++s) {
+      if (!visited[s]) continue;
+      for (std::size_t t = 0; t < kContainerStateCount; ++t) {
+        if (kTransitionTable[s][t]) visited[t] = true;
+      }
+    }
+  }
+  return visited[state_index(target)];
+}
+
+constexpr bool no_exit_from_removed() {
+  for (std::size_t t = 0; t < kContainerStateCount; ++t) {
+    if (kTransitionTable[state_index(ContainerState::kRemoved)][t]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+constexpr bool every_state_reaches_removed() {
+  for (std::size_t s = 0; s < kContainerStateCount; ++s) {
+    const auto state = static_cast<ContainerState>(s);
+    if (state == ContainerState::kRemoved) continue;
+    if (!reaches(state, ContainerState::kRemoved)) return false;
+  }
+  return true;
+}
+
+constexpr bool every_state_reachable_from_birth() {
+  for (std::size_t s = 0; s < kContainerStateCount; ++s) {
+    const auto state = static_cast<ContainerState>(s);
+    if (state == ContainerState::kProvisioning) continue;
+    if (!reaches(ContainerState::kProvisioning, state)) return false;
+  }
+  return true;
+}
+
+constexpr bool no_rebirth_and_no_self_loops() {
+  for (std::size_t s = 0; s < kContainerStateCount; ++s) {
+    // Provisioning is the birth state: nothing transitions back into it.
+    if (kTransitionTable[s][state_index(ContainerState::kProvisioning)]) {
+      return false;
+    }
+    if (kTransitionTable[s][s]) return false;
+  }
+  return true;
+}
+
+constexpr bool availability_matches_paper() {
+  for (std::size_t s = 0; s < kContainerStateCount; ++s) {
+    const auto state = static_cast<ContainerState>(s);
+    const int code = availability_code(state);
+    if (code < -1 || code > 1) return false;
+    // Exactly kIdle is Existing-Available (1); exactly kRemoved is
+    // Not-Existing (-1); everything else is Existing-Not-Available (0).
+    if ((code == 1) != (state == ContainerState::kIdle)) return false;
+    if ((code == -1) != (state == ContainerState::kRemoved)) return false;
+  }
+  return true;
+}
+
+static_assert(no_exit_from_removed(),
+              "Fig. 7: Removed (Not-Existing) must be terminal");
+static_assert(every_state_reaches_removed(),
+              "Fig. 7: every lifecycle state must be able to wind down");
+static_assert(every_state_reachable_from_birth(),
+              "Fig. 7: dead states in the table indicate a typo'd edge");
+static_assert(no_rebirth_and_no_self_loops(),
+              "Fig. 7: provisioning happens once; self-edges are no-ops");
+static_assert(availability_matches_paper(),
+              "availability must encode {-1, 0, 1} exactly as the paper");
+static_assert(transition_allowed(ContainerState::kStopping,
+                                 ContainerState::kRemoved) &&
+                  !transition_allowed(ContainerState::kIdle,
+                                      ContainerState::kRemoved),
+              "removal must pass through Stopping");
+
+}  // namespace fsm_proofs
 
 struct Container {
   ContainerId id = 0;

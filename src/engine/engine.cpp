@@ -11,6 +11,16 @@ constexpr Bytes kOsBaseline = mib(180);
 /// Bookkeeping CPU overhead per live container — calibrated so ten live
 /// containers cost "less than 1 %" of CPU (Fig. 15(a)).
 constexpr double kIdleCpuPerContainer = 0.0008;
+
+/// Resource releases on the teardown paths are best-effort (the container
+/// is going away regardless), but an error must not be silently dropped:
+/// it means the engine's own bookkeeping disagrees with the managers.
+template <typename T>
+void warn_if_failed(const Result<T>& r, const char* what) {
+  if (!r.ok()) {
+    HOTC_WARN("engine") << what << " failed: " << r.error().to_string();
+  }
+}
 }  // namespace
 
 ContainerEngine::ContainerEngine(sim::Simulator& sim, HostProfile profile)
@@ -146,8 +156,8 @@ void ContainerEngine::launch(const spec::RunSpec& spec, LaunchCallback cb) {
       set_state(dead, ContainerState::kStopping);
       set_state(dead, ContainerState::kRemoved);
       release_memory(dead.idle_memory);
-      network_.release(dead.endpoint);
-      volumes_.destroy(dead.volume);
+      warn_if_failed(network_.release(dead.endpoint), "endpoint release");
+      warn_if_failed(volumes_.destroy(dead.volume), "volume destroy");
       containers_.erase(it);
       cb(make_error<LaunchReport>("engine.launch_failed",
                                   "injected launch failure"));
@@ -249,7 +259,7 @@ void ContainerEngine::exec_as(ContainerId id, const AppModel& app,
         return;
       }
       done.warm_app = app_name;
-      volumes_.write(done.volume, writes);
+      warn_if_failed(volumes_.write(done.volume, writes), "volume write");
       cb(report);
     });
   });
@@ -280,7 +290,8 @@ void ContainerEngine::clean(ContainerId id, DoneCallback cb) {
   sim_.after(d, [this, id, cb]() {
     auto inner = containers_.find(id);
     HOTC_ASSERT(inner != containers_.end());
-    volumes_.wipe_and_remount(inner->second.volume);
+    warn_if_failed(volumes_.wipe_and_remount(inner->second.volume),
+                   "volume wipe");
     set_state(inner->second, ContainerState::kIdle);
     cb(true);
   });
@@ -449,8 +460,8 @@ void ContainerEngine::stop_and_remove(ContainerId id, DoneCallback cb) {
     Container& done = inner->second;
     release_memory(done.idle_memory + done.busy_memory -
                    done.paused_released);
-    network_.release(done.endpoint);
-    volumes_.destroy(done.volume);
+    warn_if_failed(network_.release(done.endpoint), "endpoint release");
+    warn_if_failed(volumes_.destroy(done.volume), "volume destroy");
     set_state(done, ContainerState::kRemoved);
     containers_.erase(inner);
     cb(true);

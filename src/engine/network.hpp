@@ -29,11 +29,11 @@ class NetworkManager {
  public:
   /// Provision an endpoint.  Container mode requires a live proxy endpoint
   /// to join; pass its id (0 means "no proxy available" and fails).
-  Result<Endpoint> provision(spec::NetworkMode mode,
+  [[nodiscard]] Result<Endpoint> provision(spec::NetworkMode mode,
                              EndpointId proxy_to_join = 0);
 
   /// Release an endpoint.  Fails if other endpoints still join it.
-  Result<bool> release(EndpointId id);
+  [[nodiscard]] Result<bool> release(EndpointId id);
 
   [[nodiscard]] std::size_t endpoint_count() const { return endpoints_.size(); }
   [[nodiscard]] std::size_t endpoints_in_mode(spec::NetworkMode mode) const;

@@ -32,16 +32,16 @@ class VolumeManager {
   Volume create();
 
   /// Record application writes into a volume.
-  Result<bool> write(VolumeId id, Bytes bytes);
+  [[nodiscard]] Result<bool> write(VolumeId id, Bytes bytes);
 
   [[nodiscard]] Result<Volume> get(VolumeId id) const;
 
   /// Step 1+2 of Algorithm 2: wipe contents and remount fresh.  Returns
   /// the number of bytes that had to be deleted.
-  Result<Bytes> wipe_and_remount(VolumeId id);
+  [[nodiscard]] Result<Bytes> wipe_and_remount(VolumeId id);
 
   /// Delete the volume entirely (container stopped for good).
-  Result<bool> destroy(VolumeId id);
+  [[nodiscard]] Result<bool> destroy(VolumeId id);
 
   [[nodiscard]] std::size_t volume_count() const { return volumes_.size(); }
   [[nodiscard]] Bytes total_dirty_bytes() const;

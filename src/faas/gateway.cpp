@@ -30,7 +30,10 @@ void Gateway::submit(std::uint64_t request_id, std::size_t config_index,
     sim_.after(options_.request_timeout, [this, done, inner, request_id]() {
       if (*done) return;
       *done = true;
-      ++timeouts_;
+      {
+        const std::lock_guard<RankedMutex> lock(mu_);
+        ++timeouts_;
+      }
       inner(make_error<CompletedRequest>(
           "faas.timeout",
           "request " + std::to_string(request_id) + " exceeded deadline"));
@@ -69,7 +72,10 @@ void Gateway::submit(std::uint64_t request_id, std::size_t config_index,
           sim_.after(back, [this, rec, cb = std::move(cb)]() mutable {
             rec.t5 = rec.t4 + options_.watchdog_shell;
             rec.t6 = sim_.now();
-            ++handled_;
+            {
+              const std::lock_guard<RankedMutex> lock(mu_);
+              ++handled_;
+            }
             slots_.release();
             cb(rec);
           });

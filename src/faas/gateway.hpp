@@ -14,7 +14,9 @@
 
 #include <cstdint>
 #include <functional>
+#include <mutex>
 
+#include "core/ranked_mutex.hpp"
 #include "core/result.hpp"
 #include "faas/backend.hpp"
 #include "sim/resource.hpp"
@@ -74,8 +76,14 @@ class Gateway {
               const spec::RunSpec& spec, const engine::AppModel& app,
               Callback cb);
 
-  [[nodiscard]] std::uint64_t handled() const { return handled_; }
-  [[nodiscard]] std::uint64_t timeouts() const { return timeouts_; }
+  [[nodiscard]] std::uint64_t handled() const {
+    const std::lock_guard<RankedMutex> lock(mu_);
+    return handled_;
+  }
+  [[nodiscard]] std::uint64_t timeouts() const {
+    const std::lock_guard<RankedMutex> lock(mu_);
+    return timeouts_;
+  }
   [[nodiscard]] const GatewayOptions& options() const { return options_; }
   [[nodiscard]] std::size_t queued() const { return slots_.waiting(); }
   [[nodiscard]] std::size_t in_flight() const { return slots_.in_use(); }
@@ -85,6 +93,11 @@ class Gateway {
   Backend& backend_;
   GatewayOptions options_;
   sim::CountingResource slots_;
+  /// Guards the counters only — never held across backend or simulator
+  /// calls.  The simulator is single-threaded today; the ranked mutex pins
+  /// the gateway's place in the lock order (above pool shards and the
+  /// log sink) before multi-threaded drivers arrive.
+  mutable RankedMutex mu_{LockRank::kGateway, 0, "faas.gateway"};
   std::uint64_t handled_ = 0;
   std::uint64_t timeouts_ = 0;
 };

@@ -1,0 +1,86 @@
+#include "pool/audit.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace hotc::audit {
+
+Result<bool> PoolLedger::verify() const {
+  if (admitted != leased + removed + pooled) {
+    return make_error<bool>(
+        "pool.conservation",
+        "admitted " + std::to_string(admitted) + " != leased " +
+            std::to_string(leased) + " + removed " + std::to_string(removed) +
+            " + pooled " + std::to_string(pooled));
+  }
+  if (paused > pooled) {
+    return make_error<bool>(
+        "pool.conservation",
+        "paused " + std::to_string(paused) + " exceeds pooled " +
+            std::to_string(pooled));
+  }
+  return true;
+}
+
+PoolLedger ledger(const pool::RuntimePool& pool) {
+  PoolLedger out;
+  out.admitted = pool.admitted_count();
+  out.leased = pool.leased_count();
+  out.removed = pool.removed_count();
+  out.pooled = pool.total_available();
+  out.paused = pool.paused_count();
+  return out;
+}
+
+PoolLedger ledger(const pool::ShardedRuntimePool& pool) {
+  // Counter reads lock shard-at-a-time, so this ledger is a statistical
+  // snapshot under concurrent mutation; check_pool_conservation() takes
+  // the consistent all-shard cut instead.
+  PoolLedger out;
+  out.admitted = pool.admitted_count();
+  out.leased = pool.leased_count();
+  out.removed = pool.removed_count();
+  out.pooled = pool.total_available();
+  out.paused = pool.paused_count();
+  return out;
+}
+
+[[nodiscard]] Result<bool> check_pool_conservation(const pool::RuntimePool& pool) {
+  Result<bool> structural = pool.check_conservation();
+  if (!structural.ok()) return structural;
+  return ledger(pool).verify();
+}
+
+[[nodiscard]] Result<bool> check_pool_conservation(const pool::ShardedRuntimePool& pool) {
+  return pool.check_conservation();
+}
+
+namespace {
+
+[[noreturn]] void conservation_abort(const char* what, const Error& error) {
+  std::fprintf(stderr, "HOTC pool conservation violated (%s): %s\n", what,
+               error.to_string().c_str());
+  std::abort();
+}
+
+}  // namespace
+
+void enforce(const PoolLedger& ledger_snapshot, const char* what) {
+  const Result<bool> ok = ledger_snapshot.verify();
+  if (!ok.ok()) conservation_abort(what, ok.error());
+}
+
+void enforce_pool_conservation(const pool::RuntimePool& pool,
+                               const char* what) {
+  const Result<bool> ok = check_pool_conservation(pool);
+  if (!ok.ok()) conservation_abort(what, ok.error());
+}
+
+void enforce_pool_conservation(const pool::ShardedRuntimePool& pool,
+                               const char* what) {
+  const Result<bool> ok = check_pool_conservation(pool);
+  if (!ok.ok()) conservation_abort(what, ok.error());
+}
+
+}  // namespace hotc::audit

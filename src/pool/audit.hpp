@@ -1,0 +1,71 @@
+// Pool conservation auditing (the dynamic half of the correctness gate;
+// the static half is core/ranked_mutex.hpp and the constexpr FSM proofs in
+// engine/container.hpp).
+//
+// Every container the pool has ever seen is accounted for by the flow
+// identity
+//
+//     pooled == admitted − leased − removed        (per shard and global)
+//
+// with paused ⊆ pooled (a paused container stays pooled; the paper's
+// "pooled + leased + paused == created − removed" counts the same
+// conservation with paused split out — here paused is verified as a
+// sub-count of pooled instead, which is strictly stronger).
+//
+// check_pool_conservation() is cheap enough for tests to call at every
+// quiescent point; -DHOTC_AUDIT=ON additionally re-verifies the owning
+// shard after every mutating pool operation, turning any accounting drift
+// into an immediate abort at the operation that caused it.
+#pragma once
+
+#include <cstdint>
+
+#include "core/result.hpp"
+#include "pool/pool.hpp"
+#include "pool/sharded_pool.hpp"
+
+namespace hotc::audit {
+
+/// A snapshot of one pool's (or one shard's, or the global) flow counters.
+struct PoolLedger {
+  std::uint64_t admitted = 0;  // residencies that entered the pool
+  std::uint64_t leased = 0;    // handed to a caller via acquire()
+  std::uint64_t removed = 0;   // evicted / stopped / cleared
+  std::uint64_t pooled = 0;    // resident right now
+  std::uint64_t paused = 0;    // resident and cgroup-frozen
+
+  /// The conservation identity over this ledger alone.
+  [[nodiscard]] Result<bool> verify() const;
+
+  PoolLedger& operator+=(const PoolLedger& other) {
+    admitted += other.admitted;
+    leased += other.leased;
+    removed += other.removed;
+    pooled += other.pooled;
+    paused += other.paused;
+    return *this;
+  }
+};
+
+/// Snapshot a pool's counters into a ledger.
+[[nodiscard]] PoolLedger ledger(const pool::RuntimePool& pool);
+[[nodiscard]] PoolLedger ledger(const pool::ShardedRuntimePool& pool);
+
+/// Full conservation pass: ledger identity plus the pool's structural
+/// invariants (index coherence, paused sub-count, eviction-heap coverage).
+/// The sharded overload checks per shard, then the global sum.
+[[nodiscard]] Result<bool> check_pool_conservation(
+    const pool::RuntimePool& pool);
+[[nodiscard]] Result<bool> check_pool_conservation(
+    const pool::ShardedRuntimePool& pool);
+
+/// Abort with a diagnostic if the ledger (or pool) violates conservation.
+/// This is what HOTC_AUDIT builds run after every mutation; tests use it
+/// to prove a seeded violation is fatal.
+void enforce(const PoolLedger& ledger, const char* what);
+void enforce_pool_conservation(const pool::RuntimePool& pool,
+                               const char* what = "pool");
+void enforce_pool_conservation(const pool::ShardedRuntimePool& pool,
+                               const char* what = "sharded-pool");
+
+}  // namespace hotc::audit

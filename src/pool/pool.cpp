@@ -30,6 +30,7 @@ std::optional<PoolEntry> RuntimePool::acquire(const spec::RuntimeKey& key,
   records_.erase(rec);  // heap nodes for this residency go stale
   if (entry.paused && paused_ > 0) --paused_;
   ++stats_.hits;
+  ++leased_;
   ++entry.reuse_count;
   return entry;
 }
@@ -44,11 +45,13 @@ void RuntimePool::add_available(const PoolEntry& entry, TimePoint now) {
     remove(existing->second.entry.key, e.id);
   }
   const std::uint64_t gen = ++next_gen_;
+  if (e.paused) ++paused_;  // admitted still frozen (flag not cleared)
   records_.emplace(e.id, Record{e, gen});
   available_[e.key].push_back(e.id);
   by_created_.push(AgeNode{e.created_at, gen, e.id});
   by_returned_.push(AgeNode{e.returned_at, gen, e.id});
   ++stats_.returns;
+  ++admitted_;
   maybe_compact();
 }
 
@@ -65,6 +68,7 @@ bool RuntimePool::remove(const spec::RuntimeKey& key,
   if (dq.empty()) available_.erase(it);
   if (rec->second.entry.paused && paused_ > 0) --paused_;
   records_.erase(rec);
+  ++removed_;
   return true;
 }
 
@@ -163,11 +167,65 @@ std::vector<PoolEntry> RuntimePool::entries(
 }
 
 void RuntimePool::clear() {
+  removed_ += records_.size();  // every resident container leaves
   available_.clear();
   records_.clear();
   by_created_ = AgeHeap{};
   by_returned_ = AgeHeap{};
   paused_ = 0;
+}
+
+Result<bool> RuntimePool::check_conservation() const {
+  // Counter identity: pooled == admitted − leased − removed.
+  if (admitted_ != leased_ + removed_ + records_.size()) {
+    return make_error<bool>(
+        "pool.conservation",
+        "admitted " + std::to_string(admitted_) + " != leased " +
+            std::to_string(leased_) + " + removed " +
+            std::to_string(removed_) + " + pooled " +
+            std::to_string(records_.size()));
+  }
+  // Structural: the per-key queues and the id-keyed records are two views
+  // of the same set, and paused_ counts exactly the paused entries.
+  std::size_t queued = 0;
+  std::size_t paused_seen = 0;
+  for (const auto& [key, dq] : available_) {
+    if (dq.empty()) {
+      return make_error<bool>("pool.conservation",
+                              "empty per-key queue retained in index");
+    }
+    for (const engine::ContainerId id : dq) {
+      const auto rec = records_.find(id);
+      if (rec == records_.end() || !(rec->second.entry.key == key)) {
+        return make_error<bool>(
+            "pool.conservation",
+            "queued container " + std::to_string(id) +
+                " missing from records or keyed inconsistently");
+      }
+      if (rec->second.entry.paused) ++paused_seen;
+    }
+    queued += dq.size();
+  }
+  if (queued != records_.size()) {
+    return make_error<bool>(
+        "pool.conservation",
+        "queues hold " + std::to_string(queued) + " containers, records " +
+            std::to_string(records_.size()));
+  }
+  if (paused_seen != paused_) {
+    return make_error<bool>(
+        "pool.conservation",
+        "paused counter " + std::to_string(paused_) + " != " +
+            std::to_string(paused_seen) + " paused entries");
+  }
+  // The lazy heaps never hold fewer nodes than there are live residencies
+  // (stale nodes are pruned, live ones only replaced on compaction).
+  if (by_created_.size() < records_.size() ||
+      by_returned_.size() < records_.size()) {
+    return make_error<bool>("pool.conservation",
+                            "eviction heap lost a live residency");
+  }
+  return true;
 }
 
 }  // namespace hotc::pool

@@ -25,6 +25,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/result.hpp"
 #include "core/rng.hpp"
 #include "core/time.hpp"
 #include "engine/container.hpp"
@@ -122,6 +123,18 @@ class RuntimePool : public PoolView {
 
   [[nodiscard]] const PoolStats& stats() const { return stats_; }
 
+  // --- conservation accounting (see src/pool/audit.hpp) -----------------
+  // Lifetime flow counters: every container residency enters via
+  // add_available (admitted), and leaves via acquire (leased to a caller)
+  // or remove/clear (removed).  The conservation identity
+  //     pooled == admitted − leased − removed
+  // holds at every quiescent point; check_conservation() verifies it plus
+  // the structural invariants binding records_, available_ and paused_.
+  [[nodiscard]] std::uint64_t admitted_count() const { return admitted_; }
+  [[nodiscard]] std::uint64_t leased_count() const { return leased_; }
+  [[nodiscard]] std::uint64_t removed_count() const { return removed_; }
+  [[nodiscard]] Result<bool> check_conservation() const;
+
   void clear();
 
  private:
@@ -164,6 +177,9 @@ class RuntimePool : public PoolView {
   mutable AgeHeap by_returned_;
   std::uint64_t next_gen_ = 0;
   std::size_t paused_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t leased_ = 0;
+  std::uint64_t removed_ = 0;
   PoolStats stats_;
 };
 

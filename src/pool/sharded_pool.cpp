@@ -1,6 +1,8 @@
 #include "pool/sharded_pool.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 #include <iterator>
 #include <thread>
 
@@ -23,41 +25,61 @@ ShardedRuntimePool::ShardedRuntimePool(PoolLimits limits,
   if (shard_count == 0) shard_count = default_shard_count();
   shards_.reserve(shard_count);
   for (std::size_t i = 0; i < shard_count; ++i) {
-    shards_.push_back(std::make_unique<Shard>(limits));
+    shards_.push_back(
+        std::make_unique<Shard>(limits, static_cast<std::uint32_t>(i)));
   }
+}
+
+void ShardedRuntimePool::audit_shard(const Shard& shard) {
+#ifdef HOTC_AUDIT
+  const Result<bool> ok = shard.pool.check_conservation();
+  if (!ok.ok()) {
+    std::fprintf(stderr, "HOTC pool conservation violated: %s\n",
+                 ok.error().to_string().c_str());
+    std::abort();
+  }
+#else
+  (void)shard;
+#endif
 }
 
 std::optional<PoolEntry> ShardedRuntimePool::acquire(
     const spec::RuntimeKey& key, TimePoint now) {
   Shard& shard = shard_for(key);
-  const std::lock_guard<std::mutex> lock(shard.mu);
-  return shard.pool.acquire(key, now);
+  const std::lock_guard<RankedMutex> lock(shard.mu);
+  auto out = shard.pool.acquire(key, now);
+  audit_shard(shard);
+  return out;
 }
 
 void ShardedRuntimePool::add_available(const PoolEntry& entry,
                                        TimePoint now) {
   Shard& shard = shard_for(entry.key);
-  const std::lock_guard<std::mutex> lock(shard.mu);
+  const std::lock_guard<RankedMutex> lock(shard.mu);
   shard.pool.add_available(entry, now);
+  audit_shard(shard);
 }
 
 bool ShardedRuntimePool::remove(const spec::RuntimeKey& key,
                                 engine::ContainerId id) {
   Shard& shard = shard_for(key);
-  const std::lock_guard<std::mutex> lock(shard.mu);
-  return shard.pool.remove(key, id);
+  const std::lock_guard<RankedMutex> lock(shard.mu);
+  const bool out = shard.pool.remove(key, id);
+  audit_shard(shard);
+  return out;
 }
 
 bool ShardedRuntimePool::mark_paused(const spec::RuntimeKey& key,
                                      engine::ContainerId id) {
   Shard& shard = shard_for(key);
-  const std::lock_guard<std::mutex> lock(shard.mu);
-  return shard.pool.mark_paused(key, id);
+  const std::lock_guard<RankedMutex> lock(shard.mu);
+  const bool out = shard.pool.mark_paused(key, id);
+  audit_shard(shard);
+  return out;
 }
 
-std::vector<std::unique_lock<std::mutex>> ShardedRuntimePool::lock_all()
-    const {
-  std::vector<std::unique_lock<std::mutex>> locks;
+std::vector<RankedLock> ShardedRuntimePool::lock_all() const {
+  std::vector<RankedLock> locks;
   locks.reserve(shards_.size());
   for (const auto& shard : shards_) {
     locks.emplace_back(shard->mu);
@@ -104,14 +126,14 @@ std::optional<PoolEntry> ShardedRuntimePool::select_victim(
 std::size_t ShardedRuntimePool::num_available(
     const spec::RuntimeKey& key) const {
   Shard& shard = shard_for(key);
-  const std::lock_guard<std::mutex> lock(shard.mu);
+  const std::lock_guard<RankedMutex> lock(shard.mu);
   return shard.pool.num_available(key);
 }
 
 std::size_t ShardedRuntimePool::total_available() const {
   std::size_t total = 0;
   for (const auto& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard->mu);
+    const std::lock_guard<RankedMutex> lock(shard->mu);
     total += shard->pool.total_available();
   }
   return total;
@@ -120,7 +142,7 @@ std::size_t ShardedRuntimePool::total_available() const {
 std::size_t ShardedRuntimePool::paused_count() const {
   std::size_t total = 0;
   for (const auto& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard->mu);
+    const std::lock_guard<RankedMutex> lock(shard->mu);
     total += shard->pool.paused_count();
   }
   return total;
@@ -129,7 +151,7 @@ std::size_t ShardedRuntimePool::paused_count() const {
 PoolStats ShardedRuntimePool::stats_snapshot() const {
   PoolStats out;
   for (const auto& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard->mu);
+    const std::lock_guard<RankedMutex> lock(shard->mu);
     const PoolStats& s = shard->pool.stats();
     out.hits += s.hits;
     out.misses += s.misses;
@@ -143,7 +165,7 @@ PoolStats ShardedRuntimePool::stats_snapshot() const {
 std::vector<spec::RuntimeKey> ShardedRuntimePool::keys() const {
   std::vector<spec::RuntimeKey> out;
   for (const auto& shard : shards_) {
-    const std::lock_guard<std::mutex> lock(shard->mu);
+    const std::lock_guard<RankedMutex> lock(shard->mu);
     auto shard_keys = shard->pool.keys();
     out.insert(out.end(), std::make_move_iterator(shard_keys.begin()),
                std::make_move_iterator(shard_keys.end()));
@@ -154,7 +176,7 @@ std::vector<spec::RuntimeKey> ShardedRuntimePool::keys() const {
 std::vector<PoolEntry> ShardedRuntimePool::entries(
     const spec::RuntimeKey& key) const {
   Shard& shard = shard_for(key);
-  const std::lock_guard<std::mutex> lock(shard.mu);
+  const std::lock_guard<RankedMutex> lock(shard.mu);
   return shard.pool.entries(key);
 }
 
@@ -164,7 +186,68 @@ bool ShardedRuntimePool::at_capacity() const {
 
 void ShardedRuntimePool::clear() {
   const auto locks = lock_all();
-  for (const auto& shard : shards_) shard->pool.clear();
+  for (const auto& shard : shards_) {
+    shard->pool.clear();
+    audit_shard(*shard);
+  }
+}
+
+Result<bool> ShardedRuntimePool::check_conservation() const {
+  const auto locks = lock_all();
+  std::uint64_t admitted = 0;
+  std::uint64_t leased = 0;
+  std::uint64_t removed = 0;
+  std::size_t pooled = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const RuntimePool& p = shards_[i]->pool;
+    Result<bool> ok = p.check_conservation();
+    if (!ok.ok()) {
+      return make_error<bool>(
+          "pool.conservation",
+          "shard " + std::to_string(i) + ": " + ok.error().message);
+    }
+    admitted += p.admitted_count();
+    leased += p.leased_count();
+    removed += p.removed_count();
+    pooled += p.total_available();
+  }
+  // Per-shard identities imply the global one; re-derive it anyway so a
+  // future cross-shard migration path cannot silently break the sum.
+  if (admitted != leased + removed + pooled) {
+    return make_error<bool>(
+        "pool.conservation",
+        "global: admitted " + std::to_string(admitted) + " != leased " +
+            std::to_string(leased) + " + removed " + std::to_string(removed) +
+            " + pooled " + std::to_string(pooled));
+  }
+  return true;
+}
+
+std::uint64_t ShardedRuntimePool::admitted_count() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<RankedMutex> lock(shard->mu);
+    total += shard->pool.admitted_count();
+  }
+  return total;
+}
+
+std::uint64_t ShardedRuntimePool::leased_count() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<RankedMutex> lock(shard->mu);
+    total += shard->pool.leased_count();
+  }
+  return total;
+}
+
+std::uint64_t ShardedRuntimePool::removed_count() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<RankedMutex> lock(shard->mu);
+    total += shard->pool.removed_count();
+  }
+  return total;
 }
 
 }  // namespace hotc::pool

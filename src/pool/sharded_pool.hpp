@@ -29,6 +29,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/ranked_mutex.hpp"
 #include "core/rng.hpp"
 #include "core/time.hpp"
 #include "engine/container.hpp"
@@ -74,6 +75,16 @@ class ShardedRuntimePool : public PoolView {
 
   [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
 
+  // --- conservation accounting (see src/pool/audit.hpp) -----------------
+  /// Per-shard structural + counter invariants, then the global identity
+  /// over the summed flows.  Locks all shards (index order) for a
+  /// consistent cut.  In -DHOTC_AUDIT=ON builds every mutating operation
+  /// re-verifies its shard before returning.
+  [[nodiscard]] Result<bool> check_conservation() const;
+  [[nodiscard]] std::uint64_t admitted_count() const;
+  [[nodiscard]] std::uint64_t leased_count() const;
+  [[nodiscard]] std::uint64_t removed_count() const;
+
   /// Which shard a key stripes to (exposed for tests and benches).
   [[nodiscard]] std::size_t shard_index(const spec::RuntimeKey& key) const {
     return static_cast<std::size_t>(key.hash() % shards_.size());
@@ -82,10 +93,14 @@ class ShardedRuntimePool : public PoolView {
   void clear();
 
  private:
-  // Padded so neighbouring shard locks never share a cache line.
+  // Padded so neighbouring shard locks never share a cache line.  The
+  // shard mutexes share the kPoolShard rank band with the shard index as
+  // the intra-band sequence: lock_all()'s fixed index order is therefore
+  // machine-enforced, not a comment (see core/ranked_mutex.hpp).
   struct alignas(64) Shard {
-    explicit Shard(PoolLimits limits) : pool(limits) {}
-    mutable std::mutex mu;
+    explicit Shard(PoolLimits limits, std::uint32_t index)
+        : mu(LockRank::kPoolShard, index, "pool.shard"), pool(limits) {}
+    mutable RankedMutex mu;
     RuntimePool pool;
   };
 
@@ -93,8 +108,12 @@ class ShardedRuntimePool : public PoolView {
     return *shards_[shard_index(key)];
   }
 
+  /// HOTC_AUDIT builds: abort if the shard's invariants no longer hold.
+  /// Caller must hold the shard lock.  No-op (and inlined away) otherwise.
+  static void audit_shard(const Shard& shard);
+
   /// Lock every shard in index order (deadlock-free total order).
-  [[nodiscard]] std::vector<std::unique_lock<std::mutex>> lock_all() const;
+  [[nodiscard]] std::vector<RankedLock> lock_all() const;
 
   PoolLimits limits_;
   std::vector<std::unique_ptr<Shard>> shards_;

@@ -18,7 +18,7 @@ ThreadPool::~ThreadPool() { shutdown(); }
 
 bool ThreadPool::post(std::function<void()> task) {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::lock_guard<RankedMutex> lock(mutex_);
     if (stopping_) return false;
     tasks_.push_back(std::move(task));
   }
@@ -28,7 +28,7 @@ bool ThreadPool::post(std::function<void()> task) {
 
 void ThreadPool::shutdown() {
   {
-    const std::lock_guard<std::mutex> lock(mutex_);
+    const std::lock_guard<RankedMutex> lock(mutex_);
     if (stopping_) {
       // Second call: workers may already be joined.
     }
@@ -41,7 +41,7 @@ void ThreadPool::shutdown() {
 }
 
 std::size_t ThreadPool::pending() const {
-  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::lock_guard<RankedMutex> lock(mutex_);
   return tasks_.size();
 }
 
@@ -49,7 +49,7 @@ void ThreadPool::worker_loop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
+      RankedLock lock(mutex_);
       cv_.wait(lock, [this]() { return stopping_ || !tasks_.empty(); });
       if (tasks_.empty()) {
         if (stopping_) return;

@@ -13,6 +13,8 @@
 #include <thread>
 #include <vector>
 
+#include "core/ranked_mutex.hpp"
+
 namespace hotc::runtime {
 
 class ThreadPool {
@@ -35,8 +37,12 @@ class ThreadPool {
  private:
   void worker_loop();
 
-  mutable std::mutex mutex_;
-  std::condition_variable cv_;
+  // Ranked above the pool shards: a worker may acquire shard locks while
+  // running a task, never the other way around.  condition_variable_any
+  // because RankedMutex is not std::mutex.
+  mutable RankedMutex mutex_{LockRank::kThreadPoolQueue, 0,
+                             "runtime.thread_pool"};
+  std::condition_variable_any cv_;
   std::deque<std::function<void()>> tasks_;
   std::vector<std::thread> workers_;
   bool stopping_ = false;

@@ -10,7 +10,7 @@
 namespace hotc::scenario {
 namespace {
 
-Result<engine::HostProfile> host_from(const Json& j) {
+[[nodiscard]] Result<engine::HostProfile> host_from(const Json& j) {
   const std::string name = j.string_or("server");
   if (name == "server") return engine::HostProfile::server();
   if (name == "edge_pi") return engine::HostProfile::edge_pi();
@@ -19,7 +19,7 @@ Result<engine::HostProfile> host_from(const Json& j) {
                                          "unknown host profile: " + name);
 }
 
-Result<faas::PolicyKind> policy_from(const std::string& name) {
+[[nodiscard]] Result<faas::PolicyKind> policy_from(const std::string& name) {
   if (name == "cold-always") return faas::PolicyKind::kColdAlways;
   if (name == "keep-alive") return faas::PolicyKind::kKeepAlive;
   if (name == "hotc") return faas::PolicyKind::kHotC;
@@ -28,7 +28,7 @@ Result<faas::PolicyKind> policy_from(const std::string& name) {
                                       "unknown policy: " + name);
 }
 
-Result<workload::ArrivalList> workload_from(const Json& w, Rng& rng,
+[[nodiscard]] Result<workload::ArrivalList> workload_from(const Json& w, Rng& rng,
                                             std::size_t configs) {
   const std::string pattern = w["pattern"].string_or("");
   if (pattern.empty()) {
@@ -99,7 +99,7 @@ Result<workload::ArrivalList> workload_from(const Json& w, Rng& rng,
                                            "unknown pattern: " + pattern);
 }
 
-Result<workload::ConfigMix> mix_from(const Json& m) {
+[[nodiscard]] Result<workload::ConfigMix> mix_from(const Json& m) {
   const std::string kind = m["kind"].string_or("qr");
   if (kind == "qr") {
     return workload::ConfigMix::qr_web_service(
@@ -141,7 +141,7 @@ Result<workload::ConfigMix> mix_from(const Json& m) {
                                          "unknown mix kind: " + kind);
 }
 
-Result<bool> apply_hotc_options(const Json& h, ControllerOptions& opt) {
+[[nodiscard]] Result<bool> apply_hotc_options(const Json& h, ControllerOptions& opt) {
   if (h["max_live"].is_number()) {
     opt.limits.max_live =
         static_cast<std::size_t>(h["max_live"].as_number());
@@ -187,7 +187,7 @@ Result<bool> apply_hotc_options(const Json& h, ControllerOptions& opt) {
 
 }  // namespace
 
-Result<Scenario> parse_scenario(const Json& doc) {
+[[nodiscard]] Result<Scenario> parse_scenario(const Json& doc) {
   if (!doc.is_object()) {
     return make_error<Scenario>("scenario.not_object",
                                 "scenario must be a JSON object");
@@ -237,7 +237,7 @@ Result<Scenario> parse_scenario(const Json& doc) {
   return out;
 }
 
-Result<Scenario> parse_scenario_text(const std::string& text) {
+[[nodiscard]] Result<Scenario> parse_scenario_text(const std::string& text) {
   auto doc = Json::parse(text);
   if (!doc.ok()) return Result<Scenario>(doc.error());
   return parse_scenario(doc.value());

@@ -48,8 +48,8 @@ struct Scenario {
 };
 
 /// Parse and validate a scenario document.
-Result<Scenario> parse_scenario(const Json& doc);
-Result<Scenario> parse_scenario_text(const std::string& text);
+[[nodiscard]] Result<Scenario> parse_scenario(const Json& doc);
+[[nodiscard]] Result<Scenario> parse_scenario_text(const std::string& text);
 
 /// One policy's results.
 struct PolicyResult {

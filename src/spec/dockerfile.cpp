@@ -25,7 +25,7 @@ std::string trim(std::string_view s) {
 
 }  // namespace
 
-Result<InstructionKind> parse_instruction_kind(std::string_view word) {
+[[nodiscard]] Result<InstructionKind> parse_instruction_kind(std::string_view word) {
   const std::string w = to_upper(word);
   if (w == "FROM") return InstructionKind::kFrom;
   if (w == "RUN") return InstructionKind::kRun;
@@ -73,7 +73,7 @@ const char* to_string(InstructionKind kind) {
   return "?";
 }
 
-Result<ImageRef> parse_image_ref(std::string_view text) {
+[[nodiscard]] Result<ImageRef> parse_image_ref(std::string_view text) {
   const std::string s = trim(text);
   if (s.empty()) {
     return make_error<ImageRef>("image.empty", "empty image reference");

@@ -38,7 +38,7 @@ enum class InstructionKind {
   kMaintainer,
 };
 
-Result<InstructionKind> parse_instruction_kind(std::string_view word);
+[[nodiscard]] Result<InstructionKind> parse_instruction_kind(std::string_view word);
 const char* to_string(InstructionKind kind);
 
 struct Instruction {
@@ -56,7 +56,7 @@ struct ImageRef {
   bool operator==(const ImageRef&) const = default;
 };
 
-Result<ImageRef> parse_image_ref(std::string_view text);
+[[nodiscard]] Result<ImageRef> parse_image_ref(std::string_view text);
 
 /// Base-image categories used in Fig. 2(b).
 enum class BaseImageCategory {
@@ -75,7 +75,7 @@ class Dockerfile {
   /// continuations (trailing backslash) and case-insensitive keywords.
   /// Multi-stage files keep every FROM; base_image() reports the last one
   /// (the stage that ships).
-  static Result<Dockerfile> parse(std::string_view text);
+  [[nodiscard]] static Result<Dockerfile> parse(std::string_view text);
 
   [[nodiscard]] const std::vector<Instruction>& instructions() const {
     return instructions_;

@@ -33,7 +33,7 @@ constexpr const char* to_string(NetworkMode mode) {
   return "?";
 }
 
-Result<NetworkMode> parse_network_mode(std::string_view text);
+[[nodiscard]] Result<NetworkMode> parse_network_mode(std::string_view text);
 
 /// True for modes that span hosts (overlay, routing).
 constexpr bool is_multi_host(NetworkMode mode) {

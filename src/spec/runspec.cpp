@@ -50,7 +50,7 @@ const char* to_string(NamespaceMode mode) {
   return "?";
 }
 
-Result<NamespaceMode> parse_namespace_mode(std::string_view text) {
+[[nodiscard]] Result<NamespaceMode> parse_namespace_mode(std::string_view text) {
   if (text == "private" || text.empty()) return NamespaceMode::kPrivate;
   if (text == "host") return NamespaceMode::kHost;
   if (text == "shared" || text.rfind("container:", 0) == 0) {
@@ -61,7 +61,7 @@ Result<NamespaceMode> parse_namespace_mode(std::string_view text) {
                                        std::string(text));
 }
 
-Result<NetworkMode> parse_network_mode(std::string_view text) {
+[[nodiscard]] Result<NetworkMode> parse_network_mode(std::string_view text) {
   if (text == "none") return NetworkMode::kNone;
   if (text == "bridge" || text == "default" || text == "nat") {
     return NetworkMode::kBridge;
@@ -76,7 +76,7 @@ Result<NetworkMode> parse_network_mode(std::string_view text) {
                                  "unknown network mode: " + std::string(text));
 }
 
-Result<Bytes> parse_memory_size(std::string_view text) {
+[[nodiscard]] Result<Bytes> parse_memory_size(std::string_view text) {
   if (text.empty()) {
     return make_error<Bytes>("runspec.bad_memory", "empty memory size");
   }
@@ -115,7 +115,7 @@ Result<Bytes> parse_memory_size(std::string_view text) {
   }
 }
 
-Result<RunSpec> parse_run_command(std::string_view command_line) {
+[[nodiscard]] Result<RunSpec> parse_run_command(std::string_view command_line) {
   auto tokens = tokenize(command_line);
   std::size_t i = 0;
   // Optional "docker" and "run" prefixes.

@@ -23,7 +23,7 @@ namespace hotc::spec {
 enum class NamespaceMode { kPrivate, kHost, kShared };
 
 const char* to_string(NamespaceMode mode);
-Result<NamespaceMode> parse_namespace_mode(std::string_view text);
+[[nodiscard]] Result<NamespaceMode> parse_namespace_mode(std::string_view text);
 
 struct RunSpec {
   ImageRef image;
@@ -48,13 +48,13 @@ struct RunSpec {
 /// The leading "docker" and/or "run" words are optional.  Unknown flags are
 /// an error (HotC must understand the whole configuration to build a
 /// faithful reuse key).
-Result<RunSpec> parse_run_command(std::string_view command_line);
+[[nodiscard]] Result<RunSpec> parse_run_command(std::string_view command_line);
 
 /// Derive a RunSpec from a parsed Dockerfile (configuration-file input
 /// path): base image, ENV, VOLUMEs, CMD.
 RunSpec spec_from_dockerfile(const Dockerfile& dockerfile);
 
 /// Parse a memory size like "512m", "2g", "300k", plain bytes otherwise.
-Result<Bytes> parse_memory_size(std::string_view text);
+[[nodiscard]] Result<Bytes> parse_memory_size(std::string_view text);
 
 }  // namespace hotc::spec

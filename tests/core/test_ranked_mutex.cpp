@@ -1,0 +1,134 @@
+// The lock-rank auditor must (a) stay out of the way of rank-respecting
+// code, and (b) abort deterministically on the first inversion.  The
+// death tests use AuditedRankedMutex so they prove the auditor fires in
+// every build flavour, including release where RankedMutex itself is the
+// zero-cost alias.
+#include "core/ranked_mutex.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hotc {
+namespace {
+
+using Audited = AuditedRankedMutex;
+
+TEST(RankedMutex, DescendingThroughBandsSucceeds) {
+  Audited router(LockRank::kClusterRouter, 0, "router");
+  Audited gateway(LockRank::kGateway, 0, "gateway");
+  Audited shard(LockRank::kPoolShard, 0, "shard");
+  Audited log(LockRank::kLogSink, 0, "log");
+  const std::lock_guard<Audited> l1(router);
+  const std::lock_guard<Audited> l2(gateway);
+  const std::lock_guard<Audited> l3(shard);
+  const std::lock_guard<Audited> l4(log);
+}
+
+TEST(RankedMutex, SameBandIncreasingSequenceSucceeds) {
+  // The sharded pool's lock_all(): same band, ascending shard index.
+  std::vector<std::unique_ptr<Audited>> shards;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    shards.push_back(
+        std::make_unique<Audited>(LockRank::kPoolShard, i, "shard"));
+  }
+  std::vector<std::unique_lock<Audited>> locks;
+  for (auto& shard : shards) locks.emplace_back(*shard);
+  // Unlock happens front-to-back (non-LIFO), which the tracker permits.
+  locks.clear();
+  // The full round trip is repeatable.
+  for (auto& shard : shards) locks.emplace_back(*shard);
+}
+
+TEST(RankedMutex, ReacquireAfterReleaseSucceeds) {
+  Audited shard(LockRank::kPoolShard, 3, "shard");
+  Audited gateway(LockRank::kGateway, 0, "gateway");
+  {
+    const std::lock_guard<Audited> lock(shard);
+  }
+  // Holding nothing: the lower-ordered gateway is fine now.
+  const std::lock_guard<Audited> lock(gateway);
+}
+
+TEST(RankedMutex, TryLockTracksLikeLock) {
+  Audited gateway(LockRank::kGateway, 0, "gateway");
+  Audited shard(LockRank::kPoolShard, 0, "shard");
+  ASSERT_TRUE(gateway.try_lock());
+  ASSERT_TRUE(shard.try_lock());
+  shard.unlock();
+  gateway.unlock();
+}
+
+TEST(RankedMutex, ThreadsHaveIndependentHeldStacks) {
+  Audited shard(LockRank::kPoolShard, 5, "shard");
+  Audited gateway(LockRank::kGateway, 0, "gateway");
+  const std::lock_guard<Audited> held_here(shard);
+  // Another thread holds nothing, so the lower-ordered gateway lock is
+  // legal there even while this thread holds a shard.
+  std::thread other([&]() { const std::lock_guard<Audited> lock(gateway); });
+  other.join();
+}
+
+TEST(RankedMutex, ReleaseAliasAcceptsAnyOrder) {
+  // The zero-cost flavour does no tracking: inverted order is the caller's
+  // problem (and the audit build's job to catch before release ships).
+  BasicRankedMutex<false> shard(LockRank::kPoolShard, 0, "shard");
+  BasicRankedMutex<false> gateway(LockRank::kGateway, 0, "gateway");
+  shard.lock();
+  gateway.lock();
+  shard.unlock();
+  gateway.unlock();
+}
+
+TEST(RankedMutex, LibraryMutexMatchesBuildFlavour) {
+  // Compiles and locks regardless of which alias this build selected.
+  RankedMutex mu(LockRank::kLogSink, 0, "probe");
+  RankedLock lock(mu);
+  EXPECT_TRUE(lock.owns_lock());
+}
+
+using RankedMutexDeathTest = ::testing::Test;
+
+TEST(RankedMutexDeathTest, CrossBandInversionAborts) {
+  Audited gateway(LockRank::kGateway, 0, "gateway");
+  Audited shard(LockRank::kPoolShard, 0, "shard");
+  EXPECT_DEATH(
+      {
+        const std::lock_guard<Audited> inner(shard);
+        const std::lock_guard<Audited> outer(gateway);  // inversion
+      },
+      "lock rank violation");
+}
+
+TEST(RankedMutexDeathTest, SameBandSequenceInversionAborts) {
+  // Exactly the bug lock_all() prevents: shard 2 before shard 1.
+  Audited shard1(LockRank::kPoolShard, 1, "shard");
+  Audited shard2(LockRank::kPoolShard, 2, "shard");
+  EXPECT_DEATH(
+      {
+        const std::lock_guard<Audited> later(shard2);
+        const std::lock_guard<Audited> earlier(shard1);  // inversion
+      },
+      "lock rank violation");
+}
+
+TEST(RankedMutexDeathTest, SelfRelockAborts) {
+  Audited shard(LockRank::kPoolShard, 0, "shard");
+  EXPECT_DEATH(
+      {
+        shard.lock();
+        shard.lock();  // self-deadlock, caught as equal-order acquisition
+      },
+      "lock rank violation");
+}
+
+TEST(RankedMutexDeathTest, ReleasingUnheldAborts) {
+  Audited shard(LockRank::kPoolShard, 0, "shard");
+  EXPECT_DEATH(shard.unlock(), "does not hold");
+}
+
+}  // namespace
+}  // namespace hotc

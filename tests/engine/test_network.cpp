@@ -59,7 +59,7 @@ TEST(NetworkManager, OverlayRegistrationCounts) {
   ASSERT_TRUE(a.ok());
   ASSERT_TRUE(b.ok());
   EXPECT_EQ(net.overlay_registrations(), 2u);
-  net.release(a.value().id);
+  ASSERT_TRUE(net.release(a.value().id).ok());
   EXPECT_EQ(net.overlay_registrations(), 1u);
 }
 
@@ -70,9 +70,9 @@ TEST(NetworkManager, ReleaseUnknownFails) {
 
 TEST(NetworkManager, EndpointsInMode) {
   NetworkManager net;
-  net.provision(spec::NetworkMode::kBridge);
-  net.provision(spec::NetworkMode::kBridge);
-  net.provision(spec::NetworkMode::kHost);
+  ASSERT_TRUE(net.provision(spec::NetworkMode::kBridge).ok());
+  ASSERT_TRUE(net.provision(spec::NetworkMode::kBridge).ok());
+  ASSERT_TRUE(net.provision(spec::NetworkMode::kHost).ok());
   EXPECT_EQ(net.endpoints_in_mode(spec::NetworkMode::kBridge), 2u);
   EXPECT_EQ(net.endpoints_in_mode(spec::NetworkMode::kHost), 1u);
   EXPECT_EQ(net.endpoints_in_mode(spec::NetworkMode::kOverlay), 0u);

@@ -26,7 +26,7 @@ TEST(VolumeManager, WriteAccumulatesDirtyBytes) {
 TEST(VolumeManager, WipeAndRemountResetsAndBumpsGeneration) {
   VolumeManager vm;
   const auto v = vm.create();
-  vm.write(v.id, mib(2));
+  ASSERT_TRUE(vm.write(v.id, mib(2)).ok());
   auto wiped = vm.wipe_and_remount(v.id);
   ASSERT_TRUE(wiped.ok());
   EXPECT_EQ(wiped.value(), mib(2));

@@ -1,0 +1,150 @@
+// Conservation auditing: the flow identity pooled == admitted − leased −
+// removed must hold at every quiescent point of both pool flavours, and a
+// seeded violation must be fatal, proving the auditor is not a no-op.
+#include "pool/audit.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "pool/pool.hpp"
+#include "pool/sharded_pool.hpp"
+
+namespace hotc::pool {
+namespace {
+
+spec::RuntimeKey key_for(const std::string& image) {
+  spec::RunSpec s;
+  s.image = spec::ImageRef{image, "latest"};
+  return spec::RuntimeKey::from_spec(s);
+}
+
+PoolEntry entry(engine::ContainerId id, const spec::RuntimeKey& key,
+                TimePoint created) {
+  PoolEntry e;
+  e.id = id;
+  e.key = key;
+  e.created_at = created;
+  return e;
+}
+
+TEST(PoolConservation, FreshPoolBalances) {
+  RuntimePool pool;
+  EXPECT_TRUE(audit::check_pool_conservation(pool).ok());
+  const audit::PoolLedger l = audit::ledger(pool);
+  EXPECT_EQ(l.admitted, 0u);
+  EXPECT_EQ(l.pooled, 0u);
+}
+
+TEST(PoolConservation, HoldsAcrossScriptedWorkload) {
+  RuntimePool pool;
+  const auto python = key_for("python");
+  const auto node = key_for("node");
+
+  pool.add_available(entry(1, python, seconds(0)), seconds(1));
+  pool.add_available(entry(2, python, seconds(0)), seconds(1));
+  pool.add_available(entry(3, node, seconds(0)), seconds(2));
+  EXPECT_TRUE(audit::check_pool_conservation(pool).ok());
+
+  ASSERT_TRUE(pool.acquire(python, seconds(3)).has_value());  // lease
+  ASSERT_TRUE(pool.mark_paused(node, 3));
+  ASSERT_TRUE(pool.remove(python, 2));  // controller stop
+  EXPECT_TRUE(audit::check_pool_conservation(pool).ok());
+
+  const audit::PoolLedger l = audit::ledger(pool);
+  EXPECT_EQ(l.admitted, 3u);
+  EXPECT_EQ(l.leased, 1u);
+  EXPECT_EQ(l.removed, 1u);
+  EXPECT_EQ(l.pooled, 1u);
+  EXPECT_EQ(l.paused, 1u);
+  EXPECT_TRUE(l.verify().ok());
+
+  // Re-admission of a leased container is a second residency.
+  pool.add_available(entry(1, python, seconds(0)), seconds(4));
+  pool.clear();
+  EXPECT_TRUE(audit::check_pool_conservation(pool).ok());
+  const audit::PoolLedger after = audit::ledger(pool);
+  EXPECT_EQ(after.pooled, 0u);
+  EXPECT_EQ(after.admitted, after.leased + after.removed);
+}
+
+TEST(PoolConservation, DoubleAddSupersedesWithoutLeaking) {
+  RuntimePool pool;
+  const auto python = key_for("python");
+  pool.add_available(entry(9, python, seconds(0)), seconds(1));
+  pool.add_available(entry(9, python, seconds(0)), seconds(2));  // supersede
+  EXPECT_TRUE(audit::check_pool_conservation(pool).ok());
+  const audit::PoolLedger l = audit::ledger(pool);
+  EXPECT_EQ(l.pooled, 1u);
+  EXPECT_EQ(l.admitted, 2u);
+  EXPECT_EQ(l.removed, 1u);  // the superseded residency counts as removed
+}
+
+TEST(PoolConservation, ShardedGlobalAndPerShardBalance) {
+  ShardedRuntimePool pool({}, 4);
+  for (engine::ContainerId id = 1; id <= 64; ++id) {
+    const auto key = key_for("img-" + std::to_string(id % 7));
+    pool.add_available(entry(id, key, seconds(0)), seconds(1));
+  }
+  for (int i = 0; i < 5; ++i) {
+    std::ignore = pool.acquire(key_for("img-3"), seconds(2));
+  }
+  ASSERT_TRUE(pool.remove(key_for("img-1"), 8));
+  EXPECT_TRUE(pool.check_conservation().ok());
+  EXPECT_TRUE(audit::check_pool_conservation(pool).ok());
+  const audit::PoolLedger l = audit::ledger(pool);
+  EXPECT_EQ(l.admitted, 64u);
+  EXPECT_EQ(l.admitted, l.leased + l.removed + l.pooled);
+}
+
+TEST(PoolConservation, HoldsUnderConcurrentMutation) {
+  ShardedRuntimePool pool({}, 4);
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 500;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool, t]() {
+      const auto key = key_for("img-" + std::to_string(t % 3));
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const auto id = static_cast<engine::ContainerId>(t * kOpsPerThread +
+                                                         i + 1);
+        pool.add_available(entry(id, key, seconds(0)), seconds(i));
+        if (i % 3 == 0) std::ignore = pool.acquire(key, seconds(i));
+        if (i % 7 == 0) std::ignore = pool.remove(key, id);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_TRUE(pool.check_conservation().ok());
+  const audit::PoolLedger l = audit::ledger(pool);
+  EXPECT_EQ(l.admitted, static_cast<std::uint64_t>(kThreads) * kOpsPerThread);
+  EXPECT_EQ(l.admitted, l.leased + l.removed + l.pooled);
+}
+
+using PoolConservationDeathTest = ::testing::Test;
+
+TEST(PoolConservationDeathTest, SeededLeakAborts) {
+  // A ledger claiming one more pooled container than ever entered — the
+  // double-visibility bug class pool-reuse systems must never ship.
+  audit::PoolLedger bad;
+  bad.admitted = 10;
+  bad.leased = 4;
+  bad.removed = 3;
+  bad.pooled = 4;  // should be 3
+  ASSERT_FALSE(bad.verify().ok());
+  EXPECT_DEATH(audit::enforce(bad, "seeded-leak"), "conservation violated");
+}
+
+TEST(PoolConservationDeathTest, SeededPausedOverflowAborts) {
+  audit::PoolLedger bad;
+  bad.admitted = 2;
+  bad.pooled = 2;
+  bad.paused = 3;  // paused must be a sub-count of pooled
+  EXPECT_DEATH(audit::enforce(bad, "seeded-paused"), "conservation violated");
+}
+
+}  // namespace
+}  // namespace hotc::pool

@@ -1,0 +1,94 @@
+// Property check: the constexpr transition table agrees pair-by-pair with
+// an independently written edge list (the Fig. 7 FSM as prose), and the
+// availability encoding round-trips the paper's three-valued states.
+// transition_allowed() being usable inside static_assert is itself part of
+// the contract — the proofs below evaluate at compile time.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <set>
+#include <utility>
+
+#include "engine/container.hpp"
+
+namespace hotc::engine {
+namespace {
+
+using S = ContainerState;
+
+constexpr std::array<S, kContainerStateCount> kAllStates = {
+    S::kProvisioning, S::kIdle,     S::kBusy,   S::kCleaning,
+    S::kPaused,       S::kStopping, S::kRemoved};
+
+// The legal edges, written out independently of the table in the header
+// (transcribed from the original switch-based implementation, which the
+// seed's engine tests pinned down).
+const std::set<std::pair<S, S>>& golden_edges() {
+  static const std::set<std::pair<S, S>> edges = {
+      {S::kProvisioning, S::kIdle},  {S::kProvisioning, S::kBusy},
+      {S::kProvisioning, S::kStopping},
+      {S::kIdle, S::kBusy},          {S::kIdle, S::kPaused},
+      {S::kIdle, S::kStopping},
+      {S::kBusy, S::kCleaning},      {S::kBusy, S::kIdle},
+      {S::kBusy, S::kStopping},
+      {S::kCleaning, S::kIdle},      {S::kCleaning, S::kStopping},
+      {S::kPaused, S::kIdle},        {S::kPaused, S::kStopping},
+      {S::kStopping, S::kRemoved},
+  };
+  return edges;
+}
+
+TEST(FsmTable, EveryPairAgreesWithGoldenEdgeList) {
+  for (const S from : kAllStates) {
+    for (const S to : kAllStates) {
+      const bool expected = golden_edges().count({from, to}) > 0;
+      EXPECT_EQ(transition_allowed(from, to), expected)
+          << to_string(from) << " -> " << to_string(to);
+    }
+  }
+}
+
+TEST(FsmTable, AvailabilityRoundTripsPaperEncoding) {
+  // Paper Fig. 7: Not-Existing (-1), Existing-Not-Available (0),
+  // Existing-Available (1).  The partition must be exact in both
+  // directions: each code maps back to exactly the states that carry it.
+  std::set<S> not_existing;
+  std::set<S> not_available;
+  std::set<S> available;
+  for (const S s : kAllStates) {
+    const int code = availability_code(s);
+    ASSERT_GE(code, -1);
+    ASSERT_LE(code, 1);
+    if (code == -1) not_existing.insert(s);
+    if (code == 0) not_available.insert(s);
+    if (code == 1) available.insert(s);
+  }
+  EXPECT_EQ(not_existing, std::set<S>({S::kRemoved}));
+  EXPECT_EQ(available, std::set<S>({S::kIdle}));
+  EXPECT_EQ(not_available,
+            std::set<S>({S::kProvisioning, S::kBusy, S::kCleaning,
+                         S::kPaused, S::kStopping}));
+  EXPECT_EQ(not_existing.size() + not_available.size() + available.size(),
+            kAllStates.size());
+}
+
+TEST(FsmTable, TransitionsPreserveAvailabilityInvariants) {
+  for (const S from : kAllStates) {
+    for (const S to : kAllStates) {
+      if (!transition_allowed(from, to)) continue;
+      // No edge leaves Not-Existing, and no edge re-enters Provisioning.
+      EXPECT_NE(availability_code(from), -1);
+      EXPECT_NE(to, S::kProvisioning);
+    }
+  }
+}
+
+// Compile-time usability: the acceptance bar for the constexpr rewrite.
+static_assert(transition_allowed(S::kIdle, S::kBusy));
+static_assert(!transition_allowed(S::kRemoved, S::kProvisioning));
+static_assert(availability_code(S::kIdle) == 1);
+static_assert(availability_code(S::kRemoved) == -1);
+static_assert(availability_code(S::kPaused) == 0);
+
+}  // namespace
+}  // namespace hotc::engine

@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# The one-command correctness gate: lint, the default build + full test
+# suite, the ASan/UBSan and TSan matrices with HOTC_AUDIT=ON (lock-rank
+# auditing + pool conservation checks compiled in), and clang-tidy over
+# src/core + src/pool when a binary is available.
+#
+# Usage: tools/check.sh          (from anywhere; or `cmake --build build
+#        --target check` after configuring)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+step "lint: self-test"
+python3 "$ROOT/tools/hotc_lint.py" --self-test
+
+step "lint: src/"
+python3 "$ROOT/tools/hotc_lint.py" --root "$ROOT/src"
+
+step "build + test: default (tier-1)"
+cmake -B "$ROOT/build" -S "$ROOT" >/dev/null
+cmake --build "$ROOT/build" -j "$JOBS"
+ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS"
+
+step "build + test: ASan/UBSan + HOTC_AUDIT"
+cmake -B "$ROOT/build-asan" -S "$ROOT" \
+  -DHOTC_SANITIZE=address,undefined -DHOTC_AUDIT=ON >/dev/null
+cmake --build "$ROOT/build-asan" -j "$JOBS"
+ctest --test-dir "$ROOT/build-asan" --output-on-failure -j "$JOBS"
+
+step "build + test: TSan + HOTC_AUDIT"
+cmake -B "$ROOT/build-tsan" -S "$ROOT" \
+  -DHOTC_SANITIZE=thread -DHOTC_AUDIT=ON >/dev/null
+cmake --build "$ROOT/build-tsan" -j "$JOBS"
+ctest --test-dir "$ROOT/build-tsan" -L tsan --output-on-failure -j "$JOBS"
+ctest --test-dir "$ROOT/build-tsan" --output-on-failure -j "$JOBS"
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  step "clang-tidy: src/core + src/pool"
+  # Needs a compile database; the default build dir provides one.
+  cmake -B "$ROOT/build" -S "$ROOT" \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  clang-tidy -p "$ROOT/build" "$ROOT"/src/core/*.cpp "$ROOT"/src/pool/*.cpp
+else
+  step "clang-tidy: not installed, skipping (config: .clang-tidy)"
+fi
+
+step "check: all gates passed"
