@@ -5,22 +5,154 @@
 // (b) resource timeline of a heavy containerized application (Cassandra):
 //     application execution dwarfs the container itself, and the OS
 //     reclaims memory quickly once the workload stops.
+// (c) cost of our own observability layer: pool acquire/release micro-ops
+//     with the tracer disabled vs enabled (span into the flight-recorder
+//     ring + stage histogram).  The paper bounds HotC's middleware
+//     overhead; this bounds the reproduction's instrumentation the same
+//     way.  Gate: <= 5 % on the acquire/release pair.
+// (d) one small HotC platform run with a registry + tracer attached,
+//     dumped in all three export formats (Prometheus text, JSONL spans,
+//     chrome://tracing JSON) from the same registry/recorder.
+//
+// Machine-readable results land in BENCH_overhead.json at the repo root
+// (HOTC_BENCH_DIR overrides); HOTC_SMOKE=1 shrinks iteration counts.
+#include <algorithm>
+#include <chrono>
 #include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
 
 #include "common.hpp"
+#include "core/json.hpp"
+#include "core/rng.hpp"
 #include "engine/engine.hpp"
 #include "engine/monitor.hpp"
+#include "hotc/telemetry.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "pool/sharded_pool.hpp"
+#include "spec/runtime_key.hpp"
 
 using namespace hotc;
 
+namespace {
+
+// --- (c) tracing overhead ---------------------------------------------------
+
+constexpr std::size_t kTraceKeys = 64;
+
+std::vector<spec::RuntimeKey> trace_keys() {
+  std::vector<spec::RuntimeKey> keys;
+  keys.reserve(kTraceKeys);
+  for (std::size_t i = 0; i < kTraceKeys; ++i) {
+    spec::RunSpec s;
+    s.image = spec::ImageRef{"python", "3.8"};
+    s.network = spec::NetworkMode::kBridge;
+    s.env["IDX"] = std::to_string(i);
+    keys.push_back(spec::RuntimeKey::from_spec(s));
+  }
+  return keys;
+}
+
+/// One acquire + add_available pair per iteration, plus exactly the span
+/// the controller emits for a pool lookup.  Returns ns per pair.  The
+/// tracer's enable switch decides whether the span call is one relaxed
+/// load (disabled) or a full ring publish + histogram observe (enabled).
+double time_pairs_ns(pool::ShardedRuntimePool& pool, obs::Tracer& tracer,
+                     const std::vector<spec::RuntimeKey>& keys, int pairs) {
+  Rng rng(7);
+  std::int64_t tick = 1'000'000;
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < pairs; ++i) {
+    const auto& key = keys[rng.index(keys.size())];
+    const TimePoint now = seconds(tick++);
+    auto got = pool.acquire(key, now);
+    tracer.span(static_cast<std::uint64_t>(i) + 1, obs::Stage::kPoolLookup,
+                now, kZeroDuration, key.hash(),
+                static_cast<std::uint16_t>(pool.shard_index(key)),
+                got.has_value() ? obs::kSpanHit : std::uint8_t{0});
+    if (got.has_value()) {
+      pool.add_available(*got, now);
+    } else {
+      pool::PoolEntry fresh;
+      fresh.id = 1'000'000ull + static_cast<engine::ContainerId>(i);
+      fresh.key = key;
+      fresh.created_at = now;
+      pool.add_available(fresh, now);
+    }
+  }
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::nano>(end - start).count() /
+         static_cast<double>(pairs);
+}
+
+struct TracingOverhead {
+  double disabled_ns = 0.0;
+  double enabled_ns = 0.0;
+  std::uint64_t spans = 0;
+  std::uint64_t dropped = 0;
+
+  [[nodiscard]] double overhead_pct() const {
+    return disabled_ns > 0.0
+               ? (enabled_ns - disabled_ns) / disabled_ns * 100.0
+               : 0.0;
+  }
+};
+
+TracingOverhead measure_tracing_overhead(int pairs, int reps) {
+  obs::Registry registry;
+  obs::Tracer tracer(4096, &registry);
+  pool::ShardedRuntimePool pool(pool::PoolLimits{}, 16);
+  pool.attach_metrics(registry);
+
+  const auto keys = trace_keys();
+  engine::ContainerId next_id = 1;
+  for (const auto& key : keys) {
+    for (int j = 0; j < 2; ++j) {
+      pool::PoolEntry e;
+      e.id = next_id++;
+      e.key = key;
+      e.created_at = seconds(static_cast<std::int64_t>(e.id));
+      pool.add_available(e, e.created_at);
+    }
+  }
+
+  // Interleaved best-of-N: the minimum is the least-noisy estimate of the
+  // true per-pair cost (on a shared vCPU, noise is one-sided steal time),
+  // and alternating the variants keeps cache / clock drift from biasing
+  // one side.  Many short reps beat few long ones here: each variant only
+  // needs one rep that lands in a steal-free window.
+  TracingOverhead out;
+  out.disabled_ns = std::numeric_limits<double>::infinity();
+  out.enabled_ns = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    tracer.set_enabled(false);
+    out.disabled_ns =
+        std::min(out.disabled_ns, time_pairs_ns(pool, tracer, keys, pairs));
+    tracer.set_enabled(true);
+    out.enabled_ns =
+        std::min(out.enabled_ns, time_pairs_ns(pool, tracer, keys, pairs));
+  }
+  out.spans = tracer.recorder().recorded();
+  out.dropped = tracer.recorder().dropped();
+  return out;
+}
+
+}  // namespace
+
 int main() {
+  const bool smoke = hotc::bench::smoke_mode();
   bench::print_header(
       "Figure 15: overhead of live containers",
-      "(a) resource usage vs pool size; (b) Cassandra lifecycle timeline.");
+      "(a) resource usage vs pool size; (b) Cassandra lifecycle timeline;\n"
+      "(c) tracing overhead on the pool hot path; (d) obs export formats.");
 
   // ---- (a) N idle containers -----------------------------------------------
   Table fig15a({"live containers", "cpu usage", "memory above baseline",
                 "per container"});
+  JsonArray idle_rows;
   for (const int n : {0, 1, 5, 10, 50, 100, 500}) {
     sim::Simulator sim;
     engine::ContainerEngine engine(sim, engine::HostProfile::server());
@@ -38,6 +170,11 @@ int main() {
         {std::to_string(n), bench::pct(engine.cpu_utilization()),
          format_bytes(delta),
          n > 0 ? format_bytes(delta / n) : "-"});
+    JsonObject row;
+    row["live_containers"] = Json(n);
+    row["cpu_utilization"] = Json(engine.cpu_utilization());
+    row["memory_bytes"] = Json(static_cast<std::int64_t>(delta));
+    idle_rows.push_back(Json(std::move(row)));
   }
   std::cout << "(a) idle-pool resource footprint\n" << fig15a.to_string();
   std::cout << "(paper: ten live containers cost <1% CPU and ~0.7MB each)\n\n";
@@ -76,6 +213,88 @@ int main() {
             << fig15b.to_string();
   std::cout << "(paper: the application, not the container, owns the\n"
                " resource cost; memory is reclaimed quickly after the\n"
-               " workload stops while the container stays live)\n";
+               " workload stops while the container stays live)\n\n";
+
+  // ---- (c) tracing overhead on the pool hot path ----------------------------
+  const int pairs = smoke ? 20'000 : 200'000;
+  const int reps = smoke ? 3 : 15;
+  const TracingOverhead tr = measure_tracing_overhead(pairs, reps);
+  std::cout << "(c) tracing overhead, pool acquire/release micro-ops ("
+            << pairs << " pairs, best of " << reps << ")\n"
+            << "    tracer disabled: " << Table::num(tr.disabled_ns, 1)
+            << " ns/pair\n"
+            << "    tracer enabled:  " << Table::num(tr.enabled_ns, 1)
+            << " ns/pair  (ring publish + stage histogram)\n"
+            << "    overhead: " << Table::num(tr.overhead_pct(), 2)
+            << "%  (gate: <= 5%)\n\n";
+
+  // ---- (d) all three export formats from one registry/recorder --------------
+  obs::Registry registry;
+  obs::Tracer tracer(8192, &registry);
+  faas::PlatformOptions opt;
+  opt.policy = faas::PolicyKind::kHotC;
+  opt.registry = &registry;
+  opt.tracer = &tracer;
+  faas::FaasPlatform platform(opt);
+  const auto mix = workload::ConfigMix::qr_web_service(1);
+  const auto arrivals =
+      workload::linear_increasing(2, 2, smoke ? 4 : 8, seconds(30));
+  platform.run(arrivals, mix);
+
+  const std::string dir = hotc::bench::output_dir();
+  const std::string prom = export_prometheus(
+      platform.engine(), platform.hotc_controller(), &registry);
+  const auto spans = tracer.recorder().snapshot();
+  const bool wrote_prom =
+      hotc::bench::write_file(dir + "/OBS_metrics.prom", prom);
+  const bool wrote_jsonl = hotc::bench::write_file(
+      dir + "/OBS_spans.jsonl", obs::spans_to_jsonl(spans));
+  const bool wrote_chrome = hotc::bench::write_file(
+      dir + "/OBS_trace.json", obs::spans_to_chrome_trace(spans));
+  std::cout << "(d) exports from one registry/recorder (" << spans.size()
+            << " spans in the flight recorder)\n"
+            << "    " << dir << "/OBS_metrics.prom  (Prometheus text)\n"
+            << "    " << dir << "/OBS_spans.jsonl   (JSONL span dump)\n"
+            << "    " << dir
+            << "/OBS_trace.json   (chrome://tracing / Perfetto)\n";
+
+  // ---- BENCH_overhead.json --------------------------------------------------
+  JsonObject doc;
+  doc["bench"] = Json(std::string("fig15_overhead"));
+  doc["smoke"] = Json(smoke);
+  JsonObject tracing;
+  tracing["pairs"] = Json(pairs);
+  tracing["reps"] = Json(reps);
+  tracing["disabled_ns_per_pair"] = Json(tr.disabled_ns);
+  tracing["enabled_ns_per_pair"] = Json(tr.enabled_ns);
+  tracing["overhead_pct"] = Json(tr.overhead_pct());
+  tracing["gate_pct"] = Json(5.0);
+  tracing["gate_passed"] = Json(tr.overhead_pct() <= 5.0);
+  tracing["spans_recorded"] = Json(static_cast<std::int64_t>(tr.spans));
+  tracing["spans_dropped"] = Json(static_cast<std::int64_t>(tr.dropped));
+  doc["tracing"] = Json(std::move(tracing));
+  doc["idle_containers"] = Json(std::move(idle_rows));
+  JsonObject exports;
+  exports["prometheus"] = Json(wrote_prom ? "OBS_metrics.prom" : "FAILED");
+  exports["jsonl_spans"] = Json(wrote_jsonl ? "OBS_spans.jsonl" : "FAILED");
+  exports["chrome_trace"] = Json(wrote_chrome ? "OBS_trace.json" : "FAILED");
+  exports["span_count"] = Json(static_cast<std::int64_t>(spans.size()));
+  doc["exports"] = Json(std::move(exports));
+  const std::string path = dir + "/BENCH_overhead.json";
+  if (!hotc::bench::write_file(path, Json(std::move(doc)).dump(2) + "\n")) {
+    std::cerr << "failed to write " << path << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << path << "\n";
+
+  if (!wrote_prom || !wrote_jsonl || !wrote_chrome) {
+    std::cerr << "export dump FAILED\n";
+    return 1;
+  }
+  if (tr.overhead_pct() > 5.0) {
+    std::cerr << "tracing overhead gate FAILED ("
+              << Table::num(tr.overhead_pct(), 2) << "% > 5%)\n";
+    return 1;
+  }
   return 0;
 }

@@ -23,9 +23,10 @@
 //     with e the all-shard op fraction and f_max the busiest shard's
 //     measured traffic share.  Both inputs are measured, not assumed.
 //
-// Output: the usual table, plus one machine-readable line per
-// configuration ("BENCH {...json...}") so the trajectory can track
-// aggregate throughput over time.
+// Output: the usual table, one machine-readable line per configuration
+// ("BENCH {...json...}"), and the same records collected into
+// BENCH_pool.json at the repo root so the trajectory can track aggregate
+// throughput over time.  HOTC_SMOKE=1 shrinks the op counts for CI.
 #include <algorithm>
 #include <chrono>
 #include <cstdlib>
@@ -36,6 +37,7 @@
 #include <thread>
 #include <vector>
 
+#include "common.hpp"
 #include "core/json.hpp"
 #include "core/rng.hpp"
 #include "core/table.hpp"
@@ -48,7 +50,8 @@ using namespace hotc;
 
 constexpr std::size_t kKeys = 64;
 constexpr std::size_t kWarmPerKey = 2;
-constexpr int kOpsPerThread = 200000;
+// Shrunk by HOTC_SMOKE=1 before any measurement runs.
+int g_ops_per_thread = 200000;
 // Shard count a deployment-sized host would pick (hardware_concurrency on
 // a 16-core node); fixed here so results are comparable across hosts.
 constexpr std::size_t kShards = 16;
@@ -162,13 +165,14 @@ RunResult run_mixed(Pool& pool, const std::vector<spec::RuntimeKey>& keys,
   const auto before = pool.stats_snapshot();
   const auto start = std::chrono::steady_clock::now();
   if (threads == 1) {
-    run_worker(pool, keys, 1, kOpsPerThread);
+    run_worker(pool, keys, 1, g_ops_per_thread);
   } else {
     std::vector<std::thread> workers;
     workers.reserve(threads);
     for (std::size_t t = 0; t < threads; ++t) {
-      workers.emplace_back(
-          [&pool, &keys, t] { run_worker(pool, keys, t + 1, kOpsPerThread); });
+      workers.emplace_back([&pool, &keys, t] {
+        run_worker(pool, keys, t + 1, g_ops_per_thread);
+      });
     }
     for (auto& w : workers) w.join();
   }
@@ -176,7 +180,8 @@ RunResult run_mixed(Pool& pool, const std::vector<spec::RuntimeKey>& keys,
 
   RunResult out;
   out.seconds = std::chrono::duration<double>(end - start).count();
-  out.mops = static_cast<double>(threads) * kOpsPerThread / out.seconds / 1e6;
+  out.mops =
+      static_cast<double>(threads) * g_ops_per_thread / out.seconds / 1e6;
   const auto after = pool.stats_snapshot();
   const auto hits = after.hits - before.hits;
   const auto misses = after.misses - before.misses;
@@ -187,9 +192,10 @@ RunResult run_mixed(Pool& pool, const std::vector<spec::RuntimeKey>& keys,
   return out;
 }
 
-void emit_bench_json(const std::string& impl, std::size_t threads,
-                     const RunResult& r, double measured_speedup,
-                     double ceiling_mops, double ceiling_speedup) {
+void emit_bench_json(JsonArray& results, const std::string& impl,
+                     std::size_t threads, const RunResult& r,
+                     double measured_speedup, double ceiling_mops,
+                     double ceiling_speedup) {
   JsonObject obj;
   obj["bench"] = Json(std::string("pool_concurrency"));
   obj["impl"] = Json(impl);
@@ -201,7 +207,9 @@ void emit_bench_json(const std::string& impl, std::size_t threads,
   obj["measured_speedup"] = Json(measured_speedup);
   obj["ceiling_mops"] = Json(ceiling_mops);
   obj["speedup_vs_mutex"] = Json(ceiling_speedup);
-  std::cout << "BENCH " << Json(std::move(obj)).dump(0) << "\n";
+  Json record(std::move(obj));
+  std::cout << "BENCH " << record.dump(0) << "\n";
+  results.push_back(std::move(record));
 }
 
 /// Traffic share of the busiest shard under uniform key draws: the keys
@@ -276,10 +284,11 @@ bool single_thread_hit_rates_match(const std::vector<spec::RuntimeKey>& keys,
 }  // namespace
 
 int main() {
+  if (hotc::bench::smoke_mode()) g_ops_per_thread = 20000;
   std::cout << banner("HotC extension — pool concurrency") <<
       "Mixed acquire/return/evict throughput: single global mutex (seed "
       "RealHotC design)\nvs lock-striped ShardedRuntimePool.  " +
-      std::to_string(kOpsPerThread) + " ops/thread, " +
+      std::to_string(g_ops_per_thread) + " ops/thread, " +
       std::to_string(kKeys) + " runtime keys.\n\n";
 
   const auto keys = make_keys();
@@ -306,8 +315,8 @@ int main() {
     engine::ContainerId id_b = 1;
     prepopulate(baseline, keys, &id_a);
     prepopulate(sharded, keys, &id_b);
-    t_mutex = run_mixed(baseline, keys, 1).seconds / kOpsPerThread;
-    t_sharded = run_mixed(sharded, keys, 1).seconds / kOpsPerThread;
+    t_mutex = run_mixed(baseline, keys, 1).seconds / g_ops_per_thread;
+    t_sharded = run_mixed(sharded, keys, 1).seconds / g_ops_per_thread;
     f_max = busiest_shard_share(sharded, keys);
   }
   const double mutex_ceiling = 1.0 / t_mutex / 1e6;  // flat in T: one lock
@@ -324,6 +333,7 @@ int main() {
 
   Table table({"threads", "mutex Mops/s", "sharded Mops/s", "measured x",
                "ceiling Mops/s", "ceiling x", "hit%"});
+  JsonArray results;
   double ceiling_speedup_at_8 = 0.0;
   double measured_speedup_at_8 = 0.0;
   for (const std::size_t threads : {1u, 2u, 4u, 8u, 16u}) {
@@ -349,8 +359,8 @@ int main() {
                    Table::num(ceiling, 2),
                    Table::num(ceiling_speedup, 2) + "x",
                    Table::num(rs.hit_rate * 100.0, 2)});
-    emit_bench_json("mutex", threads, rm, 1.0, mutex_ceiling, 1.0);
-    emit_bench_json("sharded", threads, rs, measured, ceiling,
+    emit_bench_json(results, "mutex", threads, rm, 1.0, mutex_ceiling, 1.0);
+    emit_bench_json(results, "sharded", threads, rs, measured, ceiling,
                     ceiling_speedup);
   }
   std::cout << "\n" << table.to_string() << "\n";
@@ -359,6 +369,28 @@ int main() {
             << "x the single-mutex baseline (target >= 4x); measured on "
             << cores << " core(s): " << Table::num(measured_speedup_at_8, 2)
             << "x\n";
+
+  JsonObject doc;
+  doc["bench"] = Json(std::string("pool_concurrency"));
+  doc["smoke"] = Json(hotc::bench::smoke_mode());
+  doc["ops_per_thread"] = Json(static_cast<std::int64_t>(g_ops_per_thread));
+  doc["host_cores"] = Json(static_cast<std::int64_t>(cores));
+  JsonObject gates;
+  gates["eviction_order_matches"] = Json(order_ok);
+  gates["hit_counts_match"] = Json(hits_ok);
+  doc["gates"] = Json(std::move(gates));
+  JsonObject summary;
+  summary["ceiling_speedup_at_8"] = Json(ceiling_speedup_at_8);
+  summary["measured_speedup_at_8"] = Json(measured_speedup_at_8);
+  doc["summary"] = Json(std::move(summary));
+  doc["results"] = Json(std::move(results));
+  const std::string path = hotc::bench::output_dir() + "/BENCH_pool.json";
+  if (hotc::bench::write_file(path, Json(std::move(doc)).dump(2) + "\n")) {
+    std::cout << "wrote " << path << "\n";
+  } else {
+    std::cerr << "failed to write " << path << "\n";
+    return EXIT_FAILURE;
+  }
 
   if (!order_ok || !hits_ok) {
     std::cerr << "correctness gate FAILED\n";

@@ -7,6 +7,8 @@
 // target.
 #pragma once
 
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 #include <string>
 
@@ -15,7 +17,37 @@
 #include "workload/mix.hpp"
 #include "workload/patterns.hpp"
 
+// Where the machine-readable artifacts (BENCH_*.json, OBS_* dumps) land.
+// The build system bakes in the source root so benches run from any build
+// directory still write to the repo root, where the perf trajectory is
+// tracked; HOTC_BENCH_DIR overrides it (CI writes to a scratch dir).
+#ifndef HOTC_SOURCE_DIR
+#define HOTC_SOURCE_DIR "."
+#endif
+
 namespace hotc::bench {
+
+inline std::string output_dir() {
+  if (const char* dir = std::getenv("HOTC_BENCH_DIR");
+      dir != nullptr && dir[0] != '\0') {
+    return dir;
+  }
+  return HOTC_SOURCE_DIR;
+}
+
+/// HOTC_SMOKE=1 shrinks iteration counts so CI can validate the output
+/// format in seconds; the numbers are then format-valid but meaningless.
+inline bool smoke_mode() {
+  const char* v = std::getenv("HOTC_SMOKE");
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
+inline bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << content;
+  return out.good();
+}
 
 inline void print_header(const std::string& figure,
                          const std::string& caption) {

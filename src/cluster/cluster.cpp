@@ -33,6 +33,22 @@ ClusterHotC::ClusterHotC(ClusterOptions options)
         [this, i](const spec::RuntimeKey& key) { publish_node(i, key); });
     nodes_.push_back(std::move(node));
   }
+  if (options_.registry != nullptr) {
+    obs::Registry& reg = *options_.registry;
+    obs_.routed.reserve(options_.nodes);
+    for (std::size_t i = 0; i < options_.nodes; ++i) {
+      obs_.routed.push_back(
+          &reg.counter("hotc_cluster_routed_total",
+                       "Requests routed to each node",
+                       "node=\"" + std::to_string(i) + "\""));
+    }
+    obs_.warm_hits = &reg.counter(
+        "hotc_cluster_warm_routed_total",
+        "Requests routed to a node advertising a warm runtime of the key");
+    obs_.warm_fallbacks = &reg.counter(
+        "hotc_cluster_warm_fallback_total",
+        "Warm-aware routes that fell back to least-loaded (nobody warm)");
+  }
 }
 
 HotCController& ClusterHotC::controller(NodeId node) {
@@ -79,12 +95,14 @@ NodeId ClusterHotC::route(const spec::RuntimeKey& key) {
       // gateway in this model); staleness is part of the experiment.
       const auto warm = directory_.nodes_with_warm(0, key);
       if (!warm.empty()) {
+        if (obs_.warm_hits != nullptr) obs_.warm_hits->inc();
         NodeId best = warm.front();
         for (const NodeId n : warm) {
           if (nodes_[n].inflight < nodes_[best].inflight) best = n;
         }
         return best;
       }
+      if (obs_.warm_fallbacks != nullptr) obs_.warm_fallbacks->inc();
       NodeId best = 0;
       for (NodeId n = 1; n < nodes_.size(); ++n) {
         if (nodes_[n].inflight < nodes_[best].inflight) best = n;
@@ -109,6 +127,13 @@ void ClusterHotC::submit(const spec::RunSpec& spec,
     node = route(key);
     ++routed_[node];
     ++nodes_[node].inflight;
+    if (!obs_.routed.empty()) obs_.routed[node]->inc();
+  }
+  // The span's shard field carries the chosen node id.
+  if (options_.controller.tracer != nullptr) {
+    options_.controller.tracer->span(0, obs::Stage::kRoute, sim_.now(),
+                                     kZeroDuration, key.hash(),
+                                     static_cast<std::uint16_t>(node));
   }
   nodes_[node].controller->handle(
       spec, app,

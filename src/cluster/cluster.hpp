@@ -31,9 +31,15 @@ const char* to_string(RoutingPolicy policy);
 struct ClusterOptions {
   std::size_t nodes = 4;
   engine::HostProfile host = engine::HostProfile::server();
+  /// Per-node controller options.  A tracer/registry set here is shared
+  /// by every node's controller (per-node engine counters merge into
+  /// cluster-wide totals under the same metric names).
   ControllerOptions controller;
   RoutingPolicy routing = RoutingPolicy::kWarmAware;
   Duration directory_lag = milliseconds(5);
+  /// Optional routing metrics: per-node routed counts plus warm-aware
+  /// hit/fallback counters.  Must outlive the cluster.
+  obs::Registry* registry = nullptr;
 };
 
 struct ClusterOutcome {
@@ -78,6 +84,13 @@ class ClusterHotC {
     std::uint64_t inflight = 0;
   };
 
+  /// Cached routing instruments; empty/null without a registry.
+  struct RoutingMetrics {
+    std::vector<obs::Counter*> routed;       // per node
+    obs::Counter* warm_hits = nullptr;       // warm-aware directory hit
+    obs::Counter* warm_fallbacks = nullptr;  // nobody warm; least-loaded
+  };
+
   /// Pick a node for the key.  Caller must hold mu_.
   [[nodiscard]] NodeId route(const spec::RuntimeKey& key);
   void publish_node(NodeId node, const spec::RuntimeKey& key);
@@ -91,6 +104,7 @@ class ClusterHotC {
   /// controller, so controller/pool/log locks always nest inside it.
   mutable RankedMutex mu_{LockRank::kClusterRouter, 0, "cluster.router"};
   std::vector<std::uint64_t> routed_;
+  RoutingMetrics obs_;
   NodeId rr_next_ = 0;
 };
 

@@ -20,6 +20,10 @@
 //                                        shards in index order, which is
 //                                        exactly the increasing-sequence
 //                                        rule within the band
+//    80   obs metrics registry index     0 — any subsystem may register
+//                                        an instrument while holding its
+//                                        own locks; increments are
+//                                        lock-free and never touch this
 //    90   log sink (leaf: anything may   0
 //         hold anything while logging)
 //
@@ -46,6 +50,7 @@ enum class LockRank : std::uint32_t {
   kGateway = 20,
   kThreadPoolQueue = 30,
   kPoolShard = 50,
+  kObsRegistry = 80,
   kLogSink = 90,
 };
 

@@ -36,6 +36,22 @@ void ContainerEngine::set_state(Container& c, ContainerState next) {
   HOTC_ASSERT_MSG(transition_allowed(c.state, next),
                   "illegal container state transition");
   c.state = next;
+  if (obs::Counter* counter = transition_counters_[state_index(next)]) {
+    counter->inc();
+  }
+}
+
+void ContainerEngine::attach_metrics(obs::Registry& registry) {
+  for (std::size_t s = 0; s < kContainerStateCount; ++s) {
+    const auto state = static_cast<ContainerState>(s);
+    transition_counters_[s] = &registry.counter(
+        "hotc_engine_state_transitions_total",
+        "Container FSM transitions, by destination state",
+        std::string("to=\"") + to_string(state) + "\"");
+  }
+  clean_duration_ms_ = &registry.histogram(
+      "hotc_engine_clean_duration_ms",
+      "Algorithm 2 volume wipe + remount duration (milliseconds)");
 }
 
 bool ContainerEngine::reserve_or_swap(Bytes amount) {
@@ -287,6 +303,9 @@ void ContainerEngine::clean(ContainerId id, DoneCallback cb) {
   auto dirty = volumes_.get(c.volume);
   const Bytes dirty_bytes = dirty.ok() ? dirty.value().dirty_bytes : 0;
   const Duration d = cost_.cleanup_time(dirty_bytes);
+  if (clean_duration_ms_ != nullptr) {
+    clean_duration_ms_->observe(to_milliseconds(d));
+  }
   sim_.after(d, [this, id, cb]() {
     auto inner = containers_.find(id);
     HOTC_ASSERT(inner != containers_.end());

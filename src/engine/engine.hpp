@@ -9,6 +9,7 @@
 // heuristic anticipates.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -24,6 +25,7 @@
 #include "engine/network.hpp"
 #include "engine/registry.hpp"
 #include "engine/volume.hpp"
+#include "obs/metrics.hpp"
 #include "sim/resource.hpp"
 #include "sim/simulator.hpp"
 
@@ -166,6 +168,12 @@ class ContainerEngine {
   [[nodiscard]] std::uint64_t launches() const { return launches_; }
   [[nodiscard]] std::uint64_t execs() const { return execs_; }
 
+  /// Register the FSM transition counters
+  /// (`hotc_engine_state_transitions_total{to="..."}`) and the Algorithm 2
+  /// clean-duration histogram with the registry and start feeding them.
+  /// The registry must outlive the engine.
+  void attach_metrics(obs::Registry& registry);
+
  private:
   void set_state(Container& c, ContainerState next);
   /// Reserve memory, spilling to swap accounting when the pool is full.
@@ -187,6 +195,11 @@ class ContainerEngine {
   Bytes swap_used_ = 0;
   std::uint64_t launches_ = 0;
   std::uint64_t execs_ = 0;
+
+  /// Cached instrument handles, written once by attach_metrics; null until
+  /// then, so the un-instrumented engine pays one branch per transition.
+  std::array<obs::Counter*, kContainerStateCount> transition_counters_{};
+  obs::LogHistogram* clean_duration_ms_ = nullptr;
 
   FaultModel faults_;
   Rng fault_rng_{99};

@@ -139,19 +139,26 @@ HotCBackend::HotCBackend(engine::ContainerEngine& engine,
 
 void HotCBackend::dispatch(const spec::RunSpec& spec,
                            const engine::AppModel& app, Callback cb) {
-  controller_.handle(spec, app,
-                     [cb = std::move(cb)](Result<RequestOutcome> outcome) {
-                       if (!outcome.ok()) {
-                         cb(Result<DispatchReport>(outcome.error()));
-                         return;
-                       }
-                       DispatchReport report;
-                       report.cold = !outcome.value().reused;
-                       report.provision = outcome.value().startup;
-                       report.exec = outcome.value().exec_total;
-                       report.container = outcome.value().container;
-                       cb(report);
-                     });
+  dispatch_traced(/*trace_id=*/0, spec, app, std::move(cb));
+}
+
+void HotCBackend::dispatch_traced(std::uint64_t trace_id,
+                                  const spec::RunSpec& spec,
+                                  const engine::AppModel& app, Callback cb) {
+  controller_.handle_traced(
+      spec, app, trace_id,
+      [cb = std::move(cb)](Result<RequestOutcome> outcome) {
+        if (!outcome.ok()) {
+          cb(Result<DispatchReport>(outcome.error()));
+          return;
+        }
+        DispatchReport report;
+        report.cold = !outcome.value().reused;
+        report.provision = outcome.value().startup;
+        report.exec = outcome.value().exec_total;
+        report.container = outcome.value().container;
+        cb(report);
+      });
 }
 
 // --- PeriodicWarmupBackend -------------------------------------------------

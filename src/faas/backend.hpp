@@ -44,6 +44,17 @@ class Backend {
   virtual void dispatch(const spec::RunSpec& spec,
                         const engine::AppModel& app, Callback cb) = 0;
 
+  /// Trace-attributed dispatch: callers that own a request id (the
+  /// gateway) pass it so backend-side spans land in the same trace as the
+  /// forwarding hops.  Default forwards to dispatch() — only
+  /// tracing-aware backends override.
+  virtual void dispatch_traced(std::uint64_t trace_id,
+                               const spec::RunSpec& spec,
+                               const engine::AppModel& app, Callback cb) {
+    (void)trace_id;
+    dispatch(spec, app, std::move(cb));
+  }
+
   /// Cold starts this backend has caused (for figure tables).
   [[nodiscard]] virtual std::uint64_t cold_starts() const = 0;
 };
@@ -104,6 +115,8 @@ class HotCBackend final : public Backend {
   [[nodiscard]] std::string name() const override { return "hotc"; }
   void dispatch(const spec::RunSpec& spec, const engine::AppModel& app,
                 Callback cb) override;
+  void dispatch_traced(std::uint64_t trace_id, const spec::RunSpec& spec,
+                       const engine::AppModel& app, Callback cb) override;
   [[nodiscard]] std::uint64_t cold_starts() const override {
     return controller_.stats().cold_starts;
   }

@@ -30,6 +30,11 @@ void Gateway::submit(std::uint64_t request_id, std::size_t config_index,
     sim_.after(options_.request_timeout, [this, done, inner, request_id]() {
       if (*done) return;
       *done = true;
+      if (options_.tracer != nullptr) {
+        options_.tracer->span(request_id, obs::Stage::kReturn, sim_.now(),
+                              kZeroDuration, 0, obs::kNoShard,
+                              obs::kSpanError);
+      }
       {
         const std::lock_guard<RankedMutex> lock(mu_);
         ++timeouts_;
@@ -51,9 +56,20 @@ void Gateway::submit(std::uint64_t request_id, std::size_t config_index,
       sim_.after(to_watchdog, [this, rec, spec, app,
                                cb = std::move(cb)]() mutable {
         rec.t2 = sim_.now();
-        backend_.dispatch(spec, app, [this, rec, cb = std::move(cb)](
-                                         Result<DispatchReport> r) mutable {
+        // Moments (1) -> (2): the client-to-watchdog forwarding hops.
+        if (options_.tracer != nullptr) {
+          options_.tracer->span(rec.id, obs::Stage::kForward, rec.submitted,
+                                rec.t2 - rec.submitted);
+        }
+        backend_.dispatch_traced(rec.id, spec, app, [
+          this, rec, cb = std::move(cb)
+        ](Result<DispatchReport> r) mutable {
           if (!r.ok()) {
+            if (options_.tracer != nullptr) {
+              options_.tracer->span(rec.id, obs::Stage::kReturn, sim_.now(),
+                                    kZeroDuration, 0, obs::kNoShard,
+                                    obs::kSpanError);
+            }
             slots_.release();
             cb(Result<CompletedRequest>(r.error()));
             return;
@@ -72,6 +88,12 @@ void Gateway::submit(std::uint64_t request_id, std::size_t config_index,
           sim_.after(back, [this, rec, cb = std::move(cb)]() mutable {
             rec.t5 = rec.t4 + options_.watchdog_shell;
             rec.t6 = sim_.now();
+            // Moments (4) -> (6): the watchdog-to-client return hops.
+            if (options_.tracer != nullptr) {
+              options_.tracer->span(rec.id, obs::Stage::kReturn, rec.t4,
+                                    rec.t6 - rec.t4, 0, obs::kNoShard,
+                                    rec.cold ? obs::kSpanCold : 0);
+            }
             {
               const std::lock_guard<RankedMutex> lock(mu_);
               ++handled_;

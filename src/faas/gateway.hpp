@@ -19,6 +19,7 @@
 #include "core/ranked_mutex.hpp"
 #include "core/result.hpp"
 #include "faas/backend.hpp"
+#include "obs/trace.hpp"
 #include "sim/resource.hpp"
 #include "sim/simulator.hpp"
 
@@ -41,6 +42,11 @@ struct GatewayOptions {
   /// still runs to completion — exactly the waste cold starts cause under
   /// tight SLOs).
   Duration request_timeout = kZeroDuration;
+  /// Optional lifecycle tracer.  Each submit opens a trace under its
+  /// request id: the gateway records the forward/return hop spans and
+  /// passes the id to the backend so provisioning/exec/clean spans join
+  /// the same trace.  Must outlive the gateway.
+  obs::Tracer* tracer = nullptr;
 };
 
 /// The six timestamps plus what the backend reported.

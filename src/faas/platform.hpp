@@ -15,6 +15,8 @@
 #include "faas/gateway.hpp"
 #include "hotc/controller.hpp"
 #include "metrics/latency_recorder.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sim/simulator.hpp"
 #include "workload/mix.hpp"
 #include "workload/patterns.hpp"
@@ -44,6 +46,14 @@ struct PlatformOptions {
   Duration trailing_slack = minutes(2);
   /// Sample engine resources during the run (Fig. 15).
   std::optional<Duration> monitor_period;
+  /// Observability, both optional: the registry receives engine /
+  /// controller / pool metrics, the tracer receives the full request
+  /// lifecycle (gateway hops through clean + readmit).  Setting them here
+  /// wires every layer; they are also forwarded into `hotc` and
+  /// `gateway`, overriding whatever those carried.  Must outlive the
+  /// platform.
+  obs::Registry* registry = nullptr;
+  obs::Tracer* tracer = nullptr;
 };
 
 class FaasPlatform {

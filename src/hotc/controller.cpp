@@ -1,11 +1,23 @@
 #include "hotc/controller.hpp"
 
 #include <algorithm>
+#include <cinttypes>
 #include <cmath>
+#include <cstdio>
 
 #include "core/log.hpp"
 
 namespace hotc {
+
+namespace {
+
+std::string key_label(const spec::RuntimeKey& key) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "key=\"%016" PRIx64 "\"", key.hash());
+  return buf;
+}
+
+}  // namespace
 
 HotCController::HotCController(engine::ContainerEngine& engine,
                                ControllerOptions options)
@@ -15,6 +27,42 @@ HotCController::HotCController(engine::ContainerEngine& engine,
       pool_(options_.limits),
       rng_(options_.rng_seed) {
   HOTC_ASSERT(options_.predictor_factory != nullptr);
+  if (options_.registry != nullptr) {
+    obs::Registry& reg = *options_.registry;
+    obs_.prewarms = &reg.counter("hotc_controller_prewarm_total",
+                                 "Algorithm 3 predictive warm-up launches");
+    obs_.retires = &reg.counter(
+        "hotc_controller_retire_total",
+        "Pooled runtimes retired by the adaptive loop (no pressure)");
+    obs_.evictions = &reg.counter(
+        "hotc_controller_evict_total",
+        "Pooled runtimes evicted under capacity/memory pressure");
+    obs_.prediction_samples = &reg.counter(
+        "hotc_controller_prediction_samples_total",
+        "Forecasts scored against the demand they predicted");
+    obs_.prediction_error_sum = &reg.gauge(
+        "hotc_controller_prediction_abs_error_sum",
+        "Accumulated |forecast - observed demand| across all scored ticks");
+    obs_.predicted_containers = &reg.gauge(
+        "hotc_controller_predicted_containers",
+        "Sum of per-key forecast targets at the last adaptive tick");
+    obs_.live_containers = &reg.gauge(
+        "hotc_controller_live_containers",
+        "Live containers at the last adaptive tick");
+    obs_.pooled_containers = &reg.gauge(
+        "hotc_controller_pooled_containers",
+        "Existing-Available containers at the last adaptive tick");
+    engine_.attach_metrics(reg);
+  }
+}
+
+void HotCController::emit_span(std::uint64_t trace_id, obs::Stage stage,
+                               TimePoint start, Duration dur,
+                               std::uint64_t key_hash, std::uint8_t flags) {
+  if (options_.tracer != nullptr) {
+    options_.tracer->span(trace_id, stage, start, dur, key_hash,
+                          obs::kNoShard, flags);
+  }
 }
 
 spec::RuntimeKey HotCController::key_for(const spec::RunSpec& spec) const {
@@ -36,6 +84,15 @@ HotCController::KeyState& HotCController::key_state(
 
 void HotCController::handle(const spec::RunSpec& spec,
                             const engine::AppModel& app, Callback cb) {
+  handle_traced(spec, app, /*trace_id=*/0, std::move(cb));
+}
+
+void HotCController::handle_traced(const spec::RunSpec& spec,
+                                   const engine::AppModel& app,
+                                   std::uint64_t trace_id, Callback cb) {
+  if (trace_id == 0 && options_.tracer != nullptr) {
+    trace_id = options_.tracer->next_trace_id();
+  }
   const TimePoint arrival = sim_.now();
   const spec::RuntimeKey key = key_for(spec);
   KeyState& state = key_state(key, spec);
@@ -43,14 +100,22 @@ void HotCController::handle(const spec::RunSpec& spec,
   ++state.busy_now;
   state.interval_peak = std::max(state.interval_peak, state.busy_now);
   ++state.interval_requests;
+  // Canonicalisation is synchronous, so the parse span is instantaneous
+  // in virtual time; it still anchors the trace to its runtime key.
+  emit_span(trace_id, obs::Stage::kParse, arrival, kZeroDuration,
+            key.hash());
 
   // Algorithm 1: reuse when Existing-Available, else start a new runtime.
   auto entry = pool_.acquire(key, arrival);
+  emit_span(trace_id, obs::Stage::kPoolLookup, arrival, kZeroDuration,
+            key.hash(), entry.has_value() ? obs::kSpanHit : 0);
   if (entry.has_value()) {
     ++stats_.reuses;
+    emit_span(trace_id, obs::Stage::kReuse, arrival, kZeroDuration,
+              key.hash(), obs::kSpanHit);
     notify_pool_change(key);
     run_on(*entry, spec, app, entry->prewarmed, kZeroDuration, arrival,
-           std::move(cb));
+           trace_id, std::move(cb));
     return;
   }
 
@@ -63,10 +128,14 @@ void HotCController::handle(const spec::RunSpec& spec,
   const bool restoring =
       options_.use_checkpoint_restore && ckpt != checkpoints_.end();
 
-  auto on_provisioned = [this, key, spec, app, arrival, restoring,
+  auto on_provisioned = [this, key, spec, app, arrival, restoring, trace_id,
                          cb = std::move(cb)](
                             Result<engine::LaunchReport> r) {
+    const obs::Stage stage =
+        restoring ? obs::Stage::kRestore : obs::Stage::kColdStart;
     if (!r.ok()) {
+      emit_span(trace_id, stage, arrival, sim_.now() - arrival, key.hash(),
+                obs::kSpanCold | obs::kSpanError);
       auto it = keys_.find(key);
       if (it != keys_.end() && it->second.busy_now > 0) {
         --it->second.busy_now;
@@ -75,12 +144,14 @@ void HotCController::handle(const spec::RunSpec& spec,
       return;
     }
     if (restoring) ++stats_.restores;
+    emit_span(trace_id, stage, arrival, r.value().breakdown.total(),
+              key.hash(), obs::kSpanCold);
     pool::PoolEntry fresh;
     fresh.id = r.value().container;
     fresh.key = key;
     fresh.created_at = sim_.now();
     run_on(fresh, spec, app, /*was_prewarmed=*/false,
-           r.value().breakdown.total(), arrival, cb,
+           r.value().breakdown.total(), arrival, trace_id, cb,
            /*was_resumed=*/false, /*was_restored=*/restoring);
   };
   if (restoring) {
@@ -94,24 +165,32 @@ void HotCController::run_on(const pool::PoolEntry& entry,
                             const spec::RunSpec& spec,
                             const engine::AppModel& app, bool was_prewarmed,
                             Duration startup_paid, TimePoint arrival,
-                            Callback cb, bool was_resumed,
-                            bool was_restored) {
+                            std::uint64_t trace_id, Callback cb,
+                            bool was_resumed, bool was_restored) {
   if (entry.paused) {
     // The pooled runtime is frozen: thaw before execution.  The fault-in
     // latency lands on this request, still far below a cold start.
+    const TimePoint resume_start = sim_.now();
     engine_.resume(entry.id, [this, entry, spec, app, was_prewarmed,
-                              startup_paid, arrival,
+                              startup_paid, arrival, resume_start, trace_id,
                               cb = std::move(cb)](Result<bool> r) mutable {
       pool::PoolEntry thawed = entry;
       thawed.paused = false;
       if (!r.ok()) {
+        emit_span(trace_id, obs::Stage::kResume, resume_start,
+                  sim_.now() - resume_start, entry.key.hash(),
+                  obs::kSpanError);
         // A runtime that cannot thaw is not trusted; replace it with a
         // fresh cold start.
         engine_.stop_and_remove(entry.id, [](Result<bool>) {});
-        engine_.launch(spec, [this, spec, app, arrival, key = entry.key,
-                              cb = std::move(cb)](
+        const TimePoint relaunch_start = sim_.now();
+        engine_.launch(spec, [this, spec, app, arrival, relaunch_start,
+                              trace_id, key = entry.key, cb = std::move(cb)](
                                  Result<engine::LaunchReport> launched) {
           if (!launched.ok()) {
+            emit_span(trace_id, obs::Stage::kColdStart, relaunch_start,
+                      sim_.now() - relaunch_start, key.hash(),
+                      obs::kSpanCold | obs::kSpanError);
             auto it = keys_.find(key);
             if (it != keys_.end() && it->second.busy_now > 0) {
               --it->second.busy_now;
@@ -119,36 +198,49 @@ void HotCController::run_on(const pool::PoolEntry& entry,
             cb(Result<RequestOutcome>(launched.error()));
             return;
           }
+          emit_span(trace_id, obs::Stage::kColdStart, relaunch_start,
+                    launched.value().breakdown.total(), key.hash(),
+                    obs::kSpanCold);
           pool::PoolEntry fresh;
           fresh.id = launched.value().container;
           fresh.key = key;
           fresh.created_at = sim_.now();
           run_on(fresh, spec, app, false,
-                 launched.value().breakdown.total(), arrival, cb);
+                 launched.value().breakdown.total(), arrival, trace_id, cb);
         });
         return;
       }
+      emit_span(trace_id, obs::Stage::kResume, resume_start,
+                sim_.now() - resume_start, entry.key.hash());
       run_on(thawed, spec, app, was_prewarmed, startup_paid, arrival,
-             std::move(cb), /*was_resumed=*/true);
+             trace_id, std::move(cb), /*was_resumed=*/true);
     });
     return;
   }
 
   const spec::RuntimeKey key = entry.key;
+  const TimePoint exec_start = sim_.now();
   auto exec_cb = [this, entry, key, was_prewarmed, startup_paid, arrival,
-                  was_resumed, was_restored,
+                  exec_start, trace_id, was_resumed, was_restored,
                   cb = std::move(cb)](Result<engine::ExecReport> r) {
     auto it = keys_.find(key);
     if (it != keys_.end() && it->second.busy_now > 0) {
       --it->second.busy_now;
     }
+    const std::uint8_t cold_flag =
+        startup_paid == kZeroDuration ? obs::kSpanHit : obs::kSpanCold;
     if (!r.ok()) {
+      emit_span(trace_id, obs::Stage::kExec, exec_start,
+                sim_.now() - exec_start, key.hash(),
+                cold_flag | obs::kSpanError);
       // A container that failed to execute is not trusted back into the
       // pool; tear it down.
       engine_.stop_and_remove(entry.id, [](Result<bool>) {});
       cb(Result<RequestOutcome>(r.error()));
       return;
     }
+    emit_span(trace_id, obs::Stage::kExec, exec_start, r.value().total(),
+              key.hash(), cold_flag);
 
     RequestOutcome outcome;
     outcome.reused = startup_paid == kZeroDuration;
@@ -166,14 +258,23 @@ void HotCController::run_on(const pool::PoolEntry& entry,
     cb(outcome);
 
     pool::PoolEntry returned = entry;
-    engine_.clean(entry.id, [this, returned](Result<bool> cleaned) {
+    const TimePoint clean_start = sim_.now();
+    engine_.clean(entry.id, [this, returned, clean_start,
+                             trace_id](Result<bool> cleaned) {
       if (!cleaned.ok()) {
+        emit_span(trace_id, obs::Stage::kClean, clean_start,
+                  sim_.now() - clean_start, returned.key.hash(),
+                  obs::kSpanError);
         engine_.stop_and_remove(returned.id, [](Result<bool>) {});
         return;
       }
+      emit_span(trace_id, obs::Stage::kClean, clean_start,
+                sim_.now() - clean_start, returned.key.hash());
       pool::PoolEntry e = returned;
       e.prewarmed = false;  // once used, it is an ordinary pooled runtime
       pool_.add_available(e, sim_.now());
+      emit_span(trace_id, obs::Stage::kReadmit, sim_.now(), kZeroDuration,
+                e.key.hash());
       notify_pool_change(e.key);
     });
   };
@@ -219,6 +320,13 @@ void HotCController::retire_entry(const pool::PoolEntry& entry,
                                   bool pressure) {
   if (!pool_.remove(entry.key, entry.id)) return;  // raced with acquire
   if (!pressure) ++stats_.retired;
+  // Evict spans carry no request attribution (trace id 0): the controller
+  // initiates them, not a client.
+  emit_span(0, obs::Stage::kEvict, sim_.now(), kZeroDuration,
+            entry.key.hash());
+  if (obs_.retires != nullptr) {
+    (pressure ? obs_.evictions : obs_.retires)->inc();
+  }
   notify_pool_change(entry.key);
   // Checkpoint/restore extension: dump the warm state before losing it
   // (first retirement per key only — the image stays valid thereafter).
@@ -239,9 +347,18 @@ void HotCController::retire_entry(const pool::PoolEntry& entry,
 
 void HotCController::prewarm(const spec::RuntimeKey& key, KeyState& state) {
   ++stats_.prewarm_launches;
+  if (obs_.prewarms != nullptr) obs_.prewarms->inc();
+  const TimePoint launch_start = sim_.now();
   engine_.launch(state.canonical_spec,
-                 [this, key](Result<engine::LaunchReport> r) {
-                   if (!r.ok()) return;  // host refused; demand stays cold
+                 [this, key, launch_start](Result<engine::LaunchReport> r) {
+                   if (!r.ok()) {
+                     emit_span(0, obs::Stage::kPrewarm, launch_start,
+                               sim_.now() - launch_start, key.hash(),
+                               obs::kSpanError);
+                     return;  // host refused; demand stays cold
+                   }
+                   emit_span(0, obs::Stage::kPrewarm, launch_start,
+                             r.value().breakdown.total(), key.hash());
                    pool::PoolEntry e;
                    e.id = r.value().container;
                    e.key = key;
@@ -258,18 +375,36 @@ void HotCController::adaptive_tick() {
   stats_.idle_container_seconds +=
       static_cast<double>(pool_.total_available()) * interval_s;
 
+  std::size_t target_sum = 0;
   for (auto& [key, state] : keys_) {
     // Observe this interval's demand: the peak number of simultaneously
     // busy containers of this runtime type.
     const auto demand = static_cast<double>(state.interval_peak);
+    // Score the forecast the previous tick made for *this* interval
+    // before the predictor sees the new observation (Algorithm 3's
+    // smoothing error, per key and accumulated).
+    if (state.last_forecast >= 0.0 && obs_.prediction_samples != nullptr) {
+      const double err = std::abs(state.last_forecast - demand);
+      obs_.prediction_samples->inc();
+      obs_.prediction_error_sum->add(err);
+      if (state.error_gauge == nullptr) {
+        state.error_gauge = &options_.registry->gauge(
+            "hotc_controller_prediction_abs_error",
+            "Last interval's |forecast - observed demand|, per runtime key",
+            key_label(key));
+      }
+      state.error_gauge->set(err);
+    }
     state.predictor->observe(demand);
     state.demand.add(now, demand);
     const double forecast = std::max(0.0, state.predictor->predict());
     state.forecast.add(now, forecast);
+    state.last_forecast = forecast;
     state.interval_peak = state.busy_now;
     state.interval_requests = 0;
 
     const auto target = static_cast<std::size_t>(std::ceil(forecast));
+    target_sum += target;
     const std::size_t have = pool_.num_available(key) + state.busy_now;
 
     if (options_.enable_prewarm && target > have) {
@@ -289,6 +424,13 @@ void HotCController::adaptive_tick() {
         retire_entry(entries[i], /*pressure=*/false);
       }
     }
+  }
+
+  if (obs_.predicted_containers != nullptr) {
+    obs_.predicted_containers->set(static_cast<double>(target_sum));
+    obs_.live_containers->set(static_cast<double>(engine_.live_count()));
+    obs_.pooled_containers->set(
+        static_cast<double>(pool_.total_available()));
   }
 
   if (options_.pause_idle_after > kZeroDuration) pause_stale_entries(now);

@@ -21,6 +21,7 @@
 #include "core/result.hpp"
 #include "core/series.hpp"
 #include "engine/engine.hpp"
+#include "obs/trace.hpp"
 #include "pool/eviction.hpp"
 #include "pool/pool.hpp"
 #include "predict/hybrid.hpp"
@@ -60,6 +61,13 @@ struct ControllerOptions {
     return std::make_unique<predict::HybridPredictor>();
   };
   std::uint64_t rng_seed = 1234;
+  /// Observability hooks, both optional.  The tracer receives lifecycle
+  /// spans (parse, pool lookup, cold start vs reuse, exec, clean,
+  /// readmit...); the registry receives controller metrics (prediction
+  /// error, prewarm/retire/evict counts, pool-size gauges).  Both must
+  /// outlive the controller.
+  obs::Tracer* tracer = nullptr;
+  obs::Registry* registry = nullptr;
 };
 
 /// Outcome of one request through HotC.
@@ -99,6 +107,12 @@ class HotCController {
   /// Algorithm 1 + 2: serve one request.
   void handle(const spec::RunSpec& spec, const engine::AppModel& app,
               Callback cb);
+
+  /// Same, attributing every span to the caller's trace id (the gateway
+  /// passes its request id so one trace covers the whole request path).
+  /// A zero trace id draws a fresh one from the tracer when present.
+  void handle_traced(const spec::RunSpec& spec, const engine::AppModel& app,
+                     std::uint64_t trace_id, Callback cb);
 
   /// Start the Algorithm 3 control loop (call once, before running the
   /// simulation).  `until` bounds the loop; pass a horizon past your
@@ -144,6 +158,12 @@ class HotCController {
     std::size_t busy_now = 0;       // currently executing containers
     std::size_t interval_peak = 0;  // max busy within the current interval
     std::uint64_t interval_requests = 0;
+    /// Previous tick's forecast, so the next tick can score it against the
+    /// demand it was predicting (negative = no forecast made yet).
+    double last_forecast = -1.0;
+    /// Per-key |forecast - demand| gauge, registered lazily on the first
+    /// scored tick (null when no registry is attached).
+    obs::Gauge* error_gauge = nullptr;
   };
 
   KeyState& key_state(const spec::RuntimeKey& key, const spec::RunSpec& spec);
@@ -160,8 +180,14 @@ class HotCController {
 
   void run_on(const pool::PoolEntry& entry, const spec::RunSpec& spec,
               const engine::AppModel& app, bool was_prewarmed,
-              Duration startup_paid, TimePoint arrival, Callback cb,
-              bool was_resumed = false, bool was_restored = false);
+              Duration startup_paid, TimePoint arrival,
+              std::uint64_t trace_id, Callback cb, bool was_resumed = false,
+              bool was_restored = false);
+
+  /// Record one span when a tracer is attached (no-op otherwise).
+  void emit_span(std::uint64_t trace_id, obs::Stage stage, TimePoint start,
+                 Duration dur, std::uint64_t key_hash,
+                 std::uint8_t flags = 0);
 
   /// Freeze pool entries idle past options_.pause_idle_after.
   void pause_stale_entries(TimePoint now);
@@ -170,12 +196,26 @@ class HotCController {
     if (pool_listener_) pool_listener_(key);
   }
 
+  /// Cached instrument handles; all null until a registry is attached via
+  /// ControllerOptions::registry (un-instrumented runs pay one branch).
+  struct Instruments {
+    obs::Counter* prewarms = nullptr;
+    obs::Counter* retires = nullptr;
+    obs::Counter* evictions = nullptr;
+    obs::Counter* prediction_samples = nullptr;
+    obs::Gauge* prediction_error_sum = nullptr;
+    obs::Gauge* predicted_containers = nullptr;
+    obs::Gauge* live_containers = nullptr;
+    obs::Gauge* pooled_containers = nullptr;
+  };
+
   engine::ContainerEngine& engine_;
   sim::Simulator& sim_;
   ControllerOptions options_;
   pool::RuntimePool pool_;
   Rng rng_;
   ControllerStats stats_;
+  Instruments obs_;
   std::map<spec::RuntimeKey, KeyState> keys_;
   /// One checkpoint image per runtime key (newest wins).
   std::map<spec::RuntimeKey, engine::ContainerEngine::CheckpointId>

@@ -1,105 +1,112 @@
 #include "hotc/telemetry.hpp"
 
-#include <sstream>
+#include <iterator>
+#include <utility>
+
+#include "obs/export.hpp"
 
 namespace hotc {
 namespace {
 
-class Exposition {
- public:
-  explicit Exposition(std::string labels) : labels_(std::move(labels)) {}
+void add(obs::RegistrySnapshot& out, obs::MetricKind kind, std::string name,
+         std::string help, double value) {
+  obs::MetricSample s;
+  s.name = std::move(name);
+  s.help = std::move(help);
+  s.kind = kind;
+  s.value = value;
+  out.push_back(std::move(s));
+}
 
-  void gauge(const std::string& name, const std::string& help, double value) {
-    sample(name, help, "gauge", value);
+/// Capture every engine/controller value into plain samples.  This is the
+/// consistent cut: nothing is read from the live objects after this
+/// function returns, so rendering cannot interleave with state changes.
+obs::RegistrySnapshot capture(const engine::ContainerEngine& engine,
+                              const HotCController* controller) {
+  using K = obs::MetricKind;
+  obs::RegistrySnapshot snap;
+
+  add(snap, K::kGauge, "hotc_engine_containers_live",
+      "Containers in any non-removed state",
+      static_cast<double>(engine.live_count()));
+  add(snap, K::kGauge, "hotc_engine_containers_idle",
+      "Existing-Available containers",
+      static_cast<double>(engine.idle_count()));
+  add(snap, K::kGauge, "hotc_engine_containers_busy",
+      "Containers executing or cleaning",
+      static_cast<double>(engine.busy_count()));
+  add(snap, K::kGauge, "hotc_engine_memory_used_bytes", "Host memory in use",
+      static_cast<double>(engine.memory_used()));
+  add(snap, K::kGauge, "hotc_engine_swap_used_bytes", "Host swap in use",
+      static_cast<double>(engine.swap_used()));
+  add(snap, K::kGauge, "hotc_engine_cpu_utilization",
+      "Fraction of host cores busy plus idle-container overhead",
+      engine.cpu_utilization());
+  add(snap, K::kCounter, "hotc_engine_launches_total",
+      "Containers ever launched", static_cast<double>(engine.launches()));
+  add(snap, K::kCounter, "hotc_engine_execs_total",
+      "Function executions ever run", static_cast<double>(engine.execs()));
+  add(snap, K::kCounter, "hotc_engine_launch_failures_total",
+      "Injected/real launch failures",
+      static_cast<double>(engine.injected_launch_failures()));
+  add(snap, K::kCounter, "hotc_engine_exec_crashes_total",
+      "Function crashes",
+      static_cast<double>(engine.injected_exec_crashes()));
+
+  if (controller != nullptr) {
+    const auto& stats = controller->stats();
+    const pool::PoolView& pool = controller->pool_view();
+    add(snap, K::kCounter, "hotc_requests_total",
+        "Requests handled by the controller",
+        static_cast<double>(stats.requests));
+    add(snap, K::kCounter, "hotc_cold_starts_total",
+        "Requests that required a new runtime",
+        static_cast<double>(stats.cold_starts));
+    add(snap, K::kCounter, "hotc_reuses_total",
+        "Requests served from the pool",
+        static_cast<double>(stats.reuses));
+    add(snap, K::kCounter, "hotc_prewarm_launches_total",
+        "Predictive warm-up launches (Algorithm 3)",
+        static_cast<double>(stats.prewarm_launches));
+    add(snap, K::kCounter, "hotc_retired_total",
+        "Pooled containers retired by the adaptive loop",
+        static_cast<double>(stats.retired));
+    add(snap, K::kCounter, "hotc_evicted_total",
+        "Pooled containers evicted under pressure",
+        static_cast<double>(stats.evicted));
+    add(snap, K::kGauge, "hotc_pool_available",
+        "Existing-Available pooled containers",
+        static_cast<double>(pool.total_available()));
+    add(snap, K::kGauge, "hotc_pool_paused", "Frozen pooled containers",
+        static_cast<double>(pool.paused_count()));
+    add(snap, K::kGauge, "hotc_pool_hit_rate", "Pool hits over hits+misses",
+        pool.stats_snapshot().hit_rate());
+    add(snap, K::kGauge, "hotc_pool_idle_container_seconds",
+        "Accumulated idle container-seconds (cost proxy)",
+        stats.idle_container_seconds);
   }
-  void counter(const std::string& name, const std::string& help,
-               double value) {
-    sample(name, help, "counter", value);
-  }
-
-  [[nodiscard]] std::string str() const { return os_.str(); }
-
- private:
-  void sample(const std::string& name, const std::string& help,
-              const char* type, double value) {
-    os_ << "# HELP " << name << ' ' << help << '\n';
-    os_ << "# TYPE " << name << ' ' << type << '\n';
-    os_ << name << '{' << labels_ << "} ";
-    // Integers render without a decimal point, like client libraries do.
-    if (value == static_cast<double>(static_cast<long long>(value))) {
-      os_ << static_cast<long long>(value);
-    } else {
-      os_ << value;
-    }
-    os_ << '\n';
-  }
-
-  std::string labels_;
-  std::ostringstream os_;
-};
+  return snap;
+}
 
 }  // namespace
 
 std::string export_prometheus(const engine::ContainerEngine& engine,
                               const HotCController* controller,
                               const TelemetryLabels& labels) {
-  Exposition out("instance=\"" + labels.instance + "\"");
+  return export_prometheus(engine, controller, nullptr, labels);
+}
 
-  out.gauge("hotc_engine_containers_live",
-            "Containers in any non-removed state",
-            static_cast<double>(engine.live_count()));
-  out.gauge("hotc_engine_containers_idle", "Existing-Available containers",
-            static_cast<double>(engine.idle_count()));
-  out.gauge("hotc_engine_containers_busy",
-            "Containers executing or cleaning",
-            static_cast<double>(engine.busy_count()));
-  out.gauge("hotc_engine_memory_used_bytes", "Host memory in use",
-            static_cast<double>(engine.memory_used()));
-  out.gauge("hotc_engine_swap_used_bytes", "Host swap in use",
-            static_cast<double>(engine.swap_used()));
-  out.gauge("hotc_engine_cpu_utilization",
-            "Fraction of host cores busy plus idle-container overhead",
-            engine.cpu_utilization());
-  out.counter("hotc_engine_launches_total", "Containers ever launched",
-              static_cast<double>(engine.launches()));
-  out.counter("hotc_engine_execs_total", "Function executions ever run",
-              static_cast<double>(engine.execs()));
-  out.counter("hotc_engine_launch_failures_total",
-              "Injected/real launch failures",
-              static_cast<double>(engine.injected_launch_failures()));
-  out.counter("hotc_engine_exec_crashes_total", "Function crashes",
-              static_cast<double>(engine.injected_exec_crashes()));
-
-  if (controller != nullptr) {
-    const auto& stats = controller->stats();
-    const pool::PoolView& pool = controller->pool_view();
-    out.counter("hotc_requests_total", "Requests handled by the controller",
-                static_cast<double>(stats.requests));
-    out.counter("hotc_cold_starts_total",
-                "Requests that required a new runtime",
-                static_cast<double>(stats.cold_starts));
-    out.counter("hotc_reuses_total", "Requests served from the pool",
-                static_cast<double>(stats.reuses));
-    out.counter("hotc_prewarm_launches_total",
-                "Predictive warm-up launches (Algorithm 3)",
-                static_cast<double>(stats.prewarm_launches));
-    out.counter("hotc_retired_total",
-                "Pooled containers retired by the adaptive loop",
-                static_cast<double>(stats.retired));
-    out.counter("hotc_evicted_total",
-                "Pooled containers evicted under pressure",
-                static_cast<double>(stats.evicted));
-    out.gauge("hotc_pool_available", "Existing-Available pooled containers",
-              static_cast<double>(pool.total_available()));
-    out.gauge("hotc_pool_paused", "Frozen pooled containers",
-              static_cast<double>(pool.paused_count()));
-    out.gauge("hotc_pool_hit_rate", "Pool hits over hits+misses",
-              pool.stats_snapshot().hit_rate());
-    out.gauge("hotc_pool_idle_container_seconds",
-              "Accumulated idle container-seconds (cost proxy)",
-              stats.idle_container_seconds);
+std::string export_prometheus(const engine::ContainerEngine& engine,
+                              const HotCController* controller,
+                              const obs::Registry* registry,
+                              const TelemetryLabels& labels) {
+  obs::RegistrySnapshot snap = capture(engine, controller);
+  if (registry != nullptr) {
+    obs::RegistrySnapshot extra = registry->snapshot();
+    snap.insert(snap.end(), std::make_move_iterator(extra.begin()),
+                std::make_move_iterator(extra.end()));
   }
-  return out.str();
+  return obs::to_prometheus(snap, "instance=\"" + labels.instance + "\"");
 }
 
 }  // namespace hotc

@@ -2,12 +2,19 @@
 // engine state.  A real HotC deployment would serve this on /metrics; here
 // it gives operators (and the examples) a standard snapshot format, and
 // the tests pin the metric names as a stable interface.
+//
+// Consistency guarantee: every exported value — engine gauges, controller
+// counters and (when given) the whole obs::Registry — is captured into
+// plain MetricSamples *before* any text is rendered.  The output is one
+// consistent cut of the system, never a mix of values read at different
+// points during formatting.
 #pragma once
 
 #include <string>
 
 #include "engine/engine.hpp"
 #include "hotc/controller.hpp"
+#include "obs/metrics.hpp"
 
 namespace hotc {
 
@@ -20,6 +27,14 @@ struct TelemetryLabels {
 /// samples.  Pass nullptr for `controller` to export engine-only metrics.
 std::string export_prometheus(const engine::ContainerEngine& engine,
                               const HotCController* controller,
+                              const TelemetryLabels& labels = {});
+
+/// Same, appending every instrument in `registry` (per-shard pool
+/// counters, stage histograms, prediction-error gauges...) to the same
+/// exposition, under the same instance label and the same snapshot cut.
+std::string export_prometheus(const engine::ContainerEngine& engine,
+                              const HotCController* controller,
+                              const obs::Registry* registry,
                               const TelemetryLabels& labels = {});
 
 }  // namespace hotc

@@ -1,0 +1,162 @@
+#include "obs/export.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+#include "core/json.hpp"
+
+namespace hotc::obs {
+
+namespace {
+
+const char* type_name(MetricKind kind) {
+  switch (kind) {
+    case MetricKind::kCounter: return "counter";
+    case MetricKind::kGauge: return "gauge";
+    case MetricKind::kHistogram: return "histogram";
+  }
+  return "untyped";
+}
+
+std::string join_labels(const std::string& common,
+                        const std::string& extra) {
+  if (common.empty()) return extra;
+  if (extra.empty()) return common;
+  return common + "," + extra;
+}
+
+void append_number(std::ostringstream& os, double v) {
+  // Integers render without a decimal point, like client libraries do.
+  if (v == static_cast<double>(static_cast<long long>(v))) {
+    os << static_cast<long long>(v);
+  } else {
+    os << v;
+  }
+}
+
+void append_sample_line(std::ostringstream& os, const std::string& name,
+                        const std::string& labels, double value) {
+  os << name;
+  if (!labels.empty()) os << '{' << labels << '}';
+  os << ' ';
+  append_number(os, value);
+  os << '\n';
+}
+
+void append_histogram(std::ostringstream& os, const MetricSample& s,
+                      const std::string& labels) {
+  const HistogramSnapshot& h = s.histogram;
+  // Cumulative buckets, empty ones elided (the upper edge of bucket b is
+  // the lower edge of b+1).  underflow counts into every bucket;
+  // overflow only into +Inf — standard le-semantics.
+  std::uint64_t cumulative = h.underflow;
+  for (std::size_t b = 0; b < h.counts.size(); ++b) {
+    if (h.counts[b] == 0) continue;
+    cumulative += h.counts[b];
+    char le[32];
+    std::snprintf(le, sizeof(le), "%.6g",
+                  LogHistogram::lower_bound(static_cast<int>(b) + 1));
+    const std::string bucket_labels =
+        join_labels(labels, std::string("le=\"") + le + "\"");
+    append_sample_line(os, s.name + "_bucket", bucket_labels,
+                       static_cast<double>(cumulative));
+  }
+  append_sample_line(os, s.name + "_bucket",
+                     join_labels(labels, "le=\"+Inf\""),
+                     static_cast<double>(h.total));
+  append_sample_line(os, s.name + "_sum", labels, h.sum);
+  append_sample_line(os, s.name + "_count", labels,
+                     static_cast<double>(h.total));
+}
+
+}  // namespace
+
+std::string to_prometheus(const RegistrySnapshot& snapshot,
+                          const std::string& common_labels) {
+  std::ostringstream os;
+  std::string last_family;
+  for (const MetricSample& s : snapshot) {
+    if (s.name != last_family) {
+      os << "# HELP " << s.name << ' ' << s.help << '\n';
+      os << "# TYPE " << s.name << ' ' << type_name(s.kind) << '\n';
+      last_family = s.name;
+    }
+    const std::string labels = join_labels(common_labels, s.labels);
+    if (s.kind == MetricKind::kHistogram) {
+      append_histogram(os, s, labels);
+    } else {
+      append_sample_line(os, s.name, labels, s.value);
+    }
+  }
+  return os.str();
+}
+
+std::string to_prometheus(const Registry& registry,
+                          const std::string& common_labels) {
+  return to_prometheus(registry.snapshot(), common_labels);
+}
+
+namespace {
+
+std::string hex_key(std::uint64_t key_hash) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, key_hash);
+  return buf;
+}
+
+}  // namespace
+
+std::string spans_to_jsonl(const std::vector<SpanRecord>& spans) {
+  std::string out;
+  for (const SpanRecord& rec : spans) {
+    JsonObject obj;
+    obj["trace"] = Json(static_cast<std::int64_t>(rec.trace_id));
+    obj["seq"] = Json(static_cast<std::int64_t>(rec.span_seq));
+    obj["stage"] = Json(std::string(to_string(rec.stage)));
+    obj["start_ns"] = Json(static_cast<std::int64_t>(rec.start_ns));
+    obj["dur_ns"] = Json(static_cast<std::int64_t>(rec.dur_ns));
+    if (rec.key_hash != 0) obj["key"] = Json(hex_key(rec.key_hash));
+    if (rec.shard != kNoShard) {
+      obj["shard"] = Json(static_cast<std::int64_t>(rec.shard));
+    }
+    if ((rec.flags & kSpanCold) != 0) obj["cold"] = Json(true);
+    if ((rec.flags & kSpanHit) != 0) obj["hit"] = Json(true);
+    if ((rec.flags & kSpanError) != 0) obj["error"] = Json(true);
+    out += Json(std::move(obj)).dump(0);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string spans_to_chrome_trace(const std::vector<SpanRecord>& spans) {
+  JsonArray events;
+  events.reserve(spans.size());
+  for (const SpanRecord& rec : spans) {
+    JsonObject ev;
+    ev["name"] = Json(std::string(to_string(rec.stage)));
+    ev["cat"] = Json(std::string("hotc"));
+    ev["ph"] = Json(std::string("X"));  // complete event
+    ev["ts"] = Json(static_cast<double>(rec.start_ns) / 1e3);   // us
+    ev["dur"] = Json(static_cast<double>(rec.dur_ns) / 1e3);    // us
+    ev["pid"] = Json(1);
+    // One timeline row per trace keeps a request's spans on one line in
+    // Perfetto; the id is bounded so rows stay readable.
+    ev["tid"] = Json(static_cast<std::int64_t>(rec.trace_id % 64));
+    JsonObject args;
+    args["trace"] = Json(static_cast<std::int64_t>(rec.trace_id));
+    if (rec.key_hash != 0) args["key"] = Json(hex_key(rec.key_hash));
+    if (rec.shard != kNoShard) {
+      args["shard"] = Json(static_cast<std::int64_t>(rec.shard));
+    }
+    args["cold"] = Json((rec.flags & kSpanCold) != 0);
+    ev["args"] = Json(std::move(args));
+    events.emplace_back(std::move(ev));
+  }
+  JsonObject root;
+  root["traceEvents"] = Json(std::move(events));
+  root["displayTimeUnit"] = Json(std::string("ms"));
+  return Json(std::move(root)).dump(2);
+}
+
+}  // namespace hotc::obs

@@ -1,0 +1,40 @@
+// Exporters: one registry/recorder, three formats.
+//
+//   to_prometheus    text exposition format 0.0.4 (counters, gauges, and
+//                    histograms as cumulative _bucket/_sum/_count with
+//                    empty buckets elided — log-scale histograms are
+//                    sparse, so this keeps scrapes compact).
+//   spans_to_jsonl   one JSON object per span per line; trivially
+//                    greppable / loadable into pandas.
+//   spans_to_chrome_trace
+//                    chrome://tracing "trace_event" JSON (ph:"X"
+//                    complete events, ts/dur in microseconds) — open the
+//                    file in Perfetto / chrome://tracing to see a bench
+//                    run's request lifecycle on a timeline.
+//
+// All three render from snapshots (RegistrySnapshot / vector<SpanRecord>)
+// taken before formatting starts, never from live instruments.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+namespace hotc::obs {
+
+/// `common_labels` (e.g. `instance="hotc"`) is prepended to every
+/// sample's label set.
+std::string to_prometheus(const RegistrySnapshot& snapshot,
+                          const std::string& common_labels = "");
+
+/// Convenience: snapshot + render in one call.
+std::string to_prometheus(const Registry& registry,
+                          const std::string& common_labels = "");
+
+std::string spans_to_jsonl(const std::vector<SpanRecord>& spans);
+
+std::string spans_to_chrome_trace(const std::vector<SpanRecord>& spans);
+
+}  // namespace hotc::obs

@@ -1,0 +1,233 @@
+// Request lifecycle tracing: spans + a bounded lock-free flight recorder.
+//
+// Every gateway submit opens a trace (trace id = the request id); each
+// stage the request crosses — forwarding, parse, pool lookup, cold start
+// vs reuse, execution, volume clean, readmit — records one SpanRecord.
+// Records go two places:
+//
+//   * the FlightRecorder, a fixed-capacity ring that always holds the
+//     last N spans, so the recent past is inspectable post-mortem (JSONL
+//     or chrome://tracing dumps) at near-zero steady-state cost;
+//   * per-stage LogHistograms in the metrics Registry (when one is
+//     attached), so Prometheus scrapes see stage latency distributions.
+//
+// The ring is multi-writer safe without locks — and without any per-slot
+// RMW: one fetch_add on the head ticket uniquely assigns (slot, cycle),
+// so the writer owns the slot outright unless the ring issues a full
+// revolution of newer tickets while it is stalled.  Cheap relaxed loads
+// of head before and after the payload detect that lap; a lapped writer
+// abandons the slot (sequence left odd, unreadable) and counts a drop
+// instead of blocking.  Payload words are release-stored / acquire-read
+// atomics, so concurrent snapshot() readers are race-free (TSan clean)
+// and discard any slot whose sequence changed under them.
+//
+// Timestamps are hotc::TimePoint — virtual time under the simulator,
+// wall-clock offsets in real drivers; callers supply them, the recorder
+// never reads a clock.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/time.hpp"
+#include "obs/metrics.hpp"
+
+namespace hotc::obs {
+
+/// The stages of the gateway -> pool -> engine -> clean -> readmit path.
+enum class Stage : std::uint8_t {
+  kForward = 0,     // client -> gateway -> watchdog hops
+  kParse,           // spec canonicalised into a runtime key
+  kPoolLookup,      // Algorithm 1 key-value store probe
+  kColdStart,       // full runtime provisioning (pull/create/start)
+  kReuse,           // warm hit: the pooled runtime was taken
+  kResume,          // frozen pooled runtime thawed
+  kRestore,         // checkpoint image restored instead of cold boot
+  kExec,            // function execution inside the container
+  kClean,           // Algorithm 2 volume wipe + remount
+  kReadmit,         // cleaned runtime returned to the pool
+  kReturn,          // watchdog -> gateway -> client hops
+  kPrewarm,         // Algorithm 3 predictive warm-up launch
+  kEvict,           // pressure / adaptive eviction
+  kRoute,           // cluster node selection
+};
+constexpr int kStageCount = 14;
+
+const char* to_string(Stage stage);
+
+/// Span flag bits.
+inline constexpr std::uint8_t kSpanCold = 1;      // paid a cold start
+inline constexpr std::uint8_t kSpanHit = 2;       // pool lookup hit
+inline constexpr std::uint8_t kSpanError = 4;     // the stage failed
+
+/// No shard attribution (controller-local pool, gateway hops...).
+inline constexpr std::uint16_t kNoShard = 0xffff;
+
+/// One span: fixed-size, no heap, 40 bytes packed into 5 words.
+struct SpanRecord {
+  std::uint64_t trace_id = 0;   // request id; 0 = unattributed
+  std::uint64_t key_hash = 0;   // RuntimeKey::hash() when known
+  std::int64_t start_ns = 0;    // TimePoint offset
+  std::int64_t dur_ns = 0;
+  /// Global publication ordinal (the ring ticket, truncated): orders
+  /// spans within and across traces.  Stamped by FlightRecorder::record,
+  /// callers never set it.
+  std::uint32_t span_seq = 0;
+  std::uint16_t shard = kNoShard;
+  Stage stage = Stage::kForward;
+  std::uint8_t flags = 0;
+};
+
+/// Bounded MPMC span ring; capacity is rounded up to a power of two.
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(std::size_t capacity = 4096);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Publish one span (may drop under pathological lapping; see
+  /// dropped()).  `rec.span_seq` is overwritten with the publication
+  /// ticket.  Inline: this is the per-span hot path, bounded by one
+  /// fetch_add plus seven plain stores (Fig. 15 gates it at <= 5 % of a
+  /// pool acquire/release pair).
+  void record(SpanRecord rec) {
+    const std::uint64_t ticket =
+        head_.fetch_add(1, std::memory_order_relaxed);
+    rec.span_seq = static_cast<std::uint32_t>(ticket);
+    Slot& slot = slots_[ticket & mask_];
+    const std::uint64_t writing = 2 * (ticket >> shift_) + 1;
+    slot.seq.store(writing, std::memory_order_relaxed);
+    pack(rec, slot);
+    // Lap check, not a lock: the ticket owns this slot outright unless
+    // the ring issued a full revolution of newer tickets while this
+    // writer was stalled, in which case its words may be interleaved
+    // with the newer owner's.  One relaxed load of head (a line the
+    // fetch_add above just touched) detects that: abandon the slot with
+    // seq left odd — unreadable — and count the drop.  (The residual
+    // window — this load overtaking a full ring revolution that happens
+    // within the few nanoseconds of pack() — requires a writer stalled
+    // mid-store-sequence and is not observable on cache-coherent hosts;
+    // the cost if it ever hit would be one corrupt diagnostic span,
+    // never a data race: every slot access is atomic.)
+    if (head_.load(std::memory_order_relaxed) - ticket >= slots_.size()) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    slot.seq.store(writing + 1, std::memory_order_release);
+  }
+
+  /// Copy out every currently-readable span, oldest first.  Concurrent
+  /// writers may overwrite slots mid-read; those slots are skipped, never
+  /// torn.
+  [[nodiscard]] std::vector<SpanRecord> snapshot() const;
+
+  [[nodiscard]] std::size_t capacity() const { return slots_.size(); }
+  /// Spans ever published (monotonic; ring position derives from it).
+  [[nodiscard]] std::uint64_t recorded() const {
+    return head_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // seq protocol per slot: 0 = never written; 2c+1 = write in progress
+  // for cycle c; 2c+2 = readable, written at cycle c (cycle = ticket >>
+  // shift).  Payload words are release-stored and acquire-loaded: a
+  // reader that sees any word of an in-progress overwrite is forced to
+  // also see the writer's odd sequence on its validating re-read, so a
+  // torn slot never passes validation.
+  struct alignas(64) Slot {
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::uint64_t> words[5]{};
+  };
+
+  // Release stores: each word orders the slot's odd ("writing") sequence
+  // store before itself, so a reader that acquire-loads any new-cycle
+  // word is guaranteed to observe the sequence change when it re-reads
+  // seq — a half-written slot can never validate.  On x86 a release
+  // store is a plain store; this costs nothing on the hot path.
+  static void pack(const SpanRecord& rec, Slot& slot) {
+    slot.words[0].store(rec.trace_id, std::memory_order_release);
+    slot.words[1].store(rec.key_hash, std::memory_order_release);
+    slot.words[2].store(static_cast<std::uint64_t>(rec.start_ns),
+                        std::memory_order_release);
+    slot.words[3].store(static_cast<std::uint64_t>(rec.dur_ns),
+                        std::memory_order_release);
+    const std::uint64_t meta =
+        (static_cast<std::uint64_t>(rec.span_seq) << 32) |
+        (static_cast<std::uint64_t>(rec.shard) << 16) |
+        (static_cast<std::uint64_t>(rec.stage) << 8) |
+        static_cast<std::uint64_t>(rec.flags);
+    slot.words[4].store(meta, std::memory_order_release);
+  }
+  static SpanRecord unpack(const Slot& slot);
+
+  std::vector<Slot> slots_;
+  std::uint64_t mask_ = 0;
+  unsigned shift_ = 0;  // log2(capacity): cycle = ticket >> shift_
+  std::atomic<std::uint64_t> head_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+};
+
+/// Facade the instrumented layers talk to: one ring + optional per-stage
+/// histograms + a global enable switch (one relaxed load when disabled).
+class Tracer {
+ public:
+  /// `registry` may be null (ring only).  When given, each recorded span
+  /// also feeds `hotc_stage_duration_ms{stage="..."}`.
+  explicit Tracer(std::size_t ring_capacity = 4096,
+                  Registry* registry = nullptr);
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  [[nodiscard]] bool enabled() const {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Record one span.  No-op (one relaxed load) when disabled.
+  void span(std::uint64_t trace_id, Stage stage, TimePoint start,
+            Duration dur, std::uint64_t key_hash = 0,
+            std::uint16_t shard = kNoShard, std::uint8_t flags = 0) {
+    if (!enabled()) return;
+    SpanRecord rec;
+    rec.trace_id = trace_id;
+    rec.key_hash = key_hash;
+    rec.start_ns = start.count();
+    rec.dur_ns = dur.count();
+    rec.shard = shard;
+    rec.stage = stage;
+    rec.flags = flags;
+    ring_.record(rec);
+    // Zero-duration spans are instant markers (pool lookup, readmit...):
+    // they have no latency to distribute, and feeding 0 would only skew
+    // the stage histogram toward its underflow bucket.
+    if (dur.count() == 0) return;
+    LogHistogram* hist = stage_hist_[static_cast<int>(stage)];
+    if (hist != nullptr) hist->observe(to_milliseconds(dur));
+  }
+
+  /// Trace ids for drivers that do not have a natural request id.
+  [[nodiscard]] std::uint64_t next_trace_id() {
+    return next_id_.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  [[nodiscard]] const FlightRecorder& recorder() const { return ring_; }
+  [[nodiscard]] Registry* registry() const { return registry_; }
+
+ private:
+  FlightRecorder ring_;
+  Registry* registry_;
+  LogHistogram* stage_hist_[kStageCount] = {};
+  std::atomic<bool> enabled_{true};
+  std::atomic<std::uint64_t> next_id_{0};
+};
+
+}  // namespace hotc::obs

@@ -1,8 +1,9 @@
 #include "pool/audit.hpp"
 
-#include <cstdio>
 #include <cstdlib>
 #include <string>
+
+#include "core/log.hpp"
 
 namespace hotc::audit {
 

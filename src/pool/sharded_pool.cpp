@@ -1,12 +1,13 @@
 #include "pool/sharded_pool.hpp"
 
 #include <algorithm>
-#include <cstdio>
 #include <cstdlib>
 #include <iterator>
+#include <string>
 #include <thread>
 
 #include "core/assert.hpp"
+#include "core/log.hpp"
 
 namespace hotc::pool {
 
@@ -34,8 +35,8 @@ void ShardedRuntimePool::audit_shard(const Shard& shard) {
 #ifdef HOTC_AUDIT
   const Result<bool> ok = shard.pool.check_conservation();
   if (!ok.ok()) {
-    std::fprintf(stderr, "HOTC pool conservation violated: %s\n",
-                 ok.error().to_string().c_str());
+    HOTC_ERROR("pool.audit")
+        << "HOTC pool conservation violated: " << ok.error().to_string();
     std::abort();
   }
 #else
@@ -43,11 +44,37 @@ void ShardedRuntimePool::audit_shard(const Shard& shard) {
 #endif
 }
 
+void ShardedRuntimePool::attach_metrics(obs::Registry& registry) {
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    const std::string label = "shard=\"" + std::to_string(i) + "\"";
+    ShardMetrics m;
+    m.hits = &registry.counter("hotc_pool_shard_hits_total",
+                               "Pool acquires served warm, per shard",
+                               label);
+    m.misses = &registry.counter("hotc_pool_shard_misses_total",
+                                 "Pool acquires that found nothing, "
+                                 "per shard",
+                                 label);
+    m.evictions = &registry.counter(
+        "hotc_pool_shard_evictions_total",
+        "Pooled runtimes removed outside the acquire path, per shard",
+        label);
+    m.steals = &registry.counter(
+        "hotc_pool_shard_steals_total",
+        "Victims taken from this shard by cross-shard selection", label);
+    const std::lock_guard<RankedMutex> lock(shards_[i]->mu);
+    shards_[i]->metrics = m;
+  }
+}
+
 std::optional<PoolEntry> ShardedRuntimePool::acquire(
     const spec::RuntimeKey& key, TimePoint now) {
   Shard& shard = shard_for(key);
   const std::lock_guard<RankedMutex> lock(shard.mu);
   auto out = shard.pool.acquire(key, now);
+  if (shard.metrics.hits != nullptr) {
+    (out.has_value() ? shard.metrics.hits : shard.metrics.misses)->inc();
+  }
   audit_shard(shard);
   return out;
 }
@@ -65,6 +92,9 @@ bool ShardedRuntimePool::remove(const spec::RuntimeKey& key,
   Shard& shard = shard_for(key);
   const std::lock_guard<RankedMutex> lock(shard.mu);
   const bool out = shard.pool.remove(key, id);
+  if (out && shard.metrics.evictions != nullptr) {
+    shard.metrics.evictions->inc();
+  }
   audit_shard(shard);
   return out;
 }
@@ -101,24 +131,38 @@ std::optional<PoolEntry> ShardedRuntimePool::select_victim(
     std::size_t target = rng->index(total);
     for (const auto& shard : shards_) {
       const std::size_t n = shard->pool.total_available();
-      if (target < n) return shard->pool.entry_at(target);
+      if (target < n) {
+        auto out = shard->pool.entry_at(target);
+        if (out.has_value() && shard->metrics.steals != nullptr) {
+          shard->metrics.steals->inc();
+        }
+        return out;
+      }
       target -= n;
     }
     return std::nullopt;  // unreachable
   }
 
   std::optional<PoolEntry> best;
+  const Shard* best_shard = nullptr;
   for (const auto& shard : shards_) {
     auto candidate = shard->pool.select_victim(policy);
     if (!candidate.has_value()) continue;
     if (!best.has_value()) {
       best = std::move(candidate);
+      best_shard = shard.get();
       continue;
     }
     const bool older = policy == EvictionPolicy::kOldestFirst
                            ? candidate->created_at < best->created_at
                            : candidate->returned_at < best->returned_at;
-    if (older) best = std::move(candidate);
+    if (older) {
+      best = std::move(candidate);
+      best_shard = shard.get();
+    }
+  }
+  if (best_shard != nullptr && best_shard->metrics.steals != nullptr) {
+    best_shard->metrics.steals->inc();
   }
   return best;
 }

@@ -33,6 +33,7 @@
 #include "core/rng.hpp"
 #include "core/time.hpp"
 #include "engine/container.hpp"
+#include "obs/metrics.hpp"
 #include "pool/eviction.hpp"
 #include "pool/pool.hpp"
 #include "spec/runtime_key.hpp"
@@ -90,6 +91,13 @@ class ShardedRuntimePool : public PoolView {
     return static_cast<std::size_t>(key.hash() % shards_.size());
   }
 
+  /// Register per-shard hit/miss/evict/steal counters
+  /// (`hotc_pool_shard_*_total{shard="i"}`) with the registry and start
+  /// feeding them.  The hot path pays one relaxed increment per op; with
+  /// no registry attached (the default) it pays one null check.  The
+  /// registry must outlive the pool.
+  void attach_metrics(obs::Registry& registry);
+
   void clear();
 
  private:
@@ -97,11 +105,24 @@ class ShardedRuntimePool : public PoolView {
   // shard mutexes share the kPoolShard rank band with the shard index as
   // the intra-band sequence: lock_all()'s fixed index order is therefore
   // machine-enforced, not a comment (see core/ranked_mutex.hpp).
+  /// Cached instrument handles for one shard; written once by
+  /// attach_metrics under the shard lock, read under the same lock by
+  /// every mutation — no registry lookups on the hot path.
+  struct ShardMetrics {
+    obs::Counter* hits = nullptr;
+    obs::Counter* misses = nullptr;
+    obs::Counter* evictions = nullptr;  // removals (retire/evict paths)
+    obs::Counter* steals = nullptr;     // victims taken by cross-shard
+                                        // select_victim (global pressure,
+                                        // not this shard's own traffic)
+  };
+
   struct alignas(64) Shard {
     explicit Shard(PoolLimits limits, std::uint32_t index)
         : mu(LockRank::kPoolShard, index, "pool.shard"), pool(limits) {}
     mutable RankedMutex mu;
     RuntimePool pool;
+    ShardMetrics metrics;
   };
 
   [[nodiscard]] Shard& shard_for(const spec::RuntimeKey& key) const {

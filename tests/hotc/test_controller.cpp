@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "engine/app.hpp"
@@ -276,6 +277,42 @@ TEST_F(ControllerTest, ForecastHistoryParallelsDemand) {
   ASSERT_NE(ctl.forecast_history(key), nullptr);
   EXPECT_EQ(ctl.forecast_history(key)->size(),
             ctl.demand_history(key)->size());
+}
+
+TEST_F(ControllerTest, PredictionErrorMetricsPopulateAfterScoredTick) {
+  obs::Registry reg;
+  ControllerOptions opt;
+  opt.registry = &reg;
+  auto ctl = make(std::move(opt));
+  const auto app = engine::apps::qr_encoder();
+  ctl.handle(python_spec(), app, [](Result<RequestOutcome>) {});
+  sim_.run();
+  ctl.adaptive_tick();  // first tick: forecast made, nothing scored yet
+  ctl.handle(python_spec(), app, [](Result<RequestOutcome>) {});
+  sim_.run();
+  ctl.adaptive_tick();  // second tick scores the first tick's forecast
+  bool samples_seen = false;
+  bool sum_seen = false;
+  bool per_key_seen = false;
+  for (const auto& s : reg.snapshot()) {
+    if (s.name == "hotc_controller_prediction_samples_total") {
+      samples_seen = true;
+      EXPECT_GE(s.value, 1.0);
+    }
+    if (s.name == "hotc_controller_prediction_abs_error_sum") {
+      sum_seen = true;
+      EXPECT_GE(s.value, 0.0);
+    }
+    if (s.name == "hotc_controller_prediction_abs_error") {
+      per_key_seen = true;
+      // Per-key gauge carries the runtime key hash as a label.
+      EXPECT_NE(s.labels.find("key=\""), std::string::npos) << s.labels;
+      EXPECT_GE(s.value, 0.0);
+    }
+  }
+  EXPECT_TRUE(samples_seen);
+  EXPECT_TRUE(sum_seen);
+  EXPECT_TRUE(per_key_seen);
 }
 
 }  // namespace

@@ -24,6 +24,20 @@ cmake -B "$ROOT/build" -S "$ROOT" >/dev/null
 cmake --build "$ROOT/build" -j "$JOBS"
 ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS"
 
+step "smoke bench: fig15 overhead + BENCH json validation"
+SMOKE_DIR="$(mktemp -d)"
+HOTC_SMOKE=1 HOTC_BENCH_DIR="$SMOKE_DIR" \
+  "$ROOT/build/bench/bench_fig15_overhead" >/dev/null
+python3 -c "
+import json, sys
+doc = json.load(open('$SMOKE_DIR/BENCH_overhead.json'))
+assert doc['smoke'] is True
+assert doc['tracing']['gate_passed'] is True
+print('BENCH_overhead.json: ok (%.2f%% overhead)'
+      % doc['tracing']['overhead_pct'])
+"
+rm -rf "$SMOKE_DIR"
+
 step "build + test: ASan/UBSan + HOTC_AUDIT"
 cmake -B "$ROOT/build-asan" -S "$ROOT" \
   -DHOTC_SANITIZE=address,undefined -DHOTC_AUDIT=ON >/dev/null

@@ -14,6 +14,14 @@ Rules (each one enforces a convention the compiler cannot):
                    not have a default: — combined with -Wswitch-enum this
                    makes enum growth a compile error at every switch.
   include-cycle    The "..." include graph under src/ must be acyclic.
+  direct-io        No direct std::cout/std::cerr/std::clog or printf-family
+                   stream writes in src/.  Diagnostics go through
+                   core/log.cpp (one sink, one format) and metric/trace
+                   output through the obs/ exporters.  Exempt: the log
+                   sink itself, the exporters, and the pre-abort paths
+                   (assert, lock-rank audit, pool conservation audit)
+                   that cannot rely on the logger mid-crash.  snprintf
+                   writes to a caller buffer, not a stream: allowed.
 
 Usage:
   tools/hotc_lint.py [--root DIR]   lint DIR (default: <repo>/src)
@@ -44,6 +52,24 @@ RESULT_DECL_RE = re.compile(
     r"^\s*(?:static\s+)?Result<[^;=]*?>\s+([A-Za-z_]\w*)\s*\(")
 
 AUDITED_ENUMS = ("ContainerState::", "PolicyKind::")
+
+# Streams and the printf family (snprintf/vsnprintf don't match: no word
+# boundary splits the "sn" prefix, and the optional std:: must be followed
+# by the bare name).
+DIRECT_IO_RE = re.compile(
+    r"std::(cout|cerr|clog)\b|\b(?:std::)?(v?f?printf|puts|fputs)\s*\(")
+
+# Relative paths (under --root) allowed to write streams directly: the one
+# log sink, the exporters, and pre-abort diagnostics that cannot trust the
+# logger while the process is crashing.
+DIRECT_IO_EXEMPT = {
+    "core/log.cpp",
+    "core/assert.hpp",
+    "core/ranked_mutex.hpp",
+    "pool/audit.cpp",
+    "obs/export.cpp",
+    "obs/export.hpp",
+}
 
 
 class Finding:
@@ -127,6 +153,22 @@ def check_raw_mutex(path: pathlib.Path, rel: str, lines: list[str]) -> list:
                 "raw-mutex", str(path), idx,
                 f"std::{m.group(1)} outside core/ — use hotc::RankedMutex "
                 "(core/ranked_mutex.hpp) so the lock-rank auditor sees it"))
+    return findings
+
+
+def check_direct_io(path: pathlib.Path, rel: str, lines: list[str]) -> list:
+    if rel.replace("\\", "/") in DIRECT_IO_EXEMPT:
+        return []
+    findings = []
+    for idx, line in enumerate(lines, 1):
+        m = DIRECT_IO_RE.search(line)
+        if m:
+            what = m.group(1) or m.group(2)
+            findings.append(Finding(
+                "direct-io", str(path), idx,
+                f"direct stream write ({what}) — route diagnostics through "
+                "core/log.hpp and metric/trace output through obs/ "
+                "exporters"))
     return findings
 
 
@@ -224,6 +266,7 @@ def lint_tree(root: pathlib.Path) -> list:
         text = strip_comments(p.read_text(errors="replace"))
         lines = text.split("\n")
         findings.extend(check_raw_mutex(p, rel, lines))
+        findings.extend(check_direct_io(p, rel, lines))
         findings.extend(check_nodiscard_result(p, lines))
         findings.extend(check_switch_default(p, text))
     findings.extend(check_include_cycles(root, files))
@@ -281,6 +324,35 @@ SELF_TEST_CASES = {
         "a/one.hpp",
         '#pragma once\n#include "b/two.hpp"\n',
         "include-cycle"),
+    "direct-io fires on cout": (
+        "pool/bad_cout.cpp",
+        "#include <iostream>\nvoid f() { std::cout << 1; }\n",
+        "direct-io"),
+    "direct-io fires on fprintf": (
+        "engine/bad_fprintf.cpp",
+        "#include <cstdio>\nvoid f() { std::fprintf(stderr, \"x\"); }\n",
+        "direct-io"),
+    "direct-io fires on bare printf": (
+        "faas/bad_printf.cpp",
+        "#include <cstdio>\nvoid f() { printf(\"x\"); }\n",
+        "direct-io"),
+    "direct-io exempts the log sink": (
+        "core/log.cpp",
+        "#include <cstdio>\nvoid f() { std::fprintf(stderr, \"x\"); }\n",
+        None),
+    "direct-io exempts exporters": (
+        "obs/export.cpp",
+        "#include <cstdio>\nvoid f() { std::printf(\"x\"); }\n",
+        None),
+    "direct-io allows snprintf": (
+        "obs/ok_snprintf.cpp",
+        "#include <cstdio>\nvoid f(char* b) "
+        "{ std::snprintf(b, 4, \"x\"); }\n",
+        None),
+    "direct-io ignores comments": (
+        "pool/ok_io_comment.cpp",
+        "// printed with std::cout in the seed; now routed via log\n",
+        None),
 }
 
 
