@@ -16,6 +16,12 @@
 //    20   faas gateway counters          0
 //    30   runtime thread-pool queue      0
 //    40   (reserved: engine)             —
+//    45   share donor registry           stripe index — a stripe lock is
+//                                        held across PoolView liveness
+//                                        reads, which acquire pool-shard
+//                                        locks (50); the registry must
+//                                        therefore rank strictly below
+//                                        the shards
 //    50   pool shards                    shard index — lock_all() takes
 //                                        shards in index order, which is
 //                                        exactly the increasing-sequence
@@ -49,6 +55,7 @@ enum class LockRank : std::uint32_t {
   kClusterRouter = 10,
   kGateway = 20,
   kThreadPoolQueue = 30,
+  kShareRegistry = 45,
   kPoolShard = 50,
   kObsRegistry = 80,
   kLogSink = 90,

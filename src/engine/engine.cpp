@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/log.hpp"
+#include "spec/compat.hpp"
 
 namespace hotc::engine {
 namespace {
@@ -313,6 +314,95 @@ void ContainerEngine::clean(ContainerId id, DoneCallback cb) {
                    "volume wipe");
     set_state(inner->second, ContainerState::kIdle);
     cb(true);
+  });
+}
+
+RespecReport ContainerEngine::respec_phases(const spec::RunSpec& donor,
+                                            const spec::RunSpec& target,
+                                            Bytes dirty_bytes) const {
+  RespecReport r;
+  r.clean = cost_.cleanup_time(dirty_bytes);
+  r.reconfigure = cost_.reconfigure_time(donor, target);
+  const spec::CompatDelta delta = spec::compat_delta(donor, target);
+  if (delta.limits_differ) r.cgroups = cost_.cgroup_time(target);
+  if (delta.tag_differs) {
+    auto image = registry_.resolve(target.image);
+    if (image.ok()) {
+      const Bytes missing = store_.missing_bytes(image.value());
+      r.layers = cost_.pull_time(missing) + cost_.extract_time(missing) +
+                 cost_.rootfs_time(image.value());
+    }
+  }
+  return r;
+}
+
+RespecReport ContainerEngine::estimate_respecialize(
+    const spec::RunSpec& donor, const spec::RunSpec& target) const {
+  if (!spec::compatible(donor, target)) return RespecReport{};
+  return respec_phases(donor, target, 0);
+}
+
+void ContainerEngine::respecialize(ContainerId id,
+                                   const spec::RunSpec& target,
+                                   RespecCallback cb) {
+  auto it = containers_.find(id);
+  if (it == containers_.end()) {
+    cb(make_error<RespecReport>("engine.unknown_container",
+                                "no container " + std::to_string(id)));
+    return;
+  }
+  Container& c = it->second;
+  if (c.state != ContainerState::kIdle) {
+    cb(make_error<RespecReport>("engine.not_respecializable",
+                                "container " + std::to_string(id) + " is " +
+                                    to_string(c.state)));
+    return;
+  }
+  if (!spec::compatible(c.spec, target)) {
+    cb(make_error<RespecReport>(
+        "engine.incompatible",
+        "container " + std::to_string(id) + " (" + c.spec.image.full() +
+            ") is not class-compatible with " + target.image.full()));
+    return;
+  }
+  auto image = registry_.resolve(target.image);
+  if (!image.ok()) {
+    cb(Result<RespecReport>(image.error()));
+    return;
+  }
+  const Image img = image.value();
+
+  auto dirty = volumes_.get(c.volume);
+  const Bytes dirty_bytes = dirty.ok() ? dirty.value().dirty_bytes : 0;
+  RespecReport report = respec_phases(c.spec, target, dirty_bytes);
+  report.container = id;
+  if (clean_duration_ms_ != nullptr) {
+    clean_duration_ms_->observe(to_milliseconds(report.clean));
+  }
+
+  // Conversion reuses the clean path's FSM walk: the container is out of
+  // service while its volume is wiped and the delta applied.
+  set_state(c, ContainerState::kBusy);
+  set_state(c, ContainerState::kCleaning);
+
+  sim_.after(report.total(), [this, id, target, img, report, cb]() {
+    auto inner = containers_.find(id);
+    HOTC_ASSERT(inner != containers_.end());
+    Container& done = inner->second;
+    warn_if_failed(volumes_.wipe_and_remount(done.volume), "volume wipe");
+    store_.commit(img);  // the layer delta (if any) is now local
+    if (img.base_memory != done.idle_memory) {
+      release_memory(done.idle_memory);
+      reserve_or_swap(img.base_memory);
+      done.idle_memory = img.base_memory;
+    }
+    done.spec = target;
+    done.key = spec::RuntimeKey::from_spec(target);
+    done.image = img;
+    done.warm_app.clear();  // the donor's app init state went with the wipe
+    set_state(done, ContainerState::kIdle);
+    done.last_used = sim_.now();
+    cb(report);
   });
 }
 

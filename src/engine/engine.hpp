@@ -53,6 +53,20 @@ struct LaunchReport {
   StartupBreakdown breakdown;
 };
 
+/// What one respecialize() cost, phase by phase (cross-key sharing: the
+/// donor-conversion pipeline — see src/share/).
+struct RespecReport {
+  ContainerId container = 0;
+  Duration clean = kZeroDuration;        // Algorithm 2 volume wipe + remount
+  Duration reconfigure = kZeroDuration;  // env / exec-option delta re-apply
+  Duration cgroups = kZeroDuration;      // resource-limit rewrite
+  Duration layers = kZeroDuration;       // image-layer delta (tag change)
+
+  [[nodiscard]] Duration total() const {
+    return clean + reconfigure + cgroups + layers;
+  }
+};
+
 /// Failure injection for resilience tests and chaos benches.  Failures
 /// are drawn from a dedicated seeded RNG so fault runs stay reproducible.
 struct FaultModel {
@@ -91,6 +105,26 @@ class ContainerEngine {
 
   /// Algorithm 2: wipe the container's volume and remount a fresh one.
   void clean(ContainerId id, DoneCallback cb);
+
+  using RespecCallback = std::function<void(Result<RespecReport>)>;
+
+  /// Cross-key sharing: convert an Idle donor container so it can serve
+  /// `target`, a sibling spec in the donor's compatibility class (see
+  /// spec/compat.hpp).  Runs Algorithm 2's volume wipe + remount, re-applies
+  /// the env/exec-option delta, rewrites cgroup limits when they differ and
+  /// pulls the image-layer delta when only the tag changed.  On success the
+  /// container is Idle under the target's runtime key with the donor's warm
+  /// app state discarded.  Fails without side effects if the container is
+  /// not Idle or the specs are not class-compatible.
+  void respecialize(ContainerId id, const spec::RunSpec& target,
+                    RespecCallback cb);
+
+  /// Synchronous estimate of converting a donor of spec `donor` into
+  /// `target` (no side effects; the dirty-volume wipe is costed at zero
+  /// bytes).  All-zero when the specs are not class-compatible — callers
+  /// gate on spec::compatible() first.
+  [[nodiscard]] RespecReport estimate_respecialize(
+      const spec::RunSpec& donor, const spec::RunSpec& target) const;
 
   /// Freeze an Idle container (cgroup freezer): most of its idle footprint
   /// is swapped out, trading memory for a resume latency on next use.
@@ -176,6 +210,10 @@ class ContainerEngine {
 
  private:
   void set_state(Container& c, ContainerState next);
+  /// Shared phase arithmetic behind respecialize()/estimate_respecialize().
+  [[nodiscard]] RespecReport respec_phases(const spec::RunSpec& donor,
+                                           const spec::RunSpec& target,
+                                           Bytes dirty_bytes) const;
   /// Reserve memory, spilling to swap accounting when the pool is full.
   /// Returns true if the reservation spilled (execution must slow down).
   bool reserve_or_swap(Bytes amount);

@@ -153,7 +153,11 @@ void HotCBackend::dispatch_traced(std::uint64_t trace_id,
           return;
         }
         DispatchReport report;
-        report.cold = !outcome.value().reused;
+        // A donor conversion pays a (smaller) provision cost but is not a
+        // cold start — keep the split honest for the summary counters.
+        report.cold =
+            !outcome.value().reused && !outcome.value().respecialized;
+        report.respecialized = outcome.value().respecialized;
         report.provision = outcome.value().startup;
         report.exec = outcome.value().exec_total;
         report.container = outcome.value().container;

@@ -29,7 +29,10 @@ namespace hotc::faas {
 
 /// How the backend satisfied one dispatch.
 struct DispatchReport {
-  bool cold = false;                    // paid container provisioning
+  bool cold = false;                    // paid a full container provisioning
+  bool respecialized = false;           // served by a converted cross-key
+                                        // donor (cheaper than cold, not a
+                                        // warm exact-match hit either)
   Duration provision = kZeroDuration;   // container acquisition time
   Duration exec = kZeroDuration;        // in-container execution time
   engine::ContainerId container = 0;

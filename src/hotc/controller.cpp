@@ -27,6 +27,11 @@ HotCController::HotCController(engine::ContainerEngine& engine,
       pool_(options_.limits),
       rng_(options_.rng_seed) {
   HOTC_ASSERT(options_.predictor_factory != nullptr);
+  if (options_.enable_sharing) {
+    donors_ = std::make_unique<share::DonorRegistry>();
+    respec_ = std::make_unique<share::Respecializer>(
+        engine_, options_.share_max_cost_ratio);
+  }
   if (options_.registry != nullptr) {
     obs::Registry& reg = *options_.registry;
     obs_.prewarms = &reg.counter("hotc_controller_prewarm_total",
@@ -52,6 +57,19 @@ HotCController::HotCController(engine::ContainerEngine& engine,
     obs_.pooled_containers = &reg.gauge(
         "hotc_controller_pooled_containers",
         "Existing-Available containers at the last adaptive tick");
+    obs_.donor_lookups = &reg.counter(
+        "hotc_share_donor_lookups_total",
+        "Cross-key donor searches on the miss path");
+    obs_.donor_hits = &reg.counter(
+        "hotc_share_donor_hits_total",
+        "Requests served by a re-specialized sibling container");
+    obs_.respec_rejected = &reg.counter(
+        "hotc_share_respec_rejected_total",
+        "Donors rejected by the re-specialization cost gate");
+    obs_.respec_duration_ms = &reg.histogram(
+        "hotc_share_respec_duration_ms",
+        "Donor conversion duration (milliseconds)");
+    if (donors_ != nullptr) donors_->attach_metrics(reg);
     engine_.attach_metrics(reg);
   }
 }
@@ -78,6 +96,9 @@ HotCController::KeyState& HotCController::key_state(
     state.canonical_spec = spec;
     state.predictor = options_.predictor_factory();
     it = keys_.emplace(key, std::move(state)).first;
+    // Every key the controller has seen is a potential donor for its
+    // compatibility-class siblings.
+    if (donors_ != nullptr) donors_->record(key, spec);
   }
   return it->second;
 }
@@ -119,6 +140,20 @@ void HotCController::handle_traced(const spec::RunSpec& spec,
     return;
   }
 
+  // Cross-key sharing: a compatible sibling's idle container may be
+  // convertible for less than a cold start (src/share/).
+  if (donors_ != nullptr && try_donor(spec, app, key, arrival, trace_id, cb)) {
+    return;
+  }
+
+  provision_cold(spec, app, key, arrival, trace_id, std::move(cb));
+}
+
+void HotCController::provision_cold(const spec::RunSpec& spec,
+                                    const engine::AppModel& app,
+                                    const spec::RuntimeKey& key,
+                                    TimePoint arrival,
+                                    std::uint64_t trace_id, Callback cb) {
   ++stats_.cold_starts;
   enforce_pressure();  // make room before allocating a new runtime
 
@@ -144,6 +179,7 @@ void HotCController::handle_traced(const spec::RunSpec& spec,
       return;
     }
     if (restoring) ++stats_.restores;
+    stats_.cold_start_seconds += to_seconds(r.value().breakdown.total());
     emit_span(trace_id, stage, arrival, r.value().breakdown.total(),
               key.hash(), obs::kSpanCold);
     pool::PoolEntry fresh;
@@ -161,18 +197,90 @@ void HotCController::handle_traced(const spec::RunSpec& spec,
   }
 }
 
+bool HotCController::try_donor(const spec::RunSpec& spec,
+                               const engine::AppModel& app,
+                               const spec::RuntimeKey& key,
+                               TimePoint arrival, std::uint64_t trace_id,
+                               Callback& cb) {
+  const TimePoint lookup_start = sim_.now();
+  ++stats_.donor_lookups;
+  if (obs_.donor_lookups != nullptr) obs_.donor_lookups->inc();
+  const auto cand = donors_->find_donor(spec, key, pool_);
+  emit_span(trace_id, obs::Stage::kDonorLookup, lookup_start,
+            sim_.now() - lookup_start, key.hash(),
+            cand.has_value() ? obs::kSpanHit : 0);
+  if (!cand.has_value()) return false;
+
+  const share::RespecEstimate est = respec_->estimate(cand->spec, spec);
+  if (!est.viable) {
+    ++stats_.respec_rejected;
+    if (obs_.respec_rejected != nullptr) obs_.respec_rejected->inc();
+    return false;
+  }
+
+  auto donor = pool_.acquire_for_donation(cand->key, sim_.now());
+  if (!donor.has_value()) return false;  // stock vanished since the probe
+  notify_pool_change(cand->key);
+  if (donor->paused) {
+    // A frozen donor would pay a thaw on top of the conversion; put it
+    // back untouched and let the cold path run.
+    pool_.add_available(*donor, sim_.now());
+    notify_pool_change(cand->key);
+    return false;
+  }
+
+  const TimePoint respec_start = sim_.now();
+  const pool::PoolEntry donor_entry = *donor;
+  respec_->convert(
+      donor_entry.id, spec,
+      [this, donor_entry, spec, app, key, arrival, respec_start, trace_id,
+       cb = std::move(cb)](Result<engine::RespecReport> r) mutable {
+        if (!r.ok()) {
+          emit_span(trace_id, obs::Stage::kRespecialize, respec_start,
+                    sim_.now() - respec_start, key.hash(), obs::kSpanError);
+          // The donor is in an unknown state; drop it and fall back to an
+          // ordinary cold start for the request.
+          engine_.stop_and_remove(donor_entry.id, [](Result<bool>) {});
+          provision_cold(spec, app, key, arrival, trace_id, std::move(cb));
+          return;
+        }
+        const Duration paid = r.value().total();
+        ++stats_.donor_hits;
+        stats_.donor_respec_seconds += to_seconds(paid);
+        if (obs_.donor_hits != nullptr) obs_.donor_hits->inc();
+        if (obs_.respec_duration_ms != nullptr) {
+          obs_.respec_duration_ms->observe(to_milliseconds(paid));
+        }
+        emit_span(trace_id, obs::Stage::kRespecialize, respec_start, paid,
+                  key.hash(), obs::kSpanHit);
+        pool::PoolEntry converted = donor_entry;
+        converted.key = key;
+        converted.respecialized = true;  // counted once at re-admission
+        converted.prewarmed = false;
+        converted.paused = false;
+        converted.app_tag = 0;  // the wipe discarded the donor's app state
+        donors_->record(key, spec);
+        run_on(converted, spec, app, /*was_prewarmed=*/false, paid, arrival,
+               trace_id, std::move(cb), /*was_resumed=*/false,
+               /*was_restored=*/false, /*was_respecialized=*/true);
+      });
+  return true;
+}
+
 void HotCController::run_on(const pool::PoolEntry& entry,
                             const spec::RunSpec& spec,
                             const engine::AppModel& app, bool was_prewarmed,
                             Duration startup_paid, TimePoint arrival,
                             std::uint64_t trace_id, Callback cb,
-                            bool was_resumed, bool was_restored) {
+                            bool was_resumed, bool was_restored,
+                            bool was_respecialized) {
   if (entry.paused) {
     // The pooled runtime is frozen: thaw before execution.  The fault-in
     // latency lands on this request, still far below a cold start.
     const TimePoint resume_start = sim_.now();
     engine_.resume(entry.id, [this, entry, spec, app, was_prewarmed,
                               startup_paid, arrival, resume_start, trace_id,
+                              was_respecialized,
                               cb = std::move(cb)](Result<bool> r) mutable {
       pool::PoolEntry thawed = entry;
       thawed.paused = false;
@@ -213,7 +321,8 @@ void HotCController::run_on(const pool::PoolEntry& entry,
       emit_span(trace_id, obs::Stage::kResume, resume_start,
                 sim_.now() - resume_start, entry.key.hash());
       run_on(thawed, spec, app, was_prewarmed, startup_paid, arrival,
-             trace_id, std::move(cb), /*was_resumed=*/true);
+             trace_id, std::move(cb), /*was_resumed=*/true,
+             /*was_restored=*/false, was_respecialized);
     });
     return;
   }
@@ -222,6 +331,7 @@ void HotCController::run_on(const pool::PoolEntry& entry,
   const TimePoint exec_start = sim_.now();
   auto exec_cb = [this, entry, key, was_prewarmed, startup_paid, arrival,
                   exec_start, trace_id, was_resumed, was_restored,
+                  was_respecialized,
                   cb = std::move(cb)](Result<engine::ExecReport> r) {
     auto it = keys_.find(key);
     if (it != keys_.end() && it->second.busy_now > 0) {
@@ -247,6 +357,7 @@ void HotCController::run_on(const pool::PoolEntry& entry,
     outcome.prewarmed = was_prewarmed;
     outcome.resumed = was_resumed;
     outcome.restored = was_restored;
+    outcome.respecialized = was_respecialized;
     outcome.startup = startup_paid;
     outcome.exec_total = r.value().total();
     outcome.total = sim_.now() - arrival;
@@ -407,7 +518,18 @@ void HotCController::adaptive_tick() {
     target_sum += target;
     const std::size_t have = pool_.num_available(key) + state.busy_now;
 
+    if (donors_ != nullptr) {
+      // Donor nomination tracks the *unrounded* forecast: a key whose
+      // warm stock clearly exceeds predicted demand is over-provisioned
+      // and may give up even its last idle runtime to a sibling.  The
+      // ceil() used for the prewarm/retire target would keep every
+      // once-used key "needed" forever while its smoothed forecast
+      // decays toward (but never reaches) zero.
+      donors_->nominate(key, state.canonical_spec,
+                        static_cast<double>(have) > forecast + 0.5);
+    }
     if (options_.enable_prewarm && target > have) {
+      // Under-provisioned: this key needs its warm stock for itself.
       std::size_t deficit = target - have;
       // Never pre-warm past the global capacity limit.
       const std::size_t live = engine_.live_count();
@@ -417,8 +539,12 @@ void HotCController::adaptive_tick() {
       deficit = std::min(deficit, headroom);
       for (std::size_t i = 0; i < deficit; ++i) prewarm(key, state);
     } else if (options_.enable_retire && have > target) {
+      // Over-provisioned: Algorithm 3 would retire the whole surplus.
+      // With sharing on, keep one surplus container alive for a sibling
+      // to convert — donation recovers value retirement would discard.
       std::size_t surplus =
           std::min(have - target, pool_.num_available(key));
+      if (donors_ != nullptr && surplus > 0) --surplus;
       auto entries = pool_.entries(key);  // oldest first
       for (std::size_t i = 0; i < surplus && i < entries.size(); ++i) {
         retire_entry(entries[i], /*pressure=*/false);

@@ -26,6 +26,8 @@
 #include "pool/pool.hpp"
 #include "predict/hybrid.hpp"
 #include "predict/predictor.hpp"
+#include "share/donor_registry.hpp"
+#include "share/respecializer.hpp"
 #include "spec/runtime_key.hpp"
 
 namespace hotc {
@@ -57,6 +59,14 @@ struct ControllerOptions {
   /// Use the subset key (paper §VII extension): env/volumes/command are
   /// re-applied rather than part of the key.
   bool use_subset_key = false;
+  /// Cross-key container sharing (src/share/): on an exact-match miss, try
+  /// to lease an idle *sibling* container — same compatibility class, see
+  /// spec/compat.hpp — and re-specialize it instead of cold-starting.  The
+  /// exact-match hit path is untouched.
+  bool enable_sharing = false;
+  /// Donor viability gate: a conversion must cost at most this fraction of
+  /// the request's estimated cold start, or the donor is rejected.
+  double share_max_cost_ratio = 0.8;
   PredictorFactory predictor_factory = [] {
     return std::make_unique<predict::HybridPredictor>();
   };
@@ -76,7 +86,9 @@ struct RequestOutcome {
   bool prewarmed = false;     // the container came from a predictive warm-up
   bool resumed = false;       // the pooled container was frozen; thaw paid
   bool restored = false;      // recreated from a checkpoint, not cold-booted
-  Duration startup = kZeroDuration;  // cold-start cost paid (0 when reused)
+  bool respecialized = false;  // served by a converted cross-key donor
+  Duration startup = kZeroDuration;  // cold-start cost paid (0 when reused;
+                                     // the conversion cost on donor hits)
   Duration exec_total = kZeroDuration;  // queueing+init+download+compute
   Duration total = kZeroDuration;       // request latency end to end
   engine::ContainerId container = 0;
@@ -84,8 +96,18 @@ struct RequestOutcome {
 
 struct ControllerStats {
   std::uint64_t requests = 0;
+  /// True cold starts only: a full launch (or checkpoint restore) was paid.
+  /// Donor conversions are *not* cold starts — they are attributed to
+  /// donor_hits so the telemetry split stays honest.
   std::uint64_t cold_starts = 0;
   std::uint64_t reuses = 0;
+  std::uint64_t donor_lookups = 0;    // miss-path cross-key searches
+  std::uint64_t donor_hits = 0;       // requests served by a converted donor
+  std::uint64_t respec_rejected = 0;  // donors rejected by the cost gate
+  /// Conversion time paid across donor hits / startup time paid across
+  /// true cold starts (drives the respecialize-vs-cold latency ratio).
+  double donor_respec_seconds = 0.0;
+  double cold_start_seconds = 0.0;
   std::uint64_t restores = 0;     // cold misses served from checkpoints
   std::uint64_t checkpoints = 0;  // dumps taken before retirement
   std::uint64_t prewarm_launches = 0;
@@ -131,6 +153,10 @@ class HotCController {
   [[nodiscard]] const ControllerStats& stats() const { return stats_; }
   [[nodiscard]] const ControllerOptions& options() const { return options_; }
   [[nodiscard]] engine::ContainerEngine& engine() { return engine_; }
+  /// Null unless options.enable_sharing.
+  [[nodiscard]] const share::DonorRegistry* donor_registry() const {
+    return donors_.get();
+  }
 
   /// Demand/pool-size history for one key (drives Fig. 10-style plots).
   [[nodiscard]] const TimeSeries* demand_history(
@@ -182,7 +208,21 @@ class HotCController {
               const engine::AppModel& app, bool was_prewarmed,
               Duration startup_paid, TimePoint arrival,
               std::uint64_t trace_id, Callback cb, bool was_resumed = false,
-              bool was_restored = false);
+              bool was_restored = false, bool was_respecialized = false);
+
+  /// The cold tail of the miss path: enforce pressure, then launch (or
+  /// restore from a checkpoint).  Counts one true cold start.
+  void provision_cold(const spec::RunSpec& spec, const engine::AppModel& app,
+                      const spec::RuntimeKey& key, TimePoint arrival,
+                      std::uint64_t trace_id, Callback cb);
+
+  /// Cross-key sharing on the miss path: locate an idle sibling donor,
+  /// gate it on conversion cost, lease it and convert it.  Returns true if
+  /// the request was taken over (cb moved from); false leaves cb intact
+  /// and the caller cold-starts.
+  bool try_donor(const spec::RunSpec& spec, const engine::AppModel& app,
+                 const spec::RuntimeKey& key, TimePoint arrival,
+                 std::uint64_t trace_id, Callback& cb);
 
   /// Record one span when a tracer is attached (no-op otherwise).
   void emit_span(std::uint64_t trace_id, obs::Stage stage, TimePoint start,
@@ -207,6 +247,10 @@ class HotCController {
     obs::Gauge* predicted_containers = nullptr;
     obs::Gauge* live_containers = nullptr;
     obs::Gauge* pooled_containers = nullptr;
+    obs::Counter* donor_lookups = nullptr;
+    obs::Counter* donor_hits = nullptr;
+    obs::Counter* respec_rejected = nullptr;
+    obs::LogHistogram* respec_duration_ms = nullptr;
   };
 
   engine::ContainerEngine& engine_;
@@ -221,6 +265,9 @@ class HotCController {
   std::map<spec::RuntimeKey, engine::ContainerEngine::CheckpointId>
       checkpoints_;
   std::function<void(const spec::RuntimeKey&)> pool_listener_;
+  /// Cross-key sharing collaborators; both null unless enable_sharing.
+  std::unique_ptr<share::DonorRegistry> donors_;
+  std::unique_ptr<share::Respecializer> respec_;
   bool adaptive_running_ = false;
   TimePoint adaptive_until_ = kZeroDuration;
 };

@@ -65,6 +65,15 @@ obs::RegistrySnapshot capture(const engine::ContainerEngine& engine,
     add(snap, K::kCounter, "hotc_reuses_total",
         "Requests served from the pool",
         static_cast<double>(stats.reuses));
+    add(snap, K::kCounter, "hotc_donor_lookups_total",
+        "Cross-key donor searches on the miss path",
+        static_cast<double>(stats.donor_lookups));
+    add(snap, K::kCounter, "hotc_donor_hits_total",
+        "Requests served by a re-specialized sibling container",
+        static_cast<double>(stats.donor_hits));
+    add(snap, K::kCounter, "hotc_respec_rejected_total",
+        "Donors rejected by the re-specialization cost gate",
+        static_cast<double>(stats.respec_rejected));
     add(snap, K::kCounter, "hotc_prewarm_launches_total",
         "Predictive warm-up launches (Algorithm 3)",
         static_cast<double>(stats.prewarm_launches));

@@ -20,6 +20,8 @@ const char* to_string(Stage stage) {
     case Stage::kPrewarm: return "prewarm";
     case Stage::kEvict: return "evict";
     case Stage::kRoute: return "route";
+    case Stage::kDonorLookup: return "donor_lookup";
+    case Stage::kRespecialize: return "respecialize";
   }
   return "?";
 }

@@ -52,8 +52,10 @@ enum class Stage : std::uint8_t {
   kPrewarm,         // Algorithm 3 predictive warm-up launch
   kEvict,           // pressure / adaptive eviction
   kRoute,           // cluster node selection
+  kDonorLookup,     // cross-key donor search on the miss path
+  kRespecialize,    // donor container converted to the request's key
 };
-constexpr int kStageCount = 14;
+constexpr int kStageCount = 16;
 
 const char* to_string(Stage stage);
 

@@ -21,6 +21,19 @@ Result<bool> PoolLedger::verify() const {
         "paused " + std::to_string(paused) + " exceeds pooled " +
             std::to_string(pooled));
   }
+  if (donated > leased) {
+    return make_error<bool>(
+        "pool.conservation",
+        "donated " + std::to_string(donated) + " exceeds leased " +
+            std::to_string(leased) +
+            " (a donated container was double-counted)");
+  }
+  if (respecialized > admitted) {
+    return make_error<bool>(
+        "pool.conservation",
+        "respecialized " + std::to_string(respecialized) +
+            " exceeds admitted " + std::to_string(admitted));
+  }
   return true;
 }
 
@@ -31,6 +44,8 @@ PoolLedger ledger(const pool::RuntimePool& pool) {
   out.removed = pool.removed_count();
   out.pooled = pool.total_available();
   out.paused = pool.paused_count();
+  out.donated = pool.donated_count();
+  out.respecialized = pool.respecialized_count();
   return out;
 }
 
@@ -44,6 +59,8 @@ PoolLedger ledger(const pool::ShardedRuntimePool& pool) {
   out.removed = pool.removed_count();
   out.pooled = pool.total_available();
   out.paused = pool.paused_count();
+  out.donated = pool.donated_count();
+  out.respecialized = pool.respecialized_count();
   return out;
 }
 

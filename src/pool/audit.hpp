@@ -33,6 +33,11 @@ struct PoolLedger {
   std::uint64_t removed = 0;   // evicted / stopped / cleared
   std::uint64_t pooled = 0;    // resident right now
   std::uint64_t paused = 0;    // resident and cgroup-frozen
+  // Cross-key sharing sub-flows: a donation is a lease with different
+  // attribution (donated ⊆ leased) and every conversion re-enters through
+  // add_available (respecialized ⊆ admitted, and globally ⊆ donated).
+  std::uint64_t donated = 0;        // leased as cross-key donors
+  std::uint64_t respecialized = 0;  // re-admitted after conversion
 
   /// The conservation identity over this ledger alone.
   [[nodiscard]] Result<bool> verify() const;
@@ -43,6 +48,8 @@ struct PoolLedger {
     removed += other.removed;
     pooled += other.pooled;
     paused += other.paused;
+    donated += other.donated;
+    respecialized += other.respecialized;
     return *this;
   }
 };

@@ -35,9 +35,35 @@ std::optional<PoolEntry> RuntimePool::acquire(const spec::RuntimeKey& key,
   return entry;
 }
 
+std::optional<PoolEntry> RuntimePool::acquire_for_donation(
+    const spec::RuntimeKey& key, TimePoint now) {
+  (void)now;
+  const auto it = available_.find(key);
+  if (it == available_.end() || it->second.empty()) return std::nullopt;
+  const engine::ContainerId id = it->second.front();
+  it->second.pop_front();
+  if (it->second.empty()) available_.erase(it);
+  const auto rec = records_.find(id);
+  HOTC_ASSERT_MSG(rec != records_.end(), "pool index desync");
+  PoolEntry entry = rec->second.entry;
+  records_.erase(rec);  // heap nodes for this residency go stale
+  if (entry.paused && paused_ > 0) --paused_;
+  // A donation is a lease (the conservation identity still closes) with
+  // its own attribution; hits/misses and reuse_count stay untouched.
+  ++leased_;
+  ++donated_;
+  return entry;
+}
+
 void RuntimePool::add_available(const PoolEntry& entry, TimePoint now) {
   PoolEntry e = entry;
   e.returned_at = now;
+  if (e.respecialized) {
+    // A converted donor re-enters the pool: score the conversion once and
+    // store the entry as an ordinary residency of its new key.
+    ++respecialized_;
+    e.respecialized = false;
+  }
   // A container id is pooled at most once; a double-add supersedes the
   // stale residency so the id-keyed index stays coherent.
   const auto existing = records_.find(e.id);
@@ -176,6 +202,24 @@ void RuntimePool::clear() {
 }
 
 Result<bool> RuntimePool::check_conservation() const {
+  // Donations are a sub-flow of leases; a donated residency counted
+  // outside leased_ would double-count the container.
+  if (donated_ > leased_) {
+    return make_error<bool>(
+        "pool.conservation",
+        "donated " + std::to_string(donated_) + " exceeds leased " +
+            std::to_string(leased_) +
+            " (a donated container was double-counted)");
+  }
+  // Every respecialized residency entered through add_available.  (The
+  // matching donation may have been leased from a different shard, so
+  // respecialized <= donated holds only globally — see audit.hpp.)
+  if (respecialized_ > admitted_) {
+    return make_error<bool>(
+        "pool.conservation",
+        "respecialized " + std::to_string(respecialized_) +
+            " exceeds admitted " + std::to_string(admitted_));
+  }
   // Counter identity: pooled == admitted − leased − removed.
   if (admitted_ != leased_ + removed_ + records_.size()) {
     return make_error<bool>(

@@ -47,6 +47,11 @@ struct PoolEntry {
   std::uint64_t app_tag = 0;
   bool prewarmed = false;  // launched by the adaptive controller, not a miss
   bool paused = false;     // cgroup-frozen; must be resumed before exec
+  /// This residency entered via cross-key donation: the container was
+  /// leased from a sibling key's pool and re-specialized to this key.
+  /// Counted (and cleared) by add_available so each conversion is scored
+  /// exactly once.
+  bool respecialized = false;
 };
 
 struct PoolStats {
@@ -76,6 +81,14 @@ class RuntimePool : public PoolView {
   /// hit or miss.
   std::optional<PoolEntry> acquire(const spec::RuntimeKey& key,
                                    TimePoint now);
+
+  /// Cross-key sharing: lease an idle container of `key` to be donated to
+  /// a *different* key.  Identical to acquire() except that it records a
+  /// donation instead of a hit/miss — the exact-match hit rate must not
+  /// change when sharing is enabled — and does not bump reuse_count (the
+  /// residency under the new key is not a reuse of this key).
+  std::optional<PoolEntry> acquire_for_donation(const spec::RuntimeKey& key,
+                                                TimePoint now);
 
   /// A freshly launched or freshly cleaned container becomes available
   /// (Algorithm 2's num_avail[key]++).
@@ -130,9 +143,16 @@ class RuntimePool : public PoolView {
   //     pooled == admitted − leased − removed
   // holds at every quiescent point; check_conservation() verifies it plus
   // the structural invariants binding records_, available_ and paused_.
+  // Cross-key sharing adds two sub-flows: donated ⊆ leased (a donation is
+  // a lease with different attribution) and respecialized ⊆ admitted (a
+  // converted donor re-enters through add_available with the flag set).
   [[nodiscard]] std::uint64_t admitted_count() const { return admitted_; }
   [[nodiscard]] std::uint64_t leased_count() const { return leased_; }
   [[nodiscard]] std::uint64_t removed_count() const { return removed_; }
+  [[nodiscard]] std::uint64_t donated_count() const { return donated_; }
+  [[nodiscard]] std::uint64_t respecialized_count() const {
+    return respecialized_;
+  }
   [[nodiscard]] Result<bool> check_conservation() const;
 
   void clear();
@@ -180,6 +200,8 @@ class RuntimePool : public PoolView {
   std::uint64_t admitted_ = 0;
   std::uint64_t leased_ = 0;
   std::uint64_t removed_ = 0;
+  std::uint64_t donated_ = 0;
+  std::uint64_t respecialized_ = 0;
   PoolStats stats_;
 };
 

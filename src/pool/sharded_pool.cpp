@@ -79,6 +79,15 @@ std::optional<PoolEntry> ShardedRuntimePool::acquire(
   return out;
 }
 
+std::optional<PoolEntry> ShardedRuntimePool::acquire_for_donation(
+    const spec::RuntimeKey& key, TimePoint now) {
+  Shard& shard = shard_for(key);
+  const std::lock_guard<RankedMutex> lock(shard.mu);
+  auto out = shard.pool.acquire_for_donation(key, now);
+  audit_shard(shard);
+  return out;
+}
+
 void ShardedRuntimePool::add_available(const PoolEntry& entry,
                                        TimePoint now) {
   Shard& shard = shard_for(entry.key);
@@ -241,6 +250,8 @@ Result<bool> ShardedRuntimePool::check_conservation() const {
   std::uint64_t admitted = 0;
   std::uint64_t leased = 0;
   std::uint64_t removed = 0;
+  std::uint64_t donated = 0;
+  std::uint64_t respecialized = 0;
   std::size_t pooled = 0;
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     const RuntimePool& p = shards_[i]->pool;
@@ -253,6 +264,8 @@ Result<bool> ShardedRuntimePool::check_conservation() const {
     admitted += p.admitted_count();
     leased += p.leased_count();
     removed += p.removed_count();
+    donated += p.donated_count();
+    respecialized += p.respecialized_count();
     pooled += p.total_available();
   }
   // Per-shard identities imply the global one; re-derive it anyway so a
@@ -263,6 +276,23 @@ Result<bool> ShardedRuntimePool::check_conservation() const {
         "global: admitted " + std::to_string(admitted) + " != leased " +
             std::to_string(leased) + " + removed " + std::to_string(removed) +
             " + pooled " + std::to_string(pooled));
+  }
+  // Cross-shard sub-flow identities.  A donor leaves one shard (donated)
+  // and, if conversion succeeds, re-enters under its new key — usually on
+  // a different shard (respecialized) — so these only close over the sum.
+  if (donated > leased) {
+    return make_error<bool>(
+        "pool.conservation",
+        "global: donated " + std::to_string(donated) + " exceeds leased " +
+            std::to_string(leased) +
+            " (a donated container was double-counted)");
+  }
+  if (respecialized > donated) {
+    return make_error<bool>(
+        "pool.conservation",
+        "global: respecialized " + std::to_string(respecialized) +
+            " exceeds donated " + std::to_string(donated) +
+            " (a respecialized residency never left a donor pool)");
   }
   return true;
 }
@@ -290,6 +320,24 @@ std::uint64_t ShardedRuntimePool::removed_count() const {
   for (const auto& shard : shards_) {
     const std::lock_guard<RankedMutex> lock(shard->mu);
     total += shard->pool.removed_count();
+  }
+  return total;
+}
+
+std::uint64_t ShardedRuntimePool::donated_count() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<RankedMutex> lock(shard->mu);
+    total += shard->pool.donated_count();
+  }
+  return total;
+}
+
+std::uint64_t ShardedRuntimePool::respecialized_count() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    const std::lock_guard<RankedMutex> lock(shard->mu);
+    total += shard->pool.respecialized_count();
   }
   return total;
 }

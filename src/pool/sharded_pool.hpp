@@ -53,6 +53,14 @@ class ShardedRuntimePool : public PoolView {
   // --- hot path (locks exactly one shard) -------------------------------
   std::optional<PoolEntry> acquire(const spec::RuntimeKey& key,
                                    TimePoint now);
+  /// Cross-key sharing: lease an idle container of `key` for donation to a
+  /// different key.  Records a donation instead of a hit/miss (see
+  /// RuntimePool::acquire_for_donation); the converted container re-enters
+  /// through add_available under its *new* key — usually a different
+  /// shard, which is why respecialized <= donated is a global invariant
+  /// only (check_conservation() verifies the sum).
+  std::optional<PoolEntry> acquire_for_donation(const spec::RuntimeKey& key,
+                                                TimePoint now);
   void add_available(const PoolEntry& entry, TimePoint now);
   bool remove(const spec::RuntimeKey& key, engine::ContainerId id);
   bool mark_paused(const spec::RuntimeKey& key, engine::ContainerId id);
@@ -85,6 +93,8 @@ class ShardedRuntimePool : public PoolView {
   [[nodiscard]] std::uint64_t admitted_count() const;
   [[nodiscard]] std::uint64_t leased_count() const;
   [[nodiscard]] std::uint64_t removed_count() const;
+  [[nodiscard]] std::uint64_t donated_count() const;
+  [[nodiscard]] std::uint64_t respecialized_count() const;
 
   /// Which shard a key stripes to (exposed for tests and benches).
   [[nodiscard]] std::size_t shard_index(const spec::RuntimeKey& key) const {

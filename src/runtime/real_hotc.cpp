@@ -59,6 +59,7 @@ std::future<RealOutcome> RealHotC::submit(const spec::RunSpec& spec,
     // Algorithm 1, wall-clock edition: claim a warm runtime from the
     // striped pool (one shard lock), pay delays outside any lock.
     const std::uint64_t app_tag = spec::fnv1a(app.name);
+    if (options_.enable_sharing) donors_.record(key, spec);
     auto warm = warm_.acquire(key, wall_now());
     const bool reused = warm.has_value();
     const bool app_warm = reused && warm->app_tag == app_tag;
@@ -67,8 +68,43 @@ std::future<RealOutcome> RealHotC::submit(const spec::RunSpec& spec,
     const engine::StartupBreakdown cold =
         cost_.startup(spec, image, /*bytes_to_pull=*/0);
 
+    // Miss: before paying the cold start, try converting an idle
+    // compatible sibling (donor registry + lease-for-donation seam).
+    bool respecialized = false;
+    Duration respec_cost = kZeroDuration;
+    if (!reused && options_.enable_sharing) {
+      ++donor_lookups_;
+      const auto cand = donors_.find_donor(spec, key, warm_);
+      if (cand.has_value()) {
+        // Wall-clock conversion = volume wipe/remount + env/exec delta
+        // (image layers never differ inside a compatibility class' tag
+        // delta here — the cost model charges them via reconfigure).
+        const Duration respec = cost_.cleanup_time(/*dirty_bytes=*/0) +
+                                cost_.reconfigure_time(cand->spec, spec);
+        const bool viable =
+            cold.total() > kZeroDuration &&
+            static_cast<double>(respec.count()) <=
+                options_.share_max_cost_ratio *
+                    static_cast<double>(cold.total().count());
+        if (viable) {
+          auto donor = warm_.acquire_for_donation(cand->key, wall_now());
+          if (donor.has_value()) {
+            respecialized = true;
+            respec_cost = respec;
+            warm = donor;
+            warm->key = key;            // re-keyed to the requested config
+            warm->respecialized = true;  // counted once at return
+            warm->app_tag = 0;           // donor's app state is gone
+          }
+        }
+      }
+    }
+
     if (reused) {
       ++reuses_;
+    } else if (respecialized) {
+      ++donor_hits_;
+      std::this_thread::sleep_for(scale(respec_cost, options_.cold_start_scale));
     } else {
       ++cold_starts_;
       std::this_thread::sleep_for(
@@ -81,6 +117,7 @@ std::future<RealOutcome> RealHotC::submit(const spec::RunSpec& spec,
 
     RealOutcome outcome;
     outcome.reused = reused;
+    outcome.respecialized = respecialized;
     outcome.app_was_warm = app_warm;
     outcome.modeled_cold = cold.total();
     outcome.payload = handler(argument);
@@ -90,7 +127,7 @@ std::future<RealOutcome> RealHotC::submit(const spec::RunSpec& spec,
     // the oldest runtimes back under max_warm.
     if (options_.max_warm > 0) {
       pool::PoolEntry entry;
-      if (reused) {
+      if (reused || respecialized) {
         entry = *warm;  // keeps created_at and reuse_count
       } else {
         entry.id = next_runtime_id_.fetch_add(1, std::memory_order_relaxed);

@@ -26,6 +26,7 @@
 #include "engine/cost_model.hpp"
 #include "pool/sharded_pool.hpp"
 #include "runtime/thread_pool.hpp"
+#include "share/donor_registry.hpp"
 #include "spec/runspec.hpp"
 #include "spec/runtime_key.hpp"
 
@@ -41,10 +42,19 @@ struct RealOptions {
   std::size_t max_warm = 64;
   /// Lock stripes for the warm set; 0 = hardware_concurrency().
   std::size_t pool_shards = 0;
+  /// Cross-key sharing: on a miss, convert an idle compatible sibling
+  /// (same image / isolation shape, different env) instead of paying the
+  /// full cold start.  Off by default — exact-match semantics unchanged.
+  bool enable_sharing = false;
+  /// A donor is viable when modelled conversion cost <= ratio * cold cost.
+  double share_max_cost_ratio = 0.8;
 };
 
 struct RealOutcome {
   bool reused = false;
+  /// Served by converting a compatible sibling runtime (not an exact
+  /// reuse, not a cold start — the conversion cost was paid instead).
+  bool respecialized = false;
   bool app_was_warm = false;
   Duration wall_time = kZeroDuration;   // measured, not modelled
   Duration modeled_cold = kZeroDuration;  // the cold cost that was (not) paid
@@ -72,6 +82,8 @@ class RealHotC {
 
   [[nodiscard]] std::uint64_t cold_starts() const { return cold_starts_; }
   [[nodiscard]] std::uint64_t reuses() const { return reuses_; }
+  [[nodiscard]] std::uint64_t donor_lookups() const { return donor_lookups_; }
+  [[nodiscard]] std::uint64_t donor_hits() const { return donor_hits_; }
   [[nodiscard]] std::size_t warm_count() const {
     return warm_.total_available();
   }
@@ -92,9 +104,14 @@ class RealHotC {
   engine::CostModel cost_;
   ThreadPool pool_;
   pool::ShardedRuntimePool warm_;
+  /// Compatibility index over keys this instance has seen.  Writes to the
+  /// warm set itself still go through the pool's lease/return seam only.
+  share::DonorRegistry donors_;
   std::atomic<engine::ContainerId> next_runtime_id_{1};
   std::atomic<std::uint64_t> cold_starts_{0};
   std::atomic<std::uint64_t> reuses_{0};
+  std::atomic<std::uint64_t> donor_lookups_{0};
+  std::atomic<std::uint64_t> donor_hits_{0};
 };
 
 }  // namespace hotc::runtime

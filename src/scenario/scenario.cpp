@@ -23,6 +23,9 @@ namespace {
   if (name == "cold-always") return faas::PolicyKind::kColdAlways;
   if (name == "keep-alive") return faas::PolicyKind::kKeepAlive;
   if (name == "hotc") return faas::PolicyKind::kHotC;
+  // "hotc-sharing" = HotC with cross-key sharing forced on, so one
+  // scenario document can compare sharing on vs off over one workload.
+  if (name == "hotc-sharing") return faas::PolicyKind::kHotC;
   if (name == "periodic-warmup") return faas::PolicyKind::kPeriodicWarmup;
   return make_error<faas::PolicyKind>("scenario.bad_policy",
                                       "unknown policy: " + name);
@@ -108,6 +111,11 @@ namespace {
   if (kind == "image-recognition") {
     return workload::ConfigMix::image_recognition();
   }
+  if (kind == "siblings") {
+    return workload::ConfigMix::sibling_functions(
+        static_cast<std::size_t>(m["functions"].number_or(20.0)),
+        static_cast<std::size_t>(m["images"].number_or(5.0)));
+  }
   if (kind == "custom") {
     // Fully user-defined functions: a docker-run command line (parsed by
     // the real run-spec parser, so typos fail loudly) plus an app model.
@@ -152,6 +160,10 @@ namespace {
   opt.enable_prewarm = h["prewarm"].bool_or(opt.enable_prewarm);
   opt.enable_retire = h["retire"].bool_or(opt.enable_retire);
   opt.use_subset_key = h["subset_key"].bool_or(opt.use_subset_key);
+  opt.enable_sharing = h["sharing"].bool_or(opt.enable_sharing);
+  if (h["share_max_cost_ratio"].is_number()) {
+    opt.share_max_cost_ratio = h["share_max_cost_ratio"].as_number();
+  }
   if (h["adaptive_interval_seconds"].is_number()) {
     opt.adaptive_interval =
         seconds_f(h["adaptive_interval_seconds"].as_number());
@@ -254,6 +266,9 @@ Json ScenarioResult::to_json() const {
     o["cold"] = static_cast<std::int64_t>(r.summary.cold_count);
     o["requests"] = static_cast<std::int64_t>(r.summary.count);
     o["failed"] = static_cast<std::int64_t>(r.failed);
+    o["donor_lookups"] = static_cast<std::int64_t>(r.donor_lookups);
+    o["donor_hits"] = static_cast<std::int64_t>(r.donor_hits);
+    o["respec_rejected"] = static_cast<std::int64_t>(r.respec_rejected);
     arr.emplace_back(std::move(o));
   }
   JsonObject top;
@@ -268,11 +283,19 @@ ScenarioResult run_scenario(const Scenario& scenario) {
   for (std::size_t i = 0; i < scenario.policies.size(); ++i) {
     faas::PlatformOptions opt = scenario.base_options;
     opt.policy = scenario.policies[i];
+    if (scenario.policy_labels[i] == "hotc-sharing") {
+      opt.hotc.enable_sharing = true;
+    }
     faas::FaasPlatform platform(opt);
     PolicyResult r;
     r.policy = scenario.policy_labels[i];
     r.summary = platform.run(scenario.arrivals, scenario.mix).summary();
     r.failed = platform.failed_requests();
+    if (HotCController* c = platform.hotc_controller()) {
+      r.donor_lookups = c->stats().donor_lookups;
+      r.donor_hits = c->stats().donor_hits;
+      r.respec_rejected = c->stats().respec_rejected;
+    }
     out.runs.push_back(std::move(r));
   }
   return out;

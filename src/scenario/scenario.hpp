@@ -11,16 +11,21 @@
 //   {
 //     "name": "my experiment",
 //     "host": "server" | "edge_pi" | "edge_tx2",
-//     "policy": "hotc",                      // or "policies": ["a","b"]
+//     "policy": "hotc",                      // or "policies": ["a","b"];
+//                                            // "hotc-sharing" = hotc with
+//                                            // cross-key sharing forced on
 //     "keep_alive_minutes": 15,
 //     "hotc": {
 //       "max_live": 500, "memory_threshold": 0.8,
 //       "prewarm": true, "retire": true, "subset_key": false,
+//       "sharing": false, "share_max_cost_ratio": 0.8,
 //       "adaptive_interval_seconds": 30, "pause_idle_minutes": 0,
 //       "alpha": 0.8, "predictor": "hybrid" | "meta" | "seasonal" | "es"
 //     },
 //     "workload": { "pattern": "...", ...pattern params },   // required
-//     "mix": {"kind": "qr" | "image-recognition", "variants": 10},
+//     "mix": {"kind": "qr" | "image-recognition" | "siblings",
+//             "variants": 10,            // qr
+//             "functions": 20, "images": 5},  // siblings
 //     "seed": 2021
 //   }
 #pragma once
@@ -56,6 +61,11 @@ struct PolicyResult {
   std::string policy;
   metrics::LatencySummary summary;
   std::uint64_t failed = 0;
+  /// Cross-key sharing counters (zero for non-HotC policies or when
+  /// sharing is off).
+  std::uint64_t donor_lookups = 0;
+  std::uint64_t donor_hits = 0;
+  std::uint64_t respec_rejected = 0;
 };
 
 struct ScenarioResult {

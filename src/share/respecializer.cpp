@@ -1,0 +1,28 @@
+#include "share/respecializer.hpp"
+
+#include <utility>
+
+#include "spec/compat.hpp"
+
+namespace hotc::share {
+
+RespecEstimate Respecializer::estimate(const spec::RunSpec& donor,
+                                       const spec::RunSpec& request) const {
+  RespecEstimate out;
+  out.cold = engine_.estimate_startup(request).total();
+  if (!spec::compatible(donor, request)) return out;  // viable stays false
+  out.respec = engine_.estimate_respecialize(donor, request).total();
+  const double budget =
+      max_cost_ratio_ * static_cast<double>(out.cold.count());
+  out.viable = out.cold > kZeroDuration &&
+               static_cast<double>(out.respec.count()) <= budget;
+  return out;
+}
+
+void Respecializer::convert(engine::ContainerId id,
+                            const spec::RunSpec& target,
+                            engine::ContainerEngine::RespecCallback cb) {
+  engine_.respecialize(id, target, std::move(cb));
+}
+
+}  // namespace hotc::share

@@ -1,0 +1,73 @@
+// Donor re-specialization: the cost gate and conversion front-end.
+//
+// Given a donor container (leased from a sibling key by the controller)
+// and the request it should serve, the respecializer decides whether the
+// conversion is worth it — the paper's economics inverted: instead of
+// asking "is a warm container available?", ask "is converting this warm
+// sibling cheaper than a cold start?" — and, if so, drives the engine's
+// respecialize() pipeline (Algorithm 2 volume wipe + remount, env/option
+// delta re-apply, image-layer delta).
+//
+// A donor is viable when
+//
+//     estimated_respecialize(donor, request)
+//         <= max_cost_ratio * estimated_cold_start(request)
+//
+// with max_cost_ratio < 1 so the donor path keeps a safety margin: a
+// conversion that costs almost as much as a cold start isn't worth the
+// donor it consumes (the donor key loses a warm container it may want
+// back).
+#pragma once
+
+#include <functional>
+
+#include "core/result.hpp"
+#include "core/time.hpp"
+#include "engine/engine.hpp"
+#include "spec/runspec.hpp"
+
+namespace hotc::share {
+
+/// The cost comparison behind one donor-viability decision.
+struct RespecEstimate {
+  Duration respec = kZeroDuration;  // estimated conversion cost
+  Duration cold = kZeroDuration;    // estimated cold start for the request
+  bool viable = false;
+
+  /// respec / cold (1.0 when the cold estimate is degenerate).
+  [[nodiscard]] double ratio() const {
+    return cold > kZeroDuration ? static_cast<double>(respec.count()) /
+                                      static_cast<double>(cold.count())
+                                : 1.0;
+  }
+};
+
+class Respecializer {
+ public:
+  explicit Respecializer(engine::ContainerEngine& engine,
+                         double max_cost_ratio = 0.8)
+      : engine_(engine), max_cost_ratio_(max_cost_ratio) {}
+
+  Respecializer(const Respecializer&) = delete;
+  Respecializer& operator=(const Respecializer&) = delete;
+
+  /// Score a donor against the request's cold-start estimate.  Not viable
+  /// when the specs are outside each other's compatibility class or the
+  /// conversion exceeds the cost gate.
+  [[nodiscard]] RespecEstimate estimate(const spec::RunSpec& donor,
+                                        const spec::RunSpec& request) const;
+
+  /// Run the engine conversion pipeline (the caller already leased the
+  /// donor and verified viability).  The callback observes the engine's
+  /// phase-by-phase report or its error.
+  void convert(engine::ContainerId id, const spec::RunSpec& target,
+               engine::ContainerEngine::RespecCallback cb);
+
+  [[nodiscard]] double max_cost_ratio() const { return max_cost_ratio_; }
+
+ private:
+  engine::ContainerEngine& engine_;
+  double max_cost_ratio_;
+};
+
+}  // namespace hotc::share

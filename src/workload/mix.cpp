@@ -1,5 +1,8 @@
 #include "workload/mix.hpp"
 
+#include <algorithm>
+#include <string>
+
 #include "core/assert.hpp"
 
 namespace hotc::workload {
@@ -63,6 +66,36 @@ ConfigMix ConfigMix::image_recognition(spec::NetworkMode network) {
     e.spec.env["MODEL"] = "tf-c-api";
     e.spec.command = "/bin/recognize";
     e.app = engine::apps::tf_api_app();
+    entries.push_back(std::move(e));
+  }
+  return ConfigMix(std::move(entries));
+}
+
+ConfigMix ConfigMix::sibling_functions(std::size_t functions,
+                                       std::size_t images) {
+  HOTC_ASSERT(functions > 0);
+  struct LangChoice {
+    const char* image;
+    const char* tag;
+  };
+  static const LangChoice kLangs[] = {
+      {"python", "3.8"}, {"golang", "1.15"}, {"node", "14"},
+      {"ruby", "2.7"},   {"php", "7.4-fpm"},
+  };
+  const std::size_t lang_count = std::clamp<std::size_t>(
+      images, 1, sizeof(kLangs) / sizeof(kLangs[0]));
+  std::vector<ConfigEntry> entries;
+  entries.reserve(functions);
+  for (std::size_t i = 0; i < functions; ++i) {
+    const auto& lang = kLangs[i % lang_count];
+    ConfigEntry e;
+    e.spec.image = spec::ImageRef{lang.image, lang.tag};
+    e.spec.network = spec::NetworkMode::kBridge;
+    // Distinct env -> distinct runtime key; same image/network/volume
+    // shape -> one compatibility class per language.
+    e.spec.env["FUNC"] = "fn-" + std::to_string(i);
+    e.spec.command = "handler";
+    e.app = engine::apps::qr_encoder();
     entries.push_back(std::move(e));
   }
   return ConfigMix(std::move(entries));

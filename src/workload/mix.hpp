@@ -39,6 +39,15 @@ class ConfigMix {
   static ConfigMix image_recognition(
       spec::NetworkMode network = spec::NetworkMode::kBridge);
 
+  /// Heterogeneous sibling mix for the cross-key sharing experiments:
+  /// `functions` distinct functions (env FUNC differs, so every entry is
+  /// its own runtime key) spread round-robin over at most `images` base
+  /// images.  Each image's functions form one compatibility class
+  /// (spec/compat.hpp), so a miss on one key can be served by converting
+  /// an idle sibling of the same image.
+  static ConfigMix sibling_functions(std::size_t functions,
+                                     std::size_t images = 5);
+
   /// Single-config mix (serial experiment).
   static ConfigMix single(const ConfigEntry& entry);
 

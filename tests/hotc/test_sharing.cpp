@@ -1,0 +1,184 @@
+// Cross-key sharing through the controller: donor lookup on the miss
+// path, conversion economics, telemetry split, and Algorithm-3
+// nomination.  The pinned invariants: sharing never touches the
+// exact-match hit path, a donor conversion is *not* a cold start, and
+// donors are only taken from surplus (nominated keys or >= 2 idle).
+#include "hotc/controller.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+#include <string>
+
+#include "engine/app.hpp"
+#include "sim/simulator.hpp"
+
+namespace hotc {
+namespace {
+
+spec::RunSpec function_spec(const std::string& func,
+                            const std::string& image = "python",
+                            const std::string& tag = "3.8") {
+  spec::RunSpec s;
+  s.image = spec::ImageRef{image, tag};
+  s.network = spec::NetworkMode::kBridge;
+  s.env["FUNC"] = func;
+  s.command = "handler";
+  return s;
+}
+
+class SharingTest : public ::testing::Test {
+ protected:
+  SharingTest() : engine_(sim_, engine::HostProfile::server()) {
+    engine_.preload_image(spec::ImageRef{"python", "3.8"});
+    engine_.preload_image(spec::ImageRef{"golang", "1.15"});
+  }
+
+  HotCController make_sharing(double cost_ratio = 0.8) {
+    ControllerOptions opt;
+    opt.enable_sharing = true;
+    opt.share_max_cost_ratio = cost_ratio;
+    return HotCController(engine_, std::move(opt));
+  }
+
+  /// Two overlapping requests -> two containers -> two idle runtimes:
+  /// surplus stock the donor path may take without starving the key.
+  void warm_two(HotCController& ctl, const spec::RunSpec& s) {
+    const auto app = engine::apps::qr_encoder();
+    ctl.handle(s, app, [](Result<RequestOutcome>) {});
+    ctl.handle(s, app, [](Result<RequestOutcome>) {});
+    sim_.run();
+  }
+
+  std::optional<RequestOutcome> handle(HotCController& ctl,
+                                       const spec::RunSpec& s) {
+    std::optional<RequestOutcome> out;
+    ctl.handle(s, engine::apps::qr_encoder(),
+               [&](Result<RequestOutcome> r) { out = r.value(); });
+    sim_.run();
+    return out;
+  }
+
+  sim::Simulator sim_;
+  engine::ContainerEngine engine_;
+};
+
+TEST_F(SharingTest, SharingOffNeverSearchesForDonors) {
+  HotCController ctl(engine_, {});
+  warm_two(ctl, function_spec("alpha"));
+  const auto out = handle(ctl, function_spec("beta"));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_FALSE(out->respecialized);
+  EXPECT_EQ(ctl.stats().donor_lookups, 0u);
+  EXPECT_EQ(ctl.stats().cold_starts, 3u);
+  EXPECT_EQ(ctl.donor_registry(), nullptr);
+}
+
+TEST_F(SharingTest, SiblingMissIsServedByConvertedDonor) {
+  auto ctl = make_sharing();
+  warm_two(ctl, function_spec("alpha"));
+  // Every miss searches for donors, so the two warm-up colds already
+  // counted lookups (and found nothing: the pool was empty).
+  const ControllerStats before = ctl.stats();
+  EXPECT_EQ(before.donor_hits, 0u);
+
+  const auto out = handle(ctl, function_spec("beta"));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_TRUE(out->respecialized);
+  EXPECT_FALSE(out->reused);
+  EXPECT_GT(out->startup, kZeroDuration);  // the conversion cost
+
+  EXPECT_EQ(ctl.stats().donor_lookups, before.donor_lookups + 1);
+  EXPECT_EQ(ctl.stats().donor_hits, 1u);
+  EXPECT_EQ(ctl.stats().respec_rejected, 0u);
+  const std::uint64_t cold_before = before.cold_starts;
+  // The telemetry split: a conversion is not a cold start.
+  EXPECT_EQ(ctl.stats().cold_starts, cold_before);
+  EXPECT_GT(ctl.stats().donor_respec_seconds, 0.0);
+  EXPECT_GT(ctl.stats().cold_start_seconds, 0.0);
+  // And it was cheaper: mean conversion < mean cold start.
+  EXPECT_LT(ctl.stats().donor_respec_seconds /
+                static_cast<double>(ctl.stats().donor_hits),
+            ctl.stats().cold_start_seconds /
+                static_cast<double>(ctl.stats().cold_starts));
+}
+
+TEST_F(SharingTest, ConvertedDonorJoinsTheRequestsKey) {
+  auto ctl = make_sharing();
+  warm_two(ctl, function_spec("alpha"));
+  ASSERT_TRUE(handle(ctl, function_spec("beta"))->respecialized);
+
+  // The converted runtime now lives under beta's key: next beta request
+  // is a plain exact-match reuse, no donor machinery involved.
+  const std::uint64_t lookups = ctl.stats().donor_lookups;
+  const auto again = handle(ctl, function_spec("beta"));
+  ASSERT_TRUE(again.has_value());
+  EXPECT_TRUE(again->reused);
+  EXPECT_FALSE(again->respecialized);
+  EXPECT_EQ(ctl.stats().donor_lookups, lookups);  // a hit searches nothing
+}
+
+TEST_F(SharingTest, ExactMatchHitPathIsUntouched) {
+  auto ctl = make_sharing();
+  warm_two(ctl, function_spec("alpha"));
+  const std::uint64_t lookups = ctl.stats().donor_lookups;
+  const auto out = handle(ctl, function_spec("alpha"));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_TRUE(out->reused);
+  EXPECT_FALSE(out->respecialized);
+  EXPECT_EQ(ctl.stats().donor_lookups, lookups);  // hits never search
+  EXPECT_EQ(ctl.stats().donor_hits, 0u);
+}
+
+TEST_F(SharingTest, CostGateFallsBackToColdStart) {
+  auto ctl = make_sharing(/*cost_ratio=*/0.0);
+  warm_two(ctl, function_spec("alpha"));
+  const auto out = handle(ctl, function_spec("beta"));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_FALSE(out->respecialized);
+  EXPECT_EQ(ctl.stats().donor_hits, 0u);
+  EXPECT_EQ(ctl.stats().respec_rejected, 1u);
+  EXPECT_EQ(ctl.stats().cold_starts, 3u);
+}
+
+TEST_F(SharingTest, LastIdleRuntimeIsNotPoached) {
+  auto ctl = make_sharing();
+  // One alpha request -> exactly one idle runtime.  Without nomination
+  // that runtime is reserved for alpha's own next request.
+  ASSERT_FALSE(handle(ctl, function_spec("alpha"))->reused);
+  const auto out = handle(ctl, function_spec("beta"));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_FALSE(out->respecialized);
+  EXPECT_EQ(ctl.stats().donor_hits, 0u);
+  // ...and alpha indeed still hits its own runtime.
+  EXPECT_TRUE(handle(ctl, function_spec("alpha"))->reused);
+}
+
+TEST_F(SharingTest, AdaptiveTickNominatesOverProvisionedKeys) {
+  auto ctl = make_sharing();
+  ASSERT_FALSE(handle(ctl, function_spec("alpha"))->reused);
+  // Idle ticks decay alpha's forecast until the adaptive loop marks its
+  // stock as donor surplus (and, with sharing on, withholds it from
+  // retirement as donor stock rather than stopping it).
+  for (int i = 0; i < 8; ++i) {
+    ctl.adaptive_tick();
+    sim_.run();
+  }
+  const auto out = handle(ctl, function_spec("beta"));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_TRUE(out->respecialized);
+  EXPECT_EQ(ctl.stats().donor_hits, 1u);
+}
+
+TEST_F(SharingTest, DonorsNeverCrossImageFamilies) {
+  auto ctl = make_sharing();
+  warm_two(ctl, function_spec("alpha"));
+  const auto out = handle(ctl, function_spec("beta", "golang", "1.15"));
+  ASSERT_TRUE(out.has_value());
+  EXPECT_FALSE(out->respecialized);
+  EXPECT_EQ(ctl.stats().donor_hits, 0u);
+  EXPECT_EQ(ctl.stats().cold_starts, 3u);
+}
+
+}  // namespace
+}  // namespace hotc

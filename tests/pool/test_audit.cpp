@@ -124,6 +124,67 @@ TEST(PoolConservation, HoldsUnderConcurrentMutation) {
   EXPECT_EQ(l.admitted, l.leased + l.removed + l.pooled);
 }
 
+TEST(PoolConservation, DonationFlowBalances) {
+  RuntimePool pool;
+  const auto python = key_for("python");
+  const auto node = key_for("node");
+
+  pool.add_available(entry(1, python, seconds(0)), seconds(1));
+  pool.add_available(entry(2, python, seconds(0)), seconds(1));
+
+  // Donation is a lease sub-flow: the donor leaves python's pool...
+  auto donor = pool.acquire_for_donation(python, seconds(2));
+  ASSERT_TRUE(donor.has_value());
+  EXPECT_TRUE(audit::check_pool_conservation(pool).ok());
+
+  // ...and after conversion re-enters under the sibling's key as a new
+  // residency, flagged so the respecialized flow counts it exactly once.
+  donor->key = node;
+  donor->respecialized = true;
+  pool.add_available(*donor, seconds(3));
+  EXPECT_TRUE(audit::check_pool_conservation(pool).ok());
+
+  const audit::PoolLedger l = audit::ledger(pool);
+  EXPECT_EQ(l.admitted, 3u);
+  EXPECT_EQ(l.leased, 1u);
+  EXPECT_EQ(l.donated, 1u);
+  EXPECT_EQ(l.respecialized, 1u);
+  EXPECT_EQ(l.pooled, 2u);
+  EXPECT_TRUE(l.verify().ok());
+
+  // The flag was consumed at re-admission: a plain return of the same
+  // container must not double-count the respecialized flow.
+  ASSERT_TRUE(pool.acquire(node, seconds(4)).has_value());
+  donor->respecialized = false;
+  pool.add_available(*donor, seconds(5));
+  EXPECT_EQ(pool.respecialized_count(), 1u);
+  EXPECT_TRUE(audit::check_pool_conservation(pool).ok());
+}
+
+TEST(PoolConservation, ShardedDonationCrossShardReadmit) {
+  // The donor is leased from its key's shard but readmitted (converted)
+  // on the *sibling* key's shard, so respecialized <= donated holds only
+  // globally — exactly what check_conservation verifies.
+  ShardedRuntimePool pool({}, 4);
+  const auto python = key_for("python");
+  const auto node = key_for("node");
+  pool.add_available(entry(1, python, seconds(0)), seconds(1));
+
+  auto donor = pool.acquire_for_donation(python, seconds(2));
+  ASSERT_TRUE(donor.has_value());
+  donor->key = node;
+  donor->respecialized = true;
+  pool.add_available(*donor, seconds(3));
+
+  EXPECT_EQ(pool.donated_count(), 1u);
+  EXPECT_EQ(pool.respecialized_count(), 1u);
+  EXPECT_TRUE(pool.check_conservation().ok());
+  const audit::PoolLedger l = audit::ledger(pool);
+  EXPECT_EQ(l.donated, 1u);
+  EXPECT_EQ(l.respecialized, 1u);
+  EXPECT_TRUE(l.verify().ok());
+}
+
 using PoolConservationDeathTest = ::testing::Test;
 
 TEST(PoolConservationDeathTest, SeededLeakAborts) {
@@ -144,6 +205,28 @@ TEST(PoolConservationDeathTest, SeededPausedOverflowAborts) {
   bad.pooled = 2;
   bad.paused = 3;  // paused must be a sub-count of pooled
   EXPECT_DEATH(audit::enforce(bad, "seeded-paused"), "conservation violated");
+}
+
+TEST(PoolConservationDeathTest, DoubleCountedDonationAborts) {
+  // A donated container counted twice (donated exceeding leased) is the
+  // sharing bug class: one physical runtime visible as two donations.
+  audit::PoolLedger bad;
+  bad.admitted = 4;
+  bad.leased = 2;
+  bad.pooled = 2;
+  bad.donated = 3;  // donated must be a sub-flow of leased
+  ASSERT_FALSE(bad.verify().ok());
+  EXPECT_DEATH(audit::enforce(bad, "seeded-donated"), "conservation violated");
+}
+
+TEST(PoolConservationDeathTest, RespecializedOverflowAborts) {
+  // More conversions readmitted than residencies ever admitted: a
+  // respecialized runtime was double-inserted.
+  audit::PoolLedger bad;
+  bad.admitted = 2;
+  bad.pooled = 2;
+  bad.respecialized = 3;  // respecialized must be a sub-flow of admitted
+  EXPECT_DEATH(audit::enforce(bad, "seeded-respec"), "conservation violated");
 }
 
 }  // namespace

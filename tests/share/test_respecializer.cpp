@@ -1,0 +1,148 @@
+// Re-specialization pipeline: cost gate + engine conversion.
+//
+// The respecializer must (a) reject donors outside the request's
+// compatibility class, (b) reject donors whose conversion estimate
+// exceeds max_cost_ratio of the request's cold-start estimate, and
+// (c) convert a viable donor in place: re-keyed, re-spec'd, app state
+// dropped, and immediately executable — at the estimated cost.
+#include "share/respecializer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "engine/app.hpp"
+#include "engine/engine.hpp"
+#include "sim/simulator.hpp"
+#include "spec/runtime_key.hpp"
+
+namespace hotc::share {
+namespace {
+
+spec::RunSpec function_spec(const std::string& func) {
+  spec::RunSpec s;
+  s.image = spec::ImageRef{"python", "3.8"};
+  s.network = spec::NetworkMode::kBridge;
+  s.env["FUNC"] = func;
+  s.command = "handler";
+  return s;
+}
+
+class RespecializerTest : public ::testing::Test {
+ protected:
+  engine::ContainerId launch(const spec::RunSpec& s) {
+    engine_.preload_image(s.image);
+    engine::ContainerId id = 0;
+    engine_.launch(s, [&](Result<engine::LaunchReport> r) {
+      id = r.value().container;
+    });
+    sim_.run();
+    return id;
+  }
+
+  sim::Simulator sim_;
+  engine::ContainerEngine engine_{sim_, engine::HostProfile::server()};
+  Respecializer respec_{engine_};
+};
+
+TEST_F(RespecializerTest, SiblingIsViableAndCheaperThanCold) {
+  const RespecEstimate est =
+      respec_.estimate(function_spec("alpha"), function_spec("beta"));
+  EXPECT_TRUE(est.viable);
+  EXPECT_GT(est.respec, kZeroDuration);
+  EXPECT_GT(est.cold, kZeroDuration);
+  EXPECT_LT(est.respec, est.cold);
+  EXPECT_LE(est.ratio(), respec_.max_cost_ratio());
+}
+
+TEST_F(RespecializerTest, IncompatibleDonorIsNeverViable) {
+  spec::RunSpec other = function_spec("beta");
+  other.image = spec::ImageRef{"golang", "1.15"};
+  const RespecEstimate est = respec_.estimate(other, function_spec("alpha"));
+  EXPECT_FALSE(est.viable);
+}
+
+TEST_F(RespecializerTest, CostGateRejectsExpensiveConversions) {
+  // With a zero ratio any nonzero conversion fails the gate, even though
+  // the donor is perfectly compatible — the gate is economic, not shape.
+  Respecializer strict(engine_, /*max_cost_ratio=*/0.0);
+  const RespecEstimate est =
+      strict.estimate(function_spec("alpha"), function_spec("beta"));
+  EXPECT_GT(est.respec, kZeroDuration);
+  EXPECT_FALSE(est.viable);
+}
+
+TEST_F(RespecializerTest, ConvertRekeysContainerAtEstimatedCost) {
+  const spec::RunSpec donor_spec = function_spec("alpha");
+  const spec::RunSpec target = function_spec("beta");
+  const engine::ContainerId id = launch(donor_spec);
+
+  const Duration estimated =
+      engine_.estimate_respecialize(donor_spec, target).total();
+  std::optional<engine::RespecReport> report;
+  const TimePoint before = sim_.now();
+  respec_.convert(id, target, [&](Result<engine::RespecReport> r) {
+    ASSERT_TRUE(r.ok());
+    report = r.value();
+  });
+  sim_.run();
+
+  ASSERT_TRUE(report.has_value());
+  // The launched donor executed nothing, so its volume is clean and the
+  // actual conversion must land exactly on the zero-dirty estimate.
+  EXPECT_EQ(report->total(), estimated);
+  EXPECT_EQ(sim_.now() - before, report->total());
+
+  const engine::Container* c = engine_.find(id);
+  ASSERT_NE(c, nullptr);
+  EXPECT_EQ(c->state, engine::ContainerState::kIdle);
+  EXPECT_EQ(c->spec, target);
+  EXPECT_EQ(c->key, spec::RuntimeKey::from_spec(target));
+  EXPECT_NE(c->key, spec::RuntimeKey::from_spec(donor_spec));
+  EXPECT_TRUE(c->warm_app.empty());  // donor's app state is gone
+}
+
+TEST_F(RespecializerTest, ConvertedContainerExecutesTheNewFunction) {
+  const engine::ContainerId id = launch(function_spec("alpha"));
+  respec_.convert(id, function_spec("beta"),
+                  [](Result<engine::RespecReport> r) {
+                    ASSERT_TRUE(r.ok());
+                  });
+  sim_.run();
+
+  std::optional<engine::ExecReport> exec;
+  engine_.exec(id, engine::apps::qr_encoder(),
+               [&](Result<engine::ExecReport> r) { exec = r.value(); });
+  sim_.run();
+  ASSERT_TRUE(exec.has_value());
+  EXPECT_GT(exec->app_init, kZeroDuration);  // fresh app, init paid
+}
+
+TEST_F(RespecializerTest, ConvertRefusesIncompatibleTarget) {
+  const engine::ContainerId id = launch(function_spec("alpha"));
+  spec::RunSpec target = function_spec("beta");
+  target.image = spec::ImageRef{"golang", "1.15"};
+  std::optional<Error> error;
+  respec_.convert(id, target, [&](Result<engine::RespecReport> r) {
+    ASSERT_FALSE(r.ok());
+    error = r.error();
+  });
+  sim_.run();
+  ASSERT_TRUE(error.has_value());
+  EXPECT_EQ(error->code, "engine.incompatible");
+}
+
+TEST_F(RespecializerTest, ConvertRefusesUnknownContainer) {
+  std::optional<Error> error;
+  respec_.convert(4242, function_spec("beta"),
+                  [&](Result<engine::RespecReport> r) {
+                    ASSERT_FALSE(r.ok());
+                    error = r.error();
+                  });
+  sim_.run();
+  ASSERT_TRUE(error.has_value());
+  EXPECT_EQ(error->code, "engine.unknown_container");
+}
+
+}  // namespace
+}  // namespace hotc::share

@@ -24,10 +24,12 @@ cmake -B "$ROOT/build" -S "$ROOT" >/dev/null
 cmake --build "$ROOT/build" -j "$JOBS"
 ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS"
 
-step "smoke bench: fig15 overhead + BENCH json validation"
+step "smoke bench: fig15 overhead + cross-key sharing + BENCH json validation"
 SMOKE_DIR="$(mktemp -d)"
 HOTC_SMOKE=1 HOTC_BENCH_DIR="$SMOKE_DIR" \
   "$ROOT/build/bench/bench_fig15_overhead" >/dev/null
+HOTC_SMOKE=1 HOTC_BENCH_DIR="$SMOKE_DIR" \
+  "$ROOT/build/bench/bench_share" >/dev/null
 python3 -c "
 import json, sys
 doc = json.load(open('$SMOKE_DIR/BENCH_overhead.json'))
@@ -35,6 +37,11 @@ assert doc['smoke'] is True
 assert doc['tracing']['gate_passed'] is True
 print('BENCH_overhead.json: ok (%.2f%% overhead)'
       % doc['tracing']['overhead_pct'])
+doc = json.load(open('$SMOKE_DIR/BENCH_share.json'))
+assert doc['smoke'] is True
+assert doc['gate_passed'] is True
+print('BENCH_share.json: ok (%.1f%% fewer cold starts)'
+      % doc['cold_start_reduction_pct'])
 "
 rm -rf "$SMOKE_DIR"
 

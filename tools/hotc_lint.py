@@ -22,6 +22,15 @@ Rules (each one enforces a convention the compiler cannot):
                    (assert, lock-rank audit, pool conservation audit)
                    that cannot rely on the logger mid-crash.  snprintf
                    writes to a caller buffer, not a stream: allowed.
+  share-pool-seam  src/share/ may observe pools only through the read-only
+                   PoolView seam.  Naming a concrete pool class
+                   (RuntimePool / ShardedRuntimePool) or calling a pool
+                   mutation member (acquire, acquire_for_donation,
+                   add_available, mark_paused, remove, select_victim,
+                   count_eviction) from share/ would let the donor index
+                   mutate residency behind the conservation audit — all
+                   leases and returns stay in the caller (controller /
+                   RealHotC), which owns the pool.
 
 Usage:
   tools/hotc_lint.py [--root DIR]   lint DIR (default: <repo>/src)
@@ -70,6 +79,15 @@ DIRECT_IO_EXEMPT = {
     "obs/export.cpp",
     "obs/export.hpp",
 }
+
+# Concrete pool types share/ must never name (PoolView is the only seam).
+SHARE_POOL_TYPE_RE = re.compile(r"\b(ShardedRuntimePool|RuntimePool)\b")
+
+# Pool mutation members share/ must never call, via . or ->.  Longest
+# alternatives first so `acquire_for_donation` isn't reported as `acquire`.
+SHARE_POOL_MUTATION_RE = re.compile(
+    r"(?:\.|->)\s*(acquire_for_donation|add_available|count_eviction|"
+    r"select_victim|mark_paused|acquire|remove)\s*\(")
 
 
 class Finding:
@@ -172,6 +190,27 @@ def check_direct_io(path: pathlib.Path, rel: str, lines: list[str]) -> list:
     return findings
 
 
+def check_share_seam(path: pathlib.Path, rel: str, lines: list[str]) -> list:
+    if not rel.replace("\\", "/").startswith("share/"):
+        return []
+    findings = []
+    for idx, line in enumerate(lines, 1):
+        m = SHARE_POOL_TYPE_RE.search(line)
+        if m:
+            findings.append(Finding(
+                "share-pool-seam", str(path), idx,
+                f"share/ names concrete pool type {m.group(1)} — the donor "
+                "index sees pools only through the read-only PoolView seam"))
+        m = SHARE_POOL_MUTATION_RE.search(line)
+        if m:
+            findings.append(Finding(
+                "share-pool-seam", str(path), idx,
+                f"share/ calls pool mutation member {m.group(1)}() — all "
+                "leases/returns go through the pool owner (controller / "
+                "RealHotC), never the donor index"))
+    return findings
+
+
 def check_nodiscard_result(path: pathlib.Path, lines: list[str]) -> list:
     findings = []
     for idx, line in enumerate(lines, 1):
@@ -267,6 +306,7 @@ def lint_tree(root: pathlib.Path) -> list:
         lines = text.split("\n")
         findings.extend(check_raw_mutex(p, rel, lines))
         findings.extend(check_direct_io(p, rel, lines))
+        findings.extend(check_share_seam(p, rel, lines))
         findings.extend(check_nodiscard_result(p, lines))
         findings.extend(check_switch_default(p, text))
     findings.extend(check_include_cycles(root, files))
@@ -352,6 +392,23 @@ SELF_TEST_CASES = {
     "direct-io ignores comments": (
         "pool/ok_io_comment.cpp",
         "// printed with std::cout in the seed; now routed via log\n",
+        None),
+    "share-seam fires on pool mutation": (
+        "share/bad_mutate.cpp",
+        "void f(P& pool, E e, T now) { pool.add_available(e, now); }\n",
+        "share-pool-seam"),
+    "share-seam fires on concrete pool type": (
+        "share/bad_type.hpp",
+        "#pragma once\nclass ShardedRuntimePool;\n",
+        "share-pool-seam"),
+    "share-seam exempts pool owners": (
+        "hotc/ok_owner.cpp",
+        "void f(P& pool, E e, T now) { pool.add_available(e, now); }\n",
+        None),
+    "share-seam allows PoolView reads": (
+        "share/ok_view.cpp",
+        "bool idle(const V& view, const K& k) "
+        "{ return view.num_available(k) > 0; }\n",
         None),
 }
 
