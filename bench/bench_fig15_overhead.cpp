@@ -262,6 +262,7 @@ int main() {
   JsonObject doc;
   doc["bench"] = Json(std::string("fig15_overhead"));
   doc["smoke"] = Json(smoke);
+  doc["provenance"] = Json(hotc::bench::provenance());
   JsonObject tracing;
   tracing["pairs"] = Json(pairs);
   tracing["reps"] = Json(reps);

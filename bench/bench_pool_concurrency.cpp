@@ -370,9 +370,12 @@ int main() {
             << cores << " core(s): " << Table::num(measured_speedup_at_8, 2)
             << "x\n";
 
+  hotc::bench::warn_if_single_core("bench_pool_concurrency");
+
   JsonObject doc;
   doc["bench"] = Json(std::string("pool_concurrency"));
   doc["smoke"] = Json(hotc::bench::smoke_mode());
+  doc["provenance"] = Json(hotc::bench::provenance());
   doc["ops_per_thread"] = Json(static_cast<std::int64_t>(g_ops_per_thread));
   doc["host_cores"] = Json(static_cast<std::int64_t>(cores));
   JsonObject gates;

@@ -135,6 +135,7 @@ int main() {
   JsonObject doc;
   doc["bench"] = Json(std::string("share"));
   doc["smoke"] = Json(smoke);
+  doc["provenance"] = Json(hotc::bench::provenance());
   JsonObject off_j;
   off_j["requests"] = Json(static_cast<std::int64_t>(off.stats.requests));
   off_j["cold_starts"] =

@@ -11,7 +11,9 @@
 #include <fstream>
 #include <iostream>
 #include <string>
+#include <thread>
 
+#include "core/json.hpp"
 #include "core/table.hpp"
 #include "faas/platform.hpp"
 #include "workload/mix.hpp"
@@ -47,6 +49,50 @@ inline bool write_file(const std::string& path, const std::string& content) {
   if (!out) return false;
   out << content;
   return out.good();
+}
+
+/// The commit the bench binary's source tree was at, or "unknown" — read
+/// from .git at run time (follows one level of symbolic ref), so a stale
+/// binary over a moved tree reports the tree, which is what provenance
+/// wants.
+inline std::string git_sha() {
+  std::ifstream head(std::string(HOTC_SOURCE_DIR) + "/.git/HEAD");
+  std::string line;
+  if (!head || !std::getline(head, line)) return "unknown";
+  if (line.rfind("ref: ", 0) == 0) {
+    std::ifstream ref(std::string(HOTC_SOURCE_DIR) + "/" + line.substr(5));
+    std::string sha;
+    if (!ref || !std::getline(ref, sha)) return "unknown";
+    return sha;
+  }
+  return line;
+}
+
+/// Host/build provenance block, embedded verbatim in every BENCH_*.json:
+/// a perf number without the machine and build that produced it is noise.
+inline JsonObject provenance() {
+  JsonObject p;
+  p["host_cores"] = Json(static_cast<std::int64_t>(
+      std::thread::hardware_concurrency()));
+  p["smoke"] = Json(smoke_mode());
+#ifdef HOTC_BUILD_TYPE
+  p["build_type"] = Json(std::string(HOTC_BUILD_TYPE));
+#else
+  p["build_type"] = Json(std::string("unknown"));
+#endif
+  p["git_sha"] = Json(git_sha());
+  return p;
+}
+
+/// Loud, unmissable stderr warning for concurrency benches: contention
+/// numbers measured on one hardware thread say nothing about contention.
+inline void warn_if_single_core(const std::string& bench) {
+  if (std::thread::hardware_concurrency() > 1) return;
+  std::cerr << "\n"
+            << "*** WARNING: " << bench << " is running on a single\n"
+            << "*** hardware thread.  Its concurrency numbers measure\n"
+            << "*** scheduler interleaving, not parallel contention, and\n"
+            << "*** must not be compared against multi-core baselines.\n\n";
 }
 
 inline void print_header(const std::string& figure,

@@ -26,6 +26,12 @@
 //                                        shards in index order, which is
 //                                        exactly the increasing-sequence
 //                                        rule within the band
+//    70   obs diagnosis state            0 — SLO engine windows + alert
+//                                        ring.  Strictly below the
+//                                        registry band so the engine may
+//                                        lazily register hotc_slo_*
+//                                        gauges while holding its own
+//                                        state lock
 //    80   obs metrics registry index     0 — any subsystem may register
 //                                        an instrument while holding its
 //                                        own locks; increments are
@@ -57,6 +63,7 @@ enum class LockRank : std::uint32_t {
   kThreadPoolQueue = 30,
   kShareRegistry = 45,
   kPoolShard = 50,
+  kObsDiagnosis = 70,
   kObsRegistry = 80,
   kLogSink = 90,
 };

@@ -64,6 +64,16 @@ metrics::LatencyRecorder FaasPlatform::run(
   metrics::LatencyRecorder recorder;
   if (arrivals.empty()) return recorder;
 
+  // End-to-end latency distribution, with the request id as exemplar:
+  // the SLO engine takes its p99/p999 from this family, and hotc_top can
+  // resolve an over-budget bucket to the exact trace in OBS_spans.jsonl.
+  obs::LogHistogram* duration_hist =
+      options_.registry != nullptr
+          ? &options_.registry->histogram(
+                "hotc_request_duration_ms",
+                "End-to-end request latency (ms), gateway submit to reply")
+          : nullptr;
+
   if (options_.preload_images) {
     std::set<std::string> seen;
     for (std::size_t i = 0; i < mix.size(); ++i) {
@@ -93,11 +103,12 @@ metrics::LatencyRecorder FaasPlatform::run(
     HOTC_ASSERT_MSG(arrival.config_index < mix.size(),
                     "arrival names a config outside the mix");
     const std::uint64_t id = next_id++;
-    sim_.at(arrival.at, [this, id, arrival, &mix, &recorder]() {
+    sim_.at(arrival.at, [this, id, arrival, duration_hist, &mix,
+                         &recorder]() {
       const auto& entry = mix.at(arrival.config_index);
       gateway_->submit(
           id, arrival.config_index, entry.spec, entry.app,
-          [this, &recorder](Result<CompletedRequest> done) {
+          [this, duration_hist, &recorder](Result<CompletedRequest> done) {
             if (!done.ok()) {
               ++failures_;
               return;
@@ -109,6 +120,10 @@ metrics::LatencyRecorder FaasPlatform::run(
             p.latency = done.value().total();
             p.cold = done.value().cold;
             p.config_index = done.value().config_index;
+            if (duration_hist != nullptr) {
+              duration_hist->observe(to_milliseconds(p.latency),
+                                     p.request_id);
+            }
             recorder.add(p);
           });
     });

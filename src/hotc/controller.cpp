@@ -69,6 +69,9 @@ HotCController::HotCController(engine::ContainerEngine& engine,
     obs_.respec_duration_ms = &reg.histogram(
         "hotc_share_respec_duration_ms",
         "Donor conversion duration (milliseconds)");
+    obs_.drift_restarts = &reg.counter(
+        "hotc_drift_restarts_total",
+        "Predictor restarts forced by the forecast-drift detector");
     if (donors_ != nullptr) donors_->attach_metrics(reg);
     engine_.attach_metrics(reg);
   }
@@ -95,6 +98,7 @@ HotCController::KeyState& HotCController::key_state(
     KeyState state;
     state.canonical_spec = spec;
     state.predictor = options_.predictor_factory();
+    state.drift = obs::PageHinkley(options_.drift);
     it = keys_.emplace(key, std::move(state)).first;
     // Every key the controller has seen is a potential donor for its
     // compatibility-class siblings.
@@ -117,6 +121,17 @@ void HotCController::handle_traced(const spec::RunSpec& spec,
   const TimePoint arrival = sim_.now();
   const spec::RuntimeKey key = key_for(spec);
   KeyState& state = key_state(key, spec);
+  if (options_.registry != nullptr) {
+    if (state.req_counter == nullptr) {
+      state.req_counter = &options_.registry->counter(
+          "hotc_key_requests_total", "Requests handled, per runtime key",
+          key_label(key));
+      state.cold_counter = &options_.registry->counter(
+          "hotc_key_cold_total", "True cold starts paid, per runtime key",
+          key_label(key));
+    }
+    state.req_counter->inc();
+  }
   ++stats_.requests;
   ++state.busy_now;
   state.interval_peak = std::max(state.interval_peak, state.busy_now);
@@ -155,6 +170,12 @@ void HotCController::provision_cold(const spec::RunSpec& spec,
                                     TimePoint arrival,
                                     std::uint64_t trace_id, Callback cb) {
   ++stats_.cold_starts;
+  {
+    const auto it = keys_.find(key);
+    if (it != keys_.end() && it->second.cold_counter != nullptr) {
+      it->second.cold_counter->inc();
+    }
+  }
   enforce_pressure();  // make room before allocating a new runtime
 
   // Checkpoint/restore extension: a retired runtime's dump beats a full
@@ -480,31 +501,57 @@ void HotCController::prewarm(const spec::RuntimeKey& key, KeyState& state) {
                  });
 }
 
+namespace {
+
+std::uint16_t clamp_u16(std::size_t v) {
+  return static_cast<std::uint16_t>(std::min<std::size_t>(v, 0xffff));
+}
+
+}  // namespace
+
 void HotCController::adaptive_tick() {
   const TimePoint now = sim_.now();
+  ++tick_;
   const double interval_s = to_seconds(options_.adaptive_interval);
   stats_.idle_container_seconds +=
       static_cast<double>(pool_.total_available()) * interval_s;
 
   std::size_t target_sum = 0;
+  std::size_t tick_prewarms = 0;
+  std::size_t tick_retires = 0;
+  const std::uint64_t evicted_before = stats_.evicted;
   for (auto& [key, state] : keys_) {
     // Observe this interval's demand: the peak number of simultaneously
     // busy containers of this runtime type.
     const auto demand = static_cast<double>(state.interval_peak);
+    bool drift_fired = false;
     // Score the forecast the previous tick made for *this* interval
     // before the predictor sees the new observation (Algorithm 3's
     // smoothing error, per key and accumulated).
-    if (state.last_forecast >= 0.0 && obs_.prediction_samples != nullptr) {
+    if (state.last_forecast >= 0.0) {
       const double err = std::abs(state.last_forecast - demand);
-      obs_.prediction_samples->inc();
-      obs_.prediction_error_sum->add(err);
-      if (state.error_gauge == nullptr) {
-        state.error_gauge = &options_.registry->gauge(
-            "hotc_controller_prediction_abs_error",
-            "Last interval's |forecast - observed demand|, per runtime key",
-            key_label(key));
+      if (obs_.prediction_samples != nullptr) {
+        obs_.prediction_samples->inc();
+        obs_.prediction_error_sum->add(err);
+        if (state.error_gauge == nullptr) {
+          state.error_gauge = &options_.registry->gauge(
+              "hotc_controller_prediction_abs_error",
+              "Last interval's |forecast - observed demand|, per runtime key",
+              key_label(key));
+        }
+        state.error_gauge->set(err);
       }
-      state.error_gauge->set(err);
+      // Drift feedback, before the predictor sees this tick's demand:
+      // the restarted smoother re-seeds on it, so recovery starts now.
+      if (options_.enable_drift_detection && state.drift.observe(err)) {
+        drift_fired = true;
+        state.predictor->restart_smoothing();
+        state.donation_muted_until = tick_ + options_.drift.cooldown_ticks;
+        ++stats_.drift_restarts;
+        if (obs_.drift_restarts != nullptr) obs_.drift_restarts->inc();
+        emit_span(0, obs::Stage::kDriftRestart, now, kZeroDuration,
+                  key.hash());
+      }
     }
     state.predictor->observe(demand);
     state.demand.add(now, demand);
@@ -516,7 +563,23 @@ void HotCController::adaptive_tick() {
 
     const auto target = static_cast<std::size_t>(std::ceil(forecast));
     target_sum += target;
-    const std::size_t have = pool_.num_available(key) + state.busy_now;
+
+    // The per-key resize decision is the pure function decide_tick()
+    // (obs/journal.hpp) over exactly the inputs journalled below — the
+    // replay harness re-derives it from the record alone.
+    obs::TickInputs in;
+    in.forecast = forecast;
+    in.available = pool_.num_available(key);
+    in.have = in.available + state.busy_now;
+    const std::size_t live = engine_.live_count();
+    in.headroom = live < options_.limits.max_live
+                      ? options_.limits.max_live - live
+                      : 0;
+    in.prewarm_enabled = options_.enable_prewarm;
+    in.retire_enabled = options_.enable_retire;
+    in.sharing_enabled = donors_ != nullptr;
+    in.donation_muted = tick_ <= state.donation_muted_until;
+    const obs::TickDecision decision = obs::decide_tick(in);
 
     if (donors_ != nullptr) {
       // Donor nomination tracks the *unrounded* forecast: a key whose
@@ -524,31 +587,42 @@ void HotCController::adaptive_tick() {
       // and may give up even its last idle runtime to a sibling.  The
       // ceil() used for the prewarm/retire target would keep every
       // once-used key "needed" forever while its smoothed forecast
-      // decays toward (but never reaches) zero.
-      donors_->nominate(key, state.canonical_spec,
-                        static_cast<double>(have) > forecast + 0.5);
+      // decays toward (but never reaches) zero.  A drift-muted key is
+      // additionally barred from find_donor entirely — its surplus is
+      // computed from a forecast the detector just distrusted.
+      donors_->set_muted(key, state.canonical_spec, in.donation_muted);
+      donors_->nominate(key, state.canonical_spec, decision.nominate_donor);
     }
-    if (options_.enable_prewarm && target > have) {
-      // Under-provisioned: this key needs its warm stock for itself.
-      std::size_t deficit = target - have;
-      // Never pre-warm past the global capacity limit.
-      const std::size_t live = engine_.live_count();
-      const std::size_t headroom =
-          live < options_.limits.max_live ? options_.limits.max_live - live
-                                          : 0;
-      deficit = std::min(deficit, headroom);
-      for (std::size_t i = 0; i < deficit; ++i) prewarm(key, state);
-    } else if (options_.enable_retire && have > target) {
-      // Over-provisioned: Algorithm 3 would retire the whole surplus.
-      // With sharing on, keep one surplus container alive for a sibling
-      // to convert — donation recovers value retirement would discard.
-      std::size_t surplus =
-          std::min(have - target, pool_.num_available(key));
-      if (donors_ != nullptr && surplus > 0) --surplus;
+    for (std::size_t i = 0; i < decision.prewarms; ++i) prewarm(key, state);
+    if (decision.retires > 0) {
       auto entries = pool_.entries(key);  // oldest first
-      for (std::size_t i = 0; i < surplus && i < entries.size(); ++i) {
+      for (std::size_t i = 0; i < decision.retires && i < entries.size();
+           ++i) {
         retire_entry(entries[i], /*pressure=*/false);
       }
+    }
+    tick_prewarms += decision.prewarms;
+    tick_retires += decision.retires;
+
+    if (options_.journal != nullptr) {
+      obs::DecisionRecord rec;
+      rec.tick = tick_;
+      rec.key_hash = key.hash();
+      rec.demand = demand;
+      rec.smoothed = state.predictor->smoothed_value();
+      rec.forecast = forecast;
+      rec.markov_region =
+          static_cast<std::int8_t>(state.predictor->markov_region());
+      rec.have = clamp_u16(in.have);
+      rec.available = clamp_u16(in.available);
+      rec.headroom = clamp_u16(in.headroom);
+      rec.prewarms = clamp_u16(decision.prewarms);
+      rec.retires = clamp_u16(decision.retires);
+      rec.flags = static_cast<std::uint8_t>(
+          (drift_fired ? obs::kJournalDriftRestart : 0) |
+          (decision.nominate_donor ? obs::kJournalDonorNominated : 0) |
+          (in.donation_muted ? obs::kJournalDonationMuted : 0));
+      options_.journal->append(rec);
     }
   }
 
@@ -573,6 +647,24 @@ void HotCController::adaptive_tick() {
   }
 
   enforce_pressure();
+
+  if (options_.journal != nullptr) {
+    // Per-tick summary: evictions and donations are global effects (pool
+    // pressure, request-path donor hits) the per-key records cannot carry.
+    obs::DecisionRecord sum;
+    sum.tick = tick_;
+    sum.flags = obs::kJournalSummary;
+    sum.prewarms = clamp_u16(tick_prewarms);
+    sum.retires = clamp_u16(tick_retires);
+    sum.evictions = clamp_u16(
+        static_cast<std::size_t>(stats_.evicted - evicted_before));
+    sum.donations = clamp_u16(
+        static_cast<std::size_t>(stats_.donor_hits - summary_donor_hits_));
+    summary_donor_hits_ = stats_.donor_hits;
+    options_.journal->append(sum);
+  }
+
+  if (options_.slo != nullptr) options_.slo->evaluate(tick_);
 }
 
 void HotCController::pause_stale_entries(TimePoint now) {

@@ -21,6 +21,9 @@
 #include "core/result.hpp"
 #include "core/series.hpp"
 #include "engine/engine.hpp"
+#include "obs/drift.hpp"
+#include "obs/journal.hpp"
+#include "obs/slo.hpp"
 #include "obs/trace.hpp"
 #include "pool/eviction.hpp"
 #include "pool/pool.hpp"
@@ -78,6 +81,19 @@ struct ControllerOptions {
   /// outlive the controller.
   obs::Tracer* tracer = nullptr;
   obs::Registry* registry = nullptr;
+  /// Diagnosis layer (all optional, must outlive the controller).  The
+  /// journal receives one DecisionRecord per key per adaptive tick plus a
+  /// per-tick summary; the SLO engine is evaluated once per tick after
+  /// the decisions land.
+  obs::DecisionJournal* journal = nullptr;
+  obs::SloEngine* slo = nullptr;
+  /// Forecast-drift feedback (obs/drift.hpp): per-key Page-Hinkley over
+  /// |forecast - demand|; on sustained drift the key's predictor is
+  /// restarted and its donation nomination muted for the cooldown.  An
+  /// intervention, so opt-in: off keeps the control loop's numbers
+  /// bit-identical to previous releases.
+  bool enable_drift_detection = false;
+  obs::DriftOptions drift;
 };
 
 /// Outcome of one request through HotC.
@@ -113,6 +129,8 @@ struct ControllerStats {
   std::uint64_t prewarm_launches = 0;
   std::uint64_t retired = 0;      // containers stopped by the controller
   std::uint64_t evicted = 0;      // stopped under capacity/memory pressure
+  /// Predictor restarts forced by the forecast-drift detector.
+  std::uint64_t drift_restarts = 0;
   /// Accumulated container-seconds of idle pool residency (cost proxy).
   double idle_container_seconds = 0.0;
 };
@@ -151,6 +169,8 @@ class HotCController {
   /// and real paths report through one interface.
   [[nodiscard]] const pool::PoolView& pool_view() const { return pool_; }
   [[nodiscard]] const ControllerStats& stats() const { return stats_; }
+  /// Adaptive ticks run so far (the journal's tick ordinal domain).
+  [[nodiscard]] std::uint64_t adaptive_ticks() const { return tick_; }
   [[nodiscard]] const ControllerOptions& options() const { return options_; }
   [[nodiscard]] engine::ContainerEngine& engine() { return engine_; }
   /// Null unless options.enable_sharing.
@@ -190,6 +210,17 @@ class HotCController {
     /// Per-key |forecast - demand| gauge, registered lazily on the first
     /// scored tick (null when no registry is attached).
     obs::Gauge* error_gauge = nullptr;
+    /// Forecast-drift detector over the same error stream (only consulted
+    /// when options.enable_drift_detection).
+    obs::PageHinkley drift;
+    /// Donation nomination stays muted through this tick ordinal after a
+    /// drift restart (0 = not muted).
+    std::uint64_t donation_muted_until = 0;
+    /// Per-key SLO attribution counters, registered lazily (null when no
+    /// registry is attached): hotc_key_requests_total / hotc_key_cold_total
+    /// feed the cold-start-ratio SLO series.
+    obs::Counter* req_counter = nullptr;
+    obs::Counter* cold_counter = nullptr;
   };
 
   KeyState& key_state(const spec::RuntimeKey& key, const spec::RunSpec& spec);
@@ -251,6 +282,7 @@ class HotCController {
     obs::Counter* donor_hits = nullptr;
     obs::Counter* respec_rejected = nullptr;
     obs::LogHistogram* respec_duration_ms = nullptr;
+    obs::Counter* drift_restarts = nullptr;
   };
 
   engine::ContainerEngine& engine_;
@@ -270,6 +302,10 @@ class HotCController {
   std::unique_ptr<share::Respecializer> respec_;
   bool adaptive_running_ = false;
   TimePoint adaptive_until_ = kZeroDuration;
+  /// 1-based adaptive-tick ordinal (journal record tick ids).
+  std::uint64_t tick_ = 0;
+  /// Donor hits as of the previous tick's summary record.
+  std::uint64_t summary_donor_hits_ = 0;
 };
 
 }  // namespace hotc

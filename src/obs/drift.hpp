@@ -1,0 +1,104 @@
+// Forecast-drift detection: is the predictor still tracking the workload?
+//
+// The controller already scores per-key absolute forecast error
+// |forecast - demand| into hotc_prediction_error gauges.  This detector
+// turns that stream into an intervention signal: a one-sided Page-Hinkley
+// test accumulates the error's deviation above its running mean and fires
+// when the cumulative statistic rises more than `threshold` above its
+// historical minimum — i.e. the error has *sustainedly* grown, which is
+// what a workload step change looks like through an exponential smoother
+// fitted to the old regime (the smoother converges geometrically, so a
+// large step keeps the error elevated for ~1/alpha ticks).
+//
+// On fire, the controller (hotc/controller.cpp) applies feedback:
+//   1. Predictor::restart_smoothing() — drop state fitted on the stale
+//      regime; the smoother re-seeds from its averaged-history policy with
+//      alpha unchanged, so the forecast snaps to the new level within one
+//      reseed window instead of crawling there.
+//   2. Donation nomination for the key is muted for `cooldown_ticks`
+//      (and the share::DonorRegistry entry marked muted), because a
+//      surplus computed from a distrusted forecast is not a surplus.
+// Both interventions are journalled (obs/journal.hpp: kJournalDriftRestart
+// / kJournalDonationMuted) so deterministic replay applies them at the
+// same points, and counted in hotc_drift_restarts_total.
+//
+// The detector itself also cools down after firing: the first
+// `cooldown_ticks` post-restart errors are transient (the fresh smoother
+// is re-seeding) and must not immediately re-trigger.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hotc::obs {
+
+struct DriftOptions {
+  /// Magnitude tolerance: error deviations below mean + delta do not
+  /// accumulate.  In units of the error signal (containers).
+  double delta = 0.5;
+  /// Fire when the PH statistic exceeds its running minimum by this much.
+  /// At delta=0.5, a sustained error 1.5 above the historical mean fires
+  /// in ~6 ticks; one-tick spikes never do.
+  double threshold = 6.0;
+  /// Minimum observations before the test may fire — the running mean is
+  /// meaningless on the first few samples.
+  std::size_t min_samples = 8;
+  /// Observations ignored after a fire while the restarted predictor
+  /// re-seeds; also the donation-mute duration the controller applies.
+  std::size_t cooldown_ticks = 10;
+};
+
+/// One-sided Page-Hinkley test over a non-negative error stream.
+/// Single-threaded: each instance belongs to one controller key and is
+/// only touched from the adaptive tick (under the controller mutex).
+class PageHinkley {
+ public:
+  explicit PageHinkley(DriftOptions options = {}) : options_(options) {}
+
+  /// Feed one |forecast - demand| sample; returns true when sustained
+  /// drift fires.  Firing resets the statistic and starts the cooldown.
+  bool observe(double error) {
+    if (cooldown_ > 0) {
+      --cooldown_;
+      return false;
+    }
+    ++samples_;
+    mean_ += (error - mean_) / static_cast<double>(samples_);
+    statistic_ += error - mean_ - options_.delta;
+    if (statistic_ < minimum_) minimum_ = statistic_;
+    if (samples_ >= options_.min_samples &&
+        statistic_ - minimum_ > options_.threshold) {
+      ++fires_;
+      reset();
+      cooldown_ = options_.cooldown_ticks;
+      return true;
+    }
+    return false;
+  }
+
+  /// Clear the running statistic (configuration and fire count survive).
+  void reset() {
+    samples_ = 0;
+    mean_ = 0.0;
+    statistic_ = 0.0;
+    minimum_ = 0.0;
+  }
+
+  [[nodiscard]] std::size_t samples() const { return samples_; }
+  [[nodiscard]] double mean() const { return mean_; }
+  [[nodiscard]] double statistic() const { return statistic_ - minimum_; }
+  [[nodiscard]] std::uint64_t fires() const { return fires_; }
+  [[nodiscard]] bool in_cooldown() const { return cooldown_ > 0; }
+  [[nodiscard]] const DriftOptions& options() const { return options_; }
+
+ private:
+  DriftOptions options_;
+  std::size_t samples_ = 0;
+  double mean_ = 0.0;
+  double statistic_ = 0.0;
+  double minimum_ = 0.0;
+  std::size_t cooldown_ = 0;
+  std::uint64_t fires_ = 0;
+};
+
+}  // namespace hotc::obs

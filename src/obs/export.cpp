@@ -26,6 +26,23 @@ std::string join_labels(const std::string& common,
   return common + "," + extra;
 }
 
+// HELP text escaping per exposition format 0.0.4: only backslash and
+// newline are special there (quotes are not — HELP is not quoted).
+std::string escape_help(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
 void append_number(std::ostringstream& os, double v) {
   // Integers render without a decimal point, like client libraries do.
   if (v == static_cast<double>(static_cast<long long>(v))) {
@@ -72,13 +89,30 @@ void append_histogram(std::ostringstream& os, const MetricSample& s,
 
 }  // namespace
 
+std::string escape_label_value(const std::string& raw) {
+  std::string out;
+  out.reserve(raw.size());
+  for (const char c : raw) {
+    if (c == '\\') {
+      out += "\\\\";
+    } else if (c == '"') {
+      out += "\\\"";
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
 std::string to_prometheus(const RegistrySnapshot& snapshot,
                           const std::string& common_labels) {
   std::ostringstream os;
   std::string last_family;
   for (const MetricSample& s : snapshot) {
     if (s.name != last_family) {
-      os << "# HELP " << s.name << ' ' << s.help << '\n';
+      os << "# HELP " << s.name << ' ' << escape_help(s.help) << '\n';
       os << "# TYPE " << s.name << ' ' << type_name(s.kind) << '\n';
       last_family = s.name;
     }

@@ -24,8 +24,15 @@
 
 namespace hotc::obs {
 
+/// Escape a raw string for use inside a label value: backslash, double
+/// quote and newline become \\, \" and \n per the exposition format.
+/// Callers building pre-rendered label strings from untrusted text
+/// (image names, user-supplied tags) must pass values through this.
+std::string escape_label_value(const std::string& raw);
+
 /// `common_labels` (e.g. `instance="hotc"`) is prepended to every
-/// sample's label set.
+/// sample's label set.  HELP text is escaped per the exposition format
+/// (backslash and newline); label strings are emitted as registered.
 std::string to_prometheus(const RegistrySnapshot& snapshot,
                           const std::string& common_labels = "");
 

@@ -39,6 +39,22 @@ double HistogramSnapshot::quantile(double q) const {
          LogHistogram::kWidth;
 }
 
+int HistogramSnapshot::quantile_bucket(double q) const {
+  if (total == 0) return -1;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total);
+  std::uint64_t cumulative = underflow;
+  if (rank <= static_cast<double>(cumulative)) return -1;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    if (counts[b] == 0) continue;
+    cumulative += counts[b];
+    if (rank <= static_cast<double>(cumulative)) {
+      return static_cast<int>(b);
+    }
+  }
+  return -1;  // the quantile falls among overflow samples
+}
+
 HistogramSnapshot LogHistogram::snapshot() const {
   HistogramSnapshot out;
   out.counts.resize(kBuckets);
@@ -51,6 +67,13 @@ HistogramSnapshot LogHistogram::snapshot() const {
   }
   out.overflow = counts_[kBuckets + 1].load(std::memory_order_relaxed);
   out.total += out.overflow;
+  if (has_exemplars_.load(std::memory_order_relaxed)) {
+    out.exemplars.resize(kBuckets);
+    for (int b = 0; b < kBuckets; ++b) {
+      out.exemplars[static_cast<std::size_t>(b)] =
+          exemplars_[b + 1].load(std::memory_order_relaxed);
+    }
+  }
   out.sum = sum_.load(std::memory_order_relaxed);
   return out;
 }

@@ -73,6 +73,9 @@ class Gauge {
 /// Read-side copy of a histogram (see LogHistogram::snapshot()).
 struct HistogramSnapshot {
   std::vector<std::uint64_t> counts;  // one per bucket, LogHistogram order
+  /// Last exemplar (trace id) observed into each bucket; 0 = none.
+  /// Aligned with `counts`; empty when the histogram never saw one.
+  std::vector<std::uint64_t> exemplars;
   std::uint64_t underflow = 0;        // samples <= 0 or below the domain
   std::uint64_t overflow = 0;
   std::uint64_t total = 0;            // including under/overflow
@@ -81,6 +84,10 @@ struct HistogramSnapshot {
   /// q in [0,1]; geometric interpolation inside the winning bucket.
   /// Relative error <= the bucket width factor (LogHistogram::kWidth).
   [[nodiscard]] double quantile(double q) const;
+  /// Index into `counts` of the bucket holding quantile q, or -1 when it
+  /// falls among under/overflow samples — the key to cross-linking a p99
+  /// outlier to its exemplar span.
+  [[nodiscard]] int quantile_bucket(double q) const;
   [[nodiscard]] double mean() const {
     return total ? sum / static_cast<double>(total) : 0.0;
   }
@@ -109,6 +116,29 @@ class LogHistogram {
     }
   }
 
+  /// As observe(), plus an exemplar (trace / request id) remembered for
+  /// the sample's bucket.  Lets hotc_top resolve "what request sat in the
+  /// p99 bucket?" to a concrete span in OBS_spans.jsonl.  The exemplar is
+  /// refreshed only when the bucket's count crosses a power of two —
+  /// amortized O(log n) stores, so the steady-state hot-path cost over
+  /// plain observe() is two ALU ops and a predicted-not-taken branch, not
+  /// a second dirtied cache line per sample.
+  void observe(double v, std::uint64_t exemplar) {
+    const int b = bucket_index(v);
+    const std::uint64_t n =
+        counts_[b].fetch_add(1, std::memory_order_relaxed);
+    if (exemplar != 0 && (n & (n - 1)) == 0) {
+      exemplars_[b].store(exemplar, std::memory_order_relaxed);
+      if (!has_exemplars_.load(std::memory_order_relaxed)) {
+        has_exemplars_.store(true, std::memory_order_relaxed);
+      }
+    }
+    double cur = sum_.load(std::memory_order_relaxed);
+    while (!sum_.compare_exchange_weak(cur, cur + v,
+                                       std::memory_order_relaxed)) {
+    }
+  }
+
   [[nodiscard]] HistogramSnapshot snapshot() const;
 
   /// Inclusive lower edge of bucket b (b in [0, kBuckets)).
@@ -128,6 +158,8 @@ class LogHistogram {
 
  private:
   std::atomic<std::uint64_t> counts_[kBuckets + 2]{};
+  std::atomic<std::uint64_t> exemplars_[kBuckets + 2]{};
+  std::atomic<bool> has_exemplars_{false};
   std::atomic<double> sum_{0.0};
 };
 

@@ -22,6 +22,7 @@ const char* to_string(Stage stage) {
     case Stage::kRoute: return "route";
     case Stage::kDonorLookup: return "donor_lookup";
     case Stage::kRespecialize: return "respecialize";
+    case Stage::kDriftRestart: return "drift_restart";
   }
   return "?";
 }

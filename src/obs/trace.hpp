@@ -54,8 +54,9 @@ enum class Stage : std::uint8_t {
   kRoute,           // cluster node selection
   kDonorLookup,     // cross-key donor search on the miss path
   kRespecialize,    // donor container converted to the request's key
+  kDriftRestart,    // forecast-drift intervention: predictor restarted
 };
-constexpr int kStageCount = 16;
+constexpr int kStageCount = 17;
 
 const char* to_string(Stage stage);
 
@@ -194,6 +195,14 @@ class Tracer {
     enabled_.store(on, std::memory_order_relaxed);
   }
 
+  /// Histogram exemplars (trace-id per bucket); on by default.
+  [[nodiscard]] bool exemplars() const {
+    return exemplars_.load(std::memory_order_relaxed);
+  }
+  void set_exemplars(bool on) {
+    exemplars_.store(on, std::memory_order_relaxed);
+  }
+
   /// Record one span.  No-op (one relaxed load) when disabled.
   void span(std::uint64_t trace_id, Stage stage, TimePoint start,
             Duration dur, std::uint64_t key_hash = 0,
@@ -213,7 +222,16 @@ class Tracer {
     // the stage histogram toward its underflow bucket.
     if (dur.count() == 0) return;
     LogHistogram* hist = stage_hist_[static_cast<int>(stage)];
-    if (hist != nullptr) hist->observe(to_milliseconds(dur));
+    if (hist != nullptr) {
+      // Exemplar = the trace id: one extra relaxed store per observation
+      // buys the p99-bucket -> span cross-link (gated at <= 1 % on top of
+      // the tracing budget by bench_diagnosis).
+      if (exemplars_.load(std::memory_order_relaxed)) {
+        hist->observe(to_milliseconds(dur), trace_id);
+      } else {
+        hist->observe(to_milliseconds(dur));
+      }
+    }
   }
 
   /// Trace ids for drivers that do not have a natural request id.
@@ -229,6 +247,7 @@ class Tracer {
   Registry* registry_;
   LogHistogram* stage_hist_[kStageCount] = {};
   std::atomic<bool> enabled_{true};
+  std::atomic<bool> exemplars_{true};
   std::atomic<std::uint64_t> next_id_{0};
 };
 

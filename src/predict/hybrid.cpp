@@ -64,6 +64,18 @@ double HybridPredictor::predict() const {
   return std::max(0.0, trend * (1.0 + next_residual));
 }
 
+int HybridPredictor::markov_region() const {
+  if (!chain_.fitted()) return -1;
+  if (options_.mode == HybridMode::kValueState) {
+    return actuals_.empty()
+               ? -1
+               : static_cast<int>(chain_.state_of(actuals_.back()));
+  }
+  return residuals_.empty()
+             ? -1
+             : static_cast<int>(chain_.state_of(residuals_.back()));
+}
+
 void HybridPredictor::reset() {
   es_.reset();
   chain_ = RegionMarkovChain(options_.regions);

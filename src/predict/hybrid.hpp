@@ -57,6 +57,18 @@ class HybridPredictor final : public Predictor {
     return actuals_.size();
   }
 
+  /// Drift restart == reset here: the residual chain was fitted on
+  /// forecasts of the stale regime, so it must go with the trend state;
+  /// alpha / region-count configuration survives and the smoother
+  /// re-seeds from its averaged-history policy.
+  void restart_smoothing() override { reset(); }
+
+  [[nodiscard]] double smoothed_value() const override {
+    return es_.smoothed();
+  }
+
+  [[nodiscard]] int markov_region() const override;
+
   [[nodiscard]] const HybridOptions& options() const { return options_; }
   [[nodiscard]] const ExponentialSmoothing& smoother() const { return es_; }
 

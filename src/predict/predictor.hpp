@@ -32,6 +32,24 @@ class Predictor {
 
   /// Number of observations seen so far.
   [[nodiscard]] virtual std::size_t observations() const = 0;
+
+  /// Drift-intervention hook (obs/drift.hpp): forget the state fitted on
+  /// the old regime while keeping the configuration (alpha, region count)
+  /// unchanged.  The exponential-smoothing implementations re-seed from
+  /// their averaged-history initial-value policy on the next
+  /// observations, so recovery after a workload step is one interval.
+  /// Default: a full reset, which is exactly that for stateless models.
+  virtual void restart_smoothing() { reset(); }
+
+  /// The smoothed (trend) component of the current forecast, when the
+  /// model has one; equals predict() otherwise.  Recorded per tick in the
+  /// decision journal (obs/journal.hpp).
+  [[nodiscard]] virtual double smoothed_value() const { return predict(); }
+
+  /// Current Markov region state, for models with a region chain
+  /// (predict/markov.hpp); -1 when absent or not yet fitted.  Recorded
+  /// per tick in the decision journal.
+  [[nodiscard]] virtual int markov_region() const { return -1; }
 };
 
 using PredictorPtr = std::unique_ptr<Predictor>;

@@ -40,6 +40,18 @@ void DonorRegistry::nominate(const spec::RuntimeKey& key,
   mit->second.nominated = on;
 }
 
+void DonorRegistry::set_muted(const spec::RuntimeKey& key,
+                              const spec::RunSpec& spec, bool on) {
+  const spec::CompatClass cls = spec::CompatClass::from_spec(spec);
+  Stripe& stripe = stripe_for(cls);
+  const std::lock_guard<RankedMutex> lock(stripe.mu);
+  const auto cit = stripe.classes.find(cls);
+  if (cit == stripe.classes.end()) return;
+  const auto mit = cit->second.find(key);
+  if (mit == cit->second.end()) return;
+  mit->second.muted = on;
+}
+
 void DonorRegistry::forget(const spec::RuntimeKey& key,
                            const spec::RunSpec& spec) {
   const spec::CompatClass cls = spec::CompatClass::from_spec(spec);
@@ -71,6 +83,7 @@ std::optional<DonorCandidate> DonorRegistry::find_donor(
   std::optional<DonorCandidate> best;
   for (const auto& [key, member] : cit->second) {
     if (key == exclude) continue;
+    if (member.muted) continue;  // drift cooldown: forecast distrusted
     if (best.has_value() && !member.nominated) continue;  // can't improve
     // Surplus-only donation: a nominated key (Algorithm 3 forecast it
     // over-provisioned) may give up its last idle runtime; any other key

@@ -68,6 +68,12 @@ class DonorRegistry {
   void nominate(const spec::RuntimeKey& key, const spec::RunSpec& spec,
                 bool on);
 
+  /// Drift mute (obs/drift.hpp feedback): a muted key is skipped by
+  /// find_donor entirely — its surplus derives from a forecast the drift
+  /// detector just distrusted.  No-op if the key was never recorded.
+  void set_muted(const spec::RuntimeKey& key, const spec::RunSpec& spec,
+                 bool on);
+
   /// Drop a key from the index (its function was retired).
   void forget(const spec::RuntimeKey& key, const spec::RunSpec& spec);
 
@@ -99,6 +105,7 @@ class DonorRegistry {
   struct Member {
     spec::RunSpec spec;
     bool nominated = false;
+    bool muted = false;  // drift cooldown: excluded from donation
   };
   using ClassMembers = std::unordered_map<spec::RuntimeKey, Member>;
 

@@ -2,9 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <utility>
 #include <vector>
 
+#include "core/rng.hpp"
 #include "obs/metrics.hpp"
 
 namespace hotc::metrics {
@@ -116,6 +118,41 @@ TEST(LatencyRecorder, StreamingQuantilesAgreeWithExactWithinBucketWidth) {
   EXPECT_DOUBLE_EQ(ss.min_ms, se.min_ms);
   EXPECT_DOUBLE_EQ(ss.max_ms, se.max_ms);
   // Quantiles agree within the histogram's relative-error contract.
+  const double w = obs::LogHistogram::kWidth;
+  for (auto [approx, ref] : {std::pair{ss.p50_ms, se.p50_ms},
+                             std::pair{ss.p90_ms, se.p90_ms},
+                             std::pair{ss.p99_ms, se.p99_ms},
+                             std::pair{ss.p999_ms, se.p999_ms}}) {
+    EXPECT_LE(approx, ref * w);
+    EXPECT_GE(approx, ref / w);
+  }
+}
+
+TEST(LatencyRecorder, StreamingAccuracyOverMillionHeavyTailedSamples) {
+  // ISSUE 5 satellite: the log-histogram's relative-error contract must
+  // hold at scale, on a distribution with a real tail — a lognormal-ish
+  // mixture spanning ~5 decades (bulk around 5 ms, exponential spikes,
+  // rare 100x stragglers), where fixed linear buckets would fall apart.
+  LatencyRecorder exact;
+  LatencyRecorder streaming(/*streaming_quantiles=*/true);
+  Rng rng(0xD1A60515ull);
+  constexpr int kSamples = 1'000'000;
+  for (int i = 1; i <= kSamples; ++i) {
+    double ms = std::exp(rng.normal(/*mean=*/1.6, /*stddev=*/0.8));
+    if (rng.chance(0.01)) ms += rng.exponential(/*rate=*/0.01);
+    if (rng.chance(0.0005)) ms *= 100.0;
+    const auto lat = microseconds(static_cast<std::int64_t>(ms * 1000.0));
+    const auto p = point(i, microseconds(i), lat, false);
+    exact.add(p);
+    streaming.add(p);
+  }
+  const auto se = exact.summary();
+  const auto ss = streaming.summary();
+  ASSERT_EQ(ss.count, static_cast<std::size_t>(kSamples));
+  EXPECT_DOUBLE_EQ(ss.mean_ms, se.mean_ms);
+  EXPECT_DOUBLE_EQ(ss.max_ms, se.max_ms);
+  // The sanity floor: this workload really is heavy-tailed.
+  EXPECT_GT(se.p999_ms, se.p50_ms * 10.0);
   const double w = obs::LogHistogram::kWidth;
   for (auto [approx, ref] : {std::pair{ss.p50_ms, se.p50_ms},
                              std::pair{ss.p90_ms, se.p90_ms},

@@ -1,0 +1,104 @@
+#include "obs/drift.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+
+namespace hotc::obs {
+namespace {
+
+/// Feed `n` samples of `value`; returns how many fired.
+std::size_t feed(PageHinkley& ph, double value, std::size_t n) {
+  std::size_t fires = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (ph.observe(value)) ++fires;
+  }
+  return fires;
+}
+
+TEST(PageHinkley, QuietOnSteadyError) {
+  PageHinkley ph;
+  EXPECT_EQ(feed(ph, 0.3, 200), 0u);
+  EXPECT_EQ(ph.fires(), 0u);
+}
+
+TEST(PageHinkley, FiresOnSustainedStep) {
+  PageHinkley ph;
+  feed(ph, 0.2, 30);  // old regime: small steady error
+  // Step change seen through a stale smoother: error jumps and stays up.
+  std::size_t fires = 0;
+  std::size_t ticks_to_fire = 0;
+  for (std::size_t i = 0; i < 10; ++i) {
+    if (ph.observe(8.0)) {
+      fires = 1;
+      ticks_to_fire = i + 1;
+      break;
+    }
+  }
+  EXPECT_EQ(fires, 1u);
+  // The deviation (8.0 vs mean ~0.2, delta 0.5) crosses threshold 6 fast.
+  EXPECT_LE(ticks_to_fire, 3u);
+}
+
+TEST(PageHinkley, OneTickSpikeDoesNotFire) {
+  PageHinkley ph;  // threshold 6: a single +5 outlier stays below it
+  feed(ph, 0.2, 50);
+  EXPECT_FALSE(ph.observe(5.0));
+  EXPECT_EQ(feed(ph, 0.2, 50), 0u);
+  EXPECT_EQ(ph.fires(), 0u);
+}
+
+TEST(PageHinkley, MinSamplesGuardsWarmup) {
+  DriftOptions opt;
+  opt.min_samples = 8;
+  PageHinkley ph(opt);
+  // Huge errors from sample one: the statistic is over threshold almost
+  // immediately, but nothing may fire before min_samples observations.
+  for (std::size_t i = 0; i < 7; ++i) {
+    EXPECT_FALSE(ph.observe(20.0)) << "fired at sample " << i + 1;
+  }
+}
+
+TEST(PageHinkley, CooldownSwallowsPostFireTransient) {
+  DriftOptions opt;
+  opt.cooldown_ticks = 10;
+  PageHinkley ph(opt);
+  feed(ph, 0.2, 30);
+  // Step the error and stop at the exact fire tick.
+  bool fired = false;
+  for (int i = 0; i < 10 && !fired; ++i) fired = ph.observe(8.0);
+  ASSERT_TRUE(fired);
+  ASSERT_TRUE(ph.in_cooldown());
+  EXPECT_EQ(ph.samples(), 0u);  // reset() cleared the statistic
+  // The reseeding transient right after the restart must be ignored:
+  // exactly cooldown_ticks observations are swallowed with no state
+  // updates, however large the error they carry.
+  for (std::size_t i = 0; i < opt.cooldown_ticks; ++i) {
+    EXPECT_FALSE(ph.observe(50.0));
+    EXPECT_EQ(ph.samples(), 0u);
+  }
+  EXPECT_FALSE(ph.in_cooldown());
+  EXPECT_EQ(ph.fires(), 1u);
+}
+
+TEST(PageHinkley, RefiresAfterSecondStep) {
+  PageHinkley ph;
+  feed(ph, 0.2, 30);
+  EXPECT_EQ(feed(ph, 8.0, 12), 1u);  // fire + cooldown eats the rest
+  feed(ph, 0.2, 30);                 // converged on the new regime
+  EXPECT_EQ(feed(ph, 9.0, 12), 1u);  // second sustained step fires again
+  EXPECT_EQ(ph.fires(), 2u);
+}
+
+TEST(PageHinkley, StatisticTracksMinimumNotAbsolute) {
+  PageHinkley ph;
+  // Long stretch of below-tolerance errors drives the raw statistic very
+  // negative; the fire condition must measure rise above the MINIMUM, so
+  // the reported statistic stays ~0, not a large negative number.
+  feed(ph, 0.0, 500);
+  EXPECT_GE(ph.statistic(), 0.0);
+  EXPECT_LT(ph.statistic(), 1.0);
+}
+
+}  // namespace
+}  // namespace hotc::obs

@@ -1,0 +1,129 @@
+// Exporter edge cases: outputs nobody looks at until a scrape breaks.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+
+namespace hotc::obs {
+namespace {
+
+std::size_t count_lines(const std::string& text, const std::string& needle) {
+  std::size_t n = 0;
+  for (std::size_t at = text.find(needle); at != std::string::npos;
+       at = text.find(needle, at + needle.size())) {
+    ++n;
+  }
+  return n;
+}
+
+TEST(ExportEdge, EmptyRegistryRendersEmptyDocument) {
+  Registry registry;
+  EXPECT_EQ(to_prometheus(registry), "");
+  EXPECT_EQ(to_prometheus(registry.snapshot(), "instance=\"hotc\""), "");
+}
+
+TEST(ExportEdge, EmptySpanListsRenderValidDocuments) {
+  EXPECT_EQ(spans_to_jsonl({}), "");
+  const std::string trace = spans_to_chrome_trace({});
+  EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
+}
+
+TEST(ExportEdge, AllOverflowHistogramHasOnlyInfBucket) {
+  Registry registry;
+  LogHistogram& h = registry.histogram("hotc_test_ms", "overflow only");
+  // Everything above the bucket domain (2^40): finite buckets all stay
+  // empty, so the only _bucket line may be le="+Inf", and it must carry
+  // the full count — an exporter that renders cumulative counts from
+  // bucket mass alone would emit 0 here and corrupt quantile queries.
+  for (int i = 0; i < 5; ++i) h.observe(1e13);
+  const std::string text = to_prometheus(registry);
+  EXPECT_EQ(count_lines(text, "hotc_test_ms_bucket"), 1u);
+  EXPECT_NE(text.find("le=\"+Inf\"} 5"), std::string::npos);
+  EXPECT_NE(text.find("hotc_test_ms_count 5"), std::string::npos);
+
+  const HistogramSnapshot snap = h.snapshot();
+  EXPECT_EQ(snap.overflow, 5u);
+  // No finite bucket holds the quantile: the cross-linker must get -1,
+  // not a fabricated bucket index.
+  EXPECT_EQ(snap.quantile_bucket(0.99), -1);
+}
+
+TEST(ExportEdge, AllUnderflowHistogramHasOnlyInfBucket) {
+  Registry registry;
+  LogHistogram& h = registry.histogram("hotc_test_ms", "underflow only");
+  h.observe(0.0);
+  h.observe(-3.5);
+  h.observe(1e-9);
+  const std::string text = to_prometheus(registry);
+  // underflow counts into +Inf (le-semantics: every bucket upper bound
+  // is >= a below-domain sample) but produces no finite bucket lines.
+  EXPECT_EQ(count_lines(text, "hotc_test_ms_bucket"), 1u);
+  EXPECT_NE(text.find("le=\"+Inf\"} 3"), std::string::npos);
+  EXPECT_EQ(h.snapshot().underflow, 3u);
+}
+
+TEST(ExportEdge, HelpTextEscapesBackslashAndNewline) {
+  Registry registry;
+  registry.counter("hotc_test_total", "path C:\\tmp\nsecond line").inc();
+  const std::string text = to_prometheus(registry);
+  EXPECT_NE(text.find("# HELP hotc_test_total path C:\\\\tmp\\nsecond line"),
+            std::string::npos);
+  // The raw newline must NOT survive into the middle of the HELP line.
+  EXPECT_EQ(text.find("C:\\tmp\nsecond"), std::string::npos);
+}
+
+TEST(ExportEdge, EscapeLabelValueHandlesAllSpecials) {
+  EXPECT_EQ(escape_label_value("plain"), "plain");
+  EXPECT_EQ(escape_label_value("a\\b"), "a\\\\b");
+  EXPECT_EQ(escape_label_value("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(escape_label_value("two\nlines"), "two\\nlines");
+  EXPECT_EQ(escape_label_value(""), "");
+  // Composition: an adversarial image tag stays inside its quotes — the
+  // raw newline is gone and every quote is escaped.
+  const std::string hostile = "v1\"} 9999\ninjected_metric 1";
+  EXPECT_EQ(escape_label_value(hostile),
+            "v1\\\"} 9999\\ninjected_metric 1");
+}
+
+TEST(ExportEdge, CommonLabelsPrependedToEverySampleKind) {
+  Registry registry;
+  registry.counter("hotc_test_total", "c", "key=\"a\"").inc(2);
+  registry.gauge("hotc_test_gauge", "g").set(1.5);
+  registry.histogram("hotc_test_ms", "h").observe(4.0);
+  const std::string text =
+      to_prometheus(registry.snapshot(), "instance=\"hotc\"");
+  EXPECT_NE(text.find("hotc_test_total{instance=\"hotc\",key=\"a\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("hotc_test_gauge{instance=\"hotc\"} 1.5"),
+            std::string::npos);
+  // Histogram synthetic series get the common labels too, joined with le.
+  EXPECT_NE(text.find("hotc_test_ms_bucket{instance=\"hotc\",le="),
+            std::string::npos);
+  EXPECT_NE(text.find("hotc_test_ms_count{instance=\"hotc\"} 1"),
+            std::string::npos);
+}
+
+TEST(ExportEdge, HelpAndTypeEmittedOncePerFamily) {
+  Registry registry;
+  registry.counter("hotc_test_total", "c", "key=\"a\"").inc();
+  registry.counter("hotc_test_total", "c", "key=\"b\"").inc();
+  registry.counter("hotc_test_total", "c", "key=\"c\"").inc();
+  const std::string text = to_prometheus(registry);
+  EXPECT_EQ(count_lines(text, "# HELP hotc_test_total"), 1u);
+  EXPECT_EQ(count_lines(text, "# TYPE hotc_test_total"), 1u);
+  EXPECT_EQ(count_lines(text, "key=\""), 3u);
+}
+
+TEST(ExportEdge, IntegersRenderWithoutDecimalPoint) {
+  Registry registry;
+  registry.counter("hotc_test_total", "c").inc(7);
+  registry.gauge("hotc_test_gauge", "g").set(3.0);
+  const std::string text = to_prometheus(registry);
+  EXPECT_NE(text.find("hotc_test_total 7\n"), std::string::npos);
+  EXPECT_NE(text.find("hotc_test_gauge 3\n"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hotc::obs

@@ -24,12 +24,15 @@ cmake -B "$ROOT/build" -S "$ROOT" >/dev/null
 cmake --build "$ROOT/build" -j "$JOBS"
 ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS"
 
-step "smoke bench: fig15 overhead + cross-key sharing + BENCH json validation"
+step "smoke bench: fig15 overhead + sharing + diagnosis + hotc_top health"
 SMOKE_DIR="$(mktemp -d)"
 HOTC_SMOKE=1 HOTC_BENCH_DIR="$SMOKE_DIR" \
   "$ROOT/build/bench/bench_fig15_overhead" >/dev/null
 HOTC_SMOKE=1 HOTC_BENCH_DIR="$SMOKE_DIR" \
   "$ROOT/build/bench/bench_share" >/dev/null
+HOTC_SMOKE=1 HOTC_BENCH_DIR="$SMOKE_DIR" \
+  "$ROOT/build/bench/bench_diagnosis" >/dev/null
+HOTC_BENCH_DIR="$SMOKE_DIR" "$ROOT/build/tools/hotc_top" steady >/dev/null
 python3 -c "
 import json, sys
 doc = json.load(open('$SMOKE_DIR/BENCH_overhead.json'))
@@ -42,6 +45,20 @@ assert doc['smoke'] is True
 assert doc['gate_passed'] is True
 print('BENCH_share.json: ok (%.1f%% fewer cold starts)'
       % doc['cold_start_reduction_pct'])
+doc = json.load(open('$SMOKE_DIR/BENCH_diagnosis.json'))
+assert doc['smoke'] is True
+assert doc['gate_passed'] is True
+print('BENCH_diagnosis.json: ok (drift restarts on=%d off=%d, '
+      'replay %d records)'
+      % (doc['drift']['restarts_on'], doc['drift']['restarts_off'],
+         doc['journal']['replay_records_checked']))
+health = json.load(open('$SMOKE_DIR/OBS_health.json'))
+assert health['scenario'] == 'steady'
+assert health['keys'] and health['slo'], 'health table is empty'
+assert health['firing'] == 0, 'steady scenario has firing SLO alerts'
+assert health['journal']['rejected'] == 0
+print('OBS_health.json: ok (%d keys, %d SLO series, 0 firing)'
+      % (len(health['keys']), len(health['slo'])))
 "
 rm -rf "$SMOKE_DIR"
 

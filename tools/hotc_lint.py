@@ -22,6 +22,13 @@ Rules (each one enforces a convention the compiler cannot):
                    (assert, lock-rank audit, pool conservation audit)
                    that cannot rely on the logger mid-crash.  snprintf
                    writes to a caller buffer, not a stream: allowed.
+  metric-naming    Instruments registered with a string-literal name
+                   (.counter("...")/.gauge(...)/.histogram(...)) must use
+                   the hotc_ prefix in lower_snake_case and carry
+                   non-empty help text — the exporter emits names and
+                   HELP verbatim, so a scrape is only as greppable as the
+                   registration site.  Calls passing a variable are
+                   skipped (not statically checkable).
   share-pool-seam  src/share/ may observe pools only through the read-only
                    PoolView seam.  Naming a concrete pool class
                    (RuntimePool / ShardedRuntimePool) or calling a pool
@@ -78,7 +85,17 @@ DIRECT_IO_EXEMPT = {
     "pool/audit.cpp",
     "obs/export.cpp",
     "obs/export.hpp",
+    "obs/journal.cpp",  # out-of-band-tick audit abort message
 }
+
+# Instrument registration with a literal name (first arg), optionally
+# followed by a literal help string.  \s* spans newlines: registrations
+# regularly wrap after the open paren.
+METRIC_REG_RE = re.compile(
+    r'(?:\.|->)\s*(counter|gauge|histogram)\s*\(\s*"([^"]*)"'
+    r'(?:\s*,\s*"([^"]*)")?')
+
+METRIC_NAME_RE = re.compile(r"hotc_[a-z0-9_]+\Z")
 
 # Concrete pool types share/ must never name (PoolView is the only seam).
 SHARE_POOL_TYPE_RE = re.compile(r"\b(ShardedRuntimePool|RuntimePool)\b")
@@ -211,6 +228,27 @@ def check_share_seam(path: pathlib.Path, rel: str, lines: list[str]) -> list:
     return findings
 
 
+def check_metric_naming(path: pathlib.Path, text: str) -> list:
+    """`text` must have comments stripped but string literals PRESERVED —
+    the rule inspects the registered name/help literals themselves."""
+    findings = []
+    for m in METRIC_REG_RE.finditer(text):
+        kind, name, help_text = m.group(1), m.group(2), m.group(3)
+        line = text[:m.start()].count("\n") + 1
+        if not METRIC_NAME_RE.fullmatch(name):
+            findings.append(Finding(
+                "metric-naming", str(path), line,
+                f'{kind}("{name}") — instrument names must match '
+                "hotc_[a-z0-9_]+ so every exported series is greppable "
+                "under one prefix"))
+        if help_text is not None and not help_text.strip():
+            findings.append(Finding(
+                "metric-naming", str(path), line,
+                f'{kind}("{name}") registered with empty help text — '
+                "HELP is the only documentation a scrape carries"))
+    return findings
+
+
 def check_nodiscard_result(path: pathlib.Path, lines: list[str]) -> list:
     findings = []
     for idx, line in enumerate(lines, 1):
@@ -302,13 +340,16 @@ def lint_tree(root: pathlib.Path) -> list:
     findings = []
     for p in files:
         rel = str(p.relative_to(root)).replace("\\", "/")
-        text = strip_comments(p.read_text(errors="replace"))
+        raw = p.read_text(errors="replace")
+        text = strip_comments(raw)
         lines = text.split("\n")
         findings.extend(check_raw_mutex(p, rel, lines))
         findings.extend(check_direct_io(p, rel, lines))
         findings.extend(check_share_seam(p, rel, lines))
         findings.extend(check_nodiscard_result(p, lines))
         findings.extend(check_switch_default(p, text))
+        findings.extend(check_metric_naming(
+            p, strip_comments(raw, blank_strings=False)))
     findings.extend(check_include_cycles(root, files))
     return findings
 
@@ -392,6 +433,27 @@ SELF_TEST_CASES = {
     "direct-io ignores comments": (
         "pool/ok_io_comment.cpp",
         "// printed with std::cout in the seed; now routed via log\n",
+        None),
+    "metric-naming fires on missing prefix": (
+        "pool/bad_metric.cpp",
+        'void f(R& r) { r.counter("requests_total", "Requests").inc(); }\n',
+        "metric-naming"),
+    "metric-naming fires on uppercase": (
+        "obs/bad_metric_case.cpp",
+        'void f(R& r) { r.gauge("hotc_Live_Containers", "live"); }\n',
+        "metric-naming"),
+    "metric-naming fires on empty help": (
+        "hotc/bad_metric_help.cpp",
+        'void f(R& r) { r.histogram("hotc_wait_ms", ""); }\n',
+        "metric-naming"),
+    "metric-naming ok on compliant registration": (
+        "hotc/ok_metric.cpp",
+        'void f(R& r) {\n  r.counter(\n      "hotc_requests_total",\n'
+        '      "Requests handled").inc();\n}\n',
+        None),
+    "metric-naming skips variable names": (
+        "obs/ok_metric_var.cpp",
+        "void f(R& r, const std::string& n) { r.counter(n, n); }\n",
         None),
     "share-seam fires on pool mutation": (
         "share/bad_mutate.cpp",

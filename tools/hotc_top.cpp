@@ -1,0 +1,290 @@
+// hotc_top — per-key health console for the self-diagnosis layer.
+//
+// Drives one simulated scenario (steady | step) with the full diagnosis
+// stack attached, then renders everything an operator would ask of a
+// `top` for container runtimes, all derived from ONE consistent cut:
+// a single Registry snapshot, one decision-journal tail and one SLO
+// status read, taken together after the run — the table, the SLO panel
+// and OBS_health.json can never disagree with each other.
+//
+//   - per-key health table: requests, cold starts, cold ratio, last
+//     demand / forecast / prewarms / retires from the newest journal
+//     records, drift-restart and mute flags;
+//   - SLO panel: windowed value, fast/slow burn rates, FIRING marker;
+//   - p99 cross-link: the end-to-end latency histogram's p99 bucket is
+//     resolved to its exemplar trace id, and that id to its spans in the
+//     flight recorder — which are dumped to OBS_spans.jsonl, so the JSON
+//     cross-link is followable with grep.
+//
+// Artifacts: OBS_health.json (+ OBS_spans.jsonl) in the bench output dir
+// (repo root, HOTC_BENCH_DIR overrides).  CI gates on OBS_health.json
+// being well-formed with zero firing alerts for the steady scenario.
+//
+// Usage: hotc_top [steady|step]       (default: steady)
+#include <cinttypes>
+#include <cstdio>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "core/json.hpp"
+#include "obs/export.hpp"
+#include "obs/journal.hpp"
+#include "obs/slo.hpp"
+#include "spec/runtime_key.hpp"
+
+using namespace hotc;
+
+namespace {
+
+/// level(r) requests land together one second into round r (square
+/// demand; same generator shape as bench_diagnosis).
+workload::ArrivalList square_arrivals(std::size_t low_rounds,
+                                      std::size_t low,
+                                      std::size_t high_rounds,
+                                      std::size_t high, Duration period) {
+  workload::ArrivalList out;
+  for (std::size_t r = 0; r < low_rounds + high_rounds; ++r) {
+    const std::size_t level = r < low_rounds ? low : high;
+    const TimePoint at =
+        period * static_cast<std::int64_t>(r) + seconds(1);
+    // Round-robin over the mix so every sibling function gets a row in
+    // the health table.
+    for (std::size_t i = 0; i < level; ++i) out.push_back({at, i % 4});
+  }
+  return out;
+}
+
+std::string hash_hex(std::uint64_t h) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, h);
+  return buf;
+}
+
+/// Per-key row assembled from the consistent cut: counters come from the
+/// registry snapshot (label key="<016x hash>"), the latest decision from
+/// the journal tail.
+struct KeyHealth {
+  double requests = 0.0;
+  double cold = 0.0;
+  bool have_decision = false;
+  obs::DecisionRecord last;  // newest non-summary record for this key
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string scenario = argc > 1 ? argv[1] : "steady";
+  if (scenario != "steady" && scenario != "step") {
+    std::cerr << "usage: hotc_top [steady|step]\n";
+    return 2;
+  }
+
+  // ---- drive the scenario ---------------------------------------------------
+  const Duration period = seconds(30);
+  const auto mix = workload::ConfigMix::sibling_functions(4, 2);
+  const auto arrivals = scenario == "step"
+                            ? square_arrivals(30, 4, 30, 16, period)
+                            : square_arrivals(40, 6, 0, 0, period);
+
+  obs::Registry registry;
+  obs::Tracer tracer(8192, &registry);
+  obs::SloEngine slo(registry, obs::default_slos());
+  obs::DecisionJournal journal(4096);
+
+  faas::PlatformOptions opt;
+  opt.policy = faas::PolicyKind::kHotC;
+  opt.registry = &registry;
+  opt.tracer = &tracer;
+  opt.hotc.journal = &journal;
+  opt.hotc.slo = &slo;
+  opt.hotc.enable_drift_detection = true;
+  faas::FaasPlatform platform(opt);
+  platform.run(arrivals, mix);
+
+  // ---- ONE consistent cut ---------------------------------------------------
+  const obs::RegistrySnapshot snap = registry.snapshot();
+  const std::vector<obs::DecisionRecord> tail = journal.tail(512);
+  const std::vector<obs::SloStatus> statuses = slo.status();
+  const std::vector<obs::SloAlert> alerts = slo.alerts();
+  const std::vector<obs::SpanRecord> spans = tracer.recorder().snapshot();
+  const std::uint64_t ticks = platform.hotc_controller()->adaptive_ticks();
+
+  // ---- per-key health -------------------------------------------------------
+  std::map<std::string, KeyHealth> keys;  // hex hash -> health
+  for (const auto& s : snap) {
+    if (s.name != "hotc_key_requests_total" &&
+        s.name != "hotc_key_cold_total") {
+      continue;
+    }
+    // label is exactly key="<016x>"
+    const auto q1 = s.labels.find('"');
+    const auto q2 = s.labels.rfind('"');
+    if (q1 == std::string::npos || q2 <= q1) continue;
+    auto& row = keys[s.labels.substr(q1 + 1, q2 - q1 - 1)];
+    (s.name == "hotc_key_cold_total" ? row.cold : row.requests) = s.value;
+  }
+  for (const auto& rec : tail) {  // oldest first; newest record wins
+    if ((rec.flags & obs::kJournalSummary) != 0) continue;
+    auto it = keys.find(hash_hex(rec.key_hash));
+    if (it == keys.end()) continue;
+    it->second.last = rec;
+    it->second.have_decision = true;
+  }
+
+  Table key_table({"key", "req", "cold", "cold%", "demand", "forecast",
+                   "have", "prewarm", "retire", "flags"});
+  for (const auto& [hex, row] : keys) {
+    std::string flags;
+    if (row.have_decision) {
+      if ((row.last.flags & obs::kJournalDriftRestart) != 0)
+        flags += "DRIFT ";
+      if ((row.last.flags & obs::kJournalDonationMuted) != 0)
+        flags += "muted ";
+      if ((row.last.flags & obs::kJournalDonorNominated) != 0)
+        flags += "donor ";
+    }
+    key_table.add_row(
+        {hex.substr(0, 8), Table::num(row.requests, 0),
+         Table::num(row.cold, 0),
+         row.requests > 0
+             ? Table::num(row.cold / row.requests * 100.0, 1)
+             : "-",
+         row.have_decision ? Table::num(row.last.demand, 1) : "-",
+         row.have_decision ? Table::num(row.last.forecast, 1) : "-",
+         row.have_decision ? std::to_string(row.last.have) : "-",
+         row.have_decision ? std::to_string(row.last.prewarms) : "-",
+         row.have_decision ? std::to_string(row.last.retires) : "-",
+         flags.empty() ? "-" : flags});
+  }
+  std::cout << banner("hotc_top — " + scenario + " scenario, tick " +
+                      std::to_string(ticks))
+            << key_table.to_string() << "\n";
+
+  // ---- SLO panel ------------------------------------------------------------
+  Table slo_table(
+      {"slo", "labels", "value", "fast burn", "slow burn", "state"});
+  std::size_t firing = 0;
+  for (const auto& s : statuses) {
+    if (s.firing) ++firing;
+    slo_table.add_row({s.slo, s.labels.empty() ? "-" : s.labels,
+                       Table::num(s.value, 4), Table::num(s.fast_burn, 2),
+                       Table::num(s.slow_burn, 2),
+                       s.firing ? "FIRING" : "ok"});
+  }
+  std::cout << slo_table.to_string() << firing << " firing, "
+            << alerts.size() << " alerts in ring\n\n";
+
+  // ---- p99 exemplar cross-link ----------------------------------------------
+  // Resolve the end-to-end latency histogram's p99 bucket to its exemplar
+  // trace id, then that id to its spans in the same cut's span dump.
+  double p99_ms = 0.0;
+  std::uint64_t exemplar = 0;
+  int p99_bucket = -1;
+  std::size_t spans_matched = 0;
+  for (const auto& s : snap) {
+    if (s.name != "hotc_request_duration_ms" ||
+        s.kind != obs::MetricKind::kHistogram) {
+      continue;
+    }
+    p99_ms = s.histogram.quantile(0.99);
+    p99_bucket = s.histogram.quantile_bucket(0.99);
+    if (p99_bucket >= 0 && !s.histogram.exemplars.empty()) {
+      exemplar =
+          s.histogram.exemplars[static_cast<std::size_t>(p99_bucket)];
+    }
+  }
+  for (const auto& sp : spans) {
+    if (exemplar != 0 && sp.trace_id == exemplar) ++spans_matched;
+  }
+  std::cout << "p99 request latency " << Table::num(p99_ms, 1)
+            << "ms (bucket " << p99_bucket << "), exemplar trace "
+            << exemplar << " -> " << spans_matched
+            << " spans in OBS_spans.jsonl\n";
+
+  // ---- artifacts ------------------------------------------------------------
+  const std::string dir = hotc::bench::output_dir();
+  const bool wrote_spans = hotc::bench::write_file(
+      dir + "/OBS_spans.jsonl", obs::spans_to_jsonl(spans));
+
+  JsonObject doc;
+  doc["tool"] = Json(std::string("hotc_top"));
+  doc["scenario"] = Json(scenario);
+  doc["tick"] = Json(static_cast<std::int64_t>(ticks));
+  doc["provenance"] = Json(hotc::bench::provenance());
+
+  JsonArray key_rows;
+  for (const auto& [hex, row] : keys) {
+    JsonObject k;
+    k["key"] = Json(hex);
+    k["requests"] = Json(row.requests);
+    k["cold"] = Json(row.cold);
+    k["cold_ratio"] =
+        Json(row.requests > 0 ? row.cold / row.requests : 0.0);
+    if (row.have_decision) {
+      k["demand"] = Json(row.last.demand);
+      k["forecast"] = Json(row.last.forecast);
+      k["have"] = Json(static_cast<std::int64_t>(row.last.have));
+      k["prewarms"] = Json(static_cast<std::int64_t>(row.last.prewarms));
+      k["retires"] = Json(static_cast<std::int64_t>(row.last.retires));
+      k["flags"] = Json(static_cast<std::int64_t>(row.last.flags));
+    }
+    key_rows.push_back(Json(std::move(k)));
+  }
+  doc["keys"] = Json(std::move(key_rows));
+
+  JsonArray slo_rows;
+  for (const auto& s : statuses) {
+    JsonObject j;
+    j["slo"] = Json(s.slo);
+    j["labels"] = Json(s.labels);
+    j["value"] = Json(s.value);
+    j["fast_burn"] = Json(s.fast_burn);
+    j["slow_burn"] = Json(s.slow_burn);
+    j["firing"] = Json(s.firing);
+    j["ticks"] = Json(static_cast<std::int64_t>(s.ticks));
+    slo_rows.push_back(Json(std::move(j)));
+  }
+  doc["slo"] = Json(std::move(slo_rows));
+  doc["firing"] = Json(static_cast<std::int64_t>(firing));
+
+  JsonArray alert_rows;
+  for (const auto& a : alerts) {
+    JsonObject j;
+    j["tick"] = Json(static_cast<std::int64_t>(a.tick));
+    j["slo"] = Json(a.slo);
+    j["labels"] = Json(a.labels);
+    j["fast_burn"] = Json(a.fast_burn);
+    j["slow_burn"] = Json(a.slow_burn);
+    alert_rows.push_back(Json(std::move(j)));
+  }
+  doc["alerts"] = Json(std::move(alert_rows));
+
+  JsonObject p99;
+  p99["value_ms"] = Json(p99_ms);
+  p99["bucket"] = Json(p99_bucket);
+  p99["exemplar_trace_id"] =
+      Json(std::to_string(exemplar));  // string: ids exceed 2^53
+  p99["spans_matched"] = Json(static_cast<std::int64_t>(spans_matched));
+  p99["spans_file"] = Json(std::string("OBS_spans.jsonl"));
+  doc["p99_exemplar"] = Json(std::move(p99));
+
+  JsonObject jj;
+  jj["records"] = Json(static_cast<std::int64_t>(tail.size()));
+  jj["recorded_total"] =
+      Json(static_cast<std::int64_t>(journal.recorded()));
+  jj["dropped"] = Json(static_cast<std::int64_t>(journal.dropped()));
+  jj["rejected"] = Json(static_cast<std::int64_t>(journal.rejected()));
+  doc["journal"] = Json(std::move(jj));
+
+  const std::string path = dir + "/OBS_health.json";
+  if (!hotc::bench::write_file(path, Json(std::move(doc)).dump(2) + "\n") ||
+      !wrote_spans) {
+    std::cerr << "failed to write " << path << " / OBS_spans.jsonl\n";
+    return 1;
+  }
+  std::cout << "wrote " << path << " and " << dir << "/OBS_spans.jsonl\n";
+  return 0;
+}
