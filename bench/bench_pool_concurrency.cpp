@@ -121,6 +121,37 @@ void prepopulate(Pool& pool, const std::vector<spec::RuntimeKey>& keys,
   }
 }
 
+/// Pure acquire/release pairs, no eviction slice: the hot path the
+/// per-pair numbers and the striping-tax gate track.  The all-shard
+/// eviction op is deliberately excluded here — its cost is a property of
+/// cross-shard coordination, priced separately by the ceiling model's
+/// `e` term, not a per-op tax on the striped hot path.
+template <typename Pool>
+double pair_seconds_once(Pool& pool, const std::vector<spec::RuntimeKey>& keys,
+                         int rep) {
+  Rng rng(1);
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < g_ops_per_thread; ++i) {
+    const auto& key = keys[rng.index(kKeys)];
+    const TimePoint now = seconds(10'000'000 + rep * g_ops_per_thread + i);
+    auto got = pool.acquire(key, now);
+    if (got.has_value()) {
+      pool.add_available(*got, now);
+    } else {
+      pool::PoolEntry fresh;
+      fresh.id = 2'000'000'000ull +
+                 static_cast<engine::ContainerId>(rep) * 1'000'000ull +
+                 static_cast<std::uint64_t>(i);
+      fresh.key = key;
+      fresh.created_at = now;
+      pool.add_available(fresh, now);
+    }
+  }
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count() /
+         g_ops_per_thread;
+}
+
 /// One worker's share of the mixed workload.  Deterministic per (seed,
 /// thread): the single-threaded runs of both implementations see the
 /// exact same op sequence.
@@ -302,27 +333,61 @@ int main() {
             << (hits_ok ? "yes" : "NO") << " (hit rate "
             << Table::num(st_hit_rate * 100.0, 2) << "%)\n\n";
 
-  // Per-op critical-section cost, measured single-threaded (uncontended,
-  // so wall time == lock hold time), plus the busiest shard's traffic
-  // share — the two inputs of the serialization ceiling.
+  // Per-op critical-section cost of the acquire/release hot path,
+  // measured single-threaded (uncontended, so wall time == lock hold
+  // time), plus the busiest shard's traffic share — the two inputs of
+  // the serialization ceiling.
   double t_mutex = 0.0;
   double t_sharded = 0.0;
+  double tax_ratio = 0.0;
+  double parity_ratio = 0.0;
   double f_max = 0.0;
   {
     MutexPool baseline;
+    // Striping tax is measured like-for-like: the same wrapper (seqlock
+    // publication, lock-free miss mirror, per-shard metrics) at 1 shard
+    // vs kShards, isolating what the *striping* costs the uncontended
+    // case.  The wrapper-vs-bare-mutex delta is a separate, deliberate
+    // trade — the mutex design's readers must take the global lock, the
+    // sharded pool's read lock-free — reported unGated as mutex_parity.
+    pool::ShardedRuntimePool unsharded(pool::PoolLimits{}, 1);
     pool::ShardedRuntimePool sharded(pool::PoolLimits{}, kShards);
     engine::ContainerId id_a = 1;
     engine::ContainerId id_b = 1;
+    engine::ContainerId id_c = 1;
     prepopulate(baseline, keys, &id_a);
-    prepopulate(sharded, keys, &id_b);
-    t_mutex = run_mixed(baseline, keys, 1).seconds / g_ops_per_thread;
-    t_sharded = run_mixed(sharded, keys, 1).seconds / g_ops_per_thread;
+    prepopulate(unsharded, keys, &id_b);
+    prepopulate(sharded, keys, &id_c);
+    // Interleave the implementations round by round so slow drift in
+    // host load hits both sides of each ratio equally, then gate on the
+    // median per-round ratio (a lucky or unlucky scheduler slice cannot
+    // decide it).  Pair times report best-of-rounds.
+    constexpr int kRounds = 5;
+    std::vector<double> tax_rounds;
+    std::vector<double> parity_rounds;
+    tax_rounds.reserve(kRounds);
+    parity_rounds.reserve(kRounds);
+    for (int round = 0; round < kRounds; ++round) {
+      const double tm = pair_seconds_once(baseline, keys, round);
+      const double t1 = pair_seconds_once(unsharded, keys, round);
+      const double ts = pair_seconds_once(sharded, keys, round);
+      if (round == 0 || tm < t_mutex) t_mutex = tm;
+      if (round == 0 || ts < t_sharded) t_sharded = ts;
+      tax_rounds.push_back(t1 / ts);
+      parity_rounds.push_back(tm / ts);
+    }
+    std::sort(tax_rounds.begin(), tax_rounds.end());
+    std::sort(parity_rounds.begin(), parity_rounds.end());
+    tax_ratio = tax_rounds[kRounds / 2];
+    parity_ratio = parity_rounds[kRounds / 2];
     f_max = busiest_shard_share(sharded, keys);
   }
   const double mutex_ceiling = 1.0 / t_mutex / 1e6;  // flat in T: one lock
-  std::cout << "critical section: mutex " << Table::num(t_mutex * 1e9, 0)
-            << " ns/op, sharded " << Table::num(t_sharded * 1e9, 0)
-            << " ns/op; busiest of " << kShards << " shards carries "
+  // One op is one acquire/release pair (acquire + add_available return, or
+  // miss + admit), so ns/op is the ns-per-pair number the perf gates track.
+  std::cout << "acquire/release pair: mutex " << Table::num(t_mutex * 1e9, 0)
+            << " ns, sharded " << Table::num(t_sharded * 1e9, 0)
+            << " ns; busiest of " << kShards << " shards carries "
             << Table::num(f_max * 100.0, 1) << "% of traffic\n";
   const unsigned cores = std::thread::hardware_concurrency();
   std::cout << "host cores: " << cores
@@ -336,6 +401,14 @@ int main() {
   JsonArray results;
   double ceiling_speedup_at_8 = 0.0;
   double measured_speedup_at_8 = 0.0;
+  // Striping tax on the hot path at 1 thread: splitting the pool into
+  // kShards must stay within 5% of the identical 1-shard pool when there
+  // is no contention to win back.  Measured on pure acquire/release
+  // pairs (median of interleaved rounds): the 1-in-256 all-shard
+  // eviction op is not a striping tax — its cross-shard cost is priced
+  // by the ceiling model's `e` term and shows up in the measured
+  // mixed-workload table either way.
+  const double single_thread_overhead = tax_ratio;
   for (const std::size_t threads : {1u, 2u, 4u, 8u, 16u}) {
     MutexPool baseline;
     pool::ShardedRuntimePool sharded(pool::PoolLimits{}, kShards);
@@ -369,6 +442,14 @@ int main() {
             << "x the single-mutex baseline (target >= 4x); measured on "
             << cores << " core(s): " << Table::num(measured_speedup_at_8, 2)
             << "x\n";
+  const bool overhead_ok = single_thread_overhead >= 0.95;
+  std::cout << "single-thread striping tax: " << kShards
+            << "-shard pool runs at " << Table::num(single_thread_overhead, 3)
+            << "x the 1-shard pool (gate >= 0.95: "
+            << (overhead_ok ? "ok" : "FAILED") << "); "
+            << Table::num(parity_ratio, 3)
+            << "x the bare-mutex seed (lock-free read side costs the "
+               "uncontended hot path its seqlock brackets + miss mirror)\n";
 
   hotc::bench::warn_if_single_core("bench_pool_concurrency");
 
@@ -385,6 +466,10 @@ int main() {
   JsonObject summary;
   summary["ceiling_speedup_at_8"] = Json(ceiling_speedup_at_8);
   summary["measured_speedup_at_8"] = Json(measured_speedup_at_8);
+  summary["single_thread_overhead"] = Json(single_thread_overhead);
+  summary["mutex_parity"] = Json(parity_ratio);
+  summary["ns_per_pair_mutex"] = Json(t_mutex * 1e9);
+  summary["ns_per_pair_sharded"] = Json(t_sharded * 1e9);
   doc["summary"] = Json(std::move(summary));
   doc["results"] = Json(std::move(results));
   const std::string path = hotc::bench::output_dir() + "/BENCH_pool.json";
@@ -397,6 +482,11 @@ int main() {
 
   if (!order_ok || !hits_ok) {
     std::cerr << "correctness gate FAILED\n";
+    return EXIT_FAILURE;
+  }
+  if (!overhead_ok) {
+    std::cerr << "single-thread overhead gate FAILED: "
+              << single_thread_overhead << " < 0.95\n";
     return EXIT_FAILURE;
   }
   return EXIT_SUCCESS;

@@ -1,0 +1,201 @@
+// Bump-pointer arenas for per-request scratch (zero-allocation hot path).
+//
+// The dispatch path used to pay one heap round-trip per canonical-key
+// build (ostringstream) plus assorted small allocations for per-request
+// bookkeeping.  An Arena replaces those with pointer bumps over retained
+// blocks: the first request through a thread warms the block list, every
+// later request reuses it — steady-state allocation count is zero.
+//
+// MemoryArena follows the permanent/transient split of the exemplar
+// engine allocator: `permanent` holds data that lives for the owner's
+// lifetime (never reset), `transient` is scratch reset at a well-defined
+// boundary (per request / per parse).  reset() rewinds the cursor but
+// keeps the blocks, so the memory is recycled rather than freed.
+//
+// Arenas are intentionally NOT thread-safe; share per thread (see
+// scratch_arena()) or per owner under the owner's lock.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string_view>
+#include <type_traits>
+#include <vector>
+
+namespace hotc {
+
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultBlockBytes = 16 * 1024;
+
+  explicit Arena(std::size_t block_bytes = kDefaultBlockBytes)
+      : block_bytes_(block_bytes == 0 ? kDefaultBlockBytes : block_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Bump-allocate `bytes` aligned to `align` (power of two).  Requests
+  /// larger than the block size get a dedicated block.
+  void* allocate(std::size_t bytes,
+                 std::size_t align = alignof(std::max_align_t)) {
+    if (bytes == 0) bytes = 1;
+    std::size_t offset = align_up(offset_, align);
+    if (current_ >= blocks_.size() || offset + bytes > blocks_[current_].size) {
+      if (!advance_to_fit(bytes, align)) new_block(bytes < block_bytes_
+                                                       ? block_bytes_
+                                                       : bytes + align);
+      offset = align_up(offset_, align);
+    }
+    void* p = blocks_[current_].data.get() + offset;
+    offset_ = offset + bytes;
+    total_allocated_ += bytes;
+    return p;
+  }
+
+  template <typename T>
+  T* allocate_array(std::size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>,
+                  "arena memory is reclaimed without destructor calls");
+    return static_cast<T*>(allocate(sizeof(T) * count, alignof(T)));
+  }
+
+  /// Rewind to empty, KEEPING every block for reuse — the whole point.
+  void reset() noexcept {
+    current_ = 0;
+    offset_ = 0;
+    total_allocated_ = 0;
+  }
+
+  /// Drop every block (frees memory; use only at teardown).
+  void release() noexcept {
+    blocks_.clear();
+    reset();
+  }
+
+  [[nodiscard]] std::size_t block_count() const { return blocks_.size(); }
+  [[nodiscard]] std::size_t bytes_allocated() const {
+    return total_allocated_;
+  }
+  [[nodiscard]] std::size_t bytes_reserved() const {
+    std::size_t total = 0;
+    for (const auto& b : blocks_) total += b.size;
+    return total;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<char[]> data;
+    std::size_t size = 0;
+  };
+
+  static constexpr std::size_t align_up(std::size_t n, std::size_t align) {
+    return (n + align - 1) & ~(align - 1);
+  }
+
+  /// Move to the next retained block that can fit the request, if any.
+  bool advance_to_fit(std::size_t bytes, std::size_t align) {
+    while (current_ + 1 < blocks_.size()) {
+      ++current_;
+      offset_ = 0;
+      if (align_up(offset_, align) + bytes <= blocks_[current_].size) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void new_block(std::size_t size) {
+    Block b;
+    b.data = std::make_unique<char[]>(size);
+    b.size = size;
+    blocks_.push_back(std::move(b));
+    current_ = blocks_.size() - 1;
+    offset_ = 0;
+  }
+
+  std::size_t block_bytes_;
+  std::vector<Block> blocks_;
+  std::size_t current_ = 0;  // index of the block being bumped
+  std::size_t offset_ = 0;   // bump cursor within blocks_[current_]
+  std::size_t total_allocated_ = 0;
+};
+
+/// Permanent/transient split (exemplar allocator layout): `permanent` is
+/// never reset; `transient` is reset at a request/parse boundary.
+class MemoryArena {
+ public:
+  explicit MemoryArena(std::size_t block_bytes = Arena::kDefaultBlockBytes)
+      : permanent_(block_bytes), transient_(block_bytes) {}
+
+  Arena& permanent() { return permanent_; }
+  Arena& transient() { return transient_; }
+  void reset_transient() noexcept { transient_.reset(); }
+
+ private:
+  Arena permanent_;
+  Arena transient_;
+};
+
+/// Append-only text builder over an arena — the zero-allocation
+/// replacement for ostringstream on the canonical-key path.  The buffer
+/// grows geometrically inside the arena; view() is valid until the arena
+/// is reset.
+class ArenaWriter {
+ public:
+  explicit ArenaWriter(Arena& arena, std::size_t initial_capacity = 128)
+      : arena_(arena),
+        buf_(static_cast<char*>(arena.allocate(initial_capacity, 1))),
+        cap_(initial_capacity) {}
+
+  void append(std::string_view s) {
+    ensure(len_ + s.size());
+    std::memcpy(buf_ + len_, s.data(), s.size());
+    len_ += s.size();
+  }
+  void append(char c) {
+    ensure(len_ + 1);
+    buf_[len_++] = c;
+  }
+  void append_u64(std::uint64_t v) {
+    char tmp[20];
+    std::size_t n = 0;
+    do {
+      tmp[n++] = static_cast<char>('0' + v % 10);
+      v /= 10;
+    } while (v != 0);
+    ensure(len_ + n);
+    while (n > 0) buf_[len_++] = tmp[--n];
+  }
+
+  [[nodiscard]] std::string_view view() const { return {buf_, len_}; }
+  [[nodiscard]] std::size_t size() const { return len_; }
+  void clear() { len_ = 0; }
+
+ private:
+  void ensure(std::size_t need) {
+    if (need <= cap_) return;
+    std::size_t new_cap = cap_ * 2;
+    while (new_cap < need) new_cap *= 2;
+    char* bigger = static_cast<char*>(arena_.allocate(new_cap, 1));
+    std::memcpy(bigger, buf_, len_);
+    buf_ = bigger;
+    cap_ = new_cap;
+  }
+
+  Arena& arena_;
+  char* buf_;
+  std::size_t cap_;
+  std::size_t len_ = 0;
+};
+
+/// Per-thread transient scratch for parse-time key building.  Users reset
+/// the arena on entry and treat the memory as dead once they return — a
+/// key build is a leaf operation, so no nesting can observe the reset.
+inline Arena& scratch_arena() {
+  thread_local Arena arena(4 * 1024);
+  return arena;
+}
+
+}  // namespace hotc

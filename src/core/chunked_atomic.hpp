@@ -1,0 +1,77 @@
+// ChunkedAtomicU32: a grow-only array of atomic counters with lock-free
+// reads under concurrent growth.
+//
+// The sharded pool keeps one "available containers" counter per interned
+// KeyId so lookups can answer num_available() (and fast-miss on empty
+// keys) without the shard mutex.  KeyIds are dense small integers but the
+// universe grows at runtime, so storage must extend without relocating
+// existing counters — a flat vector would invalidate concurrent readers
+// on resize.  Chunks fix that: a fixed spine of atomic chunk pointers,
+// each chunk a stable array of atomics.  Readers index spine -> chunk ->
+// slot with acquire loads; writers (serialised by the owning shard mutex)
+// allocate missing chunks and publish them with a release store.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+
+namespace hotc {
+
+class ChunkedAtomicU32 {
+ public:
+  static constexpr std::size_t kChunkShift = 8;  // 256 counters per chunk
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkShift;
+  static constexpr std::size_t kMaxChunks = 512;  // 128K counters
+  static constexpr std::size_t kMaxIndex = kChunkSize * kMaxChunks;
+
+  ChunkedAtomicU32() {
+    for (auto& c : chunks_) c.store(nullptr, std::memory_order_relaxed);
+  }
+
+  ChunkedAtomicU32(const ChunkedAtomicU32&) = delete;
+  ChunkedAtomicU32& operator=(const ChunkedAtomicU32&) = delete;
+
+  ~ChunkedAtomicU32() {
+    for (auto& c : chunks_) {
+      delete[] c.load(std::memory_order_relaxed);
+    }
+  }
+
+  /// Lock-free read; absent chunks read as zero.
+  [[nodiscard]] std::uint32_t load(std::size_t index) const {
+    const std::size_t chunk = index >> kChunkShift;
+    if (chunk >= kMaxChunks) return 0;
+    const auto* slots = chunks_[chunk].load(std::memory_order_acquire);
+    if (slots == nullptr) return 0;
+    return slots[index & (kChunkSize - 1)].load(std::memory_order_acquire);
+  }
+
+  /// Writer-side slot access; allocates the chunk on first touch.  Must
+  /// be serialised by the caller (the owning shard's mutex) — concurrent
+  /// ensure() calls would race on chunk allocation.
+  std::atomic<std::uint32_t>& ensure(std::size_t index) {
+    const std::size_t chunk = index >> kChunkShift;
+    if (chunk >= kMaxChunks) {
+      // 128K live key ids would mean a leaked interner long before this.
+      std::abort();
+    }
+    auto* slots = chunks_[chunk].load(std::memory_order_acquire);
+    if (slots == nullptr) {
+      // Value-initialised: counters start at zero.
+      slots = new std::atomic<std::uint32_t>[kChunkSize]();
+      chunks_[chunk].store(slots, std::memory_order_release);
+    }
+    return slots[index & (kChunkSize - 1)];
+  }
+
+  void store(std::size_t index, std::uint32_t value) {
+    ensure(index).store(value, std::memory_order_release);
+  }
+
+ private:
+  std::atomic<std::atomic<std::uint32_t>*> chunks_[kMaxChunks];
+};
+
+}  // namespace hotc

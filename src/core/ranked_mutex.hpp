@@ -36,6 +36,13 @@
 //                                        an instrument while holding its
 //                                        own locks; increments are
 //                                        lock-free and never touch this
+//    85   spec key interner writer       0 — append-only interner growth;
+//                                        a cold-path key parse may intern
+//                                        while the caller holds registry,
+//                                        share or shard locks, so the
+//                                        writer lock is a near-leaf.
+//                                        Reads never take it (RCU-style
+//                                        published tables)
 //    90   log sink (leaf: anything may   0
 //         hold anything while logging)
 //
@@ -65,6 +72,7 @@ enum class LockRank : std::uint32_t {
   kPoolShard = 50,
   kObsDiagnosis = 70,
   kObsRegistry = 80,
+  kKeyInterner = 85,
   kLogSink = 90,
 };
 

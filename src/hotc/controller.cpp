@@ -12,8 +12,10 @@ namespace hotc {
 namespace {
 
 std::string key_label(const spec::RuntimeKey& key) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "key=\"%016" PRIx64 "\"", key.hash());
+  // Decimal interned KeyId: matches DecisionRecord::key_id, so hotc_top
+  // can join metric labels with journal records without hex munging.
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "key=\"%" PRIu32 "\"", key.id());
   return buf;
 }
 
@@ -93,13 +95,13 @@ spec::RuntimeKey HotCController::key_for(const spec::RunSpec& spec) const {
 
 HotCController::KeyState& HotCController::key_state(
     const spec::RuntimeKey& key, const spec::RunSpec& spec) {
-  auto it = keys_.find(key);
+  auto it = keys_.find(key.id());
   if (it == keys_.end()) {
     KeyState state;
     state.canonical_spec = spec;
     state.predictor = options_.predictor_factory();
     state.drift = obs::PageHinkley(options_.drift);
-    it = keys_.emplace(key, std::move(state)).first;
+    it = keys_.emplace(key.id(), std::move(state)).first;
     // Every key the controller has seen is a potential donor for its
     // compatibility-class siblings.
     if (donors_ != nullptr) donors_->record(key, spec);
@@ -171,7 +173,7 @@ void HotCController::provision_cold(const spec::RunSpec& spec,
                                     std::uint64_t trace_id, Callback cb) {
   ++stats_.cold_starts;
   {
-    const auto it = keys_.find(key);
+    const auto it = keys_.find(key.id());
     if (it != keys_.end() && it->second.cold_counter != nullptr) {
       it->second.cold_counter->inc();
     }
@@ -180,7 +182,7 @@ void HotCController::provision_cold(const spec::RunSpec& spec,
 
   // Checkpoint/restore extension: a retired runtime's dump beats a full
   // cold boot when one exists for this key.
-  const auto ckpt = checkpoints_.find(key);
+  const auto ckpt = checkpoints_.find(key.id());
   const bool restoring =
       options_.use_checkpoint_restore && ckpt != checkpoints_.end();
 
@@ -192,7 +194,7 @@ void HotCController::provision_cold(const spec::RunSpec& spec,
     if (!r.ok()) {
       emit_span(trace_id, stage, arrival, sim_.now() - arrival, key.hash(),
                 obs::kSpanCold | obs::kSpanError);
-      auto it = keys_.find(key);
+      auto it = keys_.find(key.id());
       if (it != keys_.end() && it->second.busy_now > 0) {
         --it->second.busy_now;
       }
@@ -320,7 +322,7 @@ void HotCController::run_on(const pool::PoolEntry& entry,
             emit_span(trace_id, obs::Stage::kColdStart, relaunch_start,
                       sim_.now() - relaunch_start, key.hash(),
                       obs::kSpanCold | obs::kSpanError);
-            auto it = keys_.find(key);
+            auto it = keys_.find(key.id());
             if (it != keys_.end() && it->second.busy_now > 0) {
               --it->second.busy_now;
             }
@@ -354,7 +356,7 @@ void HotCController::run_on(const pool::PoolEntry& entry,
                   exec_start, trace_id, was_resumed, was_restored,
                   was_respecialized,
                   cb = std::move(cb)](Result<engine::ExecReport> r) {
-    auto it = keys_.find(key);
+    auto it = keys_.find(key.id());
     if (it != keys_.end() && it->second.busy_now > 0) {
       --it->second.busy_now;
     }
@@ -464,12 +466,12 @@ void HotCController::retire_entry(const pool::PoolEntry& entry,
   // (first retirement per key only — the image stays valid thereafter).
   // A Paused container must skip the dump: the engine checkpoints Idle.
   if (options_.use_checkpoint_restore && !entry.paused &&
-      checkpoints_.find(entry.key) == checkpoints_.end()) {
+      checkpoints_.find(entry.key.id()) == checkpoints_.end()) {
     ++stats_.checkpoints;
     engine_.checkpoint(
         entry.id,
         [this, entry](Result<engine::ContainerEngine::CheckpointId> r) {
-          if (r.ok()) checkpoints_[entry.key] = r.value();
+          if (r.ok()) checkpoints_[entry.key.id()] = r.value();
           engine_.stop_and_remove(entry.id, [](Result<bool>) {});
         });
     return;
@@ -520,7 +522,8 @@ void HotCController::adaptive_tick() {
   std::size_t tick_prewarms = 0;
   std::size_t tick_retires = 0;
   const std::uint64_t evicted_before = stats_.evicted;
-  for (auto& [key, state] : keys_) {
+  for (auto& [key_id, state] : keys_) {
+    const spec::RuntimeKey key = spec::RuntimeKey::from_id(key_id);
     // Observe this interval's demand: the peak number of simultaneously
     // busy containers of this runtime type.
     const auto demand = static_cast<double>(state.interval_peak);
@@ -608,6 +611,7 @@ void HotCController::adaptive_tick() {
       obs::DecisionRecord rec;
       rec.tick = tick_;
       rec.key_hash = key.hash();
+      rec.key_id = key.id();
       rec.demand = demand;
       rec.smoothed = state.predictor->smoothed_value();
       rec.forecast = forecast;
@@ -693,19 +697,19 @@ void HotCController::start_adaptive_loop(TimePoint until) {
 
 const TimeSeries* HotCController::demand_history(
     const spec::RuntimeKey& key) const {
-  const auto it = keys_.find(key);
+  const auto it = keys_.find(key.id());
   return it == keys_.end() ? nullptr : &it->second.demand;
 }
 
 const TimeSeries* HotCController::forecast_history(
     const spec::RuntimeKey& key) const {
-  const auto it = keys_.find(key);
+  const auto it = keys_.find(key.id());
   return it == keys_.end() ? nullptr : &it->second.forecast;
 }
 
 std::optional<double> HotCController::current_forecast(
     const spec::RuntimeKey& key) const {
-  const auto it = keys_.find(key);
+  const auto it = keys_.find(key.id());
   if (it == keys_.end()) return std::nullopt;
   return it->second.predictor->predict();
 }

@@ -292,9 +292,14 @@ class HotCController {
   Rng rng_;
   ControllerStats stats_;
   Instruments obs_;
-  std::map<spec::RuntimeKey, KeyState> keys_;
+  /// Per-key state, keyed on the interned KeyId (no string storage per
+  /// node); InternTextLess preserves the historical canonical-text
+  /// iteration order, so adaptive ticks visit keys in the same sequence
+  /// the RuntimeKey-keyed map produced.
+  std::map<spec::KeyId, KeyState, spec::InternTextLess> keys_;
   /// One checkpoint image per runtime key (newest wins).
-  std::map<spec::RuntimeKey, engine::ContainerEngine::CheckpointId>
+  std::map<spec::KeyId, engine::ContainerEngine::CheckpointId,
+           spec::InternTextLess>
       checkpoints_;
   std::function<void(const spec::RuntimeKey&)> pool_listener_;
   /// Cross-key sharing collaborators; both null unless enable_sharing.

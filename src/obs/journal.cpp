@@ -73,6 +73,8 @@ void DecisionJournal::pack(const DecisionRecord& rec, Slot& slot) {
       (static_cast<std::uint64_t>(rec.evictions) << 32) |
       (static_cast<std::uint64_t>(rec.donations) << 48);
   slot.words[6].store(outputs, std::memory_order_release);
+  slot.words[7].store(static_cast<std::uint64_t>(rec.key_id),
+                      std::memory_order_release);
 }
 
 DecisionRecord DecisionJournal::unpack(const Slot& slot) {
@@ -99,6 +101,8 @@ DecisionRecord DecisionJournal::unpack(const Slot& slot) {
   rec.retires = static_cast<std::uint16_t>((outputs >> 16) & 0xffff);
   rec.evictions = static_cast<std::uint16_t>((outputs >> 32) & 0xffff);
   rec.donations = static_cast<std::uint16_t>((outputs >> 48) & 0xffff);
+  rec.key_id = static_cast<std::uint32_t>(
+      slot.words[7].load(std::memory_order_acquire));
   return rec;
 }
 

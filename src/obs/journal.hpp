@@ -53,6 +53,9 @@ inline constexpr std::uint8_t kJournalSummary = 8;        // per-tick totals
 struct DecisionRecord {
   std::uint64_t tick = 0;      // 1-based adaptive-tick ordinal
   std::uint64_t key_hash = 0;  // RuntimeKey::hash(); 0 on summary records
+  std::uint32_t key_id = 0;    // interned KeyId (joins per-key metric
+                               // labels, which carry the decimal id);
+                               // 0 on summary records
   // --- inputs ------------------------------------------------------------
   double demand = 0.0;    // observed interval peak concurrency
   double smoothed = 0.0;  // ES trend component after observing demand
@@ -138,7 +141,7 @@ class DecisionJournal {
   // cycle c; 2c+2 readable (cycle = ticket >> shift_).
   struct alignas(64) Slot {
     std::atomic<std::uint64_t> seq{0};
-    std::atomic<std::uint64_t> words[7]{};
+    std::atomic<std::uint64_t> words[8]{};
   };
 
   static void pack(const DecisionRecord& rec, Slot& slot);

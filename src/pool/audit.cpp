@@ -7,6 +7,8 @@
 
 namespace hotc::audit {
 
+// hot-path-alloc: allow-begin — conservation-failure messages are built
+// on the pre-abort path only; a balanced ledger allocates nothing.
 Result<bool> PoolLedger::verify() const {
   if (admitted != leased + removed + pooled) {
     return make_error<bool>(
@@ -36,6 +38,7 @@ Result<bool> PoolLedger::verify() const {
   }
   return true;
 }
+// hot-path-alloc: allow-end
 
 PoolLedger ledger(const pool::RuntimePool& pool) {
   PoolLedger out;

@@ -12,108 +12,193 @@ RuntimePool::RuntimePool(PoolLimits limits) : limits_(limits) {
               limits_.memory_threshold <= 1.0);
 }
 
+RuntimePool::KeyBucket& RuntimePool::ensure_bucket(spec::KeyId id) {
+  // Cold path: first sighting of a key grows the direct-index table.
+  if (id >= buckets_.size()) buckets_.resize(id + 1);
+  return buckets_[id];
+}
+
+std::uint32_t RuntimePool::new_slot() {
+  if (!free_.empty()) {
+    const std::uint32_t slot = free_.back();
+    free_.pop_back();
+    return slot;
+  }
+  // Cold path: the slab grows until the pool's high-water mark, then every
+  // mutation recycles slots through free_.
+  slab_.emplace_back();
+  return static_cast<std::uint32_t>(slab_.size() - 1);
+}
+
+void RuntimePool::unlink(std::uint32_t slot) {
+  Record& rec = slab_[slot];
+  const spec::KeyId key_id = rec.entry.key.id();
+  KeyBucket& bucket = buckets_[key_id];
+  if (rec.prev != kNil) {
+    slab_[rec.prev].next = rec.next;
+  } else {
+    bucket.head = rec.next;
+  }
+  if (rec.next != kNil) {
+    slab_[rec.next].prev = rec.prev;
+  } else {
+    bucket.tail = rec.prev;
+  }
+  --bucket.count;
+  avail_.store(key_id, bucket.count);
+  rec.prev = kNil;
+  rec.next = kNil;
+  rec.live = false;
+  drop(live_);
+  free_.push_back(slot);
+}
+
+std::optional<PoolEntry> RuntimePool::take_front(
+    const spec::RuntimeKey& key) {
+  const KeyBucket* bucket = bucket_for(key.id());
+  if (bucket == nullptr || bucket->count == 0) return std::nullopt;
+  const std::uint32_t slot = bucket->head;  // "reuse the first available"
+  PoolEntry entry = slab_[slot].entry;
+  const bool erased = index_.erase(entry.id);
+  HOTC_ASSERT_MSG(erased, "pool index desync");
+  unlink(slot);  // heap nodes for this residency go stale
+  if (entry.paused && paused_.load(std::memory_order_relaxed) > 0) {
+    drop(paused_);
+  }
+  return entry;
+}
+
 std::optional<PoolEntry> RuntimePool::acquire(const spec::RuntimeKey& key,
                                               TimePoint now) {
   (void)now;
-  const auto it = available_.find(key);
-  if (it == available_.end() || it->second.empty()) {
-    ++stats_.misses;
+  auto entry = take_front(key);
+  if (!entry.has_value()) {
+    bump(stats_misses_);
     return std::nullopt;
   }
-  const engine::ContainerId id =
-      it->second.front();  // "reuse the first available"
-  it->second.pop_front();
-  if (it->second.empty()) available_.erase(it);
-  const auto rec = records_.find(id);
-  HOTC_ASSERT_MSG(rec != records_.end(), "pool index desync");
-  PoolEntry entry = rec->second.entry;
-  records_.erase(rec);  // heap nodes for this residency go stale
-  if (entry.paused && paused_ > 0) --paused_;
-  ++stats_.hits;
-  ++leased_;
-  ++entry.reuse_count;
+  bump(stats_hits_);
+  bump(leased_);
+  ++entry->reuse_count;
   return entry;
 }
 
 std::optional<PoolEntry> RuntimePool::acquire_for_donation(
     const spec::RuntimeKey& key, TimePoint now) {
   (void)now;
-  const auto it = available_.find(key);
-  if (it == available_.end() || it->second.empty()) return std::nullopt;
-  const engine::ContainerId id = it->second.front();
-  it->second.pop_front();
-  if (it->second.empty()) available_.erase(it);
-  const auto rec = records_.find(id);
-  HOTC_ASSERT_MSG(rec != records_.end(), "pool index desync");
-  PoolEntry entry = rec->second.entry;
-  records_.erase(rec);  // heap nodes for this residency go stale
-  if (entry.paused && paused_ > 0) --paused_;
+  auto entry = take_front(key);
+  if (!entry.has_value()) return std::nullopt;
   // A donation is a lease (the conservation identity still closes) with
   // its own attribution; hits/misses and reuse_count stay untouched.
-  ++leased_;
-  ++donated_;
+  bump(leased_);
+  bump(donated_);
   return entry;
 }
 
 void RuntimePool::add_available(const PoolEntry& entry, TimePoint now) {
-  PoolEntry e = entry;
-  e.returned_at = now;
-  if (e.respecialized) {
+  const std::uint64_t gen = ++next_gen_;
+  ensure_bucket(entry.key.id());
+  const std::uint32_t slot = new_slot();
+  Record& rec = slab_[slot];
+  rec.entry = entry;
+  rec.entry.returned_at = now;
+  if (rec.entry.respecialized) {
     // A converted donor re-enters the pool: score the conversion once and
     // store the entry as an ordinary residency of its new key.
-    ++respecialized_;
-    e.respecialized = false;
+    bump(respecialized_);
+    rec.entry.respecialized = false;
   }
+  if (rec.entry.paused) bump(paused_);  // admitted still frozen
+
   // A container id is pooled at most once; a double-add supersedes the
-  // stale residency so the id-keyed index stays coherent.
-  const auto existing = records_.find(e.id);
-  if (existing != records_.end()) {
-    remove(existing->second.entry.key, e.id);
+  // stale residency so the id-keyed index stays coherent.  One probe does
+  // both the admit and the duplicate check: insert() hands back the slot
+  // the id previously mapped to.
+  const std::uint32_t existing = index_.insert(entry.id, slot);
+  if (existing != IdSlotMap::kNotFound) {
+    // Same cleanup as remove(), minus the index erase — the mapping
+    // already points at the new slot.
+    if (slab_[existing].entry.paused &&
+        paused_.load(std::memory_order_relaxed) > 0) {
+      drop(paused_);
+    }
+    unlink(existing);
+    bump(removed_);
   }
-  const std::uint64_t gen = ++next_gen_;
-  if (e.paused) ++paused_;  // admitted still frozen (flag not cleared)
-  records_.emplace(e.id, Record{e, gen});
-  available_[e.key].push_back(e.id);
-  by_created_.push(AgeNode{e.created_at, gen, e.id});
-  by_returned_.push(AgeNode{e.returned_at, gen, e.id});
-  ++stats_.returns;
-  ++admitted_;
+
+  KeyBucket& bucket = buckets_[entry.key.id()];
+  rec.gen = gen;
+  rec.prev = bucket.tail;
+  rec.next = kNil;
+  rec.live = true;
+  if (bucket.tail != kNil) {
+    slab_[bucket.tail].next = slot;
+  } else {
+    bucket.head = slot;
+  }
+  bucket.tail = slot;
+  ++bucket.count;
+  avail_.store(entry.key.id(), bucket.count);
+  bump(live_);
+
+  by_created_.push(AgeNode{rec.entry.created_at, gen, entry.id});
+  by_returned_.push(AgeNode{rec.entry.returned_at, gen, entry.id});
+  // Victim-cache maintenance: this residency's gen is the largest yet, so
+  // it loses timestamp ties — only a strictly smaller timestamp dethrones
+  // the memoised argmin (see VictimCache invariant).
+  if (oldest_cache_.valid && rec.entry.created_at < oldest_cache_.at) {
+    oldest_cache_ = VictimCache{true, rec.entry.created_at, gen, entry.id};
+  }
+  if (coldest_cache_.valid && rec.entry.returned_at < coldest_cache_.at) {
+    coldest_cache_ = VictimCache{true, rec.entry.returned_at, gen, entry.id};
+  }
+  bump(stats_returns_);
+  bump(admitted_);
   maybe_compact();
 }
 
 bool RuntimePool::remove(const spec::RuntimeKey& key,
                          engine::ContainerId id) {
-  const auto rec = records_.find(id);
-  if (rec == records_.end() || !(rec->second.entry.key == key)) return false;
-  const auto it = available_.find(key);
-  HOTC_ASSERT_MSG(it != available_.end(), "pool index desync");
-  auto& dq = it->second;
-  const auto pos = std::find(dq.begin(), dq.end(), id);
-  HOTC_ASSERT_MSG(pos != dq.end(), "pool index desync");
-  dq.erase(pos);
-  if (dq.empty()) available_.erase(it);
-  if (rec->second.entry.paused && paused_ > 0) --paused_;
-  records_.erase(rec);
-  ++removed_;
+  const std::uint32_t slot = index_.find(id);
+  if (slot == IdSlotMap::kNotFound || !(slab_[slot].entry.key == key)) {
+    return false;
+  }
+  if (slab_[slot].entry.paused &&
+      paused_.load(std::memory_order_relaxed) > 0) {
+    drop(paused_);
+  }
+  index_.erase(id);
+  unlink(slot);
+  bump(removed_);
   return true;
 }
 
 bool RuntimePool::mark_paused(const spec::RuntimeKey& key,
                               engine::ContainerId id) {
-  const auto rec = records_.find(id);
-  if (rec == records_.end() || !(rec->second.entry.key == key)) return false;
-  if (rec->second.entry.paused) return false;
-  rec->second.entry.paused = true;
-  ++paused_;
+  const std::uint32_t slot = index_.find(id);
+  if (slot == IdSlotMap::kNotFound || !(slab_[slot].entry.key == key)) {
+    return false;
+  }
+  if (slab_[slot].entry.paused) return false;
+  slab_[slot].entry.paused = true;
+  bump(paused_);
   return true;
 }
 
-std::optional<PoolEntry> RuntimePool::victim_from(AgeHeap& heap) const {
+std::optional<PoolEntry> RuntimePool::victim_from(AgeHeap& heap,
+                                                  VictimCache& cache) const {
+  if (cache.valid) {
+    const std::uint32_t slot = index_.find(cache.id);
+    if (slot != IdSlotMap::kNotFound && slab_[slot].gen == cache.gen) {
+      return slab_[slot].entry;  // memoised argmin still pooled
+    }
+    cache.valid = false;  // residency ended: fall back to the heap scan
+  }
   while (!heap.empty()) {
     const AgeNode& top = heap.top();
-    const auto rec = records_.find(top.id);
-    if (rec != records_.end() && rec->second.gen == top.gen) {
-      return rec->second.entry;
+    const std::uint32_t slot = index_.find(top.id);
+    if (slot != IdSlotMap::kNotFound && slab_[slot].gen == top.gen) {
+      cache = VictimCache{true, top.at, top.gen, top.id};
+      return slab_[slot].entry;
     }
     heap.pop();  // stale: acquired, removed or re-added since pushed
   }
@@ -124,152 +209,202 @@ void RuntimePool::maybe_compact() {
   // Each add pushes one node per heap and each prune pops stale ones
   // lazily; rebuild once stale nodes outnumber live entries 2:1 so the
   // heaps stay O(total_available) sized.
-  const std::size_t live = records_.size();
+  const std::size_t live =
+      static_cast<std::size_t>(live_.load(std::memory_order_relaxed));
   if (by_created_.size() <= 2 * live + 64) return;
-  std::vector<AgeNode> created;
-  std::vector<AgeNode> returned;
-  created.reserve(live);
-  returned.reserve(live);
-  for (const auto& [id, rec] : records_) {
-    created.push_back(AgeNode{rec.entry.created_at, rec.gen, id});
-    returned.push_back(AgeNode{rec.entry.returned_at, rec.gen, id});
+  // Refill the node vectors in place: clear() keeps their capacity, so
+  // steady-state compaction allocates nothing.
+  by_created_.nodes.clear();
+  by_returned_.nodes.clear();
+  for (const Record& rec : slab_) {
+    if (!rec.live) continue;
+    by_created_.nodes.push_back(
+        AgeNode{rec.entry.created_at, rec.gen, rec.entry.id});
+    by_returned_.nodes.push_back(
+        AgeNode{rec.entry.returned_at, rec.gen, rec.entry.id});
   }
-  by_created_ = AgeHeap(AgeGreater{}, std::move(created));
-  by_returned_ = AgeHeap(AgeGreater{}, std::move(returned));
+  by_created_.sorted_ = 0;  // re-heapified at the next victim selection
+  by_returned_.sorted_ = 0;
 }
 
 std::optional<PoolEntry> RuntimePool::select_victim(EvictionPolicy policy,
                                                     Rng* rng) const {
-  if (records_.empty()) return std::nullopt;
+  const std::size_t live = total_available();
+  if (live == 0) return std::nullopt;
 
   if (policy == EvictionPolicy::kRandom) {
     HOTC_ASSERT_MSG(rng != nullptr, "random eviction needs an Rng");
-    return entry_at(rng->index(records_.size()));
+    return entry_at(rng->index(live));
   }
-  return victim_from(policy == EvictionPolicy::kOldestFirst ? by_created_
-                                                            : by_returned_);
+  return policy == EvictionPolicy::kOldestFirst
+             ? victim_from(by_created_, oldest_cache_)
+             : victim_from(by_returned_, coldest_cache_);
 }
 
 std::optional<PoolEntry> RuntimePool::entry_at(std::size_t index) const {
-  for (const auto& [key, dq] : available_) {
-    (void)key;
-    if (index < dq.size()) {
-      const auto rec = records_.find(dq[index]);
-      HOTC_ASSERT_MSG(rec != records_.end(), "pool index desync");
-      return rec->second.entry;
+  for (const KeyBucket& bucket : buckets_) {
+    if (bucket.count == 0) continue;
+    if (index >= bucket.count) {
+      index -= bucket.count;
+      continue;
     }
-    index -= dq.size();
+    std::uint32_t slot = bucket.head;
+    while (index > 0 && slot != kNil) {
+      slot = slab_[slot].next;
+      --index;
+    }
+    HOTC_ASSERT_MSG(slot != kNil, "pool index desync");
+    return slab_[slot].entry;
   }
   return std::nullopt;
 }
 
 std::size_t RuntimePool::num_available(const spec::RuntimeKey& key) const {
-  const auto it = available_.find(key);
-  return it == available_.end() ? 0 : it->second.size();
+  // Lock-free: reads the chunked atomic mirror, not the bucket table
+  // (which may be mid-resize under the writer).
+  return avail_.load(key.id());
 }
 
 std::vector<spec::RuntimeKey> RuntimePool::keys() const {
   std::vector<spec::RuntimeKey> out;
-  out.reserve(available_.size());
-  for (const auto& [key, dq] : available_) {
-    (void)dq;
-    out.push_back(key);
+  for (spec::KeyId id = 0; id < buckets_.size(); ++id) {
+    if (buckets_[id].count > 0) out.push_back(spec::RuntimeKey::from_id(id));
   }
   return out;
 }
 
 std::vector<PoolEntry> RuntimePool::entries(
     const spec::RuntimeKey& key) const {
-  const auto it = available_.find(key);
-  if (it == available_.end()) return {};
+  const KeyBucket* bucket = bucket_for(key.id());
+  if (bucket == nullptr || bucket->count == 0) return {};
   std::vector<PoolEntry> out;
-  out.reserve(it->second.size());
-  for (const engine::ContainerId id : it->second) {
-    const auto rec = records_.find(id);
-    HOTC_ASSERT_MSG(rec != records_.end(), "pool index desync");
-    out.push_back(rec->second.entry);
+  out.reserve(bucket->count);
+  for (std::uint32_t slot = bucket->head; slot != kNil;
+       slot = slab_[slot].next) {
+    out.push_back(slab_[slot].entry);
   }
   return out;
 }
 
 void RuntimePool::clear() {
-  removed_ += records_.size();  // every resident container leaves
-  available_.clear();
-  records_.clear();
+  const std::uint64_t live = live_.load(std::memory_order_relaxed);
+  bump(removed_, live);  // every resident container leaves
+  for (spec::KeyId id = 0; id < buckets_.size(); ++id) {
+    if (buckets_[id].count > 0) avail_.store(id, 0);
+  }
+  slab_.clear();
+  free_.clear();
+  buckets_.clear();
+  index_.clear();
+  drop(live_, live);
   by_created_ = AgeHeap{};
   by_returned_ = AgeHeap{};
-  paused_ = 0;
+  oldest_cache_ = VictimCache{};
+  coldest_cache_ = VictimCache{};
+  drop(paused_, paused_.load(std::memory_order_relaxed));
 }
 
 Result<bool> RuntimePool::check_conservation() const {
+  // hot-path-alloc: allow-begin — audit/diagnostic path, runs off the hot
+  // path (HOTC_AUDIT builds and tests); the error strings are the point.
   // Donations are a sub-flow of leases; a donated residency counted
   // outside leased_ would double-count the container.
-  if (donated_ > leased_) {
+  const std::uint64_t donated = donated_count();
+  const std::uint64_t leased = leased_count();
+  const std::uint64_t respecialized = respecialized_count();
+  const std::uint64_t admitted = admitted_count();
+  const std::size_t live = total_available();
+  if (donated > leased) {
     return make_error<bool>(
         "pool.conservation",
-        "donated " + std::to_string(donated_) + " exceeds leased " +
-            std::to_string(leased_) +
+        "donated " + std::to_string(donated) + " exceeds leased " +
+            std::to_string(leased) +
             " (a donated container was double-counted)");
   }
   // Every respecialized residency entered through add_available.  (The
   // matching donation may have been leased from a different shard, so
   // respecialized <= donated holds only globally — see audit.hpp.)
-  if (respecialized_ > admitted_) {
+  if (respecialized > admitted) {
     return make_error<bool>(
         "pool.conservation",
-        "respecialized " + std::to_string(respecialized_) +
-            " exceeds admitted " + std::to_string(admitted_));
+        "respecialized " + std::to_string(respecialized) +
+            " exceeds admitted " + std::to_string(admitted));
   }
   // Counter identity: pooled == admitted − leased − removed.
-  if (admitted_ != leased_ + removed_ + records_.size()) {
+  if (admitted != leased + removed_count() + live) {
     return make_error<bool>(
         "pool.conservation",
-        "admitted " + std::to_string(admitted_) + " != leased " +
-            std::to_string(leased_) + " + removed " +
-            std::to_string(removed_) + " + pooled " +
-            std::to_string(records_.size()));
+        "admitted " + std::to_string(admitted) + " != leased " +
+            std::to_string(leased) + " + removed " +
+            std::to_string(removed_count()) + " + pooled " +
+            std::to_string(live));
   }
-  // Structural: the per-key queues and the id-keyed records are two views
-  // of the same set, and paused_ counts exactly the paused entries.
-  std::size_t queued = 0;
+  // Structural: the per-key FIFO lists, the slab live flags and the
+  // container-id index are three views of the same set, and paused_
+  // counts exactly the paused entries.
+  std::size_t listed = 0;
   std::size_t paused_seen = 0;
-  for (const auto& [key, dq] : available_) {
-    if (dq.empty()) {
-      return make_error<bool>("pool.conservation",
-                              "empty per-key queue retained in index");
-    }
-    for (const engine::ContainerId id : dq) {
-      const auto rec = records_.find(id);
-      if (rec == records_.end() || !(rec->second.entry.key == key)) {
+  for (spec::KeyId key_id = 0; key_id < buckets_.size(); ++key_id) {
+    const KeyBucket& bucket = buckets_[key_id];
+    std::size_t walked = 0;
+    std::uint32_t prev = kNil;
+    for (std::uint32_t slot = bucket.head; slot != kNil;
+         slot = slab_[slot].next) {
+      const Record& rec = slab_[slot];
+      if (!rec.live || rec.entry.key.id() != key_id || rec.prev != prev) {
         return make_error<bool>(
             "pool.conservation",
-            "queued container " + std::to_string(id) +
-                " missing from records or keyed inconsistently");
+            "per-key list corrupt at slot " + std::to_string(slot));
       }
-      if (rec->second.entry.paused) ++paused_seen;
+      if (index_.find(rec.entry.id) != slot) {
+        return make_error<bool>(
+            "pool.conservation",
+            "listed container " + std::to_string(rec.entry.id) +
+                " missing from the id index or keyed inconsistently");
+      }
+      if (rec.entry.paused) ++paused_seen;
+      prev = slot;
+      ++walked;
     }
-    queued += dq.size();
+    if (walked != bucket.count || bucket.tail != prev ||
+        avail_.load(key_id) != bucket.count) {
+      return make_error<bool>(
+          "pool.conservation",
+          "bucket count " + std::to_string(bucket.count) + " != " +
+              std::to_string(walked) + " walked entries (avail mirror " +
+              std::to_string(avail_.load(key_id)) + ")");
+    }
+    listed += walked;
   }
-  if (queued != records_.size()) {
+  if (listed != live || index_.size() != live) {
     return make_error<bool>(
         "pool.conservation",
-        "queues hold " + std::to_string(queued) + " containers, records " +
-            std::to_string(records_.size()));
+        "lists hold " + std::to_string(listed) + " containers, live " +
+            std::to_string(live) + ", index " +
+            std::to_string(index_.size()));
   }
-  if (paused_seen != paused_) {
+  // Every slab slot is either live or on the free list — no leaks.
+  if (live + free_.size() != slab_.size()) {
     return make_error<bool>(
         "pool.conservation",
-        "paused counter " + std::to_string(paused_) + " != " +
+        "slab " + std::to_string(slab_.size()) + " != live " +
+            std::to_string(live) + " + free " +
+            std::to_string(free_.size()));
+  }
+  if (paused_seen != paused_count()) {
+    return make_error<bool>(
+        "pool.conservation",
+        "paused counter " + std::to_string(paused_count()) + " != " +
             std::to_string(paused_seen) + " paused entries");
   }
   // The lazy heaps never hold fewer nodes than there are live residencies
   // (stale nodes are pruned, live ones only replaced on compaction).
-  if (by_created_.size() < records_.size() ||
-      by_returned_.size() < records_.size()) {
+  if (by_created_.size() < live || by_returned_.size() < live) {
     return make_error<bool>("pool.conservation",
                             "eviction heap lost a live residency");
   }
   return true;
+  // hot-path-alloc: allow-end
 }
 
 }  // namespace hotc::pool

@@ -10,21 +10,40 @@
 // src/cluster.  num_avail[key] is maintained exactly as Algorithms 1 and 2
 // describe: decremented on reuse, incremented after cleanup.
 //
+// Storage is flat (zero-allocation hot path): residencies live in a slab
+// of Records recycled through an intrusive free list; per-key FIFO order
+// is an intrusive doubly-linked list threaded through the slab, with the
+// list heads in a vector indexed by the interned KeyId; the container-id
+// index is an open-addressed IdSlotMap.  Steady-state acquire/add/remove
+// touch no allocator and chase at most one probe chain — the node-based
+// unordered_map/deque layout this replaces allocated on every mutation.
+//
 // Victim selection is O(log n): two lazily-pruned min-heaps index every
 // pooled residency by created_at (oldest-first) and returned_at (LRU).
 // Heap nodes carry a per-residency generation; a node is live iff the
-// id->record map still holds that (id, generation) pair, so acquire and
+// id-keyed slab still holds that (id, generation) pair, so acquire and
 // remove never touch the heaps — stale nodes are skipped at the next
 // select_victim and compacted away once they outnumber live entries.
+// The heap protocol is byte-identical to the node-based layout, so the
+// eviction order (a bench gate) is bit-identical too.
+//
+// Counters (stats, flow ledger, live/paused totals, per-key avail) are
+// single-writer atomics: the pool itself is still strictly single-writer
+// (callers serialise mutations — RuntimePool standalone is simply not
+// thread-safe, ShardedRuntimePool holds the shard mutex), but every store
+// is release-ordered so the sharding wrapper's seqlock can expose them to
+// lock-free readers.  On x86 a release store is a plain mov: the
+// single-threaded cost is identical to plain fields.
 #pragma once
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
-#include <deque>
 #include <optional>
-#include <queue>
-#include <unordered_map>
 #include <vector>
 
+#include "core/chunked_atomic.hpp"
+#include "core/flat_map.hpp"
 #include "core/result.hpp"
 #include "core/rng.hpp"
 #include "core/time.hpp"
@@ -72,6 +91,21 @@ struct PoolLimits {
   double memory_threshold = 0.8;    // paper: "memory usage threshold as 80%"
 };
 
+/// One cut of the conservation ledger (see check_conservation): the flow
+/// counters plus the current occupancy they must balance against.  The
+/// sharded pool reads this per shard under its seqlock, so every returned
+/// cut satisfies admitted == leased + removed + pooled and donated <=
+/// leased even while writers run.
+struct PoolFlows {
+  std::uint64_t admitted = 0;
+  std::uint64_t leased = 0;
+  std::uint64_t removed = 0;
+  std::uint64_t donated = 0;
+  std::uint64_t respecialized = 0;
+  std::uint64_t pooled = 0;
+  std::uint64_t paused = 0;
+};
+
 class RuntimePool : public PoolView {
  public:
   explicit RuntimePool(PoolLimits limits = {});
@@ -116,25 +150,37 @@ class RuntimePool : public PoolView {
   [[nodiscard]] std::optional<PoolEntry> entry_at(std::size_t index) const;
 
   /// Count eviction as performed (bumps stats).
-  void count_eviction() { ++stats_.evictions; }
+  void count_eviction() { bump(stats_evictions_); }
 
-  // --- queries (PoolView) -----------------------------------------------
+  // --- queries (PoolView; single atomic loads are safe lock-free, the
+  // sharding wrapper seqlock-brackets multi-field reads) -----------------
   [[nodiscard]] std::size_t num_available(
       const spec::RuntimeKey& key) const override;
   [[nodiscard]] std::size_t total_available() const override {
-    return records_.size();
+    return static_cast<std::size_t>(
+        live_.load(std::memory_order_acquire));
   }
-  [[nodiscard]] std::size_t paused_count() const override { return paused_; }
-  [[nodiscard]] PoolStats stats_snapshot() const override { return stats_; }
+  [[nodiscard]] std::size_t paused_count() const override {
+    return static_cast<std::size_t>(
+        paused_.load(std::memory_order_acquire));
+  }
+  [[nodiscard]] PoolStats stats_snapshot() const override { return stats(); }
   [[nodiscard]] std::vector<spec::RuntimeKey> keys() const override;
   [[nodiscard]] std::vector<PoolEntry> entries(
       const spec::RuntimeKey& key) const override;
   [[nodiscard]] bool at_capacity() const override {
-    return records_.size() >= limits_.max_live;
+    return total_available() >= limits_.max_live;
   }
   [[nodiscard]] const PoolLimits& limits() const override { return limits_; }
 
-  [[nodiscard]] const PoolStats& stats() const { return stats_; }
+  [[nodiscard]] PoolStats stats() const {
+    PoolStats out;
+    out.hits = stats_hits_.load(std::memory_order_acquire);
+    out.misses = stats_misses_.load(std::memory_order_acquire);
+    out.evictions = stats_evictions_.load(std::memory_order_acquire);
+    out.returns = stats_returns_.load(std::memory_order_acquire);
+    return out;
+  }
 
   // --- conservation accounting (see src/pool/audit.hpp) -----------------
   // Lifetime flow counters: every container residency enters via
@@ -142,28 +188,61 @@ class RuntimePool : public PoolView {
   // or remove/clear (removed).  The conservation identity
   //     pooled == admitted − leased − removed
   // holds at every quiescent point; check_conservation() verifies it plus
-  // the structural invariants binding records_, available_ and paused_.
-  // Cross-key sharing adds two sub-flows: donated ⊆ leased (a donation is
-  // a lease with different attribution) and respecialized ⊆ admitted (a
-  // converted donor re-enters through add_available with the flag set).
-  [[nodiscard]] std::uint64_t admitted_count() const { return admitted_; }
-  [[nodiscard]] std::uint64_t leased_count() const { return leased_; }
-  [[nodiscard]] std::uint64_t removed_count() const { return removed_; }
-  [[nodiscard]] std::uint64_t donated_count() const { return donated_; }
+  // the structural invariants binding the slab, the per-key lists and
+  // paused_.  Cross-key sharing adds two sub-flows: donated ⊆ leased (a
+  // donation is a lease with different attribution) and respecialized ⊆
+  // admitted (a converted donor re-enters through add_available with the
+  // flag set).
+  [[nodiscard]] std::uint64_t admitted_count() const {
+    return admitted_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::uint64_t leased_count() const {
+    return leased_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::uint64_t removed_count() const {
+    return removed_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::uint64_t donated_count() const {
+    return donated_.load(std::memory_order_acquire);
+  }
   [[nodiscard]] std::uint64_t respecialized_count() const {
-    return respecialized_;
+    return respecialized_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] PoolFlows flows() const {
+    PoolFlows out;
+    out.admitted = admitted_count();
+    out.leased = leased_count();
+    out.removed = removed_count();
+    out.donated = donated_count();
+    out.respecialized = respecialized_count();
+    out.pooled = total_available();
+    out.paused = paused_count();
+    return out;
   }
   [[nodiscard]] Result<bool> check_conservation() const;
 
   void clear();
 
  private:
-  /// One residency of a container in the pool.  `gen` is unique per
-  /// residency: re-adding an acquired container bumps it, which retires
-  /// any heap nodes still pointing at the previous stay.
+  static constexpr std::uint32_t kNil = 0xFFFFFFFFu;
+
+  /// One residency of a container in the pool, threaded on its key's FIFO
+  /// list.  `gen` is unique per residency: re-adding an acquired container
+  /// bumps it, which retires any heap nodes still pointing at the previous
+  /// stay.  Slots are recycled through `free_` when the residency ends.
   struct Record {
     PoolEntry entry;
     std::uint64_t gen = 0;
+    std::uint32_t prev = kNil;  // intrusive per-key FIFO links
+    std::uint32_t next = kNil;
+    bool live = false;
+  };
+
+  /// Per-key FIFO list head/tail, indexed directly by interned KeyId.
+  struct KeyBucket {
+    std::uint32_t head = kNil;
+    std::uint32_t tail = kNil;
+    std::uint32_t count = 0;
   };
 
   struct AgeNode {
@@ -177,32 +256,114 @@ class RuntimePool : public PoolView {
       return a.gen > b.gen;                  // earlier insertion wins ties
     }
   };
-  using AgeHeap =
-      std::priority_queue<AgeNode, std::vector<AgeNode>, AgeGreater>;
+  /// Deferred-order eviction index.  push() is a plain append — the
+  /// acquire/return hot path never sifts — and the heap invariant is
+  /// restored at the next victim selection by sifting in just the nodes
+  /// appended since (`sorted_` tracks the heap-ordered prefix).  Return
+  /// timestamps are near-monotonic, so each deferred sift-up terminates
+  /// after about one comparison; the full make_heap alternative would
+  /// rescan every node on every eviction slice.  AgeGreater is a total
+  /// order over (at, gen), so top() yields the unique minimum and the
+  /// victim sequence is identical to an eagerly-sifted heap.
+  struct AgeHeap {
+    std::vector<AgeNode> nodes;
+    std::size_t sorted_ = 0;  // nodes[0..sorted_) satisfy the heap invariant
+
+    void push(const AgeNode& n) { nodes.push_back(n); }
+    void ensure() {
+      while (sorted_ < nodes.size()) {
+        ++sorted_;
+        std::push_heap(nodes.begin(),
+                       nodes.begin() + static_cast<std::ptrdiff_t>(sorted_),
+                       AgeGreater{});
+      }
+    }
+    [[nodiscard]] const AgeNode& top() {
+      ensure();
+      return nodes.front();
+    }
+    void pop() {
+      ensure();
+      std::pop_heap(nodes.begin(), nodes.end(), AgeGreater{});
+      nodes.pop_back();
+      --sorted_;
+    }
+    [[nodiscard]] bool empty() const { return nodes.empty(); }
+    [[nodiscard]] std::size_t size() const { return nodes.size(); }
+  };
+
+  /// Memoised victim_from() answer: the live residency minimising
+  /// (at, gen) for one heap's ordering.  Exactness invariant: while
+  /// `valid` and the (id, gen) residency is still pooled, it IS the
+  /// argmin — every later add carries a larger gen (next_gen_ is
+  /// monotonic) and so loses timestamp ties, meaning only an add with a
+  /// strictly smaller timestamp can dethrone the cache, and that add
+  /// replaces it inline.  Leases/removes of the cached residency are
+  /// caught by the gen check at use time, which falls back to the heap
+  /// scan.  Turns the all-shard eviction slice from sixteen heap scans
+  /// into sixteen index probes.
+  struct VictimCache {
+    bool valid = false;
+    TimePoint at = kZeroDuration;
+    std::uint64_t gen = 0;
+    engine::ContainerId id = 0;
+  };
+
+  [[nodiscard]] const KeyBucket* bucket_for(spec::KeyId id) const {
+    return id < buckets_.size() ? &buckets_[id] : nullptr;
+  }
+  KeyBucket& ensure_bucket(spec::KeyId id);
+  std::uint32_t new_slot();
+  void unlink(std::uint32_t slot);
+  /// Detach the head of `key`'s FIFO list and retire its slot, returning
+  /// the entry (common tail of acquire/acquire_for_donation).
+  std::optional<PoolEntry> take_front(const spec::RuntimeKey& key);
 
   /// Drop stale heap tops, then return the live minimum (nullopt if none).
-  [[nodiscard]] std::optional<PoolEntry> victim_from(AgeHeap& heap) const;
+  /// Served from `cache` in O(1) when its residency is still pooled.
+  [[nodiscard]] std::optional<PoolEntry> victim_from(AgeHeap& heap,
+                                                     VictimCache& cache) const;
 
   /// Rebuild both heaps from live records once stale nodes dominate.
   void maybe_compact();
 
+  /// Single-writer counter update: release store so the sharding
+  /// wrapper's seqlock readers observe it; plain mov on x86.
+  static void bump(std::atomic<std::uint64_t>& c, std::uint64_t delta = 1) {
+    c.store(c.load(std::memory_order_relaxed) + delta,
+            std::memory_order_release);
+  }
+  static void drop(std::atomic<std::uint64_t>& c, std::uint64_t delta = 1) {
+    c.store(c.load(std::memory_order_relaxed) - delta,
+            std::memory_order_release);
+  }
+
   PoolLimits limits_;
-  // FIFO per key: the paper reuses "the first available container".
-  std::unordered_map<spec::RuntimeKey, std::deque<engine::ContainerId>>
-      available_;
-  // Canonical per-container records, keyed by (unique) container id.
-  std::unordered_map<engine::ContainerId, Record> records_;
+  std::vector<Record> slab_;
+  std::vector<std::uint32_t> free_;   // recycled slab slots (LIFO)
+  std::vector<KeyBucket> buckets_;    // KeyId -> FIFO list
+  IdSlotMap index_;                   // container id -> slab slot
+  /// Per-KeyId available counts in chunked stable storage: lock-free
+  /// num_available() even while the writer grows the key universe.
+  ChunkedAtomicU32 avail_;
   // Lazy eviction indexes (mutable: select_victim prunes under const).
   mutable AgeHeap by_created_;
   mutable AgeHeap by_returned_;
+  mutable VictimCache oldest_cache_;   // argmin (created_at, gen) over live
+  mutable VictimCache coldest_cache_;  // argmin (returned_at, gen) over live
   std::uint64_t next_gen_ = 0;
-  std::size_t paused_ = 0;
-  std::uint64_t admitted_ = 0;
-  std::uint64_t leased_ = 0;
-  std::uint64_t removed_ = 0;
-  std::uint64_t donated_ = 0;
-  std::uint64_t respecialized_ = 0;
-  PoolStats stats_;
+  // Single-writer atomics (see bump/drop): lock-free read side.
+  std::atomic<std::uint64_t> live_{0};   // residencies currently pooled
+  std::atomic<std::uint64_t> paused_{0};
+  std::atomic<std::uint64_t> admitted_{0};
+  std::atomic<std::uint64_t> leased_{0};
+  std::atomic<std::uint64_t> removed_{0};
+  std::atomic<std::uint64_t> donated_{0};
+  std::atomic<std::uint64_t> respecialized_{0};
+  std::atomic<std::uint64_t> stats_hits_{0};
+  std::atomic<std::uint64_t> stats_misses_{0};
+  std::atomic<std::uint64_t> stats_evictions_{0};
+  std::atomic<std::uint64_t> stats_returns_{0};
 };
 
 }  // namespace hotc::pool

@@ -24,9 +24,14 @@ ShardedRuntimePool::ShardedRuntimePool(PoolLimits limits,
                                        std::size_t shard_count)
     : limits_(limits) {
   if (shard_count == 0) shard_count = default_shard_count();
+  if ((shard_count & (shard_count - 1)) == 0) {
+    // h % n == h & (n-1) for powers of two: identical striping, no div.
+    shard_mask_ = static_cast<std::uint64_t>(shard_count - 1);
+  }
   shards_.reserve(shard_count);
   for (std::size_t i = 0; i < shard_count; ++i) {
     shards_.push_back(
+        // hot-path-alloc: allow (construction, once per pool)
         std::make_unique<Shard>(limits, static_cast<std::uint32_t>(i)));
   }
 }
@@ -44,37 +49,62 @@ void ShardedRuntimePool::audit_shard(const Shard& shard) {
 #endif
 }
 
+// hot-path-alloc: allow-begin (metric registration, once per pool)
 void ShardedRuntimePool::attach_metrics(obs::Registry& registry) {
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     const std::string label = "shard=\"" + std::to_string(i) + "\"";
-    ShardMetrics m;
-    m.hits = &registry.counter("hotc_pool_shard_hits_total",
-                               "Pool acquires served warm, per shard",
-                               label);
-    m.misses = &registry.counter("hotc_pool_shard_misses_total",
-                                 "Pool acquires that found nothing, "
-                                 "per shard",
-                                 label);
-    m.evictions = &registry.counter(
-        "hotc_pool_shard_evictions_total",
-        "Pooled runtimes removed outside the acquire path, per shard",
-        label);
-    m.steals = &registry.counter(
-        "hotc_pool_shard_steals_total",
-        "Victims taken from this shard by cross-shard selection", label);
-    const std::lock_guard<RankedMutex> lock(shards_[i]->mu);
-    shards_[i]->metrics = m;
+    ShardMetrics& m = shards_[i]->metrics;
+    // Release stores: the lock-free fast-miss path may observe these from
+    // another thread mid-registration; each pointer is independently valid.
+    m.hits.store(&registry.counter("hotc_pool_shard_hits_total",
+                                   "Pool acquires served warm, per shard",
+                                   label),
+                 std::memory_order_release);
+    m.misses.store(&registry.counter("hotc_pool_shard_misses_total",
+                                     "Pool acquires that found nothing, "
+                                     "per shard",
+                                     label),
+                   std::memory_order_release);
+    m.evictions.store(
+        &registry.counter(
+            "hotc_pool_shard_evictions_total",
+            "Pooled runtimes removed outside the acquire path, per shard",
+            label),
+        std::memory_order_release);
+    m.steals.store(
+        &registry.counter(
+            "hotc_pool_shard_steals_total",
+            "Victims taken from this shard by cross-shard selection", label),
+        std::memory_order_release);
   }
 }
+// hot-path-alloc: allow-end
 
 std::optional<PoolEntry> ShardedRuntimePool::acquire(
     const spec::RuntimeKey& key, TimePoint now) {
   Shard& shard = shard_for(key);
-  const std::lock_guard<RankedMutex> lock(shard.mu);
-  auto out = shard.pool.acquire(key, now);
-  if (shard.metrics.hits != nullptr) {
-    (out.has_value() ? shard.metrics.hits : shard.metrics.misses)->inc();
+  // Fast miss: the per-key avail count is a lock-free atomic mirror.  A
+  // concurrent add_available may race this probe; the miss then simply
+  // linearises before the add — exactly what an unlucky lock acquisition
+  // order would have produced.  Single-threaded counts are unchanged
+  // (avail == 0 iff the locked path would miss).
+  if (shard.pool.num_available(key) == 0) {
+    shard.fast_misses.fetch_add(1, std::memory_order_relaxed);
+    obs::Counter* misses =
+        shard.metrics.misses.load(std::memory_order_acquire);
+    if (misses != nullptr) misses->inc();
+    return std::nullopt;
   }
+  const std::lock_guard<RankedMutex> lock(shard.mu);
+  std::optional<PoolEntry> out;
+  {
+    const SeqLock::WriteGuard guard(shard.seq);
+    out = shard.pool.acquire(key, now);
+  }
+  obs::Counter* counter =
+      (out.has_value() ? shard.metrics.hits : shard.metrics.misses)
+          .load(std::memory_order_acquire);
+  if (counter != nullptr) counter->inc();
   audit_shard(shard);
   return out;
 }
@@ -82,8 +112,16 @@ std::optional<PoolEntry> ShardedRuntimePool::acquire(
 std::optional<PoolEntry> ShardedRuntimePool::acquire_for_donation(
     const spec::RuntimeKey& key, TimePoint now) {
   Shard& shard = shard_for(key);
+  // Donor-registry liveness probes overwhelmingly find nothing; the
+  // lock-free empty check keeps them off the shard mutex entirely.
+  // (No miss is recorded: donation probes never touch hit/miss stats.)
+  if (shard.pool.num_available(key) == 0) return std::nullopt;
   const std::lock_guard<RankedMutex> lock(shard.mu);
-  auto out = shard.pool.acquire_for_donation(key, now);
+  std::optional<PoolEntry> out;
+  {
+    const SeqLock::WriteGuard guard(shard.seq);
+    out = shard.pool.acquire_for_donation(key, now);
+  }
   audit_shard(shard);
   return out;
 }
@@ -92,7 +130,10 @@ void ShardedRuntimePool::add_available(const PoolEntry& entry,
                                        TimePoint now) {
   Shard& shard = shard_for(entry.key);
   const std::lock_guard<RankedMutex> lock(shard.mu);
-  shard.pool.add_available(entry, now);
+  {
+    const SeqLock::WriteGuard guard(shard.seq);
+    shard.pool.add_available(entry, now);
+  }
   audit_shard(shard);
 }
 
@@ -100,9 +141,15 @@ bool ShardedRuntimePool::remove(const spec::RuntimeKey& key,
                                 engine::ContainerId id) {
   Shard& shard = shard_for(key);
   const std::lock_guard<RankedMutex> lock(shard.mu);
-  const bool out = shard.pool.remove(key, id);
-  if (out && shard.metrics.evictions != nullptr) {
-    shard.metrics.evictions->inc();
+  bool out = false;
+  {
+    const SeqLock::WriteGuard guard(shard.seq);
+    out = shard.pool.remove(key, id);
+  }
+  if (out) {
+    obs::Counter* evictions =
+        shard.metrics.evictions.load(std::memory_order_acquire);
+    if (evictions != nullptr) evictions->inc();
   }
   audit_shard(shard);
   return out;
@@ -112,7 +159,11 @@ bool ShardedRuntimePool::mark_paused(const spec::RuntimeKey& key,
                                      engine::ContainerId id) {
   Shard& shard = shard_for(key);
   const std::lock_guard<RankedMutex> lock(shard.mu);
-  const bool out = shard.pool.mark_paused(key, id);
+  bool out = false;
+  {
+    const SeqLock::WriteGuard guard(shard.seq);
+    out = shard.pool.mark_paused(key, id);
+  }
   audit_shard(shard);
   return out;
 }
@@ -142,9 +193,9 @@ std::optional<PoolEntry> ShardedRuntimePool::select_victim(
       const std::size_t n = shard->pool.total_available();
       if (target < n) {
         auto out = shard->pool.entry_at(target);
-        if (out.has_value() && shard->metrics.steals != nullptr) {
-          shard->metrics.steals->inc();
-        }
+        obs::Counter* steals =
+            shard->metrics.steals.load(std::memory_order_acquire);
+        if (out.has_value() && steals != nullptr) steals->inc();
         return out;
       }
       target -= n;
@@ -170,48 +221,65 @@ std::optional<PoolEntry> ShardedRuntimePool::select_victim(
       best_shard = shard.get();
     }
   }
-  if (best_shard != nullptr && best_shard->metrics.steals != nullptr) {
-    best_shard->metrics.steals->inc();
+  if (best_shard != nullptr) {
+    obs::Counter* steals =
+        best_shard->metrics.steals.load(std::memory_order_acquire);
+    if (steals != nullptr) steals->inc();
   }
   return best;
 }
 
 std::size_t ShardedRuntimePool::num_available(
     const spec::RuntimeKey& key) const {
-  Shard& shard = shard_for(key);
-  const std::lock_guard<RankedMutex> lock(shard.mu);
-  return shard.pool.num_available(key);
+  // Lock-free: single atomic load of the owning pool's avail mirror.
+  return shard_for(key).pool.num_available(key);
 }
 
 std::size_t ShardedRuntimePool::total_available() const {
+  // Lock-free: one release-published counter per shard.  Shards are
+  // sampled at slightly different instants (see pool_view.hpp).
   std::size_t total = 0;
-  for (const auto& shard : shards_) {
-    const std::lock_guard<RankedMutex> lock(shard->mu);
-    total += shard->pool.total_available();
-  }
+  for (const auto& shard : shards_) total += shard->pool.total_available();
   return total;
 }
 
 std::size_t ShardedRuntimePool::paused_count() const {
   std::size_t total = 0;
-  for (const auto& shard : shards_) {
-    const std::lock_guard<RankedMutex> lock(shard->mu);
-    total += shard->pool.paused_count();
-  }
+  for (const auto& shard : shards_) total += shard->pool.paused_count();
   return total;
 }
 
 PoolStats ShardedRuntimePool::stats_snapshot() const {
+  // Lock-free: each shard's four counters are read as one consistent cut
+  // under its seqlock; fast misses (short-circuited before the pool saw
+  // them) are folded back into the miss count.
   PoolStats out;
   for (const auto& shard : shards_) {
-    const std::lock_guard<RankedMutex> lock(shard->mu);
-    const PoolStats& s = shard->pool.stats();
+    const PoolStats s =
+        shard->seq.read([&shard] { return shard->pool.stats(); });
     out.hits += s.hits;
     out.misses += s.misses;
     out.evictions += s.evictions;
     out.returns += s.returns;
+    out.misses += shard->fast_misses.load(std::memory_order_relaxed);
   }
   out.evictions += evictions_.load(std::memory_order_relaxed);
+  return out;
+}
+
+PoolFlows ShardedRuntimePool::flows_snapshot() const {
+  PoolFlows out;
+  for (const auto& shard : shards_) {
+    const PoolFlows f =
+        shard->seq.read([&shard] { return shard->pool.flows(); });
+    out.admitted += f.admitted;
+    out.leased += f.leased;
+    out.removed += f.removed;
+    out.donated += f.donated;
+    out.respecialized += f.respecialized;
+    out.pooled += f.pooled;
+    out.paused += f.paused;
+  }
   return out;
 }
 
@@ -240,11 +308,15 @@ bool ShardedRuntimePool::at_capacity() const {
 void ShardedRuntimePool::clear() {
   const auto locks = lock_all();
   for (const auto& shard : shards_) {
-    shard->pool.clear();
+    {
+      const SeqLock::WriteGuard guard(shard->seq);
+      shard->pool.clear();
+    }
     audit_shard(*shard);
   }
 }
 
+// hot-path-alloc: allow-begin (audit/reporting path, locks all shards)
 Result<bool> ShardedRuntimePool::check_conservation() const {
   const auto locks = lock_all();
   std::uint64_t admitted = 0;
@@ -296,49 +368,36 @@ Result<bool> ShardedRuntimePool::check_conservation() const {
   }
   return true;
 }
+// hot-path-alloc: allow-end
 
 std::uint64_t ShardedRuntimePool::admitted_count() const {
+  // Lock-free: monotonic release-published counters, summed per shard.
   std::uint64_t total = 0;
-  for (const auto& shard : shards_) {
-    const std::lock_guard<RankedMutex> lock(shard->mu);
-    total += shard->pool.admitted_count();
-  }
+  for (const auto& shard : shards_) total += shard->pool.admitted_count();
   return total;
 }
 
 std::uint64_t ShardedRuntimePool::leased_count() const {
   std::uint64_t total = 0;
-  for (const auto& shard : shards_) {
-    const std::lock_guard<RankedMutex> lock(shard->mu);
-    total += shard->pool.leased_count();
-  }
+  for (const auto& shard : shards_) total += shard->pool.leased_count();
   return total;
 }
 
 std::uint64_t ShardedRuntimePool::removed_count() const {
   std::uint64_t total = 0;
-  for (const auto& shard : shards_) {
-    const std::lock_guard<RankedMutex> lock(shard->mu);
-    total += shard->pool.removed_count();
-  }
+  for (const auto& shard : shards_) total += shard->pool.removed_count();
   return total;
 }
 
 std::uint64_t ShardedRuntimePool::donated_count() const {
   std::uint64_t total = 0;
-  for (const auto& shard : shards_) {
-    const std::lock_guard<RankedMutex> lock(shard->mu);
-    total += shard->pool.donated_count();
-  }
+  for (const auto& shard : shards_) total += shard->pool.donated_count();
   return total;
 }
 
 std::uint64_t ShardedRuntimePool::respecialized_count() const {
   std::uint64_t total = 0;
-  for (const auto& shard : shards_) {
-    const std::lock_guard<RankedMutex> lock(shard->mu);
-    total += shard->pool.respecialized_count();
-  }
+  for (const auto& shard : shards_) total += shard->pool.respecialized_count();
   return total;
 }
 

@@ -6,13 +6,24 @@
 // ShardedRuntimePool stripes the key space over N independent shards, each
 // a mutex + RuntimePool pair padded to its own cache line.  A runtime key
 // always lands on the same shard (selected from its precomputed 64-bit
-// hash — no string comparisons on the hot path), so per-key FIFO reuse
-// order and all per-key invariants are inherited from RuntimePool
-// untouched, while acquire/return traffic for distinct keys proceeds in
-// parallel.
+// hash — no string comparisons on the hot path; power-of-two shard counts
+// reduce to a mask), so per-key FIFO reuse order and all per-key
+// invariants are inherited from RuntimePool untouched, while acquire and
+// return traffic for distinct keys proceeds in parallel.
 //
-// Aggregates (stats, totals, paused counts) are kept per shard and summed
-// on read — the hot path touches no shared atomics and no global lock.
+// Read side is lock-free.  RuntimePool's counters are single-writer
+// release-store atomics and each shard carries a SeqLock that its writers
+// bump around every mutation, so:
+//   - single-counter reads (num_available, total_available, paused_count,
+//     the flow counters) are plain atomic loads summed shard by shard;
+//   - multi-field reads (stats_snapshot, flows_snapshot) retry under the
+//     shard's seqlock, so each shard's contribution is a consistent cut —
+//     flows_snapshot() satisfies the conservation identity even while
+//     writers run;
+//   - acquire() and acquire_for_donation() probe the per-key avail count
+//     lock-free first and only take the shard mutex when a container
+//     might be present — an empty-pool miss (and every donor-registry
+//     liveness probe that finds nothing) never touches a lock.
 // See pool_view.hpp for the snapshot semantics of those reads.
 //
 // Victim selection locks all shards in index order (deadlock-free) for a
@@ -31,6 +42,7 @@
 
 #include "core/ranked_mutex.hpp"
 #include "core/rng.hpp"
+#include "core/seqlock.hpp"
 #include "core/time.hpp"
 #include "engine/container.hpp"
 #include "obs/metrics.hpp"
@@ -50,7 +62,7 @@ class ShardedRuntimePool : public PoolView {
   ShardedRuntimePool(const ShardedRuntimePool&) = delete;
   ShardedRuntimePool& operator=(const ShardedRuntimePool&) = delete;
 
-  // --- hot path (locks exactly one shard) -------------------------------
+  // --- hot path (locks at most one shard) -------------------------------
   std::optional<PoolEntry> acquire(const spec::RuntimeKey& key,
                                    TimePoint now);
   /// Cross-key sharing: lease an idle container of `key` for donation to a
@@ -70,7 +82,7 @@ class ShardedRuntimePool : public PoolView {
       EvictionPolicy policy, Rng* rng = nullptr) const;
   void count_eviction() { ++evictions_; }
 
-  // --- queries (PoolView; snapshot semantics) ---------------------------
+  // --- queries (PoolView; lock-free, snapshot semantics) ----------------
   [[nodiscard]] std::size_t num_available(
       const spec::RuntimeKey& key) const override;
   [[nodiscard]] std::size_t total_available() const override;
@@ -96,9 +108,23 @@ class ShardedRuntimePool : public PoolView {
   [[nodiscard]] std::uint64_t donated_count() const;
   [[nodiscard]] std::uint64_t respecialized_count() const;
 
+  /// Lock-free consistent cut of the flow ledger: each shard's
+  /// contribution is read atomically under its seqlock, and per-shard
+  /// cuts compose (every shard satisfies the identity independently), so
+  /// the returned flows always balance: admitted == leased + removed +
+  /// pooled and donated <= leased — even while writers are mid-burst.
+  /// respecialized <= donated only holds at quiescence (the donor's debit
+  /// and the recipient's credit land on different shards).
+  [[nodiscard]] PoolFlows flows_snapshot() const;
+
   /// Which shard a key stripes to (exposed for tests and benches).
   [[nodiscard]] std::size_t shard_index(const spec::RuntimeKey& key) const {
-    return static_cast<std::size_t>(key.hash() % shards_.size());
+    // shard_mask_ is count-1 for power-of-two counts (the default sizes):
+    // same result as %, one AND instead of a division.
+    const std::uint64_t h = key.hash();
+    return shard_mask_ != 0
+               ? static_cast<std::size_t>(h & shard_mask_)
+               : static_cast<std::size_t>(h % shards_.size());
   }
 
   /// Register per-shard hit/miss/evict/steal counters
@@ -111,28 +137,39 @@ class ShardedRuntimePool : public PoolView {
   void clear();
 
  private:
+  /// Cached instrument handles for one shard; written once by
+  /// attach_metrics, read by every mutation — no registry lookups on the
+  /// hot path.  Atomic pointers because the fast-miss path reads them
+  /// without the shard lock (obs::Counter::inc is itself a relaxed
+  /// fetch_add, safe from any thread).
+  struct ShardMetrics {
+    std::atomic<obs::Counter*> hits{nullptr};
+    std::atomic<obs::Counter*> misses{nullptr};
+    std::atomic<obs::Counter*> evictions{nullptr};  // removals
+    std::atomic<obs::Counter*> steals{nullptr};  // victims taken by
+                                                 // cross-shard
+                                                 // select_victim (global
+                                                 // pressure, not this
+                                                 // shard's own traffic)
+  };
+
   // Padded so neighbouring shard locks never share a cache line.  The
   // shard mutexes share the kPoolShard rank band with the shard index as
   // the intra-band sequence: lock_all()'s fixed index order is therefore
   // machine-enforced, not a comment (see core/ranked_mutex.hpp).
-  /// Cached instrument handles for one shard; written once by
-  /// attach_metrics under the shard lock, read under the same lock by
-  /// every mutation — no registry lookups on the hot path.
-  struct ShardMetrics {
-    obs::Counter* hits = nullptr;
-    obs::Counter* misses = nullptr;
-    obs::Counter* evictions = nullptr;  // removals (retire/evict paths)
-    obs::Counter* steals = nullptr;     // victims taken by cross-shard
-                                        // select_victim (global pressure,
-                                        // not this shard's own traffic)
-  };
-
   struct alignas(64) Shard {
     explicit Shard(PoolLimits limits, std::uint32_t index)
         : mu(LockRank::kPoolShard, index, "pool.shard"), pool(limits) {}
     mutable RankedMutex mu;
+    /// Bumped (under mu) around every pool mutation; readers of
+    /// multi-field state retry on it instead of taking mu.
+    SeqLock seq;
     RuntimePool pool;
     ShardMetrics metrics;
+    /// Misses short-circuited by the lock-free empty-key probe; the
+    /// pool's own miss counter never sees them, so stats_snapshot() adds
+    /// them back.  Monotonic, relaxed (ordering carried by seq reads).
+    std::atomic<std::uint64_t> fast_misses{0};
   };
 
   [[nodiscard]] Shard& shard_for(const spec::RuntimeKey& key) const {
@@ -148,6 +185,7 @@ class ShardedRuntimePool : public PoolView {
 
   PoolLimits limits_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  std::uint64_t shard_mask_ = 0;  // count-1 when count is a power of two
   /// Evictions are recorded by whoever tears the victim down, which has
   /// no natural shard; one shared counter off the hot path is fine.
   std::atomic<std::uint64_t> evictions_{0};

@@ -45,7 +45,11 @@ void RealHotC::trim_warm() {
 std::future<RealOutcome> RealHotC::submit(const spec::RunSpec& spec,
                                           const engine::AppModel& app,
                                           Handler handler,
-                                          std::string argument) {
+                                          // hot-path-alloc: allow — caller
+                                          std::string argument) {  // hands
+                                          // off payload ownership by value.
+  // One shared promise per submission: the future seam needs shared
+  // ownership between caller and worker.  hot-path-alloc: allow
   auto promise = std::make_shared<std::promise<RealOutcome>>();
   auto future = promise->get_future();
   const spec::RuntimeKey key = spec::RuntimeKey::from_spec(spec);

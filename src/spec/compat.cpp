@@ -2,41 +2,48 @@
 
 #include <algorithm>
 
+#include "core/arena.hpp"
 #include "spec/dockerfile.hpp"
 #include "spec/network_mode.hpp"
 #include "spec/runtime_key.hpp"
 
 namespace hotc::spec {
 
-CompatClass::CompatClass(std::string text)
-    : text_(std::move(text)), hash_(fnv1a(text_)) {}
+CompatClass CompatClass::from_id(KeyId id) {
+  return CompatClass(id, KeyInterner::global().hash(id));
+}
 
 CompatClass CompatClass::from_spec(const RunSpec& spec) {
   // Same canonical-text discipline as RuntimeKey::from_spec, restricted to
   // the sandbox-shaping fields.  The tag is deliberately absent (it is a
   // costed delta); the category is redundant given the name but kept in
   // the text so the never-across-categories guarantee is visible in dumps.
-  std::string text;
-  text.reserve(96);
-  text += "cls|img=";
-  text += spec.image.name;
-  text += "|cat=";
-  text += to_string(classify_base_image(spec.image.name));
-  text += "|net=";
-  text += to_string(spec.network);
-  text += "|uts=";
-  text += to_string(spec.uts);
-  text += "|ipc=";
-  text += to_string(spec.ipc);
-  text += "|pid=";
-  text += to_string(spec.pid);
-  text += "|ro=";
-  text += spec.read_only_rootfs ? '1' : '0';
-  text += "|priv=";
-  text += spec.privileged ? '1' : '0';
-  text += "|vols=";
-  text += std::to_string(spec.volumes.size());
-  return CompatClass(std::move(text));
+  // Built in thread-local arena scratch and interned: steady state is
+  // allocation-free, and the "cls|" prefix keeps class texts disjoint
+  // from runtime-key texts inside the shared interner.
+  Arena& scratch = scratch_arena();
+  scratch.reset();
+  ArenaWriter w(scratch, 128);
+  w.append("cls|img=");
+  w.append(spec.image.name);
+  w.append("|cat=");
+  w.append(to_string(classify_base_image(spec.image.name)));
+  w.append("|net=");
+  w.append(to_string(spec.network));
+  w.append("|uts=");
+  w.append(to_string(spec.uts));
+  w.append("|ipc=");
+  w.append(to_string(spec.ipc));
+  w.append("|pid=");
+  w.append(to_string(spec.pid));
+  w.append("|ro=");
+  w.append(spec.read_only_rootfs ? '1' : '0');
+  w.append("|priv=");
+  w.append(spec.privileged ? '1' : '0');
+  w.append("|vols=");
+  w.append_u64(spec.volumes.size());
+  const std::uint64_t hash = fnv1a(w.view());
+  return CompatClass(KeyInterner::global().intern(w.view(), hash), hash);
 }
 
 bool compatible(const RunSpec& a, const RunSpec& b) {

@@ -34,36 +34,42 @@
 #include <functional>
 #include <string>
 
+#include "spec/key_interner.hpp"
 #include "spec/runspec.hpp"
 
 namespace hotc::spec {
 
-/// Identity of one compatibility class: a stable text form + 64-bit hash,
-/// mirroring RuntimeKey so it can key striped indexes.
+/// Identity of one compatibility class: an interned {id, hash} pair over
+/// the stable canonical class text, mirroring RuntimeKey so it can key
+/// striped indexes without allocating on the lookup path.
 class CompatClass {
  public:
   CompatClass() = default;
 
   static CompatClass from_spec(const RunSpec& spec);
 
-  [[nodiscard]] const std::string& text() const { return text_; }
-  [[nodiscard]] std::uint64_t hash() const { return hash_; }
-  [[nodiscard]] bool empty() const { return text_.empty(); }
+  /// Rebuild a class identity from its interned id.
+  static CompatClass from_id(KeyId id);
 
-  bool operator==(const CompatClass& other) const {
-    return hash_ == other.hash_ && text_ == other.text_;
+  [[nodiscard]] const std::string& text() const {
+    return KeyInterner::global().text(id_);
   }
+  [[nodiscard]] std::uint64_t hash() const { return hash_; }
+  [[nodiscard]] KeyId id() const { return id_; }
+  [[nodiscard]] bool empty() const { return id_ == kNoKeyId; }
+
+  bool operator==(const CompatClass& other) const { return id_ == other.id_; }
   bool operator!=(const CompatClass& other) const {
-    return !(*this == other);
+    return id_ != other.id_;
   }
   bool operator<(const CompatClass& other) const {
-    return text_ < other.text_;
+    return id_ != other.id_ && text() < other.text();
   }
 
  private:
-  explicit CompatClass(std::string text);
+  CompatClass(KeyId id, std::uint64_t hash) : id_(id), hash_(hash) {}
 
-  std::string text_;
+  KeyId id_ = kNoKeyId;
   std::uint64_t hash_ = 0;
 };
 

@@ -1,0 +1,132 @@
+// KeyInterner: canonical key text -> small dense integer id, once.
+//
+// RuntimeKey and CompatClass used to carry their canonical text by value:
+// every from_spec() call heap-allocated a string, every map insert copied
+// it, every comparison walked it.  The interner stores each distinct
+// canonical text exactly once and hands out a KeyId — keys become a
+// trivially-copyable {id, hash} pair, per-key tables index by dense id,
+// and text() is a table lookup into storage that never moves.
+//
+// Concurrency (RCU-style read side, per the zero-allocation hot path
+// plan):
+//   - Entries live in fixed-size chunks reachable through an atomic spine;
+//     once an entry is published its storage never moves or mutates, so
+//     text(id)/hash(id) are plain acquire loads — no lock, no retry.
+//   - The id lookup table is open-addressed over atomic slot words.  The
+//     table pointer itself is atomic; growth builds a fresh table, fills
+//     it, publishes it with a release store and parks the old table until
+//     destruction (readers that still hold it finish their probe safely —
+//     at worst they miss a newly interned key and fall through to the
+//     locked path, which re-checks).
+//   - intern() takes a RankedMutex (band 85, near-leaf: key parses happen
+//     under shard/registry/share locks on cold paths) only on the miss
+//     path; the steady state — every text already interned — is lock-free.
+//
+// Ids are dense and start at 1; 0 is "no key" (default-constructed
+// RuntimeKey/CompatClass).  The interner is append-only: ids are never
+// recycled, which is what makes the lock-free read side trivial and what
+// lets per-key arrays (ChunkedAtomicU32, controller maps) index by id
+// forever.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/ranked_mutex.hpp"
+
+namespace hotc::spec {
+
+using KeyId = std::uint32_t;
+inline constexpr KeyId kNoKeyId = 0;
+
+/// FNV-1a, stable across platforms (std::hash is not).
+constexpr std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xCBF29CE484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ull;
+  }
+  return h;
+}
+
+class KeyInterner {
+ public:
+  KeyInterner();
+  ~KeyInterner();
+
+  KeyInterner(const KeyInterner&) = delete;
+  KeyInterner& operator=(const KeyInterner&) = delete;
+
+  /// The process-wide interner every RuntimeKey/CompatClass goes through.
+  static KeyInterner& global();
+
+  /// Return the id for `text`, interning it first if new.  `hash` must be
+  /// fnv1a(text) — callers that already computed it pass it through.
+  KeyId intern(std::string_view text, std::uint64_t hash);
+  KeyId intern(std::string_view text) { return intern(text, fnv1a(text)); }
+
+  /// Lock-free lookup; kNoKeyId if the text was never interned.
+  [[nodiscard]] KeyId find(std::string_view text, std::uint64_t hash) const;
+  [[nodiscard]] KeyId find(std::string_view text) const {
+    return find(text, fnv1a(text));
+  }
+
+  /// Lock-free id -> canonical text / hash.  `id` must have been returned
+  /// by this interner (or be kNoKeyId, which maps to the empty string).
+  [[nodiscard]] const std::string& text(KeyId id) const;
+  [[nodiscard]] std::uint64_t hash(KeyId id) const;
+
+  /// Number of distinct texts interned so far.
+  [[nodiscard]] std::size_t size() const {
+    return count_.load(std::memory_order_acquire);
+  }
+  /// Current slot-table capacity (observable growth, for tests).
+  [[nodiscard]] std::size_t table_capacity() const;
+
+ private:
+  struct Entry {
+    std::string text;
+    std::uint64_t hash = 0;
+  };
+
+  // Entry storage: chunked so published entries never move.
+  static constexpr std::size_t kChunkShift = 10;  // 1024 entries per chunk
+  static constexpr std::size_t kChunkSize = std::size_t{1} << kChunkShift;
+  static constexpr std::size_t kMaxChunks = 1024;  // ~1M distinct keys
+
+  struct Table {
+    explicit Table(std::size_t capacity)
+        : mask(capacity - 1), slots(capacity) {}
+    std::size_t mask;
+    // Slot value: a published KeyId, or kNoKeyId for empty.
+    std::vector<std::atomic<KeyId>> slots;
+  };
+
+  [[nodiscard]] const Entry* entry_for(KeyId id) const;
+  KeyId find_in(const Table& table, std::string_view text,
+                std::uint64_t hash) const;
+  void insert_slot(Table& table, KeyId id, std::uint64_t hash);
+  void grow_table_locked();
+
+  mutable RankedMutex mu_{LockRank::kKeyInterner, 0, "key_interner"};
+  std::atomic<Table*> table_;
+  std::vector<std::unique_ptr<Table>> retired_;  // RCU: parked until dtor
+  std::atomic<Entry*> chunks_[kMaxChunks];
+  std::atomic<std::uint32_t> count_{0};  // published ids are 1..count_
+};
+
+/// Orders interned ids by their canonical text — drop-in comparator for
+/// ordered per-key maps that previously sorted RuntimeKeys by text.
+struct InternTextLess {
+  bool operator()(KeyId a, KeyId b) const {
+    const KeyInterner& in = KeyInterner::global();
+    return in.text(a) < in.text(b);
+  }
+};
+
+}  // namespace hotc::spec

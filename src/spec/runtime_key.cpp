@@ -1,51 +1,95 @@
 #include "spec/runtime_key.hpp"
 
-#include <sstream>
+#include <cstdio>
+
+#include "core/arena.hpp"
 
 namespace hotc::spec {
 
-std::uint64_t fnv1a(const std::string& s) {
-  std::uint64_t h = 0xCBF29CE484222325ull;
-  for (const unsigned char c : s) {
-    h ^= c;
-    h *= 0x100000001B3ull;
+namespace {
+
+void append_i64(ArenaWriter& w, std::int64_t v) {
+  if (v < 0) {
+    w.append('-');
+    // Negate in unsigned space so INT64_MIN is well-defined.
+    w.append_u64(~static_cast<std::uint64_t>(v) + 1);
+  } else {
+    w.append_u64(static_cast<std::uint64_t>(v));
   }
-  return h;
 }
 
-RuntimeKey::RuntimeKey(std::string text)
-    : text_(std::move(text)), hash_(fnv1a(text_)) {}
+/// Matches the historical `ostream << double` default formatting (%g,
+/// precision 6) so canonical texts are byte-identical to the pre-interner
+/// layout.
+void append_double(ArenaWriter& w, double v) {
+  char buf[32];
+  const int n = std::snprintf(buf, sizeof(buf), "%g", v);
+  w.append(std::string_view(buf, n > 0 ? static_cast<std::size_t>(n) : 0));
+}
+
+/// The fields every key variant shares, in the historical order.
+void append_runtime_fields(ArenaWriter& w, const RunSpec& spec) {
+  w.append("img=");
+  w.append(spec.image.name);
+  w.append(':');
+  w.append(spec.image.tag);
+  w.append("|net=");
+  w.append(to_string(spec.network));
+  w.append("|uts=");
+  w.append(to_string(spec.uts));
+  w.append("|ipc=");
+  w.append(to_string(spec.ipc));
+  w.append("|pid=");
+  w.append(to_string(spec.pid));
+  w.append("|mem=");
+  append_i64(w, spec.memory_limit);
+  w.append("|cpu=");
+  append_double(w, spec.cpu_limit);
+  w.append("|ro=");
+  w.append(spec.read_only_rootfs ? '1' : '0');
+  w.append("|priv=");
+  w.append(spec.privileged ? '1' : '0');
+}
+
+RuntimeKey intern_view(std::string_view text) {
+  const std::uint64_t hash = fnv1a(text);
+  const KeyId id = KeyInterner::global().intern(text, hash);
+  return RuntimeKey::from_id(id);
+  // from_id re-reads the hash; cheap, and keeps the private ctor private.
+}
+
+}  // namespace
+
+RuntimeKey RuntimeKey::from_id(KeyId id) {
+  return RuntimeKey(id, KeyInterner::global().hash(id));
+}
 
 RuntimeKey RuntimeKey::from_spec(const RunSpec& spec) {
-  std::ostringstream os;
-  os << "img=" << spec.image.full();
-  os << "|net=" << to_string(spec.network);
-  os << "|uts=" << to_string(spec.uts);
-  os << "|ipc=" << to_string(spec.ipc);
-  os << "|pid=" << to_string(spec.pid);
-  os << "|mem=" << spec.memory_limit;
-  os << "|cpu=" << spec.cpu_limit;
-  os << "|ro=" << (spec.read_only_rootfs ? 1 : 0);
-  os << "|priv=" << (spec.privileged ? 1 : 0);
-  os << "|env=";
-  for (const auto& [k, v] : spec.env) os << k << '=' << v << ';';
-  os << "|vol=";
-  for (const auto& v : spec.volumes) os << v << ';';
-  return RuntimeKey(os.str());
+  Arena& scratch = scratch_arena();
+  scratch.reset();
+  ArenaWriter w(scratch, 256);
+  append_runtime_fields(w, spec);
+  w.append("|env=");
+  for (const auto& [k, v] : spec.env) {
+    w.append(k);
+    w.append('=');
+    w.append(v);
+    w.append(';');
+  }
+  w.append("|vol=");
+  for (const auto& v : spec.volumes) {
+    w.append(v);
+    w.append(';');
+  }
+  return intern_view(w.view());
 }
 
 RuntimeKey RuntimeKey::subset_from_spec(const RunSpec& spec) {
-  std::ostringstream os;
-  os << "img=" << spec.image.full();
-  os << "|net=" << to_string(spec.network);
-  os << "|uts=" << to_string(spec.uts);
-  os << "|ipc=" << to_string(spec.ipc);
-  os << "|pid=" << to_string(spec.pid);
-  os << "|mem=" << spec.memory_limit;
-  os << "|cpu=" << spec.cpu_limit;
-  os << "|ro=" << (spec.read_only_rootfs ? 1 : 0);
-  os << "|priv=" << (spec.privileged ? 1 : 0);
-  return RuntimeKey(os.str());
+  Arena& scratch = scratch_arena();
+  scratch.reset();
+  ArenaWriter w(scratch, 256);
+  append_runtime_fields(w, spec);
+  return intern_view(w.view());
 }
 
 }  // namespace hotc::spec

@@ -6,6 +6,14 @@
 // RunSpec fields that shape the runtime environment (image, network, UTS,
 // IPC, PID, env, volumes, limits) into a stable string + 64-bit hash.
 //
+// The canonical text is built once, in per-thread arena scratch, and
+// interned (spec::KeyInterner): a RuntimeKey is a trivially-copyable
+// {KeyId, hash} pair.  Equality is an integer compare, hashing is a load,
+// copying allocates nothing — the properties the pool hot path needs.
+// text() reads the interner's stable storage; ordering (operator<) stays
+// lexicographic over the canonical text, so ordered containers keyed by
+// RuntimeKey iterate exactly as they did when the key carried its string.
+//
 // The paper's future-work section notes that "small differences in the
 // configuration file ... would lead to lookup failure" and proposes keying
 // on a subset of parameters; subset_key() implements that extension (the
@@ -17,6 +25,7 @@
 #include <functional>
 #include <string>
 
+#include "spec/key_interner.hpp"
 #include "spec/runspec.hpp"
 
 namespace hotc::spec {
@@ -32,25 +41,29 @@ class RuntimeKey {
   /// volumes and command are treated as re-applicable (paper §VII).
   static RuntimeKey subset_from_spec(const RunSpec& spec);
 
-  [[nodiscard]] const std::string& text() const { return text_; }
-  [[nodiscard]] std::uint64_t hash() const { return hash_; }
-  [[nodiscard]] bool empty() const { return text_.empty(); }
+  /// Rebuild a key from its interned id (e.g. when walking per-id pool
+  /// tables back into key space).
+  static RuntimeKey from_id(KeyId id);
 
-  bool operator==(const RuntimeKey& other) const {
-    return hash_ == other.hash_ && text_ == other.text_;
+  [[nodiscard]] const std::string& text() const {
+    return KeyInterner::global().text(id_);
   }
-  bool operator!=(const RuntimeKey& other) const { return !(*this == other); }
-  bool operator<(const RuntimeKey& other) const { return text_ < other.text_; }
+  [[nodiscard]] std::uint64_t hash() const { return hash_; }
+  [[nodiscard]] KeyId id() const { return id_; }
+  [[nodiscard]] bool empty() const { return id_ == kNoKeyId; }
+
+  bool operator==(const RuntimeKey& other) const { return id_ == other.id_; }
+  bool operator!=(const RuntimeKey& other) const { return id_ != other.id_; }
+  bool operator<(const RuntimeKey& other) const {
+    return id_ != other.id_ && text() < other.text();
+  }
 
  private:
-  explicit RuntimeKey(std::string text);
+  RuntimeKey(KeyId id, std::uint64_t hash) : id_(id), hash_(hash) {}
 
-  std::string text_;
+  KeyId id_ = kNoKeyId;
   std::uint64_t hash_ = 0;
 };
-
-/// FNV-1a, stable across platforms (std::hash is not).
-std::uint64_t fnv1a(const std::string& s);
 
 }  // namespace hotc::spec
 

@@ -1,0 +1,107 @@
+#include "core/arena.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <thread>
+
+namespace hotc {
+namespace {
+
+TEST(Arena, AllocationsAreAlignedAndDisjoint) {
+  Arena arena(256);
+  auto* a = static_cast<char*>(arena.allocate(10, 1));
+  auto* b = static_cast<char*>(arena.allocate(10, 1));
+  EXPECT_NE(a, b);
+  std::memset(a, 0xAA, 10);
+  std::memset(b, 0xBB, 10);
+  EXPECT_EQ(static_cast<unsigned char>(a[9]), 0xAA);
+
+  auto* w = arena.allocate(8, 8);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(w) % 8, 0u);
+  auto* d = arena.allocate_array<double>(3);
+  EXPECT_EQ(reinterpret_cast<std::uintptr_t>(d) % alignof(double), 0u);
+  EXPECT_GE(arena.bytes_allocated(), 10u + 10u + 8u + 3 * sizeof(double));
+}
+
+TEST(Arena, ResetRecyclesBlocksWithoutFreeing) {
+  Arena arena(128);
+  for (int i = 0; i < 10; ++i) arena.allocate(100, 1);
+  const std::size_t blocks = arena.block_count();
+  const std::size_t reserved = arena.bytes_reserved();
+  EXPECT_GT(blocks, 1u);
+
+  arena.reset();
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+  EXPECT_EQ(arena.block_count(), blocks) << "reset must keep blocks";
+  EXPECT_EQ(arena.bytes_reserved(), reserved);
+
+  // The recycled pass must not grow the block list: same demand, same
+  // blocks — this is the zero-allocation steady state.
+  for (int i = 0; i < 10; ++i) arena.allocate(100, 1);
+  EXPECT_EQ(arena.block_count(), blocks);
+
+  arena.release();
+  EXPECT_EQ(arena.block_count(), 0u);
+}
+
+TEST(Arena, OversizedRequestGetsDedicatedBlock) {
+  Arena arena(64);
+  auto* big = static_cast<char*>(arena.allocate(1000, 1));
+  ASSERT_NE(big, nullptr);
+  std::memset(big, 0x5A, 1000);  // ASan proves the block really is 1000B
+  EXPECT_GE(arena.bytes_reserved(), 1000u);
+}
+
+TEST(Arena, FreshArenaAllocatesFromEmptyState) {
+  Arena arena;  // no blocks yet; first allocate must not index blocks_[0]
+  auto* p = arena.allocate(1);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(arena.block_count(), 1u);
+}
+
+TEST(MemoryArena, TransientResetLeavesPermanentAlone) {
+  MemoryArena mem(128);
+  auto* keep = static_cast<char*>(mem.permanent().allocate(16, 1));
+  std::memcpy(keep, "keep-this-around", 16);
+  mem.transient().allocate(64, 1);
+  mem.reset_transient();
+  EXPECT_EQ(mem.transient().bytes_allocated(), 0u);
+  EXPECT_EQ(std::memcmp(keep, "keep-this-around", 16), 0);
+  EXPECT_GT(mem.permanent().bytes_allocated(), 0u);
+}
+
+TEST(ArenaWriter, BuildsTextAcrossGeometricGrowth) {
+  Arena arena(64);
+  ArenaWriter w(arena, 8);  // tiny start: force several regrows
+  std::string expected;
+  for (int i = 0; i < 50; ++i) {
+    w.append("seg");
+    w.append('|');
+    w.append_u64(static_cast<std::uint64_t>(i));
+    expected += "seg|" + std::to_string(i);
+  }
+  EXPECT_EQ(w.view(), expected);
+  EXPECT_EQ(w.size(), expected.size());
+  w.clear();
+  EXPECT_EQ(w.view(), "");
+  w.append_u64(0);
+  EXPECT_EQ(w.view(), "0");
+  w.clear();
+  w.append_u64(18446744073709551615ull);  // u64 max: 20 digits
+  EXPECT_EQ(w.view(), "18446744073709551615");
+}
+
+TEST(ScratchArena, IsPerThread) {
+  Arena* main_arena = &scratch_arena();
+  Arena* other = nullptr;
+  std::thread t([&] { other = &scratch_arena(); });
+  t.join();
+  EXPECT_NE(main_arena, other);
+  EXPECT_EQ(main_arena, &scratch_arena());
+}
+
+}  // namespace
+}  // namespace hotc

@@ -1,0 +1,103 @@
+#include "core/flat_map.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "core/rng.hpp"
+
+namespace hotc {
+namespace {
+
+TEST(IdSlotMap, BasicInsertFindErase) {
+  IdSlotMap map;
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(42), IdSlotMap::kNotFound);
+
+  map.insert(42, 7);
+  map.insert(0, 9);  // id 0 is a legal key (state byte, not sentinel)
+  EXPECT_EQ(map.find(42), 7u);
+  EXPECT_EQ(map.find(0), 9u);
+  EXPECT_EQ(map.size(), 2u);
+
+  map.insert(42, 8);  // overwrite, not duplicate
+  EXPECT_EQ(map.find(42), 8u);
+  EXPECT_EQ(map.size(), 2u);
+
+  EXPECT_TRUE(map.erase(42));
+  EXPECT_FALSE(map.erase(42));
+  EXPECT_EQ(map.find(42), IdSlotMap::kNotFound);
+  EXPECT_EQ(map.find(0), 9u);
+  EXPECT_EQ(map.size(), 1u);
+
+  map.clear();
+  EXPECT_TRUE(map.empty());
+  EXPECT_EQ(map.find(0), IdSlotMap::kNotFound);
+}
+
+TEST(IdSlotMap, TombstoneSlotsAreReclaimed) {
+  IdSlotMap map;
+  // Churn one key far past any table size: without tombstone reuse (or
+  // the rehash dropping them) the probe chains would grow unboundedly.
+  for (std::uint64_t i = 0; i < 10000; ++i) {
+    map.insert(i, static_cast<std::uint32_t>(i));
+    ASSERT_TRUE(map.erase(i));
+  }
+  EXPECT_EQ(map.size(), 0u);
+  // Capacity stays proportional to live entries (none), not to the
+  // 10000-insert history.
+  EXPECT_LE(map.capacity(), 1024u);
+}
+
+// Model-based: random insert/overwrite/erase/find mirrored against
+// std::unordered_map; the flat map must agree after every step.
+TEST(IdSlotMap, AgreesWithUnorderedMapModel) {
+  IdSlotMap map;
+  std::unordered_map<std::uint64_t, std::uint32_t> model;
+  Rng rng(0xF1A7);
+  for (int step = 0; step < 50000; ++step) {
+    // Small key universe so overwrites, erases of absent keys and
+    // re-inserts over tombstones all happen constantly.
+    const std::uint64_t key = rng.index(512);
+    switch (rng.index(4)) {
+      case 0:
+      case 1: {
+        const auto value = static_cast<std::uint32_t>(rng.index(1u << 20));
+        map.insert(key, value);
+        model[key] = value;
+        break;
+      }
+      case 2: {
+        const bool erased = map.erase(key);
+        ASSERT_EQ(erased, model.erase(key) > 0) << "step " << step;
+        break;
+      }
+      default: {
+        const auto it = model.find(key);
+        const std::uint32_t expect =
+            it == model.end() ? IdSlotMap::kNotFound : it->second;
+        ASSERT_EQ(map.find(key), expect) << "step " << step;
+        break;
+      }
+    }
+    ASSERT_EQ(map.size(), model.size()) << "step " << step;
+  }
+  // Final sweep: every key the model holds resolves identically.
+  for (const auto& [k, v] : model) EXPECT_EQ(map.find(k), v);
+}
+
+TEST(IdSlotMap, GrowthKeepsAllEntries) {
+  IdSlotMap map;
+  constexpr std::uint64_t kCount = 100000;  // many rehashes
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    map.insert(i * 2654435761ull, static_cast<std::uint32_t>(i));
+  }
+  EXPECT_EQ(map.size(), kCount);
+  for (std::uint64_t i = 0; i < kCount; ++i) {
+    ASSERT_EQ(map.find(i * 2654435761ull), static_cast<std::uint32_t>(i));
+  }
+}
+
+}  // namespace
+}  // namespace hotc

@@ -24,8 +24,10 @@ cmake -B "$ROOT/build" -S "$ROOT" >/dev/null
 cmake --build "$ROOT/build" -j "$JOBS"
 ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS"
 
-step "smoke bench: fig15 overhead + sharing + diagnosis + hotc_top health"
+step "smoke bench: pool + fig15 overhead + sharing + diagnosis + hotc_top"
 SMOKE_DIR="$(mktemp -d)"
+HOTC_SMOKE=1 HOTC_BENCH_DIR="$SMOKE_DIR" \
+  "$ROOT/build/bench/bench_pool_concurrency" >/dev/null
 HOTC_SMOKE=1 HOTC_BENCH_DIR="$SMOKE_DIR" \
   "$ROOT/build/bench/bench_fig15_overhead" >/dev/null
 HOTC_SMOKE=1 HOTC_BENCH_DIR="$SMOKE_DIR" \
@@ -35,6 +37,19 @@ HOTC_SMOKE=1 HOTC_BENCH_DIR="$SMOKE_DIR" \
 HOTC_BENCH_DIR="$SMOKE_DIR" "$ROOT/build/tools/hotc_top" steady >/dev/null
 python3 -c "
 import json, sys
+doc = json.load(open('$SMOKE_DIR/BENCH_pool.json'))
+assert doc['smoke'] is True
+assert doc['gates']['eviction_order_matches'] is True
+assert doc['gates']['hit_counts_match'] is True
+s = doc['summary']
+assert s['measured_speedup_at_8'] > 0, 'missing measured_speedup_at_8'
+assert s['single_thread_overhead'] >= 0.95, (
+    'sharded pool pays >5%% striping tax at 1 thread: %.3f'
+    % s['single_thread_overhead'])
+print('BENCH_pool.json: ok (1T overhead %.3fx, pair %0.f ns sharded, '
+      '8T measured %.2fx)'
+      % (s['single_thread_overhead'], s['ns_per_pair_sharded'],
+         s['measured_speedup_at_8']))
 doc = json.load(open('$SMOKE_DIR/BENCH_overhead.json'))
 assert doc['smoke'] is True
 assert doc['tracing']['gate_passed'] is True

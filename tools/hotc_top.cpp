@@ -57,15 +57,9 @@ workload::ArrivalList square_arrivals(std::size_t low_rounds,
   return out;
 }
 
-std::string hash_hex(std::uint64_t h) {
-  char buf[24];
-  std::snprintf(buf, sizeof(buf), "%016" PRIx64, h);
-  return buf;
-}
-
 /// Per-key row assembled from the consistent cut: counters come from the
-/// registry snapshot (label key="<016x hash>"), the latest decision from
-/// the journal tail.
+/// registry snapshot (label key="<decimal interned id>"), the latest
+/// decision from the journal tail (joined on DecisionRecord::key_id).
 struct KeyHealth {
   double requests = 0.0;
   double cold = 0.0;
@@ -113,13 +107,13 @@ int main(int argc, char** argv) {
   const std::uint64_t ticks = platform.hotc_controller()->adaptive_ticks();
 
   // ---- per-key health -------------------------------------------------------
-  std::map<std::string, KeyHealth> keys;  // hex hash -> health
+  std::map<std::string, KeyHealth> keys;  // decimal key id -> health
   for (const auto& s : snap) {
     if (s.name != "hotc_key_requests_total" &&
         s.name != "hotc_key_cold_total") {
       continue;
     }
-    // label is exactly key="<016x>"
+    // label is exactly key="<decimal id>"
     const auto q1 = s.labels.find('"');
     const auto q2 = s.labels.rfind('"');
     if (q1 == std::string::npos || q2 <= q1) continue;
@@ -128,7 +122,7 @@ int main(int argc, char** argv) {
   }
   for (const auto& rec : tail) {  // oldest first; newest record wins
     if ((rec.flags & obs::kJournalSummary) != 0) continue;
-    auto it = keys.find(hash_hex(rec.key_hash));
+    auto it = keys.find(std::to_string(rec.key_id));
     if (it == keys.end()) continue;
     it->second.last = rec;
     it->second.have_decision = true;
@@ -136,7 +130,7 @@ int main(int argc, char** argv) {
 
   Table key_table({"key", "req", "cold", "cold%", "demand", "forecast",
                    "have", "prewarm", "retire", "flags"});
-  for (const auto& [hex, row] : keys) {
+  for (const auto& [id, row] : keys) {
     std::string flags;
     if (row.have_decision) {
       if ((row.last.flags & obs::kJournalDriftRestart) != 0)
@@ -147,7 +141,7 @@ int main(int argc, char** argv) {
         flags += "donor ";
     }
     key_table.add_row(
-        {hex.substr(0, 8), Table::num(row.requests, 0),
+        {id, Table::num(row.requests, 0),
          Table::num(row.cold, 0),
          row.requests > 0
              ? Table::num(row.cold / row.requests * 100.0, 1)
@@ -216,9 +210,9 @@ int main(int argc, char** argv) {
   doc["provenance"] = Json(hotc::bench::provenance());
 
   JsonArray key_rows;
-  for (const auto& [hex, row] : keys) {
+  for (const auto& [id, row] : keys) {
     JsonObject k;
-    k["key"] = Json(hex);
+    k["key"] = Json(id);
     k["requests"] = Json(row.requests);
     k["cold"] = Json(row.cold);
     k["cold_ratio"] =
