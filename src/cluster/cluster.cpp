@@ -123,7 +123,7 @@ void ClusterHotC::submit(const spec::RunSpec& spec,
     // Route and account under the router lock, then release it before
     // descending into the node: the controller may invoke the callback
     // synchronously, which retakes mu_.
-    const std::lock_guard<RankedMutex> lock(mu_);
+    const RankedGuard lock(mu_);
     node = route(key);
     ++routed_[node];
     ++nodes_[node].inflight;
@@ -139,7 +139,7 @@ void ClusterHotC::submit(const spec::RunSpec& spec,
       spec, app,
       [this, node, cb = std::move(cb)](Result<RequestOutcome> r) {
         {
-          const std::lock_guard<RankedMutex> lock(mu_);
+          const RankedGuard lock(mu_);
           --nodes_[node].inflight;
         }
         if (!r.ok()) {

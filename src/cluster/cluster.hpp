@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "cluster/directory.hpp"
+#include "core/annotations.hpp"
 #include "core/ranked_mutex.hpp"
 #include "engine/engine.hpp"
 #include "hotc/controller.hpp"
@@ -66,8 +67,11 @@ class ClusterHotC {
   [[nodiscard]] engine::ContainerEngine& engine(NodeId node);
   [[nodiscard]] const WarmDirectory& directory() const { return directory_; }
 
-  /// Requests routed to each node (for balance assertions).
-  [[nodiscard]] const std::vector<std::uint64_t>& routed_counts() const {
+  /// Requests routed to each node (for balance assertions).  A copy taken
+  /// under the router lock: the counters move while requests are in
+  /// flight, so handing out a reference would leak unguarded reads.
+  [[nodiscard]] std::vector<std::uint64_t> routed_counts() const {
+    const RankedGuard lock(mu_);
     return routed_;
   }
 
@@ -92,7 +96,7 @@ class ClusterHotC {
   };
 
   /// Pick a node for the key.  Caller must hold mu_.
-  [[nodiscard]] NodeId route(const spec::RuntimeKey& key);
+  [[nodiscard]] NodeId route(const spec::RuntimeKey& key) HOTC_REQUIRES(mu_);
   void publish_node(NodeId node, const spec::RuntimeKey& key);
 
   ClusterOptions options_;
@@ -103,9 +107,9 @@ class ClusterHotC {
   /// outermost rank band — released before descending into a node's
   /// controller, so controller/pool/log locks always nest inside it.
   mutable RankedMutex mu_{LockRank::kClusterRouter, 0, "cluster.router"};
-  std::vector<std::uint64_t> routed_;
+  std::vector<std::uint64_t> routed_ HOTC_GUARDED_BY(mu_);
   RoutingMetrics obs_;
-  NodeId rr_next_ = 0;
+  NodeId rr_next_ HOTC_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace hotc::cluster

@@ -1,0 +1,84 @@
+// Concurrency annotations: one vocabulary, two consumers.
+//
+// Every macro here describes a locking contract at a declaration — which
+// mutex guards a field, which mutex a function expects its caller to hold,
+// which class is a lockable capability.  The same spelling feeds two
+// independent checkers:
+//
+//   1. Clang's -Wthread-safety analysis.  Under clang with
+//      -DHOTC_THREAD_SAFETY=ON (see the top-level CMakeLists option) the
+//      macros lower to the clang thread-safety attributes and the compiler
+//      proves the contracts intra-procedurally on the CI clang leg.
+//   2. tools/analyze/hotc_analyze.  The whole-program static analyzer
+//      parses the macro text itself (the annotations survive in source
+//      regardless of compiler), binds each mutex to its LockRank band and
+//      checks guarded-field access, lock ordering, seqlock read purity and
+//      transitive hot-path allocation over the call graph — including the
+//      inter-procedural cases clang's analysis cannot see.
+//
+// Under any other compiler (or with the option off) every macro expands to
+// nothing, so annotating costs zero in every build.
+//
+// Vocabulary beyond the plain clang set:
+//
+//   HOTC_WRITE_GUARDED_BY(mu)  The field is *mutated* only under `mu`, but
+//       read lock-free through release-published atomics or a seqlock
+//       bracket (the pool's single-writer counter pattern, DESIGN.md §13).
+//       Clang cannot express a write-only guard, so this lowers to nothing
+//       under clang too; hotc_analyze checks the mutation half.
+//   HOTC_CALLER_SERIALIZED     The declaration is owned by a component
+//       whose callers serialize all access by construction (the per-node
+//       controller on the simulator thread, RuntimePool behind its shard
+//       lock).  Documentation for the analyzer: such state is exempt from
+//       the guarded-field rule but the claim is grep-able and reviewed.
+#pragma once
+
+#if defined(__clang__) && defined(HOTC_THREAD_SAFETY)
+#define HOTC_TS_ATTR(x) __attribute__((x))
+#else
+#define HOTC_TS_ATTR(x)  // expands to nothing outside the clang TS leg
+#endif
+
+/// A class whose instances can be held/released (a mutex).
+#define HOTC_CAPABILITY(name) HOTC_TS_ATTR(capability(name))
+
+/// An RAII type that holds a capability for its lifetime.
+#define HOTC_SCOPED_CAPABILITY HOTC_TS_ATTR(scoped_lockable)
+
+/// Field is read AND written only while `mu` is held.
+#define HOTC_GUARDED_BY(mu) HOTC_TS_ATTR(guarded_by(mu))
+
+/// Pointed-to data guarded by `mu` (the pointer itself is free).
+#define HOTC_PT_GUARDED_BY(mu) HOTC_TS_ATTR(pt_guarded_by(mu))
+
+/// Field is mutated only under `mu`; reads are lock-free by design
+/// (single-writer atomics / seqlock).  hotc_analyze checks mutations only.
+#define HOTC_WRITE_GUARDED_BY(mu)  // analyzer-only; see header comment
+
+/// Function requires the caller to already hold `mu`.
+#define HOTC_REQUIRES(...) HOTC_TS_ATTR(requires_capability(__VA_ARGS__))
+
+/// Function must NOT be called with `mu` held (it acquires it itself).
+#define HOTC_EXCLUDES(...) HOTC_TS_ATTR(locks_excluded(__VA_ARGS__))
+
+/// Function acquires `mu` and returns with it held.
+#define HOTC_ACQUIRE(...) HOTC_TS_ATTR(acquire_capability(__VA_ARGS__))
+
+/// Function releases `mu`.
+#define HOTC_RELEASE(...) HOTC_TS_ATTR(release_capability(__VA_ARGS__))
+
+/// Function tries to acquire `mu`; `result` is the success return value.
+#define HOTC_TRY_ACQUIRE(...) HOTC_TS_ATTR(try_acquire_capability(__VA_ARGS__))
+
+/// Returns a reference to the mutex guarding this declaration.
+#define HOTC_RETURN_CAPABILITY(x) HOTC_TS_ATTR(lock_returned(x))
+
+/// Escape hatch for code the analysis cannot model (std::unique_lock
+/// batches from lock_all(), condition-variable wait loops).  Every use
+/// carries a justification comment; hotc_analyze still covers these
+/// functions through its own scope tracking.
+#define HOTC_NO_THREAD_SAFETY_ANALYSIS HOTC_TS_ATTR(no_thread_safety_analysis)
+
+/// Access serialized by the owner's construction (single simulator thread,
+/// or a wrapper that holds the real lock).  Analyzer documentation only.
+#define HOTC_CALLER_SERIALIZED  // analyzer-only; see header comment

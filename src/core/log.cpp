@@ -30,7 +30,7 @@ Logger& Logger::instance() {
 void Logger::write(LogLevel level, const std::string& component,
                    const std::string& message) {
   if (level < level_) return;
-  const std::lock_guard<RankedMutex> lock(g_log_mutex);
+  const RankedGuard lock(g_log_mutex);
   std::fprintf(stderr, "[%s] %s: %s\n", level_name(level), component.c_str(),
                message.c_str());
 }

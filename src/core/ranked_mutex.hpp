@@ -61,6 +61,8 @@
 #include <mutex>
 #include <vector>
 
+#include "core/annotations.hpp"
+
 namespace hotc {
 
 /// Rank bands, ordered outermost (locked first) to innermost (leaf).
@@ -130,7 +132,7 @@ class BasicRankedMutex;
 /// inversion is reported even when the inconsistent acquisition would have
 /// succeeded this time.
 template <>
-class BasicRankedMutex<true> {
+class HOTC_CAPABILITY("mutex") BasicRankedMutex<true> {
  public:
   explicit BasicRankedMutex(LockRank rank, std::uint32_t seq = 0,
                             const char* name = "mutex")
@@ -139,20 +141,20 @@ class BasicRankedMutex<true> {
   BasicRankedMutex(const BasicRankedMutex&) = delete;
   BasicRankedMutex& operator=(const BasicRankedMutex&) = delete;
 
-  void lock() {
+  void lock() HOTC_ACQUIRE() {
     validate();
     mu_.lock();
     note_acquired();
   }
 
-  bool try_lock() {
+  bool try_lock() HOTC_TRY_ACQUIRE(true) {
     validate();
     if (!mu_.try_lock()) return false;
     note_acquired();
     return true;
   }
 
-  void unlock() {
+  void unlock() HOTC_RELEASE() {
     note_released();
     mu_.unlock();
   }
@@ -194,7 +196,7 @@ class BasicRankedMutex<true> {
 
 /// Release flavour: a plain std::mutex; the rank metadata costs nothing.
 template <>
-class BasicRankedMutex<false> {
+class HOTC_CAPABILITY("mutex") BasicRankedMutex<false> {
  public:
   explicit BasicRankedMutex(LockRank /*rank*/, std::uint32_t /*seq*/ = 0,
                             const char* /*name*/ = "mutex") {}
@@ -202,9 +204,9 @@ class BasicRankedMutex<false> {
   BasicRankedMutex(const BasicRankedMutex&) = delete;
   BasicRankedMutex& operator=(const BasicRankedMutex&) = delete;
 
-  void lock() { mu_.lock(); }
-  bool try_lock() { return mu_.try_lock(); }
-  void unlock() { mu_.unlock(); }
+  void lock() HOTC_ACQUIRE() { mu_.lock(); }
+  bool try_lock() HOTC_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+  void unlock() HOTC_RELEASE() { mu_.unlock(); }
 
  private:
   std::mutex mu_;
@@ -218,6 +220,28 @@ using RankedMutex = BasicRankedMutex<kLockAuditEnabled>;
 using AuditedRankedMutex = BasicRankedMutex<true>;
 
 /// Drop-in RAII lock (movable, deferrable) over the library mutex.
+/// Thread-safety analysis cannot see through std::unique_lock — scoped
+/// sections should prefer RankedGuard; unique_lock stays for condition
+/// waits and the lock_all() batch, whose functions carry
+/// HOTC_NO_THREAD_SAFETY_ANALYSIS.
 using RankedLock = std::unique_lock<RankedMutex>;
+
+/// The library's scoped lock: equivalent to
+/// `const std::lock_guard<RankedMutex>` but visible to both checkers —
+/// clang's -Wthread-safety (scoped capability attributes) and
+/// hotc_analyze (one guard spelling to scope-track).
+class HOTC_SCOPED_CAPABILITY RankedGuard {
+ public:
+  explicit RankedGuard(RankedMutex& mu) HOTC_ACQUIRE(mu) : mu_(mu) {
+    mu_.lock();
+  }
+  ~RankedGuard() HOTC_RELEASE() { mu_.unlock(); }
+
+  RankedGuard(const RankedGuard&) = delete;
+  RankedGuard& operator=(const RankedGuard&) = delete;
+
+ private:
+  RankedMutex& mu_;
+};
 
 }  // namespace hotc

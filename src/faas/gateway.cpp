@@ -36,7 +36,7 @@ void Gateway::submit(std::uint64_t request_id, std::size_t config_index,
                               obs::kSpanError);
       }
       {
-        const std::lock_guard<RankedMutex> lock(mu_);
+        const RankedGuard lock(mu_);
         ++timeouts_;
       }
       inner(make_error<CompletedRequest>(
@@ -95,7 +95,7 @@ void Gateway::submit(std::uint64_t request_id, std::size_t config_index,
                                     rec.cold ? obs::kSpanCold : 0);
             }
             {
-              const std::lock_guard<RankedMutex> lock(mu_);
+              const RankedGuard lock(mu_);
               ++handled_;
             }
             slots_.release();

@@ -16,6 +16,7 @@
 #include <functional>
 #include <mutex>
 
+#include "core/annotations.hpp"
 #include "core/ranked_mutex.hpp"
 #include "core/result.hpp"
 #include "faas/backend.hpp"
@@ -83,11 +84,11 @@ class Gateway {
               Callback cb);
 
   [[nodiscard]] std::uint64_t handled() const {
-    const std::lock_guard<RankedMutex> lock(mu_);
+    const RankedGuard lock(mu_);
     return handled_;
   }
   [[nodiscard]] std::uint64_t timeouts() const {
-    const std::lock_guard<RankedMutex> lock(mu_);
+    const RankedGuard lock(mu_);
     return timeouts_;
   }
   [[nodiscard]] const GatewayOptions& options() const { return options_; }
@@ -104,8 +105,8 @@ class Gateway {
   /// the gateway's place in the lock order (above pool shards and the
   /// log sink) before multi-threaded drivers arrive.
   mutable RankedMutex mu_{LockRank::kGateway, 0, "faas.gateway"};
-  std::uint64_t handled_ = 0;
-  std::uint64_t timeouts_ = 0;
+  std::uint64_t handled_ HOTC_GUARDED_BY(mu_) = 0;
+  std::uint64_t timeouts_ HOTC_GUARDED_BY(mu_) = 0;
 };
 
 }  // namespace hotc::faas

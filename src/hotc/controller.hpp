@@ -18,6 +18,7 @@
 #include <memory>
 #include <optional>
 
+#include "core/annotations.hpp"
 #include "core/result.hpp"
 #include "core/series.hpp"
 #include "engine/engine.hpp"
@@ -288,7 +289,9 @@ class HotCController {
   engine::ContainerEngine& engine_;
   sim::Simulator& sim_;
   ControllerOptions options_;
-  pool::RuntimePool pool_;
+  /// Single-writer: every mutation happens on the simulator thread (the
+  /// sharded wrapper is the concurrent façade; see pool/sharded_pool.hpp).
+  pool::RuntimePool pool_ HOTC_CALLER_SERIALIZED;
   Rng rng_;
   ControllerStats stats_;
   Instruments obs_;

@@ -88,7 +88,6 @@ template <typename T>
 T& Registry::find_or_create(std::deque<T>& store, MetricKind kind,
                             const std::string& name, const std::string& help,
                             const std::string& labels) {
-  const std::lock_guard<RankedMutex> lock(mu_);
   const auto key = std::make_pair(name, labels);
   const auto it = index_.find(key);
   if (it != index_.end()) {
@@ -123,17 +122,20 @@ T& Registry::find_or_create(std::deque<T>& store, MetricKind kind,
 
 Counter& Registry::counter(const std::string& name, const std::string& help,
                            const std::string& labels) {
+  const RankedGuard lock(mu_);
   return find_or_create(counters_, MetricKind::kCounter, name, help, labels);
 }
 
 Gauge& Registry::gauge(const std::string& name, const std::string& help,
                        const std::string& labels) {
+  const RankedGuard lock(mu_);
   return find_or_create(gauges_, MetricKind::kGauge, name, help, labels);
 }
 
 LogHistogram& Registry::histogram(const std::string& name,
                                   const std::string& help,
                                   const std::string& labels) {
+  const RankedGuard lock(mu_);
   return find_or_create(histograms_, MetricKind::kHistogram, name, help,
                         labels);
 }
@@ -141,7 +143,7 @@ LogHistogram& Registry::histogram(const std::string& name,
 RegistrySnapshot Registry::snapshot() const {
   RegistrySnapshot out;
   {
-    const std::lock_guard<RankedMutex> lock(mu_);
+    const RankedGuard lock(mu_);
     out.reserve(entries_.size());
     // One pass over every instrument: all values are read here, before
     // any caller formats anything.
@@ -174,7 +176,7 @@ RegistrySnapshot Registry::snapshot() const {
 }
 
 std::size_t Registry::size() const {
-  const std::lock_guard<RankedMutex> lock(mu_);
+  const RankedGuard lock(mu_);
   return entries_.size();
 }
 

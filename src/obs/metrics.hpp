@@ -34,6 +34,7 @@
 #include <string>
 #include <vector>
 
+#include "core/annotations.hpp"
 #include "core/ranked_mutex.hpp"
 
 namespace hotc::obs {
@@ -217,16 +218,18 @@ class Registry {
   template <typename T>
   T& find_or_create(std::deque<T>& store, MetricKind kind,
                     const std::string& name, const std::string& help,
-                    const std::string& labels);
+                    const std::string& labels) HOTC_REQUIRES(mu_);
 
   /// Guards the index only — never held while a caller increments.
   mutable RankedMutex mu_{LockRank::kObsRegistry, 0, "obs.registry"};
-  std::map<std::pair<std::string, std::string>, std::size_t> index_;
-  std::vector<Entry> entries_;
-  // Deques: stable addresses as instruments are added.
-  std::deque<Counter> counters_;
-  std::deque<Gauge> gauges_;
-  std::deque<LogHistogram> histograms_;
+  std::map<std::pair<std::string, std::string>, std::size_t> index_
+      HOTC_GUARDED_BY(mu_);
+  std::vector<Entry> entries_ HOTC_GUARDED_BY(mu_);
+  // Deques: stable addresses as instruments are added.  Registration is
+  // guarded; the instruments themselves are atomics callers touch lock-free.
+  std::deque<Counter> counters_ HOTC_GUARDED_BY(mu_);
+  std::deque<Gauge> gauges_ HOTC_GUARDED_BY(mu_);
+  std::deque<LogHistogram> histograms_ HOTC_GUARDED_BY(mu_);
 };
 
 }  // namespace hotc::obs

@@ -35,7 +35,7 @@ void SloEngine::evaluate_snapshot(std::uint64_t tick,
   std::map<std::pair<std::string, std::string>, const MetricSample*> index;
   for (const MetricSample& s : snap) index[{s.name, s.labels}] = &s;
 
-  const std::lock_guard<RankedMutex> lock(mu_);
+  const RankedGuard lock(mu_);
   for (std::size_t i = 0; i < specs_.size(); ++i) {
     const SloSpec& spec = specs_[i];
     if (spec.kind == SloKind::kRatio) {
@@ -157,7 +157,7 @@ void SloEngine::evaluate_series(std::uint64_t tick, const SloSpec& spec,
 }
 
 std::vector<SloStatus> SloEngine::status() const {
-  const std::lock_guard<RankedMutex> lock(mu_);
+  const RankedGuard lock(mu_);
   std::vector<SloStatus> out;
   out.reserve(series_.size());
   for (const auto& [key, series] : series_) out.push_back(series.last);
@@ -165,7 +165,7 @@ std::vector<SloStatus> SloEngine::status() const {
 }
 
 std::vector<SloAlert> SloEngine::alerts() const {
-  const std::lock_guard<RankedMutex> lock(mu_);
+  const RankedGuard lock(mu_);
   return {alert_ring_.begin(), alert_ring_.end()};
 }
 

@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "core/annotations.hpp"
 #include "core/ranked_mutex.hpp"
 #include "obs/metrics.hpp"
 
@@ -126,7 +127,8 @@ class SloEngine {
   };
 
   void evaluate_series(std::uint64_t tick, const SloSpec& spec,
-                       const std::string& labels, Sample current);
+                       const std::string& labels, Sample current)
+      HOTC_REQUIRES(mu_);
   [[nodiscard]] static double windowed_value(const SloSpec& spec,
                                              const std::deque<Sample>& ring,
                                              std::size_t window);
@@ -137,8 +139,9 @@ class SloEngine {
   Counter& alerts_total_;
 
   mutable RankedMutex mu_{LockRank::kObsDiagnosis, 0, "obs.slo"};
-  std::map<std::pair<std::size_t, std::string>, Series> series_;
-  std::deque<SloAlert> alert_ring_;
+  std::map<std::pair<std::size_t, std::string>, Series> series_
+      HOTC_GUARDED_BY(mu_);
+  std::deque<SloAlert> alert_ring_ HOTC_GUARDED_BY(mu_);
 };
 
 /// The stock HotC objectives (ISSUE 5): per-key cold-start ratio,

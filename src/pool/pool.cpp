@@ -304,6 +304,7 @@ void RuntimePool::clear() {
   drop(paused_, paused_.load(std::memory_order_relaxed));
 }
 
+// hotc-analyze: cold-path (diagnostic invariant sweep; audit builds + tests)
 Result<bool> RuntimePool::check_conservation() const {
   // hot-path-alloc: allow-begin — audit/diagnostic path, runs off the hot
   // path (HOTC_AUDIT builds and tests); the error strings are the point.

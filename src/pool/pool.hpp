@@ -42,6 +42,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/annotations.hpp"
 #include "core/chunked_atomic.hpp"
 #include "core/flat_map.hpp"
 #include "core/result.hpp"
@@ -339,10 +340,12 @@ class RuntimePool : public PoolView {
   }
 
   PoolLimits limits_;
-  std::vector<Record> slab_;
-  std::vector<std::uint32_t> free_;   // recycled slab slots (LIFO)
-  std::vector<KeyBucket> buckets_;    // KeyId -> FIFO list
-  IdSlotMap index_;                   // container id -> slab slot
+  // Single-writer core state: the owner (HotCController's simulator thread,
+  // or a ShardedRuntimePool shard under its mu) serializes every mutation.
+  std::vector<Record> slab_ HOTC_CALLER_SERIALIZED;
+  std::vector<std::uint32_t> free_ HOTC_CALLER_SERIALIZED;   // recycled slots
+  std::vector<KeyBucket> buckets_ HOTC_CALLER_SERIALIZED;    // KeyId -> FIFO
+  IdSlotMap index_ HOTC_CALLER_SERIALIZED;  // container id -> slab slot
   /// Per-KeyId available counts in chunked stable storage: lock-free
   /// num_available() even while the writer grows the key universe.
   ChunkedAtomicU32 avail_;

@@ -40,7 +40,7 @@ void ShardedRuntimePool::audit_shard(const Shard& shard) {
 #ifdef HOTC_AUDIT
   const Result<bool> ok = shard.pool.check_conservation();
   if (!ok.ok()) {
-    HOTC_ERROR("pool.audit")
+    HOTC_ERROR("pool.audit")  // hot-path-alloc: allow(abort path)
         << "HOTC pool conservation violated: " << ok.error().to_string();
     std::abort();
   }
@@ -95,7 +95,7 @@ std::optional<PoolEntry> ShardedRuntimePool::acquire(
     if (misses != nullptr) misses->inc();
     return std::nullopt;
   }
-  const std::lock_guard<RankedMutex> lock(shard.mu);
+  const RankedGuard lock(shard.mu);
   std::optional<PoolEntry> out;
   {
     const SeqLock::WriteGuard guard(shard.seq);
@@ -116,7 +116,7 @@ std::optional<PoolEntry> ShardedRuntimePool::acquire_for_donation(
   // lock-free empty check keeps them off the shard mutex entirely.
   // (No miss is recorded: donation probes never touch hit/miss stats.)
   if (shard.pool.num_available(key) == 0) return std::nullopt;
-  const std::lock_guard<RankedMutex> lock(shard.mu);
+  const RankedGuard lock(shard.mu);
   std::optional<PoolEntry> out;
   {
     const SeqLock::WriteGuard guard(shard.seq);
@@ -129,7 +129,7 @@ std::optional<PoolEntry> ShardedRuntimePool::acquire_for_donation(
 void ShardedRuntimePool::add_available(const PoolEntry& entry,
                                        TimePoint now) {
   Shard& shard = shard_for(entry.key);
-  const std::lock_guard<RankedMutex> lock(shard.mu);
+  const RankedGuard lock(shard.mu);
   {
     const SeqLock::WriteGuard guard(shard.seq);
     shard.pool.add_available(entry, now);
@@ -140,7 +140,7 @@ void ShardedRuntimePool::add_available(const PoolEntry& entry,
 bool ShardedRuntimePool::remove(const spec::RuntimeKey& key,
                                 engine::ContainerId id) {
   Shard& shard = shard_for(key);
-  const std::lock_guard<RankedMutex> lock(shard.mu);
+  const RankedGuard lock(shard.mu);
   bool out = false;
   {
     const SeqLock::WriteGuard guard(shard.seq);
@@ -158,7 +158,7 @@ bool ShardedRuntimePool::remove(const spec::RuntimeKey& key,
 bool ShardedRuntimePool::mark_paused(const spec::RuntimeKey& key,
                                      engine::ContainerId id) {
   Shard& shard = shard_for(key);
-  const std::lock_guard<RankedMutex> lock(shard.mu);
+  const RankedGuard lock(shard.mu);
   bool out = false;
   {
     const SeqLock::WriteGuard guard(shard.seq);
@@ -172,6 +172,9 @@ std::vector<RankedLock> ShardedRuntimePool::lock_all() const {
   std::vector<RankedLock> locks;
   locks.reserve(shards_.size());
   for (const auto& shard : shards_) {
+    // Same-band shard locks are taken in ascending shard-index order,
+    // which the runtime lock-rank auditor verifies on every batch.
+    // hotc-analyze: allow(lock-order): ascending shard-index order
     locks.emplace_back(shard->mu);
   }
   return locks;
@@ -286,7 +289,7 @@ PoolFlows ShardedRuntimePool::flows_snapshot() const {
 std::vector<spec::RuntimeKey> ShardedRuntimePool::keys() const {
   std::vector<spec::RuntimeKey> out;
   for (const auto& shard : shards_) {
-    const std::lock_guard<RankedMutex> lock(shard->mu);
+    const RankedGuard lock(shard->mu);
     auto shard_keys = shard->pool.keys();
     out.insert(out.end(), std::make_move_iterator(shard_keys.begin()),
                std::make_move_iterator(shard_keys.end()));
@@ -297,7 +300,7 @@ std::vector<spec::RuntimeKey> ShardedRuntimePool::keys() const {
 std::vector<PoolEntry> ShardedRuntimePool::entries(
     const spec::RuntimeKey& key) const {
   Shard& shard = shard_for(key);
-  const std::lock_guard<RankedMutex> lock(shard.mu);
+  const RankedGuard lock(shard.mu);
   return shard.pool.entries(key);
 }
 
@@ -317,6 +320,7 @@ void ShardedRuntimePool::clear() {
 }
 
 // hot-path-alloc: allow-begin (audit/reporting path, locks all shards)
+// hotc-analyze: cold-path (diagnostic invariant sweep; audit builds + tests)
 Result<bool> ShardedRuntimePool::check_conservation() const {
   const auto locks = lock_all();
   std::uint64_t admitted = 0;

@@ -40,6 +40,7 @@
 #include <optional>
 #include <vector>
 
+#include "core/annotations.hpp"
 #include "core/ranked_mutex.hpp"
 #include "core/rng.hpp"
 #include "core/seqlock.hpp"
@@ -79,7 +80,8 @@ class ShardedRuntimePool : public PoolView {
 
   // --- eviction (locks all shards, index order) -------------------------
   [[nodiscard]] std::optional<PoolEntry> select_victim(
-      EvictionPolicy policy, Rng* rng = nullptr) const;
+      EvictionPolicy policy, Rng* rng = nullptr) const
+      HOTC_NO_THREAD_SAFETY_ANALYSIS;  // holds the lock_all() batch
   void count_eviction() { ++evictions_; }
 
   // --- queries (PoolView; lock-free, snapshot semantics) ----------------
@@ -101,7 +103,8 @@ class ShardedRuntimePool : public PoolView {
   /// over the summed flows.  Locks all shards (index order) for a
   /// consistent cut.  In -DHOTC_AUDIT=ON builds every mutating operation
   /// re-verifies its shard before returning.
-  [[nodiscard]] Result<bool> check_conservation() const;
+  [[nodiscard]] Result<bool> check_conservation() const
+      HOTC_NO_THREAD_SAFETY_ANALYSIS;  // holds the lock_all() batch
   [[nodiscard]] std::uint64_t admitted_count() const;
   [[nodiscard]] std::uint64_t leased_count() const;
   [[nodiscard]] std::uint64_t removed_count() const;
@@ -134,7 +137,7 @@ class ShardedRuntimePool : public PoolView {
   /// registry must outlive the pool.
   void attach_metrics(obs::Registry& registry);
 
-  void clear();
+  void clear() HOTC_NO_THREAD_SAFETY_ANALYSIS;  // holds the lock_all() batch
 
  private:
   /// Cached instrument handles for one shard; written once by
@@ -164,7 +167,10 @@ class ShardedRuntimePool : public PoolView {
     /// Bumped (under mu) around every pool mutation; readers of
     /// multi-field state retry on it instead of taking mu.
     SeqLock seq;
-    RuntimePool pool;
+    /// Mutated only under mu; the read side (num_available, stats, flows,
+    /// the PoolView queries) goes through the pool's release-published
+    /// atomics and this shard's seqlock — see the header comment.
+    RuntimePool pool HOTC_WRITE_GUARDED_BY(mu);
     ShardMetrics metrics;
     /// Misses short-circuited by the lock-free empty-key probe; the
     /// pool's own miss counter never sees them, so stats_snapshot() adds
@@ -178,10 +184,14 @@ class ShardedRuntimePool : public PoolView {
 
   /// HOTC_AUDIT builds: abort if the shard's invariants no longer hold.
   /// Caller must hold the shard lock.  No-op (and inlined away) otherwise.
-  static void audit_shard(const Shard& shard);
+  static void audit_shard(const Shard& shard) HOTC_REQUIRES(shard.mu);
 
-  /// Lock every shard in index order (deadlock-free total order).
-  [[nodiscard]] std::vector<RankedLock> lock_all() const;
+  /// Lock every shard in index order (deadlock-free total order).  The
+  /// returned unique_lock batch is invisible to clang's analysis; callers
+  /// carry HOTC_NO_THREAD_SAFETY_ANALYSIS and hotc_analyze tracks the
+  /// batch through its lock_all scope rule.
+  [[nodiscard]] std::vector<RankedLock> lock_all() const
+      HOTC_NO_THREAD_SAFETY_ANALYSIS;
 
   PoolLimits limits_;
   std::vector<std::unique_ptr<Shard>> shards_;

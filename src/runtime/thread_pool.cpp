@@ -18,7 +18,7 @@ ThreadPool::~ThreadPool() { shutdown(); }
 
 bool ThreadPool::post(std::function<void()> task) {
   {
-    const std::lock_guard<RankedMutex> lock(mutex_);
+    const RankedGuard lock(mutex_);
     if (stopping_) return false;
     tasks_.push_back(std::move(task));
   }
@@ -28,7 +28,7 @@ bool ThreadPool::post(std::function<void()> task) {
 
 void ThreadPool::shutdown() {
   {
-    const std::lock_guard<RankedMutex> lock(mutex_);
+    const RankedGuard lock(mutex_);
     if (stopping_) {
       // Second call: workers may already be joined.
     }
@@ -41,7 +41,7 @@ void ThreadPool::shutdown() {
 }
 
 std::size_t ThreadPool::pending() const {
-  const std::lock_guard<RankedMutex> lock(mutex_);
+  const RankedGuard lock(mutex_);
   return tasks_.size();
 }
 

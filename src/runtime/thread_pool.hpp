@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/annotations.hpp"
 #include "core/ranked_mutex.hpp"
 
 namespace hotc::runtime {
@@ -35,7 +36,9 @@ class ThreadPool {
   [[nodiscard]] std::size_t pending() const;
 
  private:
-  void worker_loop();
+  // The wait loop holds mutex_ through a condition_variable_any wait via
+  // RankedLock (std::unique_lock), which clang's analysis cannot model.
+  void worker_loop() HOTC_NO_THREAD_SAFETY_ANALYSIS;
 
   // Ranked above the pool shards: a worker may acquire shard locks while
   // running a task, never the other way around.  condition_variable_any
@@ -43,9 +46,9 @@ class ThreadPool {
   mutable RankedMutex mutex_{LockRank::kThreadPoolQueue, 0,
                              "runtime.thread_pool"};
   std::condition_variable_any cv_;
-  std::deque<std::function<void()>> tasks_;
+  std::deque<std::function<void()>> tasks_ HOTC_GUARDED_BY(mutex_);
   std::vector<std::thread> workers_;
-  bool stopping_ = false;
+  bool stopping_ HOTC_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace hotc::runtime

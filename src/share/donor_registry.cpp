@@ -23,7 +23,7 @@ void DonorRegistry::record(const spec::RuntimeKey& key,
                            const spec::RunSpec& spec) {
   const spec::CompatClass cls = spec::CompatClass::from_spec(spec);
   Stripe& stripe = stripe_for(cls);
-  const std::lock_guard<RankedMutex> lock(stripe.mu);
+  const RankedGuard lock(stripe.mu);
   Member& m = stripe.classes[cls][key];
   m.spec = spec;  // refresh; nomination state survives the upsert
 }
@@ -32,7 +32,7 @@ void DonorRegistry::nominate(const spec::RuntimeKey& key,
                              const spec::RunSpec& spec, bool on) {
   const spec::CompatClass cls = spec::CompatClass::from_spec(spec);
   Stripe& stripe = stripe_for(cls);
-  const std::lock_guard<RankedMutex> lock(stripe.mu);
+  const RankedGuard lock(stripe.mu);
   const auto cit = stripe.classes.find(cls);
   if (cit == stripe.classes.end()) return;
   const auto mit = cit->second.find(key);
@@ -44,7 +44,7 @@ void DonorRegistry::set_muted(const spec::RuntimeKey& key,
                               const spec::RunSpec& spec, bool on) {
   const spec::CompatClass cls = spec::CompatClass::from_spec(spec);
   Stripe& stripe = stripe_for(cls);
-  const std::lock_guard<RankedMutex> lock(stripe.mu);
+  const RankedGuard lock(stripe.mu);
   const auto cit = stripe.classes.find(cls);
   if (cit == stripe.classes.end()) return;
   const auto mit = cit->second.find(key);
@@ -56,7 +56,7 @@ void DonorRegistry::forget(const spec::RuntimeKey& key,
                            const spec::RunSpec& spec) {
   const spec::CompatClass cls = spec::CompatClass::from_spec(spec);
   Stripe& stripe = stripe_for(cls);
-  const std::lock_guard<RankedMutex> lock(stripe.mu);
+  const RankedGuard lock(stripe.mu);
   const auto cit = stripe.classes.find(cls);
   if (cit == stripe.classes.end()) return;
   cit->second.erase(key);
@@ -76,7 +76,7 @@ std::optional<DonorCandidate> DonorRegistry::find_donor(
   // The stripe lock (rank 45) is held across the PoolView liveness reads
   // below, which take pool-shard locks (rank 50) — a legal downward
   // acquisition; see the band table in core/ranked_mutex.hpp.
-  const std::lock_guard<RankedMutex> lock(stripe.mu);
+  const RankedGuard lock(stripe.mu);
   const auto cit = stripe.classes.find(cls);
   if (cit == stripe.classes.end()) return std::nullopt;
 
@@ -106,7 +106,7 @@ std::optional<DonorCandidate> DonorRegistry::find_donor(
 std::size_t DonorRegistry::known_keys() const {
   std::size_t total = 0;
   for (const auto& stripe : stripes_) {
-    const std::lock_guard<RankedMutex> lock(stripe->mu);
+    const RankedGuard lock(stripe->mu);
     for (const auto& [cls, members] : stripe->classes) {
       (void)cls;
       total += members.size();

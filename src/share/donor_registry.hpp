@@ -29,6 +29,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/annotations.hpp"
 #include "core/ranked_mutex.hpp"
 #include "obs/metrics.hpp"
 #include "pool/pool_view.hpp"
@@ -113,7 +114,8 @@ class DonorRegistry {
     explicit Stripe(std::uint32_t index)
         : mu(LockRank::kShareRegistry, index, "share.registry") {}
     mutable RankedMutex mu;
-    std::unordered_map<spec::CompatClass, ClassMembers> classes;
+    std::unordered_map<spec::CompatClass, ClassMembers> classes
+        HOTC_GUARDED_BY(mu);
   };
 
   [[nodiscard]] Stripe& stripe_for(const spec::CompatClass& cls) const {

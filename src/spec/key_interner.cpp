@@ -95,7 +95,7 @@ KeyId KeyInterner::intern(std::string_view text, std::uint64_t hash) {
   // Fast path: already interned, no lock.
   if (const KeyId id = find(text, hash); id != kNoKeyId) return id;
 
-  std::lock_guard<RankedMutex> lock(mu_);
+  const RankedGuard lock(mu_);
   // Re-check under the lock — another thread may have interned it between
   // our lock-free probe and the acquisition.
   Table* table = table_.load(std::memory_order_relaxed);

@@ -37,6 +37,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/annotations.hpp"
 #include "core/ranked_mutex.hpp"
 
 namespace hotc::spec {
@@ -111,11 +112,13 @@ class KeyInterner {
   KeyId find_in(const Table& table, std::string_view text,
                 std::uint64_t hash) const;
   void insert_slot(Table& table, KeyId id, std::uint64_t hash);
-  void grow_table_locked();
+  void grow_table_locked() HOTC_REQUIRES(mu_);
 
   mutable RankedMutex mu_{LockRank::kKeyInterner, 0, "key_interner"};
+  /// Written under mu_ (publish with release); read lock-free everywhere.
   std::atomic<Table*> table_;
-  std::vector<std::unique_ptr<Table>> retired_;  // RCU: parked until dtor
+  /// RCU parking lot: only the locked growth path touches it.
+  std::vector<std::unique_ptr<Table>> retired_ HOTC_GUARDED_BY(mu_);
   std::atomic<Entry*> chunks_[kMaxChunks];
   std::atomic<std::uint32_t> count_{0};  // published ids are 1..count_
 };

@@ -1,0 +1,43 @@
+// hotc_analyze self-test fixture (analyzer input, never compiled).
+// The clean twin of guarded_by_fail.cpp: every guarded touch happens
+// under the right mutex, a HOTC_REQUIRES contract satisfies the guard at
+// the callee, lock-free reads of a write-guarded field are accepted, and
+// constructors are exempt.
+enum class LockRank : unsigned { kState = 40 };
+
+namespace fix {
+
+class Counter {
+ public:
+  Counter() { count_ = 0; }    // ctor init is exempt
+
+  void inc() {
+    const RankedGuard lock(mu_);
+    ++count_;
+  }
+
+  [[nodiscard]] long get() const {
+    const RankedGuard lock(mu_);
+    return count_;
+  }
+
+  [[nodiscard]] long read_fast() const {
+    return cached_;            // read of a write-guarded field: lock-free
+  }
+
+  void refresh(long v) {
+    const RankedGuard lock(mu_);
+    set_cached(v);
+  }
+
+ private:
+  void set_cached(long v) HOTC_REQUIRES(mu_) {
+    cached_ = v;               // contract: caller holds mu_
+  }
+
+  mutable RankedMutex mu_{LockRank::kState, 0, "fix.state"};
+  long count_ HOTC_GUARDED_BY(mu_) = 0;
+  long cached_ HOTC_WRITE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fix

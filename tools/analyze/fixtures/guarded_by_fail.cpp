@@ -1,0 +1,29 @@
+// hotc_analyze self-test fixture (analyzer input, never compiled).
+// Seeded violations for the guarded-by rule: a HOTC_GUARDED_BY field read
+// and mutated with no lock held, and a HOTC_WRITE_GUARDED_BY field
+// mutated (reads of it are deliberately exempt).
+enum class LockRank : unsigned { kState = 40 };
+
+namespace fix {
+
+class Counter {
+ public:
+  void inc() {
+    ++count_;                  // mutation, mu_ not held
+  }
+
+  [[nodiscard]] long get() const {
+    return count_;             // read of a fully guarded field, no lock
+  }
+
+  void refresh(long v) {
+    cached_ = v;               // write-guarded mutation, mu_ not held
+  }
+
+ private:
+  mutable RankedMutex mu_{LockRank::kState, 0, "fix.state"};
+  long count_ HOTC_GUARDED_BY(mu_) = 0;
+  long cached_ HOTC_WRITE_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fix

@@ -1,0 +1,44 @@
+// hotc_analyze self-test fixture (analyzer input, never compiled).
+// The clean twin of hot_path_alloc_fail.cpp: the hot root only touches
+// pre-sized state, cold diagnostics are fenced off with the cold-path
+// marker, and a deliberate first-touch allocation carries the allow tag.
+namespace fix {
+
+class RuntimePool {
+ public:
+  // Hot root: index arithmetic only; report() is cold and not traversed.
+  int acquire(int key) {
+    if (key < 0) {
+      report(key);
+    }
+    return slots_[key & 7];
+  }
+
+ private:
+  // hotc-analyze: cold-path
+  void report(int key) {
+    auto msg = std::to_string(key);  // fine: cold-path barrier above
+    sink(msg);
+  }
+
+  void sink(const std::string& msg) {}
+
+  int slots_[8] = {};
+};
+
+class Dispatcher {
+ public:
+  // hotc-analyze: hot-path-root
+  void dispatch(int key) {
+    if (table_ == nullptr) {
+      // hot-path-alloc: allow(first-touch growth, amortized)
+      table_ = new int[64]();
+    }
+    table_[key & 63] += 1;
+  }
+
+ private:
+  int* table_ = nullptr;
+};
+
+}  // namespace fix

@@ -1,0 +1,29 @@
+// hotc_analyze self-test fixture (analyzer input, never compiled).
+// Seeded violations for the hot-path-alloc rule: allocation reached
+// transitively from a pool hot root, and directly from a marked root.
+namespace fix {
+
+class RuntimePool {
+ public:
+  // Hot root by name: acquire() reaches new through lookup().
+  int acquire(int key) { return lookup(key); }
+
+ private:
+  int lookup(int key) {
+    auto* node = new int(key);   // transitive allocation from acquire()
+    return *node;
+  }
+};
+
+class Dispatcher {
+ public:
+  // hotc-analyze: hot-path-root
+  void dispatch(int key) {
+    label_ = std::to_string(key);  // direct allocation in a marked root
+  }
+
+ private:
+  std::string label_;
+};
+
+}  // namespace fix

@@ -1,0 +1,48 @@
+// hotc_analyze self-test fixture (analyzer input, never compiled).
+// The clean twin of lock_order_fail.cpp: every acquisition descends the
+// rank order, the same-band loop carries the allow annotation, and a
+// HOTC_REQUIRES callee is recognized as requiring, not re-acquiring.
+enum class LockRank : unsigned { kRouter = 10, kShard = 50 };
+
+namespace fix {
+
+class Router {
+ public:
+  // Correct nesting: outer band 10 first, then band 50.
+  void nested_ok() {
+    const RankedGuard router_lock(mu_);
+    const RankedGuard shard_lock(shard_mu_);
+    route();
+  }
+
+  // Calling a callee that *requires* the held lock is not an acquisition.
+  void contract_ok() {
+    const RankedGuard router_lock(mu_);
+    route_locked();
+  }
+
+  // The sanctioned lock_all pattern: ascending index order, asserted.
+  void collect_all() {
+    for (int i = 0; i < 4; ++i) {
+      // hotc-analyze: allow(lock-order): ascending shard-index order
+      locks_.emplace_back(shards_[i]->dyn_mu);
+    }
+  }
+
+ private:
+  void route() {}
+  void route_locked() HOTC_REQUIRES(mu_) {}
+
+  struct Shard {
+    explicit Shard(unsigned index)
+        : dyn_mu(LockRank::kShard, index, "fix.shard") {}
+    mutable RankedMutex dyn_mu;
+  };
+
+  mutable RankedMutex mu_{LockRank::kRouter, 0, "fix.router"};
+  mutable RankedMutex shard_mu_{LockRank::kShard, 0, "fix.pinned"};
+  std::vector<Shard*> shards_;
+  std::vector<RankedLock> locks_;
+};
+
+}  // namespace fix

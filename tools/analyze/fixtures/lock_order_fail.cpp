@@ -1,0 +1,50 @@
+// hotc_analyze self-test fixture (analyzer input, never compiled).
+// Seeded violations for the lock-order rule: a direct rank inversion, a
+// transitive one through a call, and a same-band dynamic-sequence loop.
+enum class LockRank : unsigned { kRouter = 10, kShard = 50 };
+
+namespace fix {
+
+class Router {
+ public:
+  // Direct inversion: acquires band 10 while holding band 50.
+  void direct_inversion() {
+    const RankedGuard shard_lock(shard_mu_);
+    const RankedGuard router_lock(mu_);
+    route();
+  }
+
+  // Transitive inversion: helper() acquires band 10; calling it while
+  // holding band 50 must be flagged through the call graph.
+  void transitive_inversion() {
+    const RankedGuard shard_lock(shard_mu_);
+    helper();
+  }
+
+  // Dynamic-sequence accumulation without the allow annotation.
+  void collect_all() {
+    for (int i = 0; i < 4; ++i) {
+      locks_.emplace_back(shards_[i]->dyn_mu);
+    }
+  }
+
+ private:
+  void helper() {
+    const RankedGuard lock(mu_);
+    route();
+  }
+  void route() {}
+
+  struct Shard {
+    explicit Shard(unsigned index)
+        : dyn_mu(LockRank::kShard, index, "fix.shard") {}
+    mutable RankedMutex dyn_mu;
+  };
+
+  mutable RankedMutex mu_{LockRank::kRouter, 0, "fix.router"};
+  mutable RankedMutex shard_mu_{LockRank::kShard, 0, "fix.pinned"};
+  std::vector<Shard*> shards_;
+  std::vector<RankedLock> locks_;
+};
+
+}  // namespace fix

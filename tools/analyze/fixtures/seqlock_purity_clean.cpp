@@ -1,0 +1,34 @@
+// hotc_analyze self-test fixture (analyzer input, never compiled).
+// The clean twin of seqlock_purity_fail.cpp: the read lambda only copies
+// into locals it declared itself, and writers use the RAII WriteGuard (or
+// a begin/end pair with no escape hatch between them).
+namespace fix {
+
+class Stats {
+ public:
+  long snapshot() const {
+    return seq_.read([&] {
+      long copy = value_;      // lambda-local: writes to it are pure
+      copy += offset_;
+      return copy;
+    });
+  }
+
+  void update(long v) {
+    const SeqLock::WriteGuard guard(seq_);
+    value_ = v;
+  }
+
+  void update_manual(long v) {
+    seq_.write_begin();
+    value_ = v;
+    seq_.write_end();
+  }
+
+ private:
+  mutable SeqLock seq_;
+  long value_ = 0;
+  long offset_ = 0;
+};
+
+}  // namespace fix

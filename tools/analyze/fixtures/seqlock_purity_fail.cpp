@@ -1,0 +1,35 @@
+// hotc_analyze self-test fixture (analyzer input, never compiled).
+// Seeded violations for the seqlock-purity rule: stores, allocation and
+// captured-state writes inside a SeqLock read section, plus an early
+// return between write_begin and write_end.
+namespace fix {
+
+class Stats {
+ public:
+  long snapshot() const {
+    return seq_.read([&] {
+      hits_.store(1);          // atomic store inside a read retry loop
+      total_ = total_ + 1;     // write to captured state
+      auto* scratch = new long[4];  // allocation inside the read section
+      return value_ + scratch[0];
+    });
+  }
+
+  int update(long v) {
+    seq_.write_begin();
+    if (v < 0) {
+      return -1;               // early return leaves the sequence odd
+    }
+    value_ = v;
+    seq_.write_end();
+    return 0;
+  }
+
+ private:
+  mutable SeqLock seq_;
+  mutable std::atomic<long> hits_{0};
+  mutable long total_ = 0;
+  long value_ = 0;
+};
+
+}  // namespace fix

@@ -1,0 +1,276 @@
+// hotc_analyze: whole-program concurrency static analysis for the HotC
+// tree (DESIGN.md §14).
+//
+//   hotc_analyze [--root DIR] [--baseline FILE] [--report FILE]
+//                [--expect-rule NAME] [--list-functions] [paths...]
+//
+// With no paths, scans <root>/src recursively for .hpp/.cpp.  With paths
+// (fixture mode), analyzes exactly those files and treats them all as
+// hot-path in-scope.  Exit 0 = clean (or every finding baselined);
+// 1 = findings; 2 = usage/IO error.  --expect-rule inverts the contract:
+// exit 0 iff at least one finding of that rule fired (self-test fixtures).
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+#include "model.hpp"
+#include "rules.hpp"
+
+namespace fs = std::filesystem;
+using namespace hotc::analyze;
+
+namespace {
+
+struct Cli {
+  std::string root = ".";
+  std::string baseline;
+  std::string report;
+  std::string expect_rule;
+  bool list_functions = false;
+  std::vector<std::string> paths;
+};
+
+bool parse_cli(int argc, char** argv, Cli& cli) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    auto need = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "hotc_analyze: " << flag << " needs a value\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (a == "--root") {
+      const char* v = need("--root");
+      if (!v) return false;
+      cli.root = v;
+    } else if (a == "--baseline") {
+      const char* v = need("--baseline");
+      if (!v) return false;
+      cli.baseline = v;
+    } else if (a == "--report") {
+      const char* v = need("--report");
+      if (!v) return false;
+      cli.report = v;
+    } else if (a == "--expect-rule") {
+      const char* v = need("--expect-rule");
+      if (!v) return false;
+      cli.expect_rule = v;
+    } else if (a == "--list-functions") {
+      cli.list_functions = true;
+    } else if (a == "--help" || a == "-h") {
+      std::cerr << "usage: hotc_analyze [--root DIR] [--baseline FILE] "
+                   "[--report FILE] [--expect-rule NAME] [paths...]\n";
+      return false;
+    } else if (!a.empty() && a[0] == '-') {
+      std::cerr << "hotc_analyze: unknown flag '" << a << "'\n";
+      return false;
+    } else {
+      cli.paths.push_back(a);
+    }
+  }
+  return true;
+}
+
+std::string rel_to(const fs::path& root, const fs::path& p) {
+  std::error_code ec;
+  fs::path rel = fs::relative(p, root, ec);
+  std::string s = (ec || rel.empty()) ? p.generic_string()
+                                      : rel.generic_string();
+  return s;
+}
+
+bool load_file(const fs::path& path, const std::string& rel,
+               Model& model) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::cerr << "hotc_analyze: cannot read " << path << "\n";
+    return false;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  LexedFile file;
+  file.path = path.generic_string();
+  file.rel_path = rel;
+  lex(ss.str(), file);
+  model.files.push_back(std::move(file));
+  return true;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Baseline line: rule|key-tail|justification.  The stored key is the
+/// finding key; the justification is mandatory (enforced here) so every
+/// suppression carries its reason in-file.
+struct Baseline {
+  std::map<std::string, std::string> entries;  // key -> justification
+  std::set<std::string> used;
+};
+
+bool load_baseline(const std::string& path, Baseline& bl) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "hotc_analyze: cannot read baseline " << path << "\n";
+    return false;
+  }
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t cut = line.rfind('|');
+    // A valid key itself contains '|'; the justification is everything
+    // after the LAST separator and must be non-empty.
+    if (cut == std::string::npos || cut + 1 >= line.size()) {
+      std::cerr << "hotc_analyze: baseline line " << lineno
+                << " lacks a justification: " << line << "\n";
+      return false;
+    }
+    bl.entries[line.substr(0, cut)] = line.substr(cut + 1);
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Cli cli;
+  if (!parse_cli(argc, argv, cli)) return 2;
+
+  const fs::path root = fs::path(cli.root);
+  Model model;
+
+  if (cli.paths.empty()) {
+    const fs::path src = root / "src";
+    if (!fs::exists(src)) {
+      std::cerr << "hotc_analyze: no such directory " << src << "\n";
+      return 2;
+    }
+    std::vector<fs::path> files;
+    for (const auto& entry : fs::recursive_directory_iterator(src)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc")
+        files.push_back(entry.path());
+    }
+    std::sort(files.begin(), files.end());
+    for (const auto& f : files)
+      if (!load_file(f, rel_to(root, f), model)) return 2;
+  } else {
+    for (const auto& p : cli.paths)
+      if (!load_file(p, rel_to(root, p), model)) return 2;
+  }
+
+  build_model(model);
+
+  if (cli.list_functions) {
+    for (const auto& fn : model.functions)
+      std::cout << fn.file << ":" << fn.line << " " << fn.qual_name
+                << (fn.requires_caps.empty() ? "" : " [requires]")
+                << (fn.no_ts_analysis ? " [no-ts]" : "")
+                << (fn.hot_path_root ? " [hot-root]" : "")
+                << (fn.cold_path ? " [cold]" : "") << "\n";
+  }
+
+  RuleOptions options;
+  options.all_in_scope = !cli.paths.empty();
+
+  std::vector<Finding> findings;
+  check_lock_order(model, findings);
+  check_seqlock_purity(model, findings);
+  check_hot_path_alloc(model, options, findings);
+  check_guarded_by(model, findings);
+
+  Baseline bl;
+  if (!cli.baseline.empty() && !load_baseline(cli.baseline, bl)) return 2;
+
+  std::vector<const Finding*> active;
+  for (const auto& f : findings) {
+    if (auto it = bl.entries.find(f.key); it != bl.entries.end()) {
+      bl.used.insert(f.key);
+      continue;
+    }
+    active.push_back(&f);
+  }
+
+  if (!cli.report.empty()) {
+    std::ofstream out(cli.report);
+    out << "{\n  \"files\": " << model.files.size()
+        << ",\n  \"functions\": " << model.functions.size()
+        << ",\n  \"mutexes\": " << model.mutexes.size()
+        << ",\n  \"guarded_fields\": " << model.guarded.size()
+        << ",\n  \"findings\": [\n";
+    for (std::size_t i = 0; i < active.size(); ++i) {
+      const Finding& f = *active[i];
+      out << "    {\"rule\": \"" << json_escape(f.rule) << "\", \"file\": \""
+          << json_escape(f.file) << "\", \"line\": " << f.line
+          << ", \"function\": \"" << json_escape(f.function)
+          << "\", \"message\": \"" << json_escape(f.message) << "\"}"
+          << (i + 1 < active.size() ? "," : "") << "\n";
+    }
+    out << "  ]\n}\n";
+  }
+
+  for (const Finding* f : active)
+    std::cout << f->file << ":" << f->line << ": [" << f->rule << "] "
+              << f->function << ": " << f->message << "\n";
+
+  // Stale baseline entries are advisory (the code got fixed; prune them).
+  for (const auto& [key, just] : bl.entries)
+    if (!bl.used.count(key))
+      std::cerr << "hotc_analyze: note: stale baseline entry: " << key
+                << "\n";
+
+  if (!cli.expect_rule.empty()) {
+    const bool hit = std::any_of(
+        findings.begin(), findings.end(),
+        [&](const Finding& f) { return f.rule == cli.expect_rule; });
+    if (!hit) {
+      std::cerr << "hotc_analyze: expected at least one '" << cli.expect_rule
+                << "' finding; got none\n";
+      return 1;
+    }
+    std::cout << "hotc_analyze: seeded '" << cli.expect_rule
+              << "' violation detected as expected\n";
+    return 0;
+  }
+
+  if (!active.empty()) {
+    std::cerr << "hotc_analyze: " << active.size() << " finding(s) ("
+              << model.functions.size() << " functions, "
+              << model.mutexes.size() << " mutexes, "
+              << model.guarded.size() << " guarded fields analyzed)\n";
+    return 1;
+  }
+  std::cout << "hotc_analyze: clean (" << model.files.size() << " files, "
+            << model.functions.size() << " functions, "
+            << model.mutexes.size() << " mutexes, " << model.guarded.size()
+            << " guarded fields)\n";
+  return 0;
+}

@@ -1,0 +1,172 @@
+// Minimal C++ tokenizer for hotc_analyze.
+//
+// Not a real C++ front end — just enough lexical structure to recover the
+// shapes the rule passes care about: identifiers, punctuation, brace
+// nesting and line numbers.  Comments are stripped from the token stream
+// but kept in a per-line side table so annotation markers
+// ("hotc-analyze: ...", "hot-path-alloc: allow") stay addressable.
+#pragma once
+
+#include <cctype>
+#include <cstddef>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace hotc::analyze {
+
+enum class TokKind { kIdent, kNumber, kString, kChar, kPunct };
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  int line = 0;
+};
+
+struct LexedFile {
+  std::string path;      // as given on the command line / walk
+  std::string rel_path;  // root-relative, '/' separators
+  std::vector<Token> tokens;
+  // line -> concatenated comment text on that line (for markers).
+  std::unordered_map<int, std::string> comments;
+};
+
+inline bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+inline bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Tokenize `text`.  Preprocessor directives are skipped whole-line (the
+/// analyzer never needs macro bodies; annotation macros are seen at their
+/// use sites as plain identifier + parenthesized arguments).
+inline void lex(const std::string& text, LexedFile& out) {
+  const std::size_t n = text.size();
+  std::size_t i = 0;
+  int line = 1;
+  auto note_comment = [&out](int at, const std::string& body) {
+    auto& slot = out.comments[at];
+    if (!slot.empty()) slot += ' ';
+    slot += body;
+  };
+  while (i < n) {
+    const char c = text[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '/') {
+      std::size_t j = i + 2;
+      while (j < n && text[j] != '\n') ++j;
+      note_comment(line, text.substr(i + 2, j - i - 2));
+      i = j;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && text[i + 1] == '*') {
+      std::size_t j = i + 2;
+      const int start_line = line;
+      while (j + 1 < n && !(text[j] == '*' && text[j + 1] == '/')) {
+        if (text[j] == '\n') ++line;
+        ++j;
+      }
+      note_comment(start_line, text.substr(i + 2, j - i - 2));
+      i = (j + 1 < n) ? j + 2 : n;
+      continue;
+    }
+    // Preprocessor directive: skip to end of (possibly continued) line.
+    if (c == '#') {
+      std::size_t j = i;
+      while (j < n && text[j] != '\n') {
+        if (text[j] == '\\' && j + 1 < n && text[j + 1] == '\n') {
+          ++line;
+          j += 2;
+          continue;
+        }
+        ++j;
+      }
+      i = j;
+      continue;
+    }
+    // Raw string literal (only the unadorned R"( ... )" delimiter form
+    // plus custom delimiters, which is all real code uses).
+    if (c == 'R' && i + 1 < n && text[i + 1] == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && text[j] != '(') delim += text[j++];
+      const std::string close = ")" + delim + "\"";
+      std::size_t end = text.find(close, j);
+      if (end == std::string::npos) end = n;
+      for (std::size_t k = i; k < end && k < n; ++k)
+        if (text[k] == '\n') ++line;
+      out.tokens.push_back({TokKind::kString, "\"\"", line});
+      i = (end == n) ? n : end + close.size();
+      continue;
+    }
+    // String / char literal.
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      std::size_t j = i + 1;
+      std::string body;
+      while (j < n && text[j] != quote) {
+        if (text[j] == '\\' && j + 1 < n) {
+          body += text[j];
+          body += text[j + 1];
+          j += 2;
+          continue;
+        }
+        if (text[j] == '\n') ++line;  // unterminated; keep going
+        body += text[j++];
+      }
+      out.tokens.push_back({quote == '"' ? TokKind::kString : TokKind::kChar,
+                            std::string(1, quote) + body + quote, line});
+      i = j + 1;
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && ident_char(text[j])) ++j;
+      out.tokens.push_back({TokKind::kIdent, text.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < n && (ident_char(text[j]) || text[j] == '.' ||
+                       ((text[j] == '+' || text[j] == '-') && j > i &&
+                        (text[j - 1] == 'e' || text[j - 1] == 'E'))))
+        ++j;
+      out.tokens.push_back({TokKind::kNumber, text.substr(i, j - i), line});
+      i = j;
+      continue;
+    }
+    // Multi-char punctuation the passes care about; everything else is a
+    // single char.
+    static const char* kTwo[] = {"::", "->", "++", "--", "+=", "-=", "*=",
+                                 "/=", "%=", "&=", "|=", "^=", "==", "!=",
+                                 "<=", ">=", "&&", "||", "<<", ">>"};
+    std::string tok(1, c);
+    if (i + 1 < n) {
+      const std::string two = text.substr(i, 2);
+      for (const char* t : kTwo) {
+        if (two == t) {
+          tok = two;
+          break;
+        }
+      }
+      if ((tok == "<<" || tok == ">>") && i + 2 < n && text[i + 2] == '=')
+        tok += '=';
+    }
+    out.tokens.push_back({TokKind::kPunct, tok, line});
+    i += tok.size();
+  }
+}
+
+}  // namespace hotc::analyze

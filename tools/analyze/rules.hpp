@@ -1,0 +1,57 @@
+// Rule passes for hotc_analyze.
+//
+//   lock-order     static rank proofs over the call graph (rule 1)
+//   seqlock-purity no stores/allocation inside SeqLock read sections (rule 2)
+//   hot-path-alloc no transitive allocation from hot-path roots (rule 3)
+//   guarded-by     annotated fields only touched under their mutex (rule 4)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model.hpp"
+
+namespace hotc::analyze {
+
+struct Finding {
+  std::string rule;
+  std::string file;
+  int line = 0;
+  std::string function;  // qualified
+  std::string message;
+  /// Stable baseline key: rule|file|function|detail (no line numbers, so
+  /// unrelated edits don't churn the baseline).
+  std::string key;
+};
+
+struct RuleOptions {
+  /// Hot-path traversal scope: directory fragments a file's rel path must
+  /// contain to be walked (barrier otherwise).  Ignored when
+  /// `all_in_scope` (explicit file lists, i.e. fixtures).
+  std::vector<std::string> scope_dirs = {"pool/", "runtime/", "core/",
+                                         "spec/"};
+  bool all_in_scope = false;
+};
+
+/// Rule 1: propagate acquisitions through the call graph and fail on any
+/// potential rank inversion (acquiring order <= a held lock's order).
+void check_lock_order(Model& model, std::vector<Finding>& out);
+
+/// Rule 2: SeqLock read-retry sections must be pure; manual
+/// write_begin/write_end sections must balance with no early return.
+void check_seqlock_purity(const Model& model, std::vector<Finding>& out);
+
+/// Rule 3: no allocation reachable from hot-path roots.
+void check_hot_path_alloc(const Model& model, const RuleOptions& options,
+                          std::vector<Finding>& out);
+
+/// Rule 4: HOTC_GUARDED_BY / HOTC_WRITE_GUARDED_BY fields only touched
+/// while the named mutex is held.
+void check_guarded_by(const Model& model, std::vector<Finding>& out);
+
+/// Shared helper: resolve an acquisition/guard expression in `fn`'s
+/// context, using receiver types when the expression is qualified.
+const MutexDecl* resolve_mutex_expr(const Model& model, const Function& fn,
+                                    const std::string& expr);
+
+}  // namespace hotc::analyze

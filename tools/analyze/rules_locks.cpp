@@ -1,0 +1,479 @@
+// Rule 1 (lock-order) and rule 4 (guarded-by): both simulate the set of
+// locks held at each point of a function body, so they share the tracker.
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "rules.hpp"
+
+namespace hotc::analyze {
+namespace {
+
+/// One lock the simulation currently believes is held.
+struct Held {
+  const MutexDecl* decl = nullptr;  // null for lock_all / unresolved caps
+  std::string expr;                 // normalized source expression
+  int depth = 0;                    // released when depth drops below this
+  bool via_lock_all = false;
+  bool allowed = false;
+};
+
+std::string receiver_of(const std::string& expr) {
+  // "stripe.mu" -> "stripe"; "mu_" -> ""; "shards_[i]->mu" -> "shards_[i]".
+  const std::string leaf = last_component(expr);
+  if (leaf.size() >= expr.size()) return "";
+  std::string prefix = expr.substr(0, expr.size() - leaf.size());
+  while (!prefix.empty() &&
+         (prefix.back() == '.' || prefix.back() == '>' ||
+          prefix.back() == '-' || prefix.back() == ':'))
+    prefix.pop_back();
+  return prefix;
+}
+
+std::uint64_t order_of(const MutexDecl& m) {
+  return (m.band << 32) | (m.seq_static ? m.seq : 0);
+}
+
+/// Per-function summary of what a call to it may acquire, transitively.
+struct EffAcq {
+  // band -> representative mutex name (for messages).
+  std::map<std::uint64_t, std::string> bands;
+  bool has_dynamic = false;
+};
+
+struct LockSim {
+  const Model& model;
+  const Function& fn;
+  std::vector<Held> held;
+
+  explicit LockSim(const Model& m, const Function& f) : model(m), fn(f) {
+    for (const auto& cap : f.requires_caps) {
+      Held h;
+      h.expr = cap;
+      h.decl = resolve_mutex_expr(m, f, cap);
+      h.depth = 0;  // held for the whole body
+      held.push_back(h);
+    }
+  }
+
+  void release_to(int depth) {
+    held.erase(std::remove_if(held.begin(), held.end(),
+                              [depth](const Held& h) {
+                                return h.depth > depth && h.depth > 0;
+                              }),
+               held.end());
+  }
+};
+
+const MutexDecl* dynamic_shard_mutex(const Model& model,
+                                     const std::string& cls) {
+  for (const auto& m : model.mutexes)
+    if (!m.seq_static &&
+        (m.cls == cls || m.cls.rfind(cls + "::", 0) == 0))
+      return &m;
+  return nullptr;
+}
+
+bool cls_related(const std::string& a, const std::string& b) {
+  if (a == b) return true;
+  if (!a.empty() && b.rfind(a + "::", 0) == 0) return true;
+  if (!b.empty() && a.rfind(b + "::", 0) == 0) return true;
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Rule 1: lock-order
+// ---------------------------------------------------------------------------
+
+void compute_eff_acquires(const Model& model, std::vector<EffAcq>& eff) {
+  eff.assign(model.functions.size(), {});
+  for (std::size_t i = 0; i < model.functions.size(); ++i) {
+    for (const auto& a : model.functions[i].acquisitions) {
+      if (a.is_lock_all) {
+        if (const MutexDecl* m =
+                dynamic_shard_mutex(model, model.functions[i].cls)) {
+          eff[i].bands.emplace(m->band, m->field + " (all shards)");
+          eff[i].has_dynamic = true;
+        }
+        continue;
+      }
+      const MutexDecl* m =
+          resolve_mutex_expr(model, model.functions[i], a.expr);
+      if (!m || m->band == 0) continue;
+      eff[i].bands.emplace(m->band, a.expr);
+      if (!m->seq_static) eff[i].has_dynamic = true;
+    }
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (std::size_t i = 0; i < model.functions.size(); ++i) {
+      for (const auto& call : model.functions[i].calls) {
+        for (std::size_t callee :
+             model.resolve_call(model.functions[i], call)) {
+          for (const auto& [band, name] : eff[callee].bands)
+            if (eff[i].bands.emplace(band, name).second) changed = true;
+          if (eff[callee].has_dynamic && !eff[i].has_dynamic) {
+            eff[i].has_dynamic = true;
+            changed = true;
+          }
+        }
+      }
+    }
+  }
+}
+
+void lock_order_in(const Model& model, const Function& fn,
+                   const std::vector<EffAcq>& eff,
+                   std::vector<Finding>& out) {
+  const auto& toks = model.files[fn.file_index].tokens;
+  std::map<std::size_t, const Acquisition*> acq_at;
+  std::map<std::size_t, const CallSite*> call_at;
+  for (const auto& a : fn.acquisitions) acq_at[a.tok] = &a;
+  for (const auto& c : fn.calls) call_at[c.tok] = &c;
+
+  LockSim sim(model, fn);
+  int depth = 0;
+  bool pending_loop = false;
+  std::vector<int> loop_depths;  // depths of open loop scopes
+  for (std::size_t k = fn.body_begin; k < fn.body_end && k < toks.size();
+       ++k) {
+    const std::string& t = toks[k].text;
+    if (t == "for" || t == "while" || t == "do") {
+      pending_loop = true;
+      continue;
+    }
+    if (t == "{") {
+      ++depth;
+      if (pending_loop) {
+        loop_depths.push_back(depth);
+        pending_loop = false;
+      }
+      continue;
+    }
+    if (t == "}") {
+      while (!loop_depths.empty() && loop_depths.back() >= depth)
+        loop_depths.pop_back();
+      --depth;
+      sim.release_to(depth);
+      continue;
+    }
+    if (auto it = acq_at.find(k); it != acq_at.end()) {
+      const Acquisition& a = *it->second;
+      const MutexDecl* m = a.is_lock_all
+                               ? dynamic_shard_mutex(model, fn.cls)
+                               : resolve_mutex_expr(model, fn, a.expr);
+      // A dynamic-seq lock accumulated into a container inside a loop:
+      // successive iterations hold same-band locks whose relative order
+      // the analyzer cannot prove (lock_all's pattern — it is correct by
+      // index order, which the allow annotation asserts).
+      if (m && a.stored && !m->seq_static && !loop_depths.empty() &&
+          !a.allowed) {
+        Finding f;
+        f.rule = "lock-order";
+        f.file = fn.file;
+        f.line = a.line;
+        f.function = fn.qual_name;
+        f.message = "accumulates dynamic-sequence '" + a.expr + "' (" +
+                    m->band_name + "=" + std::to_string(m->band) +
+                    ") across loop iterations: same-band order is "
+                    "unprovable statically (assert the iteration order "
+                    "with a 'hotc-analyze: allow(lock-order)' comment)";
+        f.key = "lock-order|" + fn.file + "|" + fn.qual_name + "|loop:" +
+                a.expr;
+        out.push_back(f);
+      }
+      if (m) {
+        for (const auto& h : sim.held) {
+          if (!h.decl) continue;
+          bool bad = false;
+          std::string why;
+          if (m->band < h.decl->band) {
+            bad = true;
+            why = "rank inversion";
+          } else if (m->band == h.decl->band) {
+            if (a.is_lock_all || !m->seq_static || !h.decl->seq_static ||
+                h.via_lock_all) {
+              bad = true;
+              why = "same band with dynamic sequence (unprovable order)";
+            } else if (order_of(*m) <= order_of(*h.decl)) {
+              bad = true;
+              why = "same band, sequence not increasing";
+            }
+          }
+          if (bad && !a.allowed) {
+            Finding f;
+            f.rule = "lock-order";
+            f.file = fn.file;
+            f.line = a.line;
+            f.function = fn.qual_name;
+            f.message = "acquires '" + (a.is_lock_all ? "lock_all" : a.expr) +
+                        "' (" + m->band_name + "=" +
+                        std::to_string(m->band) + ") while holding '" +
+                        h.expr + "' (" + h.decl->band_name + "=" +
+                        std::to_string(h.decl->band) + "): " + why;
+            f.key = "lock-order|" + fn.file + "|" + fn.qual_name + "|" +
+                    (a.is_lock_all ? "lock_all" : a.expr) + "<" + h.expr;
+            out.push_back(f);
+          }
+        }
+      }
+      Held h;
+      h.decl = m;
+      h.expr = a.is_lock_all ? "lock_all" : a.expr;
+      h.depth = a.stored ? 1 : std::max(depth, 1);  // containers outlive
+      h.via_lock_all = a.is_lock_all;
+      h.allowed = a.allowed;
+      sim.held.push_back(h);
+      continue;
+    }
+    if (auto it = call_at.find(k); it != call_at.end()) {
+      const CallSite& c = *it->second;
+      if (sim.held.empty()) continue;
+      for (std::size_t callee : model.resolve_call(fn, c)) {
+        const Function& cf = model.functions[callee];
+        if (&cf == &fn) continue;
+        // A callee that *requires* a held capability is not acquiring it.
+        for (const auto& [band, name] : eff[callee].bands) {
+          bool required = false;
+          for (const auto& cap : cf.requires_caps) {
+            const MutexDecl* r = resolve_mutex_expr(model, cf, cap);
+            if (r && r->band == band) required = true;
+          }
+          if (required) continue;
+          for (const auto& h : sim.held) {
+            if (!h.decl) continue;
+            if (band > h.decl->band) continue;
+            Finding f;
+            f.rule = "lock-order";
+            f.file = fn.file;
+            f.line = c.line;
+            f.function = fn.qual_name;
+            f.message = "call to '" + cf.qual_name + "' may acquire '" +
+                        name + "' (band " + std::to_string(band) +
+                        ") while holding '" + h.expr + "' (" +
+                        h.decl->band_name + "=" +
+                        std::to_string(h.decl->band) + ")";
+            f.key = "lock-order|" + fn.file + "|" + fn.qual_name + "|call:" +
+                    cf.qual_name + "<" + h.expr;
+            out.push_back(f);
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rule 4: guarded-by
+// ---------------------------------------------------------------------------
+
+const char* kMutatingMethods[] = {
+    "acquire",   "acquire_for_donation", "add_available", "remove",
+    "mark_paused", "clear",   "erase",     "insert",      "push_back",
+    "emplace_back", "pop_back", "pop_front", "push_front", "emplace",
+    "resize",    "reserve",  "swap",      "assign",      "count_eviction",
+    "mark_donated", "mark_respecialized"};
+
+bool is_mutating_method(const std::string& name) {
+  for (const char* m : kMutatingMethods)
+    if (name == m) return true;
+  return false;
+}
+
+bool is_assign_op(const std::string& t) {
+  return t == "=" || t == "+=" || t == "-=" || t == "*=" || t == "/=" ||
+         t == "%=" || t == "&=" || t == "|=" || t == "^=" || t == "<<=" ||
+         t == ">>=";
+}
+
+/// Does the token stream after a field access mutate it?
+bool mutates_at(const std::vector<Token>& toks, std::size_t k,
+                std::size_t end) {
+  if (k > 0 && (toks[k - 1].text == "++" || toks[k - 1].text == "--"))
+    return true;
+  std::size_t j = k + 1;
+  // Skip one subscript: field[i] = ...
+  if (j < end && toks[j].text == "[") {
+    int d = 0;
+    while (j < end) {
+      if (toks[j].text == "[") ++d;
+      if (toks[j].text == "]" && --d == 0) {
+        ++j;
+        break;
+      }
+      ++j;
+    }
+  }
+  if (j >= end) return false;
+  const std::string& n = toks[j].text;
+  if (is_assign_op(n) || n == "++" || n == "--") return true;
+  if ((n == "." || n == "->") && j + 2 < end &&
+      toks[j + 1].kind == TokKind::kIdent && toks[j + 2].text == "(")
+    return is_mutating_method(toks[j + 1].text);
+  return false;
+}
+
+std::string receiver_type(const Model& model, const Function& fn,
+                          const std::string& receiver) {
+  if (auto it = fn.local_types.find(receiver); it != fn.local_types.end())
+    return it->second;
+  for (const auto& [key, type] : model.field_types) {
+    if (key.second != receiver) continue;
+    if (cls_related(key.first, fn.cls)) return type;
+  }
+  return "";
+}
+
+void guarded_in(const Model& model, const Function& fn,
+                std::vector<Finding>& out) {
+  const auto& toks = model.files[fn.file_index].tokens;
+  std::map<std::size_t, const Acquisition*> acq_at;
+  for (const auto& a : fn.acquisitions) acq_at[a.tok] = &a;
+
+  LockSim sim(model, fn);
+  int depth = 0;
+  for (std::size_t k = fn.body_begin; k < fn.body_end && k < toks.size();
+       ++k) {
+    const std::string& t = toks[k].text;
+    if (t == "{") {
+      ++depth;
+      continue;
+    }
+    if (t == "}") {
+      --depth;
+      sim.release_to(depth);
+      continue;
+    }
+    if (auto it = acq_at.find(k); it != acq_at.end()) {
+      const Acquisition& a = *it->second;
+      Held h;
+      h.decl = a.is_lock_all ? dynamic_shard_mutex(model, fn.cls)
+                             : resolve_mutex_expr(model, fn, a.expr);
+      h.expr = a.is_lock_all ? "lock_all" : a.expr;
+      h.depth = a.stored ? 1 : std::max(depth, 1);
+      h.via_lock_all = a.is_lock_all;
+      sim.held.push_back(h);
+      continue;
+    }
+    if (toks[k].kind != TokKind::kIdent) continue;
+    if (k > fn.body_begin && toks[k - 1].text == "::") continue;
+
+    // Receiver of the access, if any.
+    std::string receiver;
+    bool has_receiver = false;
+    if (k >= 2 && (toks[k - 1].text == "." || toks[k - 1].text == "->")) {
+      has_receiver = true;
+      if (toks[k - 2].kind == TokKind::kIdent) receiver = toks[k - 2].text;
+    }
+
+    for (const auto& g : model.guarded) {
+      if (g.field != t) continue;
+      // Context: does this access plausibly name g's field?
+      if (has_receiver) {
+        const std::string rtype =
+            receiver.empty() ? "" : receiver_type(model, fn, receiver);
+        if (!rtype.empty()) {
+          if (last_component(g.cls) != rtype) continue;
+        } else if (!cls_related(g.cls, fn.cls)) {
+          continue;
+        }
+        if (receiver == "this" && !cls_related(g.cls, fn.cls)) continue;
+      } else {
+        if (!cls_related(g.cls, fn.cls)) continue;
+      }
+      if (g.kind == GuardKind::kCallerSerialized) break;
+      if ((fn.is_ctor || fn.is_dtor) && cls_related(g.cls, fn.cls)) break;
+      if (g.kind == GuardKind::kWriteGuarded &&
+          !mutates_at(toks, k, fn.body_end))
+        break;
+
+      const MutexDecl* need = model.resolve_mutex(g.cls, g.guard);
+      const std::string need_leaf = last_component(g.guard);
+      const std::string acc_recv =
+          (has_receiver && receiver != "this") ? receiver : "";
+      bool ok = false;
+      for (const auto& h : sim.held) {
+        if (h.via_lock_all) {
+          if (need && !need->seq_static && cls_related(fn.cls, g.cls)) {
+            ok = true;
+            break;
+          }
+          continue;
+        }
+        std::string h_expr = h.expr;
+        if (h_expr.rfind("this->", 0) == 0) h_expr = h_expr.substr(6);
+        if (last_component(h_expr) != need_leaf) continue;
+        const std::string h_recv = receiver_of(h_expr);
+        if (acc_recv.empty()) {
+          // Bare access: the held mutex must resolve to the same decl.
+          if (h_recv.empty() && need && h.decl == need) ok = true;
+          if (h_recv.empty() && !need && h.decl == nullptr) ok = true;
+        } else {
+          if (h_recv == acc_recv) ok = true;
+        }
+        if (ok) break;
+      }
+      if (!ok) {
+        Finding f;
+        f.rule = "guarded-by";
+        f.file = fn.file;
+        f.line = toks[k].line;
+        f.function = fn.qual_name;
+        f.message =
+            std::string(g.kind == GuardKind::kWriteGuarded ? "write to '"
+                                                           : "access to '") +
+            (acc_recv.empty() ? g.field : acc_recv + "." + g.field) +
+            "' (" + g.cls + ") without holding '" + g.guard + "'";
+        f.key = "guarded-by|" + fn.file + "|" + fn.qual_name + "|" + g.field;
+        out.push_back(f);
+      }
+      break;  // one matching entry per token is enough
+    }
+  }
+}
+
+}  // namespace
+
+const MutexDecl* resolve_mutex_expr(const Model& model, const Function& fn,
+                                    const std::string& expr) {
+  const std::string recv = receiver_of(expr);
+  if (!recv.empty()) {
+    // Receiver-typed: "stripe.mu" with stripe : Stripe.
+    std::string rtype;
+    if (auto it = fn.local_types.find(recv); it != fn.local_types.end())
+      rtype = it->second;
+    if (rtype.empty()) {
+      for (const auto& [key, type] : model.field_types) {
+        if (key.second == recv && cls_related(key.first, fn.cls)) {
+          rtype = type;
+          break;
+        }
+      }
+    }
+    if (!rtype.empty()) {
+      const std::string leaf = last_component(expr);
+      for (const auto& m : model.mutexes)
+        if (m.field == leaf && last_component(m.cls) == rtype) return &m;
+    }
+  }
+  return model.resolve_mutex(fn.cls, expr);
+}
+
+void check_lock_order(Model& model, std::vector<Finding>& out) {
+  std::vector<EffAcq> eff;
+  compute_eff_acquires(model, eff);
+  for (std::size_t i = 0; i < model.functions.size(); ++i) {
+    for (const auto& [band, name] : eff[i].bands)
+      model.functions[i].eff_acquires.emplace(band, name);
+    model.functions[i].dynamic_seq_acquire = eff[i].has_dynamic;
+  }
+  for (const auto& fn : model.functions)
+    lock_order_in(model, fn, eff, out);
+}
+
+void check_guarded_by(const Model& model, std::vector<Finding>& out) {
+  for (const auto& fn : model.functions) guarded_in(model, fn, out);
+}
+
+}  // namespace hotc::analyze

@@ -24,6 +24,12 @@ cmake -B "$ROOT/build" -S "$ROOT" >/dev/null
 cmake --build "$ROOT/build" -j "$JOBS"
 ctest --test-dir "$ROOT/build" --output-on-failure -j "$JOBS"
 
+step "static analysis: hotc_analyze (fixtures + src/)"
+ctest --test-dir "$ROOT/build" -L analyze --output-on-failure -j "$JOBS"
+"$ROOT/build/tools/hotc_analyze" --root "$ROOT" \
+  --baseline "$ROOT/tools/analyze/baseline.txt" \
+  --report "$ROOT/build/analyze_report.json"
+
 step "smoke bench: pool + fig15 overhead + sharing + diagnosis + hotc_top"
 SMOKE_DIR="$(mktemp -d)"
 HOTC_SMOKE=1 HOTC_BENCH_DIR="$SMOKE_DIR" \

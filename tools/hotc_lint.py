@@ -138,6 +138,19 @@ SHARE_POOL_MUTATION_RE = re.compile(
     r"select_victim|mark_paused|acquire|remove)\s*\(")
 
 
+def norm_rel(rel: str) -> str:
+    """Normalise a path relative to --root for the scope/exempt sets above.
+
+    Those sets are written relative to src/ ("pool/", "core/log.cpp").  When
+    the lint runs with --root pointing at the repo root instead of src/,
+    every rel gains a leading "src/" segment and, before this existed, the
+    path-scoped rules (hot-path-alloc most damagingly) matched nothing and
+    silently passed.  Stripping the one well-known prefix makes both
+    invocations equivalent."""
+    r = rel.replace("\\", "/")
+    return r[len("src/"):] if r.startswith("src/") else r
+
+
 class Finding:
     def __init__(self, rule: str, path: str, line: int, message: str):
         self.rule = rule
@@ -209,7 +222,7 @@ def strip_comments(text: str, blank_strings: bool = True) -> str:
 
 
 def check_raw_mutex(path: pathlib.Path, rel: str, lines: list[str]) -> list:
-    if rel.replace("\\", "/").startswith("core/"):
+    if norm_rel(rel).startswith("core/"):
         return []
     findings = []
     for idx, line in enumerate(lines, 1):
@@ -223,7 +236,7 @@ def check_raw_mutex(path: pathlib.Path, rel: str, lines: list[str]) -> list:
 
 
 def check_direct_io(path: pathlib.Path, rel: str, lines: list[str]) -> list:
-    if rel.replace("\\", "/") in DIRECT_IO_EXEMPT:
+    if norm_rel(rel) in DIRECT_IO_EXEMPT:
         return []
     findings = []
     for idx, line in enumerate(lines, 1):
@@ -239,7 +252,7 @@ def check_direct_io(path: pathlib.Path, rel: str, lines: list[str]) -> list:
 
 
 def check_share_seam(path: pathlib.Path, rel: str, lines: list[str]) -> list:
-    if not rel.replace("\\", "/").startswith("share/"):
+    if not norm_rel(rel).startswith("share/"):
         return []
     findings = []
     for idx, line in enumerate(lines, 1):
@@ -263,7 +276,7 @@ def check_hot_path_alloc(path: pathlib.Path, rel: str, lines: list[str],
                          raw_lines: list[str]) -> list:
     """`lines` are comment-stripped (so prose mentioning `new` is inert);
     `raw_lines` keep comments because the allow markers live in them."""
-    r = rel.replace("\\", "/")
+    r = norm_rel(rel)
     if not (r.startswith(HOT_PATH_ALLOC_SCOPE)
             or r in HOT_PATH_ALLOC_FILES):
         return []
@@ -579,6 +592,22 @@ SELF_TEST_CASES = {
         "void f() { std::string msg = std::to_string(1); }\n"
         "// hot-path-alloc: allow-end\n"
         "void g() { int x = 0; (void)x; }\n",
+        None),
+    "hot-path-alloc scope is repo-root-relative": (
+        "src/pool/bad_rooted.cpp",
+        "void f() { auto* p = new int(3); (void)p; }\n",
+        "hot-path-alloc"),
+    "hot-path-alloc repo-root dispatch file": (
+        "src/runtime/real_hotc.cpp",
+        "#include <string>\nauto s = std::to_string(42);\n",
+        "hot-path-alloc"),
+    "hot-path-alloc repo-root out-of-scope stays exempt": (
+        "src/engine/ok_rooted.cpp",
+        "#include <string>\nauto s = std::to_string(42);\n",
+        None),
+    "direct-io exemption is repo-root-relative": (
+        "src/core/log.cpp",
+        "#include <cstdio>\nvoid f() { std::fprintf(stderr, \"x\"); }\n",
         None),
     "share-seam fires on pool mutation": (
         "share/bad_mutate.cpp",
