@@ -1,0 +1,77 @@
+// Profiling hook seam: how core primitives report cost without knowing
+// the profiler.
+//
+// The continuous profiler (src/obs/prof.hpp, DESIGN.md §15) needs three
+// signals from layers below obs in the dependency order: lock-wait time
+// from RankedMutex, read-retry counts from SeqLock, and queue-delay /
+// run-time from the runtime thread pool.  None of those may link against
+// obs, so the dependency is inverted through this header: core publishes
+// a table of C function pointers, obs installs an implementation.
+//
+// Cost discipline (the tentpole's ≤1 % overhead budget hangs on this):
+//
+//   * every hook sits on a path that is already slow — a failed try_lock,
+//     a seqlock read that actually retried, a task hand-off that just
+//     crossed a condition variable.  The fast paths (uncontended lock,
+//     clean seqlock read) never load the hook pointer at all;
+//   * with no profiler installed, a slow path pays exactly one relaxed
+//     atomic load of a null pointer;
+//   * the installed functions must themselves be allocation-free and
+//     lock-free — hotc_analyze walks them as hot-path roots (the
+//     Profiler hook methods are in its root set, see tools/analyze).
+//
+// Install/uninstall is not a hot operation and is deliberately crude: one
+// release store of the whole table pointer.  The table must outlive every
+// possible caller (obs keeps it in function-local static storage), so a
+// racing slow path that loaded the pointer just before uninstall still
+// calls into valid code; the implementation drops samples after disable
+// instead of ever freeing state.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace hotc::prof {
+
+/// The hook table.  All pointers non-null when installed; `hooks()`
+/// returning null means no profiler is attached (the steady state).
+struct Hooks {
+  /// A ranked-mutex acquisition blocked: `band` is the LockRank band
+  /// value, `site` the mutex's registered name (a string literal with
+  /// static storage duration — stored by pointer, never copied).
+  void (*lock_wait)(std::uint32_t band, const char* site,
+                    std::uint64_t wait_ns);
+  /// A SeqLock::read validated only after `retries` failed attempts.
+  void (*seqlock_retry)(std::uint32_t retries);
+  /// A thread-pool task finished: time spent queued and running.  `tag`
+  /// is the poster's static label for the task class.
+  void (*task)(const char* tag, std::uint64_t queue_ns,
+               std::uint64_t run_ns);
+};
+
+namespace detail {
+inline std::atomic<const Hooks*>& hooks_slot() {
+  static std::atomic<const Hooks*> slot{nullptr};
+  return slot;
+}
+}  // namespace detail
+
+/// Null when no profiler is attached.  Relaxed: a slow path that misses a
+/// just-installed table only loses one sample.
+[[nodiscard]] inline const Hooks* hooks() {
+  return detail::hooks_slot().load(std::memory_order_relaxed);
+}
+
+/// Install `table` (static storage duration required — see header
+/// comment).  Release order pairs with the acquire-free relaxed readers:
+/// the table's *fields* are written before publication by construction
+/// (it is a constant).
+inline void install_hooks(const Hooks* table) {
+  detail::hooks_slot().store(table, std::memory_order_release);
+}
+
+inline void uninstall_hooks() {
+  detail::hooks_slot().store(nullptr, std::memory_order_release);
+}
+
+}  // namespace hotc::prof

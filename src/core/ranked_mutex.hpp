@@ -54,6 +54,7 @@
 // always the tracking implementation.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -62,6 +63,7 @@
 #include <vector>
 
 #include "core/annotations.hpp"
+#include "core/prof_hook.hpp"
 
 namespace hotc {
 
@@ -123,6 +125,29 @@ inline std::vector<HeldLock>& held_locks() {
   std::abort();
 }
 
+/// Contended-acquisition slow path, shared by both mutex flavours: the
+/// caller's try_lock already failed, so this blocks — and, when a
+/// profiler is attached, brackets the block in a monotonic-clock wait
+/// timer reported per (rank band, site name).  The uncontended fast path
+/// never reaches here and never loads the hook pointer (DESIGN.md §15
+/// overhead budget).
+inline void lock_contended(std::mutex& mu, std::uint32_t band,
+                           const char* name) {
+  const prof::Hooks* hooks = prof::hooks();
+  if (hooks == nullptr) {
+    mu.lock();
+    return;
+  }
+  const auto t0 = std::chrono::steady_clock::now();
+  mu.lock();
+  const auto wait = std::chrono::steady_clock::now() - t0;
+  hooks->lock_wait(
+      band, name,
+      static_cast<std::uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(wait)
+              .count()));
+}
+
 }  // namespace detail
 
 template <bool Audited>
@@ -143,7 +168,12 @@ class HOTC_CAPABILITY("mutex") BasicRankedMutex<true> {
 
   void lock() HOTC_ACQUIRE() {
     validate();
-    mu_.lock();
+    // Contention profiling stamps a wait timer only after try_lock
+    // fails; an uncontended acquisition is one CAS, exactly as before.
+    if (!mu_.try_lock()) {
+      detail::lock_contended(mu_, static_cast<std::uint32_t>(order_ >> 32),
+                             name_);
+    }
     note_acquired();
   }
 
@@ -194,22 +224,30 @@ class HOTC_CAPABILITY("mutex") BasicRankedMutex<true> {
   const char* name_;
 };
 
-/// Release flavour: a plain std::mutex; the rank metadata costs nothing.
+/// Release flavour: a plain std::mutex.  The rank band and name are kept
+/// as passive data (8+4 bytes, never touched on the fast path) so the
+/// contention profiler can attribute waits in release builds too; the
+/// uncontended acquisition is still a single try_lock CAS.
 template <>
 class HOTC_CAPABILITY("mutex") BasicRankedMutex<false> {
  public:
-  explicit BasicRankedMutex(LockRank /*rank*/, std::uint32_t /*seq*/ = 0,
-                            const char* /*name*/ = "mutex") {}
+  explicit BasicRankedMutex(LockRank rank, std::uint32_t /*seq*/ = 0,
+                            const char* name = "mutex")
+      : band_(static_cast<std::uint32_t>(rank)), name_(name) {}
 
   BasicRankedMutex(const BasicRankedMutex&) = delete;
   BasicRankedMutex& operator=(const BasicRankedMutex&) = delete;
 
-  void lock() HOTC_ACQUIRE() { mu_.lock(); }
+  void lock() HOTC_ACQUIRE() {
+    if (!mu_.try_lock()) detail::lock_contended(mu_, band_, name_);
+  }
   bool try_lock() HOTC_TRY_ACQUIRE(true) { return mu_.try_lock(); }
   void unlock() HOTC_RELEASE() { mu_.unlock(); }
 
  private:
   std::mutex mu_;
+  std::uint32_t band_;
+  const char* name_;
 };
 
 /// The library-wide mutex: audited in debug/HOTC_AUDIT builds, a plain

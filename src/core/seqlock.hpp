@@ -39,6 +39,8 @@
 #include <atomic>
 #include <cstdint>
 
+#include "core/prof_hook.hpp"
+
 namespace hotc {
 
 class SeqLock {
@@ -61,13 +63,28 @@ class SeqLock {
 
   /// Reader side — run `fn` (atomic loads only, no side effects that
   /// cannot be repeated) until it executes without a concurrent writer.
+  /// Retried reads are reported to the contention profiler when one is
+  /// attached; the clean first-try read (the overwhelmingly common case)
+  /// pays only a `retries != 0` register compare for it.
   template <typename Fn>
   auto read(Fn&& fn) const {
+    std::uint32_t retries = 0;
     for (;;) {
       const std::uint64_t s1 = seq_.load(std::memory_order_acquire);
-      if ((s1 & 1u) != 0u) continue;  // writer active: spin
+      if ((s1 & 1u) != 0u) {  // writer active: spin
+        ++retries;
+        continue;
+      }
       auto result = fn();
-      if (seq_.load(std::memory_order_acquire) == s1) return result;
+      if (seq_.load(std::memory_order_acquire) == s1) {
+        if (retries != 0) {
+          if (const prof::Hooks* hooks = prof::hooks()) {
+            hooks->seqlock_retry(retries);
+          }
+        }
+        return result;
+      }
+      ++retries;
     }
   }
 

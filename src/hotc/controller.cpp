@@ -668,6 +668,9 @@ void HotCController::adaptive_tick() {
     options_.journal->append(sum);
   }
 
+  // Ring totals feed the trace_drop_ratio SLO, so sync them just before
+  // the engine evaluates its windows.
+  if (options_.tracer != nullptr) options_.tracer->sync_trace_counters();
   if (options_.slo != nullptr) options_.slo->evaluate(tick_);
 }
 

@@ -175,7 +175,8 @@ std::uint64_t SloEngine::alerts_fired() const {
 
 std::vector<SloSpec> default_slos(double cold_ratio_objective, double p99_ms,
                                   double p999_ms,
-                                  double respec_reject_objective) {
+                                  double respec_reject_objective,
+                                  double trace_drop_objective) {
   std::vector<SloSpec> specs;
   {
     SloSpec s;
@@ -211,6 +212,15 @@ std::vector<SloSpec> default_slos(double cold_ratio_objective, double p99_ms,
     s.bad_metric = "hotc_share_respec_rejected_total";
     s.total_metric = "hotc_share_donor_lookups_total";
     s.objective = respec_reject_objective;
+    specs.push_back(std::move(s));
+  }
+  {
+    SloSpec s;
+    s.name = "trace_drop_ratio";
+    s.kind = SloKind::kRatio;
+    s.bad_metric = "hotc_trace_dropped_total";
+    s.total_metric = "hotc_trace_recorded_total";
+    s.objective = trace_drop_objective;
     specs.push_back(std::move(s));
   }
   return specs;

@@ -145,9 +145,13 @@ class SloEngine {
 };
 
 /// The stock HotC objectives (ISSUE 5): per-key cold-start ratio,
-/// end-to-end latency p99/p999, and respecialize-failure rate.
+/// end-to-end latency p99/p999, respecialize-failure rate, and (ISSUE 8)
+/// flight-recorder span-drop ratio — sustained drops mean the ring is
+/// lapping faster than diagnosis reads it, i.e. the recent past the
+/// post-mortem tools rely on is incomplete.
 [[nodiscard]] std::vector<SloSpec> default_slos(
     double cold_ratio_objective = 0.05, double p99_ms = 250.0,
-    double p999_ms = 1000.0, double respec_reject_objective = 0.5);
+    double p999_ms = 1000.0, double respec_reject_objective = 0.5,
+    double trace_drop_objective = 0.01);
 
 }  // namespace hotc::obs

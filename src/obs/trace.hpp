@@ -242,10 +242,21 @@ class Tracer {
   [[nodiscard]] const FlightRecorder& recorder() const { return ring_; }
   [[nodiscard]] Registry* registry() const { return registry_; }
 
+  /// Delta-sync the ring's recorded()/dropped() totals into
+  /// hotc_trace_recorded_total / hotc_trace_dropped_total.  Called once
+  /// per adaptive tick (never per span: the span hot path stays inside
+  /// the Fig. 15 tracing budget).  Safe from one caller at a time — the
+  /// controller tick is the single stock caller.
+  void sync_trace_counters();
+
  private:
   FlightRecorder ring_;
   Registry* registry_;
   LogHistogram* stage_hist_[kStageCount] = {};
+  Counter* recorded_counter_ = nullptr;
+  Counter* dropped_counter_ = nullptr;
+  std::uint64_t recorded_synced_ = 0;
+  std::uint64_t dropped_synced_ = 0;
   std::atomic<bool> enabled_{true};
   std::atomic<bool> exemplars_{true};
   std::atomic<std::uint64_t> next_id_{0};

@@ -1,9 +1,11 @@
 #include "runtime/real_hotc.hpp"
 
 #include <algorithm>
+#include <optional>
 #include <thread>
 
 #include "engine/image.hpp"
+#include "obs/prof.hpp"
 
 namespace hotc::runtime {
 
@@ -64,7 +66,11 @@ std::future<RealOutcome> RealHotC::submit(const spec::RunSpec& spec,
     // striped pool (one shard lock), pay delays outside any lock.
     const std::uint64_t app_tag = spec::fnv1a(app.name);
     if (options_.enable_sharing) donors_.record(key, spec);
-    auto warm = warm_.acquire(key, wall_now());
+    std::optional<pool::PoolEntry> warm;
+    {
+      const obs::StageScope stage(obs::Stage::kPoolLookup);
+      warm = warm_.acquire(key, wall_now());
+    }
     const bool reused = warm.has_value();
     const bool app_warm = reused && warm->app_tag == app_tag;
 
@@ -77,6 +83,7 @@ std::future<RealOutcome> RealHotC::submit(const spec::RunSpec& spec,
     bool respecialized = false;
     Duration respec_cost = kZeroDuration;
     if (!reused && options_.enable_sharing) {
+      const obs::StageScope stage(obs::Stage::kDonorLookup);
       ++donor_lookups_;
       const auto cand = donors_.find_donor(spec, key, warm_);
       if (cand.has_value()) {
@@ -108,9 +115,11 @@ std::future<RealOutcome> RealHotC::submit(const spec::RunSpec& spec,
       ++reuses_;
     } else if (respecialized) {
       ++donor_hits_;
+      const obs::StageScope stage(obs::Stage::kRespecialize);
       std::this_thread::sleep_for(scale(respec_cost, options_.cold_start_scale));
     } else {
       ++cold_starts_;
+      const obs::StageScope stage(obs::Stage::kColdStart);
       std::this_thread::sleep_for(
           scale(cold.total(), options_.cold_start_scale));
     }
@@ -124,12 +133,16 @@ std::future<RealOutcome> RealHotC::submit(const spec::RunSpec& spec,
     outcome.respecialized = respecialized;
     outcome.app_was_warm = app_warm;
     outcome.modeled_cold = cold.total();
-    outcome.payload = handler(argument);
+    {
+      const obs::StageScope stage(obs::Stage::kExec);
+      outcome.payload = handler(argument);
+    }
 
     // Return the runtime to the warm set (cleanup is instantaneous here —
     // the volume machinery lives in the simulator substrate), then trim
     // the oldest runtimes back under max_warm.
     if (options_.max_warm > 0) {
+      const obs::StageScope stage(obs::Stage::kReadmit);
       pool::PoolEntry entry;
       if (reused || respecialized) {
         entry = *warm;  // keeps created_at and reuse_count
@@ -146,7 +159,7 @@ std::future<RealOutcome> RealHotC::submit(const spec::RunSpec& spec,
     outcome.wall_time = std::chrono::duration_cast<Duration>(
         std::chrono::steady_clock::now() - start);
     promise->set_value(std::move(outcome));
-  });
+  }, "hotc.submit");
 
   if (!posted) {
     promise->set_value(RealOutcome{});  // pool already shut down

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/prof_hook.hpp"
+
 namespace hotc::runtime {
 
 ThreadPool::ThreadPool(std::size_t threads) {
@@ -16,11 +18,19 @@ ThreadPool::ThreadPool(std::size_t threads) {
 
 ThreadPool::~ThreadPool() { shutdown(); }
 
-bool ThreadPool::post(std::function<void()> task) {
+bool ThreadPool::post(std::function<void()> task, const char* tag) {
+  Task entry;
+  entry.fn = std::move(task);
+  entry.tag = tag;
+  // Clock read only while profiling: the unprofiled post pays a single
+  // relaxed null-check for the scheduler collector.
+  if (prof::hooks() != nullptr) {
+    entry.enqueued = std::chrono::steady_clock::now();
+  }
   {
     const RankedGuard lock(mutex_);
     if (stopping_) return false;
-    tasks_.push_back(std::move(task));
+    tasks_.push_back(std::move(entry));
   }
   cv_.notify_one();
   return true;
@@ -47,7 +57,7 @@ std::size_t ThreadPool::pending() const {
 
 void ThreadPool::worker_loop() {
   while (true) {
-    std::function<void()> task;
+    Task task;
     {
       RankedLock lock(mutex_);
       cv_.wait(lock, [this]() { return stopping_ || !tasks_.empty(); });
@@ -58,7 +68,25 @@ void ThreadPool::worker_loop() {
       task = std::move(tasks_.front());
       tasks_.pop_front();
     }
-    task();
+    // Queue-delay + run-time sample: only when a profiler is attached
+    // AND the post stamped an enqueue time (epoch means the profiler
+    // appeared mid-queue; skip rather than report a bogus delay).
+    const prof::Hooks* hooks = prof::hooks();
+    if (hooks != nullptr &&
+        task.enqueued != std::chrono::steady_clock::time_point{}) {
+      const auto started = std::chrono::steady_clock::now();
+      task.fn();
+      const auto finished = std::chrono::steady_clock::now();
+      const auto ns = [](auto d) {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(d)
+                .count());
+      };
+      hooks->task(task.tag, ns(started - task.enqueued),
+                  ns(finished - started));
+    } else {
+      task.fn();
+    }
   }
 }
 

@@ -3,8 +3,15 @@
 // Deliberately simple and correct: one mutex, one condition variable, FIFO
 // queue, graceful drain on shutdown.  The pool sizes default to the
 // hardware concurrency; experiments on small machines stay responsive.
+//
+// Scheduler profiling (DESIGN.md §15): when the continuous profiler is
+// attached (prof::hooks() non-null), each task's queue delay (post ->
+// dequeue) and run time are reported per tag — a static string label the
+// poster supplies.  With no profiler the pool pays one relaxed null-check
+// per post and per dequeue; the timestamps are never read from the clock.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <deque>
@@ -26,8 +33,10 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueue a task; returns false after shutdown() has begun.
-  bool post(std::function<void()> task);
+  /// Enqueue a task; returns false after shutdown() has begun.  `tag`
+  /// must be a string literal (static storage duration) — it labels the
+  /// task class in scheduler profiles.
+  bool post(std::function<void()> task, const char* tag = "task");
 
   /// Stop accepting work, run what is queued, join all workers.
   void shutdown();
@@ -36,6 +45,16 @@ class ThreadPool {
   [[nodiscard]] std::size_t pending() const;
 
  private:
+  struct Task {
+    std::function<void()> fn;
+    const char* tag = "task";
+    /// Stamped at post time only while a profiler is attached; a
+    /// default-constructed (epoch) value means "do not report" — the
+    /// profiler may have appeared between post and dequeue, in which
+    /// case the queue delay is unknown and the sample is skipped.
+    std::chrono::steady_clock::time_point enqueued{};
+  };
+
   // The wait loop holds mutex_ through a condition_variable_any wait via
   // RankedLock (std::unique_lock), which clang's analysis cannot model.
   void worker_loop() HOTC_NO_THREAD_SAFETY_ANALYSIS;
@@ -46,7 +65,7 @@ class ThreadPool {
   mutable RankedMutex mutex_{LockRank::kThreadPoolQueue, 0,
                              "runtime.thread_pool"};
   std::condition_variable_any cv_;
-  std::deque<std::function<void()>> tasks_ HOTC_GUARDED_BY(mutex_);
+  std::deque<Task> tasks_ HOTC_GUARDED_BY(mutex_);
   std::vector<std::thread> workers_;
   bool stopping_ HOTC_GUARDED_BY(mutex_) = false;
 };

@@ -121,6 +121,38 @@ TEST(FlightRecorder, ConcurrentWritersNeverTearRecords) {
   EXPECT_LE(ring.dropped(), ring.recorded());
 }
 
+TEST(FlightRecorder, DroppedIsMonotoneUnderLapping) {
+  // A tiny ring hammered by several writers laps constantly; a stalled
+  // writer abandons its slot and counts a drop.  The drop counter feeds
+  // hotc_trace_dropped_total and the trace_drop_ratio SLO, so it must
+  // read as a well-formed counter: non-decreasing across polls and
+  // never exceeding recorded().  (Whether any drop actually happens is
+  // scheduler luck — not gated.)
+  FlightRecorder ring(4);
+  std::atomic<bool> stop{false};
+  std::thread poller([&ring, &stop] {
+    std::uint64_t last_dropped = 0;
+    std::uint64_t last_recorded = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      const std::uint64_t dropped = ring.dropped();
+      const std::uint64_t recorded = ring.recorded();
+      ASSERT_GE(dropped, last_dropped);
+      ASSERT_GE(recorded, last_recorded);
+      last_dropped = dropped;
+      last_recorded = recorded;
+    }
+  });
+  std::vector<std::thread> writers;
+  for (std::uint64_t w = 0; w < 3; ++w) {
+    writers.emplace_back([&ring, w] { hammer(ring, w + 1, 30000); });
+  }
+  for (auto& t : writers) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  poller.join();
+  EXPECT_EQ(ring.recorded(), 90000u);
+  EXPECT_LE(ring.dropped(), ring.recorded());
+}
+
 TEST(FlightRecorder, ConcurrentReadersSeeOnlyWholeRecords) {
   FlightRecorder ring(32);
   std::atomic<bool> stop{false};
@@ -156,7 +188,8 @@ TEST(Tracer, FeedsStageHistogramsForTimedSpansOnly) {
   tracer.span(1, Stage::kExec, seconds(1), milliseconds(5));
   tracer.span(1, Stage::kPoolLookup, seconds(1), kZeroDuration);  // marker
   for (const auto& s : reg.snapshot()) {
-    ASSERT_EQ(s.name, "hotc_stage_duration_ms");
+    // The tracer also registers hotc_trace_recorded/dropped_total.
+    if (s.name != "hotc_stage_duration_ms") continue;
     if (s.labels == "stage=\"exec\"") {
       EXPECT_EQ(s.histogram.total, 1u);
       EXPECT_DOUBLE_EQ(s.histogram.sum, 5.0);

@@ -1,0 +1,303 @@
+// Continuous profiler: per-thread table protocol, sampler lifecycle,
+// stage attribution (DESIGN.md §15).
+//
+// The concurrent tests are the reason this binary carries the `tsan`
+// ctest label: under -DHOTC_SANITIZE=thread they prove the CAS slot
+// claim, the owner-exclusive cell publication, and the open-coded
+// stage-slot seqlock are race-free while hooks, the sampler, and
+// snapshot() all run at once.
+//
+// Collector state is process-global (by design: hooks must outlive any
+// profiler instance), so every test starts from Profiler::reset().
+#include "obs/prof.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace hotc::obs {
+namespace {
+
+ProfOptions no_sampler() {
+  ProfOptions o;
+  o.sampler = false;  // deterministic counting tests need no extra thread
+  return o;
+}
+
+const ContentionEntry* find_site(const ProfSnapshot& snap,
+                                 const char* site) {
+  for (const auto& e : snap.contention) {
+    if (e.site == site) return &e;
+  }
+  return nullptr;
+}
+
+TEST(Prof, HooksAreNoOpsWithoutARunningProfiler) {
+  Profiler::reset();
+  // Not started: the collector gates are off, so nothing is recorded.
+  Profiler::on_lock_wait(50, "prof.test.noop", 1000);
+  Profiler::on_task("prof.test.noop", 10, 20);
+  Profiler::on_seqlock_retry(3);
+  Profiler probe(no_sampler());
+  const ProfSnapshot snap = probe.snapshot();
+  EXPECT_EQ(find_site(snap, "prof.test.noop"), nullptr);
+  EXPECT_TRUE(snap.tasks.empty());
+  EXPECT_EQ(snap.seqlock_retries, 0u);
+}
+
+TEST(Prof, LockWaitMergesBySiteBandAndStage) {
+  Profiler::reset();
+  Profiler profiler(no_sampler());
+  ASSERT_TRUE(profiler.start());
+  {
+    const StageScope stage(Stage::kPoolLookup);
+    Profiler::on_lock_wait(50, "prof.test.shard", 100);
+    Profiler::on_lock_wait(50, "prof.test.shard", 250);
+    Profiler::on_lock_wait(20, "prof.test.gateway", 40);
+  }
+  profiler.stop();
+
+  const ProfSnapshot snap = profiler.snapshot();
+  const ContentionEntry* shard = find_site(snap, "prof.test.shard");
+  ASSERT_NE(shard, nullptr);
+  EXPECT_EQ(shard->band, 50u);
+  EXPECT_EQ(shard->stage, static_cast<std::uint8_t>(Stage::kPoolLookup));
+  EXPECT_EQ(shard->count, 2u);
+  EXPECT_EQ(shard->wait_ns, 350u);
+  const ContentionEntry* gw = find_site(snap, "prof.test.gateway");
+  ASSERT_NE(gw, nullptr);
+  EXPECT_EQ(gw->band, 20u);
+  EXPECT_EQ(gw->count, 1u);
+  // Sorted by wait desc: the shard entry leads.
+  EXPECT_EQ(snap.contention.front().site, shard->site);
+  EXPECT_GE(snap.total_wait_ns(), 390u);
+  EXPECT_NEAR(snap.band_wait_share(50), 350.0 / 390.0, 1e-9);
+}
+
+TEST(Prof, StageScopeNestingRestoresAttribution) {
+  Profiler::reset();
+  Profiler profiler(no_sampler());
+  ASSERT_TRUE(profiler.start());
+  {
+    const StageScope outer(Stage::kParse);
+    Profiler::on_lock_wait(50, "prof.test.nest", 1);
+    {
+      const StageScope inner(Stage::kExec);
+      Profiler::on_lock_wait(50, "prof.test.nest", 1);
+    }
+    // Back under the outer scope: must merge with the first sample.
+    Profiler::on_lock_wait(50, "prof.test.nest", 1);
+  }
+  profiler.stop();
+
+  const ProfSnapshot snap = profiler.snapshot();
+  std::uint64_t parse = 0;
+  std::uint64_t exec = 0;
+  for (const auto& e : snap.contention) {
+    if (e.site != std::string("prof.test.nest")) continue;
+    if (e.stage == static_cast<std::uint8_t>(Stage::kParse)) parse = e.count;
+    if (e.stage == static_cast<std::uint8_t>(Stage::kExec)) exec = e.count;
+  }
+  EXPECT_EQ(parse, 2u);
+  EXPECT_EQ(exec, 1u);
+}
+
+TEST(Prof, TaskHookTracksTotalsAndMaxima) {
+  Profiler::reset();
+  Profiler profiler(no_sampler());
+  ASSERT_TRUE(profiler.start());
+  Profiler::on_task("prof.test.task", 100, 10);
+  Profiler::on_task("prof.test.task", 50, 400);
+  Profiler::on_task("prof.test.task", 300, 20);
+  profiler.stop();
+
+  const ProfSnapshot snap = profiler.snapshot();
+  ASSERT_EQ(snap.tasks.size(), 1u);
+  const TaskEntry& entry = snap.tasks.front();
+  EXPECT_EQ(entry.count, 3u);
+  EXPECT_EQ(entry.queue_ns, 450u);
+  EXPECT_EQ(entry.run_ns, 430u);
+  EXPECT_EQ(entry.queue_max_ns, 300u);
+  EXPECT_EQ(entry.run_max_ns, 400u);
+}
+
+TEST(Prof, ContentionTableOverflowIsCountedNeverLost) {
+  Profiler::reset();
+  Profiler profiler(no_sampler());
+  ASSERT_TRUE(profiler.start());
+  // 72 distinct (band, site) keys from one thread against a 64-cell
+  // table: the last 8 must land in the untracked residue, not vanish.
+  for (std::uint32_t band = 0; band < 72; ++band) {
+    Profiler::on_lock_wait(band, "prof.test.overflow", 10);
+  }
+  profiler.stop();
+
+  const ProfSnapshot snap = profiler.snapshot();
+  std::uint64_t tracked = 0;
+  for (const auto& e : snap.contention) {
+    if (e.site == std::string("prof.test.overflow")) tracked += e.count;
+  }
+  EXPECT_EQ(tracked, 64u);
+  EXPECT_EQ(snap.untracked_waits, 8u);
+  EXPECT_EQ(snap.untracked_wait_ns, 80u);
+  EXPECT_EQ(snap.total_wait_ns(), 720u);
+}
+
+TEST(Prof, ThreadChurnReleasesSlotsForReuse) {
+  Profiler::reset();
+  Profiler profiler(no_sampler());
+  ASSERT_TRUE(profiler.start());
+  // Far more short-lived threads than the 128 slots: each exit must
+  // release its claim so the next thread reuses it, and the counters
+  // must survive the churn (the slot keeps accumulating globally).
+  constexpr int kThreads = 300;
+  for (int i = 0; i < kThreads; ++i) {
+    std::thread t(
+        [] { Profiler::on_lock_wait(50, "prof.test.churn", 7); });
+    t.join();
+  }
+  profiler.stop();
+
+  const ProfSnapshot snap = profiler.snapshot();
+  const ContentionEntry* churn = find_site(snap, "prof.test.churn");
+  ASSERT_NE(churn, nullptr);
+  EXPECT_EQ(churn->count, static_cast<std::uint64_t>(kThreads));
+  EXPECT_EQ(snap.lost_threads, 0u);
+  EXPECT_LE(snap.threads_seen, 128u);
+}
+
+TEST(Prof, ConcurrentHooksSamplerAndSnapshotsAgree) {
+  Profiler::reset();
+  ProfOptions options;
+  options.sampler_period = std::chrono::microseconds(200);
+  Profiler profiler(options);
+  ASSERT_TRUE(profiler.start());
+
+  constexpr int kWriters = 4;
+  constexpr int kIters = 10'000;
+  std::atomic<bool> writing{true};
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([] {
+      for (int i = 0; i < kIters; ++i) {
+        const StageScope stage(Stage::kExec,
+                               static_cast<std::uint64_t>(i) + 1);
+        Profiler::on_lock_wait(50, "prof.test.storm", 5);
+        Profiler::on_task("prof.test.storm", 2, 3);
+        Profiler::on_seqlock_retry(1);
+      }
+    });
+  }
+  // Concurrent merges must never tear and must read monotone counters.
+  std::uint64_t last_count = 0;
+  std::thread reader([&profiler, &writing, &last_count] {
+    while (writing.load(std::memory_order_relaxed)) {
+      const ProfSnapshot snap = profiler.snapshot();
+      const ContentionEntry* storm = find_site(snap, "prof.test.storm");
+      const std::uint64_t count = storm != nullptr ? storm->count : 0;
+      ASSERT_GE(count, last_count);
+      last_count = count;
+    }
+  });
+  for (auto& t : writers) t.join();
+  writing.store(false, std::memory_order_relaxed);
+  reader.join();
+  profiler.stop();
+
+  const ProfSnapshot snap = profiler.snapshot();
+  const std::uint64_t expected =
+      static_cast<std::uint64_t>(kWriters) * kIters;
+  const ContentionEntry* storm = find_site(snap, "prof.test.storm");
+  ASSERT_NE(storm, nullptr);
+  EXPECT_EQ(storm->count, expected);
+  EXPECT_EQ(storm->wait_ns, expected * 5);
+  ASSERT_EQ(snap.tasks.size(), 1u);
+  EXPECT_EQ(snap.tasks.front().count, expected);
+  EXPECT_EQ(snap.seqlock_retries, expected);
+  EXPECT_EQ(snap.lost_threads, 0u);
+}
+
+TEST(Prof, SamplerObservesPublishedStages) {
+  Profiler::reset();
+  ProfOptions options;
+  options.sampler_period = std::chrono::microseconds(200);
+  Profiler profiler(options);
+  ASSERT_TRUE(profiler.start());
+
+  std::atomic<bool> stop{false};
+  std::thread worker([&stop] {
+    const StageScope stage(Stage::kColdStart);
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  stop.store(true, std::memory_order_relaxed);
+  worker.join();
+  profiler.stop();
+
+  const ProfSnapshot snap = profiler.snapshot();
+  EXPECT_GT(snap.sampler_polls, 0u);
+  EXPECT_GT(
+      snap.stage_samples[static_cast<std::size_t>(Stage::kColdStart)], 0u);
+}
+
+TEST(Prof, OneProfilerAtATimeAndRestartability) {
+  Profiler::reset();
+  Profiler first(no_sampler());
+  Profiler second(no_sampler());
+  ASSERT_TRUE(first.start());
+  EXPECT_FALSE(second.start());   // latch held
+  EXPECT_FALSE(first.start());    // even by the same instance
+  first.stop();
+  EXPECT_TRUE(second.start());    // latch released
+  second.stop();
+
+  // Start/stop churn with a sampler and worker churn alongside: the
+  // sampler must join cleanly every cycle and reclaim the latch.
+  ProfOptions options;
+  options.sampler_period = std::chrono::microseconds(200);
+  Profiler churn(options);
+  for (int cycle = 0; cycle < 10; ++cycle) {
+    ASSERT_TRUE(churn.start());
+    std::thread worker([] {
+      const StageScope stage(Stage::kExec);
+      Profiler::on_lock_wait(50, "prof.test.cycle", 1);
+    });
+    worker.join();
+    churn.stop();
+  }
+  const ProfSnapshot snap = churn.snapshot();
+  const ContentionEntry* cycle = find_site(snap, "prof.test.cycle");
+  ASSERT_NE(cycle, nullptr);
+  EXPECT_EQ(cycle->count, 10u);
+}
+
+TEST(Prof, FoldedOutputCarriesEveryCollector) {
+  Profiler::reset();
+  Profiler profiler(no_sampler());
+  ASSERT_TRUE(profiler.start());
+  {
+    const StageScope stage(Stage::kPoolLookup);
+    Profiler::on_lock_wait(50, "prof.test.folded", 2'000'000);
+  }
+  Profiler::on_task("prof.test.folded_task", 3'000'000, 1'000'000);
+  profiler.stop();
+
+  const std::string folded = Profiler::to_folded(profiler.snapshot());
+  EXPECT_NE(folded.find("pool_lookup;lock_wait;band_50;prof.test.folded"),
+            std::string::npos);
+  EXPECT_NE(folded.find("scheduler;queue_delay;prof.test.folded_task"),
+            std::string::npos);
+  // Every line is "frames space value": no empty frames, ends newline.
+  EXPECT_EQ(folded.back(), '\n');
+  EXPECT_EQ(folded.find(";;"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hotc::obs

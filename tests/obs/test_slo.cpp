@@ -283,11 +283,12 @@ TEST(SloEngine, AlertRingIsBounded) {
 
 TEST(SloEngine, DefaultSlosCoverTheStockObjectives) {
   const auto specs = default_slos();
-  ASSERT_EQ(specs.size(), 4u);
+  ASSERT_EQ(specs.size(), 5u);
   bool cold = false;
   bool p99 = false;
   bool p999 = false;
   bool respec = false;
+  bool trace = false;
   for (const auto& s : specs) {
     if (s.name == "cold_start_ratio") {
       cold = true;
@@ -302,8 +303,15 @@ TEST(SloEngine, DefaultSlosCoverTheStockObjectives) {
     }
     if (s.name == "latency_p999") p999 = true;
     if (s.name == "respec_reject_ratio") respec = true;
+    if (s.name == "trace_drop_ratio") {
+      trace = true;
+      EXPECT_EQ(s.kind, SloKind::kRatio);
+      EXPECT_EQ(s.bad_metric, "hotc_trace_dropped_total");
+      EXPECT_EQ(s.total_metric, "hotc_trace_recorded_total");
+      EXPECT_DOUBLE_EQ(s.objective, 0.01);
+    }
   }
-  EXPECT_TRUE(cold && p99 && p999 && respec);
+  EXPECT_TRUE(cold && p99 && p999 && respec && trace);
 }
 
 }  // namespace

@@ -158,6 +158,14 @@ TEST(SeqLockView, FlowSnapshotsBalanceUnderStorm) {
   for (int w = 0; w < kWriters; ++w) {
     threads[static_cast<std::size_t>(w)].join();
   }
+  // On an oversubscribed host the readers may not have been scheduled
+  // at all while the writers ran; hold the stop flag until at least one
+  // consistent cut exists so the assertion tests the protocol, not the
+  // scheduler.  (A genuinely livelocked reader hangs here and trips the
+  // ctest timeout instead.)
+  while (cuts_taken.load(std::memory_order_relaxed) == 0) {
+    std::this_thread::yield();
+  }
   stop.store(true, std::memory_order_release);
   for (int r = 0; r < kReaders; ++r) {
     threads[static_cast<std::size_t>(kWriters + r)].join();

@@ -1,0 +1,36 @@
+// hotc_analyze self-test fixture (analyzer input, never compiled).
+// The clean twin of prof_hook_fail.cpp: hook entry points accumulate
+// into pre-sized per-thread tables, and the cold snapshot/render side
+// (which may allocate freely) sits behind a cold-path barrier.
+namespace fix {
+
+class Profiler {
+ public:
+  // Hot root by (class, name): fixed-slot accumulation only.
+  static void on_lock_wait(unsigned band, const char* site,
+                           unsigned long long wait_ns) {
+    waits_[band & 7] += wait_ns;
+  }
+
+  static void on_task(const char* tag, unsigned long long queue_ns,
+                      unsigned long long run_ns) {
+    if (queue_ns == 0) {
+      drops_ += 1;
+      return;
+    }
+    queue_[run_ns & 7] += queue_ns;
+  }
+
+  // Not a hook name: free to allocate, never traversed from the roots.
+  // hotc-analyze: cold-path
+  static std::string snapshot() {
+    return std::to_string(waits_[0]) + "," + std::to_string(queue_[0]);
+  }
+
+ private:
+  static unsigned long long waits_[8];
+  static unsigned long long queue_[8];
+  static unsigned long long drops_;
+};
+
+}  // namespace fix

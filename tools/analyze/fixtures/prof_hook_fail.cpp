@@ -1,0 +1,34 @@
+// hotc_analyze self-test fixture (analyzer input, never compiled).
+// Seeded violations for the hot-path-alloc rule over profiler hook
+// roots: the Profiler hook entry points (on_lock_wait / on_task) are
+// rooted by class leaf + method name, so an allocation reached from one
+// — directly or through a helper — must fire.
+namespace fix {
+
+class Profiler {
+ public:
+  // Hot root by (class, name): allocates while a contended lock waiter
+  // reports its wait — exactly the context where malloc may deadlock.
+  static void on_lock_wait(unsigned band, const char* site,
+                           unsigned long long wait_ns) {
+    auto* sample = new unsigned long long(wait_ns);  // seeded violation
+    record(band, site, *sample);
+  }
+
+  // Transitive case: the hook itself is clean, its helper is not.
+  static void on_task(const char* tag, unsigned long long queue_ns,
+                      unsigned long long run_ns) {
+    remember(tag, queue_ns + run_ns);
+  }
+
+ private:
+  static void record(unsigned band, const char* site,
+                     unsigned long long wait_ns) {}
+  static void remember(const char* tag, unsigned long long ns) {
+    labels_ = std::to_string(ns);  // transitive allocation from on_task
+  }
+
+  static std::string labels_;
+};
+
+}  // namespace fix

@@ -139,7 +139,13 @@ inline void lex(const std::string& text, LexedFile& out) {
     }
     if (std::isdigit(static_cast<unsigned char>(c))) {
       std::size_t j = i;
+      // Digit separators (1'000'000) are part of the number: an
+      // apostrophe followed by an alphanumeric continues the literal.
+      // Without this the odd-count case (1'000'000'000) desynchronises
+      // the lexer into char-literal mode for the rest of the file.
       while (j < n && (ident_char(text[j]) || text[j] == '.' ||
+                       (text[j] == '\'' && j + 1 < n &&
+                        ident_char(text[j + 1])) ||
                        ((text[j] == '+' || text[j] == '-') && j > i &&
                         (text[j - 1] == 'e' || text[j - 1] == 'E'))))
         ++j;

@@ -613,7 +613,10 @@ void Extractor::harvest_function(std::size_t stmt_begin,
   fn.name = toks[name_pos].text;
   fn.line = toks[name_pos].line;
   fn.body_begin = body_open;
-  fn.body_end = body_close + 1;
+  // An unmatched body brace (match_forward hit its limit) must not push
+  // body_end past the token stream: every downstream walk indexes up to
+  // body_end.
+  fn.body_end = std::min(body_close + 1, toks.size());
 
   // Class qualification: idents joined by "::" immediately before the name.
   std::vector<std::string> chain;
@@ -683,6 +686,7 @@ void Extractor::harvest_function(std::size_t stmt_begin,
 
 void Extractor::walk_body(Function& fn, std::size_t begin, std::size_t end) {
   const auto& toks = file.tokens;
+  end = std::min(end, toks.size());  // unmatched-brace hardening
   int depth = 0;
   auto allowed_at = [&](int line) {
     for (int l = line - 1; l <= line; ++l) {

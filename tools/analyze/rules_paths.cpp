@@ -224,12 +224,24 @@ void seqlock_in(const Model& model, const Function& fn,
 const char* kPoolHotMethods[] = {"acquire", "acquire_for_donation",
                                  "add_available", "remove", "mark_paused"};
 
+// Continuous-profiler hook entry points (DESIGN.md §15): they run on
+// already-slow paths, but from arbitrary lock contexts — an allocation
+// there can deadlock inside a malloc-holding signal-free context and
+// blows the ≤1 % enabled-profiler budget, so they are hot roots too.
+const char* kProfHookMethods[] = {"on_lock_wait", "on_seqlock_retry",
+                                  "on_task"};
+
 bool is_hot_root(const Function& fn) {
   if (fn.hot_path_root) return true;
   const std::string leaf = last_component(fn.cls);
-  if (leaf != "RuntimePool" && leaf != "ShardedRuntimePool") return false;
-  for (const char* m : kPoolHotMethods)
-    if (fn.name == m) return true;
+  if (leaf == "RuntimePool" || leaf == "ShardedRuntimePool") {
+    for (const char* m : kPoolHotMethods)
+      if (fn.name == m) return true;
+  }
+  if (leaf == "Profiler") {
+    for (const char* m : kProfHookMethods)
+      if (fn.name == m) return true;
+  }
   return false;
 }
 

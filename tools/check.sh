@@ -30,7 +30,7 @@ ctest --test-dir "$ROOT/build" -L analyze --output-on-failure -j "$JOBS"
   --baseline "$ROOT/tools/analyze/baseline.txt" \
   --report "$ROOT/build/analyze_report.json"
 
-step "smoke bench: pool + fig15 overhead + sharing + diagnosis + hotc_top"
+step "smoke bench: pool + fig15 + sharing + diagnosis + prof + hotc_top/prof"
 SMOKE_DIR="$(mktemp -d)"
 HOTC_SMOKE=1 HOTC_BENCH_DIR="$SMOKE_DIR" \
   "$ROOT/build/bench/bench_pool_concurrency" >/dev/null
@@ -40,7 +40,10 @@ HOTC_SMOKE=1 HOTC_BENCH_DIR="$SMOKE_DIR" \
   "$ROOT/build/bench/bench_share" >/dev/null
 HOTC_SMOKE=1 HOTC_BENCH_DIR="$SMOKE_DIR" \
   "$ROOT/build/bench/bench_diagnosis" >/dev/null
+HOTC_SMOKE=1 HOTC_BENCH_DIR="$SMOKE_DIR" \
+  "$ROOT/build/bench/bench_prof" >/dev/null
 HOTC_BENCH_DIR="$SMOKE_DIR" "$ROOT/build/tools/hotc_top" steady >/dev/null
+HOTC_BENCH_DIR="$SMOKE_DIR" "$ROOT/build/tools/hotc_prof" steady >/dev/null
 python3 -c "
 import json, sys
 doc = json.load(open('$SMOKE_DIR/BENCH_pool.json'))
@@ -73,6 +76,25 @@ print('BENCH_diagnosis.json: ok (drift restarts on=%d off=%d, '
       'replay %d records)'
       % (doc['drift']['restarts_on'], doc['drift']['restarts_off'],
          doc['journal']['replay_records_checked']))
+doc = json.load(open('$SMOKE_DIR/BENCH_prof.json'))
+assert doc['smoke'] is True
+assert doc['overhead']['gate_passed'] is True, (
+    'profiler overhead %.2f%% > 1%%' % doc['overhead']['overhead_pct'])
+assert doc['contention']['band50_share'] >= 0.95, (
+    'only %.1f%% of injected wait attributed to band 50'
+    % (doc['contention']['band50_share'] * 100))
+assert doc['ordering']['gate_passed'] is True
+assert doc['gate_passed'] is True
+print('BENCH_prof.json: ok (%.2f%% overhead, %.1f%% band-50 attribution)'
+      % (doc['overhead']['overhead_pct'],
+         doc['contention']['band50_share'] * 100))
+folded = open('$SMOKE_DIR/OBS_profile.folded').read()
+assert folded.strip(), 'OBS_profile.folded is empty'
+cp = json.load(open('$SMOKE_DIR/OBS_critical_path.json'))
+assert cp['ordered_prefix_fraction'] >= 0.99
+print('OBS_profile.folded + OBS_critical_path.json: ok '
+      '(%d folded lines, %.1f%% ordered)'
+      % (len(folded.splitlines()), cp['ordered_prefix_fraction'] * 100))
 health = json.load(open('$SMOKE_DIR/OBS_health.json'))
 assert health['scenario'] == 'steady'
 assert health['keys'] and health['slo'], 'health table is empty'

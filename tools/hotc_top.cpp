@@ -32,6 +32,7 @@
 #include "core/json.hpp"
 #include "obs/export.hpp"
 #include "obs/journal.hpp"
+#include "obs/prof.hpp"
 #include "obs/slo.hpp"
 #include "spec/runtime_key.hpp"
 
@@ -96,7 +97,17 @@ int main(int argc, char** argv) {
   opt.hotc.slo = &slo;
   opt.hotc.enable_drift_detection = true;
   faas::FaasPlatform platform(opt);
+
+  // Continuous profiler across the run: the contention and queue-delay
+  // panel below renders from the same cut as everything else.  (The
+  // simulated scenario is single-threaded virtual time, so zero recorded
+  // contention is itself the expected healthy reading here; the real
+  // backend exercises the collectors in bench_prof / test_prof.)
+  obs::Profiler::reset();
+  obs::Profiler profiler;
+  profiler.start();
   platform.run(arrivals, mix);
+  profiler.stop();
 
   // ---- ONE consistent cut ---------------------------------------------------
   const obs::RegistrySnapshot snap = registry.snapshot();
@@ -104,6 +115,7 @@ int main(int argc, char** argv) {
   const std::vector<obs::SloStatus> statuses = slo.status();
   const std::vector<obs::SloAlert> alerts = slo.alerts();
   const std::vector<obs::SpanRecord> spans = tracer.recorder().snapshot();
+  const obs::ProfSnapshot prof = profiler.snapshot();
   const std::uint64_t ticks = platform.hotc_controller()->adaptive_ticks();
 
   // ---- per-key health -------------------------------------------------------
@@ -170,6 +182,37 @@ int main(int argc, char** argv) {
   }
   std::cout << slo_table.to_string() << firing << " firing, "
             << alerts.size() << " alerts in ring\n\n";
+
+  // ---- contention / queue-delay panel ---------------------------------------
+  Table lock_table({"lock site", "band", "stage", "waits", "wait ms"});
+  for (std::size_t i = 0; i < prof.contention.size() && i < 8; ++i) {
+    const auto& c = prof.contention[i];
+    lock_table.add_row(
+        {c.site, std::to_string(c.band),
+         c.stage == obs::kStageIdle
+             ? "idle"
+             : obs::to_string(static_cast<obs::Stage>(c.stage)),
+         std::to_string(c.count),
+         Table::num(static_cast<double>(c.wait_ns) / 1e6, 3)});
+  }
+  if (prof.contention.empty()) {
+    lock_table.add_row({"(no contention recorded)", "-", "-", "0", "0"});
+  }
+  Table task_table({"task tag", "runs", "queue ms", "run ms", "max queue ms"});
+  for (const auto& t : prof.tasks) {
+    task_table.add_row(
+        {t.tag, std::to_string(t.count),
+         Table::num(static_cast<double>(t.queue_ns) / 1e6, 3),
+         Table::num(static_cast<double>(t.run_ns) / 1e6, 3),
+         Table::num(static_cast<double>(t.queue_max_ns) / 1e6, 3)});
+  }
+  if (prof.tasks.empty()) {
+    task_table.add_row({"(no tasks profiled)", "0", "0", "0", "0"});
+  }
+  std::cout << lock_table.to_string() << task_table.to_string()
+            << "seqlock retries " << prof.seqlock_retries
+            << ", untracked waits " << prof.untracked_waits
+            << ", sampler polls " << prof.sampler_polls << "\n\n";
 
   // ---- p99 exemplar cross-link ----------------------------------------------
   // Resolve the end-to-end latency histogram's p99 bucket to its exemplar
@@ -264,6 +307,39 @@ int main(int argc, char** argv) {
   p99["spans_matched"] = Json(static_cast<std::int64_t>(spans_matched));
   p99["spans_file"] = Json(std::string("OBS_spans.jsonl"));
   doc["p99_exemplar"] = Json(std::move(p99));
+
+  JsonObject pr;
+  JsonArray lock_rows;
+  for (const auto& c : prof.contention) {
+    JsonObject j;
+    j["site"] = Json(std::string(c.site));
+    j["band"] = Json(static_cast<std::int64_t>(c.band));
+    j["stage"] = Json(std::string(
+        c.stage == obs::kStageIdle
+            ? "idle"
+            : obs::to_string(static_cast<obs::Stage>(c.stage))));
+    j["waits"] = Json(static_cast<std::int64_t>(c.count));
+    j["wait_ns"] = Json(static_cast<std::int64_t>(c.wait_ns));
+    lock_rows.push_back(Json(std::move(j)));
+  }
+  pr["contention"] = Json(std::move(lock_rows));
+  JsonArray task_rows;
+  for (const auto& t : prof.tasks) {
+    JsonObject j;
+    j["tag"] = Json(std::string(t.tag));
+    j["runs"] = Json(static_cast<std::int64_t>(t.count));
+    j["queue_ns"] = Json(static_cast<std::int64_t>(t.queue_ns));
+    j["run_ns"] = Json(static_cast<std::int64_t>(t.run_ns));
+    j["queue_max_ns"] = Json(static_cast<std::int64_t>(t.queue_max_ns));
+    task_rows.push_back(Json(std::move(j)));
+  }
+  pr["tasks"] = Json(std::move(task_rows));
+  pr["seqlock_retries"] =
+      Json(static_cast<std::int64_t>(prof.seqlock_retries));
+  pr["untracked_waits"] =
+      Json(static_cast<std::int64_t>(prof.untracked_waits));
+  pr["sampler_polls"] = Json(static_cast<std::int64_t>(prof.sampler_polls));
+  doc["prof"] = Json(std::move(pr));
 
   JsonObject jj;
   jj["records"] = Json(static_cast<std::int64_t>(tail.size()));
