@@ -1,0 +1,277 @@
+// Tiered warm state — checkpoint/restore between "live" and "cold".
+//
+// Two scenarios, both comparing the PR-4 sharing configuration (the
+// previous best) against sharing + tiering at the SAME memory budget:
+//
+//   1. equal budget: sibling functions under Zipf-skewed Poisson arrivals
+//      with a tight pool cap.  Victims the adaptive loop retires or
+//      evicts are demoted into the checkpoint store (near-zero idle
+//      memory) whenever restore <= alpha * cold, so later misses pay a
+//      restore instead of a full provisioning path.  Gate: the full
+//      cold-start ratio (cold starts that were NOT served by a restore,
+//      per request) must drop.
+//
+//   2. memory pressure: a small-memory host and bursty siblings, where
+//      the pressure path constantly evicts.  Gate: tiering strictly
+//      dominates — fewer full cold starts at no higher peak memory.
+//
+// Also gated: the snapshot store's own conservation identity in the
+// quiet end state — every demotion is either restored, evicted, or still
+// stored (demotes == restores + evictions + entries).
+//
+// Machine-readable results land in BENCH_tiering.json at the repo root
+// (HOTC_BENCH_DIR overrides); HOTC_SMOKE=1 shrinks the workload.
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "core/json.hpp"
+#include "core/rng.hpp"
+#include "core/units.hpp"
+#include "hotc/controller.hpp"
+#include "snapshot/checkpoint_store.hpp"
+
+using namespace hotc;
+
+namespace {
+
+struct TierRun {
+  metrics::LatencySummary summary;
+  hotc::ControllerStats stats;
+  std::uint64_t failed = 0;
+  Bytes peak_memory = 0;
+  std::uint64_t store_demotes = 0;
+  std::uint64_t store_restores = 0;
+  std::uint64_t store_evictions = 0;
+  std::uint64_t store_rejected = 0;
+  std::uint64_t store_entries = 0;
+  Bytes store_bytes = 0;
+};
+
+/// Full cold starts: provisioning paid end to end.  stats.cold_starts
+/// counts restores too (a restore still walks the cold path, just
+/// cheaper), so the difference is what tiering actually avoided.
+std::uint64_t full_colds(const hotc::ControllerStats& s) {
+  return s.cold_starts - s.restores;
+}
+
+double ratio(std::uint64_t part, std::uint64_t whole) {
+  return whole > 0 ? static_cast<double>(part) / static_cast<double>(whole)
+                   : 0.0;
+}
+
+TierRun run_once(bool tiering, const engine::HostProfile& host,
+                 std::size_t max_live, const workload::ArrivalList& arrivals,
+                 const workload::ConfigMix& mix) {
+  faas::PlatformOptions opt;
+  opt.host = host;
+  opt.policy = faas::PolicyKind::kHotC;
+  opt.hotc.limits.max_live = max_live;
+  opt.hotc.enable_sharing = true;  // the PR-4 baseline stays on in both
+  opt.hotc.tiering.enabled = tiering;
+  opt.hotc.tiering.alpha = 0.5;
+  opt.hotc.tiering.store.capacity_bytes = gib(1);
+  faas::FaasPlatform platform(opt);
+  TierRun out;
+  auto recorder = platform.run(arrivals, mix);
+  out.summary = recorder.summary();
+  out.stats = platform.hotc_controller()->stats();
+  out.failed = platform.failed_requests();
+  out.peak_memory = platform.engine().memory_high_watermark();
+  if (const auto* store = platform.hotc_controller()->checkpoint_store()) {
+    out.store_demotes = store->demotes();
+    out.store_restores = store->restores();
+    out.store_evictions = store->evictions();
+    out.store_rejected = store->rejected();
+    out.store_entries = store->entries();
+    out.store_bytes = store->total_bytes();
+  }
+  return out;
+}
+
+JsonObject run_json(const TierRun& r) {
+  JsonObject j;
+  j["requests"] = Json(static_cast<std::int64_t>(r.stats.requests));
+  j["cold_starts"] = Json(static_cast<std::int64_t>(r.stats.cold_starts));
+  j["full_cold_starts"] = Json(static_cast<std::int64_t>(full_colds(r.stats)));
+  j["restores"] = Json(static_cast<std::int64_t>(r.stats.restores));
+  j["checkpoints"] = Json(static_cast<std::int64_t>(r.stats.checkpoints));
+  j["reuses"] = Json(static_cast<std::int64_t>(r.stats.reuses));
+  j["full_cold_ratio"] = Json(ratio(full_colds(r.stats), r.stats.requests));
+  j["peak_memory_mib"] = Json(to_mib(r.peak_memory));
+  j["mean_ms"] = Json(r.summary.mean_ms);
+  j["p99_ms"] = Json(r.summary.p99_ms);
+  return j;
+}
+
+}  // namespace
+
+int main() {
+  const bool smoke = hotc::bench::smoke_mode();
+  bench::print_header(
+      "Tiered warm state: checkpoint/restore between live and cold",
+      "Sharing alone (PR-4 baseline) vs sharing + snapshot tiering at the\n"
+      "same memory budget; tight pool cap, then a memory-pressure burst.");
+
+  // --- scenario 1: equal memory budget -----------------------------------
+  // 48 sibling keys over 4 images, Zipf-skewed Poisson: the tight pool cap
+  // means the adaptive loop constantly retires tail keys, which tiering
+  // parks on disk instead of destroying.
+  const auto mix = workload::ConfigMix::sibling_functions(48, 4);
+  Rng rng(4242);
+  const auto arrivals =
+      workload::poisson(3.0, seconds(smoke ? 300 : 600), rng, mix.size(),
+                        /*config_zipf=*/0.9);
+  const engine::HostProfile server = engine::HostProfile::server();
+  const std::size_t equal_cap = 12;
+
+  const TierRun base_eq = run_once(false, server, equal_cap, arrivals, mix);
+  const TierRun tier_eq = run_once(true, server, equal_cap, arrivals, mix);
+
+  // --- scenario 2: memory pressure ---------------------------------------
+  // A small-memory host and a live cap of 8 under bursty sibling traffic:
+  // every burst blows past both limits, the pressure path evicts the idle
+  // tier aggressively, and the baseline re-pays full cold starts on the
+  // next burst for what it just destroyed.
+  engine::HostProfile tight = engine::HostProfile::server();
+  tight.memory_total = mib(512);
+  const auto press_mix = workload::ConfigMix::sibling_functions(16, 4);
+  // Burst counts expanded inside each interval (not an aligned thundering
+  // herd, which would only measure exec-concurrency alignment): quiet
+  // rounds starve the pool under the live cap, burst rounds re-touch
+  // every sibling.
+  std::vector<double> press_counts;
+  for (std::size_t round = 0; round < (smoke ? 8u : 12u); ++round) {
+    const bool burst = round == 2 || round == 5 || round == 8;
+    press_counts.push_back(burst ? 24.0 : 4.0);
+  }
+  Rng press_rng(777);
+  const auto press_arrivals =
+      workload::from_counts(press_counts, seconds(30), press_mix.size(),
+                            &press_rng, /*config_zipf=*/0.9);
+
+  const TierRun base_mp =
+      run_once(false, tight, /*max_live=*/8, press_arrivals, press_mix);
+  const TierRun tier_mp =
+      run_once(true, tight, /*max_live=*/8, press_arrivals, press_mix);
+
+  const double base_eq_ratio = ratio(full_colds(base_eq.stats),
+                                     base_eq.stats.requests);
+  const double tier_eq_ratio = ratio(full_colds(tier_eq.stats),
+                                     tier_eq.stats.requests);
+
+  Table t({"metric", "sharing (base)", "sharing+tiering"});
+  t.add_row({"requests", std::to_string(base_eq.stats.requests),
+             std::to_string(tier_eq.stats.requests)});
+  t.add_row({"full cold starts", std::to_string(full_colds(base_eq.stats)),
+             std::to_string(full_colds(tier_eq.stats))});
+  t.add_row({"restores", "-", std::to_string(tier_eq.stats.restores)});
+  t.add_row({"demotes", "-", std::to_string(tier_eq.store_demotes)});
+  t.add_row({"store evictions", "-",
+             std::to_string(tier_eq.store_evictions)});
+  t.add_row({"peak memory", Table::num(to_mib(base_eq.peak_memory), 1) + " MiB",
+             Table::num(to_mib(tier_eq.peak_memory), 1) + " MiB"});
+  t.add_row({"mean latency", bench::ms(base_eq.summary.mean_ms),
+             bench::ms(tier_eq.summary.mean_ms)});
+  t.add_row({"p99 latency", bench::ms(base_eq.summary.p99_ms),
+             bench::ms(tier_eq.summary.p99_ms)});
+  std::cout << "equal memory budget (max_live = " << equal_cap << "):\n"
+            << t.to_string() << "\n";
+
+  Table m({"metric", "sharing (base)", "sharing+tiering"});
+  m.add_row({"requests", std::to_string(base_mp.stats.requests),
+             std::to_string(tier_mp.stats.requests)});
+  m.add_row({"full cold starts", std::to_string(full_colds(base_mp.stats)),
+             std::to_string(full_colds(tier_mp.stats))});
+  m.add_row({"restores", "-", std::to_string(tier_mp.stats.restores)});
+  m.add_row({"failed requests", std::to_string(base_mp.failed),
+             std::to_string(tier_mp.failed)});
+  m.add_row({"peak memory", Table::num(to_mib(base_mp.peak_memory), 1) + " MiB",
+             Table::num(to_mib(tier_mp.peak_memory), 1) + " MiB"});
+  std::cout << "memory pressure (host memory = 512 MiB):\n"
+            << m.to_string() << "\n";
+
+  // --- gates --------------------------------------------------------------
+  const bool equal_ok = tier_eq_ratio < base_eq_ratio;
+  // Strict domination: fewer full cold starts at no higher peak memory.
+  const bool pressure_ok =
+      full_colds(tier_mp.stats) < full_colds(base_mp.stats) &&
+      tier_mp.peak_memory <= base_mp.peak_memory;
+  // Quiet end state: every demotion is restored, evicted, or still parked.
+  const auto conserve = [](const TierRun& r) {
+    return r.store_demotes ==
+           r.store_restores + r.store_evictions + r.store_entries;
+  };
+  const bool conservation_ok = conserve(tier_eq) && conserve(tier_mp);
+
+  std::cout << "full cold-start ratio: " << bench::pct(base_eq_ratio)
+            << " base vs " << bench::pct(tier_eq_ratio)
+            << " tiered  (gate: tiered < base)\n"
+            << "memory pressure: " << full_colds(base_mp.stats)
+            << " vs " << full_colds(tier_mp.stats) << " full colds at "
+            << Table::num(to_mib(base_mp.peak_memory), 1) << " vs "
+            << Table::num(to_mib(tier_mp.peak_memory), 1)
+            << " MiB peak  (gate: strictly dominates)\n"
+            << "store conservation: demotes == restores + evictions + "
+            << "entries  (" << (conservation_ok ? "holds" : "VIOLATED")
+            << ")\n\n";
+
+  JsonObject doc;
+  doc["bench"] = Json(std::string("tiering"));
+  doc["smoke"] = Json(smoke);
+  doc["provenance"] = Json(hotc::bench::provenance());
+  JsonObject eq;
+  eq["baseline"] = Json(run_json(base_eq));
+  eq["tiering"] = Json(run_json(tier_eq));
+  eq["gate"] = Json(std::string("tiering full_cold_ratio < baseline"));
+  eq["gate_passed"] = Json(equal_ok);
+  doc["equal_budget"] = Json(std::move(eq));
+  JsonObject mp;
+  mp["baseline"] = Json(run_json(base_mp));
+  mp["tiering"] = Json(run_json(tier_mp));
+  mp["gate"] = Json(std::string(
+      "fewer full cold starts at <= baseline peak memory"));
+  mp["gate_passed"] = Json(pressure_ok);
+  doc["memory_pressure"] = Json(std::move(mp));
+  JsonObject store;
+  store["demotes"] =
+      Json(static_cast<std::int64_t>(tier_eq.store_demotes));
+  store["restores"] =
+      Json(static_cast<std::int64_t>(tier_eq.store_restores));
+  store["evictions"] =
+      Json(static_cast<std::int64_t>(tier_eq.store_evictions));
+  store["rejected"] =
+      Json(static_cast<std::int64_t>(tier_eq.store_rejected));
+  store["entries"] = Json(static_cast<std::int64_t>(tier_eq.store_entries));
+  store["bytes"] = Json(static_cast<std::int64_t>(tier_eq.store_bytes));
+  doc["store"] = Json(std::move(store));
+  doc["conservation_ok"] = Json(conservation_ok);
+  doc["gate_passed"] = Json(equal_ok && pressure_ok && conservation_ok);
+
+  const std::string path =
+      hotc::bench::output_dir() + "/BENCH_tiering.json";
+  if (!hotc::bench::write_file(path, Json(std::move(doc)).dump(2) + "\n")) {
+    std::cerr << "failed to write " << path << "\n";
+    return 1;
+  }
+  std::cout << "wrote " << path << "\n";
+
+  if (!equal_ok) {
+    std::cerr << "equal-budget gate FAILED (" << bench::pct(tier_eq_ratio)
+              << " tiered >= " << bench::pct(base_eq_ratio) << " base)\n";
+    return 1;
+  }
+  if (!pressure_ok) {
+    std::cerr << "memory-pressure gate FAILED (tiering must strictly "
+                 "dominate: fewer full colds at <= baseline peak)\n";
+    return 1;
+  }
+  if (!conservation_ok) {
+    std::cerr << "store conservation gate FAILED (demotes != restores + "
+                 "evictions + entries)\n";
+    return 1;
+  }
+  return 0;
+}

@@ -26,6 +26,14 @@
 //                                        shards in index order, which is
 //                                        exactly the increasing-sequence
 //                                        rule within the band
+//    55   snapshot checkpoint store      stripe index — the tiering
+//                                        controller demotes a pool-evict
+//                                        victim into the store, so a
+//                                        store stripe may be taken while
+//                                        a pool shard (50) is held; a
+//                                        stripe holder may still register
+//                                        metrics (80), intern (85) and
+//                                        log (90)
 //    70   obs diagnosis state            0 — SLO engine windows + alert
 //                                        ring.  Strictly below the
 //                                        registry band so the engine may
@@ -74,6 +82,7 @@ enum class LockRank : std::uint32_t {
   kThreadPoolQueue = 30,
   kShareRegistry = 45,
   kPoolShard = 50,
+  kSnapshotStore = 55,
   kObsDiagnosis = 70,
   kObsRegistry = 80,
   kKeyInterner = 85,

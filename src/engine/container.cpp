@@ -9,6 +9,7 @@ const char* to_string(ContainerState state) {
     case ContainerState::kBusy: return "busy";
     case ContainerState::kCleaning: return "cleaning";
     case ContainerState::kPaused: return "paused";
+    case ContainerState::kCheckpointed: return "checkpointed";
     case ContainerState::kStopping: return "stopping";
     case ContainerState::kRemoved: return "removed";
   }

@@ -29,13 +29,14 @@ enum class ContainerState {
   kBusy,          // Existing-Not-Available (0): executing a function
   kCleaning,      // Existing-Not-Available (0): volume wipe in progress
   kPaused,        // Existing-Not-Available (0): cgroup-frozen, pages cold
+  kCheckpointed,  // Existing-Not-Available (0): CRIU image on disk, ~0 RAM
   kStopping,
   kRemoved,       // Not-Existing (-1)
 };
 
 const char* to_string(ContainerState state);
 
-inline constexpr std::size_t kContainerStateCount = 7;
+inline constexpr std::size_t kContainerStateCount = 8;
 
 constexpr std::size_t state_index(ContainerState state) {
   return static_cast<std::size_t>(state);
@@ -53,6 +54,7 @@ constexpr int availability_code(ContainerState state) {
     case ContainerState::kBusy:
     case ContainerState::kCleaning:
     case ContainerState::kPaused:
+    case ContainerState::kCheckpointed:
     case ContainerState::kStopping:
       return 0;
   }
@@ -83,6 +85,11 @@ inline constexpr auto kTransitionTable = [] {
   allow(S::kCleaning, S::kStopping);
   allow(S::kPaused, S::kIdle);
   allow(S::kPaused, S::kStopping);
+  // Tiered warm state (DESIGN.md §16): only a quiesced Idle runtime can
+  // be dumped to disk; restore re-enters Idle, eviction winds down.
+  allow(S::kIdle, S::kCheckpointed);
+  allow(S::kCheckpointed, S::kIdle);
+  allow(S::kCheckpointed, S::kStopping);
   allow(S::kStopping, S::kRemoved);
   // kRemoved: no outgoing edges (proved below).
   return table;
@@ -177,6 +184,27 @@ static_assert(transition_allowed(ContainerState::kStopping,
                   !transition_allowed(ContainerState::kIdle,
                                       ContainerState::kRemoved),
               "removal must pass through Stopping");
+static_assert(transition_allowed(ContainerState::kIdle,
+                                 ContainerState::kCheckpointed) &&
+                  !transition_allowed(ContainerState::kBusy,
+                                      ContainerState::kCheckpointed) &&
+                  !transition_allowed(ContainerState::kPaused,
+                                      ContainerState::kCheckpointed) &&
+                  !transition_allowed(ContainerState::kProvisioning,
+                                      ContainerState::kCheckpointed),
+              "only a quiesced Idle runtime can be checkpointed");
+static_assert(transition_allowed(ContainerState::kCheckpointed,
+                                 ContainerState::kIdle) &&
+                  transition_allowed(ContainerState::kCheckpointed,
+                                     ContainerState::kStopping) &&
+                  !transition_allowed(ContainerState::kCheckpointed,
+                                      ContainerState::kBusy) &&
+                  !transition_allowed(ContainerState::kCheckpointed,
+                                      ContainerState::kPaused) &&
+                  !transition_allowed(ContainerState::kCheckpointed,
+                                      ContainerState::kRemoved),
+              "a checkpoint either restores to Idle or winds down through "
+              "Stopping; it never runs or pauses directly from disk");
 
 }  // namespace fsm_proofs
 
@@ -197,6 +225,8 @@ struct Container {
   Bytes idle_memory = 0;   // resident while idle (~0.7 MB per paper)
   Bytes busy_memory = 0;   // extra memory while executing
   Bytes paused_released = 0;  // idle pages swapped out while Paused
+  Bytes checkpoint_released = 0;  // RAM given back while Checkpointed
+  Bytes checkpoint_image = 0;     // on-disk dump size while Checkpointed
 
   /// Application name whose init work is already warm in this container
   /// (model loaded, JIT compiled).  Reuse by the same app skips app init.

@@ -537,6 +537,114 @@ bool ContainerEngine::drop_checkpoint(CheckpointId checkpoint) {
   return checkpoints_.erase(checkpoint) > 0;
 }
 
+void ContainerEngine::demote(ContainerId id, DemoteCallback cb) {
+  auto it = containers_.find(id);
+  if (it == containers_.end()) {
+    cb(make_error<DemoteReport>("engine.unknown_container",
+                                "no container " + std::to_string(id)));
+    return;
+  }
+  Container& c = it->second;
+  if (c.state != ContainerState::kIdle) {
+    cb(make_error<DemoteReport>("engine.not_checkpointable",
+                                "container " + std::to_string(id) + " is " +
+                                    to_string(c.state)));
+    return;
+  }
+  set_state(c, ContainerState::kCheckpointed);
+  // The whole resident set pages out to the dump; only the id/endpoint/
+  // volume metadata stays (~zero idle memory, the tier's whole point).
+  c.checkpoint_released = c.idle_memory;
+  release_memory(c.checkpoint_released);
+  c.checkpoint_image = c.idle_memory + mib(2);  // page dump + metadata
+  DemoteReport report;
+  report.container = id;
+  report.image_size = c.checkpoint_image;
+  report.duration = cost_.checkpoint_time(c.idle_memory);
+  sim_.after(report.duration, [report, cb]() { cb(report); });
+}
+
+void ContainerEngine::restore_container(ContainerId id, LaunchCallback cb) {
+  auto it = containers_.find(id);
+  if (it == containers_.end()) {
+    cb(make_error<LaunchReport>("engine.unknown_container",
+                                "no container " + std::to_string(id)));
+    return;
+  }
+  Container& c = it->second;
+  if (c.state != ContainerState::kCheckpointed) {
+    cb(make_error<LaunchReport>("engine.not_checkpointed",
+                                "container " + std::to_string(id) + " is " +
+                                    to_string(c.state)));
+    return;
+  }
+  const Duration d = cost_.restore_time(c.checkpoint_image, c.spec);
+  reserve_or_swap(c.checkpoint_released);
+  c.checkpoint_released = 0;
+  StartupBreakdown breakdown;  // restore is a single "attach"-like phase
+  breakdown.attach = d;
+  sim_.after(d, [this, id, breakdown, cb]() {
+    auto inner = containers_.find(id);
+    HOTC_ASSERT(inner != containers_.end());
+    Container& done = inner->second;
+    done.checkpoint_image = 0;
+    set_state(done, ContainerState::kIdle);
+    done.last_used = sim_.now();
+    LaunchReport report;
+    report.container = id;
+    report.breakdown = breakdown;
+    cb(report);
+  });
+}
+
+void ContainerEngine::discard_checkpointed(ContainerId id, DoneCallback cb) {
+  auto it = containers_.find(id);
+  if (it == containers_.end()) {
+    cb(make_error<bool>("engine.unknown_container",
+                        "no container " + std::to_string(id)));
+    return;
+  }
+  Container& c = it->second;
+  if (c.state != ContainerState::kCheckpointed) {
+    cb(make_error<bool>("engine.not_checkpointed",
+                        "container " + std::to_string(id) + " is " +
+                            to_string(c.state)));
+    return;
+  }
+  set_state(c, ContainerState::kStopping);
+  // No process to SIGTERM — only the dump file and metadata go away.
+  sim_.after(cost_.remove_time(), [this, id, cb]() {
+    auto inner = containers_.find(id);
+    HOTC_ASSERT(inner != containers_.end());
+    Container& done = inner->second;
+    release_memory(done.idle_memory + done.busy_memory -
+                   done.paused_released - done.checkpoint_released);
+    warn_if_failed(network_.release(done.endpoint), "endpoint release");
+    warn_if_failed(volumes_.destroy(done.volume), "volume destroy");
+    set_state(done, ContainerState::kRemoved);
+    containers_.erase(inner);
+    cb(true);
+  });
+}
+
+std::size_t ContainerEngine::checkpointed_count() const {
+  std::size_t n = 0;
+  for (const auto& [id, c] : containers_) {
+    (void)id;
+    if (c.state == ContainerState::kCheckpointed) ++n;
+  }
+  return n;
+}
+
+Bytes ContainerEngine::checkpointed_disk_used() const {
+  Bytes total = 0;
+  for (const auto& [id, c] : containers_) {
+    (void)id;
+    if (c.state == ContainerState::kCheckpointed) total += c.checkpoint_image;
+  }
+  return total;
+}
+
 Bytes ContainerEngine::checkpoint_disk_used() const {
   Bytes total = 0;
   for (const auto& [id, img] : checkpoints_) {
@@ -568,7 +676,7 @@ void ContainerEngine::stop_and_remove(ContainerId id, DoneCallback cb) {
     HOTC_ASSERT(inner != containers_.end());
     Container& done = inner->second;
     release_memory(done.idle_memory + done.busy_memory -
-                   done.paused_released);
+                   done.paused_released - done.checkpoint_released);
     warn_if_failed(network_.release(done.endpoint), "endpoint release");
     warn_if_failed(volumes_.destroy(done.volume), "volume destroy");
     set_state(done, ContainerState::kRemoved);
@@ -586,7 +694,12 @@ std::size_t ContainerEngine::live_count() const {
   std::size_t n = 0;
   for (const auto& [id, c] : containers_) {
     (void)id;
-    if (c.state != ContainerState::kRemoved) ++n;
+    // Checkpointed containers are on disk, not in RAM: they count against
+    // the disk budget (checkpointed_count), never the live cap.
+    if (c.state != ContainerState::kRemoved &&
+        c.state != ContainerState::kCheckpointed) {
+      ++n;
+    }
   }
   return n;
 }

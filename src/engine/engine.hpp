@@ -153,6 +153,36 @@ class ContainerEngine {
   }
   [[nodiscard]] Bytes checkpoint_disk_used() const;
 
+  /// What one demote() cost and produced.
+  struct DemoteReport {
+    ContainerId container = 0;
+    Bytes image_size = 0;  // on-disk dump size
+    Duration duration = kZeroDuration;
+  };
+  using DemoteCallback = std::function<void(Result<DemoteReport>)>;
+
+  /// Tiered warm state (DESIGN.md §16): dump an Idle container to disk *in
+  /// place*.  The container keeps its id, endpoint and volume, transitions
+  /// Idle -> Checkpointed, and gives back its resident memory (~zero RAM
+  /// while demoted).  Unlike checkpoint()/restore(), which clone state
+  /// into a brand-new container, demote/restore_container is the consuming
+  /// middle tier the snapshot::CheckpointStore manages.
+  void demote(ContainerId id, DemoteCallback cb);
+
+  /// Fault a demoted container's image back in: Checkpointed -> Idle, the
+  /// warm-app state intact.  Costs restore_time(image, spec) — far below a
+  /// cold start (no pull, no runtime/app init).
+  void restore_container(ContainerId id, LaunchCallback cb);
+
+  /// Evict a demoted container's on-disk image without ever thawing it:
+  /// Checkpointed -> Stopping -> Removed.  Near-free — there is no
+  /// process to stop, only metadata and the dump file to delete.
+  void discard_checkpointed(ContainerId id, DoneCallback cb);
+
+  /// Containers currently parked in the Checkpointed tier / their dumps.
+  [[nodiscard]] std::size_t checkpointed_count() const;
+  [[nodiscard]] Bytes checkpointed_disk_used() const;
+
   /// Graceful stop + remove; releases memory, endpoint and volume.
   void stop_and_remove(ContainerId id, DoneCallback cb);
 

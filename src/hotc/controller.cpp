@@ -34,6 +34,10 @@ HotCController::HotCController(engine::ContainerEngine& engine,
     respec_ = std::make_unique<share::Respecializer>(
         engine_, options_.share_max_cost_ratio);
   }
+  if (options_.tiering.enabled) {
+    store_ = std::make_unique<snapshot::CheckpointStore>(
+        options_.tiering.store);
+  }
   if (options_.registry != nullptr) {
     obs::Registry& reg = *options_.registry;
     obs_.prewarms = &reg.counter("hotc_controller_prewarm_total",
@@ -74,7 +78,14 @@ HotCController::HotCController(engine::ContainerEngine& engine,
     obs_.drift_restarts = &reg.counter(
         "hotc_drift_restarts_total",
         "Predictor restarts forced by the forecast-drift detector");
+    obs_.snapshot_checkpoint_ms = &reg.histogram(
+        "hotc_snapshot_checkpoint_duration_ms",
+        "Demotion dump duration (milliseconds)");
+    obs_.snapshot_restore_ms = &reg.histogram(
+        "hotc_snapshot_restore_duration_ms",
+        "Checkpoint-restore duration on the miss path (milliseconds)");
     if (donors_ != nullptr) donors_->attach_metrics(reg);
+    if (store_ != nullptr) store_->attach_metrics(reg);
     engine_.attach_metrics(reg);
   }
 }
@@ -180,6 +191,57 @@ void HotCController::provision_cold(const spec::RunSpec& spec,
   }
   enforce_pressure();  // make room before allocating a new runtime
 
+  // Tiered warm state: a demoted runtime parked in the checkpoint store
+  // beats both the legacy clone-restore and a full cold boot — the restore
+  // is consuming, so the conservation ledger sees demotes == restores +
+  // evictions + still-stored.
+  if (store_ != nullptr) {
+    const auto snap = store_->take(key.id(), sim_.now());
+    if (snap.has_value()) {
+      const TimePoint restore_start = sim_.now();
+      engine_.restore_container(
+          snap->container,
+          [this, spec, app, key, arrival, restore_start, trace_id,
+           cb = std::move(cb)](Result<engine::LaunchReport> r) mutable {
+            if (!r.ok()) {
+              // The parked container died out from under the store (the
+              // snapshot was already consumed); fall back to a plain
+              // launch — the cold start was counted above.
+              emit_span(trace_id, obs::Stage::kRestore, restore_start,
+                        sim_.now() - restore_start, key.hash(),
+                        obs::kSpanCold | obs::kSpanError);
+              launch_cold(spec, app, key, arrival, trace_id, std::move(cb));
+              return;
+            }
+            ++stats_.restores;
+            const Duration paid = r.value().breakdown.total();
+            stats_.cold_start_seconds += to_seconds(paid);
+            if (obs_.snapshot_restore_ms != nullptr) {
+              obs_.snapshot_restore_ms->observe(to_milliseconds(paid));
+            }
+            emit_span(trace_id, obs::Stage::kRestore, restore_start, paid,
+                      key.hash(), obs::kSpanCold);
+            pool::PoolEntry fresh;
+            fresh.id = r.value().container;
+            fresh.key = key;
+            fresh.created_at = sim_.now();
+            fresh.restored = true;  // counted once at re-admission
+            run_on(fresh, spec, app, /*was_prewarmed=*/false, paid, arrival,
+                   trace_id, std::move(cb), /*was_resumed=*/false,
+                   /*was_restored=*/true);
+          });
+      return;
+    }
+  }
+
+  launch_cold(spec, app, key, arrival, trace_id, std::move(cb));
+}
+
+void HotCController::launch_cold(const spec::RunSpec& spec,
+                                 const engine::AppModel& app,
+                                 const spec::RuntimeKey& key,
+                                 TimePoint arrival, std::uint64_t trace_id,
+                                 Callback cb) {
   // Checkpoint/restore extension: a retired runtime's dump beats a full
   // cold boot when one exists for this key.
   const auto ckpt = checkpoints_.find(key.id());
@@ -452,6 +514,12 @@ void HotCController::enforce_pressure() {
 
 void HotCController::retire_entry(const pool::PoolEntry& entry,
                                   bool pressure) {
+  // Tiered warm state: a victim that passes the economic gate parks in
+  // the checkpoint store instead of dying.  Paused entries skip the tier
+  // (the engine demotes Idle only).
+  if (store_ != nullptr && !entry.paused && demote_entry(entry, pressure)) {
+    return;
+  }
   if (!pool_.remove(entry.key, entry.id)) return;  // raced with acquire
   if (!pressure) ++stats_.retired;
   // Evict spans carry no request attribution (trace id 0): the controller
@@ -477,6 +545,80 @@ void HotCController::retire_entry(const pool::PoolEntry& entry,
     return;
   }
   engine_.stop_and_remove(entry.id, [](Result<bool>) {});
+}
+
+bool HotCController::demote_entry(const pool::PoolEntry& entry,
+                                  bool pressure) {
+  // Gate first (no side effects): demote only when the modelled restore is
+  // decisively cheaper than the cold start it would replace and the
+  // snapshot could ever fit the disk budget.
+  const auto state_it = keys_.find(entry.key.id());
+  const engine::Container* c = engine_.find(entry.id);
+  if (state_it == keys_.end() || c == nullptr) return false;
+  const spec::RunSpec& spec = state_it->second.canonical_spec;
+  const Bytes image_estimate = c->idle_memory + mib(2);
+  const double cold_s =
+      to_seconds(engine_.estimate_startup(spec).total());
+  const double restore_s =
+      to_seconds(engine_.cost_model().restore_time(image_estimate, spec));
+  if (!snapshot::gate_passes(restore_s, cold_s, options_.tiering.alpha) ||
+      image_estimate > store_->capacity_bytes()) {
+    return false;
+  }
+
+  if (!pool_.remove_for_checkpoint(entry.key, entry.id)) {
+    return true;  // raced with acquire; nothing left to retire
+  }
+  if (!pressure) ++stats_.retired;
+  if (obs_.retires != nullptr) {
+    (pressure ? obs_.evictions : obs_.retires)->inc();
+  }
+  notify_pool_change(entry.key);
+
+  ++stats_.checkpoints;
+  const TimePoint demote_start = sim_.now();
+  const std::uint64_t tenant = snapshot::tenant_of(spec);
+  engine_.demote(
+      entry.id,
+      [this, entry, tenant, restore_s, cold_s,
+       demote_start](Result<engine::ContainerEngine::DemoteReport> r) {
+        if (!r.ok()) {
+          emit_span(0, obs::Stage::kCheckpoint, demote_start,
+                    sim_.now() - demote_start, entry.key.hash(),
+                    obs::kSpanError);
+          engine_.stop_and_remove(entry.id, [](Result<bool>) {});
+          return;
+        }
+        emit_span(0, obs::Stage::kCheckpoint, demote_start,
+                  r.value().duration, entry.key.hash());
+        if (obs_.snapshot_checkpoint_ms != nullptr) {
+          obs_.snapshot_checkpoint_ms->observe(
+              to_milliseconds(r.value().duration));
+        }
+        snapshot::SnapshotMeta meta;
+        meta.key = entry.key.id();
+        meta.tenant = tenant;
+        meta.container = entry.id;
+        meta.bytes = r.value().image_size;
+        meta.created_at = sim_.now();
+        meta.restore_estimate_s = restore_s;
+        meta.cold_estimate_s = cold_s;
+        const auto admitted = store_->admit(meta, sim_.now());
+        discard_snapshots(admitted.evicted);
+        if (!admitted.accepted) {
+          // Quota/budget said no after the dump (e.g. the per-tenant
+          // quota filled meanwhile): drop the parked container.
+          engine_.discard_checkpointed(entry.id, [](Result<bool>) {});
+        }
+      });
+  return true;
+}
+
+void HotCController::discard_snapshots(
+    const std::vector<snapshot::SnapshotMeta>& metas) {
+  for (const snapshot::SnapshotMeta& meta : metas) {
+    engine_.discard_checkpointed(meta.container, [](Result<bool>) {});
+  }
 }
 
 void HotCController::prewarm(const spec::RuntimeKey& key, KeyState& state) {

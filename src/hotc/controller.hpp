@@ -32,6 +32,8 @@
 #include "predict/predictor.hpp"
 #include "share/donor_registry.hpp"
 #include "share/respecializer.hpp"
+#include "snapshot/checkpoint_store.hpp"
+#include "snapshot/tiering.hpp"
 #include "spec/runtime_key.hpp"
 
 namespace hotc {
@@ -60,6 +62,12 @@ struct ControllerOptions {
   /// when the adaptive loop retires a runtime, dump its warm state first;
   /// later misses for that key restore the dump instead of cold-starting.
   bool use_checkpoint_restore = false;
+  /// Tiered warm state (DESIGN.md §16): retire/evict victims that pass the
+  /// economic gate are demoted *in place* into a capacity-bounded
+  /// checkpoint store instead of being destroyed, and the miss path tries
+  /// a consuming restore before paying a full cold start.  Orthogonal to
+  /// the legacy once-per-key `use_checkpoint_restore` clone flow.
+  snapshot::TieringOptions tiering;
   /// Use the subset key (paper §VII extension): env/volumes/command are
   /// re-applied rather than part of the key.
   bool use_subset_key = false;
@@ -178,6 +186,10 @@ class HotCController {
   [[nodiscard]] const share::DonorRegistry* donor_registry() const {
     return donors_.get();
   }
+  /// Null unless options.tiering.enabled.
+  [[nodiscard]] const snapshot::CheckpointStore* checkpoint_store() const {
+    return store_.get();
+  }
 
   /// Demand/pool-size history for one key (drives Fig. 10-style plots).
   [[nodiscard]] const TimeSeries* demand_history(
@@ -233,6 +245,16 @@ class HotCController {
   /// Stop an idle pooled container (bookkeeping + engine teardown).
   void retire_entry(const pool::PoolEntry& entry, bool pressure);
 
+  /// Tiering demotion: if the entry passes the economic gate
+  /// (restore_estimate ≤ α × cold_estimate), move it out of the pool and
+  /// into the checkpoint store instead of destroying it.  Returns true if
+  /// the entry was taken over (demoted, or lost to a racing acquire);
+  /// false leaves it for the ordinary retire teardown.
+  bool demote_entry(const pool::PoolEntry& entry, bool pressure);
+
+  /// Drop the engine-side state behind snapshots the store evicted.
+  void discard_snapshots(const std::vector<snapshot::SnapshotMeta>& metas);
+
   /// Launch a pre-warmed container for a key (Algorithm 3 scale-up).
   void prewarm(const spec::RuntimeKey& key, KeyState& state);
 
@@ -242,11 +264,19 @@ class HotCController {
               std::uint64_t trace_id, Callback cb, bool was_resumed = false,
               bool was_restored = false, bool was_respecialized = false);
 
-  /// The cold tail of the miss path: enforce pressure, then launch (or
-  /// restore from a checkpoint).  Counts one true cold start.
+  /// The cold tail of the miss path: enforce pressure, then restore from
+  /// the snapshot tier when possible, else launch (or clone-restore from a
+  /// legacy checkpoint).  Counts one true cold start.
   void provision_cold(const spec::RunSpec& spec, const engine::AppModel& app,
                       const spec::RuntimeKey& key, TimePoint arrival,
                       std::uint64_t trace_id, Callback cb);
+
+  /// The launch-or-legacy-restore tail of provision_cold (also the
+  /// fallback when a snapshot-tier restore loses its container).  The
+  /// caller has already counted the cold start.
+  void launch_cold(const spec::RunSpec& spec, const engine::AppModel& app,
+                   const spec::RuntimeKey& key, TimePoint arrival,
+                   std::uint64_t trace_id, Callback cb);
 
   /// Cross-key sharing on the miss path: locate an idle sibling donor,
   /// gate it on conversion cost, lease it and convert it.  Returns true if
@@ -284,6 +314,8 @@ class HotCController {
     obs::Counter* respec_rejected = nullptr;
     obs::LogHistogram* respec_duration_ms = nullptr;
     obs::Counter* drift_restarts = nullptr;
+    obs::LogHistogram* snapshot_checkpoint_ms = nullptr;
+    obs::LogHistogram* snapshot_restore_ms = nullptr;
   };
 
   engine::ContainerEngine& engine_;
@@ -308,6 +340,8 @@ class HotCController {
   /// Cross-key sharing collaborators; both null unless enable_sharing.
   std::unique_ptr<share::DonorRegistry> donors_;
   std::unique_ptr<share::Respecializer> respec_;
+  /// Snapshot tier index; null unless options.tiering.enabled.
+  std::unique_ptr<snapshot::CheckpointStore> store_;
   bool adaptive_running_ = false;
   TimePoint adaptive_until_ = kZeroDuration;
   /// 1-based adaptive-tick ordinal (journal record tick ids).

@@ -23,6 +23,7 @@ const char* to_string(Stage stage) {
     case Stage::kDonorLookup: return "donor_lookup";
     case Stage::kRespecialize: return "respecialize";
     case Stage::kDriftRestart: return "drift_restart";
+    case Stage::kCheckpoint: return "checkpoint";
   }
   return "?";
 }

@@ -55,8 +55,9 @@ enum class Stage : std::uint8_t {
   kDonorLookup,     // cross-key donor search on the miss path
   kRespecialize,    // donor container converted to the request's key
   kDriftRestart,    // forecast-drift intervention: predictor restarted
+  kCheckpoint,      // idle runtime demoted into the snapshot tier
 };
-constexpr int kStageCount = 17;
+constexpr int kStageCount = 18;
 
 const char* to_string(Stage stage);
 

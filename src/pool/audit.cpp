@@ -36,6 +36,20 @@ Result<bool> PoolLedger::verify() const {
         "respecialized " + std::to_string(respecialized) +
             " exceeds admitted " + std::to_string(admitted));
   }
+  if (checkpointed > removed) {
+    return make_error<bool>(
+        "pool.conservation",
+        "checkpointed " + std::to_string(checkpointed) +
+            " exceeds removed " + std::to_string(removed) +
+            " (a demotion was not counted as a removal)");
+  }
+  if (restored > admitted) {
+    return make_error<bool>(
+        "pool.conservation",
+        "restored " + std::to_string(restored) + " exceeds admitted " +
+            std::to_string(admitted) +
+            " (a restore was not counted as an admission)");
+  }
   return true;
 }
 // hot-path-alloc: allow-end
@@ -49,6 +63,8 @@ PoolLedger ledger(const pool::RuntimePool& pool) {
   out.paused = pool.paused_count();
   out.donated = pool.donated_count();
   out.respecialized = pool.respecialized_count();
+  out.checkpointed = pool.checkpointed_count();
+  out.restored = pool.restored_count();
   return out;
 }
 
@@ -64,6 +80,8 @@ PoolLedger ledger(const pool::ShardedRuntimePool& pool) {
   out.paused = pool.paused_count();
   out.donated = pool.donated_count();
   out.respecialized = pool.respecialized_count();
+  out.checkpointed = pool.checkpointed_count();
+  out.restored = pool.restored_count();
   return out;
 }
 

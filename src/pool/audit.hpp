@@ -38,6 +38,11 @@ struct PoolLedger {
   // add_available (respecialized ⊆ admitted, and globally ⊆ donated).
   std::uint64_t donated = 0;        // leased as cross-key donors
   std::uint64_t respecialized = 0;  // re-admitted after conversion
+  // Tiering sub-flows: a demotion to the checkpoint store is a removal
+  // whose container parks on disk (checkpointed ⊆ removed) and a revived
+  // snapshot re-enters through add_available (restored ⊆ admitted).
+  std::uint64_t checkpointed = 0;  // removed into the snapshot tier
+  std::uint64_t restored = 0;      // re-admitted from the snapshot tier
 
   /// The conservation identity over this ledger alone.
   [[nodiscard]] Result<bool> verify() const;
@@ -50,6 +55,8 @@ struct PoolLedger {
     paused += other.paused;
     donated += other.donated;
     respecialized += other.respecialized;
+    checkpointed += other.checkpointed;
+    restored += other.restored;
     return *this;
   }
 };

@@ -107,6 +107,12 @@ void RuntimePool::add_available(const PoolEntry& entry, TimePoint now) {
     bump(respecialized_);
     rec.entry.respecialized = false;
   }
+  if (rec.entry.restored) {
+    // A revived snapshot re-enters the pool: score the restore once, same
+    // protocol as respecialized above.
+    bump(restored_);
+    rec.entry.restored = false;
+  }
   if (rec.entry.paused) bump(paused_);  // admitted still frozen
 
   // A container id is pooled at most once; a double-add supersedes the
@@ -169,6 +175,13 @@ bool RuntimePool::remove(const spec::RuntimeKey& key,
   index_.erase(id);
   unlink(slot);
   bump(removed_);
+  return true;
+}
+
+bool RuntimePool::remove_for_checkpoint(const spec::RuntimeKey& key,
+                                        engine::ContainerId id) {
+  if (!remove(key, id)) return false;
+  bump(checkpointed_);  // sub-flow of the removal remove() just counted
   return true;
 }
 
@@ -330,6 +343,22 @@ Result<bool> RuntimePool::check_conservation() const {
         "pool.conservation",
         "respecialized " + std::to_string(respecialized) +
             " exceeds admitted " + std::to_string(admitted));
+  }
+  // Tiering sub-flows: a demotion is a removal (the container parks on
+  // disk instead of dying) and a restore is an admission.
+  if (checkpointed_count() > removed_count()) {
+    return make_error<bool>(
+        "pool.conservation",
+        "checkpointed " + std::to_string(checkpointed_count()) +
+            " exceeds removed " + std::to_string(removed_count()) +
+            " (a demotion was not counted as a removal)");
+  }
+  if (restored_count() > admitted) {
+    return make_error<bool>(
+        "pool.conservation",
+        "restored " + std::to_string(restored_count()) +
+            " exceeds admitted " + std::to_string(admitted) +
+            " (a restore was not counted as an admission)");
   }
   // Counter identity: pooled == admitted − leased − removed.
   if (admitted != leased + removed_count() + live) {

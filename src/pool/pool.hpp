@@ -72,6 +72,10 @@ struct PoolEntry {
   /// Counted (and cleared) by add_available so each conversion is scored
   /// exactly once.
   bool respecialized = false;
+  /// This residency entered via checkpoint-restore: the container was
+  /// revived from the snapshot tier instead of cold-started.  Counted (and
+  /// cleared) by add_available, mirroring `respecialized`.
+  bool restored = false;
 };
 
 struct PoolStats {
@@ -103,6 +107,8 @@ struct PoolFlows {
   std::uint64_t removed = 0;
   std::uint64_t donated = 0;
   std::uint64_t respecialized = 0;
+  std::uint64_t checkpointed = 0;  // removals that demoted to the snapshot tier
+  std::uint64_t restored = 0;      // admissions revived from the snapshot tier
   std::uint64_t pooled = 0;
   std::uint64_t paused = 0;
 };
@@ -132,6 +138,12 @@ class RuntimePool : public PoolView {
   /// Remove a specific container from the available list (it was stopped
   /// outside the usual acquire path, e.g. by the adaptive controller).
   bool remove(const spec::RuntimeKey& key, engine::ContainerId id);
+
+  /// Remove a container that is being demoted into the checkpoint store.
+  /// Identical to remove() (the residency leaves the pool) plus the
+  /// checkpointed sub-flow attribution: checkpointed ⊆ removed.
+  bool remove_for_checkpoint(const spec::RuntimeKey& key,
+                             engine::ContainerId id);
 
   /// Flag a pooled container as paused (still acquirable; the controller
   /// resumes it before executing).  Returns false if absent or already
@@ -193,7 +205,10 @@ class RuntimePool : public PoolView {
   // paused_.  Cross-key sharing adds two sub-flows: donated ⊆ leased (a
   // donation is a lease with different attribution) and respecialized ⊆
   // admitted (a converted donor re-enters through add_available with the
-  // flag set).
+  // flag set).  Tiering adds two more: checkpointed ⊆ removed (a demotion
+  // is a removal whose container parks in the snapshot store instead of
+  // dying) and restored ⊆ admitted (a revived snapshot re-enters through
+  // add_available with `restored` set).
   [[nodiscard]] std::uint64_t admitted_count() const {
     return admitted_.load(std::memory_order_acquire);
   }
@@ -209,6 +224,12 @@ class RuntimePool : public PoolView {
   [[nodiscard]] std::uint64_t respecialized_count() const {
     return respecialized_.load(std::memory_order_acquire);
   }
+  [[nodiscard]] std::uint64_t checkpointed_count() const {
+    return checkpointed_.load(std::memory_order_acquire);
+  }
+  [[nodiscard]] std::uint64_t restored_count() const {
+    return restored_.load(std::memory_order_acquire);
+  }
   [[nodiscard]] PoolFlows flows() const {
     PoolFlows out;
     out.admitted = admitted_count();
@@ -216,6 +237,8 @@ class RuntimePool : public PoolView {
     out.removed = removed_count();
     out.donated = donated_count();
     out.respecialized = respecialized_count();
+    out.checkpointed = checkpointed_count();
+    out.restored = restored_count();
     out.pooled = total_available();
     out.paused = paused_count();
     return out;
@@ -363,6 +386,8 @@ class RuntimePool : public PoolView {
   std::atomic<std::uint64_t> removed_{0};
   std::atomic<std::uint64_t> donated_{0};
   std::atomic<std::uint64_t> respecialized_{0};
+  std::atomic<std::uint64_t> checkpointed_{0};  // ⊆ removed_
+  std::atomic<std::uint64_t> restored_{0};      // ⊆ admitted_
   std::atomic<std::uint64_t> stats_hits_{0};
   std::atomic<std::uint64_t> stats_misses_{0};
   std::atomic<std::uint64_t> stats_evictions_{0};

@@ -155,6 +155,19 @@ bool ShardedRuntimePool::remove(const spec::RuntimeKey& key,
   return out;
 }
 
+bool ShardedRuntimePool::remove_for_checkpoint(const spec::RuntimeKey& key,
+                                               engine::ContainerId id) {
+  Shard& shard = shard_for(key);
+  const RankedGuard lock(shard.mu);
+  bool out = false;
+  {
+    const SeqLock::WriteGuard guard(shard.seq);
+    out = shard.pool.remove_for_checkpoint(key, id);
+  }
+  audit_shard(shard);
+  return out;
+}
+
 bool ShardedRuntimePool::mark_paused(const spec::RuntimeKey& key,
                                      engine::ContainerId id) {
   Shard& shard = shard_for(key);
@@ -280,6 +293,8 @@ PoolFlows ShardedRuntimePool::flows_snapshot() const {
     out.removed += f.removed;
     out.donated += f.donated;
     out.respecialized += f.respecialized;
+    out.checkpointed += f.checkpointed;
+    out.restored += f.restored;
     out.pooled += f.pooled;
     out.paused += f.paused;
   }
@@ -328,6 +343,8 @@ Result<bool> ShardedRuntimePool::check_conservation() const {
   std::uint64_t removed = 0;
   std::uint64_t donated = 0;
   std::uint64_t respecialized = 0;
+  std::uint64_t checkpointed = 0;
+  std::uint64_t restored = 0;
   std::size_t pooled = 0;
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     const RuntimePool& p = shards_[i]->pool;
@@ -342,6 +359,8 @@ Result<bool> ShardedRuntimePool::check_conservation() const {
     removed += p.removed_count();
     donated += p.donated_count();
     respecialized += p.respecialized_count();
+    checkpointed += p.checkpointed_count();
+    restored += p.restored_count();
     pooled += p.total_available();
   }
   // Per-shard identities imply the global one; re-derive it anyway so a
@@ -369,6 +388,23 @@ Result<bool> ShardedRuntimePool::check_conservation() const {
         "global: respecialized " + std::to_string(respecialized) +
             " exceeds donated " + std::to_string(donated) +
             " (a respecialized residency never left a donor pool)");
+  }
+  // Tiering sub-flows close globally like sharing does: a demotion leaves
+  // one shard (checkpointed) and the revived snapshot re-enters under the
+  // same key — the same shard today, but the global bound is the contract.
+  if (checkpointed > removed) {
+    return make_error<bool>(
+        "pool.conservation",
+        "global: checkpointed " + std::to_string(checkpointed) +
+            " exceeds removed " + std::to_string(removed) +
+            " (a demotion was not counted as a removal)");
+  }
+  if (restored > admitted) {
+    return make_error<bool>(
+        "pool.conservation",
+        "global: restored " + std::to_string(restored) +
+            " exceeds admitted " + std::to_string(admitted) +
+            " (a restore was not counted as an admission)");
   }
   return true;
 }
@@ -402,6 +438,18 @@ std::uint64_t ShardedRuntimePool::donated_count() const {
 std::uint64_t ShardedRuntimePool::respecialized_count() const {
   std::uint64_t total = 0;
   for (const auto& shard : shards_) total += shard->pool.respecialized_count();
+  return total;
+}
+
+std::uint64_t ShardedRuntimePool::checkpointed_count() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->pool.checkpointed_count();
+  return total;
+}
+
+std::uint64_t ShardedRuntimePool::restored_count() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->pool.restored_count();
   return total;
 }
 

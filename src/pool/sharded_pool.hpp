@@ -76,6 +76,10 @@ class ShardedRuntimePool : public PoolView {
                                                 TimePoint now);
   void add_available(const PoolEntry& entry, TimePoint now);
   bool remove(const spec::RuntimeKey& key, engine::ContainerId id);
+  /// remove() plus the checkpointed sub-flow attribution (the container is
+  /// being demoted into the snapshot store; checkpointed ⊆ removed).
+  bool remove_for_checkpoint(const spec::RuntimeKey& key,
+                             engine::ContainerId id);
   bool mark_paused(const spec::RuntimeKey& key, engine::ContainerId id);
 
   // --- eviction (locks all shards, index order) -------------------------
@@ -110,6 +114,8 @@ class ShardedRuntimePool : public PoolView {
   [[nodiscard]] std::uint64_t removed_count() const;
   [[nodiscard]] std::uint64_t donated_count() const;
   [[nodiscard]] std::uint64_t respecialized_count() const;
+  [[nodiscard]] std::uint64_t checkpointed_count() const;
+  [[nodiscard]] std::uint64_t restored_count() const;
 
   /// Lock-free consistent cut of the flow ledger: each shard's
   /// contribution is read atomically under its seqlock, and per-shard

@@ -19,14 +19,20 @@
 #include <chrono>
 #include <functional>
 #include <future>
+#include <optional>
 #include <string>
+#include <vector>
 
+#include "core/flat_map.hpp"
+#include "core/ranked_mutex.hpp"
 #include "core/time.hpp"
 #include "engine/app.hpp"
 #include "engine/cost_model.hpp"
 #include "pool/sharded_pool.hpp"
 #include "runtime/thread_pool.hpp"
 #include "share/donor_registry.hpp"
+#include "snapshot/checkpoint_store.hpp"
+#include "snapshot/tiering.hpp"
 #include "spec/runspec.hpp"
 #include "spec/runtime_key.hpp"
 
@@ -48,6 +54,12 @@ struct RealOptions {
   bool enable_sharing = false;
   /// A donor is viable when modelled conversion cost <= ratio * cold cost.
   double share_max_cost_ratio = 0.8;
+  /// Tiered warm state (DESIGN.md §16): trim victims that pass the
+  /// economic gate are demoted into a modelled checkpoint store instead of
+  /// being discarded outright, and the miss path tries a restore —
+  /// pool-hit -> donor -> checkpoint-restore -> cold — before paying the
+  /// full cold start.  Off by default — eviction semantics unchanged.
+  snapshot::TieringOptions tiering;
 };
 
 struct RealOutcome {
@@ -55,6 +67,9 @@ struct RealOutcome {
   /// Served by converting a compatible sibling runtime (not an exact
   /// reuse, not a cold start — the conversion cost was paid instead).
   bool respecialized = false;
+  /// Revived from the snapshot tier: a restore was paid (≪ cold) instead
+  /// of a full cold start.
+  bool restored = false;
   bool app_was_warm = false;
   Duration wall_time = kZeroDuration;   // measured, not modelled
   Duration modeled_cold = kZeroDuration;  // the cold cost that was (not) paid
@@ -84,6 +99,15 @@ class RealHotC {
   [[nodiscard]] std::uint64_t reuses() const { return reuses_; }
   [[nodiscard]] std::uint64_t donor_lookups() const { return donor_lookups_; }
   [[nodiscard]] std::uint64_t donor_hits() const { return donor_hits_; }
+  /// Snapshot-tier traffic (zero when tiering is disabled).
+  [[nodiscard]] std::uint64_t demotes() const { return snapshots_.demotes(); }
+  [[nodiscard]] std::uint64_t restores() const {
+    return snapshots_.restores();
+  }
+  /// The modelled checkpoint store behind the tiering path.
+  [[nodiscard]] const snapshot::CheckpointStore& snapshot_store() const {
+    return snapshots_;
+  }
   [[nodiscard]] std::size_t warm_count() const {
     return warm_.total_available();
   }
@@ -98,7 +122,28 @@ class RealHotC {
   }
 
   /// Oldest-first trim back to max_warm after a return (paper eviction).
+  /// With tiering on, victims that pass the economic gate are demoted
+  /// into the snapshot store instead of being dropped.
   void trim_warm();
+
+  /// Per-key tiering economics, captured at submit time (the only point
+  /// where the spec is in scope; trim victims arrive as bare pool
+  /// entries).  All fields derive deterministically from the canonical
+  /// spec, so last-writer-wins refresh is idempotent.
+  struct KeyCosts {
+    Bytes image_bytes = 0;   // modelled checkpoint image size
+    double cold_s = 0.0;     // full cold start, seconds
+    double restore_s = 0.0;  // checkpoint restore, seconds
+    std::uint64_t tenant = 0;
+  };
+  void record_costs(const spec::RuntimeKey& key, const spec::RunSpec& spec,
+                    const engine::Image& image, Duration cold_total);
+  [[nodiscard]] std::optional<KeyCosts> costs_for(spec::KeyId key) const;
+
+  /// Demote one trim victim into the snapshot store.  Returns false when
+  /// the economic gate fails (caller falls back to a plain eviction) or
+  /// the victim was claimed by a racing worker.
+  bool demote_victim(const pool::PoolEntry& victim);
 
   RealOptions options_;
   engine::CostModel cost_;
@@ -107,6 +152,15 @@ class RealHotC {
   /// Compatibility index over keys this instance has seen.  Writes to the
   /// warm set itself still go through the pool's lease/return seam only.
   share::DonorRegistry donors_;
+  /// The disk-resident middle tier (always constructed; empty and idle
+  /// unless options_.tiering.enabled routes traffic through it).
+  snapshot::CheckpointStore snapshots_;
+  /// Guards the key -> KeyCosts table.  Band 55 with a sequence past any
+  /// store stripe; held only for the copy-in/copy-out, never across a
+  /// pool or store call.
+  mutable RankedMutex costs_mu_;
+  IdSlotMap cost_index_ HOTC_GUARDED_BY(costs_mu_);  // KeyId -> costs_ slot
+  std::vector<KeyCosts> costs_ HOTC_GUARDED_BY(costs_mu_);
   std::atomic<engine::ContainerId> next_runtime_id_{1};
   std::atomic<std::uint64_t> cold_starts_{0};
   std::atomic<std::uint64_t> reuses_{0};

@@ -26,6 +26,10 @@ namespace {
   // "hotc-sharing" = HotC with cross-key sharing forced on, so one
   // scenario document can compare sharing on vs off over one workload.
   if (name == "hotc-sharing") return faas::PolicyKind::kHotC;
+  // "hotc-tiering" = the sharing configuration plus the snapshot tier
+  // (DESIGN.md §16), so the same document can show what checkpoint/restore
+  // adds on top of the previous best.
+  if (name == "hotc-tiering") return faas::PolicyKind::kHotC;
   if (name == "periodic-warmup") return faas::PolicyKind::kPeriodicWarmup;
   return make_error<faas::PolicyKind>("scenario.bad_policy",
                                       "unknown policy: " + name);
@@ -172,6 +176,18 @@ namespace {
     opt.pause_idle_after =
         seconds_f(h["pause_idle_minutes"].as_number() * 60.0);
   }
+  opt.tiering.enabled = h["tiering"].bool_or(opt.tiering.enabled);
+  if (h["tiering_alpha"].is_number()) {
+    opt.tiering.alpha = h["tiering_alpha"].as_number();
+  }
+  if (h["snapshot_capacity_mb"].is_number()) {
+    opt.tiering.store.capacity_bytes =
+        mib_f(h["snapshot_capacity_mb"].as_number());
+  }
+  if (h["snapshot_per_tenant_mb"].is_number()) {
+    opt.tiering.store.per_tenant_bytes =
+        mib_f(h["snapshot_per_tenant_mb"].as_number());
+  }
   const double alpha = h["alpha"].number_or(0.8);
   const std::string predictor = h["predictor"].string_or("hybrid");
   if (predictor == "hybrid") {
@@ -206,6 +222,12 @@ namespace {
   }
   auto host = host_from(doc["host"]);
   if (!host.ok()) return Result<Scenario>(host.error());
+  engine::HostProfile host_profile = host.value();
+  if (doc["host_memory_mb"].is_number()) {
+    // Memory-pressure scenarios cap the profile without needing a whole
+    // new host preset.
+    host_profile.memory_total = mib_f(doc["host_memory_mb"].as_number());
+  }
   auto mix = mix_from(doc["mix"]);
   if (!mix.ok()) return Result<Scenario>(mix.error());
   Rng rng(static_cast<std::uint64_t>(doc["seed"].number_or(2021.0)));
@@ -213,7 +235,7 @@ namespace {
   if (!arrivals.ok()) return Result<Scenario>(arrivals.error());
 
   Scenario out{
-      doc["name"].string_or("(unnamed)"), host.value(), {}, {}, {},
+      doc["name"].string_or("(unnamed)"), host_profile, {}, {}, {},
       std::move(arrivals).take(), std::move(mix).take()};
 
   std::vector<std::string> names;
@@ -269,6 +291,8 @@ Json ScenarioResult::to_json() const {
     o["donor_lookups"] = static_cast<std::int64_t>(r.donor_lookups);
     o["donor_hits"] = static_cast<std::int64_t>(r.donor_hits);
     o["respec_rejected"] = static_cast<std::int64_t>(r.respec_rejected);
+    o["checkpoints"] = static_cast<std::int64_t>(r.checkpoints);
+    o["restores"] = static_cast<std::int64_t>(r.restores);
     arr.emplace_back(std::move(o));
   }
   JsonObject top;
@@ -286,6 +310,12 @@ ScenarioResult run_scenario(const Scenario& scenario) {
     if (scenario.policy_labels[i] == "hotc-sharing") {
       opt.hotc.enable_sharing = true;
     }
+    if (scenario.policy_labels[i] == "hotc-tiering") {
+      // Tiering rides on top of the sharing configuration so the label
+      // isolates exactly what the snapshot tier adds.
+      opt.hotc.enable_sharing = true;
+      opt.hotc.tiering.enabled = true;
+    }
     faas::FaasPlatform platform(opt);
     PolicyResult r;
     r.policy = scenario.policy_labels[i];
@@ -295,6 +325,8 @@ ScenarioResult run_scenario(const Scenario& scenario) {
       r.donor_lookups = c->stats().donor_lookups;
       r.donor_hits = c->stats().donor_hits;
       r.respec_rejected = c->stats().respec_rejected;
+      r.checkpoints = c->stats().checkpoints;
+      r.restores = c->stats().restores;
     }
     out.runs.push_back(std::move(r));
   }

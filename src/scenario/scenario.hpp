@@ -11,15 +11,20 @@
 //   {
 //     "name": "my experiment",
 //     "host": "server" | "edge_pi" | "edge_tx2",
+//     "host_memory_mb": 512,                 // cap the host's memory
 //     "policy": "hotc",                      // or "policies": ["a","b"];
 //                                            // "hotc-sharing" = hotc with
-//                                            // cross-key sharing forced on
+//                                            // cross-key sharing forced on;
+//                                            // "hotc-tiering" = sharing +
+//                                            // snapshot tiering forced on
 //     "keep_alive_minutes": 15,
 //     "hotc": {
 //       "max_live": 500, "memory_threshold": 0.8,
 //       "prewarm": true, "retire": true, "subset_key": false,
 //       "sharing": false, "share_max_cost_ratio": 0.8,
 //       "adaptive_interval_seconds": 30, "pause_idle_minutes": 0,
+//       "tiering": false, "tiering_alpha": 0.5,
+//       "snapshot_capacity_mb": 4096, "snapshot_per_tenant_mb": 0,
 //       "alpha": 0.8, "predictor": "hybrid" | "meta" | "seasonal" | "es"
 //     },
 //     "workload": { "pattern": "...", ...pattern params },   // required
@@ -66,6 +71,9 @@ struct PolicyResult {
   std::uint64_t donor_lookups = 0;
   std::uint64_t donor_hits = 0;
   std::uint64_t respec_rejected = 0;
+  /// Snapshot-tier counters (zero unless tiering ran).
+  std::uint64_t checkpoints = 0;
+  std::uint64_t restores = 0;
 };
 
 struct ScenarioResult {

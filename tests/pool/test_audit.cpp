@@ -229,5 +229,56 @@ TEST(PoolConservationDeathTest, RespecializedOverflowAborts) {
   EXPECT_DEATH(audit::enforce(bad, "seeded-respec"), "conservation violated");
 }
 
+TEST(PoolConservation, CheckpointedAndRestoredFlowsBalance) {
+  // The snapshot tier's two ledger flows: a demotion leaves through
+  // remove_for_checkpoint (checkpointed ⊆ removed) and the revived
+  // runtime re-enters via add_available with the restored flag
+  // (restored ⊆ admitted).
+  ShardedRuntimePool pool({}, 4);
+  const auto python = key_for("python");
+  pool.add_available(entry(1, python, seconds(0)), seconds(1));
+
+  ASSERT_TRUE(pool.remove_for_checkpoint(python, 1));
+  EXPECT_EQ(pool.checkpointed_count(), 1u);
+  EXPECT_EQ(pool.removed_count(), 1u);
+
+  PoolEntry revived = entry(1, python, seconds(0));
+  revived.restored = true;
+  pool.add_available(revived, seconds(5));
+  EXPECT_EQ(pool.restored_count(), 1u);
+  EXPECT_EQ(pool.admitted_count(), 2u);  // two residencies, one container
+
+  EXPECT_TRUE(pool.check_conservation().ok());
+  const audit::PoolLedger l = audit::ledger(pool);
+  EXPECT_EQ(l.checkpointed, 1u);
+  EXPECT_EQ(l.restored, 1u);
+  EXPECT_TRUE(l.verify().ok());
+}
+
+TEST(PoolConservationDeathTest, CheckpointedOverflowAborts) {
+  // More demotions than removals: a container left for the snapshot tier
+  // without leaving the pool — the double-visibility bug for the new tier.
+  audit::PoolLedger bad;
+  bad.admitted = 3;
+  bad.removed = 1;
+  bad.pooled = 2;
+  bad.checkpointed = 2;  // checkpointed must be a sub-flow of removed
+  ASSERT_FALSE(bad.verify().ok());
+  EXPECT_DEATH(audit::enforce(bad, "seeded-checkpointed"),
+               "conservation violated");
+}
+
+TEST(PoolConservationDeathTest, RestoredOverflowAborts) {
+  // More restores re-admitted than residencies ever admitted: one
+  // snapshot revived twice (take() failed to consume).
+  audit::PoolLedger bad;
+  bad.admitted = 2;
+  bad.pooled = 2;
+  bad.restored = 3;  // restored must be a sub-flow of admitted
+  ASSERT_FALSE(bad.verify().ok());
+  EXPECT_DEATH(audit::enforce(bad, "seeded-restored"),
+               "conservation violated");
+}
+
 }  // namespace
 }  // namespace hotc::pool

@@ -17,8 +17,8 @@ namespace {
 using S = ContainerState;
 
 constexpr std::array<S, kContainerStateCount> kAllStates = {
-    S::kProvisioning, S::kIdle,     S::kBusy,   S::kCleaning,
-    S::kPaused,       S::kStopping, S::kRemoved};
+    S::kProvisioning, S::kIdle,         S::kBusy,     S::kCleaning,
+    S::kPaused,       S::kCheckpointed, S::kStopping, S::kRemoved};
 
 // The legal edges, written out independently of the table in the header
 // (transcribed from the original switch-based implementation, which the
@@ -33,6 +33,8 @@ const std::set<std::pair<S, S>>& golden_edges() {
       {S::kBusy, S::kStopping},
       {S::kCleaning, S::kIdle},      {S::kCleaning, S::kStopping},
       {S::kPaused, S::kIdle},        {S::kPaused, S::kStopping},
+      {S::kIdle, S::kCheckpointed},  {S::kCheckpointed, S::kIdle},
+      {S::kCheckpointed, S::kStopping},
       {S::kStopping, S::kRemoved},
   };
   return edges;
@@ -67,7 +69,7 @@ TEST(FsmTable, AvailabilityRoundTripsPaperEncoding) {
   EXPECT_EQ(available, std::set<S>({S::kIdle}));
   EXPECT_EQ(not_available,
             std::set<S>({S::kProvisioning, S::kBusy, S::kCleaning,
-                         S::kPaused, S::kStopping}));
+                         S::kPaused, S::kCheckpointed, S::kStopping}));
   EXPECT_EQ(not_existing.size() + not_available.size() + available.size(),
             kAllStates.size());
 }

@@ -1,8 +1,9 @@
 // hotc_analyze self-test fixture (analyzer input, never compiled).
 // The clean twin of guarded_by_fail.cpp: every guarded touch happens
 // under the right mutex, a HOTC_REQUIRES contract satisfies the guard at
-// the callee, lock-free reads of a write-guarded field are accepted, and
-// constructors are exempt.
+// the callee, lock-free reads of a write-guarded field are accepted,
+// constructors are exempt, and HOTC_NO_THREAD_SAFETY_ANALYSIS opts a
+// caller-batch helper out exactly as clang TSA would.
 enum class LockRank : unsigned { kState = 40 };
 
 namespace fix {
@@ -28,6 +29,13 @@ class Counter {
   void refresh(long v) {
     const RankedGuard lock(mu_);
     set_cached(v);
+  }
+
+  // Runs under a caller-held batch of every stripe lock (the lock_all()
+  // pattern): the per-function simulation cannot see the capability, so
+  // the annotation opts the body out of the guarded-by rule.
+  [[nodiscard]] long scan_all() const HOTC_NO_THREAD_SAFETY_ANALYSIS {
+    return count_;
   }
 
  private:

@@ -1,0 +1,44 @@
+// hotc_analyze self-test fixture (analyzer input, never compiled).
+// The clean twin of snapshot_restore_fail.cpp: the miss-path lookups only
+// touch pre-sized slab state, the free-list push reuses reserved capacity,
+// and admission (the cold demote path) carries the explicit allow tag for
+// its table growth.
+namespace fix {
+
+class CheckpointStore {
+ public:
+  // Hot root: chain unlink over pre-sized slots, no allocation.
+  int take(int key) {
+    const int slot = heads_[key & 7];
+    if (slot >= 0) {
+      heads_[key & 7] = next_[slot];
+      free_count_ += 1;  // capacity reserved at insert time
+    }
+    return slot;
+  }
+
+  // Hot root: read-only probe plus an access-time refresh.
+  int peek(int key) {
+    const int slot = heads_[key & 7];
+    if (slot >= 0) {
+      last_access_[slot] += 1;
+    }
+    return slot;
+  }
+
+  // hotc-analyze: cold-path
+  void admit(int key) {
+    // hot-path-alloc: allow(table growth, once per distinct key)
+    auto* grown = new int[64]();
+    grown[key & 63] = key;
+    delete[] grown;
+  }
+
+ private:
+  int heads_[8] = {-1, -1, -1, -1, -1, -1, -1, -1};
+  int next_[64] = {};
+  int last_access_[64] = {};
+  int free_count_ = 0;
+};
+
+}  // namespace fix

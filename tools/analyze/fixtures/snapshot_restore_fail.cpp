@@ -1,0 +1,25 @@
+// hotc_analyze self-test fixture (analyzer input, never compiled).
+// Seeded violations for the hot-path-alloc rule rooted at the snapshot
+// tier's miss-path lookups: CheckpointStore::take() reaches an allocation
+// transitively, and peek() allocates directly while labelling the result.
+namespace fix {
+
+class CheckpointStore {
+ public:
+  // Hot root by name: the consuming miss-path lookup.
+  int take(int key) { return unlink(key); }
+
+  // Hot root by name: the non-consuming probe.
+  int peek(int key) {
+    auto label = std::to_string(key);  // direct allocation in the probe
+    return static_cast<int>(label.size());
+  }
+
+ private:
+  int unlink(int key) {
+    auto* slot = new int(key);  // transitive allocation from take()
+    return *slot;
+  }
+};
+
+}  // namespace fix

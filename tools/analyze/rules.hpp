@@ -29,7 +29,7 @@ struct RuleOptions {
   /// contain to be walked (barrier otherwise).  Ignored when
   /// `all_in_scope` (explicit file lists, i.e. fixtures).
   std::vector<std::string> scope_dirs = {"pool/", "runtime/", "core/",
-                                         "spec/", "obs/prof"};
+                                         "spec/", "obs/prof", "snapshot/"};
   bool all_in_scope = false;
 };
 

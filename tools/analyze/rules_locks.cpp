@@ -327,6 +327,11 @@ std::string receiver_type(const Model& model, const Function& fn,
 
 void guarded_in(const Model& model, const Function& fn,
                 std::vector<Finding>& out) {
+  // HOTC_NO_THREAD_SAFETY_ANALYSIS mirrors clang TSA: the function runs
+  // under capabilities the per-function simulation cannot see (a caller's
+  // lock_all() batch, e.g. CheckpointStore::pick_victim), so guarded-by
+  // is skipped exactly as the compiler skips it.
+  if (fn.no_ts_analysis) return;
   const auto& toks = model.files[fn.file_index].tokens;
   std::map<std::size_t, const Acquisition*> acq_at;
   for (const auto& a : fn.acquisitions) acq_at[a.tok] = &a;

@@ -231,6 +231,11 @@ const char* kPoolHotMethods[] = {"acquire", "acquire_for_donation",
 const char* kProfHookMethods[] = {"on_lock_wait", "on_seqlock_retry",
                                   "on_task"};
 
+// Snapshot-tier lookups that sit on the request miss path (ISSUE 9):
+// every cold start pays a take() before falling through, so the store's
+// consuming lookup must stay allocation-free like the pool hot methods.
+const char* kSnapshotHotMethods[] = {"take", "peek"};
+
 bool is_hot_root(const Function& fn) {
   if (fn.hot_path_root) return true;
   const std::string leaf = last_component(fn.cls);
@@ -240,6 +245,10 @@ bool is_hot_root(const Function& fn) {
   }
   if (leaf == "Profiler") {
     for (const char* m : kProfHookMethods)
+      if (fn.name == m) return true;
+  }
+  if (leaf == "CheckpointStore") {
+    for (const char* m : kSnapshotHotMethods)
       if (fn.name == m) return true;
   }
   return false;

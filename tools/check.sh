@@ -30,7 +30,7 @@ ctest --test-dir "$ROOT/build" -L analyze --output-on-failure -j "$JOBS"
   --baseline "$ROOT/tools/analyze/baseline.txt" \
   --report "$ROOT/build/analyze_report.json"
 
-step "smoke bench: pool + fig15 + sharing + diagnosis + prof + hotc_top/prof"
+step "smoke bench: pool + fig15 + sharing + diagnosis + prof + tiering + hotc_top/prof"
 SMOKE_DIR="$(mktemp -d)"
 HOTC_SMOKE=1 HOTC_BENCH_DIR="$SMOKE_DIR" \
   "$ROOT/build/bench/bench_pool_concurrency" >/dev/null
@@ -42,6 +42,10 @@ HOTC_SMOKE=1 HOTC_BENCH_DIR="$SMOKE_DIR" \
   "$ROOT/build/bench/bench_diagnosis" >/dev/null
 HOTC_SMOKE=1 HOTC_BENCH_DIR="$SMOKE_DIR" \
   "$ROOT/build/bench/bench_prof" >/dev/null
+HOTC_SMOKE=1 HOTC_BENCH_DIR="$SMOKE_DIR" \
+  "$ROOT/build/bench/bench_tiering" >/dev/null
+"$ROOT/build/examples/scenario_runner" \
+  "$ROOT/examples/scenarios/memory_pressure.json" >/dev/null
 HOTC_BENCH_DIR="$SMOKE_DIR" "$ROOT/build/tools/hotc_top" steady >/dev/null
 HOTC_BENCH_DIR="$SMOKE_DIR" "$ROOT/build/tools/hotc_prof" steady >/dev/null
 python3 -c "
@@ -88,6 +92,18 @@ assert doc['gate_passed'] is True
 print('BENCH_prof.json: ok (%.2f%% overhead, %.1f%% band-50 attribution)'
       % (doc['overhead']['overhead_pct'],
          doc['contention']['band50_share'] * 100))
+doc = json.load(open('$SMOKE_DIR/BENCH_tiering.json'))
+assert doc['smoke'] is True
+assert doc['conservation_ok'] is True, 'snapshot ledger does not balance'
+assert doc['equal_budget']['gate_passed'] is True
+assert doc['memory_pressure']['gate_passed'] is True
+assert doc['gate_passed'] is True
+print('BENCH_tiering.json: ok (full-cold ratio %.1f%% -> %.1f%%, '
+      'pressure full colds %d vs %d)'
+      % (doc['equal_budget']['baseline']['full_cold_ratio'] * 100,
+         doc['equal_budget']['tiering']['full_cold_ratio'] * 100,
+         doc['memory_pressure']['tiering']['full_cold_starts'],
+         doc['memory_pressure']['baseline']['full_cold_starts']))
 folded = open('$SMOKE_DIR/OBS_profile.folded').read()
 assert folded.strip(), 'OBS_profile.folded is empty'
 cp = json.load(open('$SMOKE_DIR/OBS_critical_path.json'))

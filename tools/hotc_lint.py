@@ -121,9 +121,10 @@ HOT_PATH_ALLOC_RE = re.compile(
     r"\bstd::string\s+[A-Za-z_]|"
     r"\bstd::string\s*[({]")
 
-# Files the hot-path-alloc rule covers: the whole pool layer plus the
+# Files the hot-path-alloc rule covers: the whole pool layer, the snapshot
+# tier (its take()/peek() lookups sit on the request miss path) plus the
 # RealHotC dispatch implementation (its header only declares API types).
-HOT_PATH_ALLOC_SCOPE = ("pool/",)
+HOT_PATH_ALLOC_SCOPE = ("pool/", "snapshot/")
 HOT_PATH_ALLOC_FILES = {"runtime/real_hotc.cpp"}
 
 ALLOC_ALLOW = "hot-path-alloc: allow"
@@ -625,6 +626,25 @@ SELF_TEST_CASES = {
         "share/ok_view.cpp",
         "bool idle(const V& view, const K& k) "
         "{ return view.num_available(k) > 0; }\n",
+        None),
+    "hot-path-alloc fires in the snapshot tier": (
+        "snapshot/bad_take.cpp",
+        "#include <string>\nauto s = std::to_string(42);\n",
+        "hot-path-alloc"),
+    "hot-path-alloc snapshot allow survives": (
+        "snapshot/ok_growth.cpp",
+        "void f() {\n"
+        "  // hot-path-alloc: allow — table growth, once per distinct key\n"
+        "  auto* p = new int(3);\n  (void)p;\n}\n",
+        None),
+    "metric-naming fires on unprefixed snapshot series": (
+        "snapshot/bad_metric.cpp",
+        'void f(R& r) { r.gauge("snapshot_store_bytes", "Disk"); }\n',
+        "metric-naming"),
+    "metric-naming ok on hotc_snapshot_ series": (
+        "snapshot/ok_metric.cpp",
+        'void f(R& r) {\n  r.counter(\n      "hotc_snapshot_demotes_total",\n'
+        '      "Runtimes demoted into the checkpoint store").inc();\n}\n',
         None),
 }
 

@@ -11,6 +11,9 @@
 //     demand / forecast / prewarms / retires from the newest journal
 //     records, drift-restart and mute flags;
 //   - SLO panel: windowed value, fast/slow burn rates, FIRING marker;
+//   - snapshot-tier panel: checkpoint-store bytes vs budget, per-tenant
+//     occupancy, demotion / restore / eviction counts and the restore
+//     hit rate, read from the same registry cut (doc["snapshot"]);
 //   - p99 cross-link: the end-to-end latency histogram's p99 bucket is
 //     resolved to its exemplar trace id, and that id to its spans in the
 //     flight recorder — which are dumped to OBS_spans.jsonl, so the JSON
@@ -34,6 +37,7 @@
 #include "obs/journal.hpp"
 #include "obs/prof.hpp"
 #include "obs/slo.hpp"
+#include "snapshot/checkpoint_store.hpp"
 #include "spec/runtime_key.hpp"
 
 using namespace hotc;
@@ -96,6 +100,11 @@ int main(int argc, char** argv) {
   opt.hotc.journal = &journal;
   opt.hotc.slo = &slo;
   opt.hotc.enable_drift_detection = true;
+  // Tiered warm state on: adaptive-loop retirements park in the snapshot
+  // store, so the tier panel below has real traffic to show.  Restores
+  // still count as cold starts (they walk the cold path, just cheaper),
+  // so the SLO panel's cold-ratio reading is unchanged.
+  opt.hotc.tiering.enabled = true;
   faas::FaasPlatform platform(opt);
 
   // Continuous profiler across the run: the contention and queue-delay
@@ -117,6 +126,12 @@ int main(int argc, char** argv) {
   const std::vector<obs::SpanRecord> spans = tracer.recorder().snapshot();
   const obs::ProfSnapshot prof = profiler.snapshot();
   const std::uint64_t ticks = platform.hotc_controller()->adaptive_ticks();
+  const snapshot::CheckpointStore* store =
+      platform.hotc_controller()->checkpoint_store();
+  const std::vector<snapshot::CheckpointStore::TenantOccupancy> tenants =
+      store != nullptr
+          ? store->tenant_occupancy()
+          : std::vector<snapshot::CheckpointStore::TenantOccupancy>{};
 
   // ---- per-key health -------------------------------------------------------
   std::map<std::string, KeyHealth> keys;  // decimal key id -> health
@@ -213,6 +228,52 @@ int main(int argc, char** argv) {
             << "seqlock retries " << prof.seqlock_retries
             << ", untracked waits " << prof.untracked_waits
             << ", sampler polls " << prof.sampler_polls << "\n\n";
+
+  // ---- snapshot-tier panel --------------------------------------------------
+  // Counters come from the same registry cut (the store publishes
+  // hotc_snapshot_*); per-tenant occupancy is the store's own read, taken
+  // in the same quiet post-run state.
+  double snap_bytes = 0.0;
+  double snap_entries = 0.0;
+  double snap_demotes = 0.0;
+  double snap_restores = 0.0;
+  double snap_evictions = 0.0;
+  double snap_rejected = 0.0;
+  for (const auto& s : snap) {
+    if (s.name == "hotc_snapshot_store_bytes") snap_bytes = s.value;
+    if (s.name == "hotc_snapshot_store_entries") snap_entries = s.value;
+    if (s.name == "hotc_snapshot_demotes_total") snap_demotes = s.value;
+    if (s.name == "hotc_snapshot_restores_total") snap_restores = s.value;
+    if (s.name == "hotc_snapshot_evictions_total") snap_evictions = s.value;
+    if (s.name == "hotc_snapshot_rejected_total") snap_rejected = s.value;
+  }
+  // Share of demotions whose disk parking paid off as a restore.
+  const double restore_hit_rate =
+      snap_demotes > 0.0 ? snap_restores / snap_demotes : 0.0;
+  const double budget_mib =
+      store != nullptr
+          ? static_cast<double>(store->capacity_bytes()) / (1024.0 * 1024.0)
+          : 0.0;
+  Table tier_table({"store MiB", "budget MiB", "entries", "demotes",
+                    "restores", "evictions", "rejected", "restore hit%"});
+  tier_table.add_row({Table::num(snap_bytes / (1024.0 * 1024.0), 2),
+                      Table::num(budget_mib, 0),
+                      Table::num(snap_entries, 0),
+                      Table::num(snap_demotes, 0),
+                      Table::num(snap_restores, 0),
+                      Table::num(snap_evictions, 0),
+                      Table::num(snap_rejected, 0),
+                      Table::num(restore_hit_rate * 100.0, 1)});
+  Table tenant_table({"tenant", "bytes", "entries"});
+  for (const auto& t : tenants) {
+    tenant_table.add_row({std::to_string(t.tenant),
+                          std::to_string(t.bytes),
+                          std::to_string(t.entries)});
+  }
+  if (tenants.empty()) {
+    tenant_table.add_row({"(store empty)", "0", "0"});
+  }
+  std::cout << tier_table.to_string() << tenant_table.to_string() << "\n";
 
   // ---- p99 exemplar cross-link ----------------------------------------------
   // Resolve the end-to-end latency histogram's p99 bucket to its exemplar
@@ -340,6 +401,29 @@ int main(int argc, char** argv) {
       Json(static_cast<std::int64_t>(prof.untracked_waits));
   pr["sampler_polls"] = Json(static_cast<std::int64_t>(prof.sampler_polls));
   doc["prof"] = Json(std::move(pr));
+
+  JsonObject tier;
+  tier["store_bytes"] = Json(snap_bytes);
+  tier["budget_bytes"] =
+      Json(store != nullptr
+               ? static_cast<std::int64_t>(store->capacity_bytes())
+               : std::int64_t{0});
+  tier["entries"] = Json(snap_entries);
+  tier["demotes"] = Json(snap_demotes);
+  tier["restores"] = Json(snap_restores);
+  tier["evictions"] = Json(snap_evictions);
+  tier["rejected"] = Json(snap_rejected);
+  tier["restore_hit_rate"] = Json(restore_hit_rate);
+  JsonArray tenant_rows;
+  for (const auto& t : tenants) {
+    JsonObject j;
+    j["tenant"] = Json(std::to_string(t.tenant));  // ids exceed 2^53
+    j["bytes"] = Json(static_cast<std::int64_t>(t.bytes));
+    j["entries"] = Json(static_cast<std::int64_t>(t.entries));
+    tenant_rows.push_back(Json(std::move(j)));
+  }
+  tier["tenants"] = Json(std::move(tenant_rows));
+  doc["snapshot"] = Json(std::move(tier));
 
   JsonObject jj;
   jj["records"] = Json(static_cast<std::int64_t>(tail.size()));
