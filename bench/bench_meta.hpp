@@ -1,0 +1,39 @@
+// Run provenance helpers shared by every bench emitter (ISSUE 10): the
+// pieces of "which run produced this number" that bench/common.hpp's
+// provenance() block stitches together.  Kept header-only and tiny so
+// the tools (hotc_top, hotc_prof, hotc_postmortem) can embed the same
+// block without linking bench code.
+#pragma once
+
+#include <ctime>
+#include <string>
+
+namespace hotc::bench {
+
+/// Wall-clock run timestamp, ISO-8601 UTC ("2026-08-08T12:34:56Z").
+/// Bench runs are compared across days and machines; a local-zone stamp
+/// would make two runs an hour apart look a timezone apart.
+inline std::string iso8601_utc_now() {
+  const std::time_t now = std::time(nullptr);
+  std::tm tm_utc{};
+  if (gmtime_r(&now, &tm_utc) == nullptr) return "unknown";
+  char buf[32];
+  if (std::strftime(buf, sizeof(buf), "%Y-%m-%dT%H:%M:%SZ", &tm_utc) == 0) {
+    return "unknown";
+  }
+  return buf;
+}
+
+/// The compiler flag line the binary was built with (CMAKE_CXX_FLAGS via
+/// the HOTC_BUILD_FLAGS define).  An -O0 number and an -O3 number are
+/// different experiments; the JSON should say which this was.
+inline std::string build_flags() {
+#ifdef HOTC_BUILD_FLAGS
+  const std::string flags = HOTC_BUILD_FLAGS;
+  return flags.empty() ? "(default)" : flags;
+#else
+  return "(default)";
+#endif
+}
+
+}  // namespace hotc::bench

@@ -13,6 +13,7 @@
 #include <string>
 #include <thread>
 
+#include "bench_meta.hpp"
 #include "core/json.hpp"
 #include "core/table.hpp"
 #include "faas/platform.hpp"
@@ -72,6 +73,7 @@ inline std::string git_sha() {
 /// a perf number without the machine and build that produced it is noise.
 inline JsonObject provenance() {
   JsonObject p;
+  p["timestamp"] = Json(iso8601_utc_now());
   p["host_cores"] = Json(static_cast<std::int64_t>(
       std::thread::hardware_concurrency()));
   p["smoke"] = Json(smoke_mode());
@@ -81,6 +83,7 @@ inline JsonObject provenance() {
   p["build_type"] = Json(std::string("unknown"));
 #endif
   p["git_sha"] = Json(git_sha());
+  p["build_flags"] = Json(build_flags());
   return p;
 }
 

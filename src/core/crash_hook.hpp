@@ -1,0 +1,64 @@
+// Pre-abort hook seam: how the correctness auditors hand the black box
+// one last chance to persist evidence before the process dies.
+//
+// Three auditors in this tree end in std::abort(): the pool conservation
+// ledger (pool/audit.cpp), the lock-rank auditor (core/ranked_mutex.hpp)
+// and the decision journal's out-of-band-tick check (obs/journal.cpp).
+// Each of those aborts used to take the flight recorder, the decision
+// journal and every retained metric with it.  The BlackBox crash dumper
+// (src/obs/blackbox.hpp, DESIGN.md §17) wants to flush those rings to a
+// pre-opened file first — but none of the abort sites may link against
+// obs, so the dependency is inverted through this header exactly like
+// core/prof_hook.hpp inverts the profiler's.
+//
+// Contract for the installed function:
+//
+//   * it runs on the aborting thread, potentially while that thread
+//     holds arbitrary locks and while other threads keep mutating the
+//     rings — so it must be async-signal-safe in spirit: no allocation,
+//     no mutex, write(2)-level I/O only (machine-checked by the
+//     hotc_analyze `signal-purity` rule over the BlackBox entry point);
+//   * `component` / `detail` are static-storage or stack strings valid
+//     for the duration of the call; the hook copies what it needs;
+//   * it must return (the caller still aborts) and must tolerate being
+//     invoked more than once — a failing auditor may cascade.
+//
+// With no hook installed an abort path pays one relaxed atomic load.
+#pragma once
+
+#include <atomic>
+
+namespace hotc::crash {
+
+/// Invoked just before an auditor calls std::abort().  `component` names
+/// the failing subsystem ("pool.audit", "core.ranked_mutex",
+/// "obs.journal"); `detail` is the human-readable violation text.
+using PreAbortFn = void (*)(const char* component, const char* detail);
+
+namespace detail {
+inline std::atomic<PreAbortFn>& pre_abort_slot() {
+  static std::atomic<PreAbortFn> slot{nullptr};
+  return slot;
+}
+}  // namespace detail
+
+/// Install `fn` (release pairs with the relaxed readers; the function
+/// must stay valid for the life of the process — the BlackBox keeps the
+/// backing state in static storage for exactly this reason).
+inline void install_pre_abort(PreAbortFn fn) {
+  detail::pre_abort_slot().store(fn, std::memory_order_release);
+}
+
+inline void uninstall_pre_abort() {
+  detail::pre_abort_slot().store(nullptr, std::memory_order_release);
+}
+
+/// Called by the abort sites.  Never throws, never blocks the abort.
+inline void notify_pre_abort(const char* component, const char* detail_text) {
+  if (PreAbortFn fn =
+          detail::pre_abort_slot().load(std::memory_order_relaxed)) {
+    fn(component, detail_text);
+  }
+}
+
+}  // namespace hotc::crash

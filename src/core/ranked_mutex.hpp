@@ -34,6 +34,15 @@
 //                                        stripe holder may still register
 //                                        metrics (80), intern (85) and
 //                                        log (90)
+//    65   obs time-series store          0 — retained-history ring
+//                                        (obs/tsdb.hpp).  Strictly below
+//                                        the diagnosis band so the
+//                                        anomaly detector may push into
+//                                        the SLO alert ring (70) — and
+//                                        below the registry (80) so it
+//                                        may lazily register its own
+//                                        hotc_tsdb_* instruments — while
+//                                        holding its sampling lock
 //    70   obs diagnosis state            0 — SLO engine windows + alert
 //                                        ring.  Strictly below the
 //                                        registry band so the engine may
@@ -71,6 +80,7 @@
 #include <vector>
 
 #include "core/annotations.hpp"
+#include "core/crash_hook.hpp"
 #include "core/prof_hook.hpp"
 
 namespace hotc {
@@ -83,6 +93,7 @@ enum class LockRank : std::uint32_t {
   kShareRegistry = 45,
   kPoolShard = 50,
   kSnapshotStore = 55,
+  kObsTsdb = 65,
   kObsDiagnosis = 70,
   kObsRegistry = 80,
   kKeyInterner = 85,
@@ -123,6 +134,7 @@ inline std::vector<HeldLock>& held_locks() {
                "while holding \"%s\" (order %llu)\n",
                name, static_cast<unsigned long long>(order), held.name,
                static_cast<unsigned long long>(held.order));
+  crash::notify_pre_abort("core.ranked_mutex", name);
   std::abort();
 }
 
@@ -131,6 +143,7 @@ inline std::vector<HeldLock>& held_locks() {
                "HOTC lock rank violation: releasing \"%s\" which this "
                "thread does not hold\n",
                name);
+  crash::notify_pre_abort("core.ranked_mutex", name);
   std::abort();
 }
 

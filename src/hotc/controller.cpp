@@ -813,7 +813,24 @@ void HotCController::adaptive_tick() {
   // Ring totals feed the trace_drop_ratio SLO, so sync them just before
   // the engine evaluates its windows.
   if (options_.tracer != nullptr) options_.tracer->sync_trace_counters();
-  if (options_.slo != nullptr) options_.slo->evaluate(tick_);
+  if (options_.slo != nullptr && options_.tsdb != nullptr) {
+    // One consistent cut shared by the SLO engine and the time-series
+    // store: both see the exact same instrument values, and the tick
+    // tail pays for a single Registry read.
+    const obs::RegistrySnapshot cut = options_.tsdb->registry().snapshot();
+    options_.slo->evaluate_snapshot(tick_, cut);
+    options_.tsdb->sample_snapshot(tick_, cut);
+  } else {
+    if (options_.slo != nullptr) options_.slo->evaluate(tick_);
+    if (options_.tsdb != nullptr) options_.tsdb->sample(tick_);
+  }
+  if (options_.blackbox != nullptr) {
+    options_.blackbox->note_tick(tick_);
+    if (options_.slo != nullptr) {
+      options_.blackbox->update_slo_mirror(options_.slo->status(),
+                                           options_.slo->alerts_fired());
+    }
+  }
 }
 
 void HotCController::pause_stale_entries(TimePoint now) {

@@ -22,10 +22,12 @@
 #include "core/result.hpp"
 #include "core/series.hpp"
 #include "engine/engine.hpp"
+#include "obs/blackbox.hpp"
 #include "obs/drift.hpp"
 #include "obs/journal.hpp"
 #include "obs/slo.hpp"
 #include "obs/trace.hpp"
+#include "obs/tsdb.hpp"
 #include "pool/eviction.hpp"
 #include "pool/pool.hpp"
 #include "predict/hybrid.hpp"
@@ -96,6 +98,13 @@ struct ControllerOptions {
   /// the decisions land.
   obs::DecisionJournal* journal = nullptr;
   obs::SloEngine* slo = nullptr;
+  /// Retained metric history (obs/tsdb.hpp): sampled once per adaptive
+  /// tick from the same consistent Registry cut the SLO engine
+  /// evaluates.  Its anomaly detector feeds the SLO alert ring.
+  obs::TimeSeriesStore* tsdb = nullptr;
+  /// Crash dumper (obs/blackbox.hpp): the tick tail refreshes its tick
+  /// marker and SLO mirror so a post-mortem sees the state at death.
+  obs::BlackBox* blackbox = nullptr;
   /// Forecast-drift feedback (obs/drift.hpp): per-key Page-Hinkley over
   /// |forecast - demand|; on sustained drift the key's predictor is
   /// restarted and its donation nomination muted for the cooldown.  An

@@ -7,6 +7,8 @@
 #include <cstdlib>
 #include <map>
 
+#include "core/crash_hook.hpp"
+
 namespace hotc::obs {
 
 TickDecision decide_tick(const TickInputs& in) {
@@ -119,6 +121,7 @@ void DecisionJournal::append(const DecisionRecord& rec) {
                    "(last journalled tick %llu)\n",
                    static_cast<unsigned long long>(rec.tick),
                    static_cast<unsigned long long>(prev));
+      crash::notify_pre_abort("obs.journal", "out-of-band tick");
       std::abort();
     }
     rejected_.fetch_add(1, std::memory_order_relaxed);

@@ -136,6 +136,23 @@ class DecisionJournal {
     return last_tick_.load(std::memory_order_relaxed);
   }
 
+  /// Raw slot array for the black-box crash dumper — same contract as
+  /// FlightRecorder::raw_ring() (obs/trace.hpp): stable contiguous
+  /// memory, per-slot seq word + payload words, decodable offline with
+  /// torn slots skipped by sequence validation.
+  struct RawRing {
+    const void* data = nullptr;
+    std::size_t bytes = 0;
+    std::uint64_t capacity = 0;
+    std::uint64_t shift = 0;
+    std::uint64_t words = 0;
+    std::uint64_t stride = 0;
+  };
+  [[nodiscard]] RawRing raw_ring() const {
+    return {slots_.data(), slots_.size() * sizeof(Slot), slots_.size(),
+            shift_, 8, sizeof(Slot)};
+  }
+
  private:
   // seq protocol per slot: 0 never written; 2c+1 write in progress for
   // cycle c; 2c+2 readable (cycle = ticket >> shift_).

@@ -156,6 +156,18 @@ void SloEngine::evaluate_series(std::uint64_t tick, const SloSpec& spec,
   }
 }
 
+void SloEngine::raise_anomaly(std::uint64_t tick, const std::string& series,
+                              const std::string& labels, double zscore,
+                              double delta) {
+  const RankedGuard lock(mu_);
+  alerts_total_.inc();
+  alert_ring_.push_back(
+      SloAlert{tick, series, labels, zscore, delta, AlertKind::kAnomaly});
+  while (alert_ring_.size() > options_.alert_capacity) {
+    alert_ring_.pop_front();
+  }
+}
+
 std::vector<SloStatus> SloEngine::status() const {
   const RankedGuard lock(mu_);
   std::vector<SloStatus> out;

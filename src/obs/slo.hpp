@@ -80,12 +80,19 @@ struct SloStatus {
   std::uint64_t ticks = 0;  // evaluations this series has seen
 };
 
+/// What put an alert in the ring: a burn-rate trip of a declared SLO, or
+/// a metric anomaly raised by the TimeSeriesStore's MAD/z-score detector
+/// (obs/tsdb.hpp) — same ring, so hotc_top and the post-mortem decoder
+/// render one unified alert timeline.
+enum class AlertKind : std::uint8_t { kBurnRate, kAnomaly };
+
 struct SloAlert {
   std::uint64_t tick = 0;
-  std::string slo;
+  std::string slo;  // spec name, or the anomalous metric family
   std::string labels;
-  double fast_burn = 0.0;
-  double slow_burn = 0.0;
+  double fast_burn = 0.0;  // kAnomaly: the robust z-score
+  double slow_burn = 0.0;  // kAnomaly: the offending per-tick delta
+  AlertKind kind = AlertKind::kBurnRate;
 };
 
 class SloEngine {
@@ -103,6 +110,12 @@ class SloEngine {
   /// As evaluate(), over a snapshot the caller already took (lets a tool
   /// evaluate and render from the exact same cut).
   void evaluate_snapshot(std::uint64_t tick, const RegistrySnapshot& snap);
+
+  /// Push an anomaly-detector finding into the alert ring (counts toward
+  /// alerts_fired()).  Called by TimeSeriesStore while holding its own
+  /// kObsTsdb lock — legal, because kObsTsdb < kObsDiagnosis.
+  void raise_anomaly(std::uint64_t tick, const std::string& series,
+                     const std::string& labels, double zscore, double delta);
 
   [[nodiscard]] std::vector<SloStatus> status() const;
   [[nodiscard]] std::vector<SloAlert> alerts() const;

@@ -137,6 +137,28 @@ class FlightRecorder {
     return dropped_.load(std::memory_order_relaxed);
   }
 
+  /// The raw slot array, for the black-box crash dumper (obs/blackbox.hpp):
+  /// a stable, contiguous memory image a signal handler may copy with
+  /// nothing but write(2).  Each slot is `stride` bytes — a u64 sequence
+  /// word followed by `words` u64 payload words (plus alignment padding);
+  /// the offline decoder (obs/postmortem.hpp) rebuilds publication order
+  /// from the per-slot sequence protocol alone, so no head pointer is
+  /// needed.  Concurrent writers may tear slots mid-dump exactly as they
+  /// may mid-snapshot(); torn slots fail sequence validation and are
+  /// skipped by the decoder, never misread.
+  struct RawRing {
+    const void* data = nullptr;
+    std::size_t bytes = 0;
+    std::uint64_t capacity = 0;
+    std::uint64_t shift = 0;  // log2(capacity)
+    std::uint64_t words = 0;  // payload words per slot
+    std::uint64_t stride = 0; // bytes per slot
+  };
+  [[nodiscard]] RawRing raw_ring() const {
+    return {slots_.data(), slots_.size() * sizeof(Slot), slots_.size(),
+            shift_, 5, sizeof(Slot)};
+  }
+
  private:
   // seq protocol per slot: 0 = never written; 2c+1 = write in progress
   // for cycle c; 2c+2 = readable, written at cycle c (cycle = ticket >>

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "core/crash_hook.hpp"
 #include "core/log.hpp"
 
 namespace hotc::audit {
@@ -100,6 +101,9 @@ namespace {
 [[noreturn]] void conservation_abort(const char* what, const Error& error) {
   std::fprintf(stderr, "HOTC pool conservation violated (%s): %s\n", what,
                error.to_string().c_str());
+  // Give the black box (obs/blackbox.hpp) one chance to flush the flight
+  // recorder / journal / TSDB rings before the process dies.
+  crash::notify_pre_abort("pool.audit", what);
   std::abort();
 }
 

@@ -1,0 +1,46 @@
+// hotc_analyze self-test fixture (analyzer input, never compiled).
+// Clean twin for the signal-purity rule: the signal-root writes
+// preformatted bytes with write(2)-level primitives only, and the
+// allocating logger is NOT reachable from it.
+namespace fix {
+
+class Dumper {
+ public:
+  // hotc-analyze: signal-root
+  void on_fatal(int sig) {
+    last_sig_ = sig;
+    flush_regions();
+  }
+
+  // Normal-context path: may allocate freely — it is not reachable from
+  // the root above, so the rule must stay quiet about it.
+  void describe(int sig) { note_ = std::to_string(sig); }
+
+ private:
+  void flush_regions() {
+    format_header(last_sig_);
+    write_all(2, header_, 16);
+  }
+
+  void format_header(int sig) {
+    for (int i = 0; i < 16; ++i) header_[i] = static_cast<char>('0' + sig % 10);
+  }
+
+  bool write_all(int fd, const char* data, int len) {
+    while (len > 0) {
+      const int n = raw_write(fd, data, len);
+      if (n < 0) return false;
+      data += n;
+      len -= n;
+    }
+    return true;
+  }
+
+  int raw_write(int fd, const char* data, int len);  // write(2) wrapper
+
+  int last_sig_ = 0;
+  char header_[16];
+  std::string note_;
+};
+
+}  // namespace fix

@@ -1,0 +1,34 @@
+// hotc_analyze self-test fixture (analyzer input, never compiled).
+// Seeded violations for the signal-purity rule: allocation, locking and
+// non-signal-safe libc reached from a signal-root, both directly and
+// transitively through a helper.
+namespace fix {
+
+struct Crash {
+  void log_state(int sig) {
+    fprintf(stderr, "dying on %d\n", sig);  // printf family in a handler
+  }
+};
+
+class Dumper {
+ public:
+  // hotc-analyze: signal-root
+  void on_fatal(int sig) {
+    Crash c;
+    c.log_state(sig);            // transitive libc violation
+    note_ = std::to_string(sig);  // direct allocation in the root
+    flush_regions();
+  }
+
+ private:
+  void flush_regions() {
+    std::lock_guard<std::mutex> hold(mu_);  // lock on the dump path
+    buffer_ = new char[64];                 // allocation on the dump path
+  }
+
+  std::mutex mu_;
+  std::string note_;
+  char* buffer_ = nullptr;
+};
+
+}  // namespace fix

@@ -195,7 +195,8 @@ int main(int argc, char** argv) {
                 << (fn.requires_caps.empty() ? "" : " [requires]")
                 << (fn.no_ts_analysis ? " [no-ts]" : "")
                 << (fn.hot_path_root ? " [hot-root]" : "")
-                << (fn.cold_path ? " [cold]" : "") << "\n";
+                << (fn.cold_path ? " [cold]" : "")
+                << (fn.signal_root ? " [signal-root]" : "") << "\n";
   }
 
   RuleOptions options;
@@ -206,6 +207,7 @@ int main(int argc, char** argv) {
   check_seqlock_purity(model, findings);
   check_hot_path_alloc(model, options, findings);
   check_guarded_by(model, findings);
+  check_signal_purity(model, options, findings);
 
   Baseline bl;
   if (!cli.baseline.empty() && !load_baseline(cli.baseline, bl)) return 2;

@@ -673,6 +673,7 @@ void Extractor::harvest_function(std::size_t stmt_begin,
   const int decl_line = toks[stmt_begin].line;
   fn.hot_path_root = line_has_marker(decl_line, "hotc-analyze: hot-path-root");
   fn.cold_path = line_has_marker(decl_line, "hotc-analyze: cold-path");
+  fn.signal_root = line_has_marker(decl_line, "hotc-analyze: signal-root");
 
   if (saw_ctor_colon && fn.is_ctor && collect_decls)
     harvest_ctor_inits(fn.cls, colon_pos, body_open);

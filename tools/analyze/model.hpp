@@ -87,6 +87,7 @@ struct Function {
   bool no_ts_analysis = false;
   bool hot_path_root = false;  // "hotc-analyze: hot-path-root"
   bool cold_path = false;      // "hotc-analyze: cold-path"
+  bool signal_root = false;    // "hotc-analyze: signal-root"
   std::vector<std::string> requires_caps;  // HOTC_REQUIRES argument exprs
   std::vector<Acquisition> acquisitions;
   std::vector<CallSite> calls;

@@ -4,6 +4,7 @@
 //   seqlock-purity no stores/allocation inside SeqLock read sections (rule 2)
 //   hot-path-alloc no transitive allocation from hot-path roots (rule 3)
 //   guarded-by     annotated fields only touched under their mutex (rule 4)
+//   signal-purity  dump path stays async-signal-safe (rule 5)
 #pragma once
 
 #include <string>
@@ -48,6 +49,11 @@ void check_hot_path_alloc(const Model& model, const RuleOptions& options,
 /// Rule 4: HOTC_GUARDED_BY / HOTC_WRITE_GUARDED_BY fields only touched
 /// while the named mutex is held.
 void check_guarded_by(const Model& model, std::vector<Finding>& out);
+
+/// Rule 5: no allocation, locking or non-signal-safe libc reachable from
+/// a signal-root (the BlackBox dump path).
+void check_signal_purity(const Model& model, const RuleOptions& options,
+                         std::vector<Finding>& out);
 
 /// Shared helper: resolve an acquisition/guard expression in `fn`'s
 /// context, using receiver types when the expression is qualified.

@@ -1,0 +1,147 @@
+// Rule 5 (signal purity): everything transitively reachable from an
+// async-signal context must stay async-signal-safe.
+//
+// Roots are functions marked `// hotc-analyze: signal-root` (the
+// BlackBox signal handler / pre-abort entry points and its dump path) —
+// plus BlackBox::dump_now by name, since its marker sits on the header
+// declaration while the body lives in the .cpp.  From each root the rule
+// walks the call graph and flags, in any reachable function:
+//
+//   * allocation (new, make_unique, to_string, std::string building...)
+//     — malloc may be held by the interrupted thread: instant deadlock;
+//   * mutex acquisition (RankedGuard, lock_guard, unique_lock,
+//     scoped_lock, .lock()) — same deadlock by another name;
+//   * non-signal-safe libc (printf family, FILE* I/O, exit, time
+//     formatting, iostreams) — none of it is on the signal-safe list.
+//
+// `// signal-purity: allow` on (or one line above) the offending line
+// suppresses, for the rare justified case.
+#include <deque>
+#include <map>
+#include <set>
+
+#include "rules.hpp"
+
+namespace hotc::analyze {
+namespace {
+
+bool is_alloc_ident(const std::vector<Token>& toks, std::size_t k) {
+  const std::string& t = toks[k].text;
+  if (t == "new" || t == "make_unique" || t == "make_shared" ||
+      t == "to_string" || t == "stringstream" || t == "ostringstream" ||
+      t == "malloc" || t == "calloc" || t == "realloc")
+    return true;
+  if (t == "string" && k + 1 < toks.size() &&
+      (toks[k + 1].text == "(" || toks[k + 1].text == "{"))
+    return true;
+  return false;
+}
+
+bool is_guard_type(const std::string& t) {
+  return t == "RankedGuard" || t == "lock_guard" || t == "unique_lock" ||
+         t == "scoped_lock" || t == "shared_lock";
+}
+
+bool is_unsafe_libc(const std::string& t) {
+  static const std::set<std::string> deny = {
+      "printf", "fprintf", "sprintf", "snprintf", "vprintf",  "vfprintf",
+      "puts",   "fputs",   "fopen",   "fwrite",   "fread",    "fclose",
+      "fflush", "exit",    "free",    "cout",     "cerr",     "clog",
+      "localtime", "gmtime", "strftime", "syslog", "getenv",  "abort"};
+  return deny.count(t) != 0;
+}
+
+bool line_allows(const LexedFile& file, int line) {
+  for (int l = line - 1; l <= line; ++l) {
+    auto it = file.comments.find(l);
+    if (it != file.comments.end() &&
+        it->second.find("signal-purity: allow") != std::string::npos)
+      return true;
+  }
+  return false;
+}
+
+bool is_signal_root(const Function& fn) {
+  if (fn.signal_root) return true;
+  // The class-level root: the marker lives on the header declaration,
+  // which carries no body, so anchor the definition by name too.
+  return last_component(fn.cls) == "BlackBox" && fn.name == "dump_now";
+}
+
+bool in_scope(const RuleOptions& options, const std::string& rel_path) {
+  if (options.all_in_scope) return true;
+  // The dump path lives in obs/; its helpers may reach core/ and pool/.
+  for (const char* dir : {"obs/", "core/", "pool/"})
+    if (rel_path.find(dir) != std::string::npos) return true;
+  return false;
+}
+
+void scan_function(const Model& model, const Function& fn,
+                   const std::string& path, std::set<std::string>& seen,
+                   std::vector<Finding>& out) {
+  const auto& file = model.files[fn.file_index];
+  const auto& toks = file.tokens;
+  auto report = [&](std::size_t k, const std::string& what) {
+    if (line_allows(file, toks[k].line)) return;
+    const std::string key = "signal-purity|" + fn.file + "|" + fn.qual_name +
+                            "|" + toks[k].text;
+    if (!seen.insert(key).second) return;
+    Finding f;
+    f.rule = "signal-purity";
+    f.file = fn.file;
+    f.line = toks[k].line;
+    f.function = fn.qual_name;
+    f.message = what + " reachable from signal context: " + path;
+    f.key = key;
+    out.push_back(f);
+  };
+
+  for (std::size_t k = fn.body_begin; k < fn.body_end && k < toks.size();
+       ++k) {
+    if (toks[k].kind != TokKind::kIdent) continue;
+    const std::string& t = toks[k].text;
+    if (is_alloc_ident(toks, k)) {
+      report(k, "allocation ('" + t + "')");
+    } else if (is_guard_type(t)) {
+      report(k, "mutex acquisition ('" + t + "')");
+    } else if (t == "lock" && k >= 1 &&
+               (toks[k - 1].text == "." || toks[k - 1].text == "->") &&
+               k + 1 < toks.size() && toks[k + 1].text == "(") {
+      report(k, "mutex acquisition ('.lock()')");
+    } else if (is_unsafe_libc(t) && k + 1 < toks.size() &&
+               (toks[k + 1].text == "(" || toks[k + 1].text == "<<")) {
+      report(k, "non-signal-safe call ('" + t + "')");
+    }
+  }
+}
+
+}  // namespace
+
+void check_signal_purity(const Model& model, const RuleOptions& options,
+                         std::vector<Finding>& out) {
+  std::set<std::string> seen;
+  for (std::size_t r = 0; r < model.functions.size(); ++r) {
+    if (!is_signal_root(model.functions[r])) continue;
+    std::map<std::size_t, std::string> path;
+    std::deque<std::size_t> queue;
+    path[r] = model.functions[r].qual_name;
+    queue.push_back(r);
+    while (!queue.empty()) {
+      const std::size_t i = queue.front();
+      queue.pop_front();
+      const Function& fn = model.functions[i];
+      if (!in_scope(options, fn.file)) continue;
+      scan_function(model, fn, path[i], seen, out);
+      for (const auto& call : fn.calls) {
+        for (std::size_t callee : model.resolve_call(fn, call)) {
+          if (path.count(callee)) continue;
+          path[callee] = path[i] + " -> " +
+                         model.functions[callee].qual_name;
+          queue.push_back(callee);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace hotc::analyze

@@ -30,7 +30,7 @@ ctest --test-dir "$ROOT/build" -L analyze --output-on-failure -j "$JOBS"
   --baseline "$ROOT/tools/analyze/baseline.txt" \
   --report "$ROOT/build/analyze_report.json"
 
-step "smoke bench: pool + fig15 + sharing + diagnosis + prof + tiering + hotc_top/prof"
+step "smoke bench: pool + fig15 + sharing + diagnosis + prof + tiering + blackbox + hotc_top/prof"
 SMOKE_DIR="$(mktemp -d)"
 HOTC_SMOKE=1 HOTC_BENCH_DIR="$SMOKE_DIR" \
   "$ROOT/build/bench/bench_pool_concurrency" >/dev/null
@@ -44,6 +44,8 @@ HOTC_SMOKE=1 HOTC_BENCH_DIR="$SMOKE_DIR" \
   "$ROOT/build/bench/bench_prof" >/dev/null
 HOTC_SMOKE=1 HOTC_BENCH_DIR="$SMOKE_DIR" \
   "$ROOT/build/bench/bench_tiering" >/dev/null
+HOTC_SMOKE=1 HOTC_BENCH_DIR="$SMOKE_DIR" \
+  "$ROOT/build/bench/bench_blackbox" >/dev/null
 "$ROOT/build/examples/scenario_runner" \
   "$ROOT/examples/scenarios/memory_pressure.json" >/dev/null
 HOTC_BENCH_DIR="$SMOKE_DIR" "$ROOT/build/tools/hotc_top" steady >/dev/null
@@ -116,10 +118,68 @@ assert health['scenario'] == 'steady'
 assert health['keys'] and health['slo'], 'health table is empty'
 assert health['firing'] == 0, 'steady scenario has firing SLO alerts'
 assert health['journal']['rejected'] == 0
-print('OBS_health.json: ok (%d keys, %d SLO series, 0 firing)'
-      % (len(health['keys']), len(health['slo'])))
+hist = health['history']
+assert hist['frames_retained'] > 0, 'TSDB retained no frames'
+assert hist['keys'], 'history panel has no per-key series'
+print('OBS_health.json: ok (%d keys, %d SLO series, 0 firing, '
+      '%d history frames)'
+      % (len(health['keys']), len(health['slo']), hist['frames_retained']))
+doc = json.load(open('$SMOKE_DIR/BENCH_blackbox.json'))
+assert doc['smoke'] is True
+assert doc['provenance']['git_sha'], 'missing run provenance'
+assert doc['overhead']['gate_passed'] is True, (
+    'TSDB tick overhead %.2f%% > 1%%' % doc['overhead']['overhead_pct'])
+assert doc['detector']['steady_false_alerts'] == 0
+assert doc['detector']['detection_rate'] >= 0.95
+assert doc['detector']['gate_passed'] is True
+assert doc['gate_passed'] is True
+print('BENCH_blackbox.json: ok (%.2f%% tick overhead, %.0f%% detection, '
+      '0 false alerts)'
+      % (doc['overhead']['overhead_pct'],
+         doc['detector']['detection_rate'] * 100))
 "
 rm -rf "$SMOKE_DIR"
+
+step "crash drill: blackbox dump -> postmortem round trip"
+DRILL_DIR=$(mktemp -d)
+# The drill dies by SIGABRT on purpose; suppress the core and expect 134.
+set +e
+(
+  cd "$DRILL_DIR" || exit 1
+  ulimit -c 0
+  "$ROOT/build/tools/hotc_crashdrill" "$DRILL_DIR/OBS_blackbox.dump" \
+    >"$DRILL_DIR/drill.log" 2>&1
+)
+DRILL_RC=$?
+set -e
+[ "$DRILL_RC" -ne 0 ] || { echo "crash drill did not crash"; exit 1; }
+[ -s "$DRILL_DIR/OBS_blackbox.dump" ] || {
+  echo "crash drill left no dump"; exit 1; }
+"$ROOT/build/tools/hotc_postmortem" "$DRILL_DIR/OBS_blackbox.dump" \
+  --json "$DRILL_DIR/OBS_postmortem.json" >"$DRILL_DIR/postmortem.log"
+python3 - "$DRILL_DIR/OBS_postmortem.json" <<'PY'
+import json, sys
+pm = json.load(open(sys.argv[1]))
+# The drill dies through the pre-abort hook, not a signal: signal stays 0
+# and the seeded invariant failure travels in `reason`.
+assert 'conservation' in pm['reason'], 'postmortem lost the abort reason'
+assert pm['spans'] > 0, 'postmortem decoded no spans'
+assert pm['decisions'] > 0, 'postmortem decoded no decisions'
+assert pm['tsdb']['frames_decoded'] > 0, 'postmortem decoded no TSDB frames'
+print('crash drill: ok (reason %r, %d spans, %d decisions, %d frames)'
+      % (pm['reason'], pm['spans'], pm['decisions'],
+         pm['tsdb']['frames_decoded']))
+PY
+# A truncated dump must be rejected, not half-decoded.
+DUMP_BYTES=$(wc -c <"$DRILL_DIR/OBS_blackbox.dump")
+head -c "$((DUMP_BYTES - 64))" "$DRILL_DIR/OBS_blackbox.dump" \
+  >"$DRILL_DIR/truncated.dump"
+if "$ROOT/build/tools/hotc_postmortem" "$DRILL_DIR/truncated.dump" \
+    >/dev/null 2>&1; then
+  echo "postmortem accepted a truncated dump"; exit 1
+fi
+echo "crash drill: truncated dump rejected"
+rm -rf "$DRILL_DIR"
 
 step "build + test: ASan/UBSan + HOTC_AUDIT"
 cmake -B "$ROOT/build-asan" -S "$ROOT" \

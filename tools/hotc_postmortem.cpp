@@ -1,0 +1,300 @@
+// hotc_postmortem — offline analyzer for black-box crash dumps.
+//
+// Decodes a dump written by obs::BlackBox (raw ring images + POD
+// mirrors, see DESIGN.md §17) into a human timeline:
+//
+//   - the dump header: why the process died (component + signal), the
+//     last adaptive tick, pid and wall-clock time of death;
+//   - the last requests in flight: spans grouped by trace id, newest
+//     traces first, each stage with its start offset and duration;
+//   - the final adaptive ticks' decisions from the journal ring
+//     (forecast vs demand, prewarms/retires per key, tick summaries);
+//   - SLO state at death (mirror): per-series burn rates and firing
+//     flags, plus total alerts fired;
+//   - profiler mirror: top contended sites at the last tick;
+//   - metric anomalies re-scanned from the reconstructed time series —
+//     "what moved in the final seconds".
+//
+// A truncated or corrupted dump is rejected with the decoder's one-line
+// reason and exit 1 — garbage in, error out, never a fabricated
+// timeline.
+//
+// Artifact: OBS_postmortem.json next to the BENCH_*.json files
+// (HOTC_BENCH_DIR overrides; --json PATH writes it somewhere explicit).
+//
+// Usage: hotc_postmortem DUMP [--json PATH] [--ticks N] [--traces N]
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "core/json.hpp"
+#include "obs/postmortem.hpp"
+
+using namespace hotc;
+
+namespace {
+
+struct Args {
+  std::string dump;
+  std::string json_path;  // empty = bench output dir default
+  std::size_t ticks = 3;    // final decision ticks to show
+  std::size_t traces = 8;   // newest traces to show
+  bool ok = false;
+};
+
+Args parse_args(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" && i + 1 < argc) {
+      a.json_path = argv[++i];
+    } else if (arg == "--ticks" && i + 1 < argc) {
+      a.ticks = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (arg == "--traces" && i + 1 < argc) {
+      a.traces = static_cast<std::size_t>(std::stoul(argv[++i]));
+    } else if (!arg.empty() && arg[0] != '-' && a.dump.empty()) {
+      a.dump = arg;
+    } else {
+      return a;  // unknown flag → usage
+    }
+  }
+  a.ok = !a.dump.empty();
+  return a;
+}
+
+std::string hex_id(std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, v);
+  return buf;
+}
+
+std::string ms(double ns) { return Table::num(ns / 1e6, 3) + "ms"; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse_args(argc, argv);
+  if (!args.ok) {
+    std::cerr << "usage: hotc_postmortem DUMP [--json PATH] [--ticks N]"
+                 " [--traces N]\n";
+    return 2;
+  }
+
+  obs::DumpImage image;
+  std::string error;
+  if (!obs::decode_dump(args.dump, &image, &error)) {
+    std::cerr << "hotc_postmortem: " << args.dump << ": " << error << "\n";
+    return 1;
+  }
+
+  // ---- header ---------------------------------------------------------------
+  const obs::DumpHeader& h = image.header;
+  std::cout << "== black-box dump: " << args.dump << " ==\n"
+            << "reason:   " << h.reason << "\n"
+            << "signal:   " << h.signal << (h.signal == 0 ? " (abort path)" : "")
+            << "\n"
+            << "tick:     " << h.tick << " (last adaptive tick)\n"
+            << "pid:      " << h.pid << "\n"
+            << "realtime: " << h.realtime_ns << " ns since epoch\n\n";
+
+  // ---- last traces ----------------------------------------------------------
+  // Spans arrive in publication order, oldest first; group by trace and
+  // show the newest traces (the requests in flight at death).
+  std::vector<std::uint64_t> trace_order;  // newest last
+  std::map<std::uint64_t, std::vector<const obs::SpanRecord*>> by_trace;
+  for (const obs::SpanRecord& s : image.spans) {
+    auto [it, fresh] = by_trace.try_emplace(s.trace_id);
+    if (fresh) trace_order.push_back(s.trace_id);
+    it->second.push_back(&s);
+  }
+  const std::size_t shown =
+      std::min(args.traces, trace_order.size());
+  std::cout << "-- last " << shown << " of " << trace_order.size()
+            << " traces (" << image.spans.size() << " spans, "
+            << image.spans_torn << " torn slots skipped) --\n";
+  JsonArray json_traces;
+  for (std::size_t i = trace_order.size() - shown; i < trace_order.size();
+       ++i) {
+    const std::uint64_t id = trace_order[i];
+    auto spans = by_trace[id];
+    std::sort(spans.begin(), spans.end(),
+              [](const obs::SpanRecord* a, const obs::SpanRecord* b) {
+                return a->span_seq < b->span_seq;
+              });
+    std::cout << "trace " << hex_id(id) << ":";
+    JsonObject jt;
+    jt["trace_id"] = Json(hex_id(id));
+    JsonArray jspans;
+    for (const obs::SpanRecord* s : spans) {
+      std::cout << " " << obs::to_string(s->stage) << "("
+                << ms(static_cast<double>(s->dur_ns)) << ")";
+      JsonObject js;
+      js["stage"] = Json(std::string(obs::to_string(s->stage)));
+      js["start_ns"] = Json(static_cast<std::int64_t>(s->start_ns));
+      js["dur_ns"] = Json(static_cast<std::int64_t>(s->dur_ns));
+      jspans.push_back(Json(std::move(js)));
+    }
+    jt["spans"] = Json(std::move(jspans));
+    json_traces.push_back(Json(std::move(jt)));
+    std::cout << "\n";
+  }
+
+  // ---- final decisions ------------------------------------------------------
+  std::uint64_t last_tick = 0;
+  for (const obs::DecisionRecord& d : image.decisions) {
+    last_tick = std::max(last_tick, d.tick);
+  }
+  const std::uint64_t from_tick =
+      last_tick > args.ticks ? last_tick - args.ticks + 1 : 1;
+  std::cout << "\n-- decisions, ticks " << from_tick << ".." << last_tick
+            << " (" << image.decisions.size() << " records, "
+            << image.decisions_torn << " torn slots skipped) --\n";
+  JsonArray json_decisions;
+  for (const obs::DecisionRecord& d : image.decisions) {
+    if (d.tick < from_tick) continue;
+    const bool summary = (d.flags & obs::kJournalSummary) != 0;
+    if (summary) {
+      std::cout << "tick " << d.tick << " summary: prewarms=" << d.prewarms
+                << " retires=" << d.retires << " evictions=" << d.evictions
+                << " donations=" << d.donations << "\n";
+    } else {
+      std::cout << "tick " << d.tick << " key=" << hex_id(d.key_hash)
+                << " demand=" << Table::num(d.demand, 2)
+                << " forecast=" << Table::num(d.forecast, 2)
+                << " have=" << d.have << " prewarms=" << d.prewarms
+                << " retires=" << d.retires << "\n";
+    }
+    JsonObject jd;
+    jd["tick"] = Json(static_cast<std::int64_t>(d.tick));
+    jd["summary"] = Json(summary);
+    jd["key_hash"] = Json(hex_id(d.key_hash));
+    jd["demand"] = Json(d.demand);
+    jd["forecast"] = Json(d.forecast);
+    jd["prewarms"] = Json(static_cast<std::int64_t>(d.prewarms));
+    jd["retires"] = Json(static_cast<std::int64_t>(d.retires));
+    jd["evictions"] = Json(static_cast<std::int64_t>(d.evictions));
+    json_decisions.push_back(Json(std::move(jd)));
+  }
+
+  // ---- SLO state at death ---------------------------------------------------
+  JsonArray json_slo;
+  if (image.has_slo) {
+    std::cout << "\n-- SLO state at death (" << image.slo.alerts_fired
+              << " alerts fired) --\n";
+    for (std::uint64_t i = 0;
+         i < image.slo.series_count &&
+         i < std::size(image.slo.series);
+         ++i) {
+      const auto& s = image.slo.series[i];
+      std::cout << s.slo << (s.labels[0] != '\0' ? "{" : "")
+                << s.labels << (s.labels[0] != '\0' ? "}" : "")
+                << ": value=" << Table::num(s.value, 3)
+                << " fast_burn=" << Table::num(s.fast_burn, 2)
+                << " slow_burn=" << Table::num(s.slow_burn, 2)
+                << (s.firing != 0 ? "  FIRING" : "") << "\n";
+      JsonObject js;
+      js["slo"] = Json(std::string(s.slo));
+      js["labels"] = Json(std::string(s.labels));
+      js["value"] = Json(s.value);
+      js["fast_burn"] = Json(s.fast_burn);
+      js["slow_burn"] = Json(s.slow_burn);
+      js["firing"] = Json(s.firing != 0);
+      json_slo.push_back(Json(std::move(js)));
+    }
+  }
+
+  // ---- profiler mirror ------------------------------------------------------
+  JsonArray json_contention;
+  if (image.has_prof && image.prof.contention_count > 0) {
+    std::cout << "\n-- top contention at last tick --\n";
+    for (std::uint64_t i = 0;
+         i < image.prof.contention_count &&
+         i < std::size(image.prof.contention);
+         ++i) {
+      const auto& c = image.prof.contention[i];
+      std::cout << c.site << " (band " << c.band << "): " << c.count
+                << " waits, " << ms(static_cast<double>(c.wait_ns)) << "\n";
+      JsonObject jc;
+      jc["site"] = Json(std::string(c.site));
+      jc["band"] = Json(static_cast<std::int64_t>(c.band));
+      jc["count"] = Json(static_cast<std::int64_t>(c.count));
+      jc["wait_ns"] = Json(static_cast<std::int64_t>(c.wait_ns));
+      json_contention.push_back(Json(std::move(jc)));
+    }
+  }
+
+  // ---- metric anomalies in the retained history -----------------------------
+  JsonArray json_anomalies;
+  std::vector<obs::AnomalyEvent> anomalies;
+  if (image.has_tsdb) {
+    anomalies = obs::rescan_anomalies(image.tsdb);
+    std::cout << "\n-- retained history: " << image.tsdb.series.size()
+              << " series, " << image.tsdb.frames_decoded
+              << " frames decoded (" << image.tsdb.frames_torn
+              << " torn), " << anomalies.size() << " anomalies --\n";
+    for (const obs::AnomalyEvent& a : anomalies) {
+      std::cout << "tick " << a.tick << " " << a.series
+                << (a.labels.empty() ? "" : "{" + a.labels + "}")
+                << ": delta=" << Table::num(a.delta, 1)
+                << " median=" << Table::num(a.median, 1)
+                << " z=" << Table::num(a.zscore, 1) << "\n";
+      JsonObject ja;
+      ja["tick"] = Json(static_cast<std::int64_t>(a.tick));
+      ja["series"] = Json(a.series);
+      ja["labels"] = Json(a.labels);
+      ja["zscore"] = Json(a.zscore);
+      ja["delta"] = Json(a.delta);
+      ja["median"] = Json(a.median);
+      json_anomalies.push_back(Json(std::move(ja)));
+    }
+  }
+
+  // ---- OBS_postmortem.json --------------------------------------------------
+  JsonObject doc;
+  doc["tool"] = Json(std::string("hotc_postmortem"));
+  doc["provenance"] = Json(hotc::bench::provenance());
+  doc["dump"] = Json(args.dump);
+  doc["reason"] = Json(std::string(h.reason));
+  doc["signal"] = Json(h.signal);
+  doc["tick"] = Json(static_cast<std::int64_t>(h.tick));
+  doc["pid"] = Json(static_cast<std::int64_t>(h.pid));
+  doc["spans"] = Json(static_cast<std::int64_t>(image.spans.size()));
+  doc["spans_torn"] = Json(static_cast<std::int64_t>(image.spans_torn));
+  doc["decisions"] =
+      Json(static_cast<std::int64_t>(image.decisions.size()));
+  doc["decisions_torn"] =
+      Json(static_cast<std::int64_t>(image.decisions_torn));
+  doc["traces"] = Json(std::move(json_traces));
+  doc["final_decisions"] = Json(std::move(json_decisions));
+  doc["slo"] = Json(std::move(json_slo));
+  doc["contention"] = Json(std::move(json_contention));
+  doc["anomalies"] = Json(std::move(json_anomalies));
+  if (image.has_tsdb) {
+    JsonObject jt;
+    jt["series"] =
+        Json(static_cast<std::int64_t>(image.tsdb.series.size()));
+    jt["frames_decoded"] =
+        Json(static_cast<std::int64_t>(image.tsdb.frames_decoded));
+    jt["frames_torn"] =
+        Json(static_cast<std::int64_t>(image.tsdb.frames_torn));
+    doc["tsdb"] = Json(std::move(jt));
+  }
+
+  const std::string out = args.json_path.empty()
+                              ? hotc::bench::output_dir() +
+                                    "/OBS_postmortem.json"
+                              : args.json_path;
+  if (!hotc::bench::write_file(out,
+                               Json(std::move(doc)).dump(2) + "\n")) {
+    std::cerr << "failed to write " << out << "\n";
+    return 1;
+  }
+  std::cout << "\nwrote " << out << "\n";
+  return 0;
+}

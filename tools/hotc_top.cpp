@@ -10,6 +10,10 @@
 //   - per-key health table: requests, cold starts, cold ratio, last
 //     demand / forecast / prewarms / retires from the newest journal
 //     records, drift-restart and mute flags;
+//   - history panel: per-key cold-start-ratio sparklines and the p99
+//     latency sparkline over the last ticks, read back from the
+//     TimeSeriesStore the controller fed from the same per-tick cut the
+//     SLO engine evaluated (doc["history"]);
 //   - SLO panel: windowed value, fast/slow burn rates, FIRING marker;
 //   - snapshot-tier panel: checkpoint-store bytes vs budget, per-tenant
 //     occupancy, demotion / restore / eviction counts and the restore
@@ -24,6 +28,7 @@
 // being well-formed with zero firing alerts for the steady scenario.
 //
 // Usage: hotc_top [steady|step]       (default: steady)
+#include <algorithm>
 #include <cinttypes>
 #include <cstdio>
 #include <iostream>
@@ -37,6 +42,7 @@
 #include "obs/journal.hpp"
 #include "obs/prof.hpp"
 #include "obs/slo.hpp"
+#include "obs/tsdb.hpp"
 #include "snapshot/checkpoint_store.hpp"
 #include "spec/runtime_key.hpp"
 
@@ -59,6 +65,47 @@ workload::ArrivalList square_arrivals(std::size_t low_rounds,
     // the health table.
     for (std::size_t i = 0; i < level; ++i) out.push_back({at, i % 4});
   }
+  return out;
+}
+
+/// `_.-~=+*#` ramp scaled to the series max; empty history renders "-".
+std::string sparkline(const std::vector<double>& values) {
+  static const char kRamp[] = "_.-~=+*#";
+  if (values.empty()) return "-";
+  double max = 0.0;
+  for (const double v : values) max = std::max(max, v);
+  std::string out;
+  for (const double v : values) {
+    const std::size_t idx =
+        max > 0.0 ? static_cast<std::size_t>(v / max * 7.0 + 0.5) : 0;
+    out += kRamp[std::min<std::size_t>(idx, 7)];
+  }
+  return out;
+}
+
+/// Per-tick cold ratio: elementwise cold-delta / request-delta, joined on
+/// tick (ticks where the key saw no requests read 0).
+std::vector<double> cold_ratio_series(
+    const std::vector<obs::TsdbPoint>& cold,
+    const std::vector<obs::TsdbPoint>& req) {
+  std::map<std::uint64_t, double> cold_by_tick;
+  for (const auto& p : cold) cold_by_tick[p.tick] = p.value;
+  std::vector<double> out;
+  out.reserve(req.size());
+  for (const auto& p : req) {
+    const auto it = cold_by_tick.find(p.tick);
+    const double c = it != cold_by_tick.end() ? it->second : 0.0;
+    out.push_back(p.value > 0.0 ? c / p.value : 0.0);
+  }
+  return out;
+}
+
+std::vector<double> tail_values(const std::vector<obs::TsdbPoint>& pts,
+                                std::size_t n) {
+  std::vector<double> out;
+  const std::size_t from = pts.size() > n ? pts.size() - n : 0;
+  for (std::size_t i = from; i < pts.size(); ++i)
+    out.push_back(pts[i].value);
   return out;
 }
 
@@ -92,6 +139,7 @@ int main(int argc, char** argv) {
   obs::Tracer tracer(8192, &registry);
   obs::SloEngine slo(registry, obs::default_slos());
   obs::DecisionJournal journal(4096);
+  obs::TimeSeriesStore tsdb(registry, obs::TsdbOptions{}, &slo);
 
   faas::PlatformOptions opt;
   opt.policy = faas::PolicyKind::kHotC;
@@ -99,6 +147,7 @@ int main(int argc, char** argv) {
   opt.tracer = &tracer;
   opt.hotc.journal = &journal;
   opt.hotc.slo = &slo;
+  opt.hotc.tsdb = &tsdb;
   opt.hotc.enable_drift_detection = true;
   // Tiered warm state on: adaptive-loop retirements park in the snapshot
   // store, so the tier panel below has real traffic to show.  Restores
@@ -197,6 +246,49 @@ int main(int argc, char** argv) {
   }
   std::cout << slo_table.to_string() << firing << " firing, "
             << alerts.size() << " alerts in ring\n\n";
+
+  // ---- history panel (TimeSeriesStore read-back) ----------------------------
+  // The store was fed once per adaptive tick from the same Registry cut
+  // the SLO engine evaluated, so these sparklines are the per-tick
+  // history of exactly the numbers in the tables above.
+  constexpr std::size_t kSparkTicks = 16;
+  Table hist_table({"key", "cold% sparkline (last " +
+                               std::to_string(kSparkTicks) + " ticks)",
+                    "last"});
+  struct KeyHistory {
+    std::string id;
+    std::vector<double> ratio;
+  };
+  std::vector<KeyHistory> histories;
+  for (const auto& [id, row] : keys) {
+    const std::string labels = "key=\"" + id + "\"";
+    KeyHistory h;
+    h.id = id;
+    h.ratio = cold_ratio_series(
+        tsdb.rate("hotc_key_cold_total", labels),
+        tsdb.rate("hotc_key_requests_total", labels));
+    if (h.ratio.size() > kSparkTicks)
+      h.ratio.erase(h.ratio.begin(),
+                    h.ratio.end() - static_cast<std::ptrdiff_t>(kSparkTicks));
+    hist_table.add_row(
+        {id, sparkline(h.ratio),
+         h.ratio.empty() ? "-"
+                         : Table::num(h.ratio.back() * 100.0, 1) + "%"});
+    histories.push_back(std::move(h));
+  }
+  const std::vector<double> p99_hist = tail_values(
+      tsdb.quantile_series("hotc_request_duration_ms", "", 0.99,
+                           kSparkTicks),
+      kSparkTicks);
+  const std::vector<obs::AnomalyEvent> anomalies = tsdb.anomalies();
+  std::cout << hist_table.to_string() << "p99 latency  "
+            << sparkline(p99_hist)
+            << (p99_hist.empty()
+                    ? ""
+                    : "  (last " + Table::num(p99_hist.back(), 1) + "ms)")
+            << "\n"
+            << tsdb.frames() << " frames retained, " << anomalies.size()
+            << " anomalies flagged\n\n";
 
   // ---- contention / queue-delay panel ---------------------------------------
   Table lock_table({"lock site", "band", "stage", "waits", "wait ms"});
@@ -424,6 +516,39 @@ int main(int argc, char** argv) {
   }
   tier["tenants"] = Json(std::move(tenant_rows));
   doc["snapshot"] = Json(std::move(tier));
+
+  JsonObject hist;
+  hist["frames_retained"] = Json(static_cast<std::int64_t>(tsdb.frames()));
+  hist["samples"] = Json(static_cast<std::int64_t>(tsdb.samples()));
+  hist["spark_ticks"] = Json(static_cast<std::int64_t>(kSparkTicks));
+  JsonArray hist_keys;
+  for (const auto& h : histories) {
+    JsonObject j;
+    j["key"] = Json(h.id);
+    JsonArray ratios;
+    for (const double v : h.ratio) ratios.push_back(Json(v));
+    j["cold_ratio"] = Json(std::move(ratios));
+    j["sparkline"] = Json(sparkline(h.ratio));
+    hist_keys.push_back(Json(std::move(j)));
+  }
+  hist["keys"] = Json(std::move(hist_keys));
+  JsonObject hist_p99;
+  JsonArray p99_values;
+  for (const double v : p99_hist) p99_values.push_back(Json(v));
+  hist_p99["values_ms"] = Json(std::move(p99_values));
+  hist_p99["sparkline"] = Json(sparkline(p99_hist));
+  hist["p99"] = Json(std::move(hist_p99));
+  JsonArray anomaly_rows;
+  for (const auto& a : anomalies) {
+    JsonObject j;
+    j["tick"] = Json(static_cast<std::int64_t>(a.tick));
+    j["series"] = Json(a.series);
+    j["labels"] = Json(a.labels);
+    j["zscore"] = Json(a.zscore);
+    anomaly_rows.push_back(Json(std::move(j)));
+  }
+  hist["anomalies"] = Json(std::move(anomaly_rows));
+  doc["history"] = Json(std::move(hist));
 
   JsonObject jj;
   jj["records"] = Json(static_cast<std::int64_t>(tail.size()));
